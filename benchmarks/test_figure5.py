@@ -1,0 +1,34 @@
+"""Benchmark harness for Figure 5: P4 and P4e vs M4 through the 32KB
+direct-mapped I-cache (6-cycle miss penalty), SPEC substitutes.
+
+The paper's shape: path-based scheduling keeps most of its benefit despite
+code expansion; P4e restrains expansion and outperforms the edge-based
+approach across the SPEC programs.
+"""
+
+from repro.experiments import figure5, format_figure5
+from repro.workloads import SPEC_NAMES
+
+from .conftest import BENCH_SCALE, run_once
+
+
+def test_figure5_spec_half1(benchmark):
+    series = run_once(
+        benchmark, figure5, scale=BENCH_SCALE, workload_names=SPEC_NAMES[:5]
+    )
+    print()
+    print(format_figure5(series))
+    benchmark.extra_info["normalized"] = series.values
+    for per in series.values.values():
+        assert set(per) == {"P4", "P4e"}
+
+
+def test_figure5_spec_half2(benchmark):
+    series = run_once(
+        benchmark, figure5, scale=BENCH_SCALE, workload_names=SPEC_NAMES[5:]
+    )
+    print()
+    print(format_figure5(series))
+    benchmark.extra_info["normalized"] = series.values
+    for per in series.values.values():
+        assert per["P4"] > 0 and per["P4e"] > 0

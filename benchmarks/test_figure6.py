@@ -1,0 +1,34 @@
+"""Benchmark harness for Figure 6: exploit paths (P4e, unroll limit 4) or
+unroll harder (M16, edge profiles)?
+
+The paper's surprising result: except for a few unrolling-dominated
+benchmarks, P4e with an unroll limit of 4 beats edge-based scheduling with
+an unroll limit of 16.
+"""
+
+from repro.experiments import figure6, format_figure6
+from repro.workloads import SPEC_NAMES
+
+from .conftest import BENCH_SCALE, run_once
+
+
+def test_figure6_spec_half1(benchmark):
+    series = run_once(
+        benchmark, figure6, scale=BENCH_SCALE, workload_names=SPEC_NAMES[:5]
+    )
+    print()
+    print(format_figure6(series))
+    benchmark.extra_info["normalized"] = series.values
+    for per in series.values.values():
+        assert set(per) == {"P4e", "M16"}
+
+
+def test_figure6_spec_half2(benchmark):
+    series = run_once(
+        benchmark, figure6, scale=BENCH_SCALE, workload_names=SPEC_NAMES[5:]
+    )
+    print()
+    print(format_figure6(series))
+    benchmark.extra_info["normalized"] = series.values
+    for per in series.values.values():
+        assert per["M16"] > 0

@@ -1,0 +1,42 @@
+"""Benchmark harness for Figure 7: blocks executed per dynamic superblock
+(gray bars) vs superblock size in blocks (white extensions), for the M4,
+M16, P4e, and P4 schemes.
+
+The paper's claim: path-based formation yields superblocks where execution
+stays longer before exiting ("average" grows), often with smaller regions
+than M16 ("maximum" stays moderate) — except where unrolling dominates.
+"""
+
+from repro.experiments import figure7, format_figure7
+from repro.workloads import SUITE_ORDER
+
+from .conftest import BENCH_SCALE, run_once
+
+
+def test_figure7_micro(benchmark):
+    data = run_once(
+        benchmark, figure7, scale=BENCH_SCALE,
+        workload_names=["alt", "ph", "corr", "wc"],
+    )
+    print()
+    print(format_figure7(data))
+    benchmark.extra_info["values"] = {
+        w: {s: list(v) for s, v in per.items()}
+        for w, per in data.values.items()
+    }
+    # Path formation raises blocks-per-entry on the micros vs M4.
+    for w in ("alt", "ph", "corr"):
+        per = data.values[w]
+        assert per["P4"][0] >= per["M4"][0] * 0.9
+
+
+def test_figure7_spec(benchmark):
+    names = [n for n in SUITE_ORDER if n not in ("alt", "ph", "corr", "wc")]
+    data = run_once(
+        benchmark, figure7, scale=BENCH_SCALE, workload_names=names
+    )
+    print()
+    print(format_figure7(data))
+    for per in data.values.values():
+        for executed, size in per.values():
+            assert 0 < executed <= size + 1e-9

@@ -1,0 +1,62 @@
+"""Benchmark harness for the paper's secondary claims.
+
+* Section 3.2's latency-sensitivity remark;
+* Section 2.2's general-vs-forward path argument;
+* the correlation story inherited from Young & Smith's static correlated
+  branch prediction (the corr microbenchmark's raison d'être).
+"""
+
+from repro.experiments import (
+    format_forward_vs_general,
+    format_latency_sensitivity,
+    format_static_prediction,
+    forward_vs_general,
+    latency_sensitivity,
+    static_prediction,
+)
+
+from .conftest import BENCH_SCALE, run_once
+
+
+def test_latency_sensitivity(benchmark):
+    rows = run_once(
+        benchmark,
+        latency_sensitivity,
+        scale=BENCH_SCALE,
+        workload_names=["alt", "corr", "eqn"],
+    )
+    print()
+    print(format_latency_sensitivity(rows))
+    benchmark.extra_info["ratios"] = {
+        r.workload: (r.unit_ratio, r.realistic_ratio) for r in rows
+    }
+    for row in rows:
+        assert row.unit_ratio > 0 and row.realistic_ratio > 0
+
+
+def test_forward_vs_general_paths(benchmark):
+    rows = run_once(
+        benchmark,
+        forward_vs_general,
+        scale=BENCH_SCALE,
+        workload_names=["alt", "ph", "corr"],
+    )
+    print()
+    print(format_forward_vs_general(rows))
+    # General paths must not lose to forward paths on the micros built to
+    # showcase cross-back-edge behaviour.
+    for row in rows:
+        assert row.forward_cycles >= row.general_cycles * 0.98
+
+
+def test_static_prediction_accuracy(benchmark):
+    rows = run_once(
+        benchmark,
+        static_prediction,
+        scale=BENCH_SCALE,
+        workload_names=["alt", "ph", "corr", "wc"],
+    )
+    print()
+    print(format_static_prediction(rows))
+    accuracy = {r.workload: r.path_accuracy for r in rows}
+    assert accuracy["corr"] > 0.9

@@ -1,0 +1,53 @@
+"""Benchmark harness for Table 1: benchmark statistics.
+
+Regenerates the per-benchmark size / dynamic branch / cycle / instruction
+rows (BB-scheduled, testing input) and prints them in the paper's layout.
+"""
+
+from repro.experiments import format_table1, table1
+from repro.workloads import SUITE_ORDER
+
+from .conftest import BENCH_SCALE, run_once
+
+
+def test_table1_micro(benchmark):
+    rows = run_once(
+        benchmark,
+        table1,
+        scale=BENCH_SCALE,
+        workload_names=["alt", "ph", "corr", "wc"],
+    )
+    print()
+    print(format_table1(rows))
+    assert [r.name for r in rows] == ["alt", "ph", "corr", "wc"]
+    benchmark.extra_info["rows"] = {
+        r.name: {"branches": r.branches, "cycles": r.cycles} for r in rows
+    }
+
+
+def test_table1_spec92(benchmark):
+    rows = run_once(
+        benchmark,
+        table1,
+        scale=BENCH_SCALE,
+        workload_names=["com", "eqn", "esp"],
+    )
+    print()
+    print(format_table1(rows))
+    for row in rows:
+        assert row.cycles > 0
+
+
+def test_table1_spec95(benchmark):
+    rows = run_once(
+        benchmark,
+        table1,
+        scale=BENCH_SCALE,
+        workload_names=["gcc", "go", "ijpeg", "li", "m88k", "perl", "vortex"],
+    )
+    print()
+    print(format_table1(rows))
+    assert len(rows) == 7
+    # every benchmark runs long enough to be schedulable study material
+    for row in rows:
+        assert row.instructions > 1000

@@ -1,0 +1,13 @@
+"""Legacy setup shim: enables `pip install -e .` on environments whose
+setuptools predates PEP 660 editable installs.  Metadata lives in
+pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

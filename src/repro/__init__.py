@@ -1,0 +1,13 @@
+"""Reproduction of *Better Global Scheduling Using Path Profiles*
+(Cliff Young and Michael D. Smith, MICRO-31, 1998).
+
+The package implements the paper's full tool chain on a virtual
+Alpha-flavoured VLIW target: a MiniC frontend, an IR interpreter, edge and
+general-path profilers, edge- and path-profile-driven superblock formation,
+a compacting top-down cycle scheduler with register renaming, linear-scan
+register allocation, Pettis–Hansen-style code layout, and a cycle-accurate
+simulator with an instruction-cache model.  See DESIGN.md for the system
+inventory and the per-experiment index.
+"""
+
+__version__ = "0.1.0"

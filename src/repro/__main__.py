@@ -1,0 +1,131 @@
+"""Top-level command line: run one workload under one or more schemes.
+
+Usage::
+
+    python -m repro run --workload wc --schemes BB M4 P4 --scale 0.5
+    python -m repro run --source my_program.mc --schemes P4 --icache
+    python -m repro list
+
+(For the paper's tables and figures use ``python -m repro.experiments``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments.render import format_table
+from .frontend import compile_source
+from .pipeline import run_scheme
+from .profiling.collector import collect_profiles
+from .scheduling.machine import PAPER_MACHINE, REALISTIC_MACHINE
+from .workloads import SUITE_ORDER, all_workloads, get_workload
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        (w.name, w.category, w.description) for w in all_workloads()
+    ]
+    print(format_table(["name", "group", "description"], rows,
+                       title="Workload suite"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.source:
+        with open(args.source) as handle:
+            program = compile_source(handle.read())
+        train = [int(x) for x in (args.train or "").split(",") if x != ""]
+        test = [int(x) for x in (args.test or "").split(",") if x != ""]
+    else:
+        workload = get_workload(args.workload)
+        program = workload.program()
+        train = workload.train_tape(args.scale)
+        test = workload.test_tape(args.scale)
+
+    machine = REALISTIC_MACHINE if args.realistic else PAPER_MACHINE
+    profiles = collect_profiles(program, input_tape=train)
+    rows = []
+    for scheme in args.schemes:
+        outcome = run_scheme(
+            program,
+            scheme,
+            train,
+            test,
+            machine=machine,
+            with_icache=args.icache,
+            profiles=profiles,
+        )
+        sim = outcome.result
+        row = [
+            scheme,
+            sim.cycles,
+            sim.operations,
+            sim.wasted_operations,
+            f"{sim.avg_blocks_per_entry:.2f}",
+            f"{sim.avg_superblock_size:.2f}",
+        ]
+        if args.icache:
+            cached = outcome.cached_result
+            row.extend(
+                [cached.cycles, f"{cached.icache_miss_rate * 100:.2f}"]
+            )
+        rows.append(row)
+    headers = ["scheme", "cycles", "ops", "wasted", "blk/entry", "sb size"]
+    if args.icache:
+        headers.extend(["cycles+I$", "miss%"])
+    title = args.source or args.workload
+    print(format_table(headers, rows, title=f"{title} on {machine.name}"))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the workload suite")
+
+    run_parser = sub.add_parser("run", help="compile and simulate")
+    run_parser.add_argument(
+        "--workload", choices=SUITE_ORDER, help="suite workload to run"
+    )
+    run_parser.add_argument(
+        "--source", help="MiniC source file (alternative to --workload)"
+    )
+    run_parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["BB", "M4", "P4"],
+        choices=["BB", "M4", "M16", "P4", "P4e"],
+        help="formation schemes to compare",
+    )
+    run_parser.add_argument(
+        "--scale", type=float, default=1.0, help="input size scale"
+    )
+    run_parser.add_argument(
+        "--train", help="comma-separated training input (with --source)"
+    )
+    run_parser.add_argument(
+        "--test", help="comma-separated testing input (with --source)"
+    )
+    run_parser.add_argument(
+        "--icache", action="store_true", help="also simulate the I-cache"
+    )
+    run_parser.add_argument(
+        "--realistic",
+        action="store_true",
+        help="use the realistic-latency machine model",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        if not args.workload and not args.source:
+            parser.error("run needs --workload or --source")
+        return _cmd_run(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

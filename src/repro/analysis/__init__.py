@@ -1,0 +1,30 @@
+"""Static analyses over the IR: dominators, loops, liveness, local opts."""
+
+from .dominators import DominatorTree, immediate_dominators
+from .liveness import (
+    LivenessInfo,
+    block_use_def,
+    compute_liveness,
+    instruction_defs,
+    instruction_uses,
+)
+from .fold import fold_constants
+from .local_opt import eliminate_dead_code, local_value_number
+from .loops import NaturalLoop, back_edges, loop_headers, natural_loops
+
+__all__ = [
+    "DominatorTree",
+    "LivenessInfo",
+    "NaturalLoop",
+    "back_edges",
+    "block_use_def",
+    "compute_liveness",
+    "eliminate_dead_code",
+    "fold_constants",
+    "immediate_dominators",
+    "instruction_defs",
+    "instruction_uses",
+    "local_value_number",
+    "loop_headers",
+    "natural_loops",
+]

@@ -1,0 +1,96 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+Dominators are used to identify back edges, which both trace selectors must
+refuse to cross (a trace may not contain a back edge — Section 2.1 of the
+paper), and to find natural loops for the classical peeling/unrolling
+enlargements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.cfg import Procedure, reachable_labels
+
+
+def immediate_dominators(proc: Procedure) -> Dict[str, Optional[str]]:
+    """Compute the immediate dominator of every reachable block.
+
+    Returns a map ``label -> idom label``; the entry maps to ``None``.
+    Unreachable blocks are omitted.
+    """
+    rpo = reachable_labels(proc)
+    index = {label: i for i, label in enumerate(rpo)}
+    preds = proc.predecessors()
+    entry = proc.entry_label
+
+    idom: Dict[str, Optional[str]] = {entry: entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == entry:
+                continue
+            candidates = [p for p in preds[label] if p in idom and p in index]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    result: Dict[str, Optional[str]] = {}
+    for label in rpo:
+        if label == entry:
+            result[label] = None
+        elif label in idom:
+            result[label] = idom[label]
+    return result
+
+
+class DominatorTree:
+    """Queryable dominator relation for one procedure."""
+
+    def __init__(self, proc: Procedure) -> None:
+        self.proc = proc
+        self.idom = immediate_dominators(proc)
+        self._depth: Dict[str, int] = {}
+        for label in self.idom:
+            self._depth[label] = self._compute_depth(label)
+
+    def _compute_depth(self, label: str) -> int:
+        depth = 0
+        cursor: Optional[str] = label
+        while cursor is not None:
+            cursor = self.idom.get(cursor)
+            depth += 1
+        return depth
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when block ``a`` dominates block ``b`` (reflexive)."""
+        cursor: Optional[str] = b
+        while cursor is not None:
+            if cursor == a:
+                return True
+            cursor = self.idom.get(cursor)
+        return False
+
+    def dominators_of(self, label: str) -> List[str]:
+        """All dominators of ``label``, from itself up to the entry."""
+        chain = []
+        cursor: Optional[str] = label
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = self.idom.get(cursor)
+        return chain

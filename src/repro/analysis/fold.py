@@ -1,0 +1,128 @@
+"""Superblock-local constant folding and strength reduction.
+
+Runs together with value numbering before renaming (the paper's back end
+performs classical clean-up on each superblock before compaction).  The
+pass is purely local and always semantics-preserving:
+
+* operations whose sources are known constants are folded to ``li``
+  (faulting operations — division/modulo by a known zero — are left alone);
+* algebraic identities are strength-reduced: ``x+0``, ``x-0``, ``x*1``,
+  ``x*0``, ``x&0``, ``x|0``, ``x^0``, ``x<<0``, ``x>>0``, ``x/1``;
+* conditional branches whose condition is a known constant keep their
+  instruction (control structure is formation's business) — only the data
+  computation is simplified.
+
+Constant knowledge is killed at each definition, so the single forward
+pass needs no fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..ir import instructions as ins
+from ..interp.ops import BINARY_EVAL, MachineFault, UNARY_EVAL
+from ..ir.instructions import Instruction, Opcode
+
+#: Identities of the form  op(x, c) == x.
+_RIGHT_IDENTITY = {
+    Opcode.ADD: 0,
+    Opcode.SUB: 0,
+    Opcode.MUL: 1,
+    Opcode.DIV: 1,
+    Opcode.OR: 0,
+    Opcode.XOR: 0,
+    Opcode.SHL: 0,
+    Opcode.SHR: 0,
+}
+
+#: Identities of the form  op(c, x) == x.
+_LEFT_IDENTITY = {
+    Opcode.ADD: 0,
+    Opcode.MUL: 1,
+    Opcode.OR: 0,
+    Opcode.XOR: 0,
+}
+
+#: Annihilators: op(x, c) == c.
+_RIGHT_ZERO = {
+    Opcode.MUL: 0,
+    Opcode.AND: 0,
+}
+
+
+def fold_constants(instrs: Sequence[Instruction]) -> List[Instruction]:
+    """Fold and strength-reduce a straight-line region.
+
+    Returns a new instruction list; instructions that change are replaced
+    by fresh ``li``/``mov`` objects, unchanged instructions keep their
+    identity (so exit annotations keyed by instruction survive).
+    """
+    known: Dict[int, int] = {}
+    result: List[Instruction] = []
+
+    def value_of(reg: int) -> Optional[int]:
+        return known.get(reg)
+
+    for instr in instrs:
+        op = instr.opcode
+        replacement = instr
+
+        if op is Opcode.LI:
+            known[instr.dest] = instr.imm
+            result.append(instr)
+            continue
+
+        if op is Opcode.MOV:
+            src_value = value_of(instr.srcs[0])
+            if src_value is not None:
+                replacement = ins.li(instr.dest, src_value)
+                known[instr.dest] = src_value
+            else:
+                known.pop(instr.dest, None)
+            result.append(replacement)
+            continue
+
+        if op in UNARY_EVAL and instr.dest is not None:
+            src_value = value_of(instr.srcs[0])
+            if src_value is not None:
+                folded = UNARY_EVAL[op](src_value)
+                replacement = ins.li(instr.dest, folded)
+                known[instr.dest] = folded
+            else:
+                known.pop(instr.dest, None)
+            result.append(replacement)
+            continue
+
+        binop = BINARY_EVAL.get(op)
+        if binop is not None and instr.dest is not None:
+            a, b = instr.srcs
+            va, vb = value_of(a), value_of(b)
+            if va is not None and vb is not None:
+                try:
+                    folded = binop(va, vb)
+                except MachineFault:
+                    folded = None  # leave the faulting op in place
+                if folded is not None:
+                    replacement = ins.li(instr.dest, folded)
+                    known[instr.dest] = folded
+                    result.append(replacement)
+                    continue
+            if vb is not None and _RIGHT_IDENTITY.get(op) == vb:
+                replacement = ins.mov(instr.dest, a)
+            elif va is not None and _LEFT_IDENTITY.get(op) == va:
+                replacement = ins.mov(instr.dest, b)
+            elif vb is not None and _RIGHT_ZERO.get(op) == vb:
+                replacement = ins.li(instr.dest, 0)
+                known[instr.dest] = 0
+                result.append(replacement)
+                continue
+            known.pop(instr.dest, None)
+            result.append(replacement)
+            continue
+
+        # Everything else: kill knowledge of the destination.
+        if instr.dest is not None:
+            known.pop(instr.dest, None)
+        result.append(instr)
+    return result

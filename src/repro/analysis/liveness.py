@@ -1,0 +1,97 @@
+"""Backward liveness dataflow over a procedure CFG.
+
+Liveness answers the question the superblock compactor keeps asking: *which
+registers does the off-trace world expect to find intact at this side exit?*
+Any instruction whose destination is live on an off-trace path may only move
+above that exit after live-off-trace renaming (Section 2.3 of the paper).
+Liveness also powers dead-code elimination and the linear-scan register
+allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..ir.cfg import Procedure
+from ..ir.instructions import Instruction
+
+
+def instruction_uses(instr: Instruction) -> Tuple[int, ...]:
+    """Registers read by ``instr``."""
+    return instr.srcs
+
+
+def instruction_defs(instr: Instruction) -> Tuple[int, ...]:
+    """Registers written by ``instr``."""
+    return (instr.dest,) if instr.dest is not None else ()
+
+
+def block_use_def(proc: Procedure, label: str) -> Tuple[Set[int], Set[int]]:
+    """Upward-exposed uses and defs of one block."""
+    uses: Set[int] = set()
+    defs: Set[int] = set()
+    for instr in proc.block(label).instructions:
+        for reg in instruction_uses(instr):
+            if reg not in defs:
+                uses.add(reg)
+        for reg in instruction_defs(instr):
+            defs.add(reg)
+    return uses, defs
+
+
+class LivenessInfo:
+    """Computed live-in / live-out sets for every block of a procedure."""
+
+    def __init__(
+        self,
+        live_in: Dict[str, FrozenSet[int]],
+        live_out: Dict[str, FrozenSet[int]],
+    ) -> None:
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def live_in_at(self, label: str) -> FrozenSet[int]:
+        """Registers live on entry to block ``label``."""
+        return self.live_in.get(label, frozenset())
+
+    def live_out_at(self, label: str) -> FrozenSet[int]:
+        """Registers live on exit from block ``label``."""
+        return self.live_out.get(label, frozenset())
+
+
+def compute_liveness(proc: Procedure) -> LivenessInfo:
+    """Iterative backward may-analysis to a fixed point.
+
+    The return instruction's source is naturally treated as a use; nothing is
+    live out of a ``ret`` block beyond that.
+    """
+    labels = list(proc.labels)
+    use: Dict[str, Set[int]] = {}
+    define: Dict[str, Set[int]] = {}
+    for label in labels:
+        u, d = block_use_def(proc, label)
+        use[label] = u
+        define[label] = d
+
+    live_in: Dict[str, Set[int]] = {label: set(use[label]) for label in labels}
+    live_out: Dict[str, Set[int]] = {label: set() for label in labels}
+
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(labels):
+            out: Set[int] = set()
+            for succ in proc.successors(label):
+                out |= live_in[succ]
+            if out != live_out[label]:
+                live_out[label] = out
+                changed = True
+            new_in = use[label] | (out - define[label])
+            if new_in != live_in[label]:
+                live_in[label] = new_in
+                changed = True
+
+    return LivenessInfo(
+        {label: frozenset(live_in[label]) for label in labels},
+        {label: frozenset(live_out[label]) for label in labels},
+    )

@@ -1,0 +1,158 @@
+"""Superblock-local optimizations: value numbering and dead-code elimination.
+
+The paper's back end runs value numbering and dead-code elimination on each
+superblock before scheduling (Section 2.3).  Both passes here operate on a
+straight-line instruction sequence annotated with *escape* liveness: for each
+side exit (branch) the set of registers the off-trace world reads, plus the
+set live at the fallthrough end.  That is exactly the shape of a superblock,
+but the passes are usable on any linear region.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir import instructions as ins
+from ..ir.instructions import Instruction, Opcode
+
+#: For each instruction index that is a branch, the registers that must hold
+#: their architectural values should that exit be taken.
+ExitLiveness = Dict[int, Set[int]]
+
+
+def eliminate_dead_code(
+    instrs: Sequence[Instruction],
+    exit_live: ExitLiveness,
+    final_live: Set[int],
+) -> List[Instruction]:
+    """Drop pure instructions whose results no later consumer can observe.
+
+    An instruction survives when it has side effects, transfers control, or
+    defines a register needed by a later on-trace use, a later side exit, or
+    the fallthrough successor.
+    """
+    needed: Set[int] = set(final_live)
+    kept_reversed: List[Instruction] = []
+    for index in range(len(instrs) - 1, -1, -1):
+        instr = instrs[index]
+        if instr.is_branch or instr.is_terminator:
+            needed |= exit_live.get(index, set())
+        removable = (
+            instr.is_pure
+            and instr.dest is not None
+            and instr.dest not in needed
+        )
+        if removable:
+            continue
+        if instr.dest is not None:
+            needed.discard(instr.dest)
+        needed.update(instr.srcs)
+        kept_reversed.append(instr)
+    return list(reversed(kept_reversed))
+
+
+_COMMUTATIVE = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.MUL,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+    }
+)
+
+
+def local_value_number(instrs: Sequence[Instruction]) -> List[Instruction]:
+    """Classic local value numbering over a straight-line region.
+
+    Redundant pure computations are replaced by register moves from the
+    existing holder of the value.  Loads are value-numbered against a memory
+    epoch that advances at stores and calls; ``read`` and other side-effecting
+    operations are never numbered.  The pass is conservative and always
+    semantics-preserving; it never removes instructions (pair it with
+    :func:`eliminate_dead_code` to reap the moves it leaves behind).
+    """
+    next_vn = 0
+
+    def fresh_vn() -> int:
+        nonlocal next_vn
+        next_vn += 1
+        return next_vn
+
+    reg_vn: Dict[int, int] = {}
+    expr_table: Dict[tuple, int] = {}
+    holder: Dict[int, int] = {}  # value number -> register currently holding it
+    memory_epoch = 0
+    result: List[Instruction] = []
+
+    def vn_of(reg: int) -> int:
+        if reg not in reg_vn:
+            reg_vn[reg] = fresh_vn()
+            holder.setdefault(reg_vn[reg], reg)
+        return reg_vn[reg]
+
+    def define(reg: int, vn: int) -> None:
+        # Any value previously held only in ``reg`` loses its holder.
+        for value, where in list(holder.items()):
+            if where == reg and value != vn:
+                del holder[value]
+        reg_vn[reg] = vn
+        holder.setdefault(vn, reg)
+
+    for instr in instrs:
+        op = instr.opcode
+        if op is Opcode.LI:
+            key = ("li", instr.imm)
+            vn = expr_table.setdefault(key, fresh_vn())
+            known = holder.get(vn)
+            if known is not None and known != instr.dest and reg_vn.get(known) == vn:
+                result.append(ins.mov(instr.dest, known))
+            else:
+                result.append(instr)
+            define(instr.dest, vn)
+            continue
+        if op is Opcode.MOV:
+            vn = vn_of(instr.srcs[0])
+            result.append(instr)
+            define(instr.dest, vn)
+            continue
+        if instr.is_pure and instr.dest is not None and op is not Opcode.LOAD_S:
+            src_vns = tuple(vn_of(s) for s in instr.srcs)
+            if op in _COMMUTATIVE:
+                src_vns = tuple(sorted(src_vns))
+            key = (op.value,) + src_vns
+            vn = expr_table.setdefault(key, fresh_vn())
+            known = holder.get(vn)
+            if known is not None and known != instr.dest and reg_vn.get(known) == vn:
+                result.append(ins.mov(instr.dest, known))
+            else:
+                result.append(instr)
+            define(instr.dest, vn)
+            continue
+        if op in (Opcode.LOAD, Opcode.LOAD_S):
+            key = ("load", vn_of(instr.srcs[0]), memory_epoch)
+            vn = expr_table.setdefault(key, fresh_vn())
+            known = holder.get(vn)
+            if known is not None and known != instr.dest and reg_vn.get(known) == vn:
+                result.append(ins.mov(instr.dest, known))
+            else:
+                result.append(instr)
+            define(instr.dest, vn)
+            continue
+        if op in (Opcode.STORE, Opcode.CALL, Opcode.READ, Opcode.PRINT):
+            if op in (Opcode.STORE, Opcode.CALL):
+                memory_epoch += 1
+            result.append(instr)
+            if instr.dest is not None:
+                define(instr.dest, fresh_vn())
+            continue
+        # DIV/MOD (may fault) and control instructions: keep, give fresh vns.
+        result.append(instr)
+        if instr.dest is not None:
+            src_vns = tuple(vn_of(s) for s in instr.srcs)
+            key = (op.value,) + src_vns
+            vn = expr_table.setdefault(key, fresh_vn())
+            define(instr.dest, vn)
+    return result

@@ -1,0 +1,97 @@
+"""Back-edge and natural-loop identification.
+
+The paper's trace selectors terminate a trace rather than cross a back edge,
+and the classical enlargements (loop peeling, loop unrolling) need loop
+structure.  Back edges are defined the standard way: an edge ``u -> v`` is a
+back edge when ``v`` dominates ``u``.  For irreducible regions (possible in
+principle, not produced by the MiniC frontend) we additionally treat any edge
+to an already-visited DFS ancestor as a back edge so that trace selection
+always terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..ir.cfg import Edge, Procedure
+from .dominators import DominatorTree
+
+
+def back_edges(proc: Procedure) -> Set[Edge]:
+    """The set of back edges of ``proc`` (dominance-based, with a DFS
+    fallback for irreducible shapes)."""
+    dom = DominatorTree(proc)
+    result: Set[Edge] = set()
+    for src, dst in proc.edges():
+        if src in dom.idom and dst in dom.idom and dom.dominates(dst, src):
+            result.add((src, dst))
+    # DFS fallback: mark retreating edges in irreducible regions.
+    colour: Dict[str, int] = {}
+    order: List[str] = []
+
+    def dfs(start: str) -> None:
+        stack: List[Tuple[str, int]] = [(start, 0)]
+        colour[start] = 1
+        while stack:
+            label, i = stack.pop()
+            succs = proc.successors(label)
+            if i < len(succs):
+                stack.append((label, i + 1))
+                nxt = succs[i]
+                if colour.get(nxt, 0) == 0:
+                    colour[nxt] = 1
+                    stack.append((nxt, 0))
+                elif colour.get(nxt) == 1:
+                    result.add((label, nxt))
+            else:
+                colour[label] = 2
+                order.append(label)
+
+    dfs(proc.entry_label)
+    return result
+
+
+@dataclass
+class NaturalLoop:
+    """A natural loop: header plus the body blocks that can reach the back
+    edge source without passing through the header."""
+
+    header: str
+    back_edge_sources: Tuple[str, ...]
+    body: FrozenSet[str] = field(default_factory=frozenset)
+
+    def contains(self, label: str) -> bool:
+        """True when ``label`` belongs to the loop (header included)."""
+        return label == self.header or label in self.body
+
+
+def natural_loops(proc: Procedure) -> List[NaturalLoop]:
+    """Find all natural loops, merging loops that share a header."""
+    preds = proc.predecessors()
+    by_header: Dict[str, Set[str]] = {}
+    sources: Dict[str, List[str]] = {}
+    for src, dst in back_edges(proc):
+        body = by_header.setdefault(dst, set())
+        sources.setdefault(dst, []).append(src)
+        # Walk backwards from the back-edge source collecting the body.
+        work = [src]
+        while work:
+            label = work.pop()
+            if label == dst or label in body:
+                continue
+            body.add(label)
+            work.extend(preds.get(label, ()))
+    return [
+        NaturalLoop(
+            header=header,
+            back_edge_sources=tuple(sorted(sources[header])),
+            body=frozenset(body),
+        )
+        for header, body in sorted(by_header.items())
+    ]
+
+
+def loop_headers(proc: Procedure) -> Set[str]:
+    """Labels that are targets of at least one back edge."""
+    return {dst for _, dst in back_edges(proc)}

@@ -1,0 +1,96 @@
+"""Command-line entry point for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments figure4 --scale 0.5
+    python -m repro.experiments all --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    figure4,
+    format_forward_vs_general,
+    format_latency_sensitivity,
+    format_static_prediction,
+    forward_vs_general,
+    latency_sensitivity,
+    static_prediction,
+    figure5,
+    figure6,
+    figure7,
+    format_figure4,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_missrates,
+    format_table1,
+    missrates,
+    table1,
+)
+
+EXPERIMENTS = {
+    "table1": lambda scale, verbose: format_table1(
+        table1(scale=scale, verbose=verbose)
+    ),
+    "figure4": lambda scale, verbose: format_figure4(
+        figure4(scale=scale, verbose=verbose)
+    ),
+    "figure5": lambda scale, verbose: format_figure5(
+        figure5(scale=scale, verbose=verbose)
+    ),
+    "figure6": lambda scale, verbose: format_figure6(
+        figure6(scale=scale, verbose=verbose)
+    ),
+    "figure7": lambda scale, verbose: format_figure7(
+        figure7(scale=scale, verbose=verbose)
+    ),
+    "missrates": lambda scale, verbose: format_missrates(
+        missrates(scale=scale, verbose=verbose)
+    ),
+    "latency": lambda scale, verbose: format_latency_sensitivity(
+        latency_sensitivity(scale=scale, verbose=verbose)
+    ),
+    "forwardpaths": lambda scale, verbose: format_forward_vs_general(
+        forward_vs_general(scale=scale, verbose=verbose)
+    ),
+    "prediction": lambda scale, verbose: format_static_prediction(
+        static_prediction(scale=scale, verbose=verbose)
+    ),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="input-size scale factor (smaller = faster)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(EXPERIMENTS[name](args.scale, not args.quiet))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

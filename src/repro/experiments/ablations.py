@@ -1,0 +1,311 @@
+"""Secondary experiments: claims the paper makes in passing.
+
+* :func:`latency_sensitivity` — Section 3.2: *"We have also generated
+  results with more realistic instruction latencies, and we found that the
+  benefit of path-profile-based scheduling increased."*
+* :func:`forward_vs_general` — Section 2.2: general paths cross back edges
+  and capture multi-iteration behaviour; forward (Ball–Larus) paths cannot.
+  We form superblocks from each profile kind and compare.
+* :func:`static_prediction` — the intellectual ancestor of this paper
+  (Young & Smith's static correlated branch prediction): how often does the
+  profile's preferred successor match the actual dynamic successor?  Path
+  profiles condition the prediction on the preceding block history; edge
+  profiles cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..formation import FormationConfig, PathEnlargeConfig, form_superblocks, scheme
+from ..interp.interpreter import ExecutionObserver, run_program
+from ..pipeline import run_scheme
+from ..profiling.collector import collect_profiles
+from ..scheduling.machine import MachineModel, PAPER_MACHINE, REALISTIC_MACHINE
+from ..workloads.base import Workload
+from ..workloads.suite import workload_map
+from .render import format_table
+
+
+# -- latency sensitivity -----------------------------------------------------
+
+
+@dataclass
+class LatencySensitivityRow:
+    """P4/M4 cycle ratios under unit and realistic latencies."""
+
+    workload: str
+    unit_ratio: float
+    realistic_ratio: float
+
+    @property
+    def benefit_increased(self) -> bool:
+        """True when realistic latencies widen the path advantage."""
+        return self.realistic_ratio <= self.unit_ratio
+
+
+def latency_sensitivity(
+    scale: float = 1.0,
+    workload_names: Sequence[str] = ("alt", "corr", "eqn", "ijpeg", "m88k"),
+    verbose: bool = False,
+) -> List[LatencySensitivityRow]:
+    """P4-vs-M4 under the unit-latency and realistic-latency machines."""
+    table = workload_map()
+    rows: List[LatencySensitivityRow] = []
+    for name in workload_names:
+        workload = table[name]
+        if verbose:
+            print(f"[latency] {name} ...", flush=True)
+        program = workload.program()
+        train = workload.train_tape(scale)
+        test = workload.test_tape(scale)
+        profiles = collect_profiles(program, input_tape=train)
+        ratios = {}
+        for machine in (PAPER_MACHINE, REALISTIC_MACHINE):
+            cycles = {}
+            for scheme_name in ("M4", "P4"):
+                outcome = run_scheme(
+                    program,
+                    scheme_name,
+                    train,
+                    test,
+                    machine=machine,
+                    profiles=profiles,
+                )
+                cycles[scheme_name] = outcome.result.cycles
+            ratios[machine.name] = cycles["P4"] / cycles["M4"]
+        rows.append(
+            LatencySensitivityRow(
+                workload=name,
+                unit_ratio=ratios[PAPER_MACHINE.name],
+                realistic_ratio=ratios[REALISTIC_MACHINE.name],
+            )
+        )
+    return rows
+
+
+def format_latency_sensitivity(rows: List[LatencySensitivityRow]) -> str:
+    return format_table(
+        ["benchmark", "P4/M4 (unit)", "P4/M4 (realistic)", "benefit up?"],
+        [
+            (
+                r.workload,
+                f"{r.unit_ratio:.3f}",
+                f"{r.realistic_ratio:.3f}",
+                "yes" if r.benefit_increased else "no",
+            )
+            for r in rows
+        ],
+        title="Latency sensitivity: path benefit under realistic latencies",
+    )
+
+
+# -- forward vs general path profiles ------------------------------------------
+
+
+@dataclass
+class ForwardVsGeneralRow:
+    """Cycles of P4 formation driven by general vs forward path profiles."""
+
+    workload: str
+    general_cycles: int
+    forward_cycles: int
+
+    @property
+    def ratio(self) -> float:
+        """forward / general (>1 = general paths win)."""
+        if self.general_cycles == 0:
+            return 0.0
+        return self.forward_cycles / self.general_cycles
+
+
+def forward_vs_general(
+    scale: float = 1.0,
+    workload_names: Sequence[str] = ("alt", "ph", "corr", "com"),
+    verbose: bool = False,
+) -> List[ForwardVsGeneralRow]:
+    """Form P4 superblocks from general vs forward (acyclic) profiles.
+
+    Forward paths end at back edges, so they cannot describe traces that
+    cover more than one loop iteration; the unified enlarger loses exactly
+    the unrolling/alternation information the paper highlights.
+    """
+    table = workload_map()
+    rows: List[ForwardVsGeneralRow] = []
+    for name in workload_names:
+        workload = table[name]
+        if verbose:
+            print(f"[fwd-vs-gen] {name} ...", flush=True)
+        program = workload.program()
+        train = workload.train_tape(scale)
+        test = workload.test_tape(scale)
+        profiles = collect_profiles(
+            program, input_tape=train, include_forward=True
+        )
+        cycles = {}
+        for kind, path_profile in (
+            ("general", profiles.path),
+            ("forward", profiles.forward),
+        ):
+            from ..scheduling.compactor import compact_program
+            from ..simulate.vliw_sim import simulate
+
+            formation = form_superblocks(
+                program,
+                scheme("P4"),
+                edge_profile=profiles.edge,
+                path_profile=path_profile,
+            )
+            compiled = compact_program(formation)
+            result = simulate(compiled, input_tape=test)
+            reference = run_program(program, input_tape=test)
+            if result.output != reference.output:
+                raise AssertionError(
+                    f"{name}/{kind}: scheduled output diverged"
+                )
+            cycles[kind] = result.cycles
+        rows.append(
+            ForwardVsGeneralRow(
+                workload=name,
+                general_cycles=cycles["general"],
+                forward_cycles=cycles["forward"],
+            )
+        )
+    return rows
+
+
+def format_forward_vs_general(rows: List[ForwardVsGeneralRow]) -> str:
+    return format_table(
+        ["benchmark", "general cycles", "forward cycles", "fwd/gen"],
+        [
+            (r.workload, r.general_cycles, r.forward_cycles, f"{r.ratio:.3f}")
+            for r in rows
+        ],
+        title="P4 formation from general vs forward path profiles",
+    )
+
+
+# -- static branch prediction accuracy -------------------------------------------
+
+
+class _PredictionChecker(ExecutionObserver):
+    """Replays execution, scoring edge- and path-based successor guesses."""
+
+    def __init__(self, program, profiles, depth: int) -> None:
+        self.edge = profiles.edge
+        self.path = profiles.path
+        self.depth = depth
+        self._program = program
+        self._history: Dict[int, Tuple[str, List[str]]] = {}
+        self.edge_correct = 0
+        self.path_correct = 0
+        self.total = 0
+        self._branch_blocks = {
+            proc.name: {
+                b.label: b.successors()
+                for b in proc.blocks()
+                if b.ends_in_branch
+            }
+            for proc in program.procedures()
+        }
+
+    def block_executed(self, proc_name: str, frame_id: int, label: str) -> None:
+        prev = self._history.get(frame_id)
+        if prev is not None and prev[0] == proc_name:
+            window = prev[1]
+            last = window[-1]
+            succs = self._branch_blocks.get(proc_name, {}).get(last)
+            if succs and len(succs) > 1:
+                self.total += 1
+                edge_guess = self.edge.most_likely_successor(proc_name, last)
+                if edge_guess is not None and edge_guess[0] == label:
+                    self.edge_correct += 1
+                path_guess = self.path.most_likely_path_successor(
+                    proc_name, window, succs
+                )
+                guess = (
+                    path_guess[0]
+                    if path_guess is not None
+                    else (edge_guess[0] if edge_guess else None)
+                )
+                if guess == label:
+                    self.path_correct += 1
+            window = window + [label]
+            if len(window) > self.depth:
+                window = window[-self.depth:]
+            self._history[frame_id] = (proc_name, window)
+        else:
+            self._history[frame_id] = (proc_name, [label])
+
+    def exit_procedure(self, proc_name: str, frame_id: int) -> None:
+        self._history.pop(frame_id, None)
+
+
+@dataclass
+class PredictionRow:
+    """Static prediction accuracy on one workload's testing input."""
+
+    workload: str
+    branches: int
+    edge_accuracy: float
+    path_accuracy: float
+
+
+def static_prediction(
+    scale: float = 1.0,
+    workload_names: Sequence[str] = ("alt", "ph", "corr", "wc", "eqn"),
+    history: int = 24,
+    verbose: bool = False,
+) -> List[PredictionRow]:
+    """Score profile-based successor predictions on the testing run.
+
+    The edge predictor always picks the branch's most frequent arm; the
+    path predictor conditions on the last ``history`` executed blocks
+    (24 blocks spans several iterations of a small loop, comparable to the
+    15-branch profiling depth).
+    Train and test inputs differ, as in the paper.
+    """
+    table = workload_map()
+    rows: List[PredictionRow] = []
+    for name in workload_names:
+        workload = table[name]
+        if verbose:
+            print(f"[prediction] {name} ...", flush=True)
+        program = workload.program()
+        profiles = collect_profiles(
+            program, input_tape=workload.train_tape(scale)
+        )
+        checker = _PredictionChecker(program, profiles, depth=history)
+        run_program(
+            program, input_tape=workload.test_tape(scale), observer=checker
+        )
+        total = max(1, checker.total)
+        rows.append(
+            PredictionRow(
+                workload=name,
+                branches=checker.total,
+                edge_accuracy=checker.edge_correct / total,
+                path_accuracy=checker.path_correct / total,
+            )
+        )
+    return rows
+
+
+def format_static_prediction(rows: List[PredictionRow]) -> str:
+    return format_table(
+        ["benchmark", "branches", "edge acc%", "path acc%"],
+        [
+            (
+                r.workload,
+                r.branches,
+                f"{r.edge_accuracy * 100:.1f}",
+                f"{r.path_accuracy * 100:.1f}",
+            )
+            for r in rows
+        ],
+        title=(
+            "Static successor prediction: edge profile vs path profile"
+            " (history-conditioned)"
+        ),
+    )

@@ -1,0 +1,245 @@
+"""Figures 4-7 and the Section 4 miss-rate comparison.
+
+Each ``figureN`` function regenerates the data series of the corresponding
+figure in the paper; each ``format_figureN`` renders it as text.  Expected
+shapes (paper vs. reproduction) are recorded in EXPERIMENTS.md.
+
+* **Figure 4** — cycle counts of path-based superblock scheduling (P4)
+  normalized to the edge-based approach (M4), ideal I-cache, all benchmarks.
+* **Figure 5** — normalized cycle counts of P4 and P4e through the 32KB
+  direct-mapped I-cache (SPEC benchmarks; the micros fit in cache).
+* **Figure 6** — P4e (unroll limit 4) versus M16 (edge profiles, unroll 16)
+  through the I-cache: is exploiting paths better than unrolling harder?
+* **Figure 7** — dynamically weighted basic blocks executed per superblock
+  entry versus superblock size in blocks, for M4, M16, P4e, P4.
+* **Miss rates** — the gcc/go I-cache miss-rate comparison of Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..workloads.suite import MICRO_NAMES, SPEC_NAMES, SUITE_ORDER
+from .harness import SuiteResults, run_suite
+from .render import format_bars, format_table
+
+
+@dataclass
+class NormalizedSeries:
+    """Normalized cycle counts per workload per scheme."""
+
+    baseline: str
+    cached: bool
+    #: workload -> scheme -> normalized cycles (baseline == 1.0)
+    values: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: workload -> scheme -> raw cycle counts
+    raw: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+def _normalized(
+    results: SuiteResults,
+    workloads: Sequence[str],
+    schemes: Sequence[str],
+    baseline: str,
+    cached: bool,
+) -> NormalizedSeries:
+    series = NormalizedSeries(baseline=baseline, cached=cached)
+    for wname in workloads:
+        base_outcome = results[(wname, baseline)]
+        base = (
+            base_outcome.cached_result.cycles
+            if cached
+            else base_outcome.result.cycles
+        )
+        series.values[wname] = {}
+        series.raw[wname] = {}
+        for sname in schemes:
+            outcome = results[(wname, sname)]
+            cycles = (
+                outcome.cached_result.cycles
+                if cached
+                else outcome.result.cycles
+            )
+            series.values[wname][sname] = cycles / base
+            series.raw[wname][sname] = cycles
+    return series
+
+
+# -- Figure 4 ---------------------------------------------------------------
+
+
+def figure4(
+    scale: float = 1.0,
+    workload_names: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> NormalizedSeries:
+    """P4 vs M4 cycle counts, ideal I-cache, all benchmarks."""
+    names = list(workload_names) if workload_names else SUITE_ORDER
+    results = run_suite(
+        ["M4", "P4"], names, scale=scale, with_icache=False, verbose=verbose
+    )
+    return _normalized(results, names, ["P4"], baseline="M4", cached=False)
+
+
+def format_figure4(series: NormalizedSeries) -> str:
+    return format_bars(
+        series.values,
+        "Figure 4: P4 cycles normalized to M4 (ideal I-cache; <1 = path wins)",
+    )
+
+
+# -- Figure 5 -----------------------------------------------------------------
+
+
+def figure5(
+    scale: float = 1.0,
+    workload_names: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> NormalizedSeries:
+    """P4 and P4e vs M4 through the 32KB direct-mapped I-cache."""
+    names = list(workload_names) if workload_names else SPEC_NAMES
+    results = run_suite(
+        ["M4", "P4", "P4e"],
+        names,
+        scale=scale,
+        with_icache=True,
+        verbose=verbose,
+    )
+    return _normalized(
+        results, names, ["P4", "P4e"], baseline="M4", cached=True
+    )
+
+
+def format_figure5(series: NormalizedSeries) -> str:
+    return format_bars(
+        series.values,
+        "Figure 5: P4/P4e cycles normalized to M4 (32KB DM I-cache)",
+    )
+
+
+# -- Figure 6 -----------------------------------------------------------------
+
+
+def figure6(
+    scale: float = 1.0,
+    workload_names: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> NormalizedSeries:
+    """P4e (paths, unroll 4) vs M16 (edges, unroll 16), I-cache included."""
+    names = list(workload_names) if workload_names else SPEC_NAMES
+    results = run_suite(
+        ["M4", "M16", "P4e"],
+        names,
+        scale=scale,
+        with_icache=True,
+        verbose=verbose,
+    )
+    return _normalized(
+        results, names, ["P4e", "M16"], baseline="M4", cached=True
+    )
+
+
+def format_figure6(series: NormalizedSeries) -> str:
+    return format_bars(
+        series.values,
+        "Figure 6: P4e and M16 cycles normalized to M4 (32KB DM I-cache)",
+    )
+
+
+# -- Figure 7 -----------------------------------------------------------------
+
+FIGURE7_SCHEMES = ["M4", "M16", "P4e", "P4"]
+
+
+@dataclass
+class Figure7Data:
+    """Per workload, per scheme: (avg blocks executed, avg size in blocks)."""
+
+    #: workload -> scheme -> (average, maximum) in the paper's terms
+    values: Dict[str, Dict[str, tuple]] = field(default_factory=dict)
+
+
+def figure7(
+    scale: float = 1.0,
+    workload_names: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Figure7Data:
+    """Blocks executed per dynamic superblock vs superblock size."""
+    names = list(workload_names) if workload_names else SUITE_ORDER
+    results = run_suite(
+        FIGURE7_SCHEMES, names, scale=scale, with_icache=False, verbose=verbose
+    )
+    data = Figure7Data()
+    for wname in names:
+        data.values[wname] = {}
+        for sname in FIGURE7_SCHEMES:
+            sim = results[(wname, sname)].result
+            data.values[wname][sname] = (
+                sim.avg_blocks_per_entry,
+                sim.avg_superblock_size,
+            )
+    return data
+
+
+def format_figure7(data: Figure7Data) -> str:
+    rows = []
+    for wname, per_scheme in data.values.items():
+        for sname in FIGURE7_SCHEMES:
+            executed, size = per_scheme[sname]
+            rows.append((wname, sname, f"{executed:.2f}", f"{size:.2f}"))
+    return format_table(
+        ["benchmark", "scheme", "blocks/entry", "size(blocks)"],
+        rows,
+        title=(
+            "Figure 7: dynamic blocks executed per superblock entry (gray"
+            " bar) vs superblock size (white bar)"
+        ),
+    )
+
+
+# -- Section 4 miss rates ------------------------------------------------------
+
+
+@dataclass
+class MissRateRow:
+    """I-cache miss rates of one workload under each scheme."""
+
+    workload: str
+    rates: Dict[str, float]
+
+
+def missrates(
+    scale: float = 1.0,
+    workload_names: Sequence[str] = ("gcc", "go"),
+    schemes: Sequence[str] = ("M4", "P4", "P4e"),
+    verbose: bool = False,
+) -> List[MissRateRow]:
+    """The gcc/go miss-rate comparison of Section 4."""
+    results = run_suite(
+        list(schemes),
+        list(workload_names),
+        scale=scale,
+        with_icache=True,
+        verbose=verbose,
+    )
+    rows = []
+    for wname in workload_names:
+        rates = {
+            sname: results[(wname, sname)].cached_result.icache_miss_rate
+            for sname in schemes
+        }
+        rows.append(MissRateRow(workload=wname, rates=rates))
+    return rows
+
+
+def format_missrates(rows: List[MissRateRow]) -> str:
+    schemes = list(rows[0].rates) if rows else []
+    return format_table(
+        ["benchmark"] + [f"{s} miss%" for s in schemes],
+        [
+            [row.workload] + [f"{row.rates[s] * 100:.2f}" for s in schemes]
+            for row in rows
+        ],
+        title="Section 4: I-cache miss rates (32KB direct-mapped)",
+    )

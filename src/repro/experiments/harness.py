@@ -1,0 +1,106 @@
+"""Shared experiment machinery: run workloads under several schemes.
+
+One training run is shared by all schemes of a workload (as in the paper,
+where one profiling pass feeds both the edge- and path-based compilers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..pipeline import SchemeOutcome, run_scheme
+from ..profiling.collector import ProfileBundle, collect_profiles
+from ..scheduling.machine import MachineModel, PAPER_MACHINE
+from ..simulate.icache import ICacheConfig
+from ..workloads.base import Workload
+from ..workloads.suite import all_workloads, workload_map
+
+#: (workload name, scheme name) -> outcome
+SuiteResults = Dict[Tuple[str, str], SchemeOutcome]
+
+
+def run_workload(
+    workload: Workload,
+    schemes: Sequence[str],
+    scale: float = 1.0,
+    with_icache: bool = False,
+    machine: MachineModel = PAPER_MACHINE,
+    icache_config: Optional[ICacheConfig] = None,
+) -> Dict[str, SchemeOutcome]:
+    """Run one workload under each scheme, sharing the training profile."""
+    program = workload.program()
+    train = workload.train_tape(scale)
+    test = workload.test_tape(scale)
+    profiles = collect_profiles(program, input_tape=train)
+    outcomes: Dict[str, SchemeOutcome] = {}
+    for name in schemes:
+        outcomes[name] = run_scheme(
+            program,
+            name,
+            train,
+            test,
+            machine=machine,
+            with_icache=with_icache,
+            icache_config=icache_config,
+            profiles=profiles,
+        )
+    return outcomes
+
+
+def run_suite(
+    schemes: Sequence[str],
+    workload_names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    with_icache: bool = False,
+    machine: MachineModel = PAPER_MACHINE,
+    icache_config: Optional[ICacheConfig] = None,
+    verbose: bool = False,
+) -> SuiteResults:
+    """Run a set of workloads under a set of schemes.
+
+    Args:
+        schemes: scheme names (e.g. ``["M4", "P4"]``).
+        workload_names: subset of the suite; default = all 14.
+        scale: input-size scale factor (1.0 = the default sizes).
+        with_icache: also simulate through the finite I-cache.
+        machine: target machine model.
+        icache_config: cache geometry override.
+        verbose: print progress lines.
+
+    Returns:
+        Map from (workload, scheme) to the full outcome.
+    """
+    table = workload_map()
+    names = list(workload_names) if workload_names else list(table)
+    results: SuiteResults = {}
+    for wname in names:
+        workload = table[wname]
+        if verbose:
+            print(f"[suite] {wname} ...", flush=True)
+        outcomes = run_workload(
+            workload,
+            schemes,
+            scale=scale,
+            with_icache=with_icache,
+            machine=machine,
+            icache_config=icache_config,
+        )
+        for sname, outcome in outcomes.items():
+            results[(wname, sname)] = outcome
+    return results
+
+
+def normalized_cycles(
+    results: SuiteResults,
+    workload: str,
+    scheme: str,
+    baseline: str,
+    cached: bool = False,
+) -> float:
+    """Cycle count of ``scheme`` divided by ``baseline`` for one workload."""
+    ours = results[(workload, scheme)]
+    base = results[(workload, baseline)]
+    if cached:
+        return ours.cached_result.cycles / base.cached_result.cycles
+    return ours.result.cycles / base.result.cycles

@@ -1,0 +1,53 @@
+"""Plain-text rendering of experiment tables and bar charts."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Align a table of stringifiable cells into fixed-width columns."""
+    text_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_bars(
+    series: Dict[str, Dict[str, float]],
+    title: str,
+    width: int = 40,
+    reference: float = 1.0,
+) -> str:
+    """Horizontal bar chart: outer keys are rows, inner keys are series.
+
+    Values are plotted relative to ``max(values, reference)`` so normalized
+    charts keep 1.0 visible.
+    """
+    peak = reference
+    for per_row in series.values():
+        for value in per_row.values():
+            peak = max(peak, value)
+    lines = [title]
+    for row, per_row in series.items():
+        for label, value in per_row.items():
+            bar = "#" * max(1, int(round(width * value / peak)))
+            lines.append(f"{row:>8s} {label:<5s} {value:6.3f} |{bar}")
+        lines.append("")
+    return "\n".join(lines)

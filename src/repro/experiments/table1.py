@@ -1,0 +1,82 @@
+"""Table 1: benchmarks, data sets, and dynamic statistics.
+
+The paper's Table 1 reports, per benchmark: binary size, and dynamic branch,
+cycle, and instruction counts of the *basic-block scheduled* version on the
+testing data (ideal I-cache).  Branch counts come from the branch
+instrumentation (here: the reference interpreter); cycle and operation
+counts come from the compiled simulator of the BB-scheduled program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..interp.interpreter import run_program
+from ..pipeline import run_scheme
+from ..workloads.suite import all_workloads
+from .render import format_table
+
+
+@dataclass
+class Table1Row:
+    """One benchmark's statistics."""
+
+    name: str
+    category: str
+    description: str
+    #: static code size of the BB-scheduled binary, in bytes
+    size_bytes: int
+    #: dynamic conditional/multiway branches (testing input)
+    branches: int
+    #: cycles of the BB-scheduled version (ideal I-cache)
+    cycles: int
+    #: dynamic operations executed by the BB-scheduled version
+    instructions: int
+
+
+def table1(
+    scale: float = 1.0,
+    workload_names: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> List[Table1Row]:
+    """Regenerate Table 1's rows at the given input scale."""
+    rows: List[Table1Row] = []
+    for workload in all_workloads():
+        if workload_names and workload.name not in workload_names:
+            continue
+        if verbose:
+            print(f"[table1] {workload.name} ...", flush=True)
+        program = workload.program()
+        test = workload.test_tape(scale)
+        reference = run_program(program, input_tape=test)
+        outcome = run_scheme(
+            program,
+            "BB",
+            workload.train_tape(scale),
+            test,
+        )
+        rows.append(
+            Table1Row(
+                name=workload.name,
+                category=workload.category,
+                description=workload.description,
+                size_bytes=outcome.layout.code_bytes,
+                branches=reference.branches,
+                cycles=outcome.result.cycles,
+                instructions=outcome.result.operations,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    """Render Table 1 in the paper's column order."""
+    return format_table(
+        ["benchmark", "group", "size(B)", "branches", "cycles", "instrs"],
+        [
+            (r.name, r.category, r.size_bytes, r.branches, r.cycles, r.instructions)
+            for r in rows
+        ],
+        title="Table 1: benchmark statistics (BB-scheduled, testing input)",
+    )

@@ -1,0 +1,53 @@
+"""Superblock formation: trace selection, tail duplication, enlargement."""
+
+from .duplication import (
+    OriginMap,
+    duplicate_chain,
+    remove_side_entrances,
+    retarget,
+    tail_duplicate,
+)
+from .enlarge_classic import (
+    ClassicEnlargeConfig,
+    enlarge_classic,
+    expected_trip_count,
+    is_superblock_loop_edge,
+)
+from .enlarge_path import (
+    PathEnlargeConfig,
+    enlarge_path,
+    is_superblock_loop_path,
+)
+from .pipeline import FormationConfig, form_superblocks, scheme
+from .selection import (
+    Trace,
+    select_traces_basic_block,
+    select_traces_mutual_most_likely,
+    select_traces_path,
+)
+from .superblock import FormationResult, Superblock, verify_formation
+
+__all__ = [
+    "ClassicEnlargeConfig",
+    "FormationConfig",
+    "FormationResult",
+    "OriginMap",
+    "PathEnlargeConfig",
+    "Superblock",
+    "Trace",
+    "duplicate_chain",
+    "enlarge_classic",
+    "enlarge_path",
+    "expected_trip_count",
+    "form_superblocks",
+    "is_superblock_loop_edge",
+    "is_superblock_loop_path",
+    "remove_side_entrances",
+    "retarget",
+    "scheme",
+    "select_traces_basic_block",
+    "select_traces_mutual_most_likely",
+    "select_traces_path",
+    "tail_duplicate",
+    "verify_formation",
+]

@@ -1,0 +1,138 @@
+"""Code duplication machinery: tail duplication and chain copying.
+
+Tail duplication (Section 2.1) turns traces into superblocks by copying the
+trace suffix starting at each side entrance and redirecting the off-trace
+predecessors to the copy.  The same chain-copy primitive also implements
+superblock enlargement (classical unrolling/expansion and the unified
+path-based enlarger) and the post-enlargement side-entrance fixup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..ir.cfg import Procedure
+from ..ir.instructions import Instruction
+
+OriginMap = Dict[str, str]
+
+
+def retarget(instr: Instruction, old: str, new: str) -> None:
+    """Replace every occurrence of target label ``old`` with ``new``."""
+    instr.targets = tuple(new if t == old else t for t in instr.targets)
+
+
+def duplicate_chain(
+    proc: Procedure,
+    labels: Sequence[str],
+    origin: OriginMap,
+) -> List[str]:
+    """Copy the blocks ``labels`` as a connected chain of fresh blocks.
+
+    Each copy's control transfer to the *next source label* is redirected to
+    the next copy, so the chain is internally connected; all other targets
+    (side exits) are preserved.  The ``origin`` map is extended so each copy
+    points at the original CFG label of its source.
+
+    Returns the labels of the new chain in order.
+    """
+    copies = []
+    for label in labels:
+        new_label = proc.fresh_label(f"{label}.d")
+        block = proc.block(label).copy(new_label)
+        proc.add_block(block)
+        origin[new_label] = origin.get(label, label)
+        copies.append(block)
+    for j in range(len(labels) - 1):
+        retarget(copies[j].instructions[-1], labels[j + 1], copies[j + 1].label)
+    return [c.label for c in copies]
+
+
+def tail_duplicate(
+    proc: Procedure,
+    traces: Sequence[List[str]],
+    origin: OriginMap,
+) -> List[List[str]]:
+    """Remove side entrances from every trace by tail duplication.
+
+    For each trace position ``i > 0`` with a predecessor other than the
+    on-trace predecessor, the suffix ``trace[i:]`` is copied once and all the
+    offending predecessors are redirected into the copy.  Each copy chain is
+    itself a clean (single-entry) region and is returned as an additional
+    superblock.
+
+    Returns the superblock label lists: the input traces (now side-entrance
+    free) followed by the duplicate chains.
+    """
+    superblocks = [list(t) for t in traces]
+    chains: List[List[str]] = []
+    for sb in superblocks:
+        for i in range(1, len(sb)):
+            label = sb[i]
+            preds = proc.predecessors()[label]
+            side = sorted({p for p in preds if p != sb[i - 1]})
+            if not side:
+                continue
+            chain = duplicate_chain(proc, sb[i:], origin)
+            for pred in side:
+                retarget(proc.block(pred).instructions[-1], label, chain[0])
+            chains.append(chain)
+    return superblocks + chains
+
+
+def remove_side_entrances(
+    proc: Procedure,
+    superblocks: List[List[str]],
+    origin: OriginMap,
+) -> List[List[str]]:
+    """Post-enlargement fixup: restore the single-entry invariant.
+
+    Path-based enlargement copies blocks one at a time and may stop with a
+    copy whose untaken arm jumps into the *middle* of another superblock.
+    This pass restores the invariant that every transfer targets a head.
+
+    Every duplicated block is observationally equivalent to its origin:
+    duplication copies instructions verbatim, branches keep all their exit
+    arms, and arms are only ever redirected to labels of the same origin.
+    So a side entrance into a non-head block ``q`` is first repaired by
+    redirecting the offending edges to an existing *head* whose origin
+    matches ``q`` (preferring the original CFG block) — this is what closes
+    path-unrolled loops back onto their own heads.  Only when no equivalent
+    head exists is the dangling suffix tail-duplicated into a fresh chain
+    superblock (whose head then becomes an equivalent head for later
+    repairs, so one worklist sweep converges).
+
+    Returns the updated superblock list (chains appended); mutates ``proc``.
+    """
+    result = [list(sb) for sb in superblocks]
+    while True:
+        preds = proc.predecessors()
+        violation = None
+        for si, sb in enumerate(result):
+            for pi in range(1, len(sb)):
+                side = sorted(
+                    {p for p in preds.get(sb[pi], []) if p != sb[pi - 1]}
+                )
+                if side:
+                    violation = (sb, pi, side)
+                    break
+            if violation:
+                break
+        if violation is None:
+            return result
+        sb, pi, side = violation
+        target_origin = origin.get(sb[pi], sb[pi])
+        heads = {s[0] for s in result}
+        equivalent = [
+            h for h in heads if origin.get(h, h) == target_origin
+        ]
+        if target_origin in equivalent:
+            new_target = target_origin
+        elif equivalent:
+            new_target = min(equivalent)
+        else:
+            chain = duplicate_chain(proc, sb[pi:], origin)
+            result.append(chain)
+            new_target = chain[0]
+        for pred in side:
+            retarget(proc.block(pred).instructions[-1], sb[pi], new_target)

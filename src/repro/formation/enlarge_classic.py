@@ -1,0 +1,224 @@
+"""Classical (edge-profile) superblock enlargement.
+
+Implements the three IMPACT-style enlarging optimizations of Section 2.1:
+
+* **branch target expansion** — when a superblock's final branch is likely to
+  jump to the head of another (non-loop) superblock, the contents of that
+  superblock are appended;
+* **loop unrolling** — a superblock loop with a high expected trip count gets
+  ``factor - 1`` extra copies of its body, back edges re-chained so only the
+  last copy returns to the original head;
+* **loop peeling** — a superblock loop with a low expected trip count gets
+  ``ceil(expected trips)`` body copies instead.  (We realize peeling through
+  the same body-chaining transformation as unrolling; the duplicated-code
+  shape — one straight-line run covering the expected iterations, exits to
+  the original loop on deviation — is the same, which is precisely the
+  unification the paper points out.)
+
+All decisions are heuristic estimates knit from independent edge
+frequencies; contrast with :mod:`repro.formation.enlarge_path`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..ir.cfg import Procedure
+from ..profiling.edge_profile import EdgeProfile
+from .duplication import OriginMap, duplicate_chain, retarget
+
+
+@dataclass
+class ClassicEnlargeConfig:
+    """Tuning knobs for the classical enlarger."""
+
+    #: Unroll factor: total number of body copies in an unrolled loop (the
+    #: paper evaluates 4 and 16).
+    unroll_factor: int = 4
+    #: Minimum taken probability for the final branch before we expand or
+    #: treat a superblock as a loop.
+    likely_threshold: float = 0.60
+    #: Expected trip count at or below which a loop is peeled rather than
+    #: unrolled.
+    peel_trip_threshold: float = 2.5
+    #: Static instruction budget per superblock after enlargement.
+    max_instructions: int = 256
+    #: Maximum number of branch-target expansions per superblock.
+    max_expansions: int = 8
+
+
+def is_superblock_loop_edge(
+    proc: Procedure,
+    sb: List[str],
+    profile: EdgeProfile,
+    threshold: float,
+    origin: Optional[OriginMap] = None,
+) -> bool:
+    """True when the superblock's last block likely jumps to its head.
+
+    Duplicated blocks are translated through ``origin`` so the edge-profile
+    query refers to the profiled (original) CFG labels.
+    """
+    origin = origin or {}
+    tail, head = sb[-1], sb[0]
+    if head not in proc.successors(tail):
+        return False
+    p = profile.branch_probability(
+        proc.name, origin.get(tail, tail), origin.get(head, head)
+    )
+    return p >= threshold
+
+
+def expected_trip_count(
+    proc: Procedure,
+    sb: List[str],
+    profile: EdgeProfile,
+    origin: Optional[OriginMap] = None,
+) -> float:
+    """Expected iterations per entry, estimated from the back-edge
+    probability p as 1 / (1 - p)."""
+    origin = origin or {}
+    p = profile.branch_probability(
+        proc.name,
+        origin.get(sb[-1], sb[-1]),
+        origin.get(sb[0], sb[0]),
+    )
+    if p >= 0.999:
+        return 1000.0
+    return 1.0 / (1.0 - p)
+
+
+def _sb_instructions(proc: Procedure, sb: List[str]) -> int:
+    return sum(len(proc.block(label)) for label in sb)
+
+
+def _unroll(
+    proc: Procedure,
+    sb: List[str],
+    copies: int,
+    origin: OriginMap,
+    max_instructions: int,
+) -> None:
+    """Append ``copies`` extra body copies, re-chaining the back edge."""
+    body = list(sb)
+    head = sb[0]
+    body_size = _sb_instructions(proc, body)
+    # Copy every body instance *before* rewiring: duplicating after the
+    # original tail's back edge has been retargeted would propagate the
+    # retargeted arm into later copies.
+    budget = max_instructions - _sb_instructions(proc, sb)
+    chains = [
+        duplicate_chain(proc, body, origin)
+        for _ in range(min(copies, max(0, budget // body_size)))
+    ]
+    for chain in chains:
+        # Previous tail's back edge now continues into the new copy.
+        retarget(proc.block(sb[-1]).instructions[-1], head, chain[0])
+        sb.extend(chain)
+    # The final copy's back edge still targets the original head, closing
+    # the (now larger) loop.
+
+
+def _expand_target(
+    proc: Procedure,
+    sb: List[str],
+    target_sb: List[str],
+    origin: OriginMap,
+) -> None:
+    """Append a copy of ``target_sb``'s contents to ``sb``."""
+    chain = duplicate_chain(proc, target_sb, origin)
+    retarget(proc.block(sb[-1]).instructions[-1], target_sb[0], chain[0])
+    sb.extend(chain)
+
+
+def enlarge_classic(
+    proc: Procedure,
+    superblocks: List[List[str]],
+    profile: EdgeProfile,
+    origin: OriginMap,
+    config: Optional[ClassicEnlargeConfig] = None,
+    loop_heads: Optional[Set[str]] = None,
+) -> Dict[str, str]:
+    """Run the classical enlargements over all superblocks of ``proc``.
+
+    Superblocks are processed in decreasing head-frequency order; each is
+    either unrolled/peeled (superblock loops) or branch-target expanded
+    (non-loops).  Returns a map head label -> applied transformation name
+    (used by tests and diagnostics).
+    """
+    config = config or ClassicEnlargeConfig()
+    applied: Dict[str, str] = {}
+    by_head = {sb[0]: sb for sb in superblocks}
+    if loop_heads is None:
+        loop_heads = {
+            sb[0]
+            for sb in superblocks
+            if is_superblock_loop_edge(
+                proc, sb, profile, config.likely_threshold, origin
+            )
+        }
+    order = sorted(
+        superblocks,
+        key=lambda sb: (-profile.block_count(proc.name, origin.get(sb[0], sb[0])), sb[0]),
+    )
+    for sb in order:
+        head = sb[0]
+        if head in loop_heads:
+            trips = expected_trip_count(proc, sb, profile, origin)
+            if trips <= config.peel_trip_threshold:
+                copies = max(1, math.ceil(trips)) - 1
+                copies = min(copies, config.unroll_factor - 1)
+                if copies > 0:
+                    _unroll(proc, sb, copies, origin, config.max_instructions)
+                    applied[head] = "peel"
+            else:
+                _unroll(
+                    proc,
+                    sb,
+                    config.unroll_factor - 1,
+                    origin,
+                    config.max_instructions,
+                )
+                applied[head] = "unroll"
+            continue
+        # Branch target expansion for non-loop superblocks.
+        expansions = 0
+        while expansions < config.max_expansions:
+            tail = sb[-1]
+            best = profile.most_likely_successor(
+                proc.name, origin.get(tail, tail)
+            )
+            if best is None:
+                break
+            succ_origin, _ = best
+            # Resolve to the actual successor label in the transformed CFG.
+            candidates = [
+                s
+                for s in proc.successors(tail)
+                if origin.get(s, s) == succ_origin
+            ]
+            if not candidates:
+                break
+            succ = candidates[0]
+            prob = profile.branch_probability(
+                proc.name, origin.get(tail, tail), succ_origin
+            )
+            if prob < config.likely_threshold:
+                break
+            target_sb = by_head.get(succ)
+            if target_sb is None or target_sb is sb:
+                break
+            if target_sb[0] in loop_heads:
+                break  # never expand into a superblock loop
+            if (
+                _sb_instructions(proc, sb)
+                + _sb_instructions(proc, target_sb)
+                > config.max_instructions
+            ):
+                break
+            _expand_target(proc, sb, target_sb, origin)
+            applied.setdefault(head, "expand")
+            expansions += 1
+    return applied

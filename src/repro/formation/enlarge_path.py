@@ -1,0 +1,158 @@
+"""Unified path-profile-driven superblock enlargement (Figure 2,
+``enlarge_trace``).
+
+One mechanism replaces branch target expansion, loop peeling, and loop
+unrolling: repeatedly append a copy of the *most-likely path successor* of
+the (growing) superblock.  Because the successor is chosen from exact path
+frequencies over the longest known suffix, the enlarger
+
+* unrolls high-trip-count loops (the path stays in the loop for the whole
+  history depth),
+* peels low-trip-count loops (the path history contains the common exit, so
+  growth follows the loop for the observed number of iterations and then
+  leaves), and
+* tracks correlated and alternating multi-iteration patterns (Figure 3's
+  Path1/Path2) that no point profile can express.
+
+Stopping rules, as in the paper: stop at any superblock head that is not a
+superblock-loop head; stop when a configurable number of superblock-loop
+heads have been absorbed (4 in the paper's "P4"); stop at a static
+instruction budget; and only enlarge superblocks whose *completion ratio*
+(exact frequency of the full superblock path over its head frequency)
+reaches a user threshold.  The "P4e" variant additionally restricts
+superblocks that are *not* superblock loops to tail-duplicated code: they may
+absorb copy-headed duplicate chains but stop at every primary superblock
+head and never absorb a loop, restraining code growth (Section 4's fix for
+the gcc/go miss-rate increases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..ir.cfg import Procedure
+from ..profiling.path_profile import PathProfile
+from .duplication import OriginMap, duplicate_chain, retarget
+
+
+@dataclass
+class PathEnlargeConfig:
+    """Tuning knobs for the unified path-based enlarger."""
+
+    #: Superblock-loop heads that may be absorbed before stopping ("P4"=4).
+    max_loop_heads: int = 4
+    #: Only enlarge superblocks completing with at least this frequency.
+    completion_threshold: float = 0.5
+    #: Static instruction budget per superblock after enlargement.
+    max_instructions: int = 256
+    #: P4e: non-loop superblocks use only tail-duplicated code — they may
+    #: absorb copy-headed duplicate chains but stop at primary superblock
+    #: heads and never absorb superblock loops.
+    stop_nonloop_at_first_head: bool = False
+
+
+def is_superblock_loop_path(
+    proc: Procedure,
+    sb: List[str],
+    profile: PathProfile,
+    origin: OriginMap,
+) -> bool:
+    """True when the most-likely path successor of the whole superblock is
+    its own head: the path-profile notion of a superblock loop."""
+    tail, head = sb[-1], sb[0]
+    succs = proc.successors(tail)
+    if head not in succs:
+        return False
+    trace = [origin.get(label, label) for label in sb]
+    succ_origins = [origin.get(s, s) for s in succs]
+    best = profile.most_likely_path_successor(proc.name, trace, succ_origins)
+    return best is not None and best[0] == origin.get(head, head)
+
+
+def enlarge_path(
+    proc: Procedure,
+    superblocks: List[List[str]],
+    profile: PathProfile,
+    origin: OriginMap,
+    config: Optional[PathEnlargeConfig] = None,
+    loop_heads: Optional[Set[str]] = None,
+) -> Dict[str, str]:
+    """Enlarge every qualifying superblock of ``proc`` in place.
+
+    Returns a map head label -> short description of the growth performed
+    (for tests/diagnostics).  Side entrances left by partial absorption of
+    other superblocks must be repaired afterwards with
+    :func:`repro.formation.duplication.remove_side_entrances`.
+    """
+    config = config or PathEnlargeConfig()
+    applied: Dict[str, str] = {}
+    heads: Dict[str, List[str]] = {sb[0]: sb for sb in superblocks}
+    if loop_heads is None:
+        loop_heads = {
+            sb[0]
+            for sb in superblocks
+            if is_superblock_loop_path(proc, sb, profile, origin)
+        }
+    order = sorted(
+        superblocks,
+        key=lambda sb: (
+            -profile.block_count(proc.name, origin.get(sb[0], sb[0])),
+            sb[0],
+        ),
+    )
+    for sb in order:
+        head = sb[0]
+        trace = [origin.get(label, label) for label in sb]
+        ratio = profile.completion_ratio(proc.name, trace)
+        if ratio < config.completion_threshold:
+            continue
+        self_is_loop = head in loop_heads
+        absorbed_loops = 0
+        grown = 0
+        while (
+            sum(len(proc.block(label)) for label in sb)
+            < config.max_instructions
+        ):
+            tail = sb[-1]
+            succs = proc.successors(tail)
+            if not succs:
+                break
+            succ_origins = {origin.get(s, s): s for s in succs}
+            best = profile.most_likely_path_successor(
+                proc.name, trace, list(succ_origins)
+            )
+            if best is None:
+                break
+            succ_origin = best[0]
+            succ = succ_origins[succ_origin]
+            if succ in heads:
+                if config.stop_nonloop_at_first_head and not self_is_loop:
+                    # P4e: a non-loop superblock may still absorb
+                    # *tail-duplicated* code (copy-headed chains) — the
+                    # paper's "enlargement uses only tail-duplicated code" —
+                    # but stops at every primary superblock head and never
+                    # absorbs a superblock loop.
+                    is_copy_head = origin.get(succ, succ) != succ
+                    if (succ in loop_heads) or not is_copy_head:
+                        break
+                if succ in loop_heads:
+                    if absorbed_loops >= config.max_loop_heads:
+                        break  # the "fifth superblock loop head" rule
+                    absorbed_loops += 1
+                # Non-loop heads are passed through: this is how the unified
+                # mechanism performs branch target expansion and how the
+                # Path1/Path2 unrollings of Figure 3 absorb the secondary
+                # arm's block.  Section 4 of the paper: "In P4, all
+                # superblocks are treated equally: a superblock ... is
+                # enlarged until it contains at most 4 superblock loops."
+            chain = duplicate_chain(proc, [succ], origin)
+            retarget(proc.block(tail).instructions[-1], succ, chain[0])
+            sb.append(chain[0])
+            trace.append(succ_origin)
+            grown += 1
+        if grown:
+            applied[head] = (
+                f"grew {grown} blocks, {absorbed_loops} loop heads"
+            )
+    return applied

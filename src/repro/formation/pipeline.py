@@ -1,0 +1,195 @@
+"""The ``form`` pass: superblock selection and enlargement (Section 2.3).
+
+:func:`form_superblocks` runs one of the paper's formation schemes over a
+program, producing a :class:`~repro.formation.superblock.FormationResult`
+whose transformed program is semantically equivalent to the input (all code
+growth is duplication) and whose every control-transfer target is a
+superblock head.
+
+Schemes (Section 4):
+
+=========  ==============================================================
+``BB``     every basic block is its own region (Table 1 baseline)
+``M4``     edge profile, mutual-most-likely selection, classical
+           enlargements, unroll factor 4 (baseline of Figures 4-6)
+``M16``    M4 with unroll factor 16 (Figure 6)
+``P4``     path-profile selection + unified path enlargement, up to 4
+           superblock-loop heads (Section 2.2)
+``P4e``    P4, but non-loop superblocks stop at the first head (Figure 5)
+=========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..ir.cfg import IRError, Procedure, Program
+from ..profiling.edge_profile import EdgeProfile
+from ..profiling.path_profile import PathProfile
+from .duplication import OriginMap, remove_side_entrances, tail_duplicate
+from .enlarge_classic import (
+    ClassicEnlargeConfig,
+    enlarge_classic,
+    is_superblock_loop_edge,
+)
+from .enlarge_path import (
+    PathEnlargeConfig,
+    enlarge_path,
+    is_superblock_loop_path,
+)
+from .selection import (
+    select_traces_basic_block,
+    select_traces_mutual_most_likely,
+    select_traces_path,
+)
+from .superblock import FormationResult, Superblock, verify_formation
+
+
+@dataclass
+class FormationConfig:
+    """Fully describes one formation scheme."""
+
+    #: "bb", "edge", or "path"
+    kind: str = "edge"
+    #: Scheme name used in reports ("M4", "P4", ...).
+    name: str = "M4"
+    #: Enable the enlargement phase (selection+tail-duplication always run).
+    enlarge: bool = True
+    classic: ClassicEnlargeConfig = field(default_factory=ClassicEnlargeConfig)
+    path: PathEnlargeConfig = field(default_factory=PathEnlargeConfig)
+
+
+def scheme(name: str, **overrides) -> FormationConfig:
+    """Look up one of the paper's named schemes; keyword overrides adjust
+    the underlying enlargement knobs (e.g. ``max_instructions=128``)."""
+    presets: Dict[str, FormationConfig] = {
+        "BB": FormationConfig(kind="bb", name="BB", enlarge=False),
+        "M4": FormationConfig(
+            kind="edge",
+            name="M4",
+            classic=ClassicEnlargeConfig(unroll_factor=4),
+        ),
+        "M16": FormationConfig(
+            kind="edge",
+            name="M16",
+            classic=ClassicEnlargeConfig(unroll_factor=16),
+        ),
+        "P4": FormationConfig(
+            kind="path",
+            name="P4",
+            path=PathEnlargeConfig(max_loop_heads=4),
+        ),
+        "P4e": FormationConfig(
+            kind="path",
+            name="P4e",
+            path=PathEnlargeConfig(
+                max_loop_heads=4, stop_nonloop_at_first_head=True
+            ),
+        ),
+    }
+    if name not in presets:
+        raise ValueError(f"unknown scheme {name!r}; choose from {sorted(presets)}")
+    config = presets[name]
+    if overrides:
+        classic_fields = set(ClassicEnlargeConfig.__dataclass_fields__)
+        path_fields = set(PathEnlargeConfig.__dataclass_fields__)
+        classic_kw = {
+            k: v for k, v in overrides.items() if k in classic_fields
+        }
+        path_kw = {k: v for k, v in overrides.items() if k in path_fields}
+        unknown = set(overrides) - classic_fields - path_fields
+        if unknown:
+            raise ValueError(f"unknown overrides: {sorted(unknown)}")
+        config = replace(
+            config,
+            classic=replace(config.classic, **classic_kw),
+            path=replace(config.path, **path_kw),
+        )
+    return config
+
+
+def form_superblocks(
+    program: Program,
+    config: FormationConfig,
+    edge_profile: Optional[EdgeProfile] = None,
+    path_profile: Optional[PathProfile] = None,
+) -> FormationResult:
+    """Run the configured formation scheme over every procedure.
+
+    The input program is not modified; the result holds a transformed copy.
+    Raises :class:`IRError` when the result violates the formation
+    invariants (a formation bug, not a user error).
+    """
+    if config.kind == "edge" and edge_profile is None:
+        raise ValueError("edge-based formation needs an edge profile")
+    if config.kind == "path" and path_profile is None:
+        raise ValueError("path-based formation needs a path profile")
+
+    transformed = program.copy()
+    result = FormationResult(
+        program=transformed, scheme=config.name or config.kind
+    )
+    for proc in transformed.procedures():
+        origin: OriginMap = {}
+        sbs, loops = _form_procedure(
+            proc, config, edge_profile, path_profile, origin
+        )
+        result.superblocks[proc.name] = [
+            Superblock(proc.name, labels, is_loop=labels[0] in loops)
+            for labels in sbs
+        ]
+        result.origin[proc.name] = origin
+    problems = verify_formation(result)
+    if problems:
+        raise IRError(
+            f"formation invariant violation ({config.name}): "
+            + "; ".join(problems[:5])
+        )
+    return result
+
+
+def _form_procedure(
+    proc: Procedure,
+    config: FormationConfig,
+    edge_profile: Optional[EdgeProfile],
+    path_profile: Optional[PathProfile],
+    origin: OriginMap,
+):
+    """Returns ``(superblock label lists, loop head set)``.
+
+    Loop heads are classified on the *initial* (pre-enlargement) superblocks,
+    matching the paper's definition: enlargement itself may unroll a loop
+    into a region whose final branch no longer prefers the head.
+    """
+    if config.kind == "bb":
+        return [list(t) for t in select_traces_basic_block(proc)], set()
+    if config.kind == "edge":
+        traces = select_traces_mutual_most_likely(proc, edge_profile)
+        sbs = tail_duplicate(proc, traces, origin)
+        loops = {
+            sb[0]
+            for sb in sbs
+            if is_superblock_loop_edge(
+                proc, sb, edge_profile, config.classic.likely_threshold, origin
+            )
+        }
+        if config.enlarge:
+            enlarge_classic(
+                proc, sbs, edge_profile, origin, config.classic, loops
+            )
+        sbs = remove_side_entrances(proc, sbs, origin)
+        return sbs, loops
+    if config.kind == "path":
+        traces = select_traces_path(proc, path_profile)
+        sbs = tail_duplicate(proc, traces, origin)
+        loops = {
+            sb[0]
+            for sb in sbs
+            if is_superblock_loop_path(proc, sb, path_profile, origin)
+        }
+        if config.enlarge:
+            enlarge_path(proc, sbs, path_profile, origin, config.path, loops)
+        sbs = remove_side_entrances(proc, sbs, origin)
+        return sbs, loops
+    raise ValueError(f"unknown formation kind {config.kind!r}")

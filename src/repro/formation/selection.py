@@ -1,0 +1,143 @@
+"""Trace selection: partitioning a procedure's blocks into traces.
+
+Two selectors, sharing the same skeleton (Figure 2 of the paper):
+
+* :func:`select_traces_mutual_most_likely` — the MultiFlow/IMPACT heuristic
+  over edge profiles: grow a trace downward while the successor's most-likely
+  predecessor is the current tail and vice versa.
+* :func:`select_traces_path` — the paper's contribution: grow the trace by
+  the *most-likely path successor*, the node whose appended trace has the
+  highest exact path frequency.
+
+Shared rules: seeds are taken in decreasing block-frequency order; traces may
+not contain a block reached by a back edge except as the trace head (loop
+headers only start traces); a block belongs to at most one trace; the
+procedure entry block can only be a trace head.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.loops import loop_headers
+from ..ir.cfg import Procedure
+from ..profiling.edge_profile import EdgeProfile
+from ..profiling.path_profile import PathProfile
+
+#: A trace is an ordered list of block labels within one procedure.
+Trace = List[str]
+
+
+def _seed_order(
+    proc: Procedure,
+    ranked: Sequence[Tuple[str, int]],
+    headers: Set[str],
+) -> List[str]:
+    """Profiled blocks by frequency, then never-executed blocks in layout
+    order (they still need singleton traces).
+
+    Loop headers win frequency ties: every block of a hot loop body runs
+    equally often, and seeding from the header lets the trace cover the
+    whole iteration — which is what makes the region a recognizable
+    *superblock loop* for the enlargers.
+    """
+    counted = [(label, count) for label, count in ranked if count > 0]
+    counted.sort(key=lambda kv: (-kv[1], kv[0] not in headers, kv[0]))
+    ranked_labels = [label for label, _ in counted]
+    ranked_set = set(ranked_labels)
+    cold = [label for label in proc.labels if label not in ranked_set]
+    return ranked_labels + cold
+
+
+def _grow_trace(
+    proc: Procedure,
+    seed: str,
+    taken: Set[str],
+    headers: Set[str],
+    pick_successor: Callable[[Trace], Optional[str]],
+) -> Trace:
+    """Grow a trace downward from ``seed`` using ``pick_successor``."""
+    trace: Trace = [seed]
+    taken.add(seed)
+    while True:
+        succ = pick_successor(trace)
+        if succ is None:
+            break
+        if succ in taken:
+            break
+        if succ in headers:
+            break  # reached by a back edge: may only head its own trace
+        if succ == proc.entry_label:
+            break  # the procedure entry must stay a region head
+        if succ in trace:
+            break  # safety net for irreducible shapes
+        trace.append(succ)
+        taken.add(succ)
+    return trace
+
+
+def select_traces_mutual_most_likely(
+    proc: Procedure, profile: EdgeProfile
+) -> List[Trace]:
+    """Partition ``proc``'s blocks into traces with the mutual-most-likely
+    heuristic over an edge profile [Lowney et al.]."""
+    headers = loop_headers(proc)
+    taken: Set[str] = set()
+
+    def pick(trace: Trace) -> Optional[str]:
+        tail = trace[-1]
+        best = profile.most_likely_successor(proc.name, tail)
+        if best is None or best[1] == 0:
+            return None
+        succ, _ = best
+        if succ not in proc.successors(tail):
+            return None  # stale profile entry (defensive)
+        back = profile.most_likely_predecessor(proc.name, succ)
+        if back is None or back[0] != tail:
+            return None  # not mutually most likely
+        return succ
+
+    traces: List[Trace] = []
+    for seed in _seed_order(proc, profile.blocks_by_count(proc.name), headers):
+        if seed in taken:
+            continue
+        traces.append(_grow_trace(proc, seed, taken, headers, pick))
+    return traces
+
+
+def select_traces_path(
+    proc: Procedure, profile: PathProfile
+) -> List[Trace]:
+    """Partition ``proc``'s blocks into traces using exact path frequencies
+    (Figure 2's ``select_trace``).
+
+    The trace is extended by the successor whose appended path ``t . s`` has
+    the highest exact frequency; growth stops at the paper's conditions
+    (successor in another trace, reached by a back edge) or when no extension
+    was ever observed to execute.
+    """
+    headers = loop_headers(proc)
+    taken: Set[str] = set()
+
+    def pick(trace: Trace) -> Optional[str]:
+        tail = trace[-1]
+        succs = proc.successors(tail)
+        if not succs:
+            return None
+        best = profile.most_likely_path_successor(proc.name, trace, succs)
+        if best is None:
+            return None
+        return best[0]
+
+    traces: List[Trace] = []
+    for seed in _seed_order(proc, profile.blocks_by_count(proc.name), headers):
+        if seed in taken:
+            continue
+        traces.append(_grow_trace(proc, seed, taken, headers, pick))
+    return traces
+
+
+def select_traces_basic_block(proc: Procedure) -> List[Trace]:
+    """Degenerate selection: every block is its own trace (the BB baseline
+    used for Table 1's cycle counts)."""
+    return [[label] for label in proc.labels]

@@ -1,0 +1,143 @@
+"""Superblock representation and formation-wide invariants.
+
+A superblock is a sequence of basic blocks with a single entry (the head) and
+possibly many side exits (Section 2 of the paper).  Formation transforms a
+*copy* of the input program; :class:`FormationResult` carries the transformed
+program, the partition of every block into superblocks, and the ``origin``
+map taking duplicated/enlarged block labels back to the original CFG labels
+(used for profile queries and for the Figure 7 metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.cfg import Procedure, Program
+
+
+@dataclass
+class Superblock:
+    """One scheduling region: ``labels[0]`` is the single entry."""
+
+    proc: str
+    labels: List[str]
+    #: True when the last block is likely to jump back to the head.
+    is_loop: bool = False
+
+    @property
+    def head(self) -> str:
+        """Label of the single entry block."""
+        return self.labels[0]
+
+    @property
+    def size_blocks(self) -> int:
+        """Number of basic blocks in the superblock."""
+        return len(self.labels)
+
+    def instruction_count(self, proc: Procedure) -> int:
+        """Static instruction count over the member blocks."""
+        return sum(len(proc.block(label)) for label in self.labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.labels
+
+
+@dataclass
+class FormationResult:
+    """Output of a formation pass over a whole program."""
+
+    #: The transformed program (tail-duplicated and enlarged copies).
+    program: Program
+    #: proc name -> superblocks partitioning that procedure's blocks.
+    superblocks: Dict[str, List[Superblock]] = field(default_factory=dict)
+    #: proc name -> label -> original CFG label (identity for originals).
+    origin: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: Name of the scheme that produced this result (e.g. "M4", "P4").
+    scheme: str = ""
+
+    def origin_of(self, proc: str, label: str) -> str:
+        """Original CFG label a (possibly duplicated) block descends from."""
+        return self.origin.get(proc, {}).get(label, label)
+
+    def superblock_of(self, proc: str, label: str) -> Superblock:
+        """The superblock containing block ``label``."""
+        for sb in self.superblocks.get(proc, []):
+            if label in sb.labels:
+                return sb
+        raise KeyError(f"{proc}/{label} is in no superblock")
+
+    def heads(self, proc: str) -> Dict[str, Superblock]:
+        """Map head label -> superblock for one procedure."""
+        return {sb.head: sb for sb in self.superblocks.get(proc, [])}
+
+    def member_index(self, proc: str) -> Dict[str, Tuple[int, int]]:
+        """Map label -> (superblock index, position within superblock)."""
+        index: Dict[str, Tuple[int, int]] = {}
+        for si, sb in enumerate(self.superblocks.get(proc, [])):
+            for pi, label in enumerate(sb.labels):
+                index[label] = (si, pi)
+        return index
+
+
+def verify_formation(result: FormationResult) -> List[str]:
+    """Check the structural invariants every formation scheme must satisfy.
+
+    * every block belongs to exactly one superblock;
+    * the procedure entry is a superblock head;
+    * every control-transfer target is a superblock head (single-entry), with
+      the sole exception of a block's transfer to its immediate on-trace
+      successor within the same superblock;
+    * superblock member sequences are connected (block i can transfer to
+      block i+1).
+    """
+    problems: List[str] = []
+    for proc in result.program.procedures():
+        sbs = result.superblocks.get(proc.name, [])
+        seen: Dict[str, int] = {}
+        for si, sb in enumerate(sbs):
+            for label in sb.labels:
+                if label in seen:
+                    problems.append(
+                        f"{proc.name}/{label}: in superblocks"
+                        f" {seen[label]} and {si}"
+                    )
+                seen[label] = si
+        for label in proc.labels:
+            if label not in seen:
+                problems.append(f"{proc.name}/{label}: in no superblock")
+        heads = {sb.head for sb in sbs}
+        if proc.entry_label not in heads:
+            problems.append(
+                f"{proc.name}: entry {proc.entry_label} is not a head"
+            )
+        member = result.member_index(proc.name)
+        for sb in sbs:
+            for pi, label in enumerate(sb.labels):
+                block = proc.block(label)
+                succs = block.successors() if block.instructions and block.instructions[-1].is_terminator else ()
+                for target in succs:
+                    if target in heads:
+                        continue
+                    ti = member.get(target)
+                    if ti is None:
+                        problems.append(
+                            f"{proc.name}/{label}: target {target} unknown"
+                        )
+                        continue
+                    tsi, tpi = ti
+                    if not (
+                        tsi == member[label][0] and tpi == pi + 1
+                    ):
+                        problems.append(
+                            f"{proc.name}/{label}: side entrance into"
+                            f" {target} (superblock {tsi} pos {tpi})"
+                        )
+                if pi + 1 < len(sb.labels):
+                    nxt = sb.labels[pi + 1]
+                    if nxt not in succs:
+                        problems.append(
+                            f"{proc.name}/{label}: disconnected from"
+                            f" on-trace successor {nxt}"
+                        )
+    return problems

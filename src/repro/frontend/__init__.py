@@ -1,0 +1,19 @@
+"""MiniC: the small C-like language used to author benchmark workloads."""
+
+from .ast_nodes import Module
+from .codegen import compile_source, lower_module
+from .lexer import MiniCError, Token, TokenKind, tokenize
+from .parser import parse
+from .sema import check_module
+
+__all__ = [
+    "MiniCError",
+    "Module",
+    "Token",
+    "TokenKind",
+    "check_module",
+    "compile_source",
+    "lower_module",
+    "parse",
+    "tokenize",
+]

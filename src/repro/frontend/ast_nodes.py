@@ -1,0 +1,217 @@
+"""Abstract syntax tree for MiniC.
+
+Every node carries its source line for diagnostics.  The tree is deliberately
+small: integers are the only value type, variables are function-scoped, and
+``mem[e]`` exposes the flat word-addressed program memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base class of all AST nodes."""
+
+    line: int
+
+
+# -- expressions -----------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class of expression nodes."""
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass
+class Var(Expr):
+    """Variable reference."""
+
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operation: ``-`` (negate) or ``!`` (logical not)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    """Binary arithmetic/comparison/bitwise operation (non-short-circuit)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Logical(Expr):
+    """Short-circuit ``&&`` / ``||``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Load(Expr):
+    """``mem[addr]``"""
+
+    addr: Expr
+
+
+@dataclass
+class ReadExpr(Expr):
+    """``read()`` — next input word, -1 at end of input."""
+
+
+@dataclass
+class Call(Expr):
+    """Function call ``name(args...)``."""
+
+    name: str
+    args: List[Expr]
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class of statement nodes."""
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``var name = init;``"""
+
+    name: str
+    init: Expr
+
+
+@dataclass
+class Assign(Stmt):
+    """``name = value;``"""
+
+    name: str
+    value: Expr
+
+
+@dataclass
+class StoreStmt(Stmt):
+    """``mem[addr] = value;``"""
+
+    addr: Expr
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    """``if (cond) { then } else { orelse }`` (orelse may be empty)."""
+
+    cond: Expr
+    then: List[Stmt]
+    orelse: List[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    """``while (cond) { body }``"""
+
+    cond: Expr
+    body: List[Stmt]
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) { body }`` — init/step are statements."""
+
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: List[Stmt]
+
+
+@dataclass
+class Break(Stmt):
+    """``break;``"""
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue;``"""
+
+
+@dataclass
+class Return(Stmt):
+    """``return expr;`` or ``return;``"""
+
+    value: Optional[Expr]
+
+
+@dataclass
+class Print(Stmt):
+    """``print(expr);``"""
+
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """Expression evaluated for effect, e.g. a call."""
+
+    value: Expr
+
+
+@dataclass
+class Case:
+    """One arm of a switch: ``case value: { body }``."""
+
+    value: int
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    """``switch (sel) { case k: {...} ... default: {...} }``.
+
+    Cases do not fall through; the selector dispatches through a dense
+    multiway branch (``mbr``), with out-of-range values going to default.
+    """
+
+    selector: Expr
+    cases: List[Case]
+    default: List[Stmt]
+
+
+# -- top level ---------------------------------------------------------------
+
+
+@dataclass
+class FuncDef(Node):
+    """``func name(params...) { body }``"""
+
+    name: str
+    params: List[str]
+    body: List[Stmt]
+
+
+@dataclass
+class Module(Node):
+    """A MiniC compilation unit: a list of function definitions."""
+
+    functions: List[FuncDef] = field(default_factory=list)

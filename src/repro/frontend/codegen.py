@@ -1,0 +1,314 @@
+"""MiniC-to-IR code generation.
+
+Lowering rules of note:
+
+* ``&&`` / ``||`` short-circuit through control flow, producing the dense,
+  correlated branch structure the paper's path profiles exploit.
+* ``switch`` lowers to a dense ``mbr`` jump table over ``0..max_case`` with
+  out-of-range values (including negatives) going to the default arm; arms do
+  not fall through.
+* Comparison operators materialize 0/1 in a register via ``cmp*``.
+* A function whose body can fall off the end implicitly returns 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.builder import BlockBuilder, FunctionBuilder, build_program
+from ..ir.cfg import Program
+from ..ir.instructions import Opcode
+from . import ast_nodes as ast
+from .lexer import MiniCError
+from .parser import parse
+from .sema import check_module
+
+_BINOP_OPCODES = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+    "==": Opcode.CMPEQ,
+    "!=": Opcode.CMPNE,
+    "<": Opcode.CMPLT,
+    "<=": Opcode.CMPLE,
+    ">": Opcode.CMPGT,
+    ">=": Opcode.CMPGE,
+}
+
+
+class _FunctionCodegen:
+    """Generates one procedure from one MiniC function."""
+
+    def __init__(self, func: ast.FuncDef) -> None:
+        self.func = func
+        self.fb = FunctionBuilder(func.name, num_params=len(func.params))
+        self.vars: Dict[str, int] = dict(zip(func.params, self.fb.params))
+        #: (continue target label, break target label) stack
+        self.loops: List[tuple] = []
+        self.cur: Optional[BlockBuilder] = self.fb.block("entry")
+
+    # -- helpers ------------------------------------------------------------
+
+    def _new_block(self, hint: str) -> BlockBuilder:
+        return self.fb.block(self.fb.proc.fresh_label(hint))
+
+    def _terminated(self) -> bool:
+        return self.cur is None
+
+    # -- statements -----------------------------------------------------------
+
+    def generate(self) -> FunctionBuilder:
+        self._stmts(self.func.body)
+        if self.cur is not None:
+            self.cur.ret()
+        return self.fb
+
+    def _stmts(self, stmts: List[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if self.cur is None:
+                return  # unreachable code after break/continue/return
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            reg = self.fb.reg()
+            self.vars[stmt.name] = reg
+            value = self._expr(stmt.init)
+            self.cur.mov(reg, value)
+        elif isinstance(stmt, ast.Assign):
+            value = self._expr(stmt.value)
+            self.cur.mov(self.vars[stmt.name], value)
+        elif isinstance(stmt, ast.StoreStmt):
+            addr = self._expr(stmt.addr)
+            value = self._expr(stmt.value)
+            self.cur.store(addr, value)
+        elif isinstance(stmt, ast.Print):
+            # Evaluate first: _expr may switch the current block (logical
+            # operators lower to control flow).
+            value = self._expr(stmt.value)
+            self.cur.print_(value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._expr(stmt.value)
+                self.cur.ret(value)
+            else:
+                self.cur.ret()
+            self.cur = None
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.value)
+        elif isinstance(stmt, ast.Break):
+            self.cur.jmp(self.loops[-1][1])
+            self.cur = None
+        elif isinstance(stmt, ast.Continue):
+            self.cur.jmp(self.loops[-1][0])
+            self.cur = None
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._switch(stmt)
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise MiniCError(f"cannot lower {type(stmt).__name__}")
+
+    def _if(self, stmt: ast.If) -> None:
+        cond = self._expr(stmt.cond)
+        then_blk = self._new_block("then")
+        join_blk: Optional[BlockBuilder] = None
+        if stmt.orelse:
+            else_blk = self._new_block("else")
+            self.cur.br(cond, then_blk.label, else_blk.label)
+        else:
+            join_blk = self._new_block("join")
+            self.cur.br(cond, then_blk.label, join_blk.label)
+
+        self.cur = then_blk
+        self._stmts(stmt.then)
+        then_end = self.cur
+
+        else_end: Optional[BlockBuilder] = None
+        if stmt.orelse:
+            self.cur = else_blk
+            self._stmts(stmt.orelse)
+            else_end = self.cur
+
+        if then_end is None and (not stmt.orelse or else_end is None):
+            if stmt.orelse:
+                self.cur = None
+                return
+            # then terminated, no else: execution continues at join.
+            self.cur = join_blk
+            return
+        if join_blk is None:
+            join_blk = self._new_block("join")
+        if then_end is not None:
+            then_end.jmp(join_blk.label)
+        if else_end is not None:
+            else_end.jmp(join_blk.label)
+        self.cur = join_blk
+
+    def _while(self, stmt: ast.While) -> None:
+        cond_blk = self._new_block("while_cond")
+        exit_blk = self._new_block("while_exit")
+        self.cur.jmp(cond_blk.label)
+        self.cur = cond_blk
+        cond = self._expr(stmt.cond)
+        body_blk = self._new_block("while_body")
+        self.cur.br(cond, body_blk.label, exit_blk.label)
+        self.loops.append((cond_blk.label, exit_blk.label))
+        self.cur = body_blk
+        self._stmts(stmt.body)
+        if self.cur is not None:
+            self.cur.jmp(cond_blk.label)
+        self.loops.pop()
+        self.cur = exit_blk
+
+    def _for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        cond_blk = self._new_block("for_cond")
+        exit_blk = self._new_block("for_exit")
+        step_blk = self._new_block("for_step")
+        self.cur.jmp(cond_blk.label)
+        self.cur = cond_blk
+        if stmt.cond is not None:
+            cond = self._expr(stmt.cond)
+            body_blk = self._new_block("for_body")
+            self.cur.br(cond, body_blk.label, exit_blk.label)
+        else:
+            body_blk = self._new_block("for_body")
+            self.cur.jmp(body_blk.label)
+        self.loops.append((step_blk.label, exit_blk.label))
+        self.cur = body_blk
+        self._stmts(stmt.body)
+        if self.cur is not None:
+            self.cur.jmp(step_blk.label)
+        self.loops.pop()
+        self.cur = step_blk
+        if stmt.step is not None:
+            self._stmt(stmt.step)
+        if self.cur is not None:
+            self.cur.jmp(cond_blk.label)
+        self.cur = exit_blk
+
+    def _switch(self, stmt: ast.Switch) -> None:
+        selector = self._expr(stmt.selector)
+        join_blk = self._new_block("switch_join")
+        default_blk = self._new_block("switch_default")
+        case_blocks: Dict[int, BlockBuilder] = {}
+        for case in stmt.cases:
+            case_blocks[case.value] = self._new_block(f"case{case.value}_")
+        max_value = max(case_blocks) if case_blocks else -1
+        table = [
+            case_blocks[v].label if v in case_blocks else default_blk.label
+            for v in range(max_value + 1)
+        ]
+        table.append(default_blk.label)  # out-of-range default
+        self.cur.mbr(selector, table)
+
+        for case in stmt.cases:
+            self.cur = case_blocks[case.value]
+            self._stmts(case.body)
+            if self.cur is not None:
+                self.cur.jmp(join_blk.label)
+        self.cur = default_blk
+        self._stmts(stmt.default)
+        if self.cur is not None:
+            self.cur.jmp(join_blk.label)
+        self.cur = join_blk
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.IntLit):
+            reg = self.fb.reg()
+            self.cur.li(reg, expr.value)
+            return reg
+        if isinstance(expr, ast.Var):
+            return self.vars[expr.name]
+        if isinstance(expr, ast.Unary):
+            src = self._expr(expr.operand)
+            dest = self.fb.reg()
+            opcode = Opcode.NEG if expr.op == "-" else Opcode.NOT
+            self.cur.alu(opcode, dest, src)
+            return dest
+        if isinstance(expr, ast.Binary):
+            lhs = self._expr(expr.lhs)
+            rhs = self._expr(expr.rhs)
+            dest = self.fb.reg()
+            self.cur.alu(_BINOP_OPCODES[expr.op], dest, lhs, rhs)
+            return dest
+        if isinstance(expr, ast.Logical):
+            return self._logical(expr)
+        if isinstance(expr, ast.Load):
+            addr = self._expr(expr.addr)
+            dest = self.fb.reg()
+            self.cur.load(dest, addr)
+            return dest
+        if isinstance(expr, ast.ReadExpr):
+            dest = self.fb.reg()
+            self.cur.read(dest)
+            return dest
+        if isinstance(expr, ast.Call):
+            args = [self._expr(arg) for arg in expr.args]
+            dest = self.fb.reg()
+            self.cur.call(expr.name, args, dest=dest)
+            return dest
+        raise MiniCError(  # pragma: no cover - exhaustive over Expr
+            f"cannot lower {type(expr).__name__}"
+        )
+
+    def _logical(self, expr: ast.Logical) -> int:
+        """Short-circuit evaluation materializing 0/1 into a register."""
+        result = self.fb.reg()
+        lhs = self._expr(expr.lhs)
+        rhs_blk = self._new_block("sc_rhs")
+        short_blk = self._new_block("sc_short")
+        join_blk = self._new_block("sc_join")
+        if expr.op == "&&":
+            # lhs false -> short-circuit to 0
+            self.cur.br(lhs, rhs_blk.label, short_blk.label)
+            short_value = 0
+        else:
+            # lhs true -> short-circuit to 1
+            self.cur.br(lhs, short_blk.label, rhs_blk.label)
+            short_value = 1
+        short_blk.li(result, short_value)
+        short_blk.jmp(join_blk.label)
+
+        self.cur = rhs_blk
+        rhs = self._expr(expr.rhs)
+        zero = self.fb.reg()
+        self.cur.li(zero, 0)
+        self.cur.alu(Opcode.CMPNE, result, rhs, zero)
+        self.cur.jmp(join_blk.label)
+        self.cur = join_blk
+        return result
+
+
+def lower_module(module: ast.Module, entry: str = "main") -> Program:
+    """Semantic-check and lower a parsed module to an IR program."""
+    check_module(module)
+    builders = [_FunctionCodegen(func).generate() for func in module.functions]
+    program = build_program(*builders, entry=entry)
+    if not program.has_procedure(entry):
+        raise MiniCError(f"missing entry function {entry!r}")
+    return program
+
+
+def compile_source(source: str, entry: str = "main") -> Program:
+    """Compile MiniC source text to a verified IR program."""
+    program = lower_module(parse(source), entry=entry)
+    from ..ir.verify import check_program
+
+    check_program(program)
+    return program

@@ -1,0 +1,176 @@
+"""Lexer for MiniC, the small C-like language the workloads are written in.
+
+MiniC exists because the paper's benchmarks are C programs compiled through
+SUIF; authoring the reproduction's workloads in a structured language (rather
+than hand-writing IR) produces the realistic multi-block, branchy CFGs the
+formation algorithms are sensitive to.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+class MiniCError(Exception):
+    """Raised for lexical, syntactic, or semantic errors in MiniC source."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        location = f" at line {line}:{col}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.col = col
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    INT = "int"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "func",
+        "var",
+        "if",
+        "else",
+        "while",
+        "for",
+        "break",
+        "continue",
+        "return",
+        "print",
+        "read",
+        "mem",
+        "switch",
+        "case",
+        "default",
+    }
+)
+
+#: Multi-character punctuation, longest first so maximal munch works.
+_PUNCTS = [
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ":",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "&",
+    "|",
+    "^",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def is_punct(self, text: str) -> bool:
+        """True when this token is the punctuation ``text``."""
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        """True when this token is the keyword ``text``."""
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert MiniC source text to a token list ending in EOF.
+
+    Supports ``//`` line comments and ``/* */`` block comments.
+    """
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise MiniCError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch.isdigit():
+            start = i
+            start_line, start_col = line, col
+            while i < n and source[i].isdigit():
+                advance(1)
+            tokens.append(
+                Token(TokenKind.INT, source[start:i], start_line, start_col)
+            )
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        matched = None
+        for punct in _PUNCTS:
+            if source.startswith(punct, i):
+                matched = punct
+                break
+        if matched is None:
+            raise MiniCError(f"unexpected character {ch!r}", line, col)
+        tokens.append(Token(TokenKind.PUNCT, matched, line, col))
+        advance(len(matched))
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

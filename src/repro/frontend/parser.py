@@ -1,0 +1,377 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as ast
+from .lexer import MiniCError, Token, TokenKind, tokenize
+
+#: Binary operator precedence (higher binds tighter).  ``&&``/``||`` are
+#: handled separately because they short-circuit.
+_PRECEDENCE = {
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.frontend.ast_nodes.Module`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind is not TokenKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _expect_punct(self, text: str) -> Token:
+        tok = self._next()
+        if not tok.is_punct(text):
+            raise MiniCError(
+                f"expected {text!r}, found {tok.text!r}", tok.line, tok.col
+            )
+        return tok
+
+    def _expect_keyword(self, text: str) -> Token:
+        tok = self._next()
+        if not tok.is_keyword(text):
+            raise MiniCError(
+                f"expected {text!r}, found {tok.text!r}", tok.line, tok.col
+            )
+        return tok
+
+    def _expect_ident(self) -> Token:
+        tok = self._next()
+        if tok.kind is not TokenKind.IDENT:
+            raise MiniCError(
+                f"expected identifier, found {tok.text!r}", tok.line, tok.col
+            )
+        return tok
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._peek().is_punct(text):
+            self._next()
+            return True
+        return False
+
+    # -- grammar: top level ---------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        """``module := funcdef*``"""
+        module = ast.Module(line=1)
+        while self._peek().kind is not TokenKind.EOF:
+            module.functions.append(self._funcdef())
+        return module
+
+    def _funcdef(self) -> ast.FuncDef:
+        start = self._expect_keyword("func")
+        name = self._expect_ident().text
+        self._expect_punct("(")
+        params: List[str] = []
+        if not self._peek().is_punct(")"):
+            params.append(self._expect_ident().text)
+            while self._accept_punct(","):
+                params.append(self._expect_ident().text)
+        self._expect_punct(")")
+        body = self._block()
+        return ast.FuncDef(line=start.line, name=name, params=params, body=body)
+
+    # -- grammar: statements ------------------------------------------------------
+
+    def _block(self) -> List[ast.Stmt]:
+        self._expect_punct("{")
+        stmts: List[ast.Stmt] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind is TokenKind.EOF:
+                tok = self._peek()
+                raise MiniCError("unterminated block", tok.line, tok.col)
+            stmts.append(self._statement())
+        self._expect_punct("}")
+        return stmts
+
+    def _statement(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.is_keyword("var"):
+            return self._var_decl()
+        if tok.is_keyword("if"):
+            return self._if()
+        if tok.is_keyword("while"):
+            return self._while()
+        if tok.is_keyword("for"):
+            return self._for()
+        if tok.is_keyword("switch"):
+            return self._switch()
+        if tok.is_keyword("break"):
+            self._next()
+            self._expect_punct(";")
+            return ast.Break(line=tok.line)
+        if tok.is_keyword("continue"):
+            self._next()
+            self._expect_punct(";")
+            return ast.Continue(line=tok.line)
+        if tok.is_keyword("return"):
+            self._next()
+            value: Optional[ast.Expr] = None
+            if not self._peek().is_punct(";"):
+                value = self._expression()
+            self._expect_punct(";")
+            return ast.Return(line=tok.line, value=value)
+        if tok.is_keyword("print"):
+            self._next()
+            self._expect_punct("(")
+            value = self._expression()
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return ast.Print(line=tok.line, value=value)
+        if tok.is_keyword("mem"):
+            return self._store_stmt()
+        if tok.kind is TokenKind.IDENT:
+            # assignment or expression statement (e.g. a call for effect)
+            if self._tokens[self._pos + 1].is_punct("="):
+                name_tok = self._next()
+                self._next()  # '='
+                value = self._expression()
+                self._expect_punct(";")
+                return ast.Assign(
+                    line=name_tok.line, name=name_tok.text, value=value
+                )
+            value = self._expression()
+            self._expect_punct(";")
+            return ast.ExprStmt(line=tok.line, value=value)
+        raise MiniCError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+
+    def _var_decl(self) -> ast.VarDecl:
+        start = self._expect_keyword("var")
+        name = self._expect_ident().text
+        self._expect_punct("=")
+        init = self._expression()
+        self._expect_punct(";")
+        return ast.VarDecl(line=start.line, name=name, init=init)
+
+    def _store_stmt(self) -> ast.StoreStmt:
+        start = self._expect_keyword("mem")
+        self._expect_punct("[")
+        addr = self._expression()
+        self._expect_punct("]")
+        self._expect_punct("=")
+        value = self._expression()
+        self._expect_punct(";")
+        return ast.StoreStmt(line=start.line, addr=addr, value=value)
+
+    def _if(self) -> ast.If:
+        start = self._expect_keyword("if")
+        self._expect_punct("(")
+        cond = self._expression()
+        self._expect_punct(")")
+        then = self._block()
+        orelse: List[ast.Stmt] = []
+        if self._peek().is_keyword("else"):
+            self._next()
+            if self._peek().is_keyword("if"):
+                orelse = [self._if()]
+            else:
+                orelse = self._block()
+        return ast.If(line=start.line, cond=cond, then=then, orelse=orelse)
+
+    def _while(self) -> ast.While:
+        start = self._expect_keyword("while")
+        self._expect_punct("(")
+        cond = self._expression()
+        self._expect_punct(")")
+        body = self._block()
+        return ast.While(line=start.line, cond=cond, body=body)
+
+    def _simple_statement(self) -> ast.Stmt:
+        """A statement legal in for-headers: var decl, assignment, store,
+        or expression (no trailing ';' consumed here)."""
+        tok = self._peek()
+        if tok.is_keyword("var"):
+            self._next()
+            name = self._expect_ident().text
+            self._expect_punct("=")
+            init = self._expression()
+            return ast.VarDecl(line=tok.line, name=name, init=init)
+        if tok.is_keyword("mem"):
+            self._next()
+            self._expect_punct("[")
+            addr = self._expression()
+            self._expect_punct("]")
+            self._expect_punct("=")
+            value = self._expression()
+            return ast.StoreStmt(line=tok.line, addr=addr, value=value)
+        if tok.kind is TokenKind.IDENT and self._tokens[self._pos + 1].is_punct("="):
+            name_tok = self._next()
+            self._next()
+            value = self._expression()
+            return ast.Assign(line=name_tok.line, name=name_tok.text, value=value)
+        value = self._expression()
+        return ast.ExprStmt(line=tok.line, value=value)
+
+    def _for(self) -> ast.For:
+        start = self._expect_keyword("for")
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self._peek().is_punct(";"):
+            init = self._simple_statement()
+        self._expect_punct(";")
+        cond: Optional[ast.Expr] = None
+        if not self._peek().is_punct(";"):
+            cond = self._expression()
+        self._expect_punct(";")
+        step: Optional[ast.Stmt] = None
+        if not self._peek().is_punct(")"):
+            step = self._simple_statement()
+        self._expect_punct(")")
+        body = self._block()
+        return ast.For(
+            line=start.line, init=init, cond=cond, step=step, body=body
+        )
+
+    def _switch(self) -> ast.Switch:
+        start = self._expect_keyword("switch")
+        self._expect_punct("(")
+        selector = self._expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: List[ast.Case] = []
+        default: List[ast.Stmt] = []
+        saw_default = False
+        while not self._peek().is_punct("}"):
+            tok = self._peek()
+            if tok.is_keyword("case"):
+                self._next()
+                value_tok = self._next()
+                if value_tok.kind is not TokenKind.INT:
+                    raise MiniCError(
+                        "case labels must be integer literals",
+                        value_tok.line,
+                        value_tok.col,
+                    )
+                self._expect_punct(":")
+                body = self._block()
+                cases.append(
+                    ast.Case(
+                        value=int(value_tok.text), body=body, line=tok.line
+                    )
+                )
+            elif tok.is_keyword("default"):
+                if saw_default:
+                    raise MiniCError("duplicate default", tok.line, tok.col)
+                saw_default = True
+                self._next()
+                self._expect_punct(":")
+                default = self._block()
+            else:
+                raise MiniCError(
+                    f"expected case/default, found {tok.text!r}",
+                    tok.line,
+                    tok.col,
+                )
+        self._expect_punct("}")
+        return ast.Switch(
+            line=start.line, selector=selector, cases=cases, default=default
+        )
+
+    # -- grammar: expressions ---------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._logical_or()
+
+    def _logical_or(self) -> ast.Expr:
+        expr = self._logical_and()
+        while self._peek().is_punct("||"):
+            tok = self._next()
+            rhs = self._logical_and()
+            expr = ast.Logical(line=tok.line, op="||", lhs=expr, rhs=rhs)
+        return expr
+
+    def _logical_and(self) -> ast.Expr:
+        expr = self._binary(0)
+        while self._peek().is_punct("&&"):
+            tok = self._next()
+            rhs = self._binary(0)
+            expr = ast.Logical(line=tok.line, op="&&", lhs=expr, rhs=rhs)
+        return expr
+
+    def _binary(self, min_prec: int) -> ast.Expr:
+        expr = self._unary()
+        while True:
+            tok = self._peek()
+            prec = (
+                _PRECEDENCE.get(tok.text)
+                if tok.kind is TokenKind.PUNCT
+                else None
+            )
+            if prec is None or prec < min_prec:
+                return expr
+            self._next()
+            rhs = self._binary(prec + 1)
+            expr = ast.Binary(line=tok.line, op=tok.text, lhs=expr, rhs=rhs)
+
+    def _unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.is_punct("-") or tok.is_punct("!"):
+            self._next()
+            operand = self._unary()
+            return ast.Unary(line=tok.line, op=tok.text, operand=operand)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self._next()
+        if tok.kind is TokenKind.INT:
+            return ast.IntLit(line=tok.line, value=int(tok.text))
+        if tok.is_punct("("):
+            expr = self._expression()
+            self._expect_punct(")")
+            return expr
+        if tok.is_keyword("read"):
+            self._expect_punct("(")
+            self._expect_punct(")")
+            return ast.ReadExpr(line=tok.line)
+        if tok.is_keyword("mem"):
+            self._expect_punct("[")
+            addr = self._expression()
+            self._expect_punct("]")
+            return ast.Load(line=tok.line, addr=addr)
+        if tok.kind is TokenKind.IDENT:
+            if self._peek().is_punct("("):
+                self._next()
+                args: List[ast.Expr] = []
+                if not self._peek().is_punct(")"):
+                    args.append(self._expression())
+                    while self._accept_punct(","):
+                        args.append(self._expression())
+                self._expect_punct(")")
+                return ast.Call(line=tok.line, name=tok.text, args=args)
+            return ast.Var(line=tok.line, name=tok.text)
+        raise MiniCError(
+            f"unexpected token {tok.text!r} in expression", tok.line, tok.col
+        )
+
+
+def parse(source: str) -> ast.Module:
+    """Parse MiniC source text into a module AST."""
+    return Parser(tokenize(source)).parse_module()

@@ -1,0 +1,161 @@
+"""Semantic checks for MiniC modules.
+
+MiniC keeps C's spirit with simpler rules: all values are integers,
+variables are function-scoped, must be declared (``var``) before use, and may
+not be redeclared.  Case labels are non-negative integer literals (they
+dispatch through a dense ``mbr`` table).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from . import ast_nodes as ast
+from .lexer import MiniCError
+
+
+def check_module(module: ast.Module) -> None:
+    """Raise :class:`MiniCError` on the first semantic problem found."""
+    signatures: Dict[str, int] = {}
+    for func in module.functions:
+        if func.name in signatures:
+            raise MiniCError(f"duplicate function {func.name!r}", func.line)
+        signatures[func.name] = len(func.params)
+    for func in module.functions:
+        _FunctionChecker(func, signatures).check()
+
+
+class _FunctionChecker:
+    def __init__(self, func: ast.FuncDef, signatures: Dict[str, int]) -> None:
+        self.func = func
+        self.signatures = signatures
+        self.declared: Set[str] = set()
+        self.loop_depth = 0
+
+    def check(self) -> None:
+        seen_params: Set[str] = set()
+        for param in self.func.params:
+            if param in seen_params:
+                raise MiniCError(
+                    f"duplicate parameter {param!r} in {self.func.name}",
+                    self.func.line,
+                )
+            seen_params.add(param)
+        self.declared = set(seen_params)
+        self._stmts(self.func.body)
+
+    # -- statements -------------------------------------------------------
+
+    def _stmts(self, stmts: List[ast.Stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._expr(stmt.init)
+            if stmt.name in self.declared:
+                raise MiniCError(
+                    f"redeclaration of {stmt.name!r}", stmt.line
+                )
+            self.declared.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            self._expr(stmt.value)
+            if stmt.name not in self.declared:
+                raise MiniCError(
+                    f"assignment to undeclared variable {stmt.name!r}",
+                    stmt.line,
+                )
+        elif isinstance(stmt, ast.StoreStmt):
+            self._expr(stmt.addr)
+            self._expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.cond)
+            self._stmts(stmt.then)
+            self._stmts(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.cond)
+            self.loop_depth += 1
+            self._stmts(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._stmt(stmt.init)
+            if stmt.cond is not None:
+                self._expr(stmt.cond)
+            if stmt.step is not None:
+                self._stmt(stmt.step)
+            self.loop_depth += 1
+            self._stmts(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.Break):
+            if self.loop_depth == 0:
+                raise MiniCError("break outside loop", stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if self.loop_depth == 0:
+                raise MiniCError("continue outside loop", stmt.line)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+        elif isinstance(stmt, ast.Print):
+            self._expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.value)
+        elif isinstance(stmt, ast.Switch):
+            self._expr(stmt.selector)
+            seen_values: Set[int] = set()
+            for case in stmt.cases:
+                if case.value < 0:
+                    raise MiniCError(
+                        f"negative case label {case.value}", case.line
+                    )
+                if case.value in seen_values:
+                    raise MiniCError(
+                        f"duplicate case label {case.value}", case.line
+                    )
+                seen_values.add(case.value)
+                self._stmts(case.body)
+            self._stmts(stmt.default)
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise MiniCError(f"unknown statement {type(stmt).__name__}")
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLit):
+            return
+        if isinstance(expr, ast.Var):
+            if expr.name not in self.declared:
+                raise MiniCError(
+                    f"use of undeclared variable {expr.name!r}", expr.line
+                )
+            return
+        if isinstance(expr, (ast.Unary,)):
+            self._expr(expr.operand)
+            return
+        if isinstance(expr, (ast.Binary, ast.Logical)):
+            self._expr(expr.lhs)
+            self._expr(expr.rhs)
+            return
+        if isinstance(expr, ast.Load):
+            self._expr(expr.addr)
+            return
+        if isinstance(expr, ast.ReadExpr):
+            return
+        if isinstance(expr, ast.Call):
+            if expr.name not in self.signatures:
+                raise MiniCError(
+                    f"call to undefined function {expr.name!r}", expr.line
+                )
+            expected = self.signatures[expr.name]
+            if len(expr.args) != expected:
+                raise MiniCError(
+                    f"{expr.name!r} expects {expected} args,"
+                    f" got {len(expr.args)}",
+                    expr.line,
+                )
+            for arg in expr.args:
+                self._expr(arg)
+            return
+        raise MiniCError(  # pragma: no cover - exhaustive over Expr
+            f"unknown expression {type(expr).__name__}"
+        )

@@ -1,0 +1,23 @@
+"""Reference interpreter and shared operation semantics."""
+
+from .interpreter import (
+    ExecutionObserver,
+    ExecutionResult,
+    Interpreter,
+    InterpreterError,
+    StepLimitExceeded,
+    run_program,
+)
+from .ops import BINARY_EVAL, MachineFault, UNARY_EVAL
+
+__all__ = [
+    "BINARY_EVAL",
+    "ExecutionObserver",
+    "ExecutionResult",
+    "Interpreter",
+    "InterpreterError",
+    "MachineFault",
+    "StepLimitExceeded",
+    "UNARY_EVAL",
+    "run_program",
+]

@@ -1,0 +1,303 @@
+"""Reference interpreter for IR programs.
+
+The interpreter serves three roles in the reproduction:
+
+1. **Profiling substrate** — it drives an observer with the dynamic stream of
+   executed basic blocks, from which the edge and path profilers build their
+   tables (the paper instruments every executed CFG edge, Section 3.1).
+2. **Ground truth** — its program output is the semantic reference against
+   which scheduled code is checked.
+3. **Statistics** — it supplies the dynamic branch and instruction counts of
+   Table 1.
+
+Each procedure activation has its own register file (frames), and program
+memory is a flat word-addressed integer store.  Input is a finite tape of
+integers (``read`` yields -1 at the end), and output is the sequence of
+``print``-ed integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.cfg import BasicBlock, Procedure, Program
+from ..ir.instructions import Instruction, Opcode
+from .ops import BINARY_EVAL, MachineFault, UNARY_EVAL
+
+
+class InterpreterError(Exception):
+    """Raised on runaway executions or IR the interpreter cannot run."""
+
+
+class StepLimitExceeded(InterpreterError):
+    """The configured dynamic instruction budget was exhausted."""
+
+
+class ExecutionObserver:
+    """Interface for consumers of the dynamic execution stream.
+
+    The interpreter invokes these hooks; the default implementations do
+    nothing, so observers override only what they need.  ``frame_id`` values
+    are unique per procedure activation, letting path profilers keep one
+    sliding window per active frame (recursion-safe).
+    """
+
+    def enter_procedure(self, proc_name: str, frame_id: int) -> None:
+        """A new activation of ``proc_name`` began."""
+
+    def exit_procedure(self, proc_name: str, frame_id: int) -> None:
+        """The activation ``frame_id`` returned."""
+
+    def block_executed(self, proc_name: str, frame_id: int, label: str) -> None:
+        """Control entered block ``label`` within activation ``frame_id``."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome and dynamic statistics of one program run."""
+
+    output: List[int]
+    return_value: int
+    instructions: int
+    branches: int
+    blocks: int
+    calls: int
+    #: Dynamic instruction count per procedure name.
+    per_procedure: Dict[str, int] = field(default_factory=dict)
+
+
+class _Frame:
+    __slots__ = (
+        "proc",
+        "regs",
+        "block",
+        "index",
+        "ret_dest",
+        "frame_id",
+        "spill",
+    )
+
+    def __init__(
+        self,
+        proc: Procedure,
+        regs: Dict[int, int],
+        frame_id: int,
+        ret_dest: Optional[int],
+    ) -> None:
+        self.proc = proc
+        self.regs = regs
+        self.block: BasicBlock = proc.entry
+        self.index = 0
+        self.ret_dest = ret_dest
+        self.frame_id = frame_id
+        self.spill: Dict[int, int] = {}
+
+
+class Interpreter:
+    """Executes a :class:`~repro.ir.cfg.Program` on a given input tape."""
+
+    def __init__(
+        self,
+        program: Program,
+        step_limit: int = 50_000_000,
+        observer: Optional[ExecutionObserver] = None,
+    ) -> None:
+        self.program = program
+        self.step_limit = step_limit
+        self.observer = observer
+
+    def run(
+        self, input_tape: Sequence[int] = (), args: Sequence[int] = ()
+    ) -> ExecutionResult:
+        """Run the program's entry procedure to completion.
+
+        Args:
+            input_tape: integers yielded by successive ``read`` instructions.
+            args: values bound to the entry procedure's parameters.
+
+        Returns:
+            An :class:`ExecutionResult` with the output and dynamic counts.
+        """
+        program = self.program
+        observer = self.observer
+        memory: Dict[int, int] = {}
+        output: List[int] = []
+        tape = list(input_tape)
+        tape_pos = 0
+
+        instructions = 0
+        branches = 0
+        blocks = 0
+        calls = 0
+        per_procedure: Dict[str, int] = {}
+
+        next_frame_id = 0
+
+        def new_frame(
+            proc: Procedure, argv: Sequence[int], ret_dest: Optional[int]
+        ) -> _Frame:
+            nonlocal next_frame_id
+            if len(argv) != len(proc.params):
+                raise InterpreterError(
+                    f"{proc.name} expects {len(proc.params)} args,"
+                    f" got {len(argv)}"
+                )
+            regs = dict(zip(proc.params, argv))
+            frame = _Frame(proc, regs, next_frame_id, ret_dest)
+            next_frame_id += 1
+            if observer is not None:
+                observer.enter_procedure(proc.name, frame.frame_id)
+                observer.block_executed(
+                    proc.name, frame.frame_id, proc.entry_label
+                )
+            return frame
+
+        entry_proc = program.procedure(program.entry)
+        stack: List[_Frame] = [new_frame(entry_proc, list(args), None)]
+        blocks += 1
+        return_value = 0
+        limit = self.step_limit
+
+        while stack:
+            frame = stack[-1]
+            regs = frame.regs
+            instrs = frame.block.instructions
+            index = frame.index
+            round_start = instructions
+            advanced_control = False
+            while index < len(instrs):
+                instr = instrs[index]
+                instructions += 1
+                if instructions > limit:
+                    raise StepLimitExceeded(
+                        f"exceeded {limit} dynamic instructions"
+                    )
+                op = instr.opcode
+                binop = BINARY_EVAL.get(op)
+                if binop is not None:
+                    a, b = instr.srcs
+                    regs[instr.dest] = binop(regs[a], regs[b])
+                elif op is Opcode.LI:
+                    regs[instr.dest] = instr.imm
+                elif op is Opcode.MOV:
+                    regs[instr.dest] = regs[instr.srcs[0]]
+                elif op in (Opcode.LOAD, Opcode.LOAD_S):
+                    regs[instr.dest] = memory.get(regs[instr.srcs[0]], 0)
+                elif op is Opcode.STORE:
+                    memory[regs[instr.srcs[0]]] = regs[instr.srcs[1]]
+                elif op is Opcode.SPILL_LD:
+                    regs[instr.dest] = frame.spill.get(instr.imm, 0)
+                elif op is Opcode.SPILL_ST:
+                    frame.spill[instr.imm] = regs[instr.srcs[0]]
+                elif op is Opcode.READ:
+                    if tape_pos < len(tape):
+                        regs[instr.dest] = tape[tape_pos]
+                        tape_pos += 1
+                    else:
+                        regs[instr.dest] = -1
+                elif op is Opcode.PRINT:
+                    output.append(regs[instr.srcs[0]])
+                elif op is Opcode.NOP:
+                    pass
+                elif op in UNARY_EVAL:
+                    regs[instr.dest] = UNARY_EVAL[op](regs[instr.srcs[0]])
+                elif op is Opcode.BR:
+                    branches += 1
+                    target = instr.targets[0 if regs[instr.srcs[0]] else 1]
+                    frame.block = frame.proc.block(target)
+                    frame.index = 0
+                    blocks += 1
+                    if observer is not None:
+                        observer.block_executed(
+                            frame.proc.name, frame.frame_id, target
+                        )
+                    advanced_control = True
+                    break
+                elif op is Opcode.JMP:
+                    target = instr.targets[0]
+                    frame.block = frame.proc.block(target)
+                    frame.index = 0
+                    blocks += 1
+                    if observer is not None:
+                        observer.block_executed(
+                            frame.proc.name, frame.frame_id, target
+                        )
+                    advanced_control = True
+                    break
+                elif op is Opcode.MBR:
+                    branches += 1
+                    sel = regs[instr.srcs[0]]
+                    if 0 <= sel < len(instr.targets) - 1:
+                        target = instr.targets[sel]
+                    else:
+                        target = instr.targets[-1]
+                    frame.block = frame.proc.block(target)
+                    frame.index = 0
+                    blocks += 1
+                    if observer is not None:
+                        observer.block_executed(
+                            frame.proc.name, frame.frame_id, target
+                        )
+                    advanced_control = True
+                    break
+                elif op is Opcode.CALL:
+                    calls += 1
+                    callee = program.procedure(instr.callee)
+                    argv = [regs[s] for s in instr.srcs]
+                    frame.index = index + 1
+                    stack.append(new_frame(callee, argv, instr.dest))
+                    blocks += 1
+                    advanced_control = True
+                    break
+                elif op is Opcode.RET:
+                    value = regs[instr.srcs[0]] if instr.srcs else 0
+                    if observer is not None:
+                        observer.exit_procedure(
+                            frame.proc.name, frame.frame_id
+                        )
+                    stack.pop()
+                    if stack:
+                        caller = stack[-1]
+                        if frame.ret_dest is not None:
+                            caller.regs[frame.ret_dest] = value
+                    else:
+                        return_value = value
+                    advanced_control = True
+                    break
+                else:  # pragma: no cover - exhaustive over Opcode
+                    raise InterpreterError(f"cannot execute {op}")
+                index += 1
+            per_name = frame.proc.name
+            per_procedure[per_name] = (
+                per_procedure.get(per_name, 0) + instructions - round_start
+            )
+            if not advanced_control:
+                raise InterpreterError(
+                    f"fell off the end of block {frame.block.label}"
+                    f" in {frame.proc.name}"
+                )
+
+        result = ExecutionResult(
+            output=output,
+            return_value=return_value,
+            instructions=instructions,
+            branches=branches,
+            blocks=blocks,
+            calls=calls,
+            per_procedure=per_procedure,
+        )
+        return result
+
+
+def run_program(
+    program: Program,
+    input_tape: Sequence[int] = (),
+    args: Sequence[int] = (),
+    step_limit: int = 50_000_000,
+    observer: Optional[ExecutionObserver] = None,
+) -> ExecutionResult:
+    """Convenience wrapper: interpret ``program`` and return the result."""
+    return Interpreter(program, step_limit=step_limit, observer=observer).run(
+        input_tape, args
+    )

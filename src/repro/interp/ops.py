@@ -1,0 +1,66 @@
+"""Scalar operation semantics shared by the interpreter and the VLIW
+simulator.
+
+Keeping one evaluation table guarantees that scheduled code and original code
+agree on arithmetic corner cases (division truncates toward zero, remainder
+takes the dividend's sign, shifts are arithmetic), so output-equivalence
+checks test the *schedulers*, not accidental semantic drift.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..ir.instructions import Opcode
+
+
+class MachineFault(Exception):
+    """Raised when an excepting instruction faults (e.g. divide by zero)."""
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        raise MachineFault("integer divide by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise MachineFault("integer modulo by zero")
+    return a - _div(a, b) * b
+
+
+def _shl(a: int, b: int) -> int:
+    return a << (b & 63)
+
+
+def _shr(a: int, b: int) -> int:
+    return a >> (b & 63)
+
+
+#: Two-source ALU evaluation functions.
+BINARY_EVAL: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _div,
+    Opcode.MOD: _mod,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: _shl,
+    Opcode.SHR: _shr,
+    Opcode.CMPEQ: lambda a, b: int(a == b),
+    Opcode.CMPNE: lambda a, b: int(a != b),
+    Opcode.CMPLT: lambda a, b: int(a < b),
+    Opcode.CMPLE: lambda a, b: int(a <= b),
+    Opcode.CMPGT: lambda a, b: int(a > b),
+    Opcode.CMPGE: lambda a, b: int(a >= b),
+}
+
+#: One-source ALU evaluation functions.
+UNARY_EVAL: Dict[Opcode, Callable[[int], int]] = {
+    Opcode.NEG: lambda a: -a,
+    Opcode.NOT: lambda a: int(a == 0),
+}

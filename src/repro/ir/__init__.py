@@ -1,0 +1,67 @@
+"""Intermediate representation of the reproduction compiler.
+
+Public surface:
+
+* :mod:`repro.ir.instructions` — the virtual ISA and instruction factories.
+* :mod:`repro.ir.cfg` — basic blocks, procedures (CFGs), programs.
+* :mod:`repro.ir.builder` — fluent construction API.
+* :mod:`repro.ir.printer` — textual rendering.
+* :mod:`repro.ir.verify` — well-formedness checks.
+"""
+
+from .asmparse import AsmParseError, parse_program
+from .cfg import (
+    BasicBlock,
+    Edge,
+    IRError,
+    Procedure,
+    Program,
+    reachable_labels,
+    remove_unreachable_blocks,
+)
+from .builder import BlockBuilder, FunctionBuilder, build_program
+from .instructions import (
+    BRANCH_OPS,
+    CONTROL_OPS,
+    Instruction,
+    MAY_FAULT_OPS,
+    MEMORY_OPS,
+    Opcode,
+    PURE_OPS,
+    SIDE_EFFECT_OPS,
+    TERMINATORS,
+    format_instruction,
+)
+from .printer import format_block, format_procedure, format_program
+from .verify import check_program, verify_procedure, verify_program
+
+__all__ = [
+    "AsmParseError",
+    "BasicBlock",
+    "parse_program",
+    "BlockBuilder",
+    "BRANCH_OPS",
+    "CONTROL_OPS",
+    "Edge",
+    "FunctionBuilder",
+    "Instruction",
+    "IRError",
+    "MAY_FAULT_OPS",
+    "MEMORY_OPS",
+    "Opcode",
+    "Procedure",
+    "Program",
+    "PURE_OPS",
+    "SIDE_EFFECT_OPS",
+    "TERMINATORS",
+    "build_program",
+    "check_program",
+    "format_block",
+    "format_instruction",
+    "format_procedure",
+    "format_program",
+    "reachable_labels",
+    "remove_unreachable_blocks",
+    "verify_procedure",
+    "verify_program",
+]

@@ -1,0 +1,170 @@
+"""Fluent construction API for IR procedures.
+
+The builder is used by the MiniC code generator, by the workload library,
+and heavily by tests.  Typical usage::
+
+    fb = FunctionBuilder("main")
+    entry = fb.block("entry")
+    x = fb.reg()
+    entry.li(x, 10)
+    entry.jmp("loop")
+    ...
+    program = build_program(fb)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import instructions as ins
+from .cfg import BasicBlock, Procedure, Program
+from .instructions import Instruction, Opcode
+
+
+class BlockBuilder:
+    """Appends instructions to one basic block."""
+
+    def __init__(self, proc: Procedure, block: BasicBlock) -> None:
+        self._proc = proc
+        self.block = block
+
+    @property
+    def label(self) -> str:
+        """Label of the block under construction."""
+        return self.block.label
+
+    def emit(self, instr: Instruction) -> Instruction:
+        """Append an arbitrary instruction."""
+        self.block.append(instr)
+        return instr
+
+    # -- data ---------------------------------------------------------------
+
+    def li(self, dest: int, imm: int) -> Instruction:
+        """``dest <- imm``"""
+        return self.emit(ins.li(dest, imm))
+
+    def mov(self, dest: int, src: int) -> Instruction:
+        """``dest <- src``"""
+        return self.emit(ins.mov(dest, src))
+
+    def alu(self, opcode: Opcode, dest: int, *srcs: int) -> Instruction:
+        """Emit a unary or binary ALU operation by opcode."""
+        if len(srcs) == 1:
+            return self.emit(ins.unop(opcode, dest, srcs[0]))
+        if len(srcs) == 2:
+            return self.emit(ins.binop(opcode, dest, srcs[0], srcs[1]))
+        raise ValueError("ALU operations take one or two sources")
+
+    def add(self, dest: int, lhs: int, rhs: int) -> Instruction:
+        """``dest <- lhs + rhs``"""
+        return self.alu(Opcode.ADD, dest, lhs, rhs)
+
+    def sub(self, dest: int, lhs: int, rhs: int) -> Instruction:
+        """``dest <- lhs - rhs``"""
+        return self.alu(Opcode.SUB, dest, lhs, rhs)
+
+    def mul(self, dest: int, lhs: int, rhs: int) -> Instruction:
+        """``dest <- lhs * rhs``"""
+        return self.alu(Opcode.MUL, dest, lhs, rhs)
+
+    def div(self, dest: int, lhs: int, rhs: int) -> Instruction:
+        """``dest <- lhs / rhs`` (truncating toward zero)."""
+        return self.alu(Opcode.DIV, dest, lhs, rhs)
+
+    def mod(self, dest: int, lhs: int, rhs: int) -> Instruction:
+        """``dest <- lhs mod rhs`` (sign follows the dividend)."""
+        return self.alu(Opcode.MOD, dest, lhs, rhs)
+
+    def cmplt(self, dest: int, lhs: int, rhs: int) -> Instruction:
+        """``dest <- (lhs < rhs)``"""
+        return self.alu(Opcode.CMPLT, dest, lhs, rhs)
+
+    def cmpeq(self, dest: int, lhs: int, rhs: int) -> Instruction:
+        """``dest <- (lhs == rhs)``"""
+        return self.alu(Opcode.CMPEQ, dest, lhs, rhs)
+
+    # -- memory and I/O -------------------------------------------------------
+
+    def load(self, dest: int, addr: int) -> Instruction:
+        """``dest <- mem[addr]``"""
+        return self.emit(ins.load(dest, addr))
+
+    def store(self, addr: int, value: int) -> Instruction:
+        """``mem[addr] <- value``"""
+        return self.emit(ins.store(addr, value))
+
+    def read(self, dest: int) -> Instruction:
+        """``dest <- next input word`` (-1 at end of input)."""
+        return self.emit(ins.read(dest))
+
+    def print_(self, src: int) -> Instruction:
+        """Append ``src`` to the program output."""
+        return self.emit(ins.print_(src))
+
+    # -- control ---------------------------------------------------------------
+
+    def jmp(self, target: str) -> Instruction:
+        """Terminate with an unconditional jump."""
+        return self.emit(ins.jmp(target))
+
+    def br(self, cond: int, taken: str, fallthrough: str) -> Instruction:
+        """Terminate with a conditional branch (taken iff ``cond != 0``)."""
+        return self.emit(ins.br(cond, taken, fallthrough))
+
+    def mbr(self, index: int, targets: Sequence[str]) -> Instruction:
+        """Terminate with a multiway branch (last target is the default)."""
+        return self.emit(ins.mbr(index, tuple(targets)))
+
+    def call(
+        self, callee: str, args: Sequence[int] = (), dest: Optional[int] = None
+    ) -> Instruction:
+        """Call ``callee``; the return value (if any) lands in ``dest``."""
+        return self.emit(ins.call(callee, tuple(args), dest))
+
+    def ret(self, value: Optional[int] = None) -> Instruction:
+        """Terminate by returning from the procedure."""
+        return self.emit(ins.ret(value))
+
+
+class FunctionBuilder:
+    """Builds one :class:`Procedure` block by block."""
+
+    def __init__(self, name: str, num_params: int = 0) -> None:
+        self.proc = Procedure(name, params=tuple(range(num_params)))
+        self._builders: Dict[str, BlockBuilder] = {}
+
+    @property
+    def params(self) -> Tuple[int, ...]:
+        """Parameter registers (pre-allocated as v0..v(n-1))."""
+        return self.proc.params
+
+    def reg(self) -> int:
+        """Allocate a fresh virtual register."""
+        return self.proc.fresh_reg()
+
+    def regs(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh virtual registers."""
+        return [self.proc.fresh_reg() for _ in range(count)]
+
+    def block(self, label: Optional[str] = None) -> BlockBuilder:
+        """Create (or fetch, when it already exists) a block builder.
+
+        The first block created is the procedure entry.
+        """
+        if label is not None and self.proc.has_block(label):
+            return self._builders[label]
+        if label is None:
+            label = self.proc.fresh_label()
+        block = self.proc.add_block(BasicBlock(label))
+        builder = BlockBuilder(self.proc, block)
+        self._builders[label] = builder
+        return builder
+
+
+def build_program(*functions: FunctionBuilder, entry: str = "main") -> Program:
+    """Assemble finished :class:`FunctionBuilder` objects into a program."""
+    program = Program(entry=entry)
+    for fb in functions:
+        program.add(fb.proc)
+    return program

@@ -1,0 +1,320 @@
+"""Basic blocks, procedures (control-flow graphs), and whole programs.
+
+A :class:`Procedure` owns an ordered collection of :class:`BasicBlock`
+objects; the first block is the unique entry.  Control-flow edges are derived
+from block terminators, so the graph can never go stale with respect to the
+code.  A :class:`Program` is a set of procedures with a designated entry
+procedure (``main`` by default).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .instructions import Instruction, Opcode
+
+Edge = Tuple[str, str]
+
+
+class IRError(Exception):
+    """Raised for malformed IR (bad labels, missing terminators, ...)."""
+
+
+class BasicBlock:
+    """A maximal straight-line sequence of instructions ending in a terminator.
+
+    ``CALL`` instructions are *not* terminators in this IR: a call returns to
+    the following instruction of the same block, as in the paper's compiler.
+    """
+
+    __slots__ = ("label", "instructions")
+
+    def __init__(
+        self, label: str, instructions: Optional[List[Instruction]] = None
+    ) -> None:
+        self.label = label
+        self.instructions: List[Instruction] = list(instructions or [])
+
+    @property
+    def terminator(self) -> Instruction:
+        """The block's final control transfer.
+
+        Raises :class:`IRError` when the block is unterminated.
+        """
+        if not self.instructions or not self.instructions[-1].is_terminator:
+            raise IRError(f"block {self.label} lacks a terminator")
+        return self.instructions[-1]
+
+    @property
+    def body(self) -> List[Instruction]:
+        """All instructions except the terminator."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def successors(self) -> Tuple[str, ...]:
+        """Labels of the blocks this block may transfer control to.
+
+        Duplicate labels are collapsed (a two-way branch whose arms coincide
+        behaves like a jump), preserving first-occurrence order.
+        """
+        seen = []
+        for label in self.terminator.targets:
+            if label not in seen:
+                seen.append(label)
+        return tuple(seen)
+
+    @property
+    def ends_in_branch(self) -> bool:
+        """True when the block ends in a conditional or multiway branch with
+        more than one distinct successor (the unit counted against the path
+        profiling depth)."""
+        term = self.instructions[-1] if self.instructions else None
+        return (
+            term is not None and term.is_branch and len(self.successors()) > 1
+        )
+
+    def append(self, instr: Instruction) -> None:
+        """Append ``instr``; terminators may only be appended last."""
+        if self.instructions and self.instructions[-1].is_terminator:
+            raise IRError(f"block {self.label} is already terminated")
+        self.instructions.append(instr)
+
+    def copy(self, new_label: str) -> "BasicBlock":
+        """Deep-copy this block under a fresh label (used by tail duplication
+        and superblock enlargement)."""
+        return BasicBlock(new_label, [i.copy() for i in self.instructions])
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BasicBlock {self.label} ({len(self.instructions)} instrs)>"
+
+
+class Procedure:
+    """A named control-flow graph with parameters.
+
+    Blocks are kept in an explicit order; the first block is the entry.  The
+    order is also the default code-layout order prior to the procedure
+    placement pass.
+    """
+
+    def __init__(self, name: str, params: Sequence[int] = ()) -> None:
+        self.name = name
+        self.params: Tuple[int, ...] = tuple(params)
+        self._blocks: Dict[str, BasicBlock] = {}
+        self._order: List[str] = []
+        self._next_reg = (max(self.params) + 1) if self.params else 0
+        self._next_label = 0
+
+    # -- block management --------------------------------------------------
+
+    @property
+    def entry_label(self) -> str:
+        """Label of the entry block."""
+        if not self._order:
+            raise IRError(f"procedure {self.name} has no blocks")
+        return self._order[0]
+
+    @property
+    def entry(self) -> BasicBlock:
+        """The entry block."""
+        return self._blocks[self.entry_label]
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        """Register ``block``; labels must be unique within the procedure."""
+        if block.label in self._blocks:
+            raise IRError(f"duplicate block label {block.label}")
+        self._blocks[block.label] = block
+        self._order.append(block.label)
+        return block
+
+    def new_block(self, hint: str = "b") -> BasicBlock:
+        """Create, register, and return an empty block with a fresh label."""
+        return self.add_block(BasicBlock(self.fresh_label(hint)))
+
+    def remove_block(self, label: str) -> None:
+        """Delete a block (callers must have rewired its predecessors)."""
+        del self._blocks[label]
+        self._order.remove(label)
+
+    def block(self, label: str) -> BasicBlock:
+        """Look up a block by label."""
+        try:
+            return self._blocks[label]
+        except KeyError:
+            raise IRError(f"no block {label} in procedure {self.name}") from None
+
+    def has_block(self, label: str) -> bool:
+        """True when ``label`` names a block of this procedure."""
+        return label in self._blocks
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        """Iterate blocks in layout order."""
+        for label in self._order:
+            yield self._blocks[label]
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Block labels in layout order."""
+        return tuple(self._order)
+
+    def reorder(self, order: Sequence[str]) -> None:
+        """Set a new layout order; must be a permutation of the labels that
+        keeps the entry block first."""
+        if sorted(order) != sorted(self._order):
+            raise IRError("reorder must permute the existing labels")
+        if order[0] != self._order[0]:
+            raise IRError("reorder must keep the entry block first")
+        self._order = list(order)
+
+    # -- name generation ----------------------------------------------------
+
+    def fresh_reg(self) -> int:
+        """Allocate a virtual register number unused in this procedure."""
+        reg = self._next_reg
+        self._next_reg += 1
+        return reg
+
+    def note_reg(self, reg: int) -> int:
+        """Inform the allocator that ``reg`` is in use (builder helper)."""
+        if reg >= self._next_reg:
+            self._next_reg = reg + 1
+        return reg
+
+    def fresh_label(self, hint: str = "b") -> str:
+        """Generate a block label unique within this procedure."""
+        while True:
+            label = f"{hint}{self._next_label}"
+            self._next_label += 1
+            if label not in self._blocks:
+                return label
+
+    @property
+    def max_reg(self) -> int:
+        """One past the highest virtual register number handed out."""
+        return self._next_reg
+
+    # -- graph queries -------------------------------------------------------
+
+    def edges(self) -> List[Edge]:
+        """All control-flow edges as ``(src_label, dst_label)`` pairs."""
+        result: List[Edge] = []
+        for block in self.blocks():
+            for succ in block.successors():
+                result.append((block.label, succ))
+        return result
+
+    def predecessors(self) -> Dict[str, List[str]]:
+        """Map each label to the labels of its CFG predecessors."""
+        preds: Dict[str, List[str]] = {label: [] for label in self._order}
+        for src, dst in self.edges():
+            preds[dst].append(src)
+        return preds
+
+    def successors(self, label: str) -> Tuple[str, ...]:
+        """Successor labels of ``label``."""
+        return self.block(label).successors()
+
+    def instruction_count(self) -> int:
+        """Static instruction count over all blocks."""
+        return sum(len(b) for b in self.blocks())
+
+    def copy(self) -> "Procedure":
+        """Deep-copy the procedure (blocks and instructions)."""
+        clone = Procedure(self.name, self.params)
+        for block in self.blocks():
+            clone.add_block(block.copy(block.label))
+        clone._next_reg = self._next_reg
+        clone._next_label = self._next_label
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Procedure {self.name} ({len(self._order)} blocks)>"
+
+
+class Program:
+    """A whole program: a set of procedures plus a designated entry point."""
+
+    def __init__(self, entry: str = "main") -> None:
+        self.entry = entry
+        self._procedures: Dict[str, Procedure] = {}
+
+    def add(self, proc: Procedure) -> Procedure:
+        """Register ``proc``; procedure names must be unique."""
+        if proc.name in self._procedures:
+            raise IRError(f"duplicate procedure {proc.name}")
+        self._procedures[proc.name] = proc
+        return proc
+
+    def procedure(self, name: str) -> Procedure:
+        """Look up a procedure by name."""
+        try:
+            return self._procedures[name]
+        except KeyError:
+            raise IRError(f"no procedure named {name}") from None
+
+    def has_procedure(self, name: str) -> bool:
+        """True when ``name`` is a procedure of this program."""
+        return name in self._procedures
+
+    def procedures(self) -> Iterator[Procedure]:
+        """Iterate procedures in insertion order."""
+        return iter(self._procedures.values())
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Procedure names in insertion order."""
+        return tuple(self._procedures)
+
+    def instruction_count(self) -> int:
+        """Static instruction count over the whole program."""
+        return sum(p.instruction_count() for p in self.procedures())
+
+    def copy(self) -> "Program":
+        """Deep-copy the program."""
+        clone = Program(self.entry)
+        for proc in self.procedures():
+            clone.add(proc.copy())
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Program entry={self.entry} procs={list(self._procedures)}>"
+
+
+def reachable_labels(proc: Procedure) -> List[str]:
+    """Labels reachable from the procedure entry, in reverse postorder."""
+    seen = set()
+    postorder: List[str] = []
+
+    def visit(label: str) -> None:
+        stack = [(label, iter(proc.successors(label)))]
+        seen.add(label)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(proc.successors(succ))))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(current)
+                stack.pop()
+
+    visit(proc.entry_label)
+    return list(reversed(postorder))
+
+
+def remove_unreachable_blocks(proc: Procedure) -> List[str]:
+    """Drop blocks not reachable from the entry; returns removed labels."""
+    keep = set(reachable_labels(proc))
+    removed = [label for label in proc.labels if label not in keep]
+    for label in removed:
+        proc.remove_block(label)
+    return removed

@@ -1,0 +1,361 @@
+"""Instruction set of the virtual target machine.
+
+The reproduction targets an Alpha-flavoured RISC register machine, extended
+(as in the paper, Section 3.2) with *non-excepting* instructions so the
+scheduler can speculate loads above branches.  Instructions operate on an
+unbounded space of virtual registers; the register allocator later maps them
+onto the 128 physical integer registers of the experimental machine model.
+
+Instruction objects use identity-based equality: two structurally identical
+instructions are still distinct program points (the schedulers and profilers
+rely on this).  Use :meth:`Instruction.copy` when duplicating code, e.g.
+during tail duplication or superblock enlargement.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+
+class Opcode(enum.Enum):
+    """Operation codes of the virtual ISA."""
+
+    # Data movement.
+    LI = "li"  # dest <- imm
+    MOV = "mov"  # dest <- src0
+
+    # Two-source ALU operations.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"  # may fault (divide by zero)
+    MOD = "mod"  # may fault (divide by zero)
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+
+    # One-source ALU operations.
+    NEG = "neg"
+    NOT = "not"
+
+    # Memory.
+    LOAD = "load"  # dest <- mem[src0]; may fault
+    LOAD_S = "load.s"  # non-excepting (speculative) load
+    STORE = "store"  # mem[src0] <- src1
+
+    # Spill traffic (register-allocator private, per-activation stack
+    # slots; slot number in `imm`).
+    SPILL_LD = "spld"  # dest <- frame.slot[imm]
+    SPILL_ST = "spst"  # frame.slot[imm] <- src0
+
+    # Environment I/O (models the benchmark reading its data set and
+    # producing checkable output).
+    READ = "read"  # dest <- next input word, or -1 at end of input
+    PRINT = "print"  # append src0 to the program output
+
+    # Control.
+    JMP = "jmp"  # unconditional; targets = (label,)
+    BR = "br"  # conditional; targets = (taken, fallthrough); taken iff src0 != 0
+    MBR = "mbr"  # multiway; targets[src0] if in range else targets[-1]
+    CALL = "call"  # dest <- callee(srcs...); not a terminator
+    RET = "ret"  # return srcs[0] if present
+
+    NOP = "nop"
+
+
+#: Opcodes that end a basic block.
+TERMINATORS = frozenset({Opcode.JMP, Opcode.BR, Opcode.MBR, Opcode.RET})
+
+#: Opcodes that consume the single control slot of a VLIW cycle.
+CONTROL_OPS = frozenset(
+    {Opcode.JMP, Opcode.BR, Opcode.MBR, Opcode.RET, Opcode.CALL}
+)
+
+#: Conditional (side-exit capable) branch opcodes.
+BRANCH_OPS = frozenset({Opcode.BR, Opcode.MBR})
+
+#: Opcodes with side effects beyond their destination register.
+SIDE_EFFECT_OPS = frozenset(
+    {Opcode.STORE, Opcode.PRINT, Opcode.READ, Opcode.CALL, Opcode.SPILL_ST}
+)
+
+#: Opcodes that touch program memory.
+MEMORY_OPS = frozenset({Opcode.LOAD, Opcode.LOAD_S, Opcode.STORE})
+
+#: Opcodes that may raise an exception at run time and therefore may not be
+#: moved above a branch unless converted to a non-excepting form.
+MAY_FAULT_OPS = frozenset({Opcode.DIV, Opcode.MOD, Opcode.LOAD})
+
+#: Pure computations whose only effect is writing ``dest``; freely
+#: speculable above branches once renamed.
+PURE_OPS = frozenset(
+    {
+        Opcode.LI,
+        Opcode.MOV,
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+        Opcode.NEG,
+        Opcode.NOT,
+        Opcode.LOAD_S,
+    }
+)
+
+_BINARY_ALU = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+    }
+)
+
+_UNARY_ALU = frozenset({Opcode.NEG, Opcode.NOT})
+
+
+class Instruction:
+    """A single machine operation.
+
+    Attributes:
+        opcode: the :class:`Opcode`.
+        dest: destination virtual register, or ``None``.
+        srcs: tuple of source virtual registers.
+        imm: immediate operand (``LI`` only).
+        targets: tuple of target block labels (control transfers only).
+        callee: target procedure name (``CALL`` only).
+    """
+
+    __slots__ = ("opcode", "dest", "srcs", "imm", "targets", "callee")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dest: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        imm: Optional[int] = None,
+        targets: Tuple[str, ...] = (),
+        callee: Optional[str] = None,
+    ) -> None:
+        self.opcode = opcode
+        self.dest = dest
+        self.srcs = tuple(srcs)
+        self.imm = imm
+        self.targets = tuple(targets)
+        self.callee = callee
+
+    # -- structural properties -------------------------------------------
+
+    @property
+    def is_terminator(self) -> bool:
+        """True when this instruction must end its basic block."""
+        return self.opcode in TERMINATORS
+
+    @property
+    def is_control(self) -> bool:
+        """True when this instruction uses the single per-cycle control slot."""
+        return self.opcode in CONTROL_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        """True for conditional or multiway branches (side-exit capable)."""
+        return self.opcode in BRANCH_OPS
+
+    @property
+    def is_memory(self) -> bool:
+        """True when this instruction reads or writes program memory."""
+        return self.opcode in MEMORY_OPS
+
+    @property
+    def has_side_effects(self) -> bool:
+        """True when removing or duplicating the instruction changes behaviour
+        beyond its destination register."""
+        return self.opcode in SIDE_EFFECT_OPS
+
+    @property
+    def may_fault(self) -> bool:
+        """True when the instruction may raise a run-time exception."""
+        return self.opcode in MAY_FAULT_OPS
+
+    @property
+    def is_pure(self) -> bool:
+        """True for pure register computations (candidates for speculation)."""
+        return self.opcode in PURE_OPS
+
+    def copy(self) -> "Instruction":
+        """Return a fresh instruction object with identical operands."""
+        return Instruction(
+            self.opcode,
+            dest=self.dest,
+            srcs=self.srcs,
+            imm=self.imm,
+            targets=self.targets,
+            callee=self.callee,
+        )
+
+    def same_operation(self, other: "Instruction") -> bool:
+        """Structural equality (identity-insensitive); used by tests."""
+        return (
+            self.opcode == other.opcode
+            and self.dest == other.dest
+            and self.srcs == other.srcs
+            and self.imm == other.imm
+            and self.targets == other.targets
+            and self.callee == other.callee
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Instruction {format_instruction(self)}>"
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction in the textual assembly syntax.
+
+    A call without a destination prints its ``@callee`` before the argument
+    registers, so the parser can distinguish it from a call whose first
+    register is the destination.
+    """
+    op = instr.opcode
+    parts = [op.value]
+    operands = []
+    if instr.dest is not None:
+        operands.append(f"v{instr.dest}")
+    elif instr.callee is not None:
+        operands.append(f"@{instr.callee}")
+    operands.extend(f"v{s}" for s in instr.srcs)
+    if instr.imm is not None:
+        operands.append(str(instr.imm))
+    if instr.callee is not None and instr.dest is not None:
+        operands.append(f"@{instr.callee}")
+    operands.extend(instr.targets)
+    if operands:
+        parts.append(", ".join(operands))
+    return " ".join(parts)
+
+
+# -- construction helpers -------------------------------------------------
+
+
+def li(dest: int, imm: int) -> Instruction:
+    """``dest <- imm``"""
+    return Instruction(Opcode.LI, dest=dest, imm=imm)
+
+
+def mov(dest: int, src: int) -> Instruction:
+    """``dest <- src``"""
+    return Instruction(Opcode.MOV, dest=dest, srcs=(src,))
+
+
+def binop(opcode: Opcode, dest: int, lhs: int, rhs: int) -> Instruction:
+    """Two-source ALU operation ``dest <- lhs <op> rhs``."""
+    if opcode not in _BINARY_ALU:
+        raise ValueError(f"{opcode} is not a binary ALU opcode")
+    return Instruction(opcode, dest=dest, srcs=(lhs, rhs))
+
+
+def unop(opcode: Opcode, dest: int, src: int) -> Instruction:
+    """One-source ALU operation ``dest <- <op> src``."""
+    if opcode not in _UNARY_ALU:
+        raise ValueError(f"{opcode} is not a unary ALU opcode")
+    return Instruction(opcode, dest=dest, srcs=(src,))
+
+
+def load(dest: int, addr: int) -> Instruction:
+    """``dest <- mem[addr]`` (excepting form)."""
+    return Instruction(Opcode.LOAD, dest=dest, srcs=(addr,))
+
+
+def load_s(dest: int, addr: int) -> Instruction:
+    """``dest <- mem[addr]`` (non-excepting, speculative form)."""
+    return Instruction(Opcode.LOAD_S, dest=dest, srcs=(addr,))
+
+
+def store(addr: int, value: int) -> Instruction:
+    """``mem[addr] <- value``"""
+    return Instruction(Opcode.STORE, srcs=(addr, value))
+
+
+def spill_ld(dest: int, slot: int) -> Instruction:
+    """``dest <- frame.slot[slot]`` (allocator-private spill reload)."""
+    return Instruction(Opcode.SPILL_LD, dest=dest, imm=slot)
+
+
+def spill_st(slot: int, src: int) -> Instruction:
+    """``frame.slot[slot] <- src`` (allocator-private spill store)."""
+    return Instruction(Opcode.SPILL_ST, srcs=(src,), imm=slot)
+
+
+def read(dest: int) -> Instruction:
+    """``dest <- next input word`` (or -1 at end of input)."""
+    return Instruction(Opcode.READ, dest=dest)
+
+
+def print_(src: int) -> Instruction:
+    """Append ``src`` to the program output."""
+    return Instruction(Opcode.PRINT, srcs=(src,))
+
+
+def jmp(target: str) -> Instruction:
+    """Unconditional jump."""
+    return Instruction(Opcode.JMP, targets=(target,))
+
+
+def br(cond: int, taken: str, fallthrough: str) -> Instruction:
+    """Conditional branch: go to ``taken`` iff ``cond != 0``."""
+    return Instruction(Opcode.BR, srcs=(cond,), targets=(taken, fallthrough))
+
+
+def mbr(index: int, targets: Tuple[str, ...]) -> Instruction:
+    """Multiway branch: go to ``targets[index]``; out-of-range indices go to
+    ``targets[-1]`` (the default)."""
+    if len(targets) < 2:
+        raise ValueError("mbr needs at least two targets (cases + default)")
+    return Instruction(Opcode.MBR, srcs=(index,), targets=tuple(targets))
+
+
+def call(callee: str, args: Tuple[int, ...], dest: Optional[int]) -> Instruction:
+    """Call ``callee`` with argument registers ``args``; the return value (if
+    any) lands in ``dest``."""
+    return Instruction(Opcode.CALL, dest=dest, srcs=tuple(args), callee=callee)
+
+
+def ret(value: Optional[int] = None) -> Instruction:
+    """Return from the current procedure."""
+    srcs = (value,) if value is not None else ()
+    return Instruction(Opcode.RET, srcs=srcs)
+
+
+def nop() -> Instruction:
+    """No operation."""
+    return Instruction(Opcode.NOP)

@@ -1,0 +1,30 @@
+"""Textual rendering of IR programs (assembly-like, for humans and tests)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cfg import BasicBlock, Procedure, Program
+from .instructions import format_instruction
+
+
+def format_block(block: BasicBlock, indent: str = "  ") -> str:
+    """Render one basic block with its label."""
+    lines = [f"{block.label}:"]
+    lines.extend(f"{indent}{format_instruction(i)}" for i in block.instructions)
+    return "\n".join(lines)
+
+
+def format_procedure(proc: Procedure) -> str:
+    """Render one procedure with its parameter list."""
+    params = ", ".join(f"v{p}" for p in proc.params)
+    lines: List[str] = [f"func {proc.name}({params}) {{"]
+    for block in proc.blocks():
+        lines.append(format_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program."""
+    return "\n\n".join(format_procedure(p) for p in program.procedures())

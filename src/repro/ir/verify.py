@@ -1,0 +1,78 @@
+"""IR well-formedness checks.
+
+``verify_program`` is run by tests after every transformation pass; it
+catches the class of bugs that otherwise surface as baffling interpreter or
+scheduler misbehaviour: dangling labels, unterminated blocks, mid-block
+terminators, calls to missing procedures, and argument-count mismatches.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cfg import IRError, Procedure, Program
+from .instructions import Opcode
+
+
+def verify_procedure(proc: Procedure, program: Program = None) -> List[str]:
+    """Return a list of problems found in ``proc`` (empty when clean)."""
+    problems: List[str] = []
+    labels = set(proc.labels)
+    for block in proc.blocks():
+        if not block.instructions:
+            problems.append(f"{proc.name}/{block.label}: empty block")
+            continue
+        if not block.instructions[-1].is_terminator:
+            problems.append(f"{proc.name}/{block.label}: missing terminator")
+        for index, instr in enumerate(block.instructions):
+            last = index == len(block.instructions) - 1
+            if instr.is_terminator and not last:
+                problems.append(
+                    f"{proc.name}/{block.label}: terminator"
+                    f" {instr.opcode.value} at non-final position {index}"
+                )
+            for target in instr.targets:
+                if target not in labels:
+                    problems.append(
+                        f"{proc.name}/{block.label}: unknown target {target}"
+                    )
+            if instr.opcode is Opcode.CALL and program is not None:
+                if not program.has_procedure(instr.callee):
+                    problems.append(
+                        f"{proc.name}/{block.label}: call to missing"
+                        f" procedure {instr.callee}"
+                    )
+                else:
+                    callee = program.procedure(instr.callee)
+                    if len(instr.srcs) != len(callee.params):
+                        problems.append(
+                            f"{proc.name}/{block.label}: call to"
+                            f" {instr.callee} passes {len(instr.srcs)} args,"
+                            f" expected {len(callee.params)}"
+                        )
+            if instr.opcode is Opcode.BR and len(instr.targets) != 2:
+                problems.append(
+                    f"{proc.name}/{block.label}: br needs 2 targets"
+                )
+            if instr.opcode is Opcode.MBR and len(instr.targets) < 2:
+                problems.append(
+                    f"{proc.name}/{block.label}: mbr needs >= 2 targets"
+                )
+    return problems
+
+
+def verify_program(program: Program) -> List[str]:
+    """Return a list of problems found in ``program`` (empty when clean)."""
+    problems: List[str] = []
+    if not program.has_procedure(program.entry):
+        problems.append(f"missing entry procedure {program.entry}")
+    for proc in program.procedures():
+        problems.extend(verify_procedure(proc, program))
+    return problems
+
+
+def check_program(program: Program) -> None:
+    """Raise :class:`IRError` when ``program`` is malformed."""
+    problems = verify_program(program)
+    if problems:
+        raise IRError("; ".join(problems))

@@ -1,0 +1,17 @@
+"""Profile-guided code placement (Pettis & Hansen style)."""
+
+from .pettis_hansen import (
+    INSTRUCTION_BYTES,
+    Layout,
+    call_graph_weights,
+    layout_program,
+    order_procedures,
+)
+
+__all__ = [
+    "INSTRUCTION_BYTES",
+    "Layout",
+    "call_graph_weights",
+    "layout_program",
+    "order_procedures",
+]

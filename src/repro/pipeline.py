@@ -1,0 +1,177 @@
+"""High-level driver: the whole paper pipeline in one call.
+
+This is the public API most users want::
+
+    from repro.pipeline import run_scheme
+    outcome = run_scheme(program, "P4", train_tape, test_tape)
+    print(outcome.result.cycles)
+
+``run_scheme`` profiles the program on the training input, forms superblocks
+with the requested scheme, compacts and allocates them, lays the code out,
+simulates the result on the testing input — and cross-checks the simulated
+output against the reference interpreter, so every experiment doubles as a
+correctness test of the entire compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .formation import FormationConfig, FormationResult, form_superblocks, scheme
+from .interp.interpreter import ExecutionResult, run_program
+from .ir.cfg import Program
+from .layout.pettis_hansen import Layout, layout_program
+from .profiling.collector import ProfileBundle, collect_profiles
+from .scheduling.compactor import CompiledProgram, compact_program
+from .scheduling.machine import MachineModel, PAPER_MACHINE
+from .simulate.icache import ICache, ICacheConfig
+from .simulate.vliw_sim import SimulationResult, simulate
+
+
+class OutputMismatch(Exception):
+    """Simulated output diverged from the reference interpreter: a compiler
+    bug, never a user error."""
+
+
+@dataclass
+class SchemeOutcome:
+    """Everything produced by one (program, scheme, inputs) experiment."""
+
+    scheme: str
+    profiles: ProfileBundle
+    formation: FormationResult
+    compiled: CompiledProgram
+    layout: Layout
+    #: simulation on the testing input (ideal I-cache)
+    result: SimulationResult
+    #: simulation through the finite I-cache (None unless requested)
+    cached_result: Optional[SimulationResult] = None
+    #: reference interpreter run on the testing input
+    reference: Optional[ExecutionResult] = None
+
+
+def compile_scheme(
+    program: Program,
+    scheme_name: str,
+    train_tape: Sequence[int],
+    machine: MachineModel = PAPER_MACHINE,
+    config: Optional[FormationConfig] = None,
+    allocate: bool = True,
+    optimize: bool = True,
+    profiles: Optional[ProfileBundle] = None,
+    step_limit: int = 50_000_000,
+):
+    """Profile, form, compact, and lay out ``program`` under one scheme.
+
+    Returns ``(profiles, formation, compiled, layout)``.  Pass ``profiles``
+    to reuse one training run across several schemes.
+    """
+    if profiles is None:
+        profiles = collect_profiles(
+            program, input_tape=train_tape, step_limit=step_limit
+        )
+    formation_config = config or scheme(scheme_name)
+    formation = form_superblocks(
+        program,
+        formation_config,
+        edge_profile=profiles.edge,
+        path_profile=profiles.path,
+    )
+    compiled = compact_program(
+        formation, machine=machine, optimize=optimize, allocate=allocate
+    )
+    layout = layout_program(compiled, profile=profiles.edge)
+    return profiles, formation, compiled, layout
+
+
+def run_scheme(
+    program: Program,
+    scheme_name: str,
+    train_tape: Sequence[int],
+    test_tape: Sequence[int],
+    machine: MachineModel = PAPER_MACHINE,
+    config: Optional[FormationConfig] = None,
+    allocate: bool = True,
+    optimize: bool = True,
+    with_icache: bool = False,
+    icache_config: Optional[ICacheConfig] = None,
+    check_output: bool = True,
+    profiles: Optional[ProfileBundle] = None,
+    step_limit: int = 50_000_000,
+    cycle_limit: int = 100_000_000,
+) -> SchemeOutcome:
+    """Run the full pipeline for one scheme and verify its correctness.
+
+    Args:
+        program: the workload IR (e.g. from ``compile_source``).
+        scheme_name: "BB", "M4", "M16", "P4", or "P4e".
+        train_tape: profiling input (the paper uses distinct training data).
+        test_tape: measurement input.
+        machine: target machine model.
+        config: full formation config overriding ``scheme_name``'s preset.
+        allocate: run register allocation (128 registers).
+        optimize: run superblock-local value numbering and DCE.
+        with_icache: also simulate through the finite instruction cache.
+        icache_config: cache geometry (defaults to the paper's 32KB DM).
+        check_output: compare simulated output with the interpreter.
+        profiles: reuse an existing training-run profile bundle.
+        step_limit: interpreter instruction budget.
+        cycle_limit: simulator cycle budget.
+
+    Raises:
+        OutputMismatch: the scheduled code misbehaved (a compiler bug).
+    """
+    profiles, formation, compiled, layout = compile_scheme(
+        program,
+        scheme_name,
+        train_tape,
+        machine=machine,
+        config=config,
+        allocate=allocate,
+        optimize=optimize,
+        profiles=profiles,
+        step_limit=step_limit,
+    )
+    result = simulate(
+        compiled, input_tape=test_tape, cycle_limit=cycle_limit
+    )
+    cached_result = None
+    if with_icache:
+        icache = ICache(icache_config or ICacheConfig())
+        cached_result = simulate(
+            compiled,
+            input_tape=test_tape,
+            icache=icache,
+            layout=layout,
+            cycle_limit=cycle_limit,
+        )
+    reference = None
+    if check_output:
+        reference = run_program(
+            program, input_tape=test_tape, step_limit=step_limit
+        )
+        if reference.output != result.output or (
+            reference.return_value != result.return_value
+        ):
+            raise OutputMismatch(
+                f"scheme {scheme_name}: simulated output diverged from the"
+                f" reference interpreter"
+            )
+        if cached_result is not None and (
+            cached_result.output != reference.output
+        ):
+            raise OutputMismatch(
+                f"scheme {scheme_name}: cached simulation diverged"
+            )
+    outcome_scheme = config.name if config is not None else scheme_name
+    return SchemeOutcome(
+        scheme=outcome_scheme,
+        profiles=profiles,
+        formation=formation,
+        compiled=compiled,
+        layout=layout,
+        result=result,
+        cached_result=cached_result,
+        reference=reference,
+    )

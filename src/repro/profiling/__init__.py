@@ -1,0 +1,38 @@
+"""Profilers: edge (point) profiles, general path profiles, forward paths."""
+
+from .collector import MultiObserver, ProfileBundle, collect_profiles
+from .edge_profile import EdgeProfile, EdgeProfiler
+from .forward_path import ForwardPathProfiler
+from .path_profile import (
+    DEFAULT_DEPTH,
+    GeneralPathProfiler,
+    Path,
+    PathProfile,
+)
+from .serialize import (
+    edge_profile_from_dict,
+    edge_profile_to_dict,
+    load_profile,
+    path_profile_from_dict,
+    path_profile_to_dict,
+    save_profile,
+)
+
+__all__ = [
+    "DEFAULT_DEPTH",
+    "EdgeProfile",
+    "EdgeProfiler",
+    "ForwardPathProfiler",
+    "GeneralPathProfiler",
+    "MultiObserver",
+    "Path",
+    "PathProfile",
+    "ProfileBundle",
+    "collect_profiles",
+    "edge_profile_from_dict",
+    "edge_profile_to_dict",
+    "load_profile",
+    "path_profile_from_dict",
+    "path_profile_to_dict",
+    "save_profile",
+]

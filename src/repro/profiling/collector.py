@@ -1,0 +1,94 @@
+"""Convenience entry points for collecting profiles from training runs.
+
+The paper's compiler instruments each executed CFG edge and dispatches the
+stream to a linked analysis routine (Section 3.1); here the interpreter is
+the instrumentation and the profilers are the analysis routines.  A
+:class:`MultiObserver` fans one execution out to several profilers so the
+edge and path profiles of an experiment come from the *same* training run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..interp.interpreter import (
+    ExecutionObserver,
+    ExecutionResult,
+    Interpreter,
+)
+from ..ir.cfg import Program
+from .edge_profile import EdgeProfile, EdgeProfiler
+from .forward_path import ForwardPathProfiler
+from .path_profile import DEFAULT_DEPTH, GeneralPathProfiler, PathProfile
+
+
+class MultiObserver(ExecutionObserver):
+    """Broadcasts execution events to several observers."""
+
+    def __init__(self, observers: Sequence[ExecutionObserver]) -> None:
+        self.observers = list(observers)
+
+    def enter_procedure(self, proc_name: str, frame_id: int) -> None:
+        for obs in self.observers:
+            obs.enter_procedure(proc_name, frame_id)
+
+    def exit_procedure(self, proc_name: str, frame_id: int) -> None:
+        for obs in self.observers:
+            obs.exit_procedure(proc_name, frame_id)
+
+    def block_executed(self, proc_name: str, frame_id: int, label: str) -> None:
+        for obs in self.observers:
+            obs.block_executed(proc_name, frame_id, label)
+
+
+@dataclass
+class ProfileBundle:
+    """Everything a formation pass might want from one training run."""
+
+    edge: EdgeProfile
+    path: PathProfile
+    result: ExecutionResult
+    forward: Optional[PathProfile] = None
+
+
+def collect_profiles(
+    program: Program,
+    input_tape: Sequence[int] = (),
+    args: Sequence[int] = (),
+    depth: int = DEFAULT_DEPTH,
+    include_forward: bool = False,
+    step_limit: int = 50_000_000,
+) -> ProfileBundle:
+    """Run ``program`` on a training input, collecting edge and path profiles.
+
+    Args:
+        program: the program to profile.
+        input_tape: training input words for ``read``.
+        args: entry-procedure arguments.
+        depth: path profiling depth in branches (15 in the paper).
+        include_forward: also collect a Ball–Larus-style forward profile.
+        step_limit: dynamic instruction budget.
+
+    Returns:
+        A :class:`ProfileBundle` with finalized profiles and the run result.
+    """
+    edge_profiler = EdgeProfiler()
+    path_profiler = GeneralPathProfiler(program, depth=depth)
+    observers: List[ExecutionObserver] = [edge_profiler, path_profiler]
+    forward_profiler = None
+    if include_forward:
+        forward_profiler = ForwardPathProfiler(program, depth=depth)
+        observers.append(forward_profiler)
+    interp = Interpreter(
+        program, step_limit=step_limit, observer=MultiObserver(observers)
+    )
+    result = interp.run(input_tape, args)
+    return ProfileBundle(
+        edge=edge_profiler.finalize(),
+        path=path_profiler.finalize(),
+        result=result,
+        forward=(
+            forward_profiler.finalize() if forward_profiler is not None else None
+        ),
+    )

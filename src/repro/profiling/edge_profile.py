@@ -1,0 +1,137 @@
+"""Edge (point) profiling.
+
+An edge profile independently aggregates the execution count of every CFG
+edge.  It is the information the classical mutual-most-likely trace selector
+and the IMPACT-style enlargement heuristics consume — and, as Figure 1 of the
+paper shows, it can only bound (not determine) the frequency with which a
+multi-block trace executes to completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..ir.cfg import Edge, Program
+from ..interp.interpreter import ExecutionObserver
+
+
+@dataclass
+class EdgeProfile:
+    """Finalized per-procedure edge and block counts."""
+
+    #: proc name -> (src, dst) -> count
+    edges: Dict[str, Dict[Edge, int]] = field(default_factory=dict)
+    #: proc name -> label -> count
+    blocks: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: proc name -> number of activations
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    def edge_count(self, proc: str, src: str, dst: str) -> int:
+        """Dynamic traversal count of edge ``src -> dst``."""
+        return self.edges.get(proc, {}).get((src, dst), 0)
+
+    def block_count(self, proc: str, label: str) -> int:
+        """Dynamic execution count of block ``label``."""
+        return self.blocks.get(proc, {}).get(label, 0)
+
+    def entry_count(self, proc: str) -> int:
+        """Number of activations of procedure ``proc``."""
+        return self.entries.get(proc, 0)
+
+    def successors_by_count(
+        self, proc: str, label: str
+    ) -> List[Tuple[str, int]]:
+        """Successor labels of ``label`` with counts, most frequent first."""
+        items = [
+            (dst, count)
+            for (src, dst), count in self.edges.get(proc, {}).items()
+            if src == label
+        ]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return items
+
+    def predecessors_by_count(
+        self, proc: str, label: str
+    ) -> List[Tuple[str, int]]:
+        """Predecessor labels of ``label`` with counts, most frequent first."""
+        items = [
+            (src, count)
+            for (src, dst), count in self.edges.get(proc, {}).items()
+            if dst == label
+        ]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return items
+
+    def most_likely_successor(
+        self, proc: str, label: str
+    ) -> Optional[Tuple[str, int]]:
+        """The successor with the highest edge count, or ``None``."""
+        ranked = self.successors_by_count(proc, label)
+        return ranked[0] if ranked else None
+
+    def most_likely_predecessor(
+        self, proc: str, label: str
+    ) -> Optional[Tuple[str, int]]:
+        """The predecessor with the highest edge count, or ``None``."""
+        ranked = self.predecessors_by_count(proc, label)
+        return ranked[0] if ranked else None
+
+    def branch_probability(self, proc: str, src: str, dst: str) -> float:
+        """Fraction of ``src`` executions that left along ``src -> dst``."""
+        total = sum(c for _, c in self.successors_by_count(proc, src))
+        if total == 0:
+            return 0.0
+        return self.edge_count(proc, src, dst) / total
+
+    def blocks_by_count(self, proc: str) -> List[Tuple[str, int]]:
+        """Blocks of ``proc`` ranked by execution count (descending)."""
+        items = list(self.blocks.get(proc, {}).items())
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return items
+
+    def total_edges(self) -> int:
+        """Total dynamic edges observed across the program."""
+        return sum(
+            count
+            for per_proc in self.edges.values()
+            for count in per_proc.values()
+        )
+
+
+class EdgeProfiler(ExecutionObserver):
+    """Observer that accumulates an :class:`EdgeProfile` during execution.
+
+    Frames are tracked independently so recursion does not fuse the edge
+    streams of distinct activations.
+    """
+
+    def __init__(self) -> None:
+        self._last: Dict[int, Tuple[str, str]] = {}
+        self._edges: Dict[str, Dict[Edge, int]] = {}
+        self._blocks: Dict[str, Dict[str, int]] = {}
+        self._entries: Dict[str, int] = {}
+
+    def enter_procedure(self, proc_name: str, frame_id: int) -> None:
+        self._entries[proc_name] = self._entries.get(proc_name, 0) + 1
+
+    def exit_procedure(self, proc_name: str, frame_id: int) -> None:
+        self._last.pop(frame_id, None)
+
+    def block_executed(self, proc_name: str, frame_id: int, label: str) -> None:
+        blocks = self._blocks.setdefault(proc_name, {})
+        blocks[label] = blocks.get(label, 0) + 1
+        prev = self._last.get(frame_id)
+        if prev is not None and prev[0] == proc_name:
+            edges = self._edges.setdefault(proc_name, {})
+            key = (prev[1], label)
+            edges[key] = edges.get(key, 0) + 1
+        self._last[frame_id] = (proc_name, label)
+
+    def finalize(self) -> EdgeProfile:
+        """Produce the immutable profile."""
+        return EdgeProfile(
+            edges={p: dict(e) for p, e in self._edges.items()},
+            blocks={p: dict(b) for p, b in self._blocks.items()},
+            entries=dict(self._entries),
+        )

@@ -1,0 +1,45 @@
+"""Forward path profiling (Ball–Larus style), for comparison experiments.
+
+Forward paths cannot contain back edges: the dynamic block stream is chopped
+at every back-edge traversal (Section 2.2).  A single block therefore appears
+at most a bounded number of times per path, and — crucially for the paper's
+argument — forward paths can neither describe traces covering more than one
+loop iteration nor capture branch correlation that spans iterations.
+
+The collector reuses the lazy path-graph machinery of the general profiler;
+the only difference is the reset at back edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from ..analysis.loops import back_edges
+from ..ir.cfg import Program
+from .path_profile import DEFAULT_DEPTH, GeneralPathProfiler, PathProfile
+
+
+class ForwardPathProfiler(GeneralPathProfiler):
+    """Collects forward (acyclic) path frequencies.
+
+    The resulting :class:`PathProfile` answers the same queries as a general
+    profile, but every recorded path lies within a single loop iteration.
+    """
+
+    def __init__(self, program: Program, depth: int = DEFAULT_DEPTH) -> None:
+        super().__init__(program, depth)
+        self._back_edges: Dict[str, Set[Tuple[str, str]]] = {
+            proc.name: back_edges(proc) for proc in program.procedures()
+        }
+
+    def block_executed(self, proc_name: str, frame_id: int, label: str) -> None:
+        state = self._current.get(frame_id)
+        if state is not None and state[0] == proc_name:
+            last_label = state[1].labels[-1]
+            if (last_label, label) in self._back_edges.get(proc_name, set()):
+                # Crossing a back edge ends the forward path.
+                node = self._intern(proc_name, (label,))
+                node.count += 1
+                self._current[frame_id] = (proc_name, node)
+                return
+        super().block_executed(proc_name, frame_id, label)

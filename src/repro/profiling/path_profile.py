@@ -1,0 +1,258 @@
+"""General path profiling (Section 2.2 and 3.1 of the paper).
+
+A *general path* is any contiguous sequence of executed basic blocks holding
+at most ``depth`` conditional or multiway branches (the paper uses a depth of
+15).  Unlike Ball–Larus forward paths, general paths may cross back edges, so
+they remain exact across loop iterations and capture correlation spanning
+iterations.
+
+Collection follows the paper's efficient algorithm: the profiler maintains
+the *current path* — the maximal in-depth window ending at the most recently
+executed block — as a node in a lazily built path graph.  Because the
+successors of a path are exactly the CFG successors of its last block, each
+node memoizes its successor nodes, and after warm-up every executed edge is
+one dictionary lookup plus one counter increment: O(n_paths + n_edges) total
+work, the same asymptotic overhead as edge profiling.
+
+At finalization, each window's count is attributed to every *suffix* of the
+window.  A dynamic occurrence of a path ``p`` ends at exactly one execution
+step, and at that step ``p`` is a suffix of the current window; therefore the
+suffix-sum table gives the exact number of dynamic occurrences of every path
+within the profiling depth — the quantity ``f(t)`` the formation algorithms
+of Figure 2 query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ir.cfg import Program
+from ..interp.interpreter import ExecutionObserver
+
+Path = Tuple[str, ...]
+
+#: Profiling depth used throughout the paper: up to 15 branches per path.
+DEFAULT_DEPTH = 15
+
+
+@dataclass
+class PathProfile:
+    """Finalized path-frequency tables, queryable per procedure."""
+
+    #: proc name -> path tuple -> exact dynamic occurrence count
+    paths: Dict[str, Dict[Path, int]] = field(default_factory=dict)
+    #: maximum number of branch blocks per recorded path
+    depth: int = DEFAULT_DEPTH
+    #: proc name -> label -> True when the block ends in a conditional or
+    #: multiway branch (consumes path depth)
+    branch_blocks: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def freq(self, proc: str, path: Sequence[str]) -> int:
+        """Exact dynamic occurrence count of ``path`` (0 when never seen)."""
+        return self.paths.get(proc, {}).get(tuple(path), 0)
+
+    def block_count(self, proc: str, label: str) -> int:
+        """Dynamic execution count of a single block."""
+        return self.freq(proc, (label,))
+
+    def blocks_by_count(self, proc: str) -> List[Tuple[str, int]]:
+        """Blocks ranked by execution count (descending, label tiebreak)."""
+        items = [
+            (path[0], count)
+            for path, count in self.paths.get(proc, {}).items()
+            if len(path) == 1
+        ]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return items
+
+    def _is_branch_block(self, proc: str, label: str) -> bool:
+        return label in self.branch_blocks.get(proc, set())
+
+    def in_depth_suffix(self, proc: str, path: Sequence[str]) -> Path:
+        """The longest suffix of ``path`` within the profiling depth."""
+        path = tuple(path)
+        branches = sum(
+            1 for label in path if self._is_branch_block(proc, label)
+        )
+        start = 0
+        while branches > self.depth and start < len(path) - 1:
+            if self._is_branch_block(proc, path[start]):
+                branches -= 1
+            start += 1
+        return path[start:]
+
+    def known_suffix(self, proc: str, path: Sequence[str]) -> Path:
+        """The longest suffix of ``path`` with a recorded (nonzero) frequency.
+
+        This realizes the paper's rule: *"we use the longest suffix of the
+        superblock for which we have exact frequencies to choose the next
+        block."*  Falls back to the final block alone.
+        """
+        suffix = self.in_depth_suffix(proc, path)
+        while len(suffix) > 1 and self.freq(proc, suffix) == 0:
+            suffix = suffix[1:]
+        return suffix
+
+    def successor_frequencies(
+        self, proc: str, path: Sequence[str], successors: Iterable[str]
+    ) -> Dict[str, int]:
+        """``f(t . s)`` for each candidate successor ``s`` of trace ``t``.
+
+        The trace is first reduced to its longest known suffix so the
+        frequencies are exact within the profiling depth.
+        """
+        suffix = self.known_suffix(proc, path)
+        return {
+            succ: self.freq(proc, suffix + (succ,)) for succ in successors
+        }
+
+    def most_likely_path_successor(
+        self, proc: str, path: Sequence[str], successors: Iterable[str]
+    ) -> Optional[Tuple[str, int]]:
+        """Figure 2's ``most_likely_path_successor``: the successor whose
+        extension of the trace has the highest path frequency.
+
+        Returns ``(label, frequency)``, or ``None`` when every extension has
+        zero observed frequency (the paper's ``nil``).  Ties break toward the
+        CFG successor order for determinism.
+        """
+        best: Optional[Tuple[str, int]] = None
+        for succ, f in self.successor_frequencies(
+            proc, path, successors
+        ).items():
+            if f > 0 and (best is None or f > best[1]):
+                best = (succ, f)
+        return best
+
+    def completion_ratio(self, proc: str, path: Sequence[str]) -> float:
+        """Fraction of entries at ``path[0]`` that execute ``path`` in full.
+
+        For traces longer than the profiling depth the numerator uses the
+        longest in-depth suffix, making the ratio an upper-bound estimate
+        exactly as available to the paper's enlarger.
+        """
+        path = tuple(path)
+        if not path:
+            return 0.0
+        head_count = self.freq(proc, path[:1])
+        if head_count == 0:
+            return 0.0
+        suffix = self.in_depth_suffix(proc, path)
+        return self.freq(proc, suffix) / head_count
+
+    def to_edge_counts(self, proc: str) -> Dict[Tuple[str, str], int]:
+        """Marginalize the path table to edge counts (length-2 paths).
+
+        Used by invariant tests: path profiles are a superset of edge
+        profiles (Section 2.2).
+        """
+        return {
+            (path[0], path[1]): count
+            for path, count in self.paths.get(proc, {}).items()
+            if len(path) == 2
+        }
+
+
+class _PathNode:
+    """A node of the lazily built path graph: one distinct window."""
+
+    __slots__ = ("labels", "count", "succ", "branches")
+
+    def __init__(self, labels: Path, branches: int) -> None:
+        self.labels = labels
+        self.branches = branches
+        self.count = 0
+        self.succ: Dict[str, "_PathNode"] = {}
+
+
+class GeneralPathProfiler(ExecutionObserver):
+    """Observer that collects a general path profile during execution.
+
+    One sliding window is kept per active procedure frame, so recursive
+    activations do not interleave their paths.  Windows do not cross
+    procedure boundaries; a caller's window resumes unchanged after a call
+    returns, mirroring the per-procedure CFG scope of the formation phase.
+    """
+
+    def __init__(self, program: Program, depth: int = DEFAULT_DEPTH) -> None:
+        if depth < 1:
+            raise ValueError("path profiling depth must be >= 1")
+        self.depth = depth
+        self._branch_blocks: Dict[str, Set[str]] = {}
+        for proc in program.procedures():
+            self._branch_blocks[proc.name] = {
+                b.label for b in proc.blocks() if b.ends_in_branch
+            }
+        #: intern table: (proc, labels) -> node, so identical windows share
+        #: one counter no matter how they were reached.
+        self._nodes: Dict[Tuple[str, Path], _PathNode] = {}
+        #: frame id -> (proc name, current node)
+        self._current: Dict[int, Tuple[str, _PathNode]] = {}
+
+    # -- window maintenance -------------------------------------------------
+
+    def _intern(self, proc: str, labels: Path) -> _PathNode:
+        key = (proc, labels)
+        node = self._nodes.get(key)
+        if node is None:
+            branch_set = self._branch_blocks.get(proc, set())
+            branches = sum(1 for lab in labels if lab in branch_set)
+            node = _PathNode(labels, branches)
+            self._nodes[key] = node
+        return node
+
+    def _extend(self, proc: str, node: _PathNode, label: str) -> _PathNode:
+        nxt = node.succ.get(label)
+        if nxt is None:
+            labels = node.labels + (label,)
+            branch_set = self._branch_blocks.get(proc, set())
+            branches = node.branches + (1 if label in branch_set else 0)
+            start = 0
+            while branches > self.depth and start < len(labels) - 1:
+                if labels[start] in branch_set:
+                    branches -= 1
+                start += 1
+            nxt = self._intern(proc, labels[start:])
+            node.succ[label] = nxt
+        return nxt
+
+    # -- observer hooks -------------------------------------------------------
+
+    def enter_procedure(self, proc_name: str, frame_id: int) -> None:
+        """New activation: its window starts empty (filled at first block)."""
+
+    def exit_procedure(self, proc_name: str, frame_id: int) -> None:
+        self._current.pop(frame_id, None)
+
+    def block_executed(self, proc_name: str, frame_id: int, label: str) -> None:
+        state = self._current.get(frame_id)
+        if state is None or state[0] != proc_name:
+            node = self._intern(proc_name, (label,))
+        else:
+            node = self._extend(proc_name, state[1], label)
+        node.count += 1
+        self._current[frame_id] = (proc_name, node)
+
+    # -- finalization -----------------------------------------------------------
+
+    def finalize(self) -> PathProfile:
+        """Expand window counts into the exact suffix-frequency table."""
+        tables: Dict[str, Dict[Path, int]] = {}
+        for (proc, labels), node in self._nodes.items():
+            if node.count == 0:
+                continue
+            table = tables.setdefault(proc, {})
+            for start in range(len(labels)):
+                suffix = labels[start:]
+                table[suffix] = table.get(suffix, 0) + node.count
+        return PathProfile(
+            paths=tables,
+            depth=self.depth,
+            branch_blocks={p: set(s) for p, s in self._branch_blocks.items()},
+        )
+
+    @property
+    def distinct_windows(self) -> int:
+        """Number of distinct windows materialized (the paper's n_paths)."""
+        return sum(1 for node in self._nodes.values() if node.count > 0)

@@ -1,0 +1,110 @@
+"""Profile persistence: save and load profiles as JSON.
+
+A real profile-guided compiler separates the training run from the
+optimizing build; these helpers let a workflow do the same — collect once,
+store the profiles, and feed them to any number of formation experiments.
+
+Path tuples are encoded as ``\\x1f``-joined label strings (labels never
+contain control characters), edges as ``src\\x1fdst``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, TextIO, Union
+
+from .edge_profile import EdgeProfile
+from .path_profile import PathProfile
+
+_SEP = "\x1f"
+
+
+def edge_profile_to_dict(profile: EdgeProfile) -> Dict[str, Any]:
+    """JSON-serializable form of an edge profile."""
+    return {
+        "kind": "edge-profile",
+        "version": 1,
+        "edges": {
+            proc: {f"{src}{_SEP}{dst}": count for (src, dst), count in table.items()}
+            for proc, table in profile.edges.items()
+        },
+        "blocks": {proc: dict(table) for proc, table in profile.blocks.items()},
+        "entries": dict(profile.entries),
+    }
+
+
+def edge_profile_from_dict(data: Dict[str, Any]) -> EdgeProfile:
+    """Inverse of :func:`edge_profile_to_dict`."""
+    if data.get("kind") != "edge-profile":
+        raise ValueError("not a serialized edge profile")
+    edges = {
+        proc: {
+            tuple(key.split(_SEP)): count for key, count in table.items()
+        }
+        for proc, table in data["edges"].items()
+    }
+    return EdgeProfile(
+        edges=edges,
+        blocks={proc: dict(t) for proc, t in data["blocks"].items()},
+        entries=dict(data["entries"]),
+    )
+
+
+def path_profile_to_dict(profile: PathProfile) -> Dict[str, Any]:
+    """JSON-serializable form of a path profile."""
+    return {
+        "kind": "path-profile",
+        "version": 1,
+        "depth": profile.depth,
+        "paths": {
+            proc: {_SEP.join(path): count for path, count in table.items()}
+            for proc, table in profile.paths.items()
+        },
+        "branch_blocks": {
+            proc: sorted(labels)
+            for proc, labels in profile.branch_blocks.items()
+        },
+    }
+
+
+def path_profile_from_dict(data: Dict[str, Any]) -> PathProfile:
+    """Inverse of :func:`path_profile_to_dict`."""
+    if data.get("kind") != "path-profile":
+        raise ValueError("not a serialized path profile")
+    paths = {
+        proc: {
+            tuple(key.split(_SEP)): count for key, count in table.items()
+        }
+        for proc, table in data["paths"].items()
+    }
+    return PathProfile(
+        paths=paths,
+        depth=int(data["depth"]),
+        branch_blocks={
+            proc: set(labels)
+            for proc, labels in data["branch_blocks"].items()
+        },
+    )
+
+
+def save_profile(
+    profile: Union[EdgeProfile, PathProfile], stream: TextIO
+) -> None:
+    """Write a profile to an open text stream as JSON."""
+    if isinstance(profile, EdgeProfile):
+        json.dump(edge_profile_to_dict(profile), stream)
+    elif isinstance(profile, PathProfile):
+        json.dump(path_profile_to_dict(profile), stream)
+    else:
+        raise TypeError(f"cannot serialize {type(profile).__name__}")
+
+
+def load_profile(stream: TextIO) -> Union[EdgeProfile, PathProfile]:
+    """Read a profile written by :func:`save_profile`."""
+    data = json.load(stream)
+    kind = data.get("kind")
+    if kind == "edge-profile":
+        return edge_profile_from_dict(data)
+    if kind == "path-profile":
+        return path_profile_from_dict(data)
+    raise ValueError(f"unknown profile kind {kind!r}")

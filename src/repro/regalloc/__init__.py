@@ -1,0 +1,17 @@
+"""Register allocation onto the experimental machine's register file."""
+
+from .linear_scan import (
+    AllocationError,
+    AllocationStats,
+    ProcedureAllocation,
+    SCRATCH_COUNT,
+    allocate_procedure,
+)
+
+__all__ = [
+    "AllocationError",
+    "AllocationStats",
+    "ProcedureAllocation",
+    "SCRATCH_COUNT",
+    "allocate_procedure",
+]

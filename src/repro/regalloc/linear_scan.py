@@ -1,0 +1,296 @@
+"""Linear-scan register allocation onto the 128-register machine.
+
+The paper's back end preschedules each superblock with an infinite-register
+variant of the target, allocates registers, and postschedules restricted by
+the allocation decisions (Section 2.3).  This module is the middle step.
+
+Register classes after renaming:
+
+* **architectural registers** (below the procedure's pre-renaming bound) are
+  the program's own virtual registers; their values cross superblock
+  boundaries, so they receive *procedure-wide* physical registers —
+  parameters first, then by static use count.  Overflow is spilled to
+  per-activation stack slots (``spld``/``spst``).
+* **temporaries** (created by renaming) never live across a superblock
+  boundary; each superblock linear-scans them over its preschedule order
+  into the physical registers left over after the architectural assignment,
+  spilling the interval with the furthest end on pressure.
+
+A few physical registers are reserved as spill scratch; the postscheduler's
+dependence graph serializes their reuse.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir import instructions as ins
+from ..ir.instructions import Instruction, Opcode
+from ..scheduling.list_scheduler import SuperblockSchedule
+from ..scheduling.machine import MachineModel
+from ..scheduling.sbcode import SuperblockCode
+
+#: Number of physical registers reserved as spill scratch (value carriers).
+SCRATCH_COUNT = 3
+
+
+class AllocationError(Exception):
+    """Raised when a procedure cannot be allocated (e.g. too many params)."""
+
+
+@dataclass
+class AllocationStats:
+    """Summary of one procedure's allocation."""
+
+    proc: str
+    arch_assigned: int = 0
+    arch_spilled: int = 0
+    temps_assigned: int = 0
+    temps_spilled: int = 0
+    spill_instructions: int = 0
+
+
+@dataclass
+class ProcedureAllocation:
+    """Physical assignment for one procedure."""
+
+    #: architectural register -> physical register
+    arch_map: Dict[int, int]
+    #: architectural registers spilled to stack slots (reg -> slot number)
+    arch_spilled: Dict[int, int]
+    #: remapped parameter registers, in order
+    params: Tuple[int, ...]
+    stats: AllocationStats = None
+
+
+def _use_counts(codes: Sequence[SuperblockCode], bound: int) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for code in codes:
+        for instr in code.instructions:
+            regs = list(instr.srcs)
+            if instr.dest is not None:
+                regs.append(instr.dest)
+            for reg in regs:
+                if reg < bound:
+                    counts[reg] = counts.get(reg, 0) + 1
+    return counts
+
+
+def allocate_procedure(
+    proc_name: str,
+    params: Sequence[int],
+    codes: Sequence[SuperblockCode],
+    preschedules: Sequence[SuperblockSchedule],
+    machine: MachineModel,
+    arch_bound: int,
+) -> ProcedureAllocation:
+    """Assign physical registers and rewrite every superblock in place.
+
+    Args:
+        proc_name: procedure being allocated (for diagnostics).
+        params: the procedure's parameter registers (architectural).
+        codes: renamed superblock codes (mutated in place).
+        preschedules: infinite-register schedules aligned with ``codes``
+            (supply the linear-scan ordering).
+        machine: provides ``num_registers``.
+        arch_bound: registers below this are architectural.
+
+    Returns:
+        The procedure-wide :class:`ProcedureAllocation`.
+    """
+    stats = AllocationStats(proc=proc_name)
+    total = machine.num_registers
+    scratch = list(range(total - SCRATCH_COUNT, total))
+    allocatable = total - SCRATCH_COUNT
+
+    counts = _use_counts(codes, arch_bound)
+    for p in params:
+        counts.setdefault(p, 0)
+    arch_regs = sorted(
+        counts, key=lambda r: (r not in params, -counts[r], r)
+    )
+    if len(params) > allocatable // 2:
+        raise AllocationError(
+            f"{proc_name}: {len(params)} parameters exceed the register file"
+        )
+    # Architectural registers get at most half the allocatable file so the
+    # temporaries always have room; overflow spills.
+    arch_budget = max(len(params), min(len(arch_regs), allocatable // 2))
+    arch_map: Dict[int, int] = {}
+    arch_spilled: Dict[int, int] = {}
+    next_slot = 0
+    for reg in arch_regs:
+        if len(arch_map) < arch_budget:
+            arch_map[reg] = len(arch_map)
+        else:
+            arch_spilled[reg] = next_slot
+            next_slot += 1
+    stats.arch_assigned = len(arch_map)
+    stats.arch_spilled = len(arch_spilled)
+
+    temp_pool = list(range(len(arch_map), allocatable))
+
+    for code, presched in zip(codes, preschedules):
+        _allocate_superblock(
+            code,
+            presched,
+            arch_bound,
+            arch_map,
+            arch_spilled,
+            temp_pool,
+            scratch,
+            stats,
+        )
+        # Exit-live sets move to the physical namespace; spilled values live
+        # in memory, so they leave the register live sets.
+        for info in code.exits.values():
+            info.live = {
+                arch_map[r] for r in info.live if r in arch_map
+            }
+
+    return ProcedureAllocation(
+        arch_map=arch_map,
+        arch_spilled=arch_spilled,
+        params=tuple(arch_map[p] for p in params),
+        stats=stats,
+    )
+
+
+def _temp_intervals(
+    code: SuperblockCode,
+    arch_bound: int,
+) -> Dict[int, Tuple[int, int]]:
+    """Temp register -> (first position, last position) over the *linear
+    program order*.
+
+    Intervals must be computed in program order, not preschedule order: the
+    postscheduler rebuilds its dependence graph from the linear instruction
+    list, so register reuse is only safe when the shared ranges are disjoint
+    in that order.  (Reuse that was disjoint merely in the preschedule's
+    cycle order turns a dead value into a live one when the postschedule
+    places the ops differently — a subtle clobber.)  The postscheduler's
+    anti/output dependences then serialize every reuse correctly.
+    """
+    intervals: Dict[int, Tuple[int, int]] = {}
+    for index, instr in enumerate(code.instructions):
+        regs = list(instr.srcs)
+        if instr.dest is not None:
+            regs.append(instr.dest)
+        for reg in regs:
+            if reg < arch_bound:
+                continue
+            if reg not in intervals:
+                intervals[reg] = (index, index)
+            else:
+                lo, hi = intervals[reg]
+                intervals[reg] = (min(lo, index), max(hi, index))
+    return intervals
+
+
+def _allocate_superblock(
+    code: SuperblockCode,
+    presched: SuperblockSchedule,
+    arch_bound: int,
+    arch_map: Dict[int, int],
+    arch_spilled: Dict[int, int],
+    temp_pool: List[int],
+    scratch: List[int],
+    stats: AllocationStats,
+) -> None:
+    intervals = _temp_intervals(code, arch_bound)
+    order = sorted(intervals, key=lambda r: intervals[r][0])
+    # Round-robin (FIFO) reuse: taking the *least* recently freed register
+    # maximizes reuse distance, minimizing the false anti/output
+    # dependences the postscheduler must honor.  LIFO reuse would undo the
+    # renamer's work and serialize the schedule.
+    free = deque(temp_pool)
+    active: List[Tuple[int, int]] = []  # (end, reg)
+    temp_map: Dict[int, int] = {}
+    temp_spilled: Dict[int, int] = {}
+    # Temp slots start after the architectural slots; they are superblock
+    # local, and superblocks of one activation never overlap, so slots may
+    # be reused across superblocks.
+    next_slot = len(arch_spilled)
+
+    for reg in order:
+        start, end = intervals[reg]
+        # Expire finished intervals, returning their registers to the pool.
+        still_active: List[Tuple[int, int]] = []
+        for end_pos, active_reg in active:
+            if end_pos <= start:
+                free.append(temp_map[active_reg])
+            else:
+                still_active.append((end_pos, active_reg))
+        active = still_active
+        if free:
+            temp_map[reg] = free.popleft()
+            active.append((end, reg))
+            stats.temps_assigned += 1
+        else:
+            # Spill the interval with the furthest end (it or the newcomer).
+            active.sort()
+            victim_end, victim = active[-1] if active else (end, reg)
+            if active and victim_end > end:
+                active.pop()
+                temp_spilled[victim] = next_slot
+                next_slot += 1
+                stats.temps_spilled += 1
+                temp_map[reg] = temp_map.pop(victim)
+                active.append((end, reg))
+                stats.temps_assigned += 1
+            else:
+                temp_spilled[reg] = next_slot
+                next_slot += 1
+                stats.temps_spilled += 1
+
+    spilled: Dict[int, int] = dict(arch_spilled)
+    spilled.update(temp_spilled)
+
+    def mapped(reg: int) -> Optional[int]:
+        if reg in spilled:
+            return None
+        if reg < arch_bound:
+            return arch_map[reg]
+        return temp_map[reg]
+
+    # Scratch usage: the reserved value registers carry reloaded spill
+    # values into the instruction; a spilled destination reuses the first
+    # scratch after the sources are consumed.  The postscheduler's
+    # dependence graph serializes scratch reuse across instructions.
+    rewritten: List[Instruction] = []
+    for instr in code.instructions:
+        pre: List[Instruction] = []
+        post: List[Instruction] = []
+        new_srcs: List[int] = []
+        used_values = 0
+        for src in instr.srcs:
+            phys = mapped(src)
+            if phys is None:
+                if used_values >= len(scratch):
+                    raise AllocationError(
+                        f"{code.proc}/{code.head}: more than"
+                        f" {len(scratch)} spilled sources in one"
+                        f" instruction"
+                    )
+                val_reg = scratch[used_values]
+                used_values += 1
+                pre.append(ins.spill_ld(val_reg, spilled[src]))
+                new_srcs.append(val_reg)
+            else:
+                new_srcs.append(phys)
+        instr.srcs = tuple(new_srcs)
+        if instr.dest is not None:
+            phys = mapped(instr.dest)
+            if phys is None:
+                slot = spilled[instr.dest]
+                instr.dest = scratch[0]
+                post.append(ins.spill_st(slot, scratch[0]))
+            else:
+                instr.dest = phys
+        stats.spill_instructions += len(pre) + len(post)
+        rewritten.extend(pre)
+        rewritten.append(instr)
+        rewritten.extend(post)
+    code.instructions = rewritten

@@ -1,0 +1,32 @@
+"""Superblock compaction: machine model, dependences, renaming, scheduling."""
+
+from .compactor import CompiledProcedure, CompiledProgram, compact_program
+from .depgraph import DepGraph, build_dependence_graph
+from .list_scheduler import (
+    ScheduledOp,
+    SuperblockSchedule,
+    schedule_superblock,
+    verify_schedule,
+)
+from .machine import MachineModel, PAPER_MACHINE, REALISTIC_MACHINE
+from .renaming import rename_superblock
+from .sbcode import ExitInfo, SuperblockCode, extract_superblock_code
+
+__all__ = [
+    "CompiledProcedure",
+    "CompiledProgram",
+    "DepGraph",
+    "ExitInfo",
+    "MachineModel",
+    "PAPER_MACHINE",
+    "REALISTIC_MACHINE",
+    "ScheduledOp",
+    "SuperblockCode",
+    "SuperblockSchedule",
+    "build_dependence_graph",
+    "compact_program",
+    "extract_superblock_code",
+    "rename_superblock",
+    "schedule_superblock",
+    "verify_schedule",
+]

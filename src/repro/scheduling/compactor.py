@@ -1,0 +1,146 @@
+"""The ``compact`` pass: per-superblock optimization, renaming, scheduling,
+register allocation, and rescheduling (Section 2.3 of the paper).
+
+For each superblock the flow is::
+
+    linearize -> value number -> dead-code eliminate -> rename
+        -> preschedule (infinite registers)
+        -> linear-scan allocate (128 registers)
+        -> postschedule (restricted by allocation)
+
+The output, :class:`CompiledProgram`, maps every superblock head to its
+final :class:`~repro.scheduling.list_scheduler.SuperblockSchedule`; the
+VLIW simulator executes it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.fold import fold_constants
+from ..analysis.liveness import compute_liveness
+from ..analysis.local_opt import eliminate_dead_code, local_value_number
+from ..formation.superblock import FormationResult
+from ..ir.cfg import Program
+from .list_scheduler import SuperblockSchedule, schedule_superblock
+from .machine import MachineModel, PAPER_MACHINE
+from .renaming import rename_superblock
+from .sbcode import SuperblockCode, extract_superblock_code
+
+
+@dataclass
+class CompiledProcedure:
+    """All scheduled superblocks of one procedure."""
+
+    name: str
+    #: Parameter registers of the *compiled* code (remapped by allocation).
+    params: Tuple[int, ...]
+    #: head label -> final schedule
+    schedules: Dict[str, SuperblockSchedule]
+    #: head label of the procedure entry superblock
+    entry_head: str
+
+
+@dataclass
+class CompiledProgram:
+    """A fully formed, compacted, and allocated program."""
+
+    formation: FormationResult
+    machine: MachineModel
+    procedures: Dict[str, CompiledProcedure]
+    entry: str
+    #: Name of the formation scheme that produced this program.
+    scheme: str = ""
+    #: Per-procedure allocation statistics (None when allocation was off).
+    allocation_stats: Dict[str, object] = field(default_factory=dict)
+
+    def schedule_at(self, proc: str, head: str) -> SuperblockSchedule:
+        """Look up the schedule entered at superblock head ``head``."""
+        return self.procedures[proc].schedules[head]
+
+    def total_scheduled_instructions(self) -> int:
+        """Static instruction count over all schedules (incl. spill code)."""
+        return sum(
+            len(schedule.ops)
+            for proc in self.procedures.values()
+            for schedule in proc.schedules.values()
+        )
+
+
+def compact_program(
+    formation: FormationResult,
+    machine: MachineModel = PAPER_MACHINE,
+    optimize: bool = True,
+    allocate: bool = True,
+) -> CompiledProgram:
+    """Compact every superblock of a formed program.
+
+    Args:
+        formation: output of :func:`repro.formation.form_superblocks`.
+        machine: target machine model.
+        optimize: run superblock-local value numbering and DCE first.
+        allocate: run the preschedule/allocate/postschedule flow; when off,
+            the preschedule (infinite virtual registers) is the final
+            schedule, modelling a register file large enough to never
+            constrain the code.
+
+    Returns:
+        The compiled program ready for simulation.
+    """
+    from ..regalloc.linear_scan import allocate_procedure
+
+    program = formation.program
+    compiled = CompiledProgram(
+        formation=formation,
+        machine=machine,
+        procedures={},
+        entry=program.entry,
+        scheme=formation.scheme,
+    )
+    for proc in program.procedures():
+        liveness = compute_liveness(proc)
+        arch_bound = proc.max_reg
+        sbs = formation.superblocks[proc.name]
+        codes: List[SuperblockCode] = []
+        for sb in sbs:
+            code = extract_superblock_code(proc, sb, liveness)
+            if optimize:
+                code.instructions = fold_constants(code.instructions)
+                code.instructions = local_value_number(code.instructions)
+                code.instructions = eliminate_dead_code(
+                    code.instructions,
+                    code.exit_live_by_index(),
+                    set(),
+                )
+            rename_superblock(code, proc)
+            codes.append(code)
+
+        preschedules = [schedule_superblock(code, machine) for code in codes]
+
+        if allocate:
+            allocation = allocate_procedure(
+                proc.name,
+                proc.params,
+                codes,
+                preschedules,
+                machine,
+                arch_bound,
+            )
+            schedules = [schedule_superblock(code, machine) for code in codes]
+            params = allocation.params
+            compiled.allocation_stats[proc.name] = allocation.stats
+        else:
+            schedules = preschedules
+            params = proc.params
+
+        by_head = {
+            schedule.code.head: schedule for schedule in schedules
+        }
+        compiled.procedures[proc.name] = CompiledProcedure(
+            name=proc.name,
+            params=tuple(params),
+            schedules=by_head,
+            entry_head=proc.entry_label,
+        )
+    return compiled

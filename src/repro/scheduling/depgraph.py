@@ -1,0 +1,223 @@
+"""Dependence graph over a superblock's linearized instructions.
+
+The graph encodes everything the top-down cycle scheduler must respect:
+
+* register true/anti/output dependences (on the renamed code);
+* *virtual exit uses*: a control instruction "reads" every architectural
+  register live on its off-trace paths, which (a) forces materializing moves
+  to complete no later than the exits that need them and (b) pins
+  redefinitions of exit-live registers below the exit — precisely the safety
+  condition for speculative code motion above side exits;
+* control order: control instructions stay in program order, one per cycle;
+* side-effect pinning: stores, I/O, and calls never move across branches
+  (no speculative side effects), while pure computations and loads may —
+  loads that do are flagged speculative afterwards, modelling the machine's
+  non-excepting instruction variants;
+* memory ordering: store-store and store-load in order, load-load free
+  ("we currently support only a limited load and store reordering");
+* calls are full barriers for memory, I/O, and control.
+
+Edge latencies are chosen for the VLIW's read-before-write cycle semantics:
+a latency-0 edge permits the consumer to share the producer's cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..ir.instructions import Instruction, Opcode
+from .machine import MachineModel
+from .sbcode import SuperblockCode
+
+
+@dataclass
+class DepGraph:
+    """Immutable dependence graph: adjacency with latencies."""
+
+    #: number of instructions
+    size: int
+    #: succs[i] = list of (j, latency) meaning j must start >= start(i)+latency
+    succs: List[List[Tuple[int, int]]]
+    #: preds[j] = list of (i, latency)
+    preds: List[List[Tuple[int, int]]]
+
+    def critical_heights(self) -> List[int]:
+        """Longest-path height of each node (scheduling priority)."""
+        heights = [1] * self.size
+        for i in range(self.size - 1, -1, -1):
+            best = 1
+            for j, lat in self.succs[i]:
+                candidate = lat + heights[j]
+                if candidate > best:
+                    best = candidate
+            heights[i] = best
+        return heights
+
+
+def build_dependence_graph(
+    code: SuperblockCode, machine: MachineModel
+) -> DepGraph:
+    """Construct the dependence graph for ``code`` on ``machine``."""
+    instrs = code.instructions
+    n = len(instrs)
+    succs: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    preds: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    edge_set: Set[Tuple[int, int]] = set()
+
+    def add_edge(src: int, dst: int, latency: int) -> None:
+        if src == dst:
+            return
+        key = (src, dst)
+        if key in edge_set:
+            # Keep the max latency for duplicate edges.
+            for k, (j, lat) in enumerate(succs[src]):
+                if j == dst and latency > lat:
+                    succs[src][k] = (dst, latency)
+            for k, (i, lat) in enumerate(preds[dst]):
+                if i == src and latency > lat:
+                    preds[dst][k] = (src, latency)
+            return
+        edge_set.add(key)
+        succs[src].append((dst, latency))
+        preds[dst].append((src, latency))
+
+    last_def: Dict[int, int] = {}
+    uses_since_def: Dict[int, List[int]] = {}
+    last_control = -1
+    last_store = -1
+    loads_since_store: List[int] = []
+    last_read = -1
+    last_print = -1
+    last_call = -1
+    last_spill_st: Dict[int, int] = {}
+    spill_lds_since_st: Dict[int, List[int]] = {}
+
+    for i, instr in enumerate(instrs):
+        op = instr.opcode
+        latency = machine.latency(op)
+
+        # -- register dependences ------------------------------------------
+        for reg in instr.srcs:
+            d = last_def.get(reg)
+            if d is not None:
+                add_edge(d, i, machine.latency(instrs[d].opcode))
+            uses_since_def.setdefault(reg, []).append(i)
+        exit_info = code.exits.get(instr)
+        if exit_info is not None:
+            for reg in exit_info.live:
+                d = last_def.get(reg)
+                if d is not None:
+                    # The off-trace consumer runs at least one cycle after
+                    # this exit, so the producer may share the exit's cycle.
+                    add_edge(d, i, max(0, machine.latency(instrs[d].opcode) - 1))
+                uses_since_def.setdefault(reg, []).append(i)
+        dest = instr.dest
+        if dest is not None:
+            for use in uses_since_def.get(dest, ()):  # anti
+                is_exit_use = instrs[use] in code.exits
+                add_edge(use, i, 1 if is_exit_use else 0)
+            d = last_def.get(dest)
+            if d is not None:  # output
+                add_edge(d, i, 1)
+            last_def[dest] = i
+            uses_since_def[dest] = []
+
+        # -- control order ----------------------------------------------------
+        if instr.is_control:
+            if last_control >= 0:
+                add_edge(last_control, i, 1)
+
+        # -- side effects may not cross branches ------------------------------
+        if op in (
+            Opcode.STORE,
+            Opcode.PRINT,
+            Opcode.READ,
+            Opcode.CALL,
+            Opcode.SPILL_ST,
+        ):
+            if last_control >= 0:
+                add_edge(last_control, i, 1)  # never speculate a side effect
+
+        # -- memory and I/O ordering -----------------------------------------
+        if op in (Opcode.LOAD, Opcode.LOAD_S):
+            if last_store >= 0:
+                add_edge(last_store, i, 1)
+            if last_call >= 0:
+                add_edge(last_call, i, 1)
+            loads_since_store.append(i)
+        elif op is Opcode.STORE:
+            if last_store >= 0:
+                add_edge(last_store, i, 1)
+            for load in loads_since_store:
+                add_edge(load, i, 0)
+            if last_call >= 0:
+                add_edge(last_call, i, 1)
+            last_store = i
+            loads_since_store = []
+        elif op is Opcode.READ:
+            if last_read >= 0:
+                add_edge(last_read, i, 1)
+            if last_call >= 0:
+                add_edge(last_call, i, 1)
+            last_read = i
+        elif op is Opcode.PRINT:
+            if last_print >= 0:
+                add_edge(last_print, i, 1)
+            if last_call >= 0:
+                add_edge(last_call, i, 1)
+            last_print = i
+        elif op is Opcode.SPILL_LD:
+            slot = instr.imm
+            st = last_spill_st.get(slot)
+            if st is not None:
+                add_edge(st, i, 1)
+            spill_lds_since_st.setdefault(slot, []).append(i)
+            if last_call >= 0:
+                add_edge(last_call, i, 1)
+        elif op is Opcode.SPILL_ST:
+            slot = instr.imm
+            st = last_spill_st.get(slot)
+            if st is not None:
+                add_edge(st, i, 1)
+            for ld in spill_lds_since_st.get(slot, ()):  # anti
+                add_edge(ld, i, 0)
+            last_spill_st[slot] = i
+            spill_lds_since_st[slot] = []
+            if last_call >= 0:
+                add_edge(last_call, i, 1)
+        elif op is Opcode.CALL:
+            # Full barrier: everything before must complete, everything
+            # after must wait.
+            for j in range(i):
+                add_edge(j, i, machine.latency(instrs[j].opcode))
+            last_call = i
+            last_store = i
+            last_read = i
+            last_print = i
+            loads_since_store = []
+
+        if last_call >= 0 and i > last_call and op is not Opcode.CALL:
+            add_edge(last_call, i, 1)
+
+        if instr.is_control:
+            last_control = i
+
+        # Side-effecting instructions must also execute before (or with) the
+        # next control instruction; add when the *next* control arrives.
+    # Second pass: pin side effects above their next control instruction.
+    next_control = -1
+    for i in range(n - 1, -1, -1):
+        instr = instrs[i]
+        if instr.is_control:
+            next_control = i
+            continue
+        if instr.opcode in (
+            Opcode.STORE,
+            Opcode.PRINT,
+            Opcode.READ,
+            Opcode.SPILL_ST,
+        ):
+            if next_control >= 0:
+                add_edge(i, next_control, 0)
+    return DepGraph(size=n, succs=succs, preds=preds)

@@ -1,0 +1,208 @@
+"""Top-down cycle scheduling of one superblock (the ``compact`` pass).
+
+Classic list scheduling in cycle order: each cycle, the ready instructions
+(dependences satisfied, latency elapsed) compete for the machine's 8
+universal slots and single control slot; priority is critical-path height
+with program order as the tiebreak.  Instructions that end up at or above a
+preceding exit are flagged *speculative* — the machine executes them with
+the non-excepting instruction variants of Section 3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.instructions import Instruction, Opcode
+from .depgraph import DepGraph, build_dependence_graph
+from .machine import MachineModel
+from .sbcode import SuperblockCode
+
+
+@dataclass
+class ScheduledOp:
+    """One instruction placed in the schedule."""
+
+    instr: Instruction
+    #: Index in the (renamed) linear code; preserves program order.
+    orig_index: int
+    cycle: int
+    slot: int
+    #: True when the op may execute although an earlier exit was taken.
+    speculative: bool = False
+
+
+@dataclass
+class SuperblockSchedule:
+    """The compacted form of one superblock."""
+
+    code: SuperblockCode
+    ops: List[ScheduledOp]
+    #: ops grouped by cycle (no empty trailing bundles).
+    bundles: List[List[ScheduledOp]]
+    machine: MachineModel
+
+    @property
+    def length(self) -> int:
+        """Cycles to execute the whole superblock (no early exit)."""
+        return len(self.bundles)
+
+    @property
+    def head(self) -> str:
+        return self.code.head
+
+    def exit_cycle(self, instr: Instruction) -> int:
+        """Cycle in which a given exit instruction issues."""
+        for op in self.ops:
+            if op.instr is instr:
+                return op.cycle
+        raise KeyError("instruction not in schedule")
+
+
+def schedule_superblock(
+    code: SuperblockCode,
+    machine: MachineModel,
+    graph: Optional[DepGraph] = None,
+) -> SuperblockSchedule:
+    """Compact ``code`` with top-down cycle scheduling on ``machine``."""
+    instrs = code.instructions
+    n = len(instrs)
+    if graph is None:
+        graph = build_dependence_graph(code, machine)
+    heights = graph.critical_heights()
+    unscheduled_preds = [len(graph.preds[i]) for i in range(n)]
+    earliest = [0] * n
+    cycle_of: List[int] = [-1] * n
+
+    #: instructions whose predecessors are all scheduled
+    available: Set[int] = {i for i in range(n) if unscheduled_preds[i] == 0}
+    remaining = n
+    cycle = 0
+    ops: List[ScheduledOp] = []
+    bundles: List[List[ScheduledOp]] = []
+
+    while remaining > 0:
+        bundle: List[ScheduledOp] = []
+        control_used = 0
+        progressed = True
+        while len(bundle) < machine.issue_width and progressed:
+            progressed = False
+            ready = [
+                i
+                for i in available
+                if earliest[i] <= cycle
+                and (
+                    not instrs[i].is_control
+                    or control_used < machine.control_per_cycle
+                )
+            ]
+            if not ready:
+                break
+            best = max(ready, key=lambda i: (heights[i], -i))
+            available.remove(best)
+            cycle_of[best] = cycle
+            op = ScheduledOp(
+                instr=instrs[best],
+                orig_index=best,
+                cycle=cycle,
+                slot=len(bundle),
+            )
+            bundle.append(op)
+            ops.append(op)
+            if instrs[best].is_control:
+                control_used += 1
+            remaining -= 1
+            for succ, lat in graph.succs[best]:
+                earliest[succ] = max(earliest[succ], cycle + lat)
+                unscheduled_preds[succ] -= 1
+                if unscheduled_preds[succ] == 0:
+                    available.add(succ)
+            progressed = True
+        if bundle:
+            # Keep a stable intra-bundle order: program order, so the
+            # simulator's write phase resolves identically across runs.
+            bundle.sort(key=lambda op: op.orig_index)
+            for slot, op in enumerate(bundle):
+                op.slot = slot
+        bundles.append(bundle)
+        cycle += 1
+
+    # Trim trailing empty bundles (can happen when the last instruction's
+    # latency padding was speculative) and drop empty bundles entirely by
+    # re-normalizing cycles: empty bundles in the middle represent genuine
+    # stall cycles and are preserved.
+    while bundles and not bundles[-1]:
+        bundles.pop()
+
+    schedule = SuperblockSchedule(
+        code=code, ops=ops, bundles=bundles, machine=machine
+    )
+    _mark_speculative(schedule)
+    return schedule
+
+
+def _mark_speculative(schedule: SuperblockSchedule) -> None:
+    """Flag ops that execute although an earlier exit may already be taken.
+
+    An op is speculative when some exit instruction that *precedes it in
+    program order* is scheduled in the same or a later cycle.
+    """
+    exit_cycles: List[Tuple[int, int]] = [
+        (op.orig_index, op.cycle)
+        for op in schedule.ops
+        if op.instr in schedule.code.exits
+    ]
+    for op in schedule.ops:
+        if op.instr in schedule.code.exits:
+            continue
+        for exit_index, exit_cycle in exit_cycles:
+            if exit_index < op.orig_index and exit_cycle >= op.cycle:
+                op.speculative = True
+                break
+
+
+def verify_schedule(schedule: SuperblockSchedule) -> List[str]:
+    """Check a schedule against the machine and its dependence graph.
+
+    Used by tests: returns a list of violations (empty when legal).
+    """
+    problems: List[str] = []
+    machine = schedule.machine
+    code = schedule.code
+    graph = build_dependence_graph(code, machine)
+    cycle_of: Dict[int, int] = {op.orig_index: op.cycle for op in schedule.ops}
+
+    if len(schedule.ops) != len(code.instructions):
+        problems.append("schedule drops or duplicates instructions")
+        return problems
+
+    for i in range(graph.size):
+        for j, lat in graph.succs[i]:
+            if cycle_of[j] - cycle_of[i] < lat:
+                problems.append(
+                    f"dependence {i}->{j} (lat {lat}) violated:"
+                    f" cycles {cycle_of[i]} -> {cycle_of[j]}"
+                )
+
+    for cycle, bundle in enumerate(schedule.bundles):
+        if len(bundle) > machine.issue_width:
+            problems.append(f"cycle {cycle}: {len(bundle)} ops issued")
+        controls = sum(1 for op in bundle if op.instr.is_control)
+        if controls > machine.control_per_cycle:
+            problems.append(f"cycle {cycle}: {controls} control ops")
+        for op in bundle:
+            if op.cycle != cycle:
+                problems.append(
+                    f"cycle {cycle}: op tagged with cycle {op.cycle}"
+                )
+
+    # Side effects must never be speculative.
+    for op in schedule.ops:
+        if op.speculative and (
+            op.instr.has_side_effects or op.instr.is_control
+        ):
+            problems.append(
+                f"speculative side effect: {op.instr.opcode.value}"
+                f" at cycle {op.cycle}"
+            )
+    return problems

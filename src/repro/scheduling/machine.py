@@ -1,0 +1,54 @@
+"""The experimental machine model (Section 3.2 of the paper).
+
+A very powerful VLIW based on the Alpha ISA: 8 universal functional units
+(any unit executes any operation), at most one control instruction per cycle,
+single-cycle latencies, a 128-entry integer register file, and non-excepting
+variants of faulting instructions so the compiler can speculate freely.
+
+``REALISTIC_MACHINE`` provides the paper's "more realistic instruction
+latencies" variant used for the sensitivity experiment the authors mention
+(they found path profiles helped *more* under realistic latencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..ir.instructions import Opcode
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Resource and latency description of the target VLIW."""
+
+    #: Operations issued per cycle (universal functional units).
+    issue_width: int = 8
+    #: Control instructions (branches, jumps, calls, returns) per cycle.
+    control_per_cycle: int = 1
+    #: Integer registers available to the allocator.
+    num_registers: int = 128
+    #: Per-opcode latency overrides; anything absent defaults to 1 cycle.
+    latencies: Mapping[Opcode, int] = field(default_factory=dict)
+    #: Human-readable name used in reports.
+    name: str = "paper-vliw"
+
+    def latency(self, opcode: Opcode) -> int:
+        """Result latency of ``opcode`` in cycles (>= 1)."""
+        return self.latencies.get(opcode, 1)
+
+
+#: The paper's primary machine: 8-wide, unit latencies, 128 registers.
+PAPER_MACHINE = MachineModel()
+
+#: A machine with more realistic latencies (multiplies, divides, loads).
+REALISTIC_MACHINE = MachineModel(
+    latencies={
+        Opcode.MUL: 3,
+        Opcode.DIV: 12,
+        Opcode.MOD: 12,
+        Opcode.LOAD: 2,
+        Opcode.LOAD_S: 2,
+    },
+    name="realistic-vliw",
+)

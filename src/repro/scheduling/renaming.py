@@ -1,0 +1,94 @@
+"""Register renaming within a superblock (Section 2.3 of the paper).
+
+``compact`` implements three forms of renaming; this pass realizes all of
+them with one mechanism:
+
+* **anti/output dependence renaming** — every definition gets a fresh
+  virtual register and later on-trace uses read the fresh name, so WAR/WAW
+  hazards between on-trace instructions vanish;
+* **live off-trace renaming** — when the *architectural* register must still
+  be correct at a later exit, a ``mov arch <- fresh`` is placed at the
+  definition's original position.  The defining instruction is then free to
+  move above earlier exits; only the cheap move stays pinned;
+* **move renaming** — consumers are rewritten to read the move's source
+  (the fresh register) directly, so they never wait on the move.
+
+The pass mutates the instruction list of a :class:`SuperblockCode` in place
+(instruction objects for control transfers keep their identity, preserving
+the exit annotations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir import instructions as ins
+from ..ir.cfg import Procedure
+from ..ir.instructions import Instruction, Opcode
+from .sbcode import SuperblockCode
+
+
+def rename_superblock(code: SuperblockCode, proc: Procedure) -> None:
+    """Apply combined renaming to ``code`` in place.
+
+    ``proc`` supplies fresh virtual register numbers (so renamed registers
+    never collide with architectural ones).
+    """
+    instrs = code.instructions
+    n = len(instrs)
+
+    # For each definition site, does the architectural register need to be
+    # materialized before the next definition?  It does iff some exit
+    # strictly between this definition and the register's next definition
+    # lists it live.  (Exits never define registers, so the bounds are
+    # unambiguous; the final terminator is an exit position after every
+    # definition.)
+    last_seen: Dict[int, int] = {}
+    next_def_at: List[int] = [n] * n
+    for i in range(n - 1, -1, -1):
+        dest = instrs[i].dest
+        if dest is not None:
+            next_def_at[i] = last_seen.get(dest, n)
+            last_seen[dest] = i
+
+    exit_positions: List[int] = code.exit_indices()
+
+    def needs_materialization(def_index: int, reg: int) -> bool:
+        limit = next_def_at[def_index]
+        for e in exit_positions:
+            if def_index < e < limit and reg in code.exits[instrs[e]].live:
+                return True
+        return False
+
+    current: Dict[int, int] = {}
+    #: registers written exactly once by this pass (fresh temps): safe for
+    #: consumers to read directly, bypassing any move that copies them.
+    stable: set = set()
+    result: List[Instruction] = []
+    for index, instr in enumerate(instrs):
+        # Rewrite sources through the current renaming map.
+        if instr.srcs:
+            instr.srcs = tuple(current.get(s, s) for s in instr.srcs)
+        dest = instr.dest
+        if dest is None:
+            result.append(instr)
+            continue
+        materialize = needs_materialization(index, dest)
+        if instr.opcode is Opcode.MOV and materialize:
+            # The instruction is itself the materializing move.  Move
+            # renaming: when its source is a single-definition temporary,
+            # later consumers read the source directly and never wait on
+            # the move; otherwise they keep reading the architectural
+            # register.
+            src = instr.srcs[0]
+            current[dest] = src if src in stable else dest
+            result.append(instr)
+            continue
+        fresh = proc.fresh_reg()
+        instr.dest = fresh
+        current[dest] = fresh
+        stable.add(fresh)
+        result.append(instr)
+        if materialize:
+            result.append(ins.mov(dest, fresh))
+    code.instructions = result

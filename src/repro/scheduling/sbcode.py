@@ -1,0 +1,127 @@
+"""Linearized superblock code and its exit structure.
+
+The compactor works on a straight-line view of each superblock:
+
+* the member blocks' instructions are *copied* and concatenated (the
+  formation result stays intact as the semantic reference);
+* an internal unconditional jump to the next member block is dropped (the
+  fall-through is implicit in the trace — this is the fetch benefit of
+  forming traces);
+* every remaining control instruction is an *exit point* annotated with the
+  registers the off-trace world needs intact at that exit (the live-in set
+  of each exit target), which is what the renamer and the dependence graph
+  use to keep speculative code motion safe.
+
+Exit metadata is keyed by instruction identity so it survives the
+optimization passes (value numbering, dead-code elimination, renaming) that
+insert and remove non-control instructions around the exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..analysis.liveness import LivenessInfo
+from ..formation.superblock import Superblock
+from ..ir.cfg import Procedure
+from ..ir.instructions import Instruction, Opcode
+
+
+@dataclass
+class ExitInfo:
+    """Exit annotations of one control instruction."""
+
+    #: Label execution continues at inside the superblock when the branch
+    #: does not exit; ``None`` when every target leaves the superblock.
+    on_trace_target: Optional[str]
+    #: Architectural registers the off-trace world reads if control leaves
+    #: the superblock here.
+    live: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class SuperblockCode:
+    """Straight-line instruction view of one superblock."""
+
+    proc: str
+    head: str
+    #: All member block labels, in trace order.
+    labels: List[str]
+    #: The linearized instructions (internal fall-through jumps removed).
+    instructions: List[Instruction]
+    #: Source member block of each instruction (identity-keyed).
+    block_of: Dict[Instruction, str]
+    #: Exit annotations of control instructions (identity-keyed).
+    exits: Dict[Instruction, ExitInfo]
+
+    @property
+    def size(self) -> int:
+        """Instruction count of the linearized code."""
+        return len(self.instructions)
+
+    def exit_live_by_index(self) -> Dict[int, Set[int]]:
+        """Index-keyed exit liveness for the current instruction list."""
+        return {
+            i: self.exits[instr].live
+            for i, instr in enumerate(self.instructions)
+            if instr in self.exits
+        }
+
+    def exit_indices(self) -> List[int]:
+        """Indices (in the current list) of instructions that may exit."""
+        return [
+            i
+            for i, instr in enumerate(self.instructions)
+            if instr in self.exits
+        ]
+
+
+def extract_superblock_code(
+    proc: Procedure,
+    sb: Superblock,
+    liveness: LivenessInfo,
+) -> SuperblockCode:
+    """Linearize ``sb`` and annotate its exits with off-trace liveness.
+
+    ``liveness`` must have been computed on the same (transformed)
+    procedure.
+    """
+    instructions: List[Instruction] = []
+    block_of: Dict[Instruction, str] = {}
+    exits: Dict[Instruction, ExitInfo] = {}
+
+    for position, label in enumerate(sb.labels):
+        block = proc.block(label)
+        next_label = (
+            sb.labels[position + 1] if position + 1 < len(sb.labels) else None
+        )
+        for source in block.instructions:
+            if (
+                source.opcode is Opcode.JMP
+                and next_label is not None
+                and source.targets[0] == next_label
+            ):
+                continue  # implicit fall-through inside the trace
+            instr = source.copy()
+            instructions.append(instr)
+            block_of[instr] = label
+            if instr.is_terminator:
+                exit_targets = [t for t in instr.targets if t != next_label]
+                live: Set[int] = set()
+                for target in exit_targets:
+                    live |= liveness.live_in_at(target)
+                exits[instr] = ExitInfo(
+                    on_trace_target=(
+                        next_label if next_label in instr.targets else None
+                    ),
+                    live=live,
+                )
+    return SuperblockCode(
+        proc=proc.name,
+        head=sb.head,
+        labels=list(sb.labels),
+        instructions=instructions,
+        block_of=block_of,
+        exits=exits,
+    )

@@ -1,0 +1,20 @@
+"""Cycle-level VLIW simulation with an instruction-cache model."""
+
+from .icache import ICache, ICacheConfig
+from .vliw_sim import (
+    CycleLimitExceeded,
+    SimulationError,
+    SimulationResult,
+    VLIWSimulator,
+    simulate,
+)
+
+__all__ = [
+    "CycleLimitExceeded",
+    "ICache",
+    "ICacheConfig",
+    "SimulationError",
+    "SimulationResult",
+    "VLIWSimulator",
+    "simulate",
+]

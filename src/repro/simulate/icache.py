@@ -1,0 +1,61 @@
+"""Instruction cache model (Section 3.2 of the paper).
+
+A 32KB direct-mapped cache with 32-byte lines and a 6-cycle miss penalty —
+the configuration used for Figures 5 and 6 and the gcc/go miss-rate
+discussion.  The simulator probes it with the byte address of every fetched
+instruction; code expansion from aggressive enlargement shows up here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ICacheConfig:
+    """Geometry and penalty of the instruction cache."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 32
+    miss_penalty: int = 6
+
+    @property
+    def num_lines(self) -> int:
+        """Number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+
+class ICache:
+    """Direct-mapped instruction cache with miss counting."""
+
+    def __init__(self, config: ICacheConfig = None) -> None:
+        self.config = config or ICacheConfig()
+        if self.config.size_bytes % self.config.line_bytes:
+            raise ValueError("cache size must be a multiple of the line size")
+        self._tags = [None] * self.config.num_lines
+        self.accesses = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        """Invalidate the cache and clear statistics."""
+        self._tags = [None] * self.config.num_lines
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Probe one instruction fetch; returns True on a miss."""
+        line = address // self.config.line_bytes
+        index = line % self.config.num_lines
+        self.accesses += 1
+        if self._tags[index] != line:
+            self._tags[index] = line
+            self.misses += 1
+            return True
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0.0 when never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses

@@ -1,0 +1,407 @@
+"""Cycle-level execution of compiled (scheduled) programs.
+
+The simulator plays the role of the paper's compiled simulation (Section
+3.2): it executes the VLIW schedules bundle by bundle, counting one cycle
+per bundle plus instruction-cache miss penalties, with VLIW register
+semantics (all reads happen before all writes within a cycle).  Speculative
+operations — those the scheduler hoisted above a side exit — execute with
+the machine's non-excepting semantics: a faulting speculative operation
+produces 0 instead of trapping, exactly the trap-suppression trick the
+paper's generated code plays on the real Alpha.
+
+Besides cycles, the simulator gathers the dynamic superblock statistics of
+Figure 7: how many (original) basic blocks execution covered per superblock
+entry, against the superblock's size in blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..interp.ops import BINARY_EVAL, MachineFault, UNARY_EVAL
+from ..ir.instructions import Instruction, Opcode
+from ..layout.pettis_hansen import INSTRUCTION_BYTES, Layout
+from ..scheduling.compactor import CompiledProcedure, CompiledProgram
+from ..scheduling.list_scheduler import ScheduledOp, SuperblockSchedule
+from .icache import ICache
+
+
+class SimulationError(Exception):
+    """Raised on malformed schedules or runaway executions."""
+
+
+class CycleLimitExceeded(SimulationError):
+    """The configured cycle budget was exhausted."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome and statistics of one simulated run."""
+
+    output: List[int]
+    return_value: int
+    cycles: int
+    #: dynamic scheduled operations executed (speculative included)
+    operations: int
+    #: operations executed beyond a taken exit (wasted speculative work)
+    wasted_operations: int
+    branches: int
+    calls: int
+    #: dynamic superblock entries
+    sb_entries: int
+    #: sum over entries of original basic blocks executed before leaving
+    blocks_executed: int
+    #: sum over entries of the entered superblock's size in blocks
+    sb_size_blocks: int
+    #: instruction cache statistics (zero when no cache was simulated)
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    miss_penalty_cycles: int = 0
+
+    @property
+    def avg_blocks_per_entry(self) -> float:
+        """Figure 7's gray bar: mean blocks executed per superblock entry."""
+        if self.sb_entries == 0:
+            return 0.0
+        return self.blocks_executed / self.sb_entries
+
+    @property
+    def avg_superblock_size(self) -> float:
+        """Figure 7's white bar: mean entered-superblock size in blocks."""
+        if self.sb_entries == 0:
+            return 0.0
+        return self.sb_size_blocks / self.sb_entries
+
+    @property
+    def icache_miss_rate(self) -> float:
+        """I-cache miss rate over the run."""
+        if self.icache_accesses == 0:
+            return 0.0
+        return self.icache_misses / self.icache_accesses
+
+
+class _Frame:
+    __slots__ = (
+        "cproc",
+        "regs",
+        "spill",
+        "ret_dest",
+        "schedule",
+        "bundle_idx",
+    )
+
+    def __init__(
+        self,
+        cproc: CompiledProcedure,
+        regs: Dict[int, int],
+        ret_dest: Optional[int],
+        schedule: SuperblockSchedule,
+    ) -> None:
+        self.cproc = cproc
+        self.regs = regs
+        self.spill: Dict[int, int] = {}
+        self.ret_dest = ret_dest
+        self.schedule = schedule
+        self.bundle_idx = 0
+
+
+class VLIWSimulator:
+    """Executes a :class:`CompiledProgram`, optionally through an I-cache."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        icache: Optional[ICache] = None,
+        layout: Optional[Layout] = None,
+        cycle_limit: int = 100_000_000,
+    ) -> None:
+        if icache is not None and layout is None:
+            raise SimulationError("an instruction cache needs a code layout")
+        self.compiled = compiled
+        self.icache = icache
+        self.layout = layout
+        self.cycle_limit = cycle_limit
+        #: (proc, head) -> per-bundle fetch addresses
+        self._bundle_addrs: Dict[Tuple[str, str], List[List[int]]] = {}
+        #: (proc, head) -> instruction -> member block position
+        self._block_pos: Dict[Tuple[str, str], Dict[Instruction, int]] = {}
+        #: memoized wasted-op counts per (schedule id, exit op id)
+        self._wasted_cache: Dict[Tuple[int, int], int] = {}
+        self._prepare()
+
+    def _prepare(self) -> None:
+        for name, cproc in self.compiled.procedures.items():
+            for head, schedule in cproc.schedules.items():
+                key = (name, head)
+                position = {
+                    label: i for i, label in enumerate(schedule.code.labels)
+                }
+                self._block_pos[key] = {
+                    instr: position[label]
+                    for instr, label in schedule.code.block_of.items()
+                    if label in position
+                }
+                if self.layout is not None:
+                    base = self.layout.address_of(name, head)
+                    addrs: List[List[int]] = []
+                    seq = 0
+                    for bundle in schedule.bundles:
+                        row = []
+                        for _ in bundle:
+                            row.append(base + seq * INSTRUCTION_BYTES)
+                            seq += 1
+                        addrs.append(row)
+                    self._bundle_addrs[key] = addrs
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self, input_tape: Sequence[int] = (), args: Sequence[int] = ()
+    ) -> SimulationResult:
+        """Simulate the program on ``input_tape``; returns statistics."""
+        compiled = self.compiled
+        tape = list(input_tape)
+        tape_pos = 0
+        memory: Dict[int, int] = {}
+        output: List[int] = []
+
+        cycles = 0
+        operations = 0
+        wasted = 0
+        branches = 0
+        calls = 0
+        sb_entries = 0
+        blocks_executed = 0
+        sb_size_blocks = 0
+        miss_cycles = 0
+        return_value = 0
+
+        def enter_stats(schedule: SuperblockSchedule) -> None:
+            nonlocal sb_entries, sb_size_blocks
+            sb_entries += 1
+            sb_size_blocks += len(schedule.code.labels)
+
+        def make_frame(
+            name: str, argv: Sequence[int], ret_dest: Optional[int]
+        ) -> _Frame:
+            cproc = compiled.procedures[name]
+            if len(argv) != len(cproc.params):
+                raise SimulationError(
+                    f"{name} expects {len(cproc.params)} args, got {len(argv)}"
+                )
+            schedule = cproc.schedules[cproc.entry_head]
+            enter_stats(schedule)
+            return _Frame(cproc, dict(zip(cproc.params, argv)), ret_dest, schedule)
+
+        stack: List[_Frame] = [
+            make_frame(compiled.entry, list(args), None)
+        ]
+
+        while stack:
+            frame = stack[-1]
+            schedule = frame.schedule
+            proc_name = frame.cproc.name
+            key = (proc_name, schedule.code.head)
+            bundles = schedule.bundles
+            regs = frame.regs
+            action: Optional[Tuple] = None
+
+            while frame.bundle_idx < len(bundles):
+                bundle = bundles[frame.bundle_idx]
+                cycles += 1
+                if cycles > self.cycle_limit:
+                    raise CycleLimitExceeded(
+                        f"exceeded {self.cycle_limit} cycles"
+                    )
+                if self.icache is not None:
+                    for addr in self._bundle_addrs[key][frame.bundle_idx]:
+                        if self.icache.access(addr):
+                            penalty = self.icache.config.miss_penalty
+                            cycles += penalty
+                            miss_cycles += penalty
+                operations += len(bundle)
+
+                # ---- read phase --------------------------------------------
+                reg_writes: List[Tuple[int, int]] = []
+                mem_writes: List[Tuple[int, int]] = []
+                spill_writes: List[Tuple[int, int]] = []
+                prints: List[int] = []
+                action = None
+                for op in bundle:
+                    instr = op.instr
+                    opcode = instr.opcode
+                    binop = BINARY_EVAL.get(opcode)
+                    if binop is not None:
+                        a, b = instr.srcs
+                        try:
+                            value = binop(regs[a], regs[b])
+                        except MachineFault:
+                            if not op.speculative:
+                                raise
+                            value = 0  # non-excepting variant
+                        reg_writes.append((instr.dest, value))
+                    elif opcode is Opcode.LI:
+                        reg_writes.append((instr.dest, instr.imm))
+                    elif opcode is Opcode.MOV:
+                        reg_writes.append((instr.dest, regs[instr.srcs[0]]))
+                    elif opcode in (Opcode.LOAD, Opcode.LOAD_S):
+                        reg_writes.append(
+                            (instr.dest, memory.get(regs[instr.srcs[0]], 0))
+                        )
+                    elif opcode is Opcode.STORE:
+                        mem_writes.append(
+                            (regs[instr.srcs[0]], regs[instr.srcs[1]])
+                        )
+                    elif opcode is Opcode.SPILL_LD:
+                        reg_writes.append(
+                            (instr.dest, frame.spill.get(instr.imm, 0))
+                        )
+                    elif opcode is Opcode.SPILL_ST:
+                        spill_writes.append((instr.imm, regs[instr.srcs[0]]))
+                    elif opcode is Opcode.READ:
+                        if tape_pos < len(tape):
+                            reg_writes.append((instr.dest, tape[tape_pos]))
+                            tape_pos += 1
+                        else:
+                            reg_writes.append((instr.dest, -1))
+                    elif opcode is Opcode.PRINT:
+                        prints.append(regs[instr.srcs[0]])
+                    elif opcode in UNARY_EVAL:
+                        reg_writes.append(
+                            (instr.dest, UNARY_EVAL[opcode](regs[instr.srcs[0]]))
+                        )
+                    elif opcode is Opcode.NOP:
+                        pass
+                    elif opcode is Opcode.BR:
+                        branches += 1
+                        target = instr.targets[0 if regs[instr.srcs[0]] else 1]
+                        action = ("branch", op, target)
+                    elif opcode is Opcode.MBR:
+                        branches += 1
+                        sel = regs[instr.srcs[0]]
+                        if 0 <= sel < len(instr.targets) - 1:
+                            target = instr.targets[sel]
+                        else:
+                            target = instr.targets[-1]
+                        action = ("branch", op, target)
+                    elif opcode is Opcode.JMP:
+                        action = ("branch", op, instr.targets[0])
+                    elif opcode is Opcode.CALL:
+                        argv = [regs[s] for s in instr.srcs]
+                        action = ("call", op, instr.callee, argv, instr.dest)
+                    elif opcode is Opcode.RET:
+                        value = regs[instr.srcs[0]] if instr.srcs else 0
+                        action = ("ret", op, value)
+                    else:  # pragma: no cover - exhaustive over Opcode
+                        raise SimulationError(f"cannot simulate {opcode}")
+
+                # ---- write phase -------------------------------------------
+                for dest, value in reg_writes:
+                    regs[dest] = value
+                for addr, value in mem_writes:
+                    memory[addr] = value
+                for slot, value in spill_writes:
+                    frame.spill[slot] = value
+                output.extend(prints)
+
+                frame.bundle_idx += 1
+                if action is None:
+                    continue
+
+                kind = action[0]
+                if kind == "branch":
+                    op, target = action[1], action[2]
+                    exit_info = schedule.code.exits.get(op.instr)
+                    if (
+                        exit_info is not None
+                        and target == exit_info.on_trace_target
+                    ):
+                        continue  # stays inside the superblock
+                    # Leaving the superblock.
+                    blocks_executed += (
+                        self._block_pos[key].get(op.instr, 0) + 1
+                    )
+                    wasted += self._wasted(schedule, op)
+                    frame.schedule = frame.cproc.schedules[target]
+                    frame.bundle_idx = 0
+                    enter_stats(frame.schedule)
+                    schedule = frame.schedule
+                    key = (proc_name, schedule.code.head)
+                    bundles = schedule.bundles
+                elif kind == "call":
+                    calls += 1
+                    _, op, callee, argv, _dest = action
+                    stack.append(make_frame(callee, argv, action[4]))
+                    break
+                elif kind == "ret":
+                    op, value = action[1], action[2]
+                    blocks_executed += (
+                        self._block_pos[key].get(op.instr, 0) + 1
+                    )
+                    wasted += self._wasted(schedule, op)
+                    stack.pop()
+                    if stack:
+                        caller = stack[-1]
+                        if frame.ret_dest is not None:
+                            caller.regs[frame.ret_dest] = value
+                    else:
+                        return_value = value
+                    break
+            else:
+                raise SimulationError(
+                    f"{proc_name}/{schedule.code.head}: fell off the end of"
+                    f" the schedule"
+                )
+
+        return SimulationResult(
+            output=output,
+            return_value=return_value,
+            cycles=cycles,
+            operations=operations,
+            wasted_operations=wasted,
+            branches=branches,
+            calls=calls,
+            sb_entries=sb_entries,
+            blocks_executed=blocks_executed,
+            sb_size_blocks=sb_size_blocks,
+            icache_accesses=self.icache.accesses if self.icache else 0,
+            icache_misses=self.icache.misses if self.icache else 0,
+            miss_penalty_cycles=miss_cycles,
+        )
+
+
+    def _wasted(
+        self, schedule: SuperblockSchedule, exit_op: ScheduledOp
+    ) -> int:
+        key = (id(schedule), id(exit_op))
+        cached = self._wasted_cache.get(key)
+        if cached is None:
+            cached = _wasted_ops(schedule, exit_op)
+            self._wasted_cache[key] = cached
+        return cached
+
+
+def _wasted_ops(schedule: SuperblockSchedule, exit_op: ScheduledOp) -> int:
+    """Operations already executed that follow ``exit_op`` in program order:
+    the work thrown away by taking this exit."""
+    count = 0
+    for op in schedule.ops:
+        if op.cycle <= exit_op.cycle and op.orig_index > exit_op.orig_index:
+            count += 1
+    return count
+
+
+def simulate(
+    compiled: CompiledProgram,
+    input_tape: Sequence[int] = (),
+    args: Sequence[int] = (),
+    icache: Optional[ICache] = None,
+    layout: Optional[Layout] = None,
+    cycle_limit: int = 100_000_000,
+) -> SimulationResult:
+    """Convenience wrapper around :class:`VLIWSimulator`."""
+    simulator = VLIWSimulator(
+        compiled, icache=icache, layout=layout, cycle_limit=cycle_limit
+    )
+    return simulator.run(input_tape, args)

@@ -1,0 +1,31 @@
+"""Benchmark workloads: the paper's microbenchmarks plus SPEC stand-ins."""
+
+from .base import TapeMaker, Workload, sized, uniform_tape, words_tape
+from .micro import micro_workloads
+from .spec_compute import compute_workloads
+from .spec_systems import systems_workloads
+from .suite import (
+    MICRO_NAMES,
+    SPEC_NAMES,
+    SUITE_ORDER,
+    all_workloads,
+    get_workload,
+    workload_map,
+)
+
+__all__ = [
+    "MICRO_NAMES",
+    "SPEC_NAMES",
+    "SUITE_ORDER",
+    "TapeMaker",
+    "Workload",
+    "all_workloads",
+    "compute_workloads",
+    "get_workload",
+    "micro_workloads",
+    "sized",
+    "systems_workloads",
+    "uniform_tape",
+    "words_tape",
+    "workload_map",
+]

@@ -1,0 +1,165 @@
+"""The paper's microbenchmarks: alt, ph, corr, wc (Table 1, "micro" rows).
+
+``alt``, ``ph``, and ``corr`` are idealized behaviours that path profiles
+capture and point profiles cannot (Section 3.3): a repeating branch pattern,
+a phased branch, and a correlated branch pair.  ``wc`` is the UNIX word
+count program.  The first three take only a size knob (the paper lists their
+input as "null"); wc reads text.
+"""
+
+from __future__ import annotations
+
+from .base import Workload, sized, words_tape
+
+ALT_SRC = """
+// alt: a single loop whose conditional repeats the pattern T,T,T,F.
+func main() {
+    var n = read();
+    var light = 0;
+    var heavy = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (i % 4 != 3) {
+            light = light + i;
+        } else {
+            heavy = heavy + i * 3 - 1;
+        }
+    }
+    print(light);
+    print(heavy);
+}
+"""
+
+PH_SRC = """
+// ph: a single loop whose conditional is phased: T,T,...,T,F,F,...,F.
+func main() {
+    var n = read();
+    var cut = n * 2 / 3;
+    var first = 0;
+    var second = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (i < cut) {
+            first = first + i;
+        } else {
+            second = second + i * 3 - 1;
+        }
+    }
+    print(first);
+    print(second);
+}
+"""
+
+CORR_SRC = """
+// corr: the Young/Smith correlation example.  The second branch's direction
+// is fully determined by the first branch's direction; an edge profile sees
+// two independent 50/50 branches, a path profile sees two paths.
+func main() {
+    var n = read();
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        var x = 0;
+        if (i % 2 == 0) {
+            x = 1;
+            acc = acc + 1;
+        } else {
+            x = 0;
+            acc = acc + 2;
+        }
+        // ... intervening work ...
+        var noise = (i * 7) & 15;
+        acc = acc + noise;
+        if (x == 1) {
+            acc = acc + 3;     // taken exactly when the first branch was
+        } else {
+            acc = acc - 1;
+        }
+    }
+    print(acc);
+}
+"""
+
+WC_SRC = """
+// wc: the UNIX word count program over the input text.
+func main() {
+    var lines = 0;
+    var words = 0;
+    var chars = 0;
+    var in_word = 0;
+    var c = read();
+    while (c >= 0) {
+        chars = chars + 1;
+        if (c == 10) {
+            lines = lines + 1;
+        }
+        if (c == 32 || c == 10 || c == 9) {
+            in_word = 0;
+        } else {
+            if (in_word == 0) {
+                words = words + 1;
+            }
+            in_word = 1;
+        }
+        c = read();
+    }
+    print(lines);
+    print(words);
+    print(chars);
+}
+"""
+
+
+def micro_workloads():
+    """The four microbenchmarks, sized through the scale knob."""
+    return [
+        Workload(
+            name="alt",
+            description="Sorted example: branch repeats T,T,T,F",
+            category="micro",
+            source=ALT_SRC,
+            train=lambda scale: [sized(1200, scale)],
+            test=lambda scale: [sized(1600, scale)],
+            notes=(
+                "Matches the paper's alt microbenchmark: a single loop whose"
+                " conditional follows the repeated TTTF pattern, i.e. the"
+                " Path1 behaviour of Figure 3."
+            ),
+        ),
+        Workload(
+            name="ph",
+            description="Phased example: branch is T...T then F...F",
+            category="micro",
+            source=PH_SRC,
+            train=lambda scale: [sized(1200, scale)],
+            test=lambda scale: [sized(1650, scale)],
+            notes=(
+                "Matches the paper's ph microbenchmark: one loop whose"
+                " conditional holds for the first phase and fails for the"
+                " rest — Figure 3's Path2 behaviour."
+            ),
+        ),
+        Workload(
+            name="corr",
+            description="Branch correlation example (Young & Smith)",
+            category="micro",
+            source=CORR_SRC,
+            train=lambda scale: [sized(900, scale)],
+            test=lambda scale: [sized(1300, scale)],
+            notes=(
+                "The simple correlation example of Young and Smith [20]: the"
+                " second branch repeats the first's direction, invisible to"
+                " point profiles."
+            ),
+        ),
+        Workload(
+            name="wc",
+            description="UNIX word count program",
+            category="micro",
+            source=WC_SRC,
+            train=lambda scale: words_tape(11, sized(700, scale)),
+            test=lambda scale: words_tape(29, sized(900, scale)),
+            notes=(
+                "wc itself, reading synthetic text; the paper's testing input"
+                " was a PostScript conference paper, ours is seeded"
+                " pseudo-text with a different seed for train and test."
+            ),
+        ),
+    ]

@@ -1,0 +1,549 @@
+"""SPEC substitutes, systems group: gcc, go, li, m88k(sim), perl, vortex.
+
+These programs are interpreter/traversal shaped: large multiway dispatch,
+frequent procedure calls, low-iteration loops, and pointer chasing — the
+regimes where the paper reports that unrolling alone is insufficient (go,
+li) and where path-based code expansion can hurt the I-cache (gcc, go).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .base import Workload, sized
+
+GCC_SRC = """
+// gcc: recursive expression-tree folder with a wide multiway dispatch.
+// Nodes live in mem[] as (kind, left, right, value) records; the input is
+// a preorder stream of node kinds.  Many kinds are cold, as in a compiler.
+func build(pos) {
+    // reads one subtree starting at record slot `pos`; returns next slot
+    var kind = read();
+    if (kind < 0) { kind = 0; }
+    mem[8000 + pos * 4] = kind;
+    mem[8000 + pos * 4 + 3] = read();
+    var next = pos + 1;
+    if (kind >= 4) {
+        mem[8000 + pos * 4 + 1] = next;
+        next = build(next);
+        mem[8000 + pos * 4 + 2] = next;
+        next = build(next);
+    }
+    return next;
+}
+
+func fold(pos) {
+    var kind = mem[8000 + pos * 4];
+    var value = mem[8000 + pos * 4 + 3];
+    if (kind < 4) {
+        switch (kind) {
+            case 0: { return value; }
+            case 1: { return -value; }
+            case 2: { return value & 255; }
+            case 3: { return value * 3 + 1; }
+        }
+        return value;
+    }
+    var l = fold(mem[8000 + pos * 4 + 1]);
+    var r = fold(mem[8000 + pos * 4 + 2]);
+    switch (kind) {
+        case 4: { return l + r; }
+        case 5: { return l - r; }
+        case 6: { return l * r; }
+        case 7: { if (l < r) { return l; } return r; }
+        case 8: { if (l > r) { return l; } return r; }
+        case 9: { return (l & r) ^ 85; }
+        case 10: { return (l | r) + 1; }
+        case 11: { return (l ^ r) - 2; }
+        case 12: { if (l == r) { return 1; } return 0; }
+        case 13: { return l + r * 2; }
+        case 14: { return l * 2 - r; }
+        default: { return l ^ r; }
+    }
+}
+
+func main() {
+    var trees = read();
+    var total = 0;
+    for (var t = 0; t < trees; t = t + 1) {
+        build(0);
+        total = total + fold(0);
+    }
+    print(total);
+}
+"""
+
+
+def _gcc_tape(seed: int, trees: int) -> List[int]:
+    rng = random.Random(seed)
+    tape = [trees]
+
+    def emit_tree(depth: int) -> None:
+        # Hot kinds dominate; kinds 9..15 are cold, like rare IR nodes.
+        if depth >= 4 or rng.random() < 0.35:
+            kind = rng.choices([0, 1, 2, 3], weights=[70, 10, 10, 10])[0]
+            tape.append(kind)
+            tape.append(rng.randint(0, 99))
+            return
+        kind = rng.choices(
+            [4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+            weights=[30, 20, 12, 8, 8, 2, 2, 2, 2, 5, 5, 2],
+        )[0]
+        tape.append(kind)
+        tape.append(rng.randint(0, 99))
+        emit_tree(depth + 1)
+        emit_tree(depth + 1)
+
+    for _ in range(trees):
+        emit_tree(0)
+    return tape
+
+
+GO_SRC = """
+// go: board scanning with tiny loops and frequent helper calls.
+func neighbors_free(pos, size) {
+    var free = 0;
+    for (var d = 0; d < 4; d = d + 1) {
+        var np = pos;
+        if (d == 0) { np = pos - size; }
+        if (d == 1) { np = pos + size; }
+        if (d == 2) { np = pos - 1; }
+        if (d == 3) { np = pos + 1; }
+        if (np >= 0 && np < size * size) {
+            if (mem[3000 + np] == 0) { free = free + 1; }
+        }
+    }
+    return free;
+}
+
+func influence(pos, size) {
+    var score = 0;
+    var stone = mem[3000 + pos];
+    // short, early-exit pattern scan
+    for (var r = 1; r < 4; r = r + 1) {
+        var look = pos + r;
+        if (look >= size * size) { break; }
+        var other = mem[3000 + look];
+        if (other == 0) { score = score + 1; }
+        else {
+            if (other == stone) { score = score + 3; }
+            else { break; }
+        }
+    }
+    return score;
+}
+
+func main() {
+    var size = read();
+    var passes = read();
+    var cells = size * size;
+    for (var i = 0; i < cells; i = i + 1) {
+        mem[3000 + i] = read();
+    }
+    var total = 0;
+    for (var p = 0; p < passes; p = p + 1) {
+        for (var pos = 0; pos < cells; pos = pos + 1) {
+            var stone = mem[3000 + pos];
+            if (stone != 0) {
+                var libs = neighbors_free(pos, size);
+                if (libs == 0) {
+                    mem[3000 + pos] = 0;  // capture
+                    total = total - 5;
+                } else {
+                    total = total + influence(pos, size) + libs;
+                }
+            }
+        }
+    }
+    print(total);
+}
+"""
+
+
+def _go_tape(seed: int, size: int, passes: int) -> List[int]:
+    rng = random.Random(seed)
+    tape = [size, passes]
+    for _ in range(size * size):
+        tape.append(rng.choices([0, 1, 2], weights=[40, 30, 30])[0])
+    return tape
+
+
+LI_SRC = """
+// li: a recursive list interpreter over cons cells.
+// Cells: mem[base + 2k] = car, mem[base + 2k + 1] = cdr (0 = nil).
+// Programs are expression trees encoded as lists: (op lhs rhs).
+func eval(cell) {
+    if (cell == 0) { return 0; }
+    var car = mem[6000 + cell * 2];
+    var cdr = mem[6000 + cell * 2 + 1];
+    if (car < 100) {
+        return car;   // atom: small integer
+    }
+    var op = car - 100;
+    var lhs = eval(mem[6000 + cdr * 2]);
+    var rest = mem[6000 + cdr * 2 + 1];
+    var rhs = eval(mem[6000 + rest * 2]);
+    if (op == 0) { return lhs + rhs; }
+    if (op == 1) { return lhs - rhs; }
+    if (op == 2) { return lhs * rhs; }
+    if (op == 3) { if (lhs < rhs) { return rhs; } return lhs; }
+    return lhs ^ rhs;
+}
+
+func list_length(cell) {
+    var n = 0;
+    while (cell != 0) {
+        n = n + 1;
+        cell = mem[6000 + cell * 2 + 1];
+    }
+    return n;
+}
+
+func main() {
+    var cells = read();
+    for (var i = 1; i <= cells; i = i + 1) {
+        mem[6000 + i * 2] = read();
+        mem[6000 + i * 2 + 1] = read();
+    }
+    var roots = read();
+    var total = 0;
+    for (var r = 0; r < roots; r = r + 1) {
+        var root = read();
+        total = total + eval(root);
+        total = total + list_length(root);
+    }
+    print(total);
+}
+"""
+
+
+def _li_tape(seed: int, exprs: int) -> List[int]:
+    """Encode `exprs` random expression trees as cons cells."""
+    rng = random.Random(seed)
+    cars: List[int] = [0]  # cell 0 = nil sentinel (unused slot)
+    cdrs: List[int] = [0]
+
+    def new_cell(car: int, cdr: int) -> int:
+        cars.append(car)
+        cdrs.append(cdr)
+        return len(cars) - 1
+
+    def build(depth: int) -> int:
+        if depth >= 4 or rng.random() < 0.4:
+            return new_cell(rng.randint(0, 99), 0)
+        op = 100 + rng.choices([0, 1, 2, 3, 4], weights=[40, 25, 15, 15, 5])[0]
+        lhs = build(depth + 1)
+        rhs = build(depth + 1)
+        tail2 = new_cell(rhs, 0)
+        tail1 = new_cell(lhs, tail2)
+        return new_cell(op, tail1)
+
+    roots = [build(0) for _ in range(exprs)]
+    ncells = len(cars) - 1
+    tape = [ncells]
+    for i in range(1, ncells + 1):
+        tape.append(cars[i])
+        tape.append(cdrs[i])
+    tape.append(len(roots))
+    tape.extend(roots)
+    return tape
+
+
+M88K_SRC = """
+// m88k: microprocessor simulator: fetch/decode/execute over a synthetic
+// instruction memory.  Registers live in mem[100..115].
+func main() {
+    var ninstr = read();
+    for (var i = 0; i < ninstr; i = i + 1) {
+        mem[9000 + i * 4] = read();      // opcode
+        mem[9000 + i * 4 + 1] = read();  // rd
+        mem[9000 + i * 4 + 2] = read();  // rs
+        mem[9000 + i * 4 + 3] = read();  // imm / target
+    }
+    var fuel = read();
+    var pc = 0;
+    var executed = 0;
+    while (fuel > 0) {
+        if (pc < 0 || pc >= ninstr) { pc = 0; }  // wrap: restart program
+        fuel = fuel - 1;
+        executed = executed + 1;
+        var op = mem[9000 + pc * 4];
+        var rd = mem[9000 + pc * 4 + 1];
+        var rs = mem[9000 + pc * 4 + 2];
+        var imm = mem[9000 + pc * 4 + 3];
+        pc = pc + 1;
+        switch (op) {
+            case 0: { mem[100 + rd] = imm; }
+            case 1: { mem[100 + rd] = (mem[100 + rd] + mem[100 + rs]) & 65535; }
+            case 2: { mem[100 + rd] = (mem[100 + rd] - mem[100 + rs]) & 65535; }
+            case 3: { mem[100 + rd] = mem[200 + ((mem[100 + rs] + imm) & 63)]; }
+            case 4: { mem[200 + ((mem[100 + rd] + imm) & 63)] = mem[100 + rs]; }
+            case 5: { if (mem[100 + rd] == mem[100 + rs]) { pc = imm; } }
+            case 6: { if (mem[100 + rd] != mem[100 + rs]) { pc = imm; } }
+            case 7: { mem[100 + rd] = (mem[100 + rd] * 3 + 1) & 65535; }
+            default: { pc = 0; }
+        }
+    }
+    var sum = 0;
+    for (var r = 0; r < 16; r = r + 1) {
+        sum = sum + mem[100 + r];
+    }
+    print(executed);
+    print(sum);
+}
+"""
+
+
+def _m88k_tape(seed: int, ninstr: int, fuel: int) -> List[int]:
+    rng = random.Random(seed)
+    tape = [ninstr]
+    for index in range(ninstr):
+        op = rng.choices(
+            [0, 1, 2, 3, 4, 5, 6, 7, 9],
+            weights=[10, 30, 15, 15, 10, 8, 8, 4, 1],
+        )[0]
+        rd = rng.randint(0, 15)
+        rs = rng.randint(0, 15)
+        if op in (5, 6):
+            imm = rng.randint(max(0, index - 6), min(ninstr - 1, index + 6))
+        else:
+            imm = rng.randint(0, 63)
+        tape.extend([op, rd, rs, imm])
+    tape.append(fuel)
+    return tape
+
+
+PERL_SRC = """
+// perl: a stack-machine interpreter with an association table
+// (linear-probe hash) — hash ops and stack churn like a script runtime.
+func main() {
+    var nops = read();
+    var sp = 0;
+    var steps = 0;
+    var result = 0;
+    for (var i = 0; i < nops; i = i + 1) {
+        var op = read();
+        var arg = read();
+        steps = steps + 1;
+        switch (op) {
+            case 0: {  // push
+                mem[500 + sp] = arg;
+                sp = sp + 1;
+            }
+            case 1: {  // add top two
+                if (sp >= 2) {
+                    mem[500 + sp - 2] = mem[500 + sp - 2] + mem[500 + sp - 1];
+                    sp = sp - 1;
+                }
+            }
+            case 2: {  // dup
+                if (sp >= 1) {
+                    mem[500 + sp] = mem[500 + sp - 1];
+                    sp = sp + 1;
+                }
+            }
+            case 3: {  // assoc store: key=arg, value=top
+                if (sp >= 1) {
+                    var h = (arg * 17) % 97;
+                    while (mem[700 + h * 2] != 0 && mem[700 + h * 2] != arg + 1) {
+                        h = (h + 1) % 97;
+                    }
+                    mem[700 + h * 2] = arg + 1;
+                    mem[700 + h * 2 + 1] = mem[500 + sp - 1];
+                    sp = sp - 1;
+                }
+            }
+            case 4: {  // assoc load: push value for key=arg (0 if absent)
+                var h2 = (arg * 17) % 97;
+                var probes = 0;
+                var value = 0;
+                while (mem[700 + h2 * 2] != 0 && probes < 97) {
+                    if (mem[700 + h2 * 2] == arg + 1) {
+                        value = mem[700 + h2 * 2 + 1];
+                        break;
+                    }
+                    h2 = (h2 + 1) % 97;
+                    probes = probes + 1;
+                }
+                mem[500 + sp] = value;
+                sp = sp + 1;
+            }
+            default: {  // pop into result
+                if (sp >= 1) {
+                    sp = sp - 1;
+                    result = result ^ mem[500 + sp];
+                }
+            }
+        }
+        if (sp > 200) { sp = 200; }
+    }
+    print(steps);
+    print(result);
+    print(sp);
+}
+"""
+
+
+def _perl_tape(seed: int, nops: int) -> List[int]:
+    rng = random.Random(seed)
+    tape = [nops]
+    for _ in range(nops):
+        op = rng.choices([0, 1, 2, 3, 4, 5], weights=[35, 20, 10, 12, 15, 8])[0]
+        tape.extend([op, rng.randint(0, 60)])
+    return tape
+
+
+VORTEX_SRC = """
+// vortex: an object store: records in a singly linked list ordered by key,
+// with insert/lookup/update transactions (pointer chasing, biased
+// comparisons).  Record: mem[p]=key, mem[p+1]=value, mem[p+2]=next.
+func main() {
+    var head = 0;       // 0 = empty list
+    var next_free = 1;  // record slots at mem[7000 + 3*slot]
+    var ntx = read();
+    var hits = 0;
+    var inserts = 0;
+    var checksum = 0;
+    for (var t = 0; t < ntx; t = t + 1) {
+        var kind = read();
+        var key = read();
+        if (kind == 0) {  // insert (keep sorted by key)
+            var slot = next_free;
+            next_free = next_free + 1;
+            mem[7000 + slot * 3] = key;
+            mem[7000 + slot * 3 + 1] = key * 7 + t;
+            inserts = inserts + 1;
+            if (head == 0 || mem[7000 + head * 3] >= key) {
+                mem[7000 + slot * 3 + 2] = head;
+                head = slot;
+            } else {
+                var cur = head;
+                while (mem[7000 + cur * 3 + 2] != 0
+                       && mem[7000 + mem[7000 + cur * 3 + 2] * 3] < key) {
+                    cur = mem[7000 + cur * 3 + 2];
+                }
+                mem[7000 + slot * 3 + 2] = mem[7000 + cur * 3 + 2];
+                mem[7000 + cur * 3 + 2] = slot;
+            }
+        } else {  // lookup / update
+            var cur2 = head;
+            while (cur2 != 0 && mem[7000 + cur2 * 3] < key) {
+                cur2 = mem[7000 + cur2 * 3 + 2];
+            }
+            if (cur2 != 0 && mem[7000 + cur2 * 3] == key) {
+                hits = hits + 1;
+                if (kind == 2) {
+                    mem[7000 + cur2 * 3 + 1] = mem[7000 + cur2 * 3 + 1] + 1;
+                }
+                checksum = checksum + mem[7000 + cur2 * 3 + 1];
+            }
+        }
+    }
+    print(inserts);
+    print(hits);
+    print(checksum);
+}
+"""
+
+
+def _vortex_tape(seed: int, ntx: int) -> List[int]:
+    rng = random.Random(seed)
+    tape = [ntx]
+    known: List[int] = []
+    for _ in range(ntx):
+        kind = rng.choices([0, 1, 2], weights=[30, 50, 20])[0]
+        if kind == 0 or not known:
+            kind = 0
+            key = rng.randint(0, 500)
+            known.append(key)
+            tape.extend([0, key])
+        else:
+            key = rng.choice(known) if rng.random() < 0.7 else rng.randint(0, 500)
+            tape.extend([kind, key])
+    return tape
+
+
+def systems_workloads():
+    """gcc, go, li, m88k, perl, vortex stand-ins."""
+    return [
+        Workload(
+            name="gcc",
+            description="GNU C compiler (stand-in)",
+            category="spec95",
+            source=GCC_SRC,
+            train=lambda scale: _gcc_tape(111, sized(90, scale)),
+            test=lambda scale: _gcc_tape(222, sized(130, scale)),
+            notes=(
+                "gcc substitute: recursive tree walking over a wide multiway"
+                " dispatch with many cold arms — large static code with a"
+                " non-trivial I-cache footprint, the property the paper's"
+                " gcc miss-rate discussion hinges on."
+            ),
+        ),
+        Workload(
+            name="go",
+            description="Plays the game of Go (stand-in)",
+            category="spec95",
+            source=GO_SRC,
+            train=lambda scale: _go_tape(333, 9, sized(4, scale)),
+            test=lambda scale: _go_tape(444, 9, sized(6, scale)),
+            notes=(
+                "go substitute: low-iteration-count loops and frequent"
+                " procedure calls with irregular branch behaviour — the"
+                " regime where the paper notes unrolling alone is"
+                " insufficient and path expansion can hurt the I-cache."
+            ),
+        ),
+        Workload(
+            name="li",
+            description="XLISP interpreter (stand-in)",
+            category="spec95",
+            source=LI_SRC,
+            train=lambda scale: _li_tape(555, sized(60, scale)),
+            test=lambda scale: _li_tape(666, sized(90, scale)),
+            notes=(
+                "li substitute: recursive evaluation over cons cells —"
+                " call-dominated with short lists, like the paper's li."
+            ),
+        ),
+        Workload(
+            name="m88k",
+            description="Microprocessor simulator (stand-in)",
+            category="spec95",
+            source=M88K_SRC,
+            train=lambda scale: _m88k_tape(777, 40, sized(1400, scale)),
+            test=lambda scale: _m88k_tape(888, 40, sized(2000, scale)),
+            notes=(
+                "m88ksim substitute: a fetch/decode/execute dispatch loop"
+                " over a synthetic instruction memory with a biased opcode"
+                " mix."
+            ),
+        ),
+        Workload(
+            name="perl",
+            description="Interpreted programming language (stand-in)",
+            category="spec95",
+            source=PERL_SRC,
+            train=lambda scale: _perl_tape(999, sized(500, scale)),
+            test=lambda scale: _perl_tape(1212, sized(700, scale)),
+            notes=(
+                "perl substitute: a stack-machine interpreter with hash"
+                " (association table) traffic and data-dependent probe"
+                " loops."
+            ),
+        ),
+        Workload(
+            name="vortex",
+            description="Object-oriented database (stand-in)",
+            category="spec95",
+            source=VORTEX_SRC,
+            train=lambda scale: _vortex_tape(1313, sized(180, scale)),
+            test=lambda scale: _vortex_tape(1414, sized(260, scale)),
+            notes=(
+                "vortex substitute: sorted-list object store with"
+                " insert/lookup/update transactions — pointer chasing with"
+                " highly biased comparison branches."
+            ),
+        ),
+    ]

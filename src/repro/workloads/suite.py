@@ -1,0 +1,60 @@
+"""The full benchmark suite (Table 1's 14 programs)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Workload
+from .micro import micro_workloads
+from .spec_compute import compute_workloads
+from .spec_systems import systems_workloads
+
+#: Table 1 row order.
+SUITE_ORDER = [
+    "alt",
+    "ph",
+    "corr",
+    "wc",
+    "com",
+    "eqn",
+    "esp",
+    "gcc",
+    "go",
+    "ijpeg",
+    "li",
+    "m88k",
+    "perl",
+    "vortex",
+]
+
+#: The microbenchmark subset.
+MICRO_NAMES = ["alt", "ph", "corr", "wc"]
+
+#: The SPEC-substitute subset (Figures 5 and 6 exclude the micros).
+SPEC_NAMES = [n for n in SUITE_ORDER if n not in MICRO_NAMES]
+
+
+def all_workloads() -> List[Workload]:
+    """Every workload, in Table 1 order."""
+    by_name = {
+        w.name: w
+        for w in (
+            micro_workloads() + compute_workloads() + systems_workloads()
+        )
+    }
+    return [by_name[name] for name in SUITE_ORDER]
+
+
+def workload_map() -> Dict[str, Workload]:
+    """Name -> workload for the whole suite."""
+    return {w.name: w for w in all_workloads()}
+
+
+def get_workload(name: str) -> Workload:
+    """Look one workload up by name."""
+    table = workload_map()
+    if name not in table:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {SUITE_ORDER}"
+        )
+    return table[name]

@@ -1,0 +1,93 @@
+"""Tests for dominator and loop analyses."""
+
+from repro.analysis import (
+    DominatorTree,
+    back_edges,
+    immediate_dominators,
+    loop_headers,
+    natural_loops,
+)
+from repro.ir import FunctionBuilder
+
+from tests.support import diamond_program, figure3_loop_program
+
+
+def simple_loop_proc():
+    fb = FunctionBuilder("main")
+    entry = fb.block("entry")
+    loop = fb.block("loop")
+    body = fb.block("body")
+    exit_ = fb.block("exit")
+    c = fb.reg()
+    entry.li(c, 1)
+    entry.jmp("loop")
+    loop.br(c, "body", "exit")
+    body.jmp("loop")
+    exit_.ret()
+    return fb.proc
+
+
+class TestDominators:
+    def test_entry_has_no_idom(self):
+        proc = simple_loop_proc()
+        idom = immediate_dominators(proc)
+        assert idom["entry"] is None
+
+    def test_linear_chain(self):
+        proc = simple_loop_proc()
+        idom = immediate_dominators(proc)
+        assert idom["loop"] == "entry"
+        assert idom["body"] == "loop"
+        assert idom["exit"] == "loop"
+
+    def test_diamond_join_dominated_by_split(self):
+        proc = diamond_program().procedure("main")
+        tree = DominatorTree(proc)
+        assert tree.dominates("A", "C")
+        assert tree.dominates("A", "Y")
+        assert not tree.dominates("B", "X")
+        # The join 'A' (loop header) is not dominated by its arms.
+        assert not tree.dominates("C", "A")
+
+    def test_dominates_is_reflexive(self):
+        proc = simple_loop_proc()
+        tree = DominatorTree(proc)
+        assert tree.dominates("body", "body")
+
+    def test_dominators_of_chain(self):
+        proc = simple_loop_proc()
+        tree = DominatorTree(proc)
+        assert tree.dominators_of("body") == ["body", "loop", "entry"]
+
+
+class TestLoops:
+    def test_simple_back_edge(self):
+        proc = simple_loop_proc()
+        assert back_edges(proc) == {("body", "loop")}
+        assert loop_headers(proc) == {"loop"}
+
+    def test_figure3_loop_structure(self):
+        proc = figure3_loop_program().procedure("main")
+        headers = loop_headers(proc)
+        assert headers == {"A"}
+        loops = natural_loops(proc)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "A"
+        assert "B" in loop.body and "C" in loop.body and "D" in loop.body
+        assert "exit" not in loop.body
+        assert loop.contains("A")
+        assert not loop.contains("entry")
+
+    def test_diamond_outer_loop(self):
+        proc = diamond_program().procedure("main")
+        loops = natural_loops(proc)
+        assert len(loops) == 1
+        assert loops[0].header == "A"
+        assert loops[0].back_edge_sources == ("C", "X", "Y")
+
+    def test_straightline_has_no_loops(self):
+        fb = FunctionBuilder("main")
+        fb.block("entry").ret()
+        assert natural_loops(fb.proc) == []
+        assert back_edges(fb.proc) == set()

@@ -1,0 +1,127 @@
+"""Tests for superblock-local constant folding and strength reduction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import fold_constants
+from repro.ir import Opcode
+from repro.ir import instructions as ins
+
+
+class TestFolding:
+    def test_constant_binary_folds(self):
+        seq = [ins.li(0, 6), ins.li(1, 7), ins.binop(Opcode.MUL, 2, 0, 1)]
+        out = fold_constants(seq)
+        assert out[2].opcode is Opcode.LI and out[2].imm == 42
+
+    def test_constant_chain_folds(self):
+        seq = [
+            ins.li(0, 5),
+            ins.binop(Opcode.ADD, 1, 0, 0),
+            ins.binop(Opcode.MUL, 2, 1, 1),
+        ]
+        out = fold_constants(seq)
+        assert out[1].imm == 10
+        assert out[2].imm == 100
+
+    def test_unary_folds(self):
+        seq = [ins.li(0, 3), ins.unop(Opcode.NEG, 1, 0)]
+        out = fold_constants(seq)
+        assert out[1].opcode is Opcode.LI and out[1].imm == -3
+
+    def test_mov_of_constant_folds(self):
+        seq = [ins.li(0, 9), ins.mov(1, 0)]
+        out = fold_constants(seq)
+        assert out[1].opcode is Opcode.LI and out[1].imm == 9
+
+    def test_division_by_known_zero_left_alone(self):
+        seq = [ins.li(0, 1), ins.li(1, 0), ins.binop(Opcode.DIV, 2, 0, 1)]
+        out = fold_constants(seq)
+        assert out[2].opcode is Opcode.DIV
+
+    def test_knowledge_killed_by_unknown_def(self):
+        seq = [
+            ins.li(0, 5),
+            ins.read(0),  # clobbers the constant
+            ins.binop(Opcode.ADD, 1, 0, 0),
+        ]
+        out = fold_constants(seq)
+        assert out[2].opcode is Opcode.ADD
+
+    def test_unchanged_instructions_keep_identity(self):
+        branch = ins.br(3, "a", "b")
+        seq = [ins.read(3), branch]
+        out = fold_constants(seq)
+        assert out[1] is branch
+
+
+class TestStrengthReduction:
+    def test_add_zero_becomes_mov(self):
+        seq = [ins.li(1, 0), ins.binop(Opcode.ADD, 2, 0, 1)]
+        out = fold_constants(seq)
+        assert out[1].opcode is Opcode.MOV and out[1].srcs == (0,)
+
+    def test_mul_one_becomes_mov(self):
+        seq = [ins.li(1, 1), ins.binop(Opcode.MUL, 2, 0, 1)]
+        out = fold_constants(seq)
+        assert out[1].opcode is Opcode.MOV
+
+    def test_mul_zero_becomes_zero(self):
+        seq = [ins.li(1, 0), ins.binop(Opcode.MUL, 2, 0, 1)]
+        out = fold_constants(seq)
+        assert out[1].opcode is Opcode.LI and out[1].imm == 0
+
+    def test_left_identity(self):
+        seq = [ins.li(0, 0), ins.binop(Opcode.ADD, 2, 0, 1)]
+        out = fold_constants(seq)
+        assert out[1].opcode is Opcode.MOV and out[1].srcs == (1,)
+
+    def test_sub_zero_is_right_identity_only(self):
+        seq = [ins.li(0, 0), ins.binop(Opcode.SUB, 2, 0, 1)]
+        out = fold_constants(seq)
+        # 0 - x is NOT x.
+        assert out[1].opcode is Opcode.SUB
+
+
+class TestSemanticsProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND,
+                     Opcode.OR, Opcode.XOR]
+                ),
+                st.integers(min_value=-9, max_value=9),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_folding_preserves_final_values(self, ops):
+        """Interpret the region with and without folding: same registers."""
+        from repro.interp.ops import BINARY_EVAL
+
+        seq = []
+        for i, (op, imm, a, b) in enumerate(ops):
+            seq.append(ins.li(4 + i * 2, imm))
+            seq.append(ins.binop(op, a, 4 + i * 2, b))
+        folded = fold_constants([i.copy() for i in seq])
+
+        def run(instrs):
+            regs = {r: 0 for r in range(40)}
+            for instr in instrs:
+                if instr.opcode is Opcode.LI:
+                    regs[instr.dest] = instr.imm
+                elif instr.opcode is Opcode.MOV:
+                    regs[instr.dest] = regs[instr.srcs[0]]
+                else:
+                    fn = BINARY_EVAL[instr.opcode]
+                    regs[instr.dest] = fn(
+                        regs[instr.srcs[0]], regs[instr.srcs[1]]
+                    )
+            return regs
+
+        assert run(seq) == run(folded)

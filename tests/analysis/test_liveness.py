@@ -1,0 +1,91 @@
+"""Tests for backward liveness analysis."""
+
+from repro.analysis import compute_liveness, instruction_defs, instruction_uses
+from repro.ir import FunctionBuilder
+from repro.ir import instructions as ins
+
+
+class TestUseDef:
+    def test_alu_uses_and_defs(self):
+        i = ins.binop(ins.Opcode.ADD, 0, 1, 2)
+        assert instruction_uses(i) == (1, 2)
+        assert instruction_defs(i) == (0,)
+
+    def test_store_has_no_defs(self):
+        assert instruction_defs(ins.store(1, 2)) == ()
+        assert instruction_uses(ins.store(1, 2)) == (1, 2)
+
+
+class TestLiveness:
+    def test_value_live_across_branch(self):
+        fb = FunctionBuilder("main")
+        entry = fb.block("entry")
+        left = fb.block("left")
+        right = fb.block("right")
+        x = fb.reg()
+        c = fb.reg()
+        entry.li(x, 5)
+        entry.li(c, 1)
+        entry.br(c, "left", "right")
+        left.print_(x)
+        left.ret()
+        right.ret()
+
+        info = compute_liveness(fb.proc)
+        assert x in info.live_out_at("entry")
+        assert x in info.live_in_at("left")
+        assert x not in info.live_in_at("right")
+
+    def test_redefined_register_not_live_in(self):
+        fb = FunctionBuilder("main")
+        entry = fb.block("entry")
+        nxt = fb.block("next")
+        x = fb.reg()
+        entry.li(x, 1)
+        entry.jmp("next")
+        nxt.li(x, 2)  # kills incoming x before any use
+        nxt.print_(x)
+        nxt.ret()
+        info = compute_liveness(fb.proc)
+        assert x not in info.live_in_at("next")
+        assert x not in info.live_out_at("entry")
+
+    def test_loop_carried_value_live_around_backedge(self):
+        fb = FunctionBuilder("main")
+        entry = fb.block("entry")
+        loop = fb.block("loop")
+        exit_ = fb.block("exit")
+        i = fb.reg()
+        one = fb.reg()
+        t = fb.reg()
+        n = fb.reg()
+        entry.read(n)
+        entry.li(i, 0)
+        entry.jmp("loop")
+        loop.li(one, 1)
+        loop.add(i, i, one)
+        loop.cmplt(t, i, n)
+        loop.br(t, "loop", "exit")
+        exit_.print_(i)
+        exit_.ret()
+
+        info = compute_liveness(fb.proc)
+        assert i in info.live_in_at("loop")
+        assert i in info.live_out_at("loop")
+        assert n in info.live_in_at("loop")
+        # t is consumed by the branch within the block, not live-in.
+        assert t not in info.live_in_at("loop")
+
+    def test_return_value_is_a_use(self):
+        fb = FunctionBuilder("f", num_params=1)
+        b = fb.block("entry")
+        (p,) = fb.params
+        b.ret(p)
+        info = compute_liveness(fb.proc)
+        assert p in info.live_in_at("entry")
+
+    def test_unknown_label_defaults_to_empty(self):
+        fb = FunctionBuilder("f")
+        fb.block("entry").ret()
+        info = compute_liveness(fb.proc)
+        assert info.live_in_at("ghost") == frozenset()

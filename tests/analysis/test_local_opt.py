@@ -1,0 +1,134 @@
+"""Tests for superblock-local value numbering and dead-code elimination."""
+
+from repro.analysis import eliminate_dead_code, local_value_number
+from repro.ir import Opcode
+from repro.ir import instructions as ins
+
+
+class TestDeadCodeElimination:
+    def test_unused_pure_instruction_removed(self):
+        seq = [ins.li(0, 1), ins.li(1, 2), ins.print_(1), ins.ret()]
+        out = eliminate_dead_code(seq, exit_live={}, final_live=set())
+        ops = [i.opcode for i in out]
+        assert Opcode.PRINT in ops
+        # v0 is never used: its li disappears.
+        assert sum(1 for i in out if i.opcode is Opcode.LI) == 1
+
+    def test_side_effects_never_removed(self):
+        seq = [ins.store(0, 1), ins.read(2), ins.ret()]
+        out = eliminate_dead_code(seq, exit_live={}, final_live=set())
+        assert len(out) == 3
+
+    def test_value_live_at_exit_kept(self):
+        seq = [ins.li(0, 1), ins.br(2, "out", "next"), ins.ret()]
+        out = eliminate_dead_code(seq, exit_live={1: {0}}, final_live=set())
+        assert any(i.opcode is Opcode.LI for i in out)
+
+    def test_value_dead_at_exit_removed(self):
+        seq = [ins.li(0, 1), ins.br(2, "out", "next"), ins.ret()]
+        out = eliminate_dead_code(seq, exit_live={1: set()}, final_live=set())
+        assert not any(i.opcode is Opcode.LI for i in out)
+
+    def test_final_live_keeps_last_def(self):
+        seq = [ins.li(0, 1)]
+        out = eliminate_dead_code(seq, exit_live={}, final_live={0})
+        assert len(out) == 1
+
+    def test_redefinition_kills_earlier_def(self):
+        seq = [ins.li(0, 1), ins.li(0, 2)]
+        out = eliminate_dead_code(seq, exit_live={}, final_live={0})
+        assert len(out) == 1
+        assert out[0].imm == 2
+
+    def test_chain_of_dead_computation_collapses(self):
+        seq = [
+            ins.li(0, 1),
+            ins.binop(Opcode.ADD, 1, 0, 0),
+            ins.binop(Opcode.MUL, 2, 1, 1),
+        ]
+        out = eliminate_dead_code(seq, exit_live={}, final_live=set())
+        assert out == []
+
+
+class TestValueNumbering:
+    def test_redundant_add_becomes_mov(self):
+        seq = [
+            ins.binop(Opcode.ADD, 2, 0, 1),
+            ins.binop(Opcode.ADD, 3, 0, 1),
+        ]
+        out = local_value_number(seq)
+        assert out[0].opcode is Opcode.ADD
+        assert out[1].opcode is Opcode.MOV
+        assert out[1].srcs == (2,)
+        assert out[1].dest == 3
+
+    def test_commutativity_recognized(self):
+        seq = [
+            ins.binop(Opcode.ADD, 2, 0, 1),
+            ins.binop(Opcode.ADD, 3, 1, 0),
+        ]
+        out = local_value_number(seq)
+        assert out[1].opcode is Opcode.MOV
+
+    def test_non_commutative_not_merged(self):
+        seq = [
+            ins.binop(Opcode.SUB, 2, 0, 1),
+            ins.binop(Opcode.SUB, 3, 1, 0),
+        ]
+        out = local_value_number(seq)
+        assert out[1].opcode is Opcode.SUB
+
+    def test_clobbered_holder_not_reused(self):
+        seq = [
+            ins.binop(Opcode.ADD, 2, 0, 1),
+            ins.li(2, 9),  # clobbers the holder of the sum
+            ins.binop(Opcode.ADD, 3, 0, 1),
+        ]
+        out = local_value_number(seq)
+        assert out[2].opcode is Opcode.ADD
+
+    def test_repeated_li_merged(self):
+        seq = [ins.li(0, 7), ins.li(1, 7)]
+        out = local_value_number(seq)
+        assert out[1].opcode is Opcode.MOV
+        assert out[1].srcs == (0,)
+
+    def test_load_reuse_within_epoch(self):
+        seq = [ins.load(1, 0), ins.load(2, 0)]
+        out = local_value_number(seq)
+        assert out[1].opcode is Opcode.MOV
+
+    def test_store_invalidates_loads(self):
+        seq = [ins.load(1, 0), ins.store(0, 3), ins.load(2, 0)]
+        out = local_value_number(seq)
+        assert out[2].opcode is Opcode.LOAD
+
+    def test_call_invalidates_loads(self):
+        seq = [ins.load(1, 0), ins.call("f", (), None), ins.load(2, 0)]
+        out = local_value_number(seq)
+        assert out[2].opcode is Opcode.LOAD
+
+    def test_read_results_never_merged(self):
+        seq = [ins.read(0), ins.read(1)]
+        out = local_value_number(seq)
+        assert out[0].opcode is Opcode.READ
+        assert out[1].opcode is Opcode.READ
+
+    def test_mov_propagates_value_number(self):
+        seq = [
+            ins.binop(Opcode.ADD, 2, 0, 1),
+            ins.mov(3, 2),
+            ins.binop(Opcode.ADD, 4, 0, 1),
+        ]
+        out = local_value_number(seq)
+        assert out[2].opcode is Opcode.MOV
+
+    def test_length_preserved(self):
+        seq = [
+            ins.li(0, 1),
+            ins.binop(Opcode.ADD, 1, 0, 0),
+            ins.store(0, 1),
+            ins.ret(),
+        ]
+        out = local_value_number(seq)
+        assert len(out) == len(seq)

@@ -1,0 +1,63 @@
+"""Tests for the secondary (ablation) experiments."""
+
+from repro.experiments import (
+    format_forward_vs_general,
+    format_latency_sensitivity,
+    format_static_prediction,
+    forward_vs_general,
+    latency_sensitivity,
+    static_prediction,
+)
+
+TINY = 0.08
+
+
+class TestLatencySensitivity:
+    def test_rows_and_formatting(self):
+        rows = latency_sensitivity(scale=TINY, workload_names=["alt"])
+        assert rows[0].workload == "alt"
+        assert rows[0].unit_ratio > 0
+        assert rows[0].realistic_ratio > 0
+        text = format_latency_sensitivity(rows)
+        assert "alt" in text and "realistic" in text
+
+    def test_path_still_wins_on_alt_under_realistic_latencies(self):
+        rows = latency_sensitivity(scale=0.25, workload_names=["alt"])
+        assert rows[0].realistic_ratio < 1.0
+
+
+class TestForwardVsGeneral:
+    def test_general_paths_beat_forward_on_alternation(self):
+        rows = forward_vs_general(scale=0.25, workload_names=["alt", "corr"])
+        for row in rows:
+            # Forward paths cannot see across back edges: they lose the
+            # multi-iteration unrolling information.
+            assert row.forward_cycles >= row.general_cycles
+
+    def test_formatting(self):
+        rows = forward_vs_general(scale=TINY, workload_names=["alt"])
+        text = format_forward_vs_general(rows)
+        assert "forward" in text and "alt" in text
+
+
+class TestStaticPrediction:
+    def test_path_prediction_dominates_on_correlation(self):
+        rows = static_prediction(scale=0.25, workload_names=["corr"])
+        row = rows[0]
+        assert row.branches > 100
+        # The correlated branch is 50/50 to an edge profile but fully
+        # determined given history.
+        assert row.path_accuracy > 0.95
+        assert row.path_accuracy > row.edge_accuracy + 0.2
+
+    def test_path_never_much_worse_than_edge(self):
+        rows = static_prediction(
+            scale=TINY, workload_names=["alt", "ph", "wc"]
+        )
+        for row in rows:
+            assert row.path_accuracy >= row.edge_accuracy - 0.05
+
+    def test_formatting(self):
+        rows = static_prediction(scale=TINY, workload_names=["ph"])
+        text = format_static_prediction(rows)
+        assert "ph" in text and "acc%" in text

@@ -1,0 +1,121 @@
+"""Tests for the experiment drivers (small scales for speed)."""
+
+import pytest
+
+from repro.experiments import (
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    format_figure4,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_missrates,
+    format_table1,
+    missrates,
+    normalized_cycles,
+    run_suite,
+    table1,
+)
+from repro.experiments.render import format_bars, format_table
+
+TINY = 0.06
+
+
+class TestHarness:
+    def test_run_suite_returns_all_pairs(self):
+        results = run_suite(["BB", "P4"], ["alt", "wc"], scale=TINY)
+        assert set(results) == {
+            ("alt", "BB"),
+            ("alt", "P4"),
+            ("wc", "BB"),
+            ("wc", "P4"),
+        }
+
+    def test_profiles_shared_within_workload(self):
+        results = run_suite(["M4", "P4"], ["alt"], scale=TINY)
+        assert (
+            results[("alt", "M4")].profiles
+            is results[("alt", "P4")].profiles
+        )
+
+    def test_normalized_cycles(self):
+        results = run_suite(["M4", "P4"], ["alt"], scale=TINY)
+        value = normalized_cycles(results, "alt", "P4", baseline="M4")
+        assert value > 0
+        assert normalized_cycles(results, "alt", "M4", baseline="M4") == 1.0
+
+
+class TestTable1:
+    def test_rows_for_selected_workloads(self):
+        rows = table1(scale=TINY, workload_names=["alt", "wc"])
+        assert [r.name for r in rows] == ["alt", "wc"]
+        for row in rows:
+            assert row.branches > 0
+            assert row.cycles > 0
+            assert row.instructions > 0
+            assert row.size_bytes > 0
+
+    def test_formatting(self):
+        rows = table1(scale=TINY, workload_names=["alt"])
+        text = format_table1(rows)
+        assert "alt" in text and "cycles" in text
+
+
+class TestFigures:
+    def test_figure4_series(self):
+        series = figure4(scale=TINY, workload_names=["alt", "corr"])
+        assert set(series.values) == {"alt", "corr"}
+        for per in series.values.values():
+            assert "P4" in per and per["P4"] > 0
+        text = format_figure4(series)
+        assert "Figure 4" in text
+
+    def test_figure5_series(self):
+        series = figure5(scale=TINY, workload_names=["com"])
+        per = series.values["com"]
+        assert set(per) == {"P4", "P4e"}
+        assert series.cached
+        assert "Figure 5" in format_figure5(series)
+
+    def test_figure6_series(self):
+        series = figure6(scale=TINY, workload_names=["com"])
+        per = series.values["com"]
+        assert set(per) == {"P4e", "M16"}
+        assert "Figure 6" in format_figure6(series)
+
+    def test_figure7_data(self):
+        data = figure7(scale=TINY, workload_names=["alt"])
+        per = data.values["alt"]
+        for scheme in ("M4", "M16", "P4e", "P4"):
+            executed, size = per[scheme]
+            assert 0 < executed <= size + 1e-9
+        assert "Figure 7" in format_figure7(data)
+
+    def test_missrates(self):
+        rows = missrates(
+            scale=TINY, workload_names=["gcc"], schemes=("M4", "P4")
+        )
+        assert rows[0].workload == "gcc"
+        assert set(rows[0].rates) == {"M4", "P4"}
+        for rate in rows[0].rates.values():
+            assert 0.0 <= rate <= 1.0
+        assert "miss" in format_missrates(rows)
+
+
+class TestRender:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(l) for l in lines[1:])) <= 2
+
+    def test_format_bars_scales(self):
+        text = format_bars({"w": {"P4": 0.5, "M4": 1.0}}, "chart")
+        assert "chart" in text
+        assert "P4" in text and "#" in text
+
+    def test_format_bars_handles_above_one(self):
+        text = format_bars({"w": {"P4": 1.5}}, "chart")
+        assert "1.500" in text

@@ -1,0 +1,153 @@
+"""Tests for tail duplication, chain copying, and side-entrance fixup."""
+
+from repro.formation import (
+    duplicate_chain,
+    remove_side_entrances,
+    retarget,
+    tail_duplicate,
+)
+from repro.interp import run_program
+from repro.ir import FunctionBuilder, Opcode, build_program, verify_program
+
+from tests.support import diamond_program
+
+
+class TestRetarget:
+    def test_replaces_all_occurrences(self):
+        from repro.ir import instructions as ins
+
+        br = ins.br(0, "x", "x")
+        retarget(br, "x", "y")
+        assert br.targets == ("y", "y")
+
+    def test_leaves_other_targets(self):
+        from repro.ir import instructions as ins
+
+        m = ins.mbr(0, ("a", "b", "a", "c"))
+        retarget(m, "a", "z")
+        assert m.targets == ("z", "b", "z", "c")
+
+
+class TestDuplicateChain:
+    def test_chain_is_internally_connected(self):
+        program = diamond_program()
+        proc = program.procedure("main")
+        origin = {}
+        chain = duplicate_chain(proc, ["A_test", "B"], origin)
+        assert len(chain) == 2
+        first, second = chain
+        # first's successor B is rewired to the copy.
+        assert second in proc.block(first).successors()
+        assert "B" not in proc.block(first).successors()
+        # second keeps B's original exits.
+        assert set(proc.block(second).successors()) == {"Y", "C"}
+
+    def test_origin_mapping(self):
+        program = diamond_program()
+        proc = program.procedure("main")
+        origin = {}
+        chain = duplicate_chain(proc, ["B"], origin)
+        assert origin[chain[0]] == "B"
+        # Copies of copies map to the root original.
+        chain2 = duplicate_chain(proc, [chain[0]], origin)
+        assert origin[chain2[0]] == "B"
+
+    def test_instructions_are_fresh_objects(self):
+        program = diamond_program()
+        proc = program.procedure("main")
+        chain = duplicate_chain(proc, ["B"], {})
+        copy = proc.block(chain[0])
+        original = proc.block("B")
+        assert copy.instructions[0] is not original.instructions[0]
+
+
+def side_entrance_program():
+    """main: entry branches to P or Q; both meet at M which flows to T.
+
+    The trace [P, M, T] has a side entrance at M (from Q).
+    """
+    fb = FunctionBuilder("main")
+    entry = fb.block("entry")
+    p = fb.block("P")
+    q = fb.block("Q")
+    m = fb.block("M")
+    t = fb.block("T")
+    w, tag = fb.regs(2)
+    entry.read(w)
+    entry.br(w, "P", "Q")
+    p.li(tag, 1)
+    p.jmp("M")
+    q.li(tag, 2)
+    q.jmp("M")
+    m.print_(tag)
+    m.jmp("T")
+    t.print_(w)
+    t.ret()
+    return build_program(fb)
+
+
+class TestTailDuplication:
+    def test_removes_side_entrance(self):
+        program = side_entrance_program()
+        proc = program.procedure("main")
+        origin = {}
+        sbs = tail_duplicate(proc, [["entry"], ["P", "M", "T"], ["Q"]], origin)
+        # A duplicate chain for [M, T] was created.
+        assert len(sbs) == 4
+        chain = sbs[-1]
+        assert [origin[label] for label in chain] == ["M", "T"]
+        # Q now jumps to the copy, not to M.
+        assert proc.block("Q").successors() == (chain[0],)
+        # P still jumps to the original M.
+        assert proc.block("P").successors() == ("M",)
+        assert verify_program(program) == []
+
+    def test_semantics_preserved(self):
+        program = side_entrance_program()
+        reference = [
+            run_program(side_entrance_program(), input_tape=[v]).output
+            for v in (0, 1)
+        ]
+        proc = program.procedure("main")
+        tail_duplicate(proc, [["entry"], ["P", "M", "T"], ["Q"]], {})
+        for v, expected in zip((0, 1), reference):
+            assert run_program(program, input_tape=[v]).output == expected
+
+    def test_no_duplication_when_no_side_entrance(self):
+        program = side_entrance_program()
+        proc = program.procedure("main")
+        before = len(list(proc.labels))
+        sbs = tail_duplicate(
+            proc, [["entry"], ["P"], ["Q"], ["M", "T"]], {}
+        )
+        assert len(list(proc.labels)) == before
+        assert len(sbs) == 4
+
+
+class TestRemoveSideEntrances:
+    def test_fixup_restores_single_entry(self):
+        program = side_entrance_program()
+        proc = program.procedure("main")
+        origin = {}
+        sbs = [["entry"], ["P", "M", "T"], ["Q"]]
+        fixed = remove_side_entrances(proc, sbs, origin)
+        heads = {sb[0] for sb in fixed}
+        # After fixup, every branch target is a head.
+        for block in proc.blocks():
+            for succ in block.successors():
+                member = next(sb for sb in fixed if succ in sb)
+                assert succ == member[0] or (
+                    succ == member[member.index(block.label) + 1]
+                    if block.label in member
+                    else False
+                )
+        assert verify_program(program) == []
+
+    def test_fixup_idempotent_on_clean_program(self):
+        program = side_entrance_program()
+        proc = program.procedure("main")
+        sbs = [["entry"], ["P"], ["Q"], ["M", "T"]]
+        before = len(list(proc.labels))
+        fixed = remove_side_entrances(proc, sbs, {})
+        assert len(fixed) == 4
+        assert len(list(proc.labels)) == before

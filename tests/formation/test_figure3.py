@@ -1,0 +1,84 @@
+"""Figure 3 pinned down: the unrolling shapes the paper draws.
+
+The loop has arms B (common) and C (every fourth iteration, or phased).
+Classical unrolling can only repeat the B body; path-based enlargement
+reproduces the observed multi-iteration pattern.
+"""
+
+from repro.formation import form_superblocks, scheme
+from repro.profiling import collect_profiles
+
+from tests.support import figure3_loop_program
+
+
+def arm_sequence(result, sb):
+    """The B/C arm pattern of one superblock, in trace order."""
+    arms = []
+    for label in sb.labels:
+        origin = result.origin_of("main", label)
+        if origin in ("B", "C"):
+            arms.append(origin)
+    return arms
+
+
+def formed(name, tape):
+    program = figure3_loop_program()
+    bundle = collect_profiles(program, input_tape=tape)
+    return form_superblocks(
+        program,
+        scheme(name),
+        edge_profile=bundle.edge,
+        path_profile=bundle.path,
+    )
+
+
+class TestFigure3a:
+    """Classical unrolling: every body predicts the common arm."""
+
+    def test_m4_unrolls_only_b(self):
+        result = formed("M4", [24, 0])
+        loop = max(result.superblocks["main"], key=lambda s: s.size_blocks)
+        arms = arm_sequence(result, loop)
+        assert arms == ["B"] * len(arms)
+        assert len(arms) == 4  # unroll factor
+
+
+class TestFigure3b:
+    """Path1 (TTTF): the path-formed loop inlines C at its position."""
+
+    def test_p4_inlines_the_fourth_iteration(self):
+        result = formed("P4", [24, 0])
+        loops = [sb for sb in result.superblocks["main"] if sb.is_loop]
+        assert loops
+        arms = arm_sequence(result, loops[0])
+        assert "C" in arms, "the rare arm belongs inside the region"
+        assert arms.count("B") >= 3
+        # The C iteration appears at the pattern's observed position:
+        # three B iterations precede it.
+        assert arms[:4] == ["B", "B", "B", "C"]
+
+
+class TestFigure3c:
+    """Path2 (phased): two specialized loop bodies emerge."""
+
+    def test_p4_builds_b_and_c_specialized_regions(self):
+        result = formed("P4", [24, 1])
+        big = [
+            arm_sequence(result, sb)
+            for sb in result.superblocks["main"]
+            if sb.size_blocks >= 8
+        ]
+        pure_b = [a for a in big if a and set(a) == {"B"}]
+        pure_c = [a for a in big if a and set(a) == {"C"}]
+        assert pure_b, "a B-specialized unrolled region must exist"
+        assert pure_c, "a C-specialized unrolled region must exist"
+
+    def test_m4_cannot_specialize_the_c_phase(self):
+        result = formed("M4", [24, 1])
+        big = [
+            arm_sequence(result, sb)
+            for sb in result.superblocks["main"]
+            if sb.size_blocks >= 8
+        ]
+        pure_c = [a for a in big if a and set(a) == {"C"}]
+        assert not pure_c, "edge profiles cannot see the phase change"

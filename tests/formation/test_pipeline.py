@@ -1,0 +1,184 @@
+"""End-to-end formation tests: schemes, invariants, semantic equivalence.
+
+The decisive property: formation only duplicates and rewires code, so the
+transformed program must produce byte-identical output on every input.
+"""
+
+import pytest
+
+from repro.formation import (
+    FormationConfig,
+    form_superblocks,
+    scheme,
+    verify_formation,
+)
+from repro.frontend import compile_source
+from repro.interp import run_program
+from repro.ir import verify_program
+from repro.profiling import collect_profiles
+
+from tests.support import (
+    call_program,
+    diamond_program,
+    figure3_loop_program,
+)
+
+SCHEMES = ["BB", "M4", "M16", "P4", "P4e"]
+
+LOOPY_SRC = """
+func weight(x) {
+    if (x % 3 == 0) { return 2; }
+    return 1;
+}
+func main() {
+    var total = 0;
+    var w = read();
+    while (w >= 0) {
+        if (w < 50) {
+            total = total + weight(w);
+        } else {
+            total = total - 1;
+        }
+        w = read();
+    }
+    print(total);
+}
+"""
+
+
+def form(program, name, tape):
+    bundle = collect_profiles(program, input_tape=tape)
+    return form_superblocks(
+        program, scheme(name), edge_profile=bundle.edge, path_profile=bundle.path
+    )
+
+
+class TestSchemes:
+    def test_preset_lookup(self):
+        assert scheme("M4").classic.unroll_factor == 4
+        assert scheme("M16").classic.unroll_factor == 16
+        assert scheme("P4").path.max_loop_heads == 4
+        assert scheme("P4e").path.stop_nonloop_at_first_head
+        assert not scheme("P4").path.stop_nonloop_at_first_head
+        assert scheme("BB").kind == "bb"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            scheme("Z9")
+
+    def test_scheme_overrides(self):
+        cfg = scheme("P4", max_instructions=64, completion_threshold=0.9)
+        assert cfg.path.max_instructions == 64
+        assert cfg.path.completion_threshold == 0.9
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError):
+            scheme("P4", no_such_knob=1)
+
+    def test_missing_profile_rejected(self):
+        program = diamond_program()
+        with pytest.raises(ValueError):
+            form_superblocks(program, scheme("M4"))
+        with pytest.raises(ValueError):
+            form_superblocks(program, scheme("P4"))
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_formation_invariants_hold(self, name):
+        program = figure3_loop_program()
+        result = form(program, name, [24, 0])
+        assert verify_formation(result) == []
+        assert verify_program(result.program) == []
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_input_program_untouched(self, name):
+        program = diamond_program()
+        before = program.instruction_count()
+        labels_before = list(program.procedure("main").labels)
+        form(program, name, [10, 11, 60] * 4 + [-1])
+        assert program.instruction_count() == before
+        assert list(program.procedure("main").labels) == labels_before
+
+    def test_bb_scheme_is_singletons(self):
+        program = diamond_program()
+        result = form(program, "BB", [10, -1])
+        for sb in result.superblocks["main"]:
+            assert sb.size_blocks == 1
+
+
+class TestSemanticEquivalence:
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_diamond(self, name):
+        program = diamond_program()
+        result = form(program, name, [10, 10, 10, 60] * 6 + [-1])
+        for tape in ([10, 11, 60, -1], [-1], [11] * 9 + [-1], [60, 10, -1]):
+            expected = run_program(diamond_program(), input_tape=tape)
+            actual = run_program(result.program, input_tape=tape)
+            assert actual.output == expected.output
+            assert actual.return_value == expected.return_value
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_figure3_loop(self, name):
+        program = figure3_loop_program()
+        result = form(program, name, [24, 0])
+        for tape in ([8, 0], [9, 1], [1, 0], [30, 1]):
+            expected = run_program(figure3_loop_program(), input_tape=tape)
+            actual = run_program(result.program, input_tape=tape)
+            assert actual.output == expected.output
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_calls(self, name):
+        program = call_program()
+        result = form(program, name, [6])
+        for tape in ([0], [1], [5]):
+            expected = run_program(call_program(), input_tape=tape)
+            actual = run_program(result.program, input_tape=tape)
+            assert actual.output == expected.output
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_minic_program(self, name):
+        program = compile_source(LOOPY_SRC)
+        train = [3, 6, 9, 55, 12, 7, 80, 1, 2, 3] * 3 + [-1]
+        result = form(program, name, train)
+        for tape in ([-1], [3, -1], [55, 60, 3, 9, -1], list(range(20)) + [-1]):
+            expected = run_program(compile_source(LOOPY_SRC), input_tape=tape)
+            actual = run_program(result.program, input_tape=tape)
+            assert actual.output == expected.output
+
+
+class TestGrowthShapes:
+    def test_m16_grows_at_least_as_much_as_m4(self):
+        program = figure3_loop_program()
+        tape = [40, 0]
+        m4 = form(program, "M4", tape)
+        m16 = form(program, "M16", tape)
+        assert (
+            m16.program.instruction_count()
+            >= m4.program.instruction_count()
+        )
+
+    def test_p4e_grows_no_more_than_p4(self):
+        program = compile_source(LOOPY_SRC)
+        tape = [3, 6, 9, 55, 12, 7, 80, 1, 2, 3] * 3 + [-1]
+        p4 = form(program, "P4", tape)
+        p4e = form(program, "P4e", tape)
+        assert (
+            p4e.program.instruction_count()
+            <= p4.program.instruction_count()
+        )
+
+    def test_enlargement_happens_on_hot_loop(self):
+        program = figure3_loop_program()
+        result = form(program, "P4", [40, 0])
+        baseline = form(program, "BB", [40, 0])
+        assert (
+            result.program.instruction_count()
+            > baseline.program.instruction_count()
+        )
+
+    def test_superblock_loops_detected(self):
+        program = figure3_loop_program()
+        result = form(program, "P4", [40, 0])
+        loops = [sb for sb in result.superblocks["main"] if sb.is_loop]
+        assert loops, "the hot loop should yield at least one superblock loop"

@@ -1,0 +1,145 @@
+"""Tests for trace selection (mutual-most-likely and path-based)."""
+
+from repro.formation import (
+    select_traces_basic_block,
+    select_traces_mutual_most_likely,
+    select_traces_path,
+)
+from repro.profiling import collect_profiles
+
+from tests.support import diamond_program, figure3_loop_program
+
+
+def profiles(program, tape):
+    bundle = collect_profiles(program, input_tape=tape)
+    return bundle.edge, bundle.path
+
+
+class TestCommonRules:
+    def test_partition_covers_all_blocks_exactly_once(self):
+        program = diamond_program()
+        edge, path = profiles(program, [10, 11, 60] * 5 + [-1])
+        proc = program.procedure("main")
+        for traces in (
+            select_traces_mutual_most_likely(proc, edge),
+            select_traces_path(proc, path),
+            select_traces_basic_block(proc),
+        ):
+            flat = [label for t in traces for label in t]
+            assert sorted(flat) == sorted(proc.labels)
+
+    def test_no_back_edge_inside_any_trace(self):
+        program = figure3_loop_program()
+        edge, path = profiles(program, [24, 0])
+        proc = program.procedure("main")
+        from repro.analysis import loop_headers
+
+        headers = loop_headers(proc)
+        for traces in (
+            select_traces_mutual_most_likely(proc, edge),
+            select_traces_path(proc, path),
+        ):
+            for t in traces:
+                # Loop headers may only appear as trace heads.
+                for label in t[1:]:
+                    assert label not in headers
+
+    def test_entry_block_is_always_a_trace_head(self):
+        program = figure3_loop_program()
+        edge, path = profiles(program, [24, 0])
+        proc = program.procedure("main")
+        for traces in (
+            select_traces_mutual_most_likely(proc, edge),
+            select_traces_path(proc, path),
+        ):
+            for t in traces:
+                assert proc.entry_label not in t[1:]
+
+    def test_cold_blocks_become_singletons(self):
+        program = diamond_program()
+        # Never take X: it stays unexecuted except... use only words < 50.
+        edge, path = profiles(program, [10, 10, -1])
+        proc = program.procedure("main")
+        for traces in (
+            select_traces_mutual_most_likely(proc, edge),
+            select_traces_path(proc, path),
+        ):
+            x_trace = next(t for t in traces if "X" in t)
+            assert x_trace == ["X"]
+
+
+class TestMutualMostLikely:
+    def test_dominant_path_forms_one_trace(self):
+        program = diamond_program()
+        edge, _ = profiles(program, [10, 10, 10, 10, -1])
+        proc = program.procedure("main")
+        traces = select_traces_mutual_most_likely(proc, edge)
+        main_trace = next(t for t in traces if t[0] == "A")
+        # A -> A_test -> B -> C is the dominant chain.
+        assert main_trace[:4] == ["A", "A_test", "B", "C"]
+
+    def test_mutuality_required(self):
+        # B's most likely successor is C, but C's most likely predecessor is
+        # X in this run, so B's trace must not claim C.
+        from repro.ir import FunctionBuilder, Opcode, build_program
+        from repro.interp import run_program
+        from repro.profiling import EdgeProfiler
+
+        fb = FunctionBuilder("main")
+        entry = fb.block("entry")
+        top = fb.block("top")
+        b = fb.block("B")
+        x = fb.block("X")
+        c = fb.block("C")
+        done = fb.block("done")
+        n, t, one, lim, m = fb.regs(5)
+        # loop: first 10 iterations go through B, next 30 through X; both
+        # fall into C.
+        entry.li(n, 0)
+        entry.jmp("top")
+        top.li(one, 1)
+        top.add(n, n, one)
+        top.li(lim, 10)
+        top.alu(Opcode.CMPLE, t, n, lim)
+        top.br(t, "B", "X")
+        b.jmp("C")
+        x.jmp("C")
+        c.li(m, 40)
+        c.alu(Opcode.CMPLT, t, n, m)
+        c.br(t, "top", "done")
+        done.ret()
+        program = build_program(fb)
+        profiler = EdgeProfiler()
+        run_program(program, observer=profiler)
+        profile = profiler.finalize()
+
+        proc = program.procedure("main")
+        traces = select_traces_mutual_most_likely(proc, profile)
+        b_trace = next(t_ for t_ in traces if "B" in t_)
+        assert "C" not in b_trace  # C's best predecessor is X (30 vs 10)
+
+
+class TestPathSelection:
+    def test_path_seed_order_is_frequency(self):
+        program = diamond_program()
+        _, path = profiles(program, [10] * 8 + [-1])
+        proc = program.procedure("main")
+        traces = select_traces_path(proc, path)
+        # The hottest block (A) seeds the first trace.
+        assert traces[0][0] == "A"
+
+    def test_path_growth_follows_exact_frequencies(self):
+        program = diamond_program()
+        _, path = profiles(program, [10, 10, 10, 60] * 10 + [-1])
+        proc = program.procedure("main")
+        traces = select_traces_path(proc, path)
+        main_trace = next(t for t in traces if t[0] == "A")
+        assert main_trace[:4] == ["A", "A_test", "B", "C"]
+
+    def test_path_selection_stops_on_unseen_extension(self):
+        program = diamond_program()
+        _, path = profiles(program, [-1])  # immediate exit: only A, done run
+        proc = program.procedure("main")
+        traces = select_traces_path(proc, path)
+        a_trace = next(t for t in traces if t[0] == "A")
+        assert a_trace == ["A", "done"] or a_trace == ["A"]

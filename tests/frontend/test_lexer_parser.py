@@ -1,0 +1,165 @@
+"""Tests for the MiniC lexer and parser."""
+
+import pytest
+
+from repro.frontend import MiniCError, TokenKind, parse, tokenize
+from repro.frontend import ast_nodes as ast
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("func main() { return 42; }")
+        kinds = [t.kind for t in toks]
+        assert kinds[-1] is TokenKind.EOF
+        texts = [t.text for t in toks[:-1]]
+        assert texts == ["func", "main", "(", ")", "{", "return", "42", ";", "}"]
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("while whilex")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+
+    def test_maximal_munch(self):
+        toks = tokenize("a <= b << c == d")
+        ops = [t.text for t in toks if t.kind is TokenKind.PUNCT]
+        assert ops == ["<=", "<<", "=="]
+
+    def test_line_comments(self):
+        toks = tokenize("1 // comment\n2")
+        assert [t.text for t in toks[:-1]] == ["1", "2"]
+
+    def test_block_comments(self):
+        toks = tokenize("1 /* multi\nline */ 2")
+        assert [t.text for t in toks[:-1]] == ["1", "2"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(MiniCError):
+            tokenize("/* never closed")
+
+    def test_unexpected_character(self):
+        with pytest.raises(MiniCError):
+            tokenize("a $ b")
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+class TestParser:
+    def test_function_definition(self):
+        mod = parse("func add(a, b) { return a + b; }")
+        assert len(mod.functions) == 1
+        func = mod.functions[0]
+        assert func.name == "add"
+        assert func.params == ["a", "b"]
+        assert isinstance(func.body[0], ast.Return)
+
+    def test_precedence(self):
+        mod = parse("func main() { var x = 1 + 2 * 3; }")
+        init = mod.functions[0].body[0].init
+        assert isinstance(init, ast.Binary) and init.op == "+"
+        assert isinstance(init.rhs, ast.Binary) and init.rhs.op == "*"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        mod = parse("func main() { var x = 1 + 2 < 3; }")
+        init = mod.functions[0].body[0].init
+        assert init.op == "<"
+
+    def test_logical_structure(self):
+        mod = parse("func main() { var x = 1 && 2 || 3; }")
+        init = mod.functions[0].body[0].init
+        assert isinstance(init, ast.Logical) and init.op == "||"
+        assert isinstance(init.lhs, ast.Logical) and init.lhs.op == "&&"
+
+    def test_unary_chain(self):
+        mod = parse("func main() { var x = !-1; }")
+        init = mod.functions[0].body[0].init
+        assert isinstance(init, ast.Unary) and init.op == "!"
+        assert isinstance(init.operand, ast.Unary) and init.operand.op == "-"
+
+    def test_if_else_if_chain(self):
+        mod = parse(
+            "func main() { if (1) { } else if (2) { } else { print(3); } }"
+        )
+        stmt = mod.functions[0].body[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.orelse[0], ast.If)
+        assert isinstance(stmt.orelse[0].orelse[0], ast.Print)
+
+    def test_while_and_control(self):
+        mod = parse(
+            "func main() { while (1) { break; continue; } }"
+        )
+        loop = mod.functions[0].body[0]
+        assert isinstance(loop, ast.While)
+        assert isinstance(loop.body[0], ast.Break)
+        assert isinstance(loop.body[1], ast.Continue)
+
+    def test_for_parts(self):
+        mod = parse("func main() { for (var i = 0; i < 9; i = i + 1) { } }")
+        loop = mod.functions[0].body[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert isinstance(loop.cond, ast.Binary)
+        assert isinstance(loop.step, ast.Assign)
+
+    def test_for_with_empty_parts(self):
+        mod = parse("func main() { for (;;) { break; } }")
+        loop = mod.functions[0].body[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_switch(self):
+        mod = parse(
+            """
+            func main() {
+                switch (read()) {
+                    case 0: { print(1); }
+                    case 2: { print(2); }
+                    default: { print(9); }
+                }
+            }
+            """
+        )
+        sw = mod.functions[0].body[0]
+        assert isinstance(sw, ast.Switch)
+        assert [c.value for c in sw.cases] == [0, 2]
+        assert len(sw.default) == 1
+
+    def test_switch_rejects_non_literal_case(self):
+        with pytest.raises(MiniCError):
+            parse("func main() { switch (1) { case x: { } } }")
+
+    def test_switch_rejects_duplicate_default(self):
+        with pytest.raises(MiniCError):
+            parse(
+                "func main() { switch (1) { default: { } default: { } } }"
+            )
+
+    def test_mem_access(self):
+        mod = parse("func main() { mem[4] = mem[2] + 1; }")
+        stmt = mod.functions[0].body[0]
+        assert isinstance(stmt, ast.StoreStmt)
+        assert isinstance(stmt.value.lhs, ast.Load)
+
+    def test_call_statement_and_expression(self):
+        mod = parse("func f() { } func main() { f(); var x = f(); }")
+        body = mod.functions[1].body
+        assert isinstance(body[0], ast.ExprStmt)
+        assert isinstance(body[0].value, ast.Call)
+
+    def test_read_expression(self):
+        mod = parse("func main() { var x = read(); }")
+        assert isinstance(mod.functions[0].body[0].init, ast.ReadExpr)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MiniCError):
+            parse("func main() { var x = 1 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(MiniCError):
+            parse("func main() { var x = 1;")
+
+    def test_garbage_statement(self):
+        with pytest.raises(MiniCError):
+            parse("func main() { + ; }")

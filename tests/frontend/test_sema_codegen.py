@@ -1,0 +1,258 @@
+"""Tests for MiniC semantic checks and end-to-end compile+run behaviour."""
+
+import pytest
+
+from repro.frontend import MiniCError, compile_source
+from repro.interp import run_program
+from repro.ir import verify_program
+
+
+def run_src(source, tape=()):
+    program = compile_source(source)
+    return run_program(program, input_tape=tape)
+
+
+class TestSema:
+    def test_duplicate_function(self):
+        with pytest.raises(MiniCError):
+            compile_source("func f() { } func f() { } func main() { }")
+
+    def test_duplicate_param(self):
+        with pytest.raises(MiniCError):
+            compile_source("func f(a, a) { } func main() { }")
+
+    def test_undeclared_variable_use(self):
+        with pytest.raises(MiniCError):
+            compile_source("func main() { print(x); }")
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(MiniCError):
+            compile_source("func main() { x = 1; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(MiniCError):
+            compile_source("func main() { var x = 1; var x = 2; }")
+
+    def test_undefined_function_call(self):
+        with pytest.raises(MiniCError):
+            compile_source("func main() { ghost(); }")
+
+    def test_call_arity(self):
+        with pytest.raises(MiniCError):
+            compile_source("func f(a) { } func main() { f(); }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(MiniCError):
+            compile_source("func main() { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(MiniCError):
+            compile_source("func main() { continue; }")
+
+    def test_negative_case_label(self):
+        with pytest.raises(MiniCError):
+            compile_source(
+                "func main() { switch (1) { case 0: { } } }".replace(
+                    "case 0", "case -1"
+                )
+            )
+
+    def test_duplicate_case_label(self):
+        with pytest.raises(MiniCError):
+            compile_source(
+                "func main() { switch (1) { case 1: { } case 1: { } } }"
+            )
+
+    def test_missing_entry(self):
+        with pytest.raises(MiniCError):
+            compile_source("func helper() { }")
+
+
+class TestCodegenExecution:
+    def test_compiled_ir_is_well_formed(self):
+        program = compile_source(
+            """
+            func main() {
+                var i = 0;
+                while (i < 3) { print(i); i = i + 1; }
+            }
+            """
+        )
+        assert verify_program(program) == []
+
+    def test_arithmetic(self):
+        result = run_src("func main() { print(2 + 3 * 4 - 6 / 2); }")
+        assert result.output == [11]
+
+    def test_comparisons(self):
+        result = run_src(
+            "func main() { print(3 < 5); print(5 <= 4); print(2 == 2); }"
+        )
+        assert result.output == [1, 0, 1]
+
+    def test_unary(self):
+        result = run_src("func main() { print(-5); print(!0); print(!7); }")
+        assert result.output == [-5, 1, 0]
+
+    def test_bitwise_and_shift(self):
+        result = run_src(
+            "func main() { print(6 & 3); print(6 | 3); print(6 ^ 3);"
+            " print(1 << 4); print(32 >> 2); }"
+        )
+        assert result.output == [2, 7, 5, 16, 8]
+
+    def test_if_else(self):
+        src = """
+        func classify(x) {
+            if (x < 10) { return 1; }
+            else if (x < 100) { return 2; }
+            else { return 3; }
+        }
+        func main() { print(classify(5)); print(classify(50)); print(classify(500)); }
+        """
+        assert run_src(src).output == [1, 2, 3]
+
+    def test_while_loop(self):
+        src = """
+        func main() {
+            var total = 0;
+            var i = 1;
+            while (i <= 10) { total = total + i; i = i + 1; }
+            print(total);
+        }
+        """
+        assert run_src(src).output == [55]
+
+    def test_for_loop_with_break_continue(self):
+        src = """
+        func main() {
+            var total = 0;
+            for (var i = 0; i < 100; i = i + 1) {
+                if (i == 7) { break; }
+                if (i % 2 == 0) { continue; }
+                total = total + i;
+            }
+            print(total);
+        }
+        """
+        assert run_src(src).output == [1 + 3 + 5]
+
+    def test_short_circuit_and(self):
+        # RHS read() must not execute when LHS is false.
+        src = """
+        func main() {
+            var x = 0 && read();
+            print(x);
+            print(read());
+        }
+        """
+        assert run_src(src, tape=[42]).output == [0, 42]
+
+    def test_short_circuit_or(self):
+        src = """
+        func main() {
+            var x = 1 || read();
+            print(x);
+            print(read());
+        }
+        """
+        assert run_src(src, tape=[42]).output == [1, 42]
+
+    def test_logical_normalizes_to_bool(self):
+        assert run_src("func main() { print(7 && 9); }").output == [1]
+        assert run_src("func main() { print(0 || 5); }").output == [1]
+
+    def test_switch_dispatch(self):
+        src = """
+        func main() {
+            var v = read();
+            while (v >= 0) {
+                switch (v) {
+                    case 0: { print(100); }
+                    case 1: { print(101); }
+                    case 3: { print(103); }
+                    default: { print(999); }
+                }
+                v = read();
+            }
+        }
+        """
+        result = run_src(src, tape=[0, 1, 2, 3, 7, -1])
+        assert result.output == [100, 101, 999, 103, 999]
+
+    def test_switch_no_fallthrough(self):
+        src = """
+        func main() {
+            switch (0) {
+                case 0: { print(1); }
+                case 1: { print(2); }
+            }
+            print(3);
+        }
+        """
+        assert run_src(src).output == [1, 3]
+
+    def test_mem_operations(self):
+        src = """
+        func main() {
+            var i = 0;
+            while (i < 5) { mem[100 + i] = i * i; i = i + 1; }
+            print(mem[103]);
+            print(mem[999]);
+        }
+        """
+        assert run_src(src).output == [9, 0]
+
+    def test_recursion(self):
+        src = """
+        func fact(n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        func main() { print(fact(6)); }
+        """
+        assert run_src(src).output == [720]
+
+    def test_mutual_recursion(self):
+        src = """
+        func is_even(n) {
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        func is_odd(n) {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        func main() { print(is_even(10)); print(is_even(7)); }
+        """
+        assert run_src(src).output == [1, 0]
+
+    def test_implicit_return_zero(self):
+        src = "func f() { } func main() { print(f()); }"
+        assert run_src(src).output == [0]
+
+    def test_read_eof(self):
+        src = """
+        func main() {
+            var total = 0;
+            var w = read();
+            while (w >= 0) { total = total + w; w = read(); }
+            print(total);
+        }
+        """
+        assert run_src(src, tape=[3, 4, 5]).output == [12]
+
+    def test_unreachable_code_after_return_is_dropped(self):
+        src = "func main() { return 1; print(2); }"
+        result = run_src(src)
+        assert result.output == []
+        assert result.return_value == 1
+
+    def test_dead_loop_after_branchy_returns(self):
+        src = """
+        func main() {
+            var x = read();
+            if (x) { return 1; } else { return 2; }
+        }
+        """
+        assert run_src(src, tape=[0]).return_value == 2

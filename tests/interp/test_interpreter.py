@@ -1,0 +1,262 @@
+"""Tests for the reference interpreter."""
+
+import pytest
+
+from repro.interp import (
+    ExecutionObserver,
+    MachineFault,
+    StepLimitExceeded,
+    run_program,
+)
+from repro.ir import FunctionBuilder, Opcode, build_program
+from repro.ir import instructions as ins
+
+from tests.support import (
+    call_program,
+    diamond_program,
+    figure3_loop_program,
+    straightline_program,
+)
+
+
+class TestBasics:
+    def test_straightline_sum(self):
+        result = run_program(straightline_program((1, 2, 3, 4)))
+        assert result.output == [10]
+        assert result.return_value == 10
+
+    def test_instruction_count_positive(self):
+        result = run_program(straightline_program())
+        assert result.instructions == 1 + 3 * 2 + 2  # li acc, 3x(li+add), print, ret
+
+    def test_branch_count_zero_for_straightline(self):
+        result = run_program(straightline_program())
+        assert result.branches == 0
+
+    def test_read_past_end_yields_minus_one(self):
+        fb = FunctionBuilder("main")
+        b = fb.block("entry")
+        r = fb.reg()
+        b.read(r)
+        b.print_(r)
+        b.read(r)
+        b.print_(r)
+        b.ret()
+        result = run_program(build_program(fb), input_tape=[5])
+        assert result.output == [5, -1]
+
+
+class TestControlFlow:
+    def test_diamond_tags(self):
+        # 10 -> B (even) -> C; 11 -> B (odd) -> Y; 60 -> X.
+        result = run_program(diamond_program(), input_tape=[10, 11, 60, -1])
+        assert result.output == [100, 300, 200]
+
+    def test_diamond_branch_count(self):
+        result = run_program(diamond_program(), input_tape=[10, -1])
+        # per word: eof-check + A_test + B; final word: eof-check only.
+        assert result.branches == 4
+
+    def test_figure3_alternating(self):
+        # mode 0: three +1 then one +10 per group of 4.
+        result = run_program(figure3_loop_program(), input_tape=[8, 0])
+        assert result.output == [6 * 1 + 2 * 10]
+
+    def test_figure3_phased(self):
+        # mode 1: first 2n/3 iterations +1, rest +10.
+        result = run_program(figure3_loop_program(), input_tape=[9, 1])
+        assert result.output == [6 * 1 + 3 * 10]
+
+    def test_mbr_dispatch(self):
+        fb = FunctionBuilder("main")
+        entry = fb.block("entry")
+        sel = fb.reg()
+        entry.read(sel)
+        entry.mbr(sel, ["case0", "case1", "default"])
+        for name, tag in (("case0", 100), ("case1", 101), ("default", 999)):
+            blk = fb.block(name)
+            t = fb.reg()
+            blk.li(t, tag)
+            blk.print_(t)
+            blk.ret()
+        prog = build_program(fb)
+        assert run_program(prog, input_tape=[0]).output == [100]
+        assert run_program(prog, input_tape=[1]).output == [101]
+        assert run_program(prog, input_tape=[7]).output == [999]
+        assert run_program(prog, input_tape=[-3]).output == [999]
+
+
+class TestCalls:
+    def test_square_loop(self):
+        result = run_program(call_program(), input_tape=[4])
+        assert result.output == [0, 1, 4, 9]
+        assert result.calls == 4
+
+    def test_recursion(self):
+        fib = FunctionBuilder("fib", num_params=1)
+        entry = fib.block("entry")
+        rec = fib.block("rec")
+        base = fib.block("base")
+        (n,) = fib.params
+        t = fib.reg()
+        two = fib.reg()
+        one = fib.reg()
+        a = fib.reg()
+        b = fib.reg()
+        r = fib.reg()
+        entry.li(two, 2)
+        entry.cmplt(t, n, two)
+        entry.br(t, "base", "rec")
+        base.ret(n)
+        rec.li(one, 1)
+        rec.sub(a, n, one)
+        rec.call("fib", [a], dest=a)
+        rec.li(two, 2)
+        rec.sub(b, n, two)
+        rec.call("fib", [b], dest=b)
+        rec.add(r, a, b)
+        rec.ret(r)
+
+        main = FunctionBuilder("main")
+        mb = main.block("entry")
+        arg = main.reg()
+        res = main.reg()
+        mb.li(arg, 10)
+        mb.call("fib", [arg], dest=res)
+        mb.print_(res)
+        mb.ret(res)
+
+        result = run_program(build_program(main, fib))
+        assert result.output == [55]
+
+    def test_frames_are_isolated(self):
+        # The callee writes register 0 (its param); the caller's register 0
+        # must be unaffected because each activation owns its registers.
+        callee = FunctionBuilder("clobber", num_params=1)
+        cb = callee.block("entry")
+        (p,) = callee.params
+        cb.li(p, 777)
+        cb.ret()
+
+        fb = FunctionBuilder("main")
+        b = fb.block("entry")
+        x = fb.reg()
+        assert x == 0
+        b.li(x, 5)
+        b.call("clobber", [x])
+        b.print_(x)
+        b.ret()
+        result = run_program(build_program(fb, callee))
+        assert result.output == [5]
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        fb = FunctionBuilder("main")
+        b = fb.block("entry")
+        addr, val, out = fb.regs(3)
+        b.li(addr, 1000)
+        b.li(val, 42)
+        b.store(addr, val)
+        b.load(out, addr)
+        b.print_(out)
+        b.ret()
+        assert run_program(build_program(fb)).output == [42]
+
+    def test_uninitialized_memory_reads_zero(self):
+        fb = FunctionBuilder("main")
+        b = fb.block("entry")
+        addr, out = fb.regs(2)
+        b.li(addr, 123456)
+        b.load(out, addr)
+        b.print_(out)
+        b.ret()
+        assert run_program(build_program(fb)).output == [0]
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (Opcode.DIV, 7, 2, 3),
+            (Opcode.DIV, -7, 2, -3),
+            (Opcode.DIV, 7, -2, -3),
+            (Opcode.MOD, 7, 2, 1),
+            (Opcode.MOD, -7, 2, -1),
+            (Opcode.SHL, 3, 2, 12),
+            (Opcode.SHR, -8, 1, -4),
+            (Opcode.CMPLE, 3, 3, 1),
+            (Opcode.CMPNE, 3, 3, 0),
+        ],
+    )
+    def test_binary_semantics(self, op, a, b, expected):
+        fb = FunctionBuilder("main")
+        blk = fb.block("entry")
+        ra, rb, rc = fb.regs(3)
+        blk.li(ra, a)
+        blk.li(rb, b)
+        blk.alu(op, rc, ra, rb)
+        blk.print_(rc)
+        blk.ret()
+        assert run_program(build_program(fb)).output == [expected]
+
+    def test_not_semantics(self):
+        fb = FunctionBuilder("main")
+        blk = fb.block("entry")
+        ra, rb = fb.regs(2)
+        blk.li(ra, 0)
+        blk.alu(Opcode.NOT, rb, ra)
+        blk.print_(rb)
+        blk.ret()
+        assert run_program(build_program(fb)).output == [1]
+
+    def test_divide_by_zero_faults(self):
+        fb = FunctionBuilder("main")
+        blk = fb.block("entry")
+        ra, rb, rc = fb.regs(3)
+        blk.li(ra, 1)
+        blk.li(rb, 0)
+        blk.div(rc, ra, rb)
+        blk.ret()
+        with pytest.raises(MachineFault):
+            run_program(build_program(fb))
+
+
+class TestLimitsAndObservers:
+    def test_step_limit(self):
+        fb = FunctionBuilder("main")
+        loop = fb.block("loop")
+        loop.jmp("loop")
+        with pytest.raises(StepLimitExceeded):
+            run_program(build_program(fb), step_limit=100)
+
+    def test_observer_sees_blocks(self):
+        seen = []
+
+        class Recorder(ExecutionObserver):
+            def block_executed(self, proc_name, frame_id, label):
+                seen.append((proc_name, label))
+
+        run_program(
+            diamond_program(), input_tape=[10, -1], observer=Recorder()
+        )
+        labels = [label for _, label in seen]
+        assert labels[0] == "A"
+        assert "B" in labels and "C" in labels and "done" in labels
+
+    def test_observer_frame_ids_unique_per_call(self):
+        frames = []
+
+        class Recorder(ExecutionObserver):
+            def enter_procedure(self, proc_name, frame_id):
+                if proc_name == "square":
+                    frames.append(frame_id)
+
+        run_program(call_program(), input_tape=[3], observer=Recorder())
+        assert len(frames) == 3
+        assert len(set(frames)) == 3
+
+    def test_per_procedure_counts(self):
+        result = run_program(call_program(), input_tape=[2])
+        assert result.per_procedure["square"] == 4  # 2 calls x (mul + ret)
+        assert result.per_procedure["main"] > 0

@@ -1,0 +1,131 @@
+"""Round-trip tests: printer output parses back to identical IR."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import run_program
+from repro.ir import (
+    AsmParseError,
+    format_program,
+    parse_program,
+    verify_program,
+)
+from repro.workloads import get_workload
+
+from tests.support import call_program, diamond_program, figure3_loop_program
+
+
+def structurally_equal(a, b) -> bool:
+    if a.names != b.names:
+        return False
+    for name in a.names:
+        pa, pb = a.procedure(name), b.procedure(name)
+        if pa.params != pb.params or pa.labels != pb.labels:
+            return False
+        for label in pa.labels:
+            ia = pa.block(label).instructions
+            ib = pb.block(label).instructions
+            if len(ia) != len(ib):
+                return False
+            if not all(x.same_operation(y) for x, y in zip(ia, ib)):
+                return False
+    return True
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "program_factory",
+        [diamond_program, call_program, figure3_loop_program],
+        ids=["diamond", "calls", "figure3"],
+    )
+    def test_builder_programs(self, program_factory):
+        original = program_factory()
+        parsed = parse_program(format_program(original))
+        assert structurally_equal(original, parsed)
+        assert verify_program(parsed) == []
+
+    @pytest.mark.parametrize("name", ["alt", "wc", "gcc", "li", "m88k"])
+    def test_workload_programs(self, name):
+        original = get_workload(name).fresh_program()
+        parsed = parse_program(format_program(original))
+        assert structurally_equal(original, parsed)
+
+    def test_parsed_program_executes_identically(self):
+        original = compile_source(
+            "func f(a) { return a * a + 1; }"
+            "func main() { print(f(read())); }"
+        )
+        parsed = parse_program(format_program(original))
+        for tape in ([3], [0], [12]):
+            assert (
+                run_program(parsed, input_tape=tape).output
+                == run_program(original, input_tape=tape).output
+            )
+
+    def test_double_round_trip_fixpoint(self):
+        original = diamond_program()
+        once = format_program(original)
+        twice = format_program(parse_program(once))
+        assert once == twice
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmParseError):
+            parse_program("func main() {\nentry:\n  frobnicate v0\n}")
+
+    def test_stray_brace(self):
+        with pytest.raises(AsmParseError):
+            parse_program("}")
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(AsmParseError):
+            parse_program("func main() {\n  li v0, 1\n}")
+
+    def test_unterminated_function(self):
+        with pytest.raises(AsmParseError):
+            parse_program("func main() {\nentry:\n  ret")
+
+    def test_bad_parameter(self):
+        with pytest.raises(AsmParseError):
+            parse_program("func main(x) {\nentry:\n  ret\n}")
+
+    def test_missing_dest(self):
+        with pytest.raises(AsmParseError):
+            parse_program("func main() {\nentry:\n  li 5\n  ret\n}")
+
+    def test_destless_call_with_args_round_trips(self):
+        from repro.ir import FunctionBuilder, build_program
+
+        callee = FunctionBuilder("sink", num_params=2)
+        callee.block("entry").ret()
+        fb = FunctionBuilder("main")
+        b = fb.block("entry")
+        x, y = fb.regs(2)
+        b.li(x, 1)
+        b.li(y, 2)
+        b.call("sink", [x, y], dest=None)
+        b.ret()
+        original = build_program(fb, callee)
+        from repro.ir import format_program, parse_program
+
+        parsed = parse_program(format_program(original))
+        call = parsed.procedure("main").block("entry").instructions[2]
+        assert call.dest is None
+        assert call.srcs == (x, y)
+        assert call.callee == "sink"
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = parse_program(
+            """
+            // a comment
+            func main() {
+            entry:
+              li v0, 7   // trailing comment
+              print v0
+              ret
+            }
+            """
+        )
+        result = run_program(program)
+        assert result.output == [7]

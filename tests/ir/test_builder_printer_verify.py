@@ -1,0 +1,117 @@
+"""Tests for the builder API, the printer, and the IR verifier."""
+
+import pytest
+
+from repro.ir import (
+    FunctionBuilder,
+    IRError,
+    Opcode,
+    build_program,
+    check_program,
+    format_program,
+    verify_program,
+)
+
+from tests.support import call_program, diamond_program, straightline_program
+
+
+class TestBuilder:
+    def test_first_block_is_entry(self):
+        fb = FunctionBuilder("f")
+        fb.block("start").ret()
+        assert fb.proc.entry_label == "start"
+
+    def test_block_lookup_returns_same_builder(self):
+        fb = FunctionBuilder("f")
+        a = fb.block("a")
+        again = fb.block("a")
+        assert a is again
+
+    def test_anonymous_block_gets_fresh_label(self):
+        fb = FunctionBuilder("f")
+        b1 = fb.block()
+        b2 = fb.block()
+        assert b1.label != b2.label
+
+    def test_params_preallocated(self):
+        fb = FunctionBuilder("f", num_params=2)
+        assert fb.params == (0, 1)
+        assert fb.reg() == 2
+
+    def test_regs_bulk_allocation(self):
+        fb = FunctionBuilder("f")
+        assert fb.regs(3) == [0, 1, 2]
+
+    def test_alu_arity_checked(self):
+        fb = FunctionBuilder("f")
+        b = fb.block("entry")
+        with pytest.raises(ValueError):
+            b.alu(Opcode.ADD, 0, 1, 2, 3)
+
+    def test_build_program_collects_functions(self):
+        prog = call_program()
+        assert set(prog.names) == {"main", "square"}
+        assert prog.entry == "main"
+
+
+class TestPrinter:
+    def test_format_contains_labels_and_ops(self):
+        text = format_program(diamond_program())
+        assert "func main()" in text
+        assert "A:" in text
+        assert "br" in text
+        assert "ret" in text
+
+    def test_format_straightline(self):
+        text = format_program(straightline_program())
+        assert "li" in text and "add" in text and "print" in text
+
+
+class TestVerifier:
+    def test_clean_programs_verify(self):
+        for prog in (diamond_program(), call_program(), straightline_program()):
+            assert verify_program(prog) == []
+
+    def test_unknown_target_detected(self):
+        fb = FunctionBuilder("main")
+        fb.block("entry").jmp("nowhere")
+        problems = verify_program(build_program(fb))
+        assert any("unknown target" in p for p in problems)
+
+    def test_missing_terminator_detected(self):
+        fb = FunctionBuilder("main")
+        fb.block("entry").li(0, 1)
+        problems = verify_program(build_program(fb))
+        assert any("missing terminator" in p for p in problems)
+
+    def test_call_to_missing_procedure_detected(self):
+        fb = FunctionBuilder("main")
+        b = fb.block("entry")
+        b.call("ghost")
+        b.ret()
+        problems = verify_program(build_program(fb))
+        assert any("missing" in p and "ghost" in p for p in problems)
+
+    def test_call_arity_mismatch_detected(self):
+        callee = FunctionBuilder("f", num_params=2)
+        callee.block("entry").ret()
+        fb = FunctionBuilder("main")
+        b = fb.block("entry")
+        r = fb.reg()
+        b.li(r, 1)
+        b.call("f", [r])
+        b.ret()
+        problems = verify_program(build_program(fb, callee))
+        assert any("passes 1 args" in p for p in problems)
+
+    def test_missing_entry_detected(self):
+        fb = FunctionBuilder("helper")
+        fb.block("entry").ret()
+        problems = verify_program(build_program(fb, entry="main"))
+        assert any("missing entry" in p for p in problems)
+
+    def test_check_program_raises(self):
+        fb = FunctionBuilder("main")
+        fb.block("entry").jmp("nowhere")
+        with pytest.raises(IRError):
+            check_program(build_program(fb))

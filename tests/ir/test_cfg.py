@@ -1,0 +1,156 @@
+"""Unit tests for blocks, procedures, and programs."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    FunctionBuilder,
+    IRError,
+    Procedure,
+    Program,
+    reachable_labels,
+    remove_unreachable_blocks,
+)
+from repro.ir import instructions as ins
+
+from tests.support import diamond_program
+
+
+def two_block_proc() -> Procedure:
+    proc = Procedure("f")
+    b0 = proc.add_block(BasicBlock("entry"))
+    b0.append(ins.li(0, 1))
+    b0.append(ins.jmp("exit"))
+    b1 = proc.add_block(BasicBlock("exit"))
+    b1.append(ins.ret(0))
+    return proc
+
+
+class TestBasicBlock:
+    def test_terminator(self):
+        b = BasicBlock("x", [ins.li(0, 1), ins.ret(0)])
+        assert b.terminator.opcode.value == "ret"
+        assert [i.opcode.value for i in b.body] == ["li"]
+
+    def test_unterminated_block_raises(self):
+        b = BasicBlock("x", [ins.li(0, 1)])
+        with pytest.raises(IRError):
+            b.terminator
+
+    def test_append_after_terminator_raises(self):
+        b = BasicBlock("x", [ins.ret()])
+        with pytest.raises(IRError):
+            b.append(ins.nop())
+
+    def test_successors_deduplicate(self):
+        b = BasicBlock("x", [ins.br(0, "same", "same")])
+        assert b.successors() == ("same",)
+
+    def test_degenerate_branch_is_not_counted_as_branching(self):
+        b = BasicBlock("x", [ins.br(0, "same", "same")])
+        assert not b.ends_in_branch
+
+    def test_real_branch_counts(self):
+        b = BasicBlock("x", [ins.br(0, "a", "b")])
+        assert b.ends_in_branch
+
+    def test_copy_is_deep(self):
+        b = BasicBlock("x", [ins.li(0, 1), ins.ret(0)])
+        c = b.copy("y")
+        assert c.label == "y"
+        assert c.instructions[0] is not b.instructions[0]
+        assert c.instructions[0].same_operation(b.instructions[0])
+
+
+class TestProcedure:
+    def test_entry_is_first_block(self):
+        proc = two_block_proc()
+        assert proc.entry_label == "entry"
+        assert proc.entry.label == "entry"
+
+    def test_duplicate_label_raises(self):
+        proc = two_block_proc()
+        with pytest.raises(IRError):
+            proc.add_block(BasicBlock("entry"))
+
+    def test_missing_block_raises(self):
+        proc = two_block_proc()
+        with pytest.raises(IRError):
+            proc.block("nope")
+
+    def test_edges_and_predecessors(self):
+        proc = two_block_proc()
+        assert proc.edges() == [("entry", "exit")]
+        assert proc.predecessors()["exit"] == ["entry"]
+
+    def test_fresh_label_avoids_collisions(self):
+        proc = Procedure("f")
+        proc.add_block(BasicBlock("b0"))
+        label = proc.fresh_label("b")
+        assert label != "b0"
+
+    def test_fresh_reg_monotonic(self):
+        proc = Procedure("f", params=(0, 1))
+        assert proc.fresh_reg() == 2
+        assert proc.fresh_reg() == 3
+
+    def test_note_reg_bumps_counter(self):
+        proc = Procedure("f")
+        proc.note_reg(10)
+        assert proc.fresh_reg() == 11
+
+    def test_reorder_requires_permutation(self):
+        proc = two_block_proc()
+        with pytest.raises(IRError):
+            proc.reorder(["entry"])
+
+    def test_reorder_keeps_entry_first(self):
+        proc = two_block_proc()
+        with pytest.raises(IRError):
+            proc.reorder(["exit", "entry"])
+
+    def test_copy_is_deep(self):
+        proc = two_block_proc()
+        clone = proc.copy()
+        clone.block("entry").instructions[0].imm = 99
+        assert proc.block("entry").instructions[0].imm == 1
+
+
+class TestProgram:
+    def test_lookup(self):
+        prog = diamond_program()
+        assert prog.has_procedure("main")
+        assert not prog.has_procedure("nope")
+        with pytest.raises(IRError):
+            prog.procedure("nope")
+
+    def test_duplicate_procedure_raises(self):
+        prog = Program()
+        prog.add(Procedure("f"))
+        with pytest.raises(IRError):
+            prog.add(Procedure("f"))
+
+    def test_instruction_count(self):
+        prog = diamond_program()
+        manual = sum(
+            len(b) for p in prog.procedures() for b in p.blocks()
+        )
+        assert prog.instruction_count() == manual
+
+
+class TestReachability:
+    def test_reachable_is_rpo(self):
+        prog = diamond_program()
+        labels = reachable_labels(prog.procedure("main"))
+        assert labels[0] == "A"
+        assert set(labels) == set(prog.procedure("main").labels)
+
+    def test_remove_unreachable(self):
+        fb = FunctionBuilder("main")
+        fb.block("entry").ret()
+        dead = fb.block("dead")
+        dead.ret()
+        proc = fb.proc
+        removed = remove_unreachable_blocks(proc)
+        assert removed == ["dead"]
+        assert list(proc.labels) == ["entry"]

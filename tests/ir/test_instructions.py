@@ -1,0 +1,115 @@
+"""Unit tests for the virtual ISA."""
+
+import pytest
+
+from repro.ir import Instruction, Opcode, format_instruction
+from repro.ir import instructions as ins
+
+
+class TestFactories:
+    def test_li(self):
+        i = ins.li(3, 42)
+        assert i.opcode is Opcode.LI
+        assert i.dest == 3
+        assert i.imm == 42
+        assert i.srcs == ()
+
+    def test_mov(self):
+        i = ins.mov(1, 2)
+        assert i.srcs == (2,)
+        assert i.dest == 1
+
+    def test_binop_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            ins.binop(Opcode.NEG, 0, 1, 2)
+
+    def test_unop_rejects_non_unary(self):
+        with pytest.raises(ValueError):
+            ins.unop(Opcode.ADD, 0, 1)
+
+    def test_store_has_no_dest(self):
+        i = ins.store(1, 2)
+        assert i.dest is None
+        assert i.srcs == (1, 2)
+
+    def test_br_targets(self):
+        i = ins.br(0, "yes", "no")
+        assert i.targets == ("yes", "no")
+
+    def test_mbr_requires_two_targets(self):
+        with pytest.raises(ValueError):
+            ins.mbr(0, ("only",))
+
+    def test_call_operands(self):
+        i = ins.call("f", (1, 2), 9)
+        assert i.callee == "f"
+        assert i.srcs == (1, 2)
+        assert i.dest == 9
+
+    def test_ret_value_optional(self):
+        assert ins.ret().srcs == ()
+        assert ins.ret(4).srcs == (4,)
+
+
+class TestProperties:
+    def test_branches_are_control_and_terminators(self):
+        br = ins.br(0, "a", "b")
+        assert br.is_branch and br.is_control and br.is_terminator
+
+    def test_call_is_control_but_not_terminator(self):
+        c = ins.call("f", (), None)
+        assert c.is_control
+        assert not c.is_terminator
+        assert c.has_side_effects
+
+    def test_jmp_is_not_a_branch(self):
+        j = ins.jmp("a")
+        assert j.is_terminator and j.is_control
+        assert not j.is_branch
+
+    def test_load_faults_but_load_s_does_not(self):
+        assert ins.load(0, 1).may_fault
+        assert not ins.load_s(0, 1).may_fault
+        assert ins.load_s(0, 1).is_pure
+
+    def test_div_may_fault(self):
+        assert ins.binop(Opcode.DIV, 0, 1, 2).may_fault
+
+    def test_pure_ops_have_no_side_effects(self):
+        add = ins.binop(Opcode.ADD, 0, 1, 2)
+        assert add.is_pure
+        assert not add.has_side_effects
+
+    def test_read_has_side_effects(self):
+        assert ins.read(0).has_side_effects
+        assert not ins.read(0).is_pure
+
+
+class TestIdentitySemantics:
+    def test_structurally_equal_instructions_are_distinct(self):
+        a = ins.li(0, 1)
+        b = ins.li(0, 1)
+        assert a is not b
+        assert a != b  # identity equality
+        assert a.same_operation(b)
+
+    def test_copy_is_fresh_object_same_operation(self):
+        a = ins.br(3, "x", "y")
+        b = a.copy()
+        assert b is not a
+        assert a.same_operation(b)
+
+
+class TestFormatting:
+    def test_format_li(self):
+        assert format_instruction(ins.li(2, 7)) == "li v2, 7"
+
+    def test_format_branch(self):
+        assert format_instruction(ins.br(1, "t", "f")) == "br v1, t, f"
+
+    def test_format_call(self):
+        text = format_instruction(ins.call("f", (1,), 0))
+        assert text == "call v0, v1, @f"
+
+    def test_format_nop(self):
+        assert format_instruction(ins.nop()) == "nop"

@@ -1,0 +1,72 @@
+"""Tests for call-graph-driven code placement."""
+
+from repro.layout import (
+    INSTRUCTION_BYTES,
+    call_graph_weights,
+    layout_program,
+    order_procedures,
+)
+from repro.pipeline import run_scheme
+
+from tests.support import call_program, diamond_program
+
+
+class TestOrdering:
+    def test_entry_chain_first(self):
+        order = order_procedures(
+            ["c", "a", "main"], {("main", "a"): 5, ("a", "c"): 1}, "main"
+        )
+        assert order[0] == "main"
+
+    def test_heavy_edges_merge_first(self):
+        order = order_procedures(
+            ["main", "hot", "cold"],
+            {("main", "hot"): 100, ("main", "cold"): 1},
+            "main",
+        )
+        assert order.index("hot") == order.index("main") + 1
+
+    def test_all_procedures_placed_once(self):
+        names = ["main", "a", "b", "c"]
+        order = order_procedures(names, {}, "main")
+        assert sorted(order) == sorted(names)
+
+    def test_self_edges_ignored(self):
+        order = order_procedures(["main"], {("main", "main"): 9}, "main")
+        assert order == ["main"]
+
+
+class TestLayout:
+    def test_addresses_disjoint_and_packed(self):
+        out = run_scheme(call_program(), "M4", [6], [3])
+        layout = out.layout
+        spans = []
+        for (proc, head), base in layout.base.items():
+            size = len(out.compiled.procedures[proc].schedules[head].ops)
+            spans.append((base, base + size * INSTRUCTION_BYTES))
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        assert spans[0][0] == 0
+        assert spans[-1][1] == layout.code_bytes
+
+    def test_entry_superblock_leads_its_procedure(self):
+        out = run_scheme(diamond_program(), "M4", [10, 10, -1], [10, -1])
+        cproc = out.compiled.procedures["main"]
+        entry_base = out.layout.address_of("main", cproc.entry_head)
+        other = [
+            out.layout.address_of("main", head)
+            for head in cproc.schedules
+        ]
+        assert entry_base == min(other)
+
+    def test_call_weights_use_profile(self):
+        out = run_scheme(call_program(), "M4", [6], [3])
+        weights = call_graph_weights(out.compiled, out.profiles.edge)
+        assert weights[("main", "square")] >= 6
+
+    def test_layout_without_profile(self):
+        out = run_scheme(call_program(), "M4", [4], [2])
+        layout = layout_program(out.compiled, profile=None)
+        assert layout.code_bytes > 0
+        assert ("main", out.compiled.procedures["main"].entry_head) in layout.base

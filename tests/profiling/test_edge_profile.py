@@ -1,0 +1,91 @@
+"""Tests for the edge (point) profiler."""
+
+from repro.interp import run_program
+from repro.profiling import EdgeProfiler, collect_profiles
+
+from tests.support import call_program, diamond_program
+
+
+def profile_diamond(tape):
+    profiler = EdgeProfiler()
+    run_program(diamond_program(), input_tape=tape, observer=profiler)
+    return profiler.finalize()
+
+
+class TestEdgeCounts:
+    def test_counts_match_execution(self):
+        # words: 10 -> B,C ; 11 -> B,Y ; 60 -> X
+        profile = profile_diamond([10, 11, 60, -1])
+        assert profile.edge_count("main", "A", "A_test") == 3
+        assert profile.edge_count("main", "A_test", "B") == 2
+        assert profile.edge_count("main", "A_test", "X") == 1
+        assert profile.edge_count("main", "B", "C") == 1
+        assert profile.edge_count("main", "B", "Y") == 1
+        assert profile.edge_count("main", "A", "done") == 1
+
+    def test_block_counts(self):
+        profile = profile_diamond([10, 11, 60, -1])
+        assert profile.block_count("main", "A") == 4
+        assert profile.block_count("main", "B") == 2
+        assert profile.block_count("main", "done") == 1
+
+    def test_unseen_edge_is_zero(self):
+        profile = profile_diamond([10, -1])
+        assert profile.edge_count("main", "X", "A") == 0
+        assert profile.edge_count("ghost", "A", "B") == 0
+
+    def test_entry_counts(self):
+        profiler = EdgeProfiler()
+        run_program(call_program(), input_tape=[3], observer=profiler)
+        profile = profiler.finalize()
+        assert profile.entry_count("main") == 1
+        assert profile.entry_count("square") == 3
+
+    def test_call_does_not_create_cross_procedure_edges(self):
+        profiler = EdgeProfiler()
+        run_program(call_program(), input_tape=[2], observer=profiler)
+        profile = profiler.finalize()
+        for (src, dst) in profile.edges.get("main", {}):
+            assert src in ("entry", "loop", "body", "done")
+            assert dst in ("entry", "loop", "body", "done")
+
+    def test_caller_edges_resume_after_call(self):
+        profiler = EdgeProfiler()
+        run_program(call_program(), input_tape=[2], observer=profiler)
+        profile = profiler.finalize()
+        # body -> loop edge happens after each call returns.
+        assert profile.edge_count("main", "body", "loop") == 2
+
+
+class TestDerivedQueries:
+    def test_most_likely_successor(self):
+        profile = profile_diamond([10, 10, 10, 60, -1])
+        best = profile.most_likely_successor("main", "A_test")
+        assert best == ("B", 3)
+
+    def test_most_likely_predecessor(self):
+        profile = profile_diamond([10, 10, 60, -1])
+        best = profile.most_likely_predecessor("main", "A")
+        # Two returns from C, one from X, plus program start (not an edge).
+        assert best == ("C", 2)
+
+    def test_branch_probability(self):
+        profile = profile_diamond([10, 10, 10, 60, -1])
+        p = profile.branch_probability("main", "A_test", "B")
+        assert abs(p - 0.75) < 1e-9
+
+    def test_branch_probability_unseen_block(self):
+        profile = profile_diamond([10, -1])
+        assert profile.branch_probability("main", "ghost", "B") == 0.0
+
+    def test_blocks_by_count_sorted(self):
+        profile = profile_diamond([10, 11, 60, -1])
+        ranked = profile.blocks_by_count("main")
+        counts = [c for _, c in ranked]
+        assert counts == sorted(counts, reverse=True)
+        assert ranked[0][0] == "A"
+
+    def test_total_edges_matches_interpreter_blocks(self):
+        bundle = collect_profiles(diamond_program(), input_tape=[10, 11, -1])
+        # every block entry except each frame's first follows an edge
+        assert bundle.edge.total_edges() == bundle.result.blocks - 1

@@ -1,0 +1,100 @@
+"""Tests for forward-path profiling and the profile collector."""
+
+from repro.interp import run_program
+from repro.profiling import (
+    ForwardPathProfiler,
+    GeneralPathProfiler,
+    collect_profiles,
+)
+
+from tests.support import diamond_program, figure3_loop_program
+
+
+def run_forward(program, tape, depth=15):
+    profiler = ForwardPathProfiler(program, depth=depth)
+    run_program(program, input_tape=tape, observer=profiler)
+    return profiler.finalize()
+
+
+class TestForwardPaths:
+    def test_no_forward_path_crosses_back_edge(self):
+        profile = run_forward(diamond_program(), [10, 10, 10, -1])
+        # (C, A) traverses the back edge C -> A; forward profiles cannot
+        # contain it, while the general profiler records it.
+        assert profile.freq("main", ("C", "A")) == 0
+
+    def test_general_profile_does_cross(self):
+        prog = diamond_program()
+        profiler = GeneralPathProfiler(prog)
+        run_program(prog, input_tape=[10, 10, 10, -1], observer=profiler)
+        assert profiler.finalize().freq("main", ("C", "A")) == 3
+
+    def test_within_iteration_paths_agree(self):
+        # Paths inside one loop iteration are identical in both profiles.
+        prog = diamond_program()
+        tape = [10, 11, 60, 10, -1]
+        fwd = run_forward(prog, tape)
+        gen_profiler = GeneralPathProfiler(prog)
+        run_program(prog, input_tape=tape, observer=gen_profiler)
+        gen = gen_profiler.finalize()
+        for path in (("A", "A_test", "B"), ("A_test", "B", "C"), ("A_test", "X")):
+            assert fwd.freq("main", path) == gen.freq("main", path)
+
+    def test_block_counts_unaffected_by_chopping(self):
+        prog = figure3_loop_program()
+        tape = [12, 0]
+        fwd = run_forward(prog, tape)
+        gen_profiler = GeneralPathProfiler(prog)
+        run_program(prog, input_tape=tape, observer=gen_profiler)
+        gen = gen_profiler.finalize()
+        for label in ("A", "B", "C", "D"):
+            assert fwd.block_count("main", label) == gen.block_count(
+                "main", label
+            )
+
+    def test_alternation_invisible_to_forward_paths(self):
+        # Figure 3 / alt pattern: the repeating body B,B,B,C spans back
+        # edges; only general paths record multi-iteration sequences.
+        prog = figure3_loop_program()
+        tape = [16, 0]
+        fwd = run_forward(prog, tape)
+        gen_profiler = GeneralPathProfiler(prog)
+        run_program(prog, input_tape=tape, observer=gen_profiler)
+        gen = gen_profiler.finalize()
+        two_iterations = ("B", "D", "A", "A_alt", "B")
+        assert gen.freq("main", two_iterations) > 0
+        assert fwd.freq("main", two_iterations) == 0
+
+
+class TestCollector:
+    def test_bundle_contains_consistent_profiles(self):
+        bundle = collect_profiles(
+            diamond_program(), input_tape=[10, 11, 60, -1]
+        )
+        assert bundle.edge.block_count("main", "A") == 4
+        assert bundle.path.block_count("main", "A") == 4
+        assert bundle.result.output == [100, 300, 200]
+        assert bundle.forward is None
+
+    def test_forward_included_on_request(self):
+        bundle = collect_profiles(
+            diamond_program(),
+            input_tape=[10, -1],
+            include_forward=True,
+        )
+        assert bundle.forward is not None
+        assert bundle.forward.block_count("main", "A") == 2
+
+    def test_depth_respected(self):
+        bundle = collect_profiles(
+            diamond_program(), input_tape=[10] * 20 + [-1], depth=2
+        )
+        for path in bundle.path.paths["main"]:
+            branchy = bundle.path.branch_blocks["main"]
+            assert sum(1 for lab in path if lab in branchy) <= 2
+
+    def test_rejects_bad_depth(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            GeneralPathProfiler(diamond_program(), depth=0)

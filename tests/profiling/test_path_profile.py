@@ -1,0 +1,196 @@
+"""Tests for the general path profiler, including the paper's Figure 1
+ambiguity scenario and the marginalization invariant."""
+
+from repro.interp import run_program
+from repro.ir import FunctionBuilder, build_program
+from repro.profiling import (
+    GeneralPathProfiler,
+    collect_profiles,
+)
+
+from tests.support import call_program, diamond_program, figure3_loop_program
+
+
+def figure1_program():
+    """The Figure 1 CFG, driven by the input tape.
+
+    Per iteration the program reads ``entry`` (0 -> enter at A, 1 -> enter at
+    X, negative -> stop) and ``exit`` (0 -> B goes to C, 1 -> B goes to Y).
+    """
+    fb = FunctionBuilder("main")
+    top = fb.block("top")
+    a = fb.block("A")
+    x = fb.block("X")
+    b = fb.block("B")
+    c = fb.block("C")
+    y = fb.block("Y")
+    done = fb.block("done")
+
+    sel, direction, t, zero = fb.regs(4)
+    top.read(sel)
+    top.read(direction)
+    top.li(zero, 0)
+    top.cmplt(t, sel, zero)
+    top.br(t, "done", "route")
+    route = fb.block("route")
+    route.br(sel, "X", "A")
+
+    a.jmp("B")
+    x.jmp("B")
+    b.br(direction, "Y", "C")
+    c.jmp("top")
+    y.jmp("top")
+    done.ret()
+    return build_program(fb)
+
+
+def run_paths(program, tape, depth=15):
+    profiler = GeneralPathProfiler(program, depth=depth)
+    run_program(program, input_tape=tape, observer=profiler)
+    return profiler.finalize()
+
+
+def figure1_tape(abc, aby, xbc, xby):
+    """Build an input driving the Figure 1 paths the given number of times."""
+    tape = []
+    tape += [0, 0] * abc  # A -> B -> C
+    tape += [0, 1] * aby  # A -> B -> Y
+    tape += [1, 0] * xbc  # X -> B -> C
+    tape += [1, 1] * xby  # X -> B -> Y
+    tape += [-1, -1]
+    return tape
+
+
+class TestFigure1:
+    """Two executions with identical edge profiles but different path
+    profiles — the paper's motivating ambiguity."""
+
+    def test_edge_profiles_identical_but_path_differs(self):
+        prog = figure1_program()
+        # Execution 1: f(ABC)=10, f(XBY)=5.
+        bundle1 = collect_profiles(prog, input_tape=figure1_tape(10, 0, 0, 5))
+        # Execution 2: f(ABC)=5, f(ABY)=5, f(XBC)=5 -- same edge counts.
+        bundle2 = collect_profiles(prog, input_tape=figure1_tape(5, 5, 5, 0))
+
+        for edge in (("A", "B"), ("X", "B"), ("B", "C"), ("B", "Y")):
+            assert bundle1.edge.edge_count("main", *edge) == \
+                bundle2.edge.edge_count("main", *edge)
+
+        assert bundle1.path.freq("main", ("A", "B", "C")) == 10
+        assert bundle2.path.freq("main", ("A", "B", "C")) == 5
+        assert bundle1.path.freq("main", ("A", "B", "Y")) == 0
+        assert bundle2.path.freq("main", ("A", "B", "Y")) == 5
+
+    def test_path_constraint_from_paper(self):
+        # f(ABC) + f(ABY) equals the A -> B edge count.
+        prog = figure1_program()
+        bundle = collect_profiles(prog, input_tape=figure1_tape(7, 3, 2, 1))
+        path = bundle.path
+        assert (
+            path.freq("main", ("A", "B", "C"))
+            + path.freq("main", ("A", "B", "Y"))
+            == bundle.edge.edge_count("main", "A", "B")
+        )
+
+
+class TestMarginalization:
+    """Path profiles are a superset of edge profiles (Section 2.2)."""
+
+    def test_length2_paths_equal_edge_counts(self):
+        for tape in ([10, 11, 60, -1], [10, -1], [60, 11, 10, 10, -1]):
+            bundle = collect_profiles(diamond_program(), input_tape=tape)
+            derived = bundle.path.to_edge_counts("main")
+            recorded = bundle.edge.edges.get("main", {})
+            assert derived == {k: v for k, v in recorded.items() if v}
+
+    def test_block_counts_match(self):
+        bundle = collect_profiles(
+            figure3_loop_program(), input_tape=[16, 0]
+        )
+        for label, count in bundle.edge.blocks["main"].items():
+            assert bundle.path.block_count("main", label) == count
+
+    def test_marginalization_across_procedures(self):
+        bundle = collect_profiles(call_program(), input_tape=[5])
+        for proc in ("main", "square"):
+            derived = bundle.path.to_edge_counts(proc)
+            recorded = {
+                k: v for k, v in bundle.edge.edges.get(proc, {}).items() if v
+            }
+            assert derived == recorded
+
+
+class TestWindowing:
+    def test_depth_limits_recorded_branches(self):
+        prog = diamond_program()
+        profile = run_paths(prog, [10] * 50 + [-1], depth=3)
+        for path in profile.paths["main"]:
+            branch_blocks = [
+                lab for lab in path if lab in profile.branch_blocks["main"]
+            ]
+            assert len(branch_blocks) <= 3
+
+    def test_paths_cross_back_edges(self):
+        # A general path can span loop iterations: C..A appears.
+        profile = run_paths(diamond_program(), [10, 10, 10, -1])
+        assert profile.freq("main", ("C", "A")) == 3
+
+    def test_single_block_paths_equal_block_counts(self):
+        profile = run_paths(diamond_program(), [10, 11, -1])
+        assert profile.block_count("main", "A") == 3
+        assert profile.block_count("main", "B") == 2
+
+    def test_windows_are_per_frame(self):
+        # Recursive/zig-zag calls: callee blocks never enter caller windows.
+        profile_bundle = collect_profiles(call_program(), input_tape=[4])
+        for path in profile_bundle.path.paths["main"]:
+            assert all(lab in ("entry", "loop", "body", "done") for lab in path)
+
+
+class TestQueries:
+    def test_most_likely_path_successor_prefers_frequent(self):
+        # 3 of 4 iterations go B (w=10), 1 goes X (w=60).
+        tape = [10, 10, 10, 60] * 5 + [-1]
+        profile = run_paths(diamond_program(), tape)
+        best = profile.most_likely_path_successor(
+            "main", ("A", "A_test"), ("B", "X")
+        )
+        assert best is not None and best[0] == "B"
+
+    def test_most_likely_path_successor_none_when_unseen(self):
+        profile = run_paths(diamond_program(), [-1])
+        assert (
+            profile.most_likely_path_successor("main", ("B",), ("C", "Y"))
+            is None
+        )
+
+    def test_correlation_visible_through_paths(self):
+        # Strict alternation B,X,B,X...: after (X,..,A_test) the successor is
+        # B; after (B,..,A_test) it is X.  Edge profile sees 50/50.
+        tape = [10, 60] * 10 + [-1]
+        profile = run_paths(diamond_program(), tape)
+        after_b = profile.most_likely_path_successor(
+            "main", ("B", "C", "A", "A_test"), ("B", "X")
+        )
+        after_x = profile.most_likely_path_successor(
+            "main", ("X", "A", "A_test"), ("B", "X")
+        )
+        assert after_b is not None and after_b[0] == "X"
+        assert after_x is not None and after_x[0] == "B"
+
+    def test_known_suffix_falls_back(self):
+        profile = run_paths(diamond_program(), [10, -1])
+        # A trace never executed in this order falls back to its last block.
+        suffix = profile.known_suffix("main", ("Y", "C", "B"))
+        assert suffix == ("B",)
+
+    def test_completion_ratio(self):
+        tape = [10, 10, 10, 60] * 25 + [-1]
+        profile = run_paths(diamond_program(), tape)
+        ratio = profile.completion_ratio("main", ("A_test", "B", "C"))
+        assert 0.7 <= ratio <= 0.8  # ~75% of A_test entries complete via B,C
+
+    def test_completion_ratio_of_unseen_head(self):
+        profile = run_paths(diamond_program(), [-1])
+        assert profile.completion_ratio("main", ("B", "C")) == 0.0
+        assert profile.completion_ratio("main", ()) == 0.0

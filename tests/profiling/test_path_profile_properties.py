@@ -1,0 +1,118 @@
+"""Property-based tests: the lazy path profiler must agree exactly with a
+naive sliding-window recount of the block stream, for arbitrary streams and
+depths."""
+
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import FunctionBuilder, build_program
+from repro.profiling import GeneralPathProfiler
+
+LABELS = ["a", "b", "c", "d"]
+
+
+def synthetic_program(branchy=("a", "b", "c", "d")):
+    """A complete graph over LABELS; blocks in ``branchy`` end in branches."""
+    fb = FunctionBuilder("main")
+    reg = fb.reg()
+    for label in LABELS:
+        blk = fb.block(label)
+        if label in branchy:
+            blk.mbr(reg, LABELS + ["exit"])
+        else:
+            blk.jmp(LABELS[0])
+    fb.block("exit").ret()
+    # Ensure entry is 'a'.
+    return build_program(fb)
+
+
+def naive_recount(
+    stream: List[str], branchy: Tuple[str, ...], depth: int
+) -> Dict[Tuple[str, ...], int]:
+    """Reference implementation: recount every suffix of every window."""
+    table: Dict[Tuple[str, ...], int] = {}
+    for end in range(len(stream)):
+        # Maximal window ending at ``end`` with <= depth branch blocks.
+        start = end
+        branches = 1 if stream[end] in branchy else 0
+        while start > 0:
+            candidate = stream[start - 1]
+            extra = 1 if candidate in branchy else 0
+            if branches + extra > depth:
+                break
+            branches += extra
+            start -= 1
+        window = tuple(stream[start : end + 1])
+        for i in range(len(window)):
+            suffix = window[i:]
+            table[suffix] = table.get(suffix, 0) + 1
+    return table
+
+
+def lazy_profile(
+    stream: List[str], branchy: Tuple[str, ...], depth: int
+) -> Dict[Tuple[str, ...], int]:
+    program = synthetic_program(branchy)
+    profiler = GeneralPathProfiler(program, depth=depth)
+    for label in stream:
+        profiler.block_executed("main", frame_id=0, label=label)
+    return profiler.finalize().paths.get("main", {})
+
+
+@st.composite
+def stream_and_depth(draw):
+    stream = draw(st.lists(st.sampled_from(LABELS), min_size=1, max_size=60))
+    depth = draw(st.integers(min_value=1, max_value=6))
+    branchy = tuple(
+        sorted(draw(st.sets(st.sampled_from(LABELS), min_size=1, max_size=4)))
+    )
+    return stream, branchy, depth
+
+
+class TestLazyEqualsNaive:
+    @given(stream_and_depth())
+    @settings(max_examples=200, deadline=None)
+    def test_equivalence(self, case):
+        stream, branchy, depth = case
+        assert lazy_profile(stream, branchy, depth) == naive_recount(
+            stream, branchy, depth
+        )
+
+    def test_fixed_regression_case(self):
+        stream = ["a", "b", "a", "b", "a", "c", "a", "b"]
+        branchy = ("a", "b", "c", "d")
+        for depth in (1, 2, 3, 8):
+            assert lazy_profile(stream, branchy, depth) == naive_recount(
+                stream, branchy, depth
+            )
+
+    @given(st.lists(st.sampled_from(LABELS), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_single_block_counts_are_histogram(self, stream):
+        table = lazy_profile(stream, tuple(LABELS), depth=4)
+        for label in set(stream):
+            assert table[(label,)] == stream.count(label)
+
+    @given(st.lists(st.sampled_from(LABELS), min_size=2, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_pair_counts_are_adjacent_occurrences(self, stream):
+        table = lazy_profile(stream, tuple(LABELS), depth=4)
+        for x in LABELS:
+            for y in LABELS:
+                expected = sum(
+                    1
+                    for i in range(len(stream) - 1)
+                    if stream[i] == x and stream[i + 1] == y
+                )
+                assert table.get((x, y), 0) == expected
+
+    @given(st.lists(st.sampled_from(LABELS), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_windows_bounded_by_steps(self, stream):
+        program = synthetic_program(tuple(LABELS))
+        profiler = GeneralPathProfiler(program, depth=3)
+        for label in stream:
+            profiler.block_executed("main", 0, label)
+        assert profiler.distinct_windows <= len(stream)

@@ -1,0 +1,95 @@
+"""Tests for profile JSON round-tripping."""
+
+import io
+
+import pytest
+
+from repro.profiling import (
+    collect_profiles,
+    load_profile,
+    save_profile,
+)
+from repro.profiling.serialize import (
+    edge_profile_from_dict,
+    path_profile_from_dict,
+)
+
+from tests.support import call_program, diamond_program
+
+
+def bundle():
+    return collect_profiles(diamond_program(), input_tape=[10, 11, 60, 10, -1])
+
+
+class TestRoundTrip:
+    def test_edge_profile_roundtrip(self):
+        original = bundle().edge
+        stream = io.StringIO()
+        save_profile(original, stream)
+        stream.seek(0)
+        restored = load_profile(stream)
+        assert restored.edges == original.edges
+        assert restored.blocks == original.blocks
+        assert restored.entries == original.entries
+
+    def test_path_profile_roundtrip(self):
+        original = bundle().path
+        stream = io.StringIO()
+        save_profile(original, stream)
+        stream.seek(0)
+        restored = load_profile(stream)
+        assert restored.paths == original.paths
+        assert restored.depth == original.depth
+        assert restored.branch_blocks == original.branch_blocks
+
+    def test_queries_survive_roundtrip(self):
+        original = bundle().path
+        stream = io.StringIO()
+        save_profile(original, stream)
+        stream.seek(0)
+        restored = load_profile(stream)
+        trace = ("A", "A_test")
+        assert restored.most_likely_path_successor(
+            "main", trace, ("B", "X")
+        ) == original.most_likely_path_successor("main", trace, ("B", "X"))
+
+    def test_multi_procedure_profiles(self):
+        profiles = collect_profiles(call_program(), input_tape=[4])
+        stream = io.StringIO()
+        save_profile(profiles.path, stream)
+        stream.seek(0)
+        restored = load_profile(stream)
+        assert set(restored.paths) == {"main", "square"}
+
+    def test_formation_accepts_restored_profiles(self):
+        from repro.formation import form_superblocks, scheme
+
+        profiles = bundle()
+        edge_io, path_io = io.StringIO(), io.StringIO()
+        save_profile(profiles.edge, edge_io)
+        save_profile(profiles.path, path_io)
+        edge_io.seek(0)
+        path_io.seek(0)
+        result = form_superblocks(
+            diamond_program(),
+            scheme("P4"),
+            edge_profile=load_profile(edge_io),
+            path_profile=load_profile(path_io),
+        )
+        assert result.superblocks["main"]
+
+
+class TestErrors:
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            load_profile(io.StringIO('{"kind": "mystery"}'))
+
+    def test_cross_kind_constructors_reject(self):
+        with pytest.raises(ValueError):
+            edge_profile_from_dict({"kind": "path-profile"})
+        with pytest.raises(ValueError):
+            path_profile_from_dict({"kind": "edge-profile"})
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(TypeError):
+            save_profile(object(), io.StringIO())

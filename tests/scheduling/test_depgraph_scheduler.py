@@ -1,0 +1,336 @@
+"""Tests for the dependence graph and the top-down cycle scheduler."""
+
+import pytest
+
+from repro.analysis import compute_liveness
+from repro.formation import form_superblocks, scheme
+from repro.formation.superblock import Superblock
+from repro.ir import FunctionBuilder, Opcode, build_program
+from repro.ir import instructions as ins
+from repro.profiling import collect_profiles
+from repro.scheduling import (
+    MachineModel,
+    PAPER_MACHINE,
+    REALISTIC_MACHINE,
+    build_dependence_graph,
+    extract_superblock_code,
+    schedule_superblock,
+    verify_schedule,
+)
+from repro.scheduling.renaming import rename_superblock
+
+from tests.support import diamond_program, figure3_loop_program
+
+
+def build_code(make_blocks):
+    """Helper: make_blocks(fb) -> list of labels forming one superblock."""
+    fb = FunctionBuilder("main")
+    labels = make_blocks(fb)
+    program = build_program(fb)
+    proc = program.procedure("main")
+    liveness = compute_liveness(proc)
+    sb = Superblock("main", labels)
+    return proc, extract_superblock_code(proc, sb, liveness)
+
+
+def straightline(fb):
+    b = fb.block("entry")
+    a, bb, c = fb.regs(3)
+    b.li(a, 1)
+    b.li(bb, 2)
+    b.add(c, a, bb)
+    b.print_(c)
+    b.ret()
+    return ["entry"]
+
+
+class TestDepGraph:
+    def test_true_dependence(self):
+        proc, code = build_code(straightline)
+        graph = build_dependence_graph(code, PAPER_MACHINE)
+        # add (index 2) depends on both li's.
+        preds = {src for src, _ in graph.preds[2]}
+        assert {0, 1} <= preds
+
+    def test_latency_respects_machine(self):
+        def blocks(fb):
+            b = fb.block("entry")
+            a, bb, c = fb.regs(3)
+            b.li(a, 3)
+            b.li(bb, 4)
+            b.mul(c, a, bb)
+            b.print_(c)
+            b.ret()
+            return ["entry"]
+
+        proc, code = build_code(blocks)
+        graph = build_dependence_graph(code, REALISTIC_MACHINE)
+        lat = {src: l for src, l in graph.preds[3]}
+        assert lat[2] == REALISTIC_MACHINE.latency(Opcode.MUL)
+
+    def test_store_load_ordering(self):
+        def blocks(fb):
+            b = fb.block("entry")
+            addr, v, out = fb.regs(3)
+            b.li(addr, 10)
+            b.li(v, 42)
+            b.store(addr, v)
+            b.load(out, addr)
+            b.ret()
+            return ["entry"]
+
+        proc, code = build_code(blocks)
+        graph = build_dependence_graph(code, PAPER_MACHINE)
+        assert any(src == 2 and lat >= 1 for src, lat in graph.preds[3])
+
+    def test_loads_not_ordered_with_loads(self):
+        def blocks(fb):
+            b = fb.block("entry")
+            a1, a2, o1, o2 = fb.regs(4)
+            b.li(a1, 10)
+            b.li(a2, 20)
+            b.load(o1, a1)
+            b.load(o2, a2)
+            b.ret()
+            return ["entry"]
+
+        proc, code = build_code(blocks)
+        graph = build_dependence_graph(code, PAPER_MACHINE)
+        assert not any(src == 2 for src, _ in graph.preds[3])
+
+    def test_prints_ordered(self):
+        def blocks(fb):
+            b = fb.block("entry")
+            a = fb.reg()
+            b.li(a, 1)
+            b.print_(a)
+            b.print_(a)
+            b.ret()
+            return ["entry"]
+
+        proc, code = build_code(blocks)
+        graph = build_dependence_graph(code, PAPER_MACHINE)
+        assert any(src == 1 and lat == 1 for src, lat in graph.preds[2])
+
+    def test_side_effect_pinned_below_branch(self):
+        def blocks(fb):
+            entry = fb.block("entry")
+            out = fb.block("out")
+            nxt = fb.block("next")
+            c, addr, v = fb.regs(3)
+            entry.li(c, 1)
+            entry.br(c, "out", "next")
+            out.ret()
+            nxt.li(addr, 5)
+            nxt.li(v, 6)
+            nxt.store(addr, v)
+            nxt.ret()
+            return ["entry", "next"]
+
+        proc, code = build_code(blocks)
+        graph = build_dependence_graph(code, PAPER_MACHINE)
+        store_idx = next(
+            i
+            for i, instr in enumerate(code.instructions)
+            if instr.opcode is Opcode.STORE
+        )
+        br_idx = next(
+            i
+            for i, instr in enumerate(code.instructions)
+            if instr.opcode is Opcode.BR
+        )
+        assert any(
+            src == br_idx and lat >= 1 for src, lat in graph.preds[store_idx]
+        )
+
+    def test_pure_op_can_float_above_branch(self):
+        def blocks(fb):
+            entry = fb.block("entry")
+            out = fb.block("out")
+            nxt = fb.block("next")
+            c, x, y = fb.regs(3)
+            entry.li(c, 1)
+            entry.br(c, "out", "next")
+            out.ret()
+            nxt.li(x, 5)
+            nxt.li(y, 6)
+            nxt.ret()
+            return ["entry", "next"]
+
+        proc, code = build_code(blocks)
+        rename_superblock(code, proc)
+        graph = build_dependence_graph(code, PAPER_MACHINE)
+        li_idx = next(
+            i
+            for i, instr in enumerate(code.instructions)
+            if instr.opcode is Opcode.LI and instr.imm == 5
+        )
+        br_idx = next(
+            i
+            for i, instr in enumerate(code.instructions)
+            if instr.opcode is Opcode.BR
+        )
+        assert not any(src == br_idx for src, _ in graph.preds[li_idx])
+
+    def test_control_instructions_ordered(self):
+        program = diamond_program()
+        bundle = collect_profiles(program, input_tape=[10, 10, -1])
+        result = form_superblocks(
+            program,
+            scheme("M4"),
+            edge_profile=bundle.edge,
+            path_profile=bundle.path,
+        )
+        proc = result.program.procedure("main")
+        liveness = compute_liveness(proc)
+        big = max(result.superblocks["main"], key=lambda sb: sb.size_blocks)
+        code = extract_superblock_code(proc, big, liveness)
+        graph = build_dependence_graph(code, PAPER_MACHINE)
+        controls = [
+            i for i, instr in enumerate(code.instructions) if instr.is_control
+        ]
+        for a, b in zip(controls, controls[1:]):
+            assert any(src == a and lat >= 1 for src, lat in graph.preds[b])
+
+    def test_call_is_barrier(self):
+        def blocks(fb):
+            b = fb.block("entry")
+            x, y = fb.regs(2)
+            b.li(x, 1)
+            b.emit(ins.call("main", (), None))
+            b.li(y, 2)
+            b.ret()
+            return ["entry"]
+
+        proc, code = build_code(blocks)
+        graph = build_dependence_graph(code, PAPER_MACHINE)
+        # call (idx 1) depends on li before, and li after depends on call.
+        assert any(src == 0 for src, _ in graph.preds[1])
+        assert any(src == 1 and lat >= 1 for src, lat in graph.preds[2])
+
+
+class TestScheduler:
+    def test_independent_ops_share_cycle(self):
+        def blocks(fb):
+            b = fb.block("entry")
+            regs = fb.regs(6)
+            for i, r in enumerate(regs):
+                b.li(r, i)
+            b.ret()
+            return ["entry"]
+
+        proc, code = build_code(blocks)
+        sched = schedule_superblock(code, PAPER_MACHINE)
+        assert verify_schedule(sched) == []
+        # 6 li's in cycle 0, ret in its own (control) slot cycle 0 too.
+        assert sched.bundles[0] and len(sched.bundles[0]) >= 6
+
+    def test_issue_width_respected(self):
+        def blocks(fb):
+            b = fb.block("entry")
+            regs = fb.regs(20)
+            for i, r in enumerate(regs):
+                b.li(r, i)
+            b.ret()
+            return ["entry"]
+
+        proc, code = build_code(blocks)
+        sched = schedule_superblock(code, PAPER_MACHINE)
+        assert verify_schedule(sched) == []
+        for bundle in sched.bundles:
+            assert len(bundle) <= PAPER_MACHINE.issue_width
+
+    def test_narrow_machine(self):
+        def blocks(fb):
+            b = fb.block("entry")
+            regs = fb.regs(8)
+            for i, r in enumerate(regs):
+                b.li(r, i)
+            b.ret()
+            return ["entry"]
+
+        proc, code = build_code(blocks)
+        narrow = MachineModel(issue_width=2)
+        sched = schedule_superblock(code, narrow)
+        assert verify_schedule(sched) == []
+        assert sched.length >= 4
+
+    def test_dependence_chain_serializes(self):
+        def blocks(fb):
+            b = fb.block("entry")
+            r = fb.regs(5)
+            b.li(r[0], 1)
+            for i in range(1, 5):
+                b.add(r[i], r[i - 1], r[i - 1])
+            b.print_(r[4])
+            b.ret()
+            return ["entry"]
+
+        proc, code = build_code(blocks)
+        sched = schedule_superblock(code, PAPER_MACHINE)
+        assert verify_schedule(sched) == []
+        assert sched.length >= 5
+
+    def test_realistic_latencies_lengthen_schedule(self):
+        def blocks(fb):
+            b = fb.block("entry")
+            a, bb, c, d = fb.regs(4)
+            b.li(a, 3)
+            b.li(bb, 4)
+            b.mul(c, a, bb)
+            b.mul(d, c, c)
+            b.print_(d)
+            b.ret()
+            return ["entry"]
+
+        proc, code = build_code(blocks)
+        fast = schedule_superblock(code, PAPER_MACHINE)
+        slow = schedule_superblock(code, REALISTIC_MACHINE)
+        assert verify_schedule(slow) == []
+        assert slow.length > fast.length
+
+    def test_speculation_happens_and_is_marked(self):
+        # Code after a side exit floats above it once renamed.
+        def blocks(fb):
+            entry = fb.block("entry")
+            out = fb.block("out")
+            nxt = fb.block("next")
+            c = fb.reg()
+            regs = fb.regs(4)
+            entry.li(c, 1)
+            entry.br(c, "out", "next")
+            out.ret()
+            for i, r in enumerate(regs):
+                nxt.li(r, i)
+            nxt.print_(regs[3])
+            nxt.ret()
+            return ["entry", "next"]
+
+        proc, code = build_code(blocks)
+        rename_superblock(code, proc)
+        sched = schedule_superblock(code, PAPER_MACHINE)
+        assert verify_schedule(sched) == []
+        spec = [op for op in sched.ops if op.speculative]
+        assert spec, "renamed pure ops should speculate above the branch"
+        for op in spec:
+            assert op.instr.is_pure or op.instr.opcode in (
+                Opcode.LOAD,
+                Opcode.LOAD_S,
+            )
+
+    def test_end_to_end_superblock_from_formation(self):
+        program = figure3_loop_program()
+        bundle = collect_profiles(program, input_tape=[24, 0])
+        result = form_superblocks(
+            program,
+            scheme("P4"),
+            edge_profile=bundle.edge,
+            path_profile=bundle.path,
+        )
+        proc = result.program.procedure("main")
+        liveness = compute_liveness(proc)
+        for sb in result.superblocks["main"]:
+            code = extract_superblock_code(proc, sb, liveness)
+            rename_superblock(code, proc)
+            sched = schedule_superblock(code, PAPER_MACHINE)
+            assert verify_schedule(sched) == []

@@ -1,0 +1,188 @@
+"""Tests for superblock linearization and register renaming."""
+
+from repro.analysis import compute_liveness
+from repro.formation import form_superblocks, scheme
+from repro.formation.superblock import Superblock
+from repro.ir import FunctionBuilder, Opcode, build_program
+from repro.profiling import collect_profiles
+from repro.scheduling import extract_superblock_code
+from repro.scheduling.renaming import rename_superblock
+
+from tests.support import diamond_program
+
+
+def formed(program, name, tape):
+    bundle = collect_profiles(program, input_tape=tape)
+    return form_superblocks(
+        program, scheme(name), edge_profile=bundle.edge, path_profile=bundle.path
+    )
+
+
+class TestExtraction:
+    def test_internal_jump_dropped(self):
+        result = formed(diamond_program(), "M4", [10, 10, 10, 60] * 6 + [-1])
+        proc = result.program.procedure("main")
+        liveness = compute_liveness(proc)
+        big = max(
+            result.superblocks["main"], key=lambda sb: sb.size_blocks
+        )
+        code = extract_superblock_code(proc, big, liveness)
+        # jmp instructions to the next member block are gone.
+        for i, instr in enumerate(code.instructions[:-1]):
+            if instr.opcode is Opcode.JMP:
+                info = code.exits[instr]
+                assert info.on_trace_target is None
+
+    def test_exit_annotations_cover_all_terminators(self):
+        result = formed(diamond_program(), "M4", [10, 11, 60] * 4 + [-1])
+        proc = result.program.procedure("main")
+        liveness = compute_liveness(proc)
+        for sb in result.superblocks["main"]:
+            code = extract_superblock_code(proc, sb, liveness)
+            assert code.instructions[-1] in code.exits
+            for instr in code.instructions:
+                if instr.opcode in (Opcode.BR, Opcode.MBR):
+                    assert instr in code.exits
+
+    def test_instructions_are_copies(self):
+        result = formed(diamond_program(), "BB", [10, -1])
+        proc = result.program.procedure("main")
+        liveness = compute_liveness(proc)
+        sb = result.superblocks["main"][0]
+        code = extract_superblock_code(proc, sb, liveness)
+        originals = {
+            id(i) for label in sb.labels for i in proc.block(label).instructions
+        }
+        for instr in code.instructions:
+            assert id(instr) not in originals
+
+    def test_exit_live_is_off_trace_live_in(self):
+        fb = FunctionBuilder("main")
+        entry = fb.block("entry")
+        out = fb.block("out")
+        nxt = fb.block("next")
+        x, c = fb.regs(2)
+        entry.li(x, 7)
+        entry.li(c, 1)
+        entry.br(c, "out", "next")
+        out.print_(x)
+        out.ret()
+        nxt.ret()
+        program = build_program(fb)
+        proc = program.procedure("main")
+        liveness = compute_liveness(proc)
+        sb = Superblock("main", ["entry", "next"])
+        code = extract_superblock_code(proc, sb, liveness)
+        br = code.instructions[2]
+        assert code.exits[br].on_trace_target == "next"
+        assert code.exits[br].live == {x}
+
+
+class TestRenaming:
+    def _entry_code(self, fb_program, sb_labels):
+        proc = fb_program.procedure("main")
+        liveness = compute_liveness(proc)
+        sb = Superblock("main", sb_labels)
+        return proc, extract_superblock_code(proc, sb, liveness)
+
+    def test_defs_get_fresh_registers(self):
+        fb = FunctionBuilder("main")
+        b = fb.block("entry")
+        x = fb.reg()
+        b.li(x, 1)
+        b.li(x, 2)
+        b.print_(x)
+        b.ret()
+        program = build_program(fb)
+        proc, code = self._entry_code(program, ["entry"])
+        bound = proc.max_reg
+        rename_superblock(code, proc)
+        defs = [i.dest for i in code.instructions if i.dest is not None]
+        assert all(d >= bound for d in defs)
+        assert len(set(defs)) == len(defs)  # no WAW left
+
+    def test_uses_follow_renaming(self):
+        fb = FunctionBuilder("main")
+        b = fb.block("entry")
+        x, y = fb.regs(2)
+        b.li(x, 1)
+        b.add(y, x, x)
+        b.print_(y)
+        b.ret()
+        program = build_program(fb)
+        proc, code = self._entry_code(program, ["entry"])
+        rename_superblock(code, proc)
+        li, add, pr = code.instructions[0], code.instructions[1], code.instructions[2]
+        assert add.srcs == (li.dest, li.dest)
+        assert pr.srcs == (add.dest,)
+
+    def test_exit_live_def_materialized(self):
+        # x is live at the side exit: its def must be followed by a move
+        # back into the architectural register.
+        fb = FunctionBuilder("main")
+        entry = fb.block("entry")
+        out = fb.block("out")
+        nxt = fb.block("next")
+        x, c = fb.regs(2)
+        entry.li(x, 7)
+        entry.li(c, 1)
+        entry.br(c, "out", "next")
+        out.print_(x)
+        out.ret()
+        nxt.ret()
+        program = build_program(fb)
+        proc, code = self._entry_code(program, ["entry", "next"])
+        rename_superblock(code, proc)
+        movs = [
+            i
+            for i in code.instructions
+            if i.opcode is Opcode.MOV and i.dest == x
+        ]
+        assert len(movs) == 1
+
+    def test_dead_off_trace_def_not_materialized(self):
+        fb = FunctionBuilder("main")
+        entry = fb.block("entry")
+        out = fb.block("out")
+        nxt = fb.block("next")
+        x, c = fb.regs(2)
+        entry.li(x, 7)
+        entry.li(c, 1)
+        entry.br(c, "out", "next")
+        out.ret()  # x dead off-trace
+        nxt.print_(x)
+        nxt.ret()
+        program = build_program(fb)
+        proc, code = self._entry_code(program, ["entry", "next"])
+        rename_superblock(code, proc)
+        movs = [i for i in code.instructions if i.opcode is Opcode.MOV]
+        assert movs == []
+
+    def test_branch_sources_renamed(self):
+        fb = FunctionBuilder("main")
+        entry = fb.block("entry")
+        out = fb.block("out")
+        nxt = fb.block("next")
+        c = fb.reg()
+        entry.li(c, 1)
+        entry.br(c, "out", "next")
+        out.ret()
+        nxt.ret()
+        program = build_program(fb)
+        proc, code = self._entry_code(program, ["entry", "next"])
+        rename_superblock(code, proc)
+        li, br = code.instructions[0], code.instructions[1]
+        assert br.srcs == (li.dest,)
+
+    def test_control_instruction_identity_preserved(self):
+        program = diamond_program()
+        proc = program.procedure("main").copy()
+        # wrap in a program copy context for extraction
+        result = formed(diamond_program(), "BB", [10, -1])
+        tproc = result.program.procedure("main")
+        liveness = compute_liveness(tproc)
+        sb = result.superblocks["main"][0]
+        code = extract_superblock_code(tproc, sb, liveness)
+        exits_before = set(code.exits)
+        rename_superblock(code, tproc)
+        assert set(code.exits) == exits_before

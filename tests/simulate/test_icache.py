@@ -1,0 +1,67 @@
+"""Tests for the direct-mapped instruction cache model."""
+
+import pytest
+
+from repro.simulate import ICache, ICacheConfig
+
+
+class TestGeometry:
+    def test_default_is_papers_cache(self):
+        cache = ICache()
+        assert cache.config.size_bytes == 32 * 1024
+        assert cache.config.line_bytes == 32
+        assert cache.config.miss_penalty == 6
+        assert cache.config.num_lines == 1024
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ICache(ICacheConfig(size_bytes=100, line_bytes=32))
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = ICache()
+        assert cache.access(0) is True
+        assert cache.access(4) is False  # same 32-byte line
+        assert cache.access(28) is False
+        assert cache.access(32) is True  # next line
+
+    def test_conflict_eviction(self):
+        cache = ICache()
+        size = cache.config.size_bytes
+        assert cache.access(0) is True
+        assert cache.access(size) is True  # same index, different tag
+        assert cache.access(0) is True  # evicted
+
+    def test_distinct_indices_coexist(self):
+        cache = ICache()
+        assert cache.access(0) is True
+        assert cache.access(32) is True
+        assert cache.access(0) is False
+        assert cache.access(32) is False
+
+    def test_miss_rate(self):
+        cache = ICache()
+        for _ in range(3):
+            cache.access(0)
+        assert cache.accesses == 3
+        assert cache.misses == 1
+        assert abs(cache.miss_rate - 1 / 3) < 1e-9
+
+    def test_reset(self):
+        cache = ICache()
+        cache.access(0)
+        cache.reset()
+        assert cache.accesses == 0
+        assert cache.access(0) is True
+
+    def test_empty_cache_miss_rate_zero(self):
+        assert ICache().miss_rate == 0.0
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = ICache(ICacheConfig(size_bytes=1024, line_bytes=32))
+        span = 2048
+        for _ in range(3):
+            for addr in range(0, span, 32):
+                cache.access(addr)
+        assert cache.miss_rate == 1.0

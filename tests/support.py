@@ -1,0 +1,195 @@
+"""Shared IR fixtures for the test suite.
+
+These builders produce the small control-flow shapes the paper reasons
+about: the Figure 1 diamond, the Figure 3 conditional loop, straight-line
+code, and a couple of call-heavy programs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.ir import FunctionBuilder, Opcode, Program, build_program
+
+
+def straightline_program(values: Sequence[int] = (1, 2, 3)) -> Program:
+    """main: prints sum of ``values`` computed in straight-line code."""
+    fb = FunctionBuilder("main")
+    b = fb.block("entry")
+    acc = fb.reg()
+    b.li(acc, 0)
+    for v in values:
+        tmp = fb.reg()
+        b.li(tmp, v)
+        b.add(acc, acc, tmp)
+    b.print_(acc)
+    b.ret(acc)
+    return build_program(fb)
+
+
+def diamond_program() -> Program:
+    """The Figure 1 shape: A branches to B or X; B branches to C or Y.
+
+    main reads words from input; for each word ``w``:
+      * block A: w < 50 goes to B, otherwise X
+      * block B: w % 2 == 0 goes to C, otherwise Y
+    Blocks X, C, Y each print a distinguishing tag, then loop back to A.
+    A negative read ends the program.
+    """
+    fb = FunctionBuilder("main")
+    a = fb.block("A")
+    b = fb.block("B")
+    c = fb.block("C")
+    x = fb.block("X")
+    y = fb.block("Y")
+    done = fb.block("done")
+
+    w = fb.reg()
+    t = fb.reg()
+    fifty = fb.reg()
+    zero = fb.reg()
+    two = fb.reg()
+    tag = fb.reg()
+
+    a.read(w)
+    a.li(zero, 0)
+    a.cmplt(t, w, zero)
+    a.br(t, "done", "A_test")
+
+    a2 = fb.block("A_test")
+    a2.li(fifty, 50)
+    a2.cmplt(t, w, fifty)
+    a2.br(t, "B", "X")
+
+    b.li(two, 2)
+    b.mod(t, w, two)
+    b.br(t, "Y", "C")
+
+    c.li(tag, 100)
+    c.print_(tag)
+    c.jmp("A")
+
+    x.li(tag, 200)
+    x.print_(tag)
+    x.jmp("A")
+
+    y.li(tag, 300)
+    y.print_(tag)
+    y.jmp("A")
+
+    done.ret()
+    return build_program(fb)
+
+
+def figure3_loop_program() -> Program:
+    """The Figure 3 loop: ``A`` tests a condition; ``B`` and ``C`` are the
+    two arms; ``D`` closes the loop.
+
+    Reads a count and a pattern selector ``mode`` from input.  ``mode 0``
+    alternates T,T,T,F (the ``alt`` microbenchmark pattern); ``mode 1`` is
+    phased (first 2/3 true, then false) like ``ph``.
+    """
+    fb = FunctionBuilder("main")
+    entry = fb.block("entry")
+    a = fb.block("A")
+    b = fb.block("B")
+    c = fb.block("C")
+    d = fb.block("D")
+    exit_ = fb.block("exit")
+
+    n = fb.reg()
+    mode = fb.reg()
+    i = fb.reg()
+    t = fb.reg()
+    cond = fb.reg()
+    four = fb.reg()
+    three = fb.reg()
+    acc = fb.reg()
+    lim = fb.reg()
+
+    entry.read(n)
+    entry.read(mode)
+    entry.li(i, 0)
+    entry.li(acc, 0)
+    entry.jmp("A")
+
+    # A: decide which arm to take this iteration.
+    a.li(four, 4)
+    a.mod(t, i, four)
+    a.li(three, 3)
+    a.cmplt(cond, t, three)  # mode 0: true 3 of every 4 iterations
+    a.br(mode, "A_phased", "A_alt")
+
+    a_alt = fb.block("A_alt")
+    a_alt.br(cond, "B", "C")
+
+    a_ph = fb.block("A_phased")
+    two = fb.reg()
+    a_ph.li(three, 3)
+    a_ph.li(two, 2)
+    a_ph.mul(lim, n, two)
+    a_ph.div(lim, lim, three)
+    a_ph.cmplt(cond, i, lim)  # first 2n/3 iterations go left
+    a_ph.br(cond, "B", "C")
+
+    one = fb.reg()
+    b.li(one, 1)
+    b.add(acc, acc, one)
+    b.jmp("D")
+
+    c.li(one, 10)
+    c.add(acc, acc, one)
+    c.jmp("D")
+
+    d.li(one, 1)
+    d.add(i, i, one)
+    d.cmplt(t, i, n)
+    d.br(t, "A", "exit")
+
+    exit_.print_(acc)
+    exit_.ret(acc)
+    return build_program(fb)
+
+
+def call_program() -> Program:
+    """main calls ``square`` in a loop; exercises frames and call counting."""
+    sq = FunctionBuilder("square", num_params=1)
+    sb = sq.block("entry")
+    (p,) = sq.params
+    r = sq.reg()
+    sb.mul(r, p, p)
+    sb.ret(r)
+
+    fb = FunctionBuilder("main")
+    entry = fb.block("entry")
+    loop = fb.block("loop")
+    body = fb.block("body")
+    done = fb.block("done")
+    i = fb.reg()
+    n = fb.reg()
+    t = fb.reg()
+    s = fb.reg()
+    one = fb.reg()
+
+    entry.read(n)
+    entry.li(i, 0)
+    entry.jmp("loop")
+    loop.cmplt(t, i, n)
+    loop.br(t, "body", "done")
+    body.call("square", [i], dest=s)
+    body.print_(s)
+    body.li(one, 1)
+    body.add(i, i, one)
+    body.jmp("loop")
+    done.ret()
+    return build_program(fb, sq)
+
+
+def alternating_branch_trace(n: int, period: int = 4) -> List[int]:
+    """Input tape making the diamond take B for ``period-1`` of each
+    ``period`` iterations (values < 50), then X once (values >= 50)."""
+    tape = []
+    for k in range(n):
+        tape.append(10 if k % period != period - 1 else 60)
+    tape.append(-1)
+    return tape

@@ -1,0 +1,56 @@
+"""Tests for the top-level command line (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_suite(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("alt", "gcc", "vortex"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_workload(self, capsys):
+        code = main(
+            ["run", "--workload", "alt", "--schemes", "BB", "P4",
+             "--scale", "0.1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BB" in out and "P4" in out and "cycles" in out
+
+    def test_run_with_icache(self, capsys):
+        code = main(
+            ["run", "--workload", "corr", "--schemes", "M4",
+             "--scale", "0.1", "--icache"]
+        )
+        assert code == 0
+        assert "miss%" in capsys.readouterr().out
+
+    def test_run_source_file(self, tmp_path, capsys):
+        source = tmp_path / "prog.mc"
+        source.write_text(
+            "func main() { var x = read(); print(x * 2); }"
+        )
+        code = main(
+            ["run", "--source", str(source), "--schemes", "BB",
+             "--train", "5", "--test", "7"]
+        )
+        assert code == 0
+        assert "BB" in capsys.readouterr().out
+
+    def test_run_requires_target(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_realistic_machine_flag(self, capsys):
+        code = main(
+            ["run", "--workload", "alt", "--schemes", "BB",
+             "--scale", "0.05", "--realistic"]
+        )
+        assert code == 0
+        assert "realistic" in capsys.readouterr().out

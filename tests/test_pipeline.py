@@ -1,0 +1,119 @@
+"""Tests for the top-level pipeline driver (repro.pipeline)."""
+
+import pytest
+
+from repro.formation import scheme
+from repro.frontend import compile_source
+from repro.pipeline import OutputMismatch, SchemeOutcome, run_scheme
+from repro.profiling import collect_profiles
+from repro.scheduling import REALISTIC_MACHINE
+
+from tests.support import diamond_program, figure3_loop_program
+
+WC_SRC = """
+func main() {
+    var words = 0;
+    var chars = 0;
+    var in_word = 0;
+    var c = read();
+    while (c >= 0) {
+        chars = chars + 1;
+        if (c == 32 || c == 10) {
+            in_word = 0;
+        } else {
+            if (in_word == 0) { words = words + 1; }
+            in_word = 1;
+        }
+        c = read();
+    }
+    print(words);
+    print(chars);
+}
+"""
+
+
+def text_tape(text):
+    return [ord(ch) for ch in text] + [-1]
+
+
+class TestRunScheme:
+    def test_outcome_fields_populated(self):
+        out = run_scheme(diamond_program(), "P4", [10, 10, -1], [10, -1])
+        assert isinstance(out, SchemeOutcome)
+        assert out.scheme == "P4"
+        assert out.reference is not None
+        assert out.formation.scheme == "P4"
+        assert out.layout.code_bytes > 0
+        assert out.cached_result is None
+
+    def test_icache_results_on_request(self):
+        out = run_scheme(
+            diamond_program(), "M4", [10, 10, -1], [10, -1], with_icache=True
+        )
+        assert out.cached_result is not None
+        assert out.cached_result.icache_accesses > 0
+
+    def test_profiles_reusable_across_schemes(self):
+        program = diamond_program()
+        bundle = collect_profiles(program, input_tape=[10, 10, 60, -1])
+        a = run_scheme(
+            program, "M4", [], [10, -1], profiles=bundle
+        )
+        b = run_scheme(
+            program, "P4", [], [10, -1], profiles=bundle
+        )
+        assert a.profiles is bundle and b.profiles is bundle
+
+    def test_custom_config_overrides_name(self):
+        config = scheme("P4", max_instructions=32)
+        out = run_scheme(
+            diamond_program(),
+            "P4",
+            [10, 10, -1],
+            [10, -1],
+            config=config,
+        )
+        assert out.scheme == "P4"
+
+    def test_check_output_can_be_disabled(self):
+        out = run_scheme(
+            diamond_program(),
+            "BB",
+            [10, -1],
+            [10, -1],
+            check_output=False,
+        )
+        assert out.reference is None
+
+    def test_realistic_machine_pipeline(self):
+        out = run_scheme(
+            figure3_loop_program(),
+            "P4",
+            [24, 0],
+            [16, 0],
+            machine=REALISTIC_MACHINE,
+        )
+        assert out.result.cycles > 0
+
+
+class TestWordCount:
+    """The paper's wc benchmark shape: train on one text, test another."""
+
+    @pytest.mark.parametrize("name", ["BB", "M4", "M16", "P4", "P4e"])
+    def test_wc_counts_correctly(self, name):
+        program = compile_source(WC_SRC)
+        train = text_tape("the quick brown fox\njumps over the lazy dog\n")
+        test = text_tape("path profiles  beat edge profiles\n")
+        out = run_scheme(program, name, train, test)
+        words = 5
+        chars = len("path profiles  beat edge profiles\n")
+        assert out.result.output == [words, chars]
+
+    def test_path_beats_bb_on_wc(self):
+        program = compile_source(WC_SRC)
+        text = "word " * 60 + "\n"
+        train = text_tape(text)
+        test = text_tape("another set of words " * 40)
+        bb = run_scheme(program, "BB", train, test)
+        p4 = run_scheme(program, "P4", train, test)
+        assert p4.result.cycles < bb.result.cycles

@@ -1,0 +1,164 @@
+"""Regression tests for bugs found during development.
+
+Each test pins the exact failure mode so it cannot silently return:
+
+1. *allocator interval clobber* — temp live intervals computed over the
+   preschedule order let two overlapping (in program order) values share a
+   register; the postschedule then read a clobbered value.
+2. *move renaming lost* — the materializing-move special case mapped the
+   architectural register to itself, so consumers waited on the move and
+   every MiniC assignment serialized the schedule.
+3. *LIFO register reuse* — the free list handed back the most recently
+   freed register, recreating the anti-dependences renaming had removed.
+4. *unroll copy drift* — the classical unroller copied the loop body after
+   retargeting its back edge, disconnecting later copies.
+5. *self-referential path-enlargement labels* — stopped growth left arms
+   pointing into superblock middles; the fixup pass must redirect them to
+   an equivalent head (closing unrolled loops) instead of cascading chains.
+"""
+
+from repro.frontend import compile_source
+from repro.interp import run_program
+from repro.pipeline import run_scheme
+
+WC3_SRC = """
+func main() {
+    var count = 0;
+    var length = 0;
+    var c = read();
+    while (c >= 0) {
+        if (c == 32 || c == 10) {
+            if (length > 0 && length % 3 == 0) {
+                count = count + 1;
+            }
+            length = 0;
+        } else {
+            length = length + 1;
+        }
+        c = read();
+    }
+    print(count);
+}
+"""
+
+
+def text(words):
+    tape = []
+    for word in words:
+        tape.extend(ord(ch) for ch in word)
+        tape.append(32)
+    tape.append(-1)
+    return tape
+
+
+class TestAllocatorIntervalClobber:
+    """Bug 1: VN + allocation + postschedule lost a zero constant."""
+
+    def test_wc3_all_schemes(self):
+        program = compile_source(WC3_SRC)
+        train = text(["alpha", "bee", "gamma", "de", "epsilon", "zig"] * 6)
+        test = text(["one", "three", "fifteen", "x", "abcdef", "ninety"])
+        reference = run_program(compile_source(WC3_SRC), input_tape=test)
+        for scheme in ("BB", "M4", "M16", "P4", "P4e"):
+            out = run_scheme(program, scheme, train, test)
+            assert out.result.output == reference.output, scheme
+
+    def test_minimal_clobber_case(self):
+        program = compile_source(WC3_SRC)
+        train = text(["ab", "cde"] * 3)
+        test = [97, 98, 99, 32, -1]
+        out = run_scheme(program, "M4", train, test)
+        assert out.result.output == [1]
+
+
+class TestMoveRenamingAndReuse:
+    """Bugs 2+3: assignments must not serialize superblock schedules."""
+
+    LOOP_SRC = """
+    func main() {
+        var acc = 0;
+        var n = read();
+        for (var i = 0; i < n; i = i + 1) {
+            if (i % 4 != 3) { acc = acc + i; } else { acc = acc - i; }
+        }
+        print(acc);
+    }
+    """
+
+    def test_unrolled_loop_overlaps_iterations(self):
+        # With move renaming + round-robin reuse, the unrolled loop must
+        # run well under the ~10 cycles/iteration of the serialized
+        # schedule this regression originally produced.
+        program = compile_source(self.LOOP_SRC)
+        iterations = 400
+        out = run_scheme(program, "M4", [400], [iterations])
+        cycles_per_iteration = out.result.cycles / iterations
+        assert cycles_per_iteration < 6.0, cycles_per_iteration
+
+    def test_superblock_schemes_still_beat_bb_substantially(self):
+        program = compile_source(self.LOOP_SRC)
+        bb = run_scheme(program, "BB", [400], [400])
+        m4 = run_scheme(program, "M4", [400], [400])
+        assert m4.result.cycles * 2 < bb.result.cycles
+
+
+class TestUnrollCopyDrift:
+    """Bug 4: unrolled bodies must chain head -> copy1 -> ... -> head."""
+
+    def test_m4_formation_connected(self):
+        from repro.formation import form_superblocks, scheme, verify_formation
+        from repro.profiling import collect_profiles
+        from tests.support import figure3_loop_program
+
+        program = figure3_loop_program()
+        bundle = collect_profiles(program, input_tape=[24, 0])
+        result = form_superblocks(
+            program,
+            scheme("M16"),
+            edge_profile=bundle.edge,
+            path_profile=bundle.path,
+        )
+        assert verify_formation(result) == []
+
+
+class TestEquivalentHeadFixup:
+    """Bug 5: path-unrolled loops close back onto a head, not onto an
+    ever-growing cascade of suffix chains."""
+
+    def test_p4_loop_tail_targets_a_head(self):
+        from repro.formation import form_superblocks, scheme
+        from repro.profiling import collect_profiles
+        from tests.support import figure3_loop_program
+
+        program = figure3_loop_program()
+        bundle = collect_profiles(program, input_tape=[24, 0])
+        result = form_superblocks(
+            program,
+            scheme("P4"),
+            edge_profile=bundle.edge,
+            path_profile=bundle.path,
+        )
+        proc = result.program.procedure("main")
+        heads = {sb.head for sb in result.superblocks["main"]}
+        loops = [sb for sb in result.superblocks["main"] if sb.is_loop]
+        assert loops
+        for sb in loops:
+            for target in proc.block(sb.labels[-1]).successors():
+                assert target in heads
+
+    def test_code_growth_bounded(self):
+        from repro.formation import form_superblocks, scheme
+        from repro.profiling import collect_profiles
+        from tests.support import figure3_loop_program
+
+        program = figure3_loop_program()
+        bundle = collect_profiles(program, input_tape=[24, 1])
+        result = form_superblocks(
+            program,
+            scheme("P4"),
+            edge_profile=bundle.edge,
+            path_profile=bundle.path,
+        )
+        # The cascade bug blew this up ~20x; equivalent-head repair keeps
+        # expansion within the enlargement budget.
+        assert result.program.instruction_count() < 1200

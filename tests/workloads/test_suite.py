@@ -1,0 +1,123 @@
+"""Tests for the benchmark workload suite."""
+
+import pytest
+
+from repro.interp import run_program
+from repro.ir import verify_program
+from repro.workloads import (
+    MICRO_NAMES,
+    SPEC_NAMES,
+    SUITE_ORDER,
+    all_workloads,
+    get_workload,
+    workload_map,
+)
+
+SMALL = 0.12
+
+
+class TestSuiteShape:
+    def test_fourteen_workloads(self):
+        assert len(all_workloads()) == 14
+        assert len(SUITE_ORDER) == 14
+
+    def test_table1_order(self):
+        assert [w.name for w in all_workloads()] == SUITE_ORDER
+
+    def test_micro_and_spec_partition(self):
+        assert set(MICRO_NAMES) | set(SPEC_NAMES) == set(SUITE_ORDER)
+        assert not set(MICRO_NAMES) & set(SPEC_NAMES)
+
+    def test_lookup(self):
+        assert get_workload("gcc").name == "gcc"
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+    def test_every_workload_documents_substitution(self):
+        for w in all_workloads():
+            assert w.notes, f"{w.name} lacks substitution notes"
+
+    def test_categories(self):
+        categories = {w.name: w.category for w in all_workloads()}
+        assert categories["alt"] == "micro"
+        assert categories["com"] == "spec92"
+        assert categories["gcc"] == "spec95"
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_compiles_and_verifies(self, name):
+        program = get_workload(name).program()
+        assert verify_program(program) == []
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_runs_and_produces_output(self, name):
+        w = get_workload(name)
+        result = run_program(w.program(), input_tape=w.test_tape(SMALL))
+        assert result.output, f"{name} printed nothing"
+        assert result.instructions > 100
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_deterministic_tapes(self, name):
+        w = get_workload(name)
+        assert w.train_tape(SMALL) == w.train_tape(SMALL)
+        assert w.test_tape(SMALL) == w.test_tape(SMALL)
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_train_differs_from_test(self, name):
+        w = get_workload(name)
+        assert w.train_tape(SMALL) != w.test_tape(SMALL)
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_scale_shrinks_work(self, name):
+        w = get_workload(name)
+        small = run_program(w.program(), input_tape=w.test_tape(0.05))
+        big = run_program(w.program(), input_tape=w.test_tape(0.4))
+        assert small.instructions < big.instructions
+
+    def test_program_cache(self):
+        w = get_workload("alt")
+        assert w.program() is w.program()
+        assert w.fresh_program() is not w.program()
+
+
+class TestWorkloadSemantics:
+    def test_wc_counts(self):
+        w = get_workload("wc")
+        text = "ab cd\nef "
+        tape = [ord(c) for c in text] + [-1]
+        result = run_program(w.program(), input_tape=tape)
+        assert result.output == [1, 3, len(text)]
+
+    def test_alt_pattern_is_tttf(self):
+        w = get_workload("alt")
+        result = run_program(w.program(), input_tape=[8])
+        # i in 0..7: light for i%4 != 3 -> 0+1+2+4+5+6=18; heavy i=3,7
+        assert result.output == [18, (3 * 3 - 1) + (7 * 3 - 1)]
+
+    def test_ph_phases(self):
+        w = get_workload("ph")
+        result = run_program(w.program(), input_tape=[9])
+        cut = 6
+        first = sum(range(cut))
+        second = sum(i * 3 - 1 for i in range(cut, 9))
+        assert result.output == [first, second]
+
+    def test_m88k_executes_all_fuel(self):
+        w = get_workload("m88k")
+        result = run_program(w.program(), input_tape=w.test_tape(0.1))
+        assert result.output[0] == w.test_tape(0.1)[-1]  # executed == fuel
+
+    def test_vortex_hits_bounded_by_lookups(self):
+        w = get_workload("vortex")
+        result = run_program(w.program(), input_tape=w.test_tape(0.2))
+        inserts, hits, checksum = result.output
+        assert inserts > 0
+        assert hits >= 0
+
+    def test_com_reconstruction_invariant(self):
+        # literals + matched spans cover the whole input.
+        w = get_workload("com")
+        result = run_program(w.program(), input_tape=w.test_tape(0.2))
+        literals, matches, checksum = result.output
+        assert literals > 0 and matches > 0
