@@ -1,0 +1,197 @@
+"""Timing smoke test for the experiment engine's fast paths.
+
+Runs a small suite slice four ways — serial/uncached (the baseline every
+accelerator must match bit-for-bit), parallel, cold-cache, and warm-cache —
+plus a raw interpreter throughput probe, and writes the measurements to
+``BENCH_pipeline.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--scale 0.25] [--jobs 2]
+
+This is a smoke test, not a statistics-grade benchmark: one round per
+configuration, wall-clock via ``time.perf_counter``.  The headline numbers
+in EXPERIMENTS.md come from timing ``python -m repro.experiments all``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import ExperimentCache, run_suite  # noqa: E402
+from repro.interp.interpreter import run_program  # noqa: E402
+from repro.workloads.suite import workload_map  # noqa: E402
+
+SCHEMES = ["M4", "P4", "P4e"]
+NAMES = ["alt", "corr", "wc", "eqn", "m88k"]
+
+
+def _cycles(results):
+    return {f"{w}/{s}": o.result.cycles for (w, s), o in results.items()}
+
+
+def time_suite(label, **kwargs):
+    start = time.perf_counter()
+    results = run_suite(SCHEMES, NAMES, **kwargs)
+    wall = time.perf_counter() - start
+    print(f"  {label:<16} {wall:7.2f}s")
+    return wall, results
+
+
+#: ``python -m repro.experiments all --scale 0.25 --quiet`` on the growth
+#: seed (commit 49e8657, serial engine, no cache, no fast paths), measured
+#: on the same machine as the numbers this script writes.  The end-to-end
+#: speedups below are relative to this.
+SEED_ALL_SECONDS = {"0.25": 14.85, "1.0": 44.5}
+
+
+def time_all(label, scale, extra_args, env):
+    """Time one full ``python -m repro.experiments all`` child run."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.experiments",
+        "all",
+        "--scale",
+        str(scale),
+        "--quiet",
+    ] + extra_args
+    start = time.perf_counter()
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    wall = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise RuntimeError(f"{label} failed:\n{proc.stderr[-2000:]}")
+    print(f"  {label:<16} {wall:7.2f}s")
+    return wall, proc.stdout
+
+
+def end_to_end(scale):
+    """Time ``experiments all`` uncached vs cold- and warm-cached."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    with tempfile.TemporaryDirectory() as tmp:
+        env["REPRO_CACHE_DIR"] = tmp
+        uncached, out_uncached = time_all(
+            "all (no cache)", scale, ["--no-cache", "--jobs", "1"], env
+        )
+        cold, out_cold = time_all("all (cold)", scale, ["--jobs", "1"], env)
+        warm, out_warm = time_all("all (warm)", scale, ["--jobs", "1"], env)
+    assert out_cold == out_uncached, "cold-cache output diverged"
+    assert out_warm == out_uncached, "warm-cache output diverged"
+    seed = SEED_ALL_SECONDS.get(str(scale))
+    report = {
+        "command": f"python -m repro.experiments all --scale {scale} --quiet",
+        "wall_seconds": {
+            "no_cache": round(uncached, 2),
+            "cache_cold": round(cold, 2),
+            "cache_warm": round(warm, 2),
+        },
+        "outputs": "byte-identical across all three runs",
+    }
+    if seed:
+        report["seed_baseline_seconds"] = seed
+        report["speedup_vs_seed"] = {
+            "no_cache": round(seed / uncached, 2),
+            "cache_cold": round(seed / cold, 2),
+            "cache_warm": round(seed / warm, 2),
+        }
+    return report
+
+
+def interpreter_throughput(scale):
+    """Dynamic instructions per second through the reference interpreter."""
+    workload = workload_map()["eqn"]
+    program = workload.program()
+    tape = workload.test_tape(scale)
+    run_program(program, input_tape=tape)  # warm the decode cache
+    start = time.perf_counter()
+    result = run_program(program, input_tape=tape)
+    wall = time.perf_counter() - start
+    return result.instructions, wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_pipeline.json")
+    )
+    parser.add_argument(
+        "--skip-e2e",
+        action="store_true",
+        help="skip the full 'experiments all' timing runs (~30s)",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"perf_smoke: {len(NAMES)} workloads x {len(SCHEMES)} schemes,"
+        f" scale={args.scale}"
+    )
+
+    serial_wall, serial = time_suite("serial", scale=args.scale)
+    parallel_wall, parallel = time_suite(
+        f"parallel x{args.jobs}", scale=args.scale, jobs=args.jobs
+    )
+    assert _cycles(parallel) == _cycles(serial), "parallel parity broken"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ExperimentCache(path=tmp)
+        cold_wall, cold = time_suite("cache (cold)", scale=args.scale, cache=cache)
+        assert _cycles(cold) == _cycles(serial), "cold-cache parity broken"
+        warm_cache = ExperimentCache(path=tmp)
+        warm_wall, warm = time_suite(
+            "cache (warm)", scale=args.scale, cache=warm_cache
+        )
+        assert _cycles(warm) == _cycles(serial), "warm-cache parity broken"
+        hit_rate = warm_cache.stats.hit_rate
+
+    instructions, interp_wall = interpreter_throughput(args.scale)
+    ips = instructions / interp_wall if interp_wall else 0.0
+    print(f"  interpreter      {ips:,.0f} instructions/sec")
+
+    report = {
+        "benchmark": "experiment-engine smoke",
+        "workloads": NAMES,
+        "schemes": SCHEMES,
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "wall_seconds": {
+            "serial_uncached": round(serial_wall, 3),
+            "parallel": round(parallel_wall, 3),
+            "cache_cold": round(cold_wall, 3),
+            "cache_warm": round(warm_wall, 3),
+        },
+        "speedup_vs_serial": {
+            "parallel": round(serial_wall / parallel_wall, 2),
+            "cache_cold": round(serial_wall / cold_wall, 2),
+            "cache_warm": round(serial_wall / warm_wall, 2),
+        },
+        "warm_cache_hit_rate": round(hit_rate, 3),
+        "interpreter": {
+            "workload": "eqn",
+            "instructions": instructions,
+            "wall_seconds": round(interp_wall, 3),
+            "instructions_per_second": round(ips),
+        },
+        "parity": "cycles identical across all engines",
+    }
+    if not args.skip_e2e:
+        report["experiments_all"] = end_to_end(args.scale)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,18 @@ Usage::
 
     python -m repro.experiments table1
     python -m repro.experiments figure4 --scale 0.5
-    python -m repro.experiments all --scale 0.25
+    python -m repro.experiments all --scale 0.25 --jobs 4
+
+Performance flags:
+
+* ``--jobs N`` — run (workload, scheme) pipelines over N worker processes
+  (``0``, the default, means one per CPU; ``1`` forces the serial engine).
+* ``--no-cache`` — recompute everything, ignoring the on-disk result cache.
+* ``--cache-dir PATH`` — cache location (default ``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro-experiments``).
+
+All of them are result-transparent: the rendered tables and figures are
+byte-identical whatever their setting.
 """
 
 from __future__ import annotations
@@ -13,6 +24,7 @@ import argparse
 import sys
 
 from . import (
+    ExperimentCache,
     figure4,
     format_forward_vs_general,
     format_latency_sensitivity,
@@ -33,33 +45,39 @@ from . import (
     table1,
 )
 
+# Suite-backed experiments accept jobs/cache; the ablations are small
+# single-purpose loops and ignore them.
 EXPERIMENTS = {
-    "table1": lambda scale, verbose: format_table1(
-        table1(scale=scale, verbose=verbose)
+    "table1": lambda scale, verbose, jobs, cache: format_table1(
+        table1(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
     ),
-    "figure4": lambda scale, verbose: format_figure4(
-        figure4(scale=scale, verbose=verbose)
+    "figure4": lambda scale, verbose, jobs, cache: format_figure4(
+        figure4(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
     ),
-    "figure5": lambda scale, verbose: format_figure5(
-        figure5(scale=scale, verbose=verbose)
+    "figure5": lambda scale, verbose, jobs, cache: format_figure5(
+        figure5(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
     ),
-    "figure6": lambda scale, verbose: format_figure6(
-        figure6(scale=scale, verbose=verbose)
+    "figure6": lambda scale, verbose, jobs, cache: format_figure6(
+        figure6(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
     ),
-    "figure7": lambda scale, verbose: format_figure7(
-        figure7(scale=scale, verbose=verbose)
+    "figure7": lambda scale, verbose, jobs, cache: format_figure7(
+        figure7(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
     ),
-    "missrates": lambda scale, verbose: format_missrates(
-        missrates(scale=scale, verbose=verbose)
+    "missrates": lambda scale, verbose, jobs, cache: format_missrates(
+        missrates(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
     ),
-    "latency": lambda scale, verbose: format_latency_sensitivity(
+    "latency": lambda scale, verbose, jobs, cache: format_latency_sensitivity(
         latency_sensitivity(scale=scale, verbose=verbose)
     ),
-    "forwardpaths": lambda scale, verbose: format_forward_vs_general(
-        forward_vs_general(scale=scale, verbose=verbose)
+    "forwardpaths": lambda scale, verbose, jobs, cache: (
+        format_forward_vs_general(
+            forward_vs_general(scale=scale, verbose=verbose)
+        )
     ),
-    "prediction": lambda scale, verbose: format_static_prediction(
-        static_prediction(scale=scale, verbose=verbose)
+    "prediction": lambda scale, verbose, jobs, cache: (
+        format_static_prediction(
+            static_prediction(scale=scale, verbose=verbose)
+        )
     ),
 }
 
@@ -83,12 +101,33 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes for suite experiments (0 = one per CPU,"
+        " 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or"
+        " ~/.cache/repro-experiments)",
+    )
     args = parser.parse_args(argv)
 
+    cache = None if args.no_cache else ExperimentCache(path=args.cache_dir)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        print(EXPERIMENTS[name](args.scale, not args.quiet))
+        print(EXPERIMENTS[name](args.scale, not args.quiet, args.jobs, cache))
         print()
+    if cache is not None and not args.quiet:
+        print(f"[cache] {cache.stats.summary()}", file=sys.stderr)
     return 0
 
 

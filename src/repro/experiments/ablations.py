@@ -61,6 +61,9 @@ def latency_sensitivity(
         train = workload.train_tape(scale)
         test = workload.test_tape(scale)
         profiles = collect_profiles(program, input_tape=train)
+        # The interpreter reference is machine- and scheme-independent:
+        # one run checks all four pipeline outcomes below.
+        reference = run_program(program, input_tape=test)
         ratios = {}
         for machine in (PAPER_MACHINE, REALISTIC_MACHINE):
             cycles = {}
@@ -72,6 +75,7 @@ def latency_sensitivity(
                     test,
                     machine=machine,
                     profiles=profiles,
+                    reference=reference,
                 )
                 cycles[scheme_name] = outcome.result.cycles
             ratios[machine.name] = cycles["P4"] / cycles["M4"]
@@ -143,6 +147,7 @@ def forward_vs_general(
         profiles = collect_profiles(
             program, input_tape=train, include_forward=True
         )
+        reference = run_program(program, input_tape=test)
         cycles = {}
         for kind, path_profile in (
             ("general", profiles.path),
@@ -159,7 +164,6 @@ def forward_vs_general(
             )
             compiled = compact_program(formation)
             result = simulate(compiled, input_tape=test)
-            reference = run_program(program, input_tape=test)
             if result.output != reference.output:
                 raise AssertionError(
                     f"{name}/{kind}: scheduled output diverged"

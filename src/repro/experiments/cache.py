@@ -1,0 +1,335 @@
+"""Content-addressed result cache for the experiment engine.
+
+``python -m repro.experiments all`` regenerates every table and figure, and
+several figures share (workload, scheme) outcomes: Figure 4's ``M4``/``P4``
+pairs reappear in Figure 7, Figure 5's I-cache runs cover the miss-rate
+table, and so on.  The :class:`ExperimentCache` makes each outcome a
+content-addressed artifact: keys are SHA-256 digests over everything that
+determines the result — the program's printed IR, the full formation
+config, the training and testing tapes, the machine model, the I-cache
+geometry, and the interpreter/simulator budgets — so an outcome is computed
+once and replayed everywhere, across figures *and* across invocations.
+
+Two layers back the same keys:
+
+* an **in-process memo** (plain dict), which also preserves object sharing
+  within one ``experiments all`` run, and
+* an **on-disk pickle store** under ``~/.cache/repro-experiments`` (override
+  with ``$REPRO_CACHE_DIR`` or ``--cache-dir``), written atomically so
+  concurrent runs never observe torn entries.
+
+Because an I-cache outcome is a strict superset of the corresponding
+ideal-cache outcome (the simulator always produces the ideal ``result``
+alongside ``cached_result``), a miss on an ideal-cache key falls back to
+the matching I-cache entry with ``cached_result`` stripped — Figure 7 reuses
+Figure 5's work even though they simulate "different" cache models.
+
+Keys deliberately cover experiment *inputs*, not compiler internals: bump
+:data:`CACHE_FORMAT` (or wipe the directory / pass ``--no-cache``) after
+changing formation, scheduling, or simulation code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+from .. import __version__
+from ..ir.cfg import Program
+from ..ir.printer import format_program
+
+#: Bump to invalidate every existing cache entry (e.g. after a compiler or
+#: simulator behaviour change).
+CACHE_FORMAT = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the on-disk cache location (env override, then XDG-ish)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-experiments"
+
+
+# -- key construction ---------------------------------------------------------
+
+#: id(program) -> (program, fingerprint); the program reference keeps the id
+#: stable for the life of the memo entry.
+_FINGERPRINTS: Dict[int, tuple] = {}
+
+
+def program_fingerprint(program: Program) -> str:
+    """Digest of the program's printed IR (canonical per compiled program)."""
+    cached = _FINGERPRINTS.get(id(program))
+    if cached is not None and cached[0] is program:
+        return cached[1]
+    digest = hashlib.sha256(
+        format_program(program).encode("utf-8")
+    ).hexdigest()
+    _FINGERPRINTS[id(program)] = (program, digest)
+    return digest
+
+
+def _digest(*parts: Any) -> str:
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(repr(part).encode("utf-8"))
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()
+
+
+def outcome_key(
+    program: Program,
+    config: Any,
+    train_tape: Sequence[int],
+    test_tape: Sequence[int],
+    machine: Any,
+    with_icache: bool,
+    icache_config: Any,
+    step_limit: int = 50_000_000,
+    cycle_limit: int = 100_000_000,
+) -> str:
+    """Cache key for one full (program, scheme, inputs) pipeline outcome.
+
+    ``config`` is the full :class:`~repro.formation.FormationConfig` (its
+    dataclass repr covers every enlargement knob), never just the scheme
+    name — so changing a knob changes the key.
+    """
+    return _digest(
+        "outcome",
+        CACHE_FORMAT,
+        __version__,
+        program_fingerprint(program),
+        config,
+        tuple(train_tape),
+        tuple(test_tape),
+        machine,
+        bool(with_icache),
+        icache_config,
+        step_limit,
+        cycle_limit,
+    )
+
+
+def profile_key(
+    program: Program,
+    train_tape: Sequence[int],
+    depth: int,
+    include_forward: bool = False,
+    step_limit: int = 50_000_000,
+) -> str:
+    """Cache key for a training-run :class:`ProfileBundle`."""
+    return _digest(
+        "profile",
+        CACHE_FORMAT,
+        __version__,
+        program_fingerprint(program),
+        tuple(train_tape),
+        depth,
+        include_forward,
+        step_limit,
+    )
+
+
+def reference_key(
+    program: Program,
+    test_tape: Sequence[int],
+    step_limit: int = 50_000_000,
+) -> str:
+    """Cache key for a reference-interpreter run on the testing tape."""
+    return _digest(
+        "reference",
+        CACHE_FORMAT,
+        __version__,
+        program_fingerprint(program),
+        tuple(test_tape),
+        step_limit,
+    )
+
+
+# -- the cache ----------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, surfaced to the user after each experiment."""
+
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes answered from the cache."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def summary(self) -> str:
+        """One-line human-readable account of the cache's work."""
+        return (
+            f"{self.hits} hits ({self.disk_hits} from disk), "
+            f"{self.misses} misses, {self.stores} stores, "
+            f"{self.hit_rate * 100:.1f}% hit rate"
+        )
+
+
+class ExperimentCache:
+    """Two-layer (memo + disk) pickle cache for experiment artifacts.
+
+    Args:
+        path: cache directory; ``None`` resolves via ``$REPRO_CACHE_DIR``
+            then the per-user default.  Created lazily on first store.
+        memory_only: skip the disk layer entirely (useful in tests and as
+            a cheap intra-run memo).
+    """
+
+    def __init__(
+        self,
+        path: Optional[os.PathLike] = None,
+        memory_only: bool = False,
+    ) -> None:
+        self.path = Path(path) if path is not None else default_cache_dir()
+        self.memory_only = memory_only
+        self.stats = CacheStats()
+        self._memo: Dict[str, Any] = {}
+
+    def _entry_path(self, key: str) -> Path:
+        return self.path / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Fetch a cached artifact, or ``None`` on a miss.
+
+        Corrupt disk entries (torn writes from killed runs, format drift)
+        count as misses and are deleted.
+        """
+        value = self._memo.get(key)
+        if value is not None:
+            self.stats.hits += 1
+            return value
+        if not self.memory_only:
+            entry = self._entry_path(key)
+            try:
+                with open(entry, "rb") as handle:
+                    value = pickle.load(handle)
+            except FileNotFoundError:
+                pass
+            except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+            else:
+                self._memo[key] = value
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store an artifact under ``key`` (atomic on the disk layer)."""
+        self._memo[key] = value
+        self.stats.stores += 1
+        if self.memory_only:
+            return
+        entry = self._entry_path(key)
+        handle = None
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                mode="wb", dir=entry.parent, suffix=".tmp", delete=False
+            )
+            with handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, entry)
+        except OSError:
+            # An unwritable cache never fails the experiment; the memo
+            # layer above still has the value.
+            if handle is not None:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+
+    def memoize(self, key: str, value: Any) -> None:
+        """Record ``value`` in the in-process memo only (no disk write, no
+        store accounting) — used for derived artifacts like I-cache
+        downgrades that already exist on disk in richer form."""
+        self._memo[key] = value
+
+    def get_outcome(
+        self,
+        program: Program,
+        config: Any,
+        train_tape: Sequence[int],
+        test_tape: Sequence[int],
+        machine: Any,
+        with_icache: bool,
+        icache_config: Any,
+        step_limit: int = 50_000_000,
+        cycle_limit: int = 100_000_000,
+    ) -> Optional[Any]:
+        """Outcome lookup with the I-cache superset fallback.
+
+        An ideal-cache miss retries the corresponding I-cache key: the
+        finite-cache run contains the identical ideal ``result``, so the
+        entry is served with ``cached_result`` cleared.
+        """
+        key = outcome_key(
+            program,
+            config,
+            train_tape,
+            test_tape,
+            machine,
+            with_icache,
+            icache_config,
+            step_limit,
+            cycle_limit,
+        )
+        value = self.get(key)
+        if value is not None or with_icache:
+            return value
+        superset_key = outcome_key(
+            program,
+            config,
+            train_tape,
+            test_tape,
+            machine,
+            True,
+            icache_config,
+            step_limit,
+            cycle_limit,
+        )
+        superset = self._memo.get(superset_key)
+        if superset is None and not self.memory_only:
+            entry = self._entry_path(superset_key)
+            try:
+                with open(entry, "rb") as handle:
+                    superset = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+                superset = None
+        if superset is None:
+            return None
+        value = dataclasses.replace(superset, cached_result=None)
+        self.memoize(key, value)
+        # The exact-key probe above already counted a miss; take it back,
+        # the fallback answered it.
+        self.stats.misses -= 1
+        self.stats.hits += 1
+        return value

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..workloads.suite import MICRO_NAMES, SPEC_NAMES, SUITE_ORDER
+from .cache import ExperimentCache
 from .harness import SuiteResults, run_suite
 from .render import format_bars, format_table
 
@@ -73,11 +74,19 @@ def figure4(
     scale: float = 1.0,
     workload_names: Optional[Sequence[str]] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
 ) -> NormalizedSeries:
     """P4 vs M4 cycle counts, ideal I-cache, all benchmarks."""
     names = list(workload_names) if workload_names else SUITE_ORDER
     results = run_suite(
-        ["M4", "P4"], names, scale=scale, with_icache=False, verbose=verbose
+        ["M4", "P4"],
+        names,
+        scale=scale,
+        with_icache=False,
+        verbose=verbose,
+        jobs=jobs,
+        cache=cache,
     )
     return _normalized(results, names, ["P4"], baseline="M4", cached=False)
 
@@ -96,6 +105,8 @@ def figure5(
     scale: float = 1.0,
     workload_names: Optional[Sequence[str]] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
 ) -> NormalizedSeries:
     """P4 and P4e vs M4 through the 32KB direct-mapped I-cache."""
     names = list(workload_names) if workload_names else SPEC_NAMES
@@ -105,6 +116,8 @@ def figure5(
         scale=scale,
         with_icache=True,
         verbose=verbose,
+        jobs=jobs,
+        cache=cache,
     )
     return _normalized(
         results, names, ["P4", "P4e"], baseline="M4", cached=True
@@ -125,6 +138,8 @@ def figure6(
     scale: float = 1.0,
     workload_names: Optional[Sequence[str]] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
 ) -> NormalizedSeries:
     """P4e (paths, unroll 4) vs M16 (edges, unroll 16), I-cache included."""
     names = list(workload_names) if workload_names else SPEC_NAMES
@@ -134,6 +149,8 @@ def figure6(
         scale=scale,
         with_icache=True,
         verbose=verbose,
+        jobs=jobs,
+        cache=cache,
     )
     return _normalized(
         results, names, ["P4e", "M16"], baseline="M4", cached=True
@@ -164,11 +181,19 @@ def figure7(
     scale: float = 1.0,
     workload_names: Optional[Sequence[str]] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
 ) -> Figure7Data:
     """Blocks executed per dynamic superblock vs superblock size."""
     names = list(workload_names) if workload_names else SUITE_ORDER
     results = run_suite(
-        FIGURE7_SCHEMES, names, scale=scale, with_icache=False, verbose=verbose
+        FIGURE7_SCHEMES,
+        names,
+        scale=scale,
+        with_icache=False,
+        verbose=verbose,
+        jobs=jobs,
+        cache=cache,
     )
     data = Figure7Data()
     for wname in names:
@@ -214,6 +239,8 @@ def missrates(
     workload_names: Sequence[str] = ("gcc", "go"),
     schemes: Sequence[str] = ("M4", "P4", "P4e"),
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
 ) -> List[MissRateRow]:
     """The gcc/go miss-rate comparison of Section 4."""
     results = run_suite(
@@ -222,6 +249,8 @@ def missrates(
         scale=scale,
         with_icache=True,
         verbose=verbose,
+        jobs=jobs,
+        cache=cache,
     )
     rows = []
     for wname in workload_names:

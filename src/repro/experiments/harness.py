@@ -1,20 +1,40 @@
 """Shared experiment machinery: run workloads under several schemes.
 
 One training run is shared by all schemes of a workload (as in the paper,
-where one profiling pass feeds both the edge- and path-based compilers).
+where one profiling pass feeds both the edge- and path-based compilers),
+and one reference-interpreter run on the testing input checks all of them
+(the reference is scheme-independent).
+
+:func:`run_suite` is the engine behind every table and figure.  It layers
+three accelerators over the serial pipeline, all result-transparent:
+
+* ``cache=`` replays previously computed (workload, scheme) outcomes — and
+  training profiles, and testing references — from an
+  :class:`~repro.experiments.cache.ExperimentCache`;
+* ``jobs=`` fans the remaining pairs out over worker processes (see
+  :mod:`repro.experiments.parallel`); ``jobs=0`` means one per CPU;
+* pre-decoded interpreter/simulator fast paths (always on) do the rest.
+
+Results are merged deterministically in (workload, scheme) request order,
+so every combination of ``jobs`` and ``cache`` produces an identical
+:data:`SuiteResults` mapping.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..formation import scheme
+from ..interp.interpreter import ExecutionResult, run_program
 from ..pipeline import SchemeOutcome, run_scheme
 from ..profiling.collector import ProfileBundle, collect_profiles
+from ..profiling.path_profile import DEFAULT_DEPTH
 from ..scheduling.machine import MachineModel, PAPER_MACHINE
 from ..simulate.icache import ICacheConfig
 from ..workloads.base import Workload
 from ..workloads.suite import all_workloads, workload_map
+from .cache import ExperimentCache, outcome_key, profile_key, reference_key
+from .parallel import resolve_jobs, run_pairs_parallel
 
 #: (workload name, scheme name) -> outcome
 SuiteResults = Dict[Tuple[str, str], SchemeOutcome]
@@ -27,12 +47,18 @@ def run_workload(
     with_icache: bool = False,
     machine: MachineModel = PAPER_MACHINE,
     icache_config: Optional[ICacheConfig] = None,
+    profiles: Optional[ProfileBundle] = None,
+    reference: Optional[ExecutionResult] = None,
 ) -> Dict[str, SchemeOutcome]:
-    """Run one workload under each scheme, sharing the training profile."""
+    """Run one workload under each scheme, sharing the training profile and
+    the testing-input reference run across schemes."""
     program = workload.program()
     train = workload.train_tape(scale)
     test = workload.test_tape(scale)
-    profiles = collect_profiles(program, input_tape=train)
+    if profiles is None:
+        profiles = collect_profiles(program, input_tape=train)
+    if reference is None:
+        reference = run_program(program, input_tape=test)
     outcomes: Dict[str, SchemeOutcome] = {}
     for name in schemes:
         outcomes[name] = run_scheme(
@@ -44,6 +70,7 @@ def run_workload(
             with_icache=with_icache,
             icache_config=icache_config,
             profiles=profiles,
+            reference=reference,
         )
     return outcomes
 
@@ -56,6 +83,8 @@ def run_suite(
     machine: MachineModel = PAPER_MACHINE,
     icache_config: Optional[ICacheConfig] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
 ) -> SuiteResults:
     """Run a set of workloads under a set of schemes.
 
@@ -67,27 +96,148 @@ def run_suite(
         machine: target machine model.
         icache_config: cache geometry override.
         verbose: print progress lines.
+        jobs: worker processes; 1 = in-process serial, 0/None = one per
+            CPU.  Parallel results are bit-identical to serial ones.
+        cache: replay outcomes/profiles/references from this cache and
+            store whatever had to be computed.
 
     Returns:
         Map from (workload, scheme) to the full outcome.
     """
     table = workload_map()
     names = list(workload_names) if workload_names else list(table)
+    scheme_names = list(schemes)
+    jobs = resolve_jobs(jobs) if not jobs or jobs < 1 else jobs
+
+    configs = {sname: scheme(sname) for sname in scheme_names}
+    tapes: Dict[str, Tuple[List[int], List[int]]] = {
+        wname: (
+            table[wname].train_tape(scale),
+            table[wname].test_tape(scale),
+        )
+        for wname in names
+    }
+
+    # -- probe the cache -----------------------------------------------------
+    hits: Dict[Tuple[str, str], SchemeOutcome] = {}
+    pending: Dict[str, List[str]] = {}
+    for wname in names:
+        train, test = tapes[wname]
+        program = table[wname].program()
+        for sname in scheme_names:
+            outcome = None
+            if cache is not None:
+                outcome = cache.get_outcome(
+                    program,
+                    configs[sname],
+                    train,
+                    test,
+                    machine,
+                    with_icache,
+                    icache_config,
+                )
+            if outcome is not None:
+                hits[(wname, sname)] = outcome
+            else:
+                pending.setdefault(wname, []).append(sname)
+
+    # -- compute what the cache could not answer -----------------------------
+    computed: Dict[Tuple[str, str], SchemeOutcome] = {}
+    profiles_by: Dict[str, ProfileBundle] = {}
+    references_by: Dict[str, ExecutionResult] = {}
+    if pending:
+        if cache is not None:
+            for wname in pending:
+                train, test = tapes[wname]
+                program = table[wname].program()
+                bundle = cache.get(
+                    profile_key(program, train, DEFAULT_DEPTH)
+                )
+                if bundle is not None:
+                    profiles_by[wname] = bundle
+                reference = cache.get(reference_key(program, test))
+                if reference is not None:
+                    references_by[wname] = reference
+        cached_profiles = set(profiles_by)
+        cached_references = set(references_by)
+
+        if jobs > 1:
+            computed = run_pairs_parallel(
+                pending,
+                scale,
+                with_icache,
+                machine,
+                icache_config,
+                jobs,
+                profiles_by,
+                references_by,
+                verbose=verbose,
+            )
+        else:
+            for wname, wanted in pending.items():
+                workload = table[wname]
+                train, test = tapes[wname]
+                program = workload.program()
+                if verbose:
+                    print(f"[suite] {wname} ...", flush=True)
+                profiles = profiles_by.get(wname)
+                if profiles is None:
+                    profiles = collect_profiles(program, input_tape=train)
+                    profiles_by[wname] = profiles
+                reference = references_by.get(wname)
+                if reference is None:
+                    reference = run_program(program, input_tape=test)
+                    references_by[wname] = reference
+                for sname in wanted:
+                    computed[(wname, sname)] = run_scheme(
+                        program,
+                        sname,
+                        train,
+                        test,
+                        machine=machine,
+                        with_icache=with_icache,
+                        icache_config=icache_config,
+                        profiles=profiles,
+                        reference=reference,
+                    )
+
+        if cache is not None:
+            for wname in pending:
+                train, test = tapes[wname]
+                program = table[wname].program()
+                if wname not in cached_profiles and wname in profiles_by:
+                    cache.put(
+                        profile_key(program, train, DEFAULT_DEPTH),
+                        profiles_by[wname],
+                    )
+                if (
+                    wname not in cached_references
+                    and wname in references_by
+                ):
+                    cache.put(
+                        reference_key(program, test), references_by[wname]
+                    )
+            for (wname, sname), outcome in computed.items():
+                train, test = tapes[wname]
+                cache.put(
+                    outcome_key(
+                        table[wname].program(),
+                        configs[sname],
+                        train,
+                        test,
+                        machine,
+                        with_icache,
+                        icache_config,
+                    ),
+                    outcome,
+                )
+
+    # -- deterministic merge -------------------------------------------------
     results: SuiteResults = {}
     for wname in names:
-        workload = table[wname]
-        if verbose:
-            print(f"[suite] {wname} ...", flush=True)
-        outcomes = run_workload(
-            workload,
-            schemes,
-            scale=scale,
-            with_icache=with_icache,
-            machine=machine,
-            icache_config=icache_config,
-        )
-        for sname, outcome in outcomes.items():
-            results[(wname, sname)] = outcome
+        for sname in scheme_names:
+            pair = (wname, sname)
+            results[pair] = computed[pair] if pair in computed else hits[pair]
     return results
 
 

@@ -1,0 +1,179 @@
+"""Process-pool execution of experiment suites.
+
+The suite's unit of work is one (workload, scheme) pipeline run; workloads
+are independent and, past profiling, so are the schemes of one workload.
+:func:`run_pairs_parallel` fans those pairs out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` in two overlapped stages:
+
+1. **Profile stage** — one task per workload runs the training input under
+   the profilers and the testing input under the reference interpreter.
+   This preserves the paper's discipline (and the serial engine's): one
+   training run feeds *all* schemes of a workload.
+2. **Scheme stage** — as each profile lands, one task per pending scheme
+   replays the compile→simulate pipeline with the shared
+   :class:`~repro.profiling.collector.ProfileBundle` and reference result.
+
+Workers rebuild programs from the workload registry by name (programs are
+memoized per worker process), so only profiles, references, and outcomes
+cross the process boundary.  Results are merged into the caller-supplied
+order, making the parallel engine's output deterministic and bit-identical
+to the serial one's regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..interp.interpreter import ExecutionResult, run_program
+from ..pipeline import SchemeOutcome, run_scheme
+from ..profiling.collector import ProfileBundle, collect_profiles
+from ..scheduling.machine import MachineModel
+from ..workloads.base import Workload
+from ..workloads.suite import workload_map
+
+#: Per-worker-process workload registry (programs memoize on the instances).
+_WORKLOADS: Dict[str, Workload] = {}
+
+
+def _workload(name: str) -> Workload:
+    workload = _WORKLOADS.get(name)
+    if workload is None:
+        workload = _WORKLOADS[name] = workload_map()[name]
+    return workload
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means one per CPU."""
+    import os
+
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _profile_task(
+    wname: str, scale: float
+) -> Tuple[str, ProfileBundle, ExecutionResult]:
+    """Stage 1: training-run profiles + testing-run reference for one
+    workload."""
+    workload = _workload(wname)
+    program = workload.program()
+    profiles = collect_profiles(
+        program, input_tape=workload.train_tape(scale)
+    )
+    reference = run_program(program, input_tape=workload.test_tape(scale))
+    return wname, profiles, reference
+
+
+def _scheme_task(
+    wname: str,
+    scheme_name: str,
+    scale: float,
+    with_icache: bool,
+    machine: MachineModel,
+    icache_config,
+    profiles: ProfileBundle,
+    reference: ExecutionResult,
+) -> Tuple[Tuple[str, str], SchemeOutcome]:
+    """Stage 2: the full pipeline for one (workload, scheme) pair."""
+    workload = _workload(wname)
+    outcome = run_scheme(
+        workload.program(),
+        scheme_name,
+        workload.train_tape(scale),
+        workload.test_tape(scale),
+        machine=machine,
+        with_icache=with_icache,
+        icache_config=icache_config,
+        profiles=profiles,
+        reference=reference,
+    )
+    return (wname, scheme_name), outcome
+
+
+def run_pairs_parallel(
+    pending: Dict[str, List[str]],
+    scale: float,
+    with_icache: bool,
+    machine: MachineModel,
+    icache_config,
+    jobs: int,
+    profiles_by_workload: Dict[str, ProfileBundle],
+    references_by_workload: Dict[str, ExecutionResult],
+    verbose: bool = False,
+) -> Dict[Tuple[str, str], SchemeOutcome]:
+    """Compute ``pending`` (workload -> scheme names) outcomes in parallel.
+
+    ``profiles_by_workload`` / ``references_by_workload`` seed the profile
+    stage (e.g. from the cache) and are filled in for workloads profiled
+    here, so callers can persist the new bundles.
+    """
+    computed: Dict[Tuple[str, str], SchemeOutcome] = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        profile_futures = {}
+        scheme_futures = []
+        for wname, schemes in pending.items():
+            if not schemes:
+                continue
+            if verbose:
+                print(f"[suite] {wname} ...", flush=True)
+            profiles = profiles_by_workload.get(wname)
+            reference = references_by_workload.get(wname)
+            if profiles is not None and reference is not None:
+                for sname in schemes:
+                    scheme_futures.append(
+                        pool.submit(
+                            _scheme_task,
+                            wname,
+                            sname,
+                            scale,
+                            with_icache,
+                            machine,
+                            icache_config,
+                            profiles,
+                            reference,
+                        )
+                    )
+            else:
+                profile_futures[
+                    pool.submit(_profile_task, wname, scale)
+                ] = schemes
+
+        # As profiles land, launch that workload's scheme tasks immediately
+        # so the profile and scheme stages overlap across workloads.
+        outstanding = set(profile_futures)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                wname, profiles, reference = future.result()
+                profiles_by_workload[wname] = profiles
+                references_by_workload[wname] = reference
+                for sname in profile_futures[future]:
+                    scheme_futures.append(
+                        pool.submit(
+                            _scheme_task,
+                            wname,
+                            sname,
+                            scale,
+                            with_icache,
+                            machine,
+                            icache_config,
+                            profiles,
+                            reference,
+                        )
+                    )
+
+        for future in scheme_futures:
+            pair, outcome = future.result()
+            computed[pair] = outcome
+
+    # One bundle object per workload, as in the serial engine: replace each
+    # unpickled copy with the canonical bundle shipped to (or received from)
+    # the workers.
+    for (wname, _), outcome in computed.items():
+        bundle = profiles_by_workload.get(wname)
+        if bundle is not None:
+            outcome.profiles = bundle
+            outcome.reference = references_by_workload.get(wname)
+    return computed

@@ -5,6 +5,10 @@ cycle, and instruction counts of the *basic-block scheduled* version on the
 testing data (ideal I-cache).  Branch counts come from the branch
 instrumentation (here: the reference interpreter); cycle and operation
 counts come from the compiled simulator of the BB-scheduled program.
+
+The rows are served by :func:`~repro.experiments.harness.run_suite`, so
+Table 1 shares its BB outcomes (and each workload's testing-input reference
+run) with every other experiment through the cache and the worker pool.
 """
 
 from __future__ import annotations
@@ -12,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..interp.interpreter import run_program
-from ..pipeline import run_scheme
 from ..workloads.suite import all_workloads
+from .cache import ExperimentCache
+from .harness import run_suite
 from .render import format_table
 
 
@@ -39,30 +43,33 @@ def table1(
     scale: float = 1.0,
     workload_names: Optional[Sequence[str]] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
 ) -> List[Table1Row]:
     """Regenerate Table 1's rows at the given input scale."""
+    workloads = [
+        w
+        for w in all_workloads()
+        if not workload_names or w.name in workload_names
+    ]
+    results = run_suite(
+        ["BB"],
+        [w.name for w in workloads],
+        scale=scale,
+        verbose=verbose,
+        jobs=jobs,
+        cache=cache,
+    )
     rows: List[Table1Row] = []
-    for workload in all_workloads():
-        if workload_names and workload.name not in workload_names:
-            continue
-        if verbose:
-            print(f"[table1] {workload.name} ...", flush=True)
-        program = workload.program()
-        test = workload.test_tape(scale)
-        reference = run_program(program, input_tape=test)
-        outcome = run_scheme(
-            program,
-            "BB",
-            workload.train_tape(scale),
-            test,
-        )
+    for workload in workloads:
+        outcome = results[(workload.name, "BB")]
         rows.append(
             Table1Row(
                 name=workload.name,
                 category=workload.category,
                 description=workload.description,
                 size_bytes=outcome.layout.code_bytes,
-                branches=reference.branches,
+                branches=outcome.reference.branches,
                 cycles=outcome.result.cycles,
                 instructions=outcome.result.operations,
             )

@@ -14,6 +14,15 @@ Each procedure activation has its own register file (frames), and program
 memory is a flat word-addressed integer store.  Input is a finite tape of
 integers (``read`` yields -1 at the end), and output is the sequence of
 ``print``-ed integers.
+
+Execution is driven by *pre-decoded* basic blocks: the first time control
+enters a block, its instructions are translated into flat dispatch tuples
+``(kind, operand, ...)``, hoisting the per-instruction ``Opcode`` comparison
+ladder, the :data:`BINARY_EVAL` dictionary probe, and the successor-label
+lookups out of the hot loop.  Decoded blocks are cached per interpreter
+instance, so repeated executions of a block pay decode cost once.  When no
+observer is attached, a dedicated fast-path loop with no profiling hooks
+runs instead of the instrumented one.
 """
 
 from __future__ import annotations
@@ -67,15 +76,100 @@ class ExecutionResult:
     per_procedure: Dict[str, int] = field(default_factory=dict)
 
 
+# Decoded-instruction kind codes.  Small ints dispatch faster than Opcode
+# enum members and collapse opcode families (all binary ALU ops share one
+# kind with the evaluation function baked into the tuple).
+_K_BINOP = 0
+_K_BR = 1
+_K_LI = 2
+_K_MOV = 3
+_K_LOAD = 4
+_K_JMP = 5
+_K_STORE = 6
+_K_READ = 7
+_K_PRINT = 8
+_K_UNOP = 9
+_K_MBR = 10
+_K_SPILL_LD = 11
+_K_SPILL_ST = 12
+_K_CALL = 13
+_K_RET = 14
+_K_NOP = 15
+
+
+def _decode_block(program: Program, block: BasicBlock) -> List[tuple]:
+    """Translate one basic block into flat dispatch tuples.
+
+    Branch targets stay label strings (resolved through the per-procedure
+    decode cache at transfer time); call targets resolve to the callee
+    :class:`Procedure` eagerly.
+    """
+    decoded: List[tuple] = []
+    for instr in block.instructions:
+        op = instr.opcode
+        binop = BINARY_EVAL.get(op)
+        if binop is not None:
+            a, b = instr.srcs
+            decoded.append((_K_BINOP, binop, instr.dest, a, b))
+        elif op is Opcode.LI:
+            decoded.append((_K_LI, instr.dest, instr.imm))
+        elif op is Opcode.MOV:
+            decoded.append((_K_MOV, instr.dest, instr.srcs[0]))
+        elif op in (Opcode.LOAD, Opcode.LOAD_S):
+            decoded.append((_K_LOAD, instr.dest, instr.srcs[0]))
+        elif op is Opcode.STORE:
+            decoded.append((_K_STORE, instr.srcs[0], instr.srcs[1]))
+        elif op is Opcode.SPILL_LD:
+            decoded.append((_K_SPILL_LD, instr.dest, instr.imm))
+        elif op is Opcode.SPILL_ST:
+            decoded.append((_K_SPILL_ST, instr.imm, instr.srcs[0]))
+        elif op is Opcode.READ:
+            decoded.append((_K_READ, instr.dest))
+        elif op is Opcode.PRINT:
+            decoded.append((_K_PRINT, instr.srcs[0]))
+        elif op is Opcode.NOP:
+            decoded.append((_K_NOP,))
+        elif op in UNARY_EVAL:
+            decoded.append(
+                (_K_UNOP, UNARY_EVAL[op], instr.dest, instr.srcs[0])
+            )
+        elif op is Opcode.BR:
+            decoded.append(
+                (_K_BR, instr.srcs[0], instr.targets[0], instr.targets[1])
+            )
+        elif op is Opcode.JMP:
+            decoded.append((_K_JMP, instr.targets[0]))
+        elif op is Opcode.MBR:
+            decoded.append((_K_MBR, instr.srcs[0], tuple(instr.targets)))
+        elif op is Opcode.CALL:
+            decoded.append(
+                (
+                    _K_CALL,
+                    program.procedure(instr.callee),
+                    tuple(instr.srcs),
+                    instr.dest,
+                )
+            )
+        elif op is Opcode.RET:
+            decoded.append(
+                (_K_RET, instr.srcs[0] if instr.srcs else None)
+            )
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise InterpreterError(f"cannot execute {op}")
+    return decoded
+
+
 class _Frame:
     __slots__ = (
         "proc",
         "regs",
-        "block",
+        "label",
+        "dblock",
         "index",
         "ret_dest",
         "frame_id",
         "spill",
+        "pcache",
     )
 
     def __init__(
@@ -84,14 +178,18 @@ class _Frame:
         regs: Dict[int, int],
         frame_id: int,
         ret_dest: Optional[int],
+        dblock: List[tuple],
+        pcache: Dict[str, List[tuple]],
     ) -> None:
         self.proc = proc
         self.regs = regs
-        self.block: BasicBlock = proc.entry
+        self.label = proc.entry_label
+        self.dblock = dblock
         self.index = 0
         self.ret_dest = ret_dest
         self.frame_id = frame_id
         self.spill: Dict[int, int] = {}
+        self.pcache = pcache
 
 
 class Interpreter:
@@ -106,6 +204,29 @@ class Interpreter:
         self.program = program
         self.step_limit = step_limit
         self.observer = observer
+        #: procedure name -> block label -> decoded instructions
+        self._decoded: Dict[str, Dict[str, List[tuple]]] = {}
+
+    # -- decode cache --------------------------------------------------------
+
+    def _proc_cache(self, proc: Procedure) -> Dict[str, List[tuple]]:
+        cache = self._decoded.get(proc.name)
+        if cache is None:
+            cache = self._decoded[proc.name] = {}
+        return cache
+
+    def _decoded_entry(
+        self, proc: Procedure
+    ) -> Tuple[List[tuple], Dict[str, List[tuple]]]:
+        """Decoded entry block of ``proc`` plus its per-procedure cache."""
+        pcache = self._proc_cache(proc)
+        label = proc.entry_label
+        dblock = pcache.get(label)
+        if dblock is None:
+            dblock = pcache[label] = _decode_block(self.program, proc.entry)
+        return dblock, pcache
+
+    # -- public API ----------------------------------------------------------
 
     def run(
         self, input_tape: Sequence[int] = (), args: Sequence[int] = ()
@@ -119,12 +240,40 @@ class Interpreter:
         Returns:
             An :class:`ExecutionResult` with the output and dynamic counts.
         """
+        if self.observer is None:
+            return self._run_fast(input_tape, args)
+        return self._run_observed(input_tape, args)
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _make_frame(
+        self,
+        proc: Procedure,
+        argv: Sequence[int],
+        frame_id: int,
+        ret_dest: Optional[int],
+    ) -> _Frame:
+        if len(argv) != len(proc.params):
+            raise InterpreterError(
+                f"{proc.name} expects {len(proc.params)} args,"
+                f" got {len(argv)}"
+            )
+        dblock, pcache = self._decoded_entry(proc)
+        return _Frame(
+            proc, dict(zip(proc.params, argv)), frame_id, ret_dest, dblock, pcache
+        )
+
+    # -- no-observer fast path ----------------------------------------------
+
+    def _run_fast(
+        self, input_tape: Sequence[int], args: Sequence[int]
+    ) -> ExecutionResult:
         program = self.program
-        observer = self.observer
         memory: Dict[int, int] = {}
         output: List[int] = []
         tape = list(input_tape)
         tape_pos = 0
+        tape_len = len(tape)
 
         instructions = 0
         branches = 0
@@ -132,153 +281,142 @@ class Interpreter:
         calls = 0
         per_procedure: Dict[str, int] = {}
 
-        next_frame_id = 0
-
-        def new_frame(
-            proc: Procedure, argv: Sequence[int], ret_dest: Optional[int]
-        ) -> _Frame:
-            nonlocal next_frame_id
-            if len(argv) != len(proc.params):
-                raise InterpreterError(
-                    f"{proc.name} expects {len(proc.params)} args,"
-                    f" got {len(argv)}"
-                )
-            regs = dict(zip(proc.params, argv))
-            frame = _Frame(proc, regs, next_frame_id, ret_dest)
-            next_frame_id += 1
-            if observer is not None:
-                observer.enter_procedure(proc.name, frame.frame_id)
-                observer.block_executed(
-                    proc.name, frame.frame_id, proc.entry_label
-                )
-            return frame
+        limit = self.step_limit
+        next_frame_id = 1
+        decode = _decode_block
 
         entry_proc = program.procedure(program.entry)
-        stack: List[_Frame] = [new_frame(entry_proc, list(args), None)]
+        stack: List[_Frame] = [
+            self._make_frame(entry_proc, list(args), 0, None)
+        ]
         blocks += 1
         return_value = 0
-        limit = self.step_limit
 
         while stack:
             frame = stack[-1]
+            proc = frame.proc
             regs = frame.regs
-            instrs = frame.block.instructions
+            spill = frame.spill
+            pcache = frame.pcache
+            instrs = frame.dblock
             index = frame.index
+            n = len(instrs)
             round_start = instructions
-            advanced_control = False
-            while index < len(instrs):
-                instr = instrs[index]
+            transferred = False
+            while index < n:
+                d = instrs[index]
                 instructions += 1
                 if instructions > limit:
                     raise StepLimitExceeded(
                         f"exceeded {limit} dynamic instructions"
                     )
-                op = instr.opcode
-                binop = BINARY_EVAL.get(op)
-                if binop is not None:
-                    a, b = instr.srcs
-                    regs[instr.dest] = binop(regs[a], regs[b])
-                elif op is Opcode.LI:
-                    regs[instr.dest] = instr.imm
-                elif op is Opcode.MOV:
-                    regs[instr.dest] = regs[instr.srcs[0]]
-                elif op in (Opcode.LOAD, Opcode.LOAD_S):
-                    regs[instr.dest] = memory.get(regs[instr.srcs[0]], 0)
-                elif op is Opcode.STORE:
-                    memory[regs[instr.srcs[0]]] = regs[instr.srcs[1]]
-                elif op is Opcode.SPILL_LD:
-                    regs[instr.dest] = frame.spill.get(instr.imm, 0)
-                elif op is Opcode.SPILL_ST:
-                    frame.spill[instr.imm] = regs[instr.srcs[0]]
-                elif op is Opcode.READ:
-                    if tape_pos < len(tape):
-                        regs[instr.dest] = tape[tape_pos]
+                k = d[0]
+                if k == 0:  # _K_BINOP
+                    regs[d[2]] = d[1](regs[d[3]], regs[d[4]])
+                elif k == 1:  # _K_BR
+                    branches += 1
+                    target = d[2] if regs[d[1]] else d[3]
+                    dblock = pcache.get(target)
+                    if dblock is None:
+                        dblock = pcache[target] = decode(
+                            program, proc.block(target)
+                        )
+                    frame.label = target
+                    instrs = dblock
+                    n = len(instrs)
+                    index = 0
+                    blocks += 1
+                    continue
+                elif k == 2:  # _K_LI
+                    regs[d[1]] = d[2]
+                elif k == 3:  # _K_MOV
+                    regs[d[1]] = regs[d[2]]
+                elif k == 4:  # _K_LOAD
+                    regs[d[1]] = memory.get(regs[d[2]], 0)
+                elif k == 5:  # _K_JMP
+                    target = d[1]
+                    dblock = pcache.get(target)
+                    if dblock is None:
+                        dblock = pcache[target] = decode(
+                            program, proc.block(target)
+                        )
+                    frame.label = target
+                    instrs = dblock
+                    n = len(instrs)
+                    index = 0
+                    blocks += 1
+                    continue
+                elif k == 6:  # _K_STORE
+                    memory[regs[d[1]]] = regs[d[2]]
+                elif k == 7:  # _K_READ
+                    if tape_pos < tape_len:
+                        regs[d[1]] = tape[tape_pos]
                         tape_pos += 1
                     else:
-                        regs[instr.dest] = -1
-                elif op is Opcode.PRINT:
-                    output.append(regs[instr.srcs[0]])
-                elif op is Opcode.NOP:
-                    pass
-                elif op in UNARY_EVAL:
-                    regs[instr.dest] = UNARY_EVAL[op](regs[instr.srcs[0]])
-                elif op is Opcode.BR:
+                        regs[d[1]] = -1
+                elif k == 8:  # _K_PRINT
+                    output.append(regs[d[1]])
+                elif k == 9:  # _K_UNOP
+                    regs[d[2]] = d[1](regs[d[3]])
+                elif k == 10:  # _K_MBR
                     branches += 1
-                    target = instr.targets[0 if regs[instr.srcs[0]] else 1]
-                    frame.block = frame.proc.block(target)
-                    frame.index = 0
-                    blocks += 1
-                    if observer is not None:
-                        observer.block_executed(
-                            frame.proc.name, frame.frame_id, target
-                        )
-                    advanced_control = True
-                    break
-                elif op is Opcode.JMP:
-                    target = instr.targets[0]
-                    frame.block = frame.proc.block(target)
-                    frame.index = 0
-                    blocks += 1
-                    if observer is not None:
-                        observer.block_executed(
-                            frame.proc.name, frame.frame_id, target
-                        )
-                    advanced_control = True
-                    break
-                elif op is Opcode.MBR:
-                    branches += 1
-                    sel = regs[instr.srcs[0]]
-                    if 0 <= sel < len(instr.targets) - 1:
-                        target = instr.targets[sel]
+                    targets = d[2]
+                    sel = regs[d[1]]
+                    if 0 <= sel < len(targets) - 1:
+                        target = targets[sel]
                     else:
-                        target = instr.targets[-1]
-                    frame.block = frame.proc.block(target)
-                    frame.index = 0
-                    blocks += 1
-                    if observer is not None:
-                        observer.block_executed(
-                            frame.proc.name, frame.frame_id, target
+                        target = targets[-1]
+                    dblock = pcache.get(target)
+                    if dblock is None:
+                        dblock = pcache[target] = decode(
+                            program, proc.block(target)
                         )
-                    advanced_control = True
-                    break
-                elif op is Opcode.CALL:
+                    frame.label = target
+                    instrs = dblock
+                    n = len(instrs)
+                    index = 0
+                    blocks += 1
+                    continue
+                elif k == 11:  # _K_SPILL_LD
+                    regs[d[1]] = spill.get(d[2], 0)
+                elif k == 12:  # _K_SPILL_ST
+                    spill[d[1]] = regs[d[2]]
+                elif k == 13:  # _K_CALL
                     calls += 1
-                    callee = program.procedure(instr.callee)
-                    argv = [regs[s] for s in instr.srcs]
+                    argv = [regs[s] for s in d[2]]
                     frame.index = index + 1
-                    stack.append(new_frame(callee, argv, instr.dest))
+                    frame.dblock = instrs
+                    stack.append(
+                        self._make_frame(d[1], argv, next_frame_id, d[3])
+                    )
+                    next_frame_id += 1
                     blocks += 1
-                    advanced_control = True
+                    transferred = True
                     break
-                elif op is Opcode.RET:
-                    value = regs[instr.srcs[0]] if instr.srcs else 0
-                    if observer is not None:
-                        observer.exit_procedure(
-                            frame.proc.name, frame.frame_id
-                        )
+                elif k == 14:  # _K_RET
+                    value = regs[d[1]] if d[1] is not None else 0
                     stack.pop()
                     if stack:
-                        caller = stack[-1]
                         if frame.ret_dest is not None:
-                            caller.regs[frame.ret_dest] = value
+                            stack[-1].regs[frame.ret_dest] = value
                     else:
                         return_value = value
-                    advanced_control = True
+                    transferred = True
                     break
-                else:  # pragma: no cover - exhaustive over Opcode
-                    raise InterpreterError(f"cannot execute {op}")
+                else:  # _K_NOP
+                    pass
                 index += 1
-            per_name = frame.proc.name
+            per_name = proc.name
             per_procedure[per_name] = (
                 per_procedure.get(per_name, 0) + instructions - round_start
             )
-            if not advanced_control:
+            if not transferred:
                 raise InterpreterError(
-                    f"fell off the end of block {frame.block.label}"
-                    f" in {frame.proc.name}"
+                    f"fell off the end of block {frame.label}"
+                    f" in {proc.name}"
                 )
 
-        result = ExecutionResult(
+        return ExecutionResult(
             output=output,
             return_value=return_value,
             instructions=instructions,
@@ -287,7 +425,185 @@ class Interpreter:
             calls=calls,
             per_procedure=per_procedure,
         )
-        return result
+
+    # -- instrumented path ---------------------------------------------------
+
+    def _run_observed(
+        self, input_tape: Sequence[int], args: Sequence[int]
+    ) -> ExecutionResult:
+        program = self.program
+        observer = self.observer
+        enter_procedure = observer.enter_procedure
+        exit_procedure = observer.exit_procedure
+        block_executed = observer.block_executed
+        memory: Dict[int, int] = {}
+        output: List[int] = []
+        tape = list(input_tape)
+        tape_pos = 0
+        tape_len = len(tape)
+
+        instructions = 0
+        branches = 0
+        blocks = 0
+        calls = 0
+        per_procedure: Dict[str, int] = {}
+
+        limit = self.step_limit
+        next_frame_id = 1
+        decode = _decode_block
+
+        entry_proc = program.procedure(program.entry)
+        frame = self._make_frame(entry_proc, list(args), 0, None)
+        enter_procedure(entry_proc.name, 0)
+        block_executed(entry_proc.name, 0, entry_proc.entry_label)
+        stack: List[_Frame] = [frame]
+        blocks += 1
+        return_value = 0
+
+        while stack:
+            frame = stack[-1]
+            proc = frame.proc
+            proc_name = proc.name
+            frame_id = frame.frame_id
+            regs = frame.regs
+            spill = frame.spill
+            pcache = frame.pcache
+            instrs = frame.dblock
+            index = frame.index
+            n = len(instrs)
+            round_start = instructions
+            transferred = False
+            while index < n:
+                d = instrs[index]
+                instructions += 1
+                if instructions > limit:
+                    raise StepLimitExceeded(
+                        f"exceeded {limit} dynamic instructions"
+                    )
+                k = d[0]
+                if k == 0:  # _K_BINOP
+                    regs[d[2]] = d[1](regs[d[3]], regs[d[4]])
+                elif k == 1:  # _K_BR
+                    branches += 1
+                    target = d[2] if regs[d[1]] else d[3]
+                    dblock = pcache.get(target)
+                    if dblock is None:
+                        dblock = pcache[target] = decode(
+                            program, proc.block(target)
+                        )
+                    frame.label = target
+                    instrs = dblock
+                    n = len(instrs)
+                    index = 0
+                    blocks += 1
+                    block_executed(proc_name, frame_id, target)
+                    continue
+                elif k == 2:  # _K_LI
+                    regs[d[1]] = d[2]
+                elif k == 3:  # _K_MOV
+                    regs[d[1]] = regs[d[2]]
+                elif k == 4:  # _K_LOAD
+                    regs[d[1]] = memory.get(regs[d[2]], 0)
+                elif k == 5:  # _K_JMP
+                    target = d[1]
+                    dblock = pcache.get(target)
+                    if dblock is None:
+                        dblock = pcache[target] = decode(
+                            program, proc.block(target)
+                        )
+                    frame.label = target
+                    instrs = dblock
+                    n = len(instrs)
+                    index = 0
+                    blocks += 1
+                    block_executed(proc_name, frame_id, target)
+                    continue
+                elif k == 6:  # _K_STORE
+                    memory[regs[d[1]]] = regs[d[2]]
+                elif k == 7:  # _K_READ
+                    if tape_pos < tape_len:
+                        regs[d[1]] = tape[tape_pos]
+                        tape_pos += 1
+                    else:
+                        regs[d[1]] = -1
+                elif k == 8:  # _K_PRINT
+                    output.append(regs[d[1]])
+                elif k == 9:  # _K_UNOP
+                    regs[d[2]] = d[1](regs[d[3]])
+                elif k == 10:  # _K_MBR
+                    branches += 1
+                    targets = d[2]
+                    sel = regs[d[1]]
+                    if 0 <= sel < len(targets) - 1:
+                        target = targets[sel]
+                    else:
+                        target = targets[-1]
+                    dblock = pcache.get(target)
+                    if dblock is None:
+                        dblock = pcache[target] = decode(
+                            program, proc.block(target)
+                        )
+                    frame.label = target
+                    instrs = dblock
+                    n = len(instrs)
+                    index = 0
+                    blocks += 1
+                    block_executed(proc_name, frame_id, target)
+                    continue
+                elif k == 11:  # _K_SPILL_LD
+                    regs[d[1]] = spill.get(d[2], 0)
+                elif k == 12:  # _K_SPILL_ST
+                    spill[d[1]] = regs[d[2]]
+                elif k == 13:  # _K_CALL
+                    calls += 1
+                    callee = d[1]
+                    argv = [regs[s] for s in d[2]]
+                    frame.index = index + 1
+                    frame.dblock = instrs
+                    callee_frame = self._make_frame(
+                        callee, argv, next_frame_id, d[3]
+                    )
+                    enter_procedure(callee.name, next_frame_id)
+                    block_executed(
+                        callee.name, next_frame_id, callee.entry_label
+                    )
+                    next_frame_id += 1
+                    stack.append(callee_frame)
+                    blocks += 1
+                    transferred = True
+                    break
+                elif k == 14:  # _K_RET
+                    value = regs[d[1]] if d[1] is not None else 0
+                    exit_procedure(proc_name, frame_id)
+                    stack.pop()
+                    if stack:
+                        if frame.ret_dest is not None:
+                            stack[-1].regs[frame.ret_dest] = value
+                    else:
+                        return_value = value
+                    transferred = True
+                    break
+                else:  # _K_NOP
+                    pass
+                index += 1
+            per_procedure[proc_name] = (
+                per_procedure.get(proc_name, 0) + instructions - round_start
+            )
+            if not transferred:
+                raise InterpreterError(
+                    f"fell off the end of block {frame.label}"
+                    f" in {proc.name}"
+                )
+
+        return ExecutionResult(
+            output=output,
+            return_value=return_value,
+            instructions=instructions,
+            branches=branches,
+            blocks=blocks,
+            calls=calls,
+            per_procedure=per_procedure,
+        )
 
 
 def run_program(

@@ -98,6 +98,7 @@ def run_scheme(
     icache_config: Optional[ICacheConfig] = None,
     check_output: bool = True,
     profiles: Optional[ProfileBundle] = None,
+    reference: Optional[ExecutionResult] = None,
     step_limit: int = 50_000_000,
     cycle_limit: int = 100_000_000,
 ) -> SchemeOutcome:
@@ -116,6 +117,9 @@ def run_scheme(
         icache_config: cache geometry (defaults to the paper's 32KB DM).
         check_output: compare simulated output with the interpreter.
         profiles: reuse an existing training-run profile bundle.
+        reference: reuse an existing interpreter run on ``test_tape``; the
+            reference is scheme-independent, so one run can check every
+            scheme of a workload.
         step_limit: interpreter instruction budget.
         cycle_limit: simulator cycle budget.
 
@@ -146,11 +150,11 @@ def run_scheme(
             layout=layout,
             cycle_limit=cycle_limit,
         )
-    reference = None
     if check_output:
-        reference = run_program(
-            program, input_tape=test_tape, step_limit=step_limit
-        )
+        if reference is None:
+            reference = run_program(
+                program, input_tape=test_tape, step_limit=step_limit
+            )
         if reference.output != result.output or (
             reference.return_value != result.return_value
         ):

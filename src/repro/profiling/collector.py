@@ -42,6 +42,19 @@ class MultiObserver(ExecutionObserver):
             obs.block_executed(proc_name, frame_id, label)
 
 
+def fanout(observers: Sequence[ExecutionObserver]) -> ExecutionObserver:
+    """Combine ``observers`` into a single execution observer.
+
+    A single observer is returned as-is — the :class:`MultiObserver`
+    wrapper would otherwise add one Python call per executed block for
+    nothing — and only genuine fan-out pays for the broadcast loop.
+    """
+    observers = list(observers)
+    if len(observers) == 1:
+        return observers[0]
+    return MultiObserver(observers)
+
+
 @dataclass
 class ProfileBundle:
     """Everything a formation pass might want from one training run."""
@@ -81,7 +94,7 @@ def collect_profiles(
         forward_profiler = ForwardPathProfiler(program, depth=depth)
         observers.append(forward_profiler)
     interp = Interpreter(
-        program, step_limit=step_limit, observer=MultiObserver(observers)
+        program, step_limit=step_limit, observer=fanout(observers)
     )
     result = interp.run(input_tape, args)
     return ProfileBundle(

@@ -12,6 +12,13 @@ paper's generated code plays on the real Alpha.
 Besides cycles, the simulator gathers the dynamic superblock statistics of
 Figure 7: how many (original) basic blocks execution covered per superblock
 entry, against the superblock's size in blocks.
+
+Schedules are *pre-decoded* on first entry: each bundle becomes a list of
+flat dispatch tuples carrying the evaluation function, operand registers,
+speculation flag, and (for control operations) the resolved on-trace target
+and member-block position, so the per-operation ``Opcode`` ladder, the
+:data:`BINARY_EVAL` probe, and the exit-table lookups all leave the inner
+loop.
 """
 
 from __future__ import annotations
@@ -106,6 +113,121 @@ class _Frame:
         self.bundle_idx = 0
 
 
+# Decoded-operation kind codes (small-int dispatch, as in the interpreter).
+_K_BINOP = 0
+_K_LI = 1
+_K_MOV = 2
+_K_LOAD = 3
+_K_STORE = 4
+_K_SPILL_LD = 5
+_K_SPILL_ST = 6
+_K_READ = 7
+_K_PRINT = 8
+_K_NOP = 9
+_K_UNOP = 10
+_K_BR = 11
+_K_MBR = 12
+_K_JMP = 13
+_K_CALL = 14
+_K_RET = 15
+
+
+def _decode_schedule(
+    schedule: SuperblockSchedule, block_pos: Dict[Instruction, int]
+) -> List[List[tuple]]:
+    """Translate one superblock schedule into per-bundle dispatch tuples.
+
+    Control tuples carry the originating :class:`ScheduledOp` (for the
+    wasted-work computation), the pre-resolved on-trace target, and the
+    1-based member-block position charged to Figure 7 when the exit leaves
+    the superblock.
+    """
+    exits = schedule.code.exits
+    decoded: List[List[tuple]] = []
+    for bundle in schedule.bundles:
+        row: List[tuple] = []
+        for op in bundle:
+            instr = op.instr
+            opcode = instr.opcode
+            binop = BINARY_EVAL.get(opcode)
+            exit_info = exits.get(instr)
+            on_trace = (
+                exit_info.on_trace_target if exit_info is not None else None
+            )
+            pos1 = block_pos.get(instr, 0) + 1
+            if binop is not None:
+                a, b = instr.srcs
+                row.append(
+                    (_K_BINOP, binop, instr.dest, a, b, op.speculative)
+                )
+            elif opcode is Opcode.LI:
+                row.append((_K_LI, instr.dest, instr.imm))
+            elif opcode is Opcode.MOV:
+                row.append((_K_MOV, instr.dest, instr.srcs[0]))
+            elif opcode in (Opcode.LOAD, Opcode.LOAD_S):
+                row.append((_K_LOAD, instr.dest, instr.srcs[0]))
+            elif opcode is Opcode.STORE:
+                row.append((_K_STORE, instr.srcs[0], instr.srcs[1]))
+            elif opcode is Opcode.SPILL_LD:
+                row.append((_K_SPILL_LD, instr.dest, instr.imm))
+            elif opcode is Opcode.SPILL_ST:
+                row.append((_K_SPILL_ST, instr.imm, instr.srcs[0]))
+            elif opcode is Opcode.READ:
+                row.append((_K_READ, instr.dest))
+            elif opcode is Opcode.PRINT:
+                row.append((_K_PRINT, instr.srcs[0]))
+            elif opcode in UNARY_EVAL:
+                row.append(
+                    (_K_UNOP, UNARY_EVAL[opcode], instr.dest, instr.srcs[0])
+                )
+            elif opcode is Opcode.NOP:
+                row.append((_K_NOP,))
+            elif opcode is Opcode.BR:
+                row.append(
+                    (
+                        _K_BR,
+                        instr.srcs[0],
+                        instr.targets[0],
+                        instr.targets[1],
+                        op,
+                        on_trace,
+                        pos1,
+                    )
+                )
+            elif opcode is Opcode.MBR:
+                row.append(
+                    (
+                        _K_MBR,
+                        instr.srcs[0],
+                        tuple(instr.targets),
+                        op,
+                        on_trace,
+                        pos1,
+                    )
+                )
+            elif opcode is Opcode.JMP:
+                row.append(
+                    (_K_JMP, instr.targets[0], op, on_trace, pos1)
+                )
+            elif opcode is Opcode.CALL:
+                row.append(
+                    (_K_CALL, instr.callee, tuple(instr.srcs), instr.dest)
+                )
+            elif opcode is Opcode.RET:
+                row.append(
+                    (
+                        _K_RET,
+                        instr.srcs[0] if instr.srcs else None,
+                        op,
+                        pos1,
+                    )
+                )
+            else:  # pragma: no cover - exhaustive over Opcode
+                raise SimulationError(f"cannot simulate {opcode}")
+        decoded.append(row)
+    return decoded
+
+
 class VLIWSimulator:
     """Executes a :class:`CompiledProgram`, optionally through an I-cache."""
 
@@ -126,6 +248,8 @@ class VLIWSimulator:
         self._bundle_addrs: Dict[Tuple[str, str], List[List[int]]] = {}
         #: (proc, head) -> instruction -> member block position
         self._block_pos: Dict[Tuple[str, str], Dict[Instruction, int]] = {}
+        #: (proc, head) -> decoded bundles (built lazily on first entry)
+        self._decoded: Dict[Tuple[str, str], List[List[tuple]]] = {}
         #: memoized wasted-op counts per (schedule id, exit op id)
         self._wasted_cache: Dict[Tuple[int, int], int] = {}
         self._prepare()
@@ -154,6 +278,16 @@ class VLIWSimulator:
                         addrs.append(row)
                     self._bundle_addrs[key] = addrs
 
+    def _decoded_bundles(
+        self, key: Tuple[str, str], schedule: SuperblockSchedule
+    ) -> List[List[tuple]]:
+        decoded = self._decoded.get(key)
+        if decoded is None:
+            decoded = self._decoded[key] = _decode_schedule(
+                schedule, self._block_pos[key]
+            )
+        return decoded
+
     # -- public API ---------------------------------------------------------
 
     def run(
@@ -161,8 +295,10 @@ class VLIWSimulator:
     ) -> SimulationResult:
         """Simulate the program on ``input_tape``; returns statistics."""
         compiled = self.compiled
+        icache = self.icache
         tape = list(input_tape)
         tape_pos = 0
+        tape_len = len(tape)
         memory: Dict[int, int] = {}
         output: List[int] = []
 
@@ -176,6 +312,7 @@ class VLIWSimulator:
         sb_size_blocks = 0
         miss_cycles = 0
         return_value = 0
+        cycle_limit = self.cycle_limit
 
         def enter_stats(schedule: SuperblockSchedule) -> None:
             nonlocal sb_entries, sb_size_blocks
@@ -203,143 +340,134 @@ class VLIWSimulator:
             schedule = frame.schedule
             proc_name = frame.cproc.name
             key = (proc_name, schedule.code.head)
-            bundles = schedule.bundles
+            bundles = self._decoded_bundles(key, schedule)
+            n_bundles = len(bundles)
             regs = frame.regs
-            action: Optional[Tuple] = None
+            spill = frame.spill
+            action: Optional[tuple] = None
 
-            while frame.bundle_idx < len(bundles):
+            while frame.bundle_idx < n_bundles:
                 bundle = bundles[frame.bundle_idx]
                 cycles += 1
-                if cycles > self.cycle_limit:
+                if cycles > cycle_limit:
                     raise CycleLimitExceeded(
-                        f"exceeded {self.cycle_limit} cycles"
+                        f"exceeded {cycle_limit} cycles"
                     )
-                if self.icache is not None:
+                if icache is not None:
                     for addr in self._bundle_addrs[key][frame.bundle_idx]:
-                        if self.icache.access(addr):
-                            penalty = self.icache.config.miss_penalty
+                        if icache.access(addr):
+                            penalty = icache.config.miss_penalty
                             cycles += penalty
                             miss_cycles += penalty
                 operations += len(bundle)
 
                 # ---- read phase --------------------------------------------
                 reg_writes: List[Tuple[int, int]] = []
-                mem_writes: List[Tuple[int, int]] = []
-                spill_writes: List[Tuple[int, int]] = []
-                prints: List[int] = []
+                mem_writes = None
+                spill_writes = None
+                prints = None
                 action = None
-                for op in bundle:
-                    instr = op.instr
-                    opcode = instr.opcode
-                    binop = BINARY_EVAL.get(opcode)
-                    if binop is not None:
-                        a, b = instr.srcs
+                for d in bundle:
+                    k = d[0]
+                    if k == 0:  # _K_BINOP
                         try:
-                            value = binop(regs[a], regs[b])
+                            value = d[1](regs[d[3]], regs[d[4]])
                         except MachineFault:
-                            if not op.speculative:
+                            if not d[5]:
                                 raise
                             value = 0  # non-excepting variant
-                        reg_writes.append((instr.dest, value))
-                    elif opcode is Opcode.LI:
-                        reg_writes.append((instr.dest, instr.imm))
-                    elif opcode is Opcode.MOV:
-                        reg_writes.append((instr.dest, regs[instr.srcs[0]]))
-                    elif opcode in (Opcode.LOAD, Opcode.LOAD_S):
-                        reg_writes.append(
-                            (instr.dest, memory.get(regs[instr.srcs[0]], 0))
-                        )
-                    elif opcode is Opcode.STORE:
-                        mem_writes.append(
-                            (regs[instr.srcs[0]], regs[instr.srcs[1]])
-                        )
-                    elif opcode is Opcode.SPILL_LD:
-                        reg_writes.append(
-                            (instr.dest, frame.spill.get(instr.imm, 0))
-                        )
-                    elif opcode is Opcode.SPILL_ST:
-                        spill_writes.append((instr.imm, regs[instr.srcs[0]]))
-                    elif opcode is Opcode.READ:
-                        if tape_pos < len(tape):
-                            reg_writes.append((instr.dest, tape[tape_pos]))
+                        reg_writes.append((d[2], value))
+                    elif k == 1:  # _K_LI
+                        reg_writes.append((d[1], d[2]))
+                    elif k == 2:  # _K_MOV
+                        reg_writes.append((d[1], regs[d[2]]))
+                    elif k == 3:  # _K_LOAD
+                        reg_writes.append((d[1], memory.get(regs[d[2]], 0)))
+                    elif k == 4:  # _K_STORE
+                        if mem_writes is None:
+                            mem_writes = []
+                        mem_writes.append((regs[d[1]], regs[d[2]]))
+                    elif k == 5:  # _K_SPILL_LD
+                        reg_writes.append((d[1], spill.get(d[2], 0)))
+                    elif k == 6:  # _K_SPILL_ST
+                        if spill_writes is None:
+                            spill_writes = []
+                        spill_writes.append((d[1], regs[d[2]]))
+                    elif k == 7:  # _K_READ
+                        if tape_pos < tape_len:
+                            reg_writes.append((d[1], tape[tape_pos]))
                             tape_pos += 1
                         else:
-                            reg_writes.append((instr.dest, -1))
-                    elif opcode is Opcode.PRINT:
-                        prints.append(regs[instr.srcs[0]])
-                    elif opcode in UNARY_EVAL:
-                        reg_writes.append(
-                            (instr.dest, UNARY_EVAL[opcode](regs[instr.srcs[0]]))
-                        )
-                    elif opcode is Opcode.NOP:
+                            reg_writes.append((d[1], -1))
+                    elif k == 8:  # _K_PRINT
+                        if prints is None:
+                            prints = []
+                        prints.append(regs[d[1]])
+                    elif k == 10:  # _K_UNOP
+                        reg_writes.append((d[2], d[1](regs[d[3]])))
+                    elif k == 9:  # _K_NOP
                         pass
-                    elif opcode is Opcode.BR:
+                    elif k == 11:  # _K_BR
                         branches += 1
-                        target = instr.targets[0 if regs[instr.srcs[0]] else 1]
-                        action = ("branch", op, target)
-                    elif opcode is Opcode.MBR:
+                        target = d[2] if regs[d[1]] else d[3]
+                        action = (1, target, d[4], d[5], d[6])
+                    elif k == 12:  # _K_MBR
                         branches += 1
-                        sel = regs[instr.srcs[0]]
-                        if 0 <= sel < len(instr.targets) - 1:
-                            target = instr.targets[sel]
+                        targets = d[2]
+                        sel = regs[d[1]]
+                        if 0 <= sel < len(targets) - 1:
+                            target = targets[sel]
                         else:
-                            target = instr.targets[-1]
-                        action = ("branch", op, target)
-                    elif opcode is Opcode.JMP:
-                        action = ("branch", op, instr.targets[0])
-                    elif opcode is Opcode.CALL:
-                        argv = [regs[s] for s in instr.srcs]
-                        action = ("call", op, instr.callee, argv, instr.dest)
-                    elif opcode is Opcode.RET:
-                        value = regs[instr.srcs[0]] if instr.srcs else 0
-                        action = ("ret", op, value)
-                    else:  # pragma: no cover - exhaustive over Opcode
-                        raise SimulationError(f"cannot simulate {opcode}")
+                            target = targets[-1]
+                        action = (1, target, d[3], d[4], d[5])
+                    elif k == 13:  # _K_JMP
+                        action = (1, d[1], d[2], d[3], d[4])
+                    elif k == 14:  # _K_CALL
+                        argv = [regs[s] for s in d[2]]
+                        action = (2, d[1], argv, d[3])
+                    else:  # _K_RET
+                        value = regs[d[1]] if d[1] is not None else 0
+                        action = (3, value, d[2], d[3])
 
                 # ---- write phase -------------------------------------------
                 for dest, value in reg_writes:
                     regs[dest] = value
-                for addr, value in mem_writes:
-                    memory[addr] = value
-                for slot, value in spill_writes:
-                    frame.spill[slot] = value
-                output.extend(prints)
+                if mem_writes is not None:
+                    for addr, value in mem_writes:
+                        memory[addr] = value
+                if spill_writes is not None:
+                    for slot, value in spill_writes:
+                        spill[slot] = value
+                if prints is not None:
+                    output.extend(prints)
 
                 frame.bundle_idx += 1
                 if action is None:
                     continue
 
                 kind = action[0]
-                if kind == "branch":
-                    op, target = action[1], action[2]
-                    exit_info = schedule.code.exits.get(op.instr)
-                    if (
-                        exit_info is not None
-                        and target == exit_info.on_trace_target
-                    ):
+                if kind == 1:  # branch / jump
+                    target = action[1]
+                    if target == action[3]:
                         continue  # stays inside the superblock
                     # Leaving the superblock.
-                    blocks_executed += (
-                        self._block_pos[key].get(op.instr, 0) + 1
-                    )
-                    wasted += self._wasted(schedule, op)
+                    blocks_executed += action[4]
+                    wasted += self._wasted(schedule, action[2])
                     frame.schedule = frame.cproc.schedules[target]
                     frame.bundle_idx = 0
                     enter_stats(frame.schedule)
                     schedule = frame.schedule
                     key = (proc_name, schedule.code.head)
-                    bundles = schedule.bundles
-                elif kind == "call":
+                    bundles = self._decoded_bundles(key, schedule)
+                    n_bundles = len(bundles)
+                elif kind == 2:  # call
                     calls += 1
-                    _, op, callee, argv, _dest = action
-                    stack.append(make_frame(callee, argv, action[4]))
+                    stack.append(make_frame(action[1], action[2], action[3]))
                     break
-                elif kind == "ret":
-                    op, value = action[1], action[2]
-                    blocks_executed += (
-                        self._block_pos[key].get(op.instr, 0) + 1
-                    )
-                    wasted += self._wasted(schedule, op)
+                else:  # return
+                    value = action[1]
+                    blocks_executed += action[3]
+                    wasted += self._wasted(schedule, action[2])
                     stack.pop()
                     if stack:
                         caller = stack[-1]
@@ -369,7 +497,6 @@ class VLIWSimulator:
             icache_misses=self.icache.misses if self.icache else 0,
             miss_penalty_cycles=miss_cycles,
         )
-
 
     def _wasted(
         self, schedule: SuperblockSchedule, exit_op: ScheduledOp

@@ -1,0 +1,198 @@
+"""Parity and invalidation tests for the parallel + cached suite engine.
+
+The acceptance bar for every accelerator in :mod:`repro.experiments` is
+bit-identical results: a parallel run, a cached replay, and the serial
+uncached engine must agree on cycles, outputs, and the Figure 7 statistics.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentCache,
+    outcome_key,
+    profile_key,
+    reference_key,
+    resolve_jobs,
+    run_suite,
+)
+from repro.formation import scheme
+from repro.scheduling.machine import PAPER_MACHINE
+from repro.workloads.suite import workload_map
+
+TINY = 0.06
+
+SCHEMES = ["M4", "P4"]
+NAMES = ["alt", "wc"]
+
+
+def outcome_fingerprint(outcome):
+    """Everything the tables and figures read from one outcome."""
+    fp = {
+        "cycles": outcome.result.cycles,
+        "operations": outcome.result.operations,
+        "output": outcome.result.output,
+        "blocks_per_entry": outcome.result.avg_blocks_per_entry,
+        "superblock_size": outcome.result.avg_superblock_size,
+        "code_bytes": outcome.layout.code_bytes,
+        "reference_branches": outcome.reference.branches,
+    }
+    if outcome.cached_result is not None:
+        fp["cached_cycles"] = outcome.cached_result.cycles
+        fp["miss_rate"] = outcome.cached_result.icache_miss_rate
+    return fp
+
+
+def suite_fingerprint(results):
+    return {pair: outcome_fingerprint(o) for pair, o in results.items()}
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return run_suite(SCHEMES, NAMES, scale=TINY)
+
+
+class TestParallelParity:
+    def test_parallel_matches_serial(self, serial_results):
+        parallel = run_suite(SCHEMES, NAMES, scale=TINY, jobs=2)
+        assert suite_fingerprint(parallel) == suite_fingerprint(
+            serial_results
+        )
+        assert list(parallel) == list(serial_results)
+
+    def test_parallel_shares_profiles_within_workload(self):
+        results = run_suite(SCHEMES, ["alt"], scale=TINY, jobs=2)
+        assert (
+            results[("alt", "M4")].profiles
+            is results[("alt", "P4")].profiles
+        )
+        assert (
+            results[("alt", "M4")].reference
+            is results[("alt", "P4")].reference
+        )
+
+    def test_parallel_icache_matches_serial(self):
+        serial = run_suite(["M4"], ["alt"], scale=TINY, with_icache=True)
+        parallel = run_suite(
+            ["M4"], ["alt"], scale=TINY, with_icache=True, jobs=2
+        )
+        assert suite_fingerprint(parallel) == suite_fingerprint(serial)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+
+class TestCacheParity:
+    def test_cached_rerun_matches_uncached(self, serial_results, tmp_path):
+        cache = ExperimentCache(path=tmp_path)
+        first = run_suite(SCHEMES, NAMES, scale=TINY, cache=cache)
+        assert cache.stats.stores > 0
+        assert suite_fingerprint(first) == suite_fingerprint(serial_results)
+
+        # Fresh cache object: every artifact must come back from disk.
+        replay_cache = ExperimentCache(path=tmp_path)
+        replay = run_suite(SCHEMES, NAMES, scale=TINY, cache=replay_cache)
+        assert replay_cache.stats.hits == len(NAMES) * len(SCHEMES)
+        assert replay_cache.stats.misses == 0
+        assert suite_fingerprint(replay) == suite_fingerprint(serial_results)
+
+    def test_memo_layer_hits_without_disk(self):
+        cache = ExperimentCache(memory_only=True)
+        run_suite(SCHEMES, ["alt"], scale=TINY, cache=cache)
+        assert cache.stats.hits == 0
+        run_suite(SCHEMES, ["alt"], scale=TINY, cache=cache)
+        assert cache.stats.hits == len(SCHEMES)
+        assert cache.stats.disk_hits == 0
+
+    def test_profiles_and_reference_cached_across_runs(self, tmp_path):
+        cache = ExperimentCache(path=tmp_path)
+        run_suite(["M4"], ["alt"], scale=TINY, cache=cache)
+        # A new scheme misses on its outcome but reuses the workload's
+        # training profile and testing reference from the first run.
+        replay = ExperimentCache(path=tmp_path)
+        results = run_suite(["P4"], ["alt"], scale=TINY, cache=replay)
+        assert replay.stats.disk_hits >= 2  # profile + reference
+        assert results[("alt", "P4")].result.cycles > 0
+
+    def test_icache_entry_serves_ideal_lookup(self, tmp_path):
+        cache = ExperimentCache(path=tmp_path)
+        icache_run = run_suite(
+            ["M4"], ["alt"], scale=TINY, with_icache=True, cache=cache
+        )
+        replay = ExperimentCache(path=tmp_path)
+        ideal = run_suite(["M4"], ["alt"], scale=TINY, cache=replay)
+        outcome = ideal[("alt", "M4")]
+        assert outcome.cached_result is None
+        assert (
+            outcome.result.cycles
+            == icache_run[("alt", "M4")].result.cycles
+        )
+        # Served via the superset fallback: no pipeline was re-run.
+        assert replay.stats.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ExperimentCache(path=tmp_path)
+        cache.put("ab" + "0" * 62, {"x": 1})
+        entry = cache._entry_path("ab" + "0" * 62)
+        entry.write_bytes(b"not a pickle")
+        fresh = ExperimentCache(path=tmp_path)
+        assert fresh.get("ab" + "0" * 62) is None
+        assert not entry.exists()
+
+
+class TestCacheInvalidation:
+    def setup_method(self):
+        workload = workload_map()["alt"]
+        self.program = workload.program()
+        self.train = workload.train_tape(TINY)
+        self.test = workload.test_tape(TINY)
+
+    def _key(self, config, train=None, test=None, with_icache=False):
+        return outcome_key(
+            self.program,
+            config,
+            train if train is not None else self.train,
+            test if test is not None else self.test,
+            PAPER_MACHINE,
+            with_icache,
+            None,
+        )
+
+    def test_scheme_config_knob_changes_key(self):
+        base = self._key(scheme("M4"))
+        assert self._key(scheme("M4", unroll_factor=8)) != base
+        assert self._key(scheme("P4")) != base
+
+    def test_tape_changes_key(self):
+        base = self._key(scheme("M4"))
+        assert self._key(scheme("M4"), test=list(self.test) + [1]) != base
+        assert self._key(scheme("M4"), train=list(self.train) + [1]) != base
+
+    def test_icache_flag_changes_key(self):
+        assert self._key(scheme("M4")) != self._key(
+            scheme("M4"), with_icache=True
+        )
+
+    def test_program_changes_key(self):
+        other = workload_map()["wc"].program()
+        changed = outcome_key(
+            other,
+            scheme("M4"),
+            self.train,
+            self.test,
+            PAPER_MACHINE,
+            False,
+            None,
+        )
+        assert changed != self._key(scheme("M4"))
+
+    def test_profile_and_reference_keys_depend_on_inputs(self):
+        pk = profile_key(self.program, self.train, 15)
+        assert profile_key(self.program, self.train, 10) != pk
+        assert (
+            profile_key(self.program, list(self.train) + [1], 15) != pk
+        )
+        rk = reference_key(self.program, self.test)
+        assert reference_key(self.program, list(self.test) + [1]) != rk
+        assert pk != rk

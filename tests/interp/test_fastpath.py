@@ -1,0 +1,71 @@
+"""The no-observer fast path must behave exactly like the observed path."""
+
+from repro.interp.interpreter import ExecutionObserver, Interpreter
+from repro.profiling.collector import MultiObserver, fanout
+from repro.workloads.suite import workload_map
+
+TINY = 0.06
+
+
+class _CountingObserver(ExecutionObserver):
+    def __init__(self):
+        self.enters = 0
+        self.exits = 0
+        self.blocks = 0
+
+    def enter_procedure(self, proc_name, frame_id):
+        self.enters += 1
+
+    def exit_procedure(self, proc_name, frame_id):
+        self.exits += 1
+
+    def block_executed(self, proc_name, frame_id, label):
+        self.blocks += 1
+
+
+def _result_tuple(result):
+    return (
+        result.output,
+        result.return_value,
+        result.instructions,
+        result.branches,
+        dict(result.per_procedure),
+    )
+
+
+class TestFastPathParity:
+    def test_observer_none_matches_noop_observer(self):
+        for wname in ("alt", "wc", "corr"):
+            workload = workload_map()[wname]
+            program = workload.program()
+            tape = workload.test_tape(TINY)
+            fast = Interpreter(program).run(tape)
+            observed = Interpreter(
+                program, observer=ExecutionObserver()
+            ).run(tape)
+            assert _result_tuple(fast) == _result_tuple(observed)
+
+    def test_observer_sees_every_block_and_call(self):
+        workload = workload_map()["alt"]
+        program = workload.program()
+        counter = _CountingObserver()
+        Interpreter(program, observer=counter).run(
+            workload.test_tape(TINY)
+        )
+        assert counter.blocks > 0
+        assert counter.enters == counter.exits
+        assert counter.enters >= 1
+
+
+class TestFanout:
+    def test_single_observer_returned_unwrapped(self):
+        obs = _CountingObserver()
+        assert fanout([obs]) is obs
+
+    def test_multiple_observers_wrapped(self):
+        a, b = _CountingObserver(), _CountingObserver()
+        combined = fanout([a, b])
+        assert isinstance(combined, MultiObserver)
+        combined.block_executed("main", 0, "entry")
+        assert a.blocks == 1
+        assert b.blocks == 1
