@@ -2,7 +2,9 @@
 
 Runs a small suite slice four ways — serial/uncached (the baseline every
 accelerator must match bit-for-bit), parallel, cold-cache, and warm-cache —
-plus a raw interpreter throughput probe, and writes the measurements to
+plus a raw interpreter throughput probe, a profile-collection benchmark
+(streaming observers vs record-once/replay-many), and a depth-sweep timing
+over cold vs warm trace caches, and writes the measurements to
 ``BENCH_pipeline.json`` at the repo root.
 
 Usage::
@@ -28,8 +30,18 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.experiments import ExperimentCache, run_suite  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    MIN_PARALLEL_TASKS,
+    ExperimentCache,
+    depth_sweep,
+    run_suite,
+)
 from repro.interp.interpreter import run_program  # noqa: E402
+from repro.profiling import (  # noqa: E402
+    collect_profiles_streaming,
+    profiles_from_trace,
+    record_trace,
+)
 from repro.workloads.suite import workload_map  # noqa: E402
 
 SCHEMES = ["M4", "P4", "P4e"]
@@ -108,6 +120,121 @@ def end_to_end(scale):
     return report
 
 
+PROFILE_DEPTHS = (1, 3, 7, 15)
+
+
+def profile_collection(scale):
+    """Streaming observers vs record-once/replay-many over the suite slice.
+
+    Both engines produce all three profiles (edge, general path, forward
+    path) for every workload at every depth in ``PROFILE_DEPTHS``.  The
+    streaming baseline re-executes the interpreter under live observers
+    for each depth; the batch engine records each workload's trace once
+    and replays it per depth.
+    """
+    jobs = [
+        (workload_map()[name].program(), workload_map()[name].train_tape(scale))
+        for name in NAMES
+    ]
+
+    start = time.perf_counter()
+    stream_bundles = [
+        collect_profiles_streaming(
+            program, input_tape=train, depth=depth, include_forward=True
+        )
+        for program, train in jobs
+        for depth in PROFILE_DEPTHS
+    ]
+    stream_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    traced_runs = [
+        record_trace(program, input_tape=train) for program, train in jobs
+    ]
+    batch_bundles = [
+        profiles_from_trace(program, traced, depth=depth, include_forward=True)
+        for (program, _), traced in zip(jobs, traced_runs)
+        for depth in PROFILE_DEPTHS
+    ]
+    batch_wall = time.perf_counter() - start
+
+    for streamed, batched in zip(stream_bundles, batch_bundles):
+        assert batched.edge.edges == streamed.edge.edges
+        assert batched.path.paths == streamed.path.paths
+        assert batched.forward.paths == streamed.forward.paths
+
+    # Dynamic blocks profiled (one per executed block per depth pass).
+    blocks = sum(t.trace.num_blocks for t in traced_runs) * len(PROFILE_DEPTHS)
+    speedup = stream_wall / batch_wall if batch_wall else 0.0
+    print(
+        f"  profiles stream  {stream_wall:7.2f}s "
+        f"({blocks / stream_wall:,.0f} blocks/sec)"
+    )
+    print(
+        f"  profiles batch   {batch_wall:7.2f}s "
+        f"({blocks / batch_wall:,.0f} blocks/sec, {speedup:.2f}x)"
+    )
+    return {
+        "workloads": NAMES,
+        "depths": list(PROFILE_DEPTHS),
+        "profiles": ["edge", "path", "forward"],
+        "dynamic_blocks_profiled": blocks,
+        "wall_seconds": {
+            "streaming_observers": round(stream_wall, 3),
+            "record_and_replay": round(batch_wall, 3),
+        },
+        "blocks_per_second": {
+            "streaming_observers": round(blocks / stream_wall),
+            "record_and_replay": round(blocks / batch_wall),
+        },
+        "speedup_record_replay_vs_streaming": round(speedup, 2),
+        "parity": "all profiles identical across both engines",
+    }
+
+
+def depth_sweep_trace_cache(scale):
+    """Time the depth-sweep ablation on a cold vs a warm trace cache.
+
+    On the warm run, ``record_trace`` is replaced with a tripwire: the
+    sweep must complete purely by replaying cached traces — re-executing
+    the interpreter on any training input is a failure, not a slowdown.
+    """
+    import repro.experiments.ablations as ablations
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_cache = ExperimentCache(path=tmp)
+        start = time.perf_counter()
+        cold_rows = depth_sweep(scale=scale, cache=cold_cache)
+        cold_wall = time.perf_counter() - start
+        print(f"  depthsweep cold  {cold_wall:7.2f}s")
+
+        warm_cache = ExperimentCache(path=tmp)
+        saved = ablations.record_trace
+
+        def tripwire(*args, **kwargs):
+            raise RuntimeError("warm depth sweep re-executed the interpreter")
+
+        ablations.record_trace = tripwire
+        try:
+            start = time.perf_counter()
+            warm_rows = depth_sweep(scale=scale, cache=warm_cache)
+            warm_wall = time.perf_counter() - start
+        finally:
+            ablations.record_trace = saved
+        print(f"  depthsweep warm  {warm_wall:7.2f}s")
+    assert warm_rows == cold_rows, "depth-sweep trace replay parity broken"
+    return {
+        "depths": [1, 3, 7, 15],
+        "wall_seconds": {
+            "trace_cache_cold": round(cold_wall, 3),
+            "trace_cache_warm": round(warm_wall, 3),
+        },
+        "speedup_warm_vs_cold": round(cold_wall / warm_wall, 2),
+        "warm_run": "zero training-run interpreter executions (enforced)",
+        "parity": "identical rows cold vs warm",
+    }
+
+
 def interpreter_throughput(scale):
     """Dynamic instructions per second through the reference interpreter."""
     workload = workload_map()["eqn"]
@@ -140,8 +267,14 @@ def main(argv=None) -> int:
     )
 
     serial_wall, serial = time_suite("serial", scale=args.scale)
+    # min_parallel_tasks=0 bypasses the serial fallback so this measures
+    # the true pool cost for a batch this size (15 tasks is under the
+    # MIN_PARALLEL_TASKS threshold precisely because of this number).
     parallel_wall, parallel = time_suite(
-        f"parallel x{args.jobs}", scale=args.scale, jobs=args.jobs
+        f"parallel x{args.jobs}",
+        scale=args.scale,
+        jobs=args.jobs,
+        min_parallel_tasks=0,
     )
     assert _cycles(parallel) == _cycles(serial), "parallel parity broken"
 
@@ -155,6 +288,9 @@ def main(argv=None) -> int:
         )
         assert _cycles(warm) == _cycles(serial), "warm-cache parity broken"
         hit_rate = warm_cache.stats.hit_rate
+
+    profile_report = profile_collection(args.scale)
+    sweep_report = depth_sweep_trace_cache(args.scale)
 
     instructions, interp_wall = interpreter_throughput(args.scale)
     ips = instructions / interp_wall if interp_wall else 0.0
@@ -177,7 +313,14 @@ def main(argv=None) -> int:
             "cache_cold": round(serial_wall / cold_wall, 2),
             "cache_warm": round(serial_wall / warm_wall, 2),
         },
+        "parallel_note": (
+            f"pool forced on for measurement; real runs under"
+            f" {MIN_PARALLEL_TASKS} tasks fall back to the serial engine"
+            f" (this batch is {len(NAMES) * len(SCHEMES)} tasks)"
+        ),
         "warm_cache_hit_rate": round(hit_rate, 3),
+        "profile_collection": profile_report,
+        "depth_sweep": sweep_report,
         "interpreter": {
             "workload": "eqn",
             "instructions": instructions,

@@ -13,6 +13,9 @@ Performance flags:
 * ``--no-cache`` — recompute everything, ignoring the on-disk result cache.
 * ``--cache-dir PATH`` — cache location (default ``$REPRO_CACHE_DIR`` or
   ``~/.cache/repro-experiments``).
+* ``--trace-cache`` / ``--no-trace-cache`` — record each training run once
+  as a compact execution trace, cache it, and replay it through the batch
+  profilers whenever a profile (at any depth) is needed (default on).
 
 All of them are result-transparent: the rendered tables and figures are
 byte-identical whatever their setting.
@@ -25,7 +28,9 @@ import sys
 
 from . import (
     ExperimentCache,
+    depth_sweep,
     figure4,
+    format_depth_sweep,
     format_forward_vs_general,
     format_latency_sensitivity,
     format_static_prediction,
@@ -45,36 +50,82 @@ from . import (
     table1,
 )
 
-# Suite-backed experiments accept jobs/cache; the ablations are small
-# single-purpose loops and ignore them.
+# Suite-backed experiments accept jobs/cache/traces; most ablations are
+# small single-purpose loops and ignore them, but the depth sweep replays
+# cached traces.
 EXPERIMENTS = {
-    "table1": lambda scale, verbose, jobs, cache: format_table1(
-        table1(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
+    "table1": lambda scale, verbose, jobs, cache, traces: format_table1(
+        table1(
+            scale=scale,
+            verbose=verbose,
+            jobs=jobs,
+            cache=cache,
+            trace_cache=traces,
+        )
     ),
-    "figure4": lambda scale, verbose, jobs, cache: format_figure4(
-        figure4(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
+    "figure4": lambda scale, verbose, jobs, cache, traces: format_figure4(
+        figure4(
+            scale=scale,
+            verbose=verbose,
+            jobs=jobs,
+            cache=cache,
+            trace_cache=traces,
+        )
     ),
-    "figure5": lambda scale, verbose, jobs, cache: format_figure5(
-        figure5(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
+    "figure5": lambda scale, verbose, jobs, cache, traces: format_figure5(
+        figure5(
+            scale=scale,
+            verbose=verbose,
+            jobs=jobs,
+            cache=cache,
+            trace_cache=traces,
+        )
     ),
-    "figure6": lambda scale, verbose, jobs, cache: format_figure6(
-        figure6(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
+    "figure6": lambda scale, verbose, jobs, cache, traces: format_figure6(
+        figure6(
+            scale=scale,
+            verbose=verbose,
+            jobs=jobs,
+            cache=cache,
+            trace_cache=traces,
+        )
     ),
-    "figure7": lambda scale, verbose, jobs, cache: format_figure7(
-        figure7(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
+    "figure7": lambda scale, verbose, jobs, cache, traces: format_figure7(
+        figure7(
+            scale=scale,
+            verbose=verbose,
+            jobs=jobs,
+            cache=cache,
+            trace_cache=traces,
+        )
     ),
-    "missrates": lambda scale, verbose, jobs, cache: format_missrates(
-        missrates(scale=scale, verbose=verbose, jobs=jobs, cache=cache)
+    "missrates": lambda scale, verbose, jobs, cache, traces: format_missrates(
+        missrates(
+            scale=scale,
+            verbose=verbose,
+            jobs=jobs,
+            cache=cache,
+            trace_cache=traces,
+        )
     ),
-    "latency": lambda scale, verbose, jobs, cache: format_latency_sensitivity(
-        latency_sensitivity(scale=scale, verbose=verbose)
+    "depthsweep": lambda scale, verbose, jobs, cache, traces: (
+        format_depth_sweep(
+            depth_sweep(
+                scale=scale, verbose=verbose, cache=cache if traces else None
+            )
+        )
     ),
-    "forwardpaths": lambda scale, verbose, jobs, cache: (
+    "latency": lambda scale, verbose, jobs, cache, traces: (
+        format_latency_sensitivity(
+            latency_sensitivity(scale=scale, verbose=verbose)
+        )
+    ),
+    "forwardpaths": lambda scale, verbose, jobs, cache, traces: (
         format_forward_vs_general(
             forward_vs_general(scale=scale, verbose=verbose)
         )
     ),
-    "prediction": lambda scale, verbose, jobs, cache: (
+    "prediction": lambda scale, verbose, jobs, cache, traces: (
         format_static_prediction(
             static_prediction(scale=scale, verbose=verbose)
         )
@@ -119,12 +170,31 @@ def main(argv=None) -> int:
         help="result cache directory (default: $REPRO_CACHE_DIR or"
         " ~/.cache/repro-experiments)",
     )
+    parser.add_argument(
+        "--trace-cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="store recorded execution traces in the result cache and"
+        " replay them instead of re-running the interpreter (default on;"
+        " --no-trace-cache disables)",
+    )
     args = parser.parse_args(argv)
 
     cache = None if args.no_cache else ExperimentCache(path=args.cache_dir)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        # "all" is the canonical paper-regeneration artifact; its output is
+        # kept stable so engine changes can be diffed against it.  The
+        # depth-sweep demo is newer than that baseline and must be asked
+        # for by name.
+        names = sorted(name for name in EXPERIMENTS if name != "depthsweep")
+    else:
+        names = [args.experiment]
     for name in names:
-        print(EXPERIMENTS[name](args.scale, not args.quiet, args.jobs, cache))
+        print(
+            EXPERIMENTS[name](
+                args.scale, not args.quiet, args.jobs, cache, args.trace_cache
+            )
+        )
         print()
     if cache is not None and not args.quiet:
         print(f"[cache] {cache.stats.summary()}", file=sys.stderr)

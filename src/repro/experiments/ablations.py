@@ -11,6 +11,11 @@
   profile's preferred successor match the actual dynamic successor?  Path
   profiles condition the prediction on the preceding block history; edge
   profiles cannot.
+* :func:`depth_sweep` — Section 3.1 fixes the profiling depth at 15
+  branches; how much path information (and schedule quality) do shallower
+  depths give up?  Each workload's training run is recorded **once** and
+  the trace replayed through the batch path profiler at every depth — the
+  interpreter never re-executes per depth.
 """
 
 from __future__ import annotations
@@ -21,11 +26,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..formation import FormationConfig, PathEnlargeConfig, form_superblocks, scheme
 from ..interp.interpreter import ExecutionObserver, run_program
 from ..pipeline import run_scheme
-from ..profiling.collector import collect_profiles
+from ..profiling.collector import (
+    TracedRun,
+    collect_profiles,
+    profiles_from_trace,
+    record_trace,
+)
 from ..scheduling.machine import MachineModel, PAPER_MACHINE, REALISTIC_MACHINE
 from ..workloads.base import Workload
 from ..workloads.suite import workload_map
+from .cache import ExperimentCache, trace_key
 from .render import format_table
+
+#: The reduced sweep used by the ``depthsweep`` experiment and the parity
+#: suite (the paper's fixed depth, 15, is the last point).
+DEFAULT_SWEEP_DEPTHS = (1, 3, 7, 15)
 
 
 # -- latency sensitivity -----------------------------------------------------
@@ -187,6 +202,103 @@ def format_forward_vs_general(rows: List[ForwardVsGeneralRow]) -> str:
             for r in rows
         ],
         title="P4 formation from general vs forward path profiles",
+    )
+
+
+# -- profiling-depth sweep ----------------------------------------------------
+
+
+@dataclass
+class DepthSweepRow:
+    """Path-profile statistics and P4 schedule quality at one depth."""
+
+    workload: str
+    depth: int
+    #: distinct recorded paths across all procedures at this depth
+    distinct_paths: int
+    #: cycles of P4 formation driven by this depth's path profile
+    cycles: int
+
+
+def fetch_traced_run(
+    workload: Workload,
+    scale: float,
+    cache: Optional[ExperimentCache] = None,
+) -> TracedRun:
+    """The workload's recorded training run: cache replay when possible,
+    record (and store) otherwise."""
+    program = workload.program()
+    train = workload.train_tape(scale)
+    traced = None
+    key = None
+    if cache is not None:
+        key = trace_key(program, train)
+        traced = cache.get(key)
+    if traced is None:
+        traced = record_trace(program, input_tape=train)
+        if cache is not None:
+            cache.put(key, traced)
+    return traced
+
+
+def depth_sweep(
+    scale: float = 1.0,
+    depths: Sequence[int] = DEFAULT_SWEEP_DEPTHS,
+    workload_names: Sequence[str] = ("alt", "corr", "wc", "eqn"),
+    verbose: bool = False,
+    cache: Optional[ExperimentCache] = None,
+) -> List[DepthSweepRow]:
+    """P4 formation quality as a function of path-profiling depth.
+
+    Record-once/replay-many in action: the training input executes once
+    per workload (or zero times, on a warm trace cache) and the batch path
+    profiler replays the trace at every depth.
+    """
+    table = workload_map()
+    rows: List[DepthSweepRow] = []
+    for name in workload_names:
+        workload = table[name]
+        if verbose:
+            print(f"[depth] {name} ...", flush=True)
+        program = workload.program()
+        train = workload.train_tape(scale)
+        test = workload.test_tape(scale)
+        traced = fetch_traced_run(workload, scale, cache=cache)
+        reference = run_program(program, input_tape=test)
+        for depth in depths:
+            bundle = profiles_from_trace(program, traced, depth=depth)
+            outcome = run_scheme(
+                program,
+                "P4",
+                train,
+                test,
+                profiles=bundle,
+                reference=reference,
+            )
+            rows.append(
+                DepthSweepRow(
+                    workload=name,
+                    depth=depth,
+                    distinct_paths=sum(
+                        len(paths) for paths in bundle.path.paths.values()
+                    ),
+                    cycles=outcome.result.cycles,
+                )
+            )
+    return rows
+
+
+def format_depth_sweep(rows: List[DepthSweepRow]) -> str:
+    return format_table(
+        ["benchmark", "depth", "distinct paths", "P4 cycles"],
+        [
+            (r.workload, r.depth, r.distinct_paths, r.cycles)
+            for r in rows
+        ],
+        title=(
+            "Depth sweep: P4 from one recorded trace replayed at each"
+            " profiling depth"
+        ),
     )
 
 

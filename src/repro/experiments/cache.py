@@ -140,6 +140,31 @@ def profile_key(
     )
 
 
+def trace_key(
+    program: Program,
+    train_tape: Sequence[int],
+    args: Sequence[int] = (),
+    step_limit: int = 50_000_000,
+) -> str:
+    """Cache key for a recorded training-run
+    :class:`~repro.profiling.collector.TracedRun`.
+
+    Unlike :func:`profile_key`, the trace key is depth-independent: one
+    recorded trace replays into profiles at *every* depth and for every
+    profiler kind, so depth sweeps and forward-profile ablations hit the
+    same entry.
+    """
+    return _digest(
+        "trace",
+        CACHE_FORMAT,
+        __version__,
+        program_fingerprint(program),
+        tuple(train_tape),
+        tuple(args),
+        step_limit,
+    )
+
+
 def reference_key(
     program: Program,
     test_tape: Sequence[int],

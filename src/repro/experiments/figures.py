@@ -76,6 +76,7 @@ def figure4(
     verbose: bool = False,
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
+    trace_cache: bool = True,
 ) -> NormalizedSeries:
     """P4 vs M4 cycle counts, ideal I-cache, all benchmarks."""
     names = list(workload_names) if workload_names else SUITE_ORDER
@@ -87,6 +88,7 @@ def figure4(
         verbose=verbose,
         jobs=jobs,
         cache=cache,
+        trace_cache=trace_cache,
     )
     return _normalized(results, names, ["P4"], baseline="M4", cached=False)
 
@@ -107,6 +109,7 @@ def figure5(
     verbose: bool = False,
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
+    trace_cache: bool = True,
 ) -> NormalizedSeries:
     """P4 and P4e vs M4 through the 32KB direct-mapped I-cache."""
     names = list(workload_names) if workload_names else SPEC_NAMES
@@ -118,6 +121,7 @@ def figure5(
         verbose=verbose,
         jobs=jobs,
         cache=cache,
+        trace_cache=trace_cache,
     )
     return _normalized(
         results, names, ["P4", "P4e"], baseline="M4", cached=True
@@ -140,6 +144,7 @@ def figure6(
     verbose: bool = False,
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
+    trace_cache: bool = True,
 ) -> NormalizedSeries:
     """P4e (paths, unroll 4) vs M16 (edges, unroll 16), I-cache included."""
     names = list(workload_names) if workload_names else SPEC_NAMES
@@ -151,6 +156,7 @@ def figure6(
         verbose=verbose,
         jobs=jobs,
         cache=cache,
+        trace_cache=trace_cache,
     )
     return _normalized(
         results, names, ["P4e", "M16"], baseline="M4", cached=True
@@ -183,6 +189,7 @@ def figure7(
     verbose: bool = False,
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
+    trace_cache: bool = True,
 ) -> Figure7Data:
     """Blocks executed per dynamic superblock vs superblock size."""
     names = list(workload_names) if workload_names else SUITE_ORDER
@@ -194,6 +201,7 @@ def figure7(
         verbose=verbose,
         jobs=jobs,
         cache=cache,
+        trace_cache=trace_cache,
     )
     data = Figure7Data()
     for wname in names:
@@ -241,6 +249,7 @@ def missrates(
     verbose: bool = False,
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
+    trace_cache: bool = True,
 ) -> List[MissRateRow]:
     """The gcc/go miss-rate comparison of Section 4."""
     results = run_suite(
@@ -251,6 +260,7 @@ def missrates(
         verbose=verbose,
         jobs=jobs,
         cache=cache,
+        trace_cache=trace_cache,
     )
     rows = []
     for wname in workload_names:

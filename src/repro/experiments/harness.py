@@ -6,13 +6,19 @@ and one reference-interpreter run on the testing input checks all of them
 (the reference is scheme-independent).
 
 :func:`run_suite` is the engine behind every table and figure.  It layers
-three accelerators over the serial pipeline, all result-transparent:
+four accelerators over the serial pipeline, all result-transparent:
 
 * ``cache=`` replays previously computed (workload, scheme) outcomes — and
-  training profiles, and testing references — from an
-  :class:`~repro.experiments.cache.ExperimentCache`;
+  training profiles, testing references, and recorded execution traces —
+  from an :class:`~repro.experiments.cache.ExperimentCache`;
+* training runs are **recorded once** as compact execution traces and
+  replayed through the batch profilers (see :mod:`repro.profiling`); a
+  cached trace means a profile miss never re-executes the interpreter;
 * ``jobs=`` fans the remaining pairs out over worker processes (see
-  :mod:`repro.experiments.parallel`); ``jobs=0`` means one per CPU;
+  :mod:`repro.experiments.parallel`); ``jobs=0`` means one per CPU, and
+  batches below :data:`~repro.experiments.parallel.MIN_PARALLEL_TASKS`
+  fall back to the serial engine (pool startup would cost more than it
+  saves);
 * pre-decoded interpreter/simulator fast paths (always on) do the rest.
 
 Results are merged deterministically in (workload, scheme) request order,
@@ -27,14 +33,31 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..formation import scheme
 from ..interp.interpreter import ExecutionResult, run_program
 from ..pipeline import SchemeOutcome, run_scheme
-from ..profiling.collector import ProfileBundle, collect_profiles
+from ..profiling.collector import (
+    ProfileBundle,
+    TracedRun,
+    collect_profiles,
+    profiles_from_trace,
+    record_trace,
+)
 from ..profiling.path_profile import DEFAULT_DEPTH
 from ..scheduling.machine import MachineModel, PAPER_MACHINE
 from ..simulate.icache import ICacheConfig
 from ..workloads.base import Workload
 from ..workloads.suite import all_workloads, workload_map
-from .cache import ExperimentCache, outcome_key, profile_key, reference_key
-from .parallel import resolve_jobs, run_pairs_parallel
+from .cache import (
+    ExperimentCache,
+    outcome_key,
+    profile_key,
+    reference_key,
+    trace_key,
+)
+from .parallel import (
+    log_serial_fallback,
+    resolve_jobs,
+    run_pairs_parallel,
+    should_parallelize,
+)
 
 #: (workload name, scheme name) -> outcome
 SuiteResults = Dict[Tuple[str, str], SchemeOutcome]
@@ -85,6 +108,8 @@ def run_suite(
     verbose: bool = False,
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
+    trace_cache: bool = True,
+    min_parallel_tasks: Optional[int] = None,
 ) -> SuiteResults:
     """Run a set of workloads under a set of schemes.
 
@@ -98,8 +123,14 @@ def run_suite(
         verbose: print progress lines.
         jobs: worker processes; 1 = in-process serial, 0/None = one per
             CPU.  Parallel results are bit-identical to serial ones.
-        cache: replay outcomes/profiles/references from this cache and
-            store whatever had to be computed.
+        cache: replay outcomes/profiles/references/traces from this cache
+            and store whatever had to be computed.
+        trace_cache: also store (and replay) recorded execution traces in
+            ``cache``, so a profile miss at a new depth never re-executes
+            the interpreter.  Ignored when ``cache`` is ``None``.
+        min_parallel_tasks: override the serial-fallback threshold
+            (:data:`~repro.experiments.parallel.MIN_PARALLEL_TASKS`); pass
+            ``0`` to force the pool for any task count.
 
     Returns:
         Map from (workload, scheme) to the full outcome.
@@ -145,7 +176,9 @@ def run_suite(
     computed: Dict[Tuple[str, str], SchemeOutcome] = {}
     profiles_by: Dict[str, ProfileBundle] = {}
     references_by: Dict[str, ExecutionResult] = {}
+    traces_by: Dict[str, TracedRun] = {}
     if pending:
+        cached_profiles: set = set()
         if cache is not None:
             for wname in pending:
                 train, test = tapes[wname]
@@ -155,11 +188,29 @@ def run_suite(
                 )
                 if bundle is not None:
                     profiles_by[wname] = bundle
+                    cached_profiles.add(wname)
+                elif trace_cache:
+                    # A recorded trace replays into the bundle without
+                    # re-executing the interpreter; the derived bundle is
+                    # still stored under its profile key afterwards.
+                    traced = cache.get(trace_key(program, train))
+                    if traced is not None:
+                        traces_by[wname] = traced
+                        profiles_by[wname] = profiles_from_trace(
+                            program, traced
+                        )
                 reference = cache.get(reference_key(program, test))
                 if reference is not None:
                     references_by[wname] = reference
-        cached_profiles = set(profiles_by)
         cached_references = set(references_by)
+        cached_traces = set(traces_by)
+
+        task_count = sum(len(wanted) for wanted in pending.values())
+        if jobs > 1 and not should_parallelize(
+            task_count, jobs, min_parallel_tasks
+        ):
+            log_serial_fallback(task_count, jobs)
+            jobs = 1
 
         if jobs > 1:
             computed = run_pairs_parallel(
@@ -172,6 +223,7 @@ def run_suite(
                 profiles_by,
                 references_by,
                 verbose=verbose,
+                traces_by_workload=traces_by,
             )
         else:
             for wname, wanted in pending.items():
@@ -182,7 +234,11 @@ def run_suite(
                     print(f"[suite] {wname} ...", flush=True)
                 profiles = profiles_by.get(wname)
                 if profiles is None:
-                    profiles = collect_profiles(program, input_tape=train)
+                    traced = traces_by.get(wname)
+                    if traced is None:
+                        traced = record_trace(program, input_tape=train)
+                        traces_by[wname] = traced
+                    profiles = profiles_from_trace(program, traced)
                     profiles_by[wname] = profiles
                 reference = references_by.get(wname)
                 if reference is None:
@@ -209,6 +265,14 @@ def run_suite(
                     cache.put(
                         profile_key(program, train, DEFAULT_DEPTH),
                         profiles_by[wname],
+                    )
+                if (
+                    trace_cache
+                    and wname not in cached_traces
+                    and wname in traces_by
+                ):
+                    cache.put(
+                        trace_key(program, train), traces_by[wname]
                     )
                 if (
                     wname not in cached_references

@@ -22,18 +22,52 @@ to the serial one's regardless of completion order.
 
 from __future__ import annotations
 
+import sys
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..interp.interpreter import ExecutionResult, run_program
 from ..pipeline import SchemeOutcome, run_scheme
-from ..profiling.collector import ProfileBundle, collect_profiles
+from ..profiling.collector import (
+    ProfileBundle,
+    TracedRun,
+    profiles_from_trace,
+    record_trace,
+)
 from ..scheduling.machine import MachineModel
 from ..workloads.base import Workload
 from ..workloads.suite import workload_map
 
 #: Per-worker-process workload registry (programs memoize on the instances).
 _WORKLOADS: Dict[str, Workload] = {}
+
+#: Below this many (workload, scheme) tasks, pool startup and pickling cost
+#: more than they save: BENCH_pipeline.json measured 0.59x vs serial for a
+#: 15-task slice at scale 0.25 under a 2-worker pool.  :func:`run_suite`
+#: falls back to the serial engine under the threshold (and logs it).
+MIN_PARALLEL_TASKS = 16
+
+
+def should_parallelize(
+    task_count: int, jobs: int, min_tasks: Optional[int] = None
+) -> bool:
+    """True when a ``task_count``-task batch is worth a worker pool."""
+    if jobs <= 1:
+        return False
+    threshold = MIN_PARALLEL_TASKS if min_tasks is None else min_tasks
+    return task_count >= threshold
+
+
+def log_serial_fallback(task_count: int, jobs: int) -> None:
+    """Tell the user (on stderr, never polluting table output) that a
+    small batch is running serially."""
+    print(
+        f"[parallel] {task_count} task(s) <"
+        f" {MIN_PARALLEL_TASKS}-task threshold:"
+        f" running serially instead of on {jobs} workers",
+        file=sys.stderr,
+        flush=True,
+    )
 
 
 def _workload(name: str) -> Workload:
@@ -54,16 +88,20 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 def _profile_task(
     wname: str, scale: float
-) -> Tuple[str, ProfileBundle, ExecutionResult]:
-    """Stage 1: training-run profiles + testing-run reference for one
-    workload."""
+) -> Tuple[str, TracedRun, ProfileBundle, ExecutionResult]:
+    """Stage 1: record the training trace, replay it into profiles, and run
+    the testing-input reference for one workload.
+
+    The trace ships back alongside the bundle so the parent process can
+    persist it in the experiment cache for later replays (depth sweeps,
+    forward-profile ablations) without re-executing the interpreter.
+    """
     workload = _workload(wname)
     program = workload.program()
-    profiles = collect_profiles(
-        program, input_tape=workload.train_tape(scale)
-    )
+    traced = record_trace(program, input_tape=workload.train_tape(scale))
+    profiles = profiles_from_trace(program, traced)
     reference = run_program(program, input_tape=workload.test_tape(scale))
-    return wname, profiles, reference
+    return wname, traced, profiles, reference
 
 
 def _scheme_task(
@@ -102,12 +140,14 @@ def run_pairs_parallel(
     profiles_by_workload: Dict[str, ProfileBundle],
     references_by_workload: Dict[str, ExecutionResult],
     verbose: bool = False,
+    traces_by_workload: Optional[Dict[str, TracedRun]] = None,
 ) -> Dict[Tuple[str, str], SchemeOutcome]:
     """Compute ``pending`` (workload -> scheme names) outcomes in parallel.
 
     ``profiles_by_workload`` / ``references_by_workload`` seed the profile
     stage (e.g. from the cache) and are filled in for workloads profiled
-    here, so callers can persist the new bundles.
+    here, so callers can persist the new bundles; workloads traced here
+    also land in ``traces_by_workload`` (when given) for the same reason.
     """
     computed: Dict[Tuple[str, str], SchemeOutcome] = {}
     with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -146,7 +186,9 @@ def run_pairs_parallel(
         while outstanding:
             done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
             for future in done:
-                wname, profiles, reference = future.result()
+                wname, traced, profiles, reference = future.result()
+                if traces_by_workload is not None:
+                    traces_by_workload[wname] = traced
                 profiles_by_workload[wname] = profiles
                 references_by_workload[wname] = reference
                 for sname in profile_futures[future]:

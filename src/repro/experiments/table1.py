@@ -45,6 +45,7 @@ def table1(
     verbose: bool = False,
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
+    trace_cache: bool = True,
 ) -> List[Table1Row]:
     """Regenerate Table 1's rows at the given input scale."""
     workloads = [
@@ -59,6 +60,7 @@ def table1(
         verbose=verbose,
         jobs=jobs,
         cache=cache,
+        trace_cache=trace_cache,
     )
     rows: List[Table1Row] = []
     for workload in workloads:

@@ -7,17 +7,21 @@ from .interpreter import (
     InterpreterError,
     StepLimitExceeded,
     run_program,
+    run_program_traced,
 )
 from .ops import BINARY_EVAL, MachineFault, UNARY_EVAL
+from .trace import ExecutionTrace
 
 __all__ = [
     "BINARY_EVAL",
     "ExecutionObserver",
     "ExecutionResult",
+    "ExecutionTrace",
     "Interpreter",
     "InterpreterError",
     "MachineFault",
     "StepLimitExceeded",
     "UNARY_EVAL",
     "run_program",
+    "run_program_traced",
 ]

@@ -23,16 +23,25 @@ lookups out of the hot loop.  Decoded blocks are cached per interpreter
 instance, so repeated executions of a block pay decode cost once.  When no
 observer is attached, a dedicated fast-path loop with no profiling hooks
 runs instead of the instrumented one.
+
+A third loop, :meth:`Interpreter.run_traced`, records the dynamic block
+stream as a compact :class:`~repro.interp.trace.ExecutionTrace` instead of
+calling observers: per executed block it pays one interning-dict probe and
+one ``array('i')`` append, so recording costs a fraction of a single
+observer callback while capturing enough to replay *every* profiler —
+edge, general path, forward path, at any depth — offline.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.cfg import BasicBlock, Procedure, Program
 from ..ir.instructions import Instruction, Opcode
 from .ops import BINARY_EVAL, MachineFault, UNARY_EVAL
+from .trace import TRACE_TYPECODE, ExecutionTrace
 
 
 class InterpreterError(Exception):
@@ -244,6 +253,19 @@ class Interpreter:
             return self._run_fast(input_tape, args)
         return self._run_observed(input_tape, args)
 
+    def run_traced(
+        self, input_tape: Sequence[int] = (), args: Sequence[int] = ()
+    ) -> Tuple[ExecutionResult, ExecutionTrace]:
+        """Run the program, recording the block stream as a compact trace.
+
+        Returns the usual :class:`ExecutionResult` (identical to what
+        :meth:`run` produces on the same inputs) plus the
+        :class:`~repro.interp.trace.ExecutionTrace` of the run.  Any
+        attached observer is ignored: tracing replaces live observation —
+        replay the trace through the batch profilers instead.
+        """
+        return self._run_traced(input_tape, args)
+
     # -- shared helpers ------------------------------------------------------
 
     def _make_frame(
@@ -425,6 +447,224 @@ class Interpreter:
             calls=calls,
             per_procedure=per_procedure,
         )
+
+    # -- trace-recording path ------------------------------------------------
+
+    def _run_traced(
+        self, input_tape: Sequence[int], args: Sequence[int]
+    ) -> Tuple[ExecutionResult, ExecutionTrace]:
+        program = self.program
+        memory: Dict[int, int] = {}
+        output: List[int] = []
+        tape = list(input_tape)
+        tape_pos = 0
+        tape_len = len(tape)
+
+        instructions = 0
+        branches = 0
+        blocks = 0
+        calls = 0
+        per_procedure: Dict[str, int] = {}
+
+        limit = self.step_limit
+        next_frame_id = 1
+        decode = _decode_block
+
+        # Trace state: per-procedure label interning plus one flat block-id
+        # buffer per activation.  ``tstack`` mirrors the frame stack so the
+        # current frame's buffer and intern map are plain locals.
+        proc_ids: Dict[str, int] = {}
+        label_maps: List[Dict[str, int]] = []
+        label_lists: List[List[str]] = []
+        frames_rec: List[Tuple[int, array]] = []
+
+        def open_frame(proc: Procedure) -> Tuple[array, Dict[str, int], List[str]]:
+            pidx = proc_ids.get(proc.name)
+            if pidx is None:
+                pidx = proc_ids[proc.name] = len(label_lists)
+                label_maps.append({})
+                label_lists.append([])
+            tmap = label_maps[pidx]
+            tlist = label_lists[pidx]
+            tbuf = array(TRACE_TYPECODE)
+            frames_rec.append((pidx, tbuf))
+            entry = proc.entry_label
+            lid = tmap.get(entry)
+            if lid is None:
+                lid = tmap[entry] = len(tlist)
+                tlist.append(entry)
+            tbuf.append(lid)
+            return tbuf, tmap, tlist
+
+        entry_proc = program.procedure(program.entry)
+        stack: List[_Frame] = [
+            self._make_frame(entry_proc, list(args), 0, None)
+        ]
+        tstack = [open_frame(entry_proc)]
+        blocks += 1
+        return_value = 0
+
+        while stack:
+            frame = stack[-1]
+            proc = frame.proc
+            regs = frame.regs
+            spill = frame.spill
+            pcache = frame.pcache
+            instrs = frame.dblock
+            index = frame.index
+            n = len(instrs)
+            tbuf, tmap, tlist = tstack[-1]
+            tappend = tbuf.append
+            round_start = instructions
+            transferred = False
+            while index < n:
+                d = instrs[index]
+                instructions += 1
+                if instructions > limit:
+                    raise StepLimitExceeded(
+                        f"exceeded {limit} dynamic instructions"
+                    )
+                k = d[0]
+                if k == 0:  # _K_BINOP
+                    regs[d[2]] = d[1](regs[d[3]], regs[d[4]])
+                elif k == 1:  # _K_BR
+                    branches += 1
+                    target = d[2] if regs[d[1]] else d[3]
+                    dblock = pcache.get(target)
+                    if dblock is None:
+                        dblock = pcache[target] = decode(
+                            program, proc.block(target)
+                        )
+                    frame.label = target
+                    instrs = dblock
+                    n = len(instrs)
+                    index = 0
+                    blocks += 1
+                    lid = tmap.get(target)
+                    if lid is None:
+                        lid = tmap[target] = len(tlist)
+                        tlist.append(target)
+                    tappend(lid)
+                    continue
+                elif k == 2:  # _K_LI
+                    regs[d[1]] = d[2]
+                elif k == 3:  # _K_MOV
+                    regs[d[1]] = regs[d[2]]
+                elif k == 4:  # _K_LOAD
+                    regs[d[1]] = memory.get(regs[d[2]], 0)
+                elif k == 5:  # _K_JMP
+                    target = d[1]
+                    dblock = pcache.get(target)
+                    if dblock is None:
+                        dblock = pcache[target] = decode(
+                            program, proc.block(target)
+                        )
+                    frame.label = target
+                    instrs = dblock
+                    n = len(instrs)
+                    index = 0
+                    blocks += 1
+                    lid = tmap.get(target)
+                    if lid is None:
+                        lid = tmap[target] = len(tlist)
+                        tlist.append(target)
+                    tappend(lid)
+                    continue
+                elif k == 6:  # _K_STORE
+                    memory[regs[d[1]]] = regs[d[2]]
+                elif k == 7:  # _K_READ
+                    if tape_pos < tape_len:
+                        regs[d[1]] = tape[tape_pos]
+                        tape_pos += 1
+                    else:
+                        regs[d[1]] = -1
+                elif k == 8:  # _K_PRINT
+                    output.append(regs[d[1]])
+                elif k == 9:  # _K_UNOP
+                    regs[d[2]] = d[1](regs[d[3]])
+                elif k == 10:  # _K_MBR
+                    branches += 1
+                    targets = d[2]
+                    sel = regs[d[1]]
+                    if 0 <= sel < len(targets) - 1:
+                        target = targets[sel]
+                    else:
+                        target = targets[-1]
+                    dblock = pcache.get(target)
+                    if dblock is None:
+                        dblock = pcache[target] = decode(
+                            program, proc.block(target)
+                        )
+                    frame.label = target
+                    instrs = dblock
+                    n = len(instrs)
+                    index = 0
+                    blocks += 1
+                    lid = tmap.get(target)
+                    if lid is None:
+                        lid = tmap[target] = len(tlist)
+                        tlist.append(target)
+                    tappend(lid)
+                    continue
+                elif k == 11:  # _K_SPILL_LD
+                    regs[d[1]] = spill.get(d[2], 0)
+                elif k == 12:  # _K_SPILL_ST
+                    spill[d[1]] = regs[d[2]]
+                elif k == 13:  # _K_CALL
+                    calls += 1
+                    argv = [regs[s] for s in d[2]]
+                    frame.index = index + 1
+                    frame.dblock = instrs
+                    stack.append(
+                        self._make_frame(d[1], argv, next_frame_id, d[3])
+                    )
+                    tstack.append(open_frame(d[1]))
+                    next_frame_id += 1
+                    blocks += 1
+                    transferred = True
+                    break
+                elif k == 14:  # _K_RET
+                    value = regs[d[1]] if d[1] is not None else 0
+                    stack.pop()
+                    tstack.pop()
+                    if stack:
+                        if frame.ret_dest is not None:
+                            stack[-1].regs[frame.ret_dest] = value
+                    else:
+                        return_value = value
+                    transferred = True
+                    break
+                else:  # _K_NOP
+                    pass
+                index += 1
+            per_name = proc.name
+            per_procedure[per_name] = (
+                per_procedure.get(per_name, 0) + instructions - round_start
+            )
+            if not transferred:
+                raise InterpreterError(
+                    f"fell off the end of block {frame.label}"
+                    f" in {proc.name}"
+                )
+
+        result = ExecutionResult(
+            output=output,
+            return_value=return_value,
+            instructions=instructions,
+            branches=branches,
+            blocks=blocks,
+            calls=calls,
+            per_procedure=per_procedure,
+        )
+        proc_names = [""] * len(proc_ids)
+        for name, pidx in proc_ids.items():
+            proc_names[pidx] = name
+        trace = ExecutionTrace(
+            proc_names=proc_names,
+            labels=label_lists,
+            frames=frames_rec,
+        )
+        return result, trace
 
     # -- instrumented path ---------------------------------------------------
 
@@ -615,5 +855,17 @@ def run_program(
 ) -> ExecutionResult:
     """Convenience wrapper: interpret ``program`` and return the result."""
     return Interpreter(program, step_limit=step_limit, observer=observer).run(
+        input_tape, args
+    )
+
+
+def run_program_traced(
+    program: Program,
+    input_tape: Sequence[int] = (),
+    args: Sequence[int] = (),
+    step_limit: int = 50_000_000,
+) -> Tuple[ExecutionResult, ExecutionTrace]:
+    """Interpret ``program`` while recording its compact execution trace."""
+    return Interpreter(program, step_limit=step_limit).run_traced(
         input_tape, args
     )

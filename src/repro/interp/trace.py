@@ -1,0 +1,120 @@
+"""Compact execution traces: record once, replay many.
+
+An :class:`ExecutionTrace` is the dynamic block stream of one interpreter
+run, encoded as integers.  Labels are interned per procedure into a string
+table, and each procedure activation (frame) owns one flat ``array('i')``
+of block ids in execution order.  The encoding is exactly the information
+the profilers consume:
+
+* every block execution, in order, within its frame;
+* the procedure of each frame, in activation order (``frame_id`` is the
+  index into :attr:`frames`);
+* the label spelling, rematerialized only at profile finalization.
+
+Because every profiler in :mod:`repro.profiling` keeps its running state
+*per frame* (recursion-safe sliding windows, per-frame last-block memory),
+the frame-major layout loses nothing: replaying frames one after another
+yields bit-identical profiles to the live interleaved stream.  What the
+layout deliberately drops is the global interleaving of frames across
+calls — a consumer that needs cross-frame event ordering must observe the
+interpreter live instead.
+
+A trace is a pure value: it never references the program it came from, so
+it pickles small, ships across process boundaries cheaply, and serves as a
+content-addressed cache artifact (see ``repro.experiments.cache.trace_key``)
+that any number of profile derivations — every depth, every profiler kind —
+can replay without re-executing the interpreter.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .interpreter import ExecutionObserver
+
+#: Typecode of the per-frame block-id buffers.
+TRACE_TYPECODE = "i"
+
+
+class ExecutionTrace:
+    """The encoded dynamic block stream of one program run."""
+
+    __slots__ = ("proc_names", "labels", "frames")
+
+    def __init__(
+        self,
+        proc_names: List[str],
+        labels: List[List[str]],
+        frames: List[Tuple[int, array]],
+    ) -> None:
+        #: procedure index -> procedure name
+        self.proc_names = proc_names
+        #: procedure index -> block id -> label string (the string table)
+        self.labels = labels
+        #: activation order: (procedure index, block ids); the list index
+        #: is the frame id.
+        self.frames = frames
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def num_frames(self) -> int:
+        """Number of procedure activations recorded."""
+        return len(self.frames)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total dynamic block executions recorded."""
+        return sum(len(buf) for _, buf in self.frames)
+
+    def nbytes(self) -> int:
+        """Approximate size of the block-id buffers in bytes."""
+        return sum(buf.itemsize * len(buf) for _, buf in self.frames)
+
+    # -- decoding ------------------------------------------------------------
+
+    def frame_labels(self, frame_id: int) -> List[str]:
+        """The label sequence of one frame, rematerialized."""
+        pidx, buf = self.frames[frame_id]
+        table = self.labels[pidx]
+        return [table[lid] for lid in buf]
+
+    def replay(self, observer: "ExecutionObserver") -> None:
+        """Drive ``observer`` with the recorded stream, frame by frame.
+
+        Events arrive frame-major (one frame's whole block sequence, then
+        the next frame's), not in the original call-interleaved order; the
+        ``frame_id`` passed to the hooks is the activation index.  Every
+        profiler in :mod:`repro.profiling` is insensitive to that
+        reordering because its state is per-frame.
+        """
+        proc_names = self.proc_names
+        labels = self.labels
+        for frame_id, (pidx, buf) in enumerate(self.frames):
+            name = proc_names[pidx]
+            table = labels[pidx]
+            observer.enter_procedure(name, frame_id)
+            block_executed = observer.block_executed
+            for lid in buf:
+                block_executed(name, frame_id, table[lid])
+            observer.exit_procedure(name, frame_id)
+
+    # -- value semantics -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExecutionTrace):
+            return NotImplemented
+        return (
+            self.proc_names == other.proc_names
+            and self.labels == other.labels
+            and self.frames == other.frames
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionTrace({self.num_frames} frames,"
+            f" {self.num_blocks} blocks,"
+            f" {len(self.proc_names)} procedures)"
+        )

@@ -22,7 +22,12 @@ from .formation import FormationConfig, FormationResult, form_superblocks, schem
 from .interp.interpreter import ExecutionResult, run_program
 from .ir.cfg import Program
 from .layout.pettis_hansen import Layout, layout_program
-from .profiling.collector import ProfileBundle, collect_profiles
+from .profiling.collector import (
+    ProfileBundle,
+    TracedRun,
+    collect_profiles,
+    profiles_from_trace,
+)
 from .scheduling.compactor import CompiledProgram, compact_program
 from .scheduling.machine import MachineModel, PAPER_MACHINE
 from .simulate.icache import ICache, ICacheConfig
@@ -60,17 +65,23 @@ def compile_scheme(
     allocate: bool = True,
     optimize: bool = True,
     profiles: Optional[ProfileBundle] = None,
+    traced: Optional[TracedRun] = None,
     step_limit: int = 50_000_000,
 ):
     """Profile, form, compact, and lay out ``program`` under one scheme.
 
     Returns ``(profiles, formation, compiled, layout)``.  Pass ``profiles``
-    to reuse one training run across several schemes.
+    to reuse one training run across several schemes, or ``traced`` (a
+    recorded training run) to derive the profiles by trace replay without
+    re-executing the interpreter.
     """
     if profiles is None:
-        profiles = collect_profiles(
-            program, input_tape=train_tape, step_limit=step_limit
-        )
+        if traced is not None:
+            profiles = profiles_from_trace(program, traced)
+        else:
+            profiles = collect_profiles(
+                program, input_tape=train_tape, step_limit=step_limit
+            )
     formation_config = config or scheme(scheme_name)
     formation = form_superblocks(
         program,
@@ -98,6 +109,7 @@ def run_scheme(
     icache_config: Optional[ICacheConfig] = None,
     check_output: bool = True,
     profiles: Optional[ProfileBundle] = None,
+    traced: Optional[TracedRun] = None,
     reference: Optional[ExecutionResult] = None,
     step_limit: int = 50_000_000,
     cycle_limit: int = 100_000_000,
@@ -117,6 +129,9 @@ def run_scheme(
         icache_config: cache geometry (defaults to the paper's 32KB DM).
         check_output: compare simulated output with the interpreter.
         profiles: reuse an existing training-run profile bundle.
+        traced: a recorded training run; when ``profiles`` is absent the
+            bundle is derived by replaying this trace instead of running
+            the interpreter.
         reference: reuse an existing interpreter run on ``test_tape``; the
             reference is scheme-independent, so one run can check every
             scheme of a workload.
@@ -135,6 +150,7 @@ def run_scheme(
         allocate=allocate,
         optimize=optimize,
         profiles=profiles,
+        traced=traced,
         step_limit=step_limit,
     )
     result = simulate(

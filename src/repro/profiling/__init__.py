@@ -1,13 +1,28 @@
-"""Profilers: edge (point) profiles, general path profiles, forward paths."""
+"""Profilers: edge (point) profiles, general path profiles, forward paths.
 
-from .collector import MultiObserver, ProfileBundle, collect_profiles
-from .edge_profile import EdgeProfile, EdgeProfiler
-from .forward_path import ForwardPathProfiler
+Each profiler runs two ways with bit-identical results: as a streaming
+:class:`~repro.interp.interpreter.ExecutionObserver` attached to a live
+interpreter, or as a batch pass over a recorded
+:class:`~repro.interp.trace.ExecutionTrace` (record once, replay many).
+"""
+
+from .collector import (
+    MultiObserver,
+    ProfileBundle,
+    TracedRun,
+    collect_profiles,
+    collect_profiles_streaming,
+    profiles_from_trace,
+    record_trace,
+)
+from .edge_profile import EdgeProfile, EdgeProfiler, edge_profile_from_trace
+from .forward_path import ForwardPathProfiler, forward_path_profile_from_trace
 from .path_profile import (
     DEFAULT_DEPTH,
     GeneralPathProfiler,
     Path,
     PathProfile,
+    general_path_profile_from_trace,
 )
 from .serialize import (
     edge_profile_from_dict,
@@ -16,6 +31,8 @@ from .serialize import (
     path_profile_from_dict,
     path_profile_to_dict,
     save_profile,
+    trace_from_dict,
+    trace_to_dict,
 )
 
 __all__ = [
@@ -28,11 +45,20 @@ __all__ = [
     "Path",
     "PathProfile",
     "ProfileBundle",
+    "TracedRun",
     "collect_profiles",
+    "collect_profiles_streaming",
     "edge_profile_from_dict",
+    "edge_profile_from_trace",
     "edge_profile_to_dict",
+    "forward_path_profile_from_trace",
+    "general_path_profile_from_trace",
     "load_profile",
     "path_profile_from_dict",
     "path_profile_to_dict",
+    "profiles_from_trace",
+    "record_trace",
     "save_profile",
+    "trace_from_dict",
+    "trace_to_dict",
 ]

@@ -1,26 +1,42 @@
 """Convenience entry points for collecting profiles from training runs.
 
 The paper's compiler instruments each executed CFG edge and dispatches the
-stream to a linked analysis routine (Section 3.1); here the interpreter is
-the instrumentation and the profilers are the analysis routines.  A
-:class:`MultiObserver` fans one execution out to several profilers so the
-edge and path profiles of an experiment come from the *same* training run.
+stream to a linked analysis routine (Section 3.1).  Here the split is
+record-once/replay-many: the interpreter records the dynamic block stream
+as a compact :class:`~repro.interp.trace.ExecutionTrace` (one interning
+probe and one ``array('i')`` append per executed block), and the batch
+profilers replay that trace offline — so one training run yields the edge
+profile, the general path profile at any depth, and the forward profile,
+without a single per-block observer callback.
+
+:func:`collect_profiles` is the drop-in entry point (record + replay under
+the hood); :func:`record_trace` and :func:`profiles_from_trace` expose the
+two halves so callers — notably the experiment cache — can persist the
+trace and replay it for every scheme, depth, and ablation that needs a
+profile.  :func:`collect_profiles_streaming` keeps the original
+live-observer path as the parity baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..interp.interpreter import (
     ExecutionObserver,
     ExecutionResult,
     Interpreter,
 )
+from ..interp.trace import ExecutionTrace
 from ..ir.cfg import Program
-from .edge_profile import EdgeProfile, EdgeProfiler
-from .forward_path import ForwardPathProfiler
-from .path_profile import DEFAULT_DEPTH, GeneralPathProfiler, PathProfile
+from .edge_profile import EdgeProfile, EdgeProfiler, edge_profile_from_trace
+from .forward_path import ForwardPathProfiler, forward_path_profile_from_trace
+from .path_profile import (
+    DEFAULT_DEPTH,
+    GeneralPathProfiler,
+    PathProfile,
+    general_path_profile_from_trace,
+)
 
 
 class MultiObserver(ExecutionObserver):
@@ -56,6 +72,18 @@ def fanout(observers: Sequence[ExecutionObserver]) -> ExecutionObserver:
 
 
 @dataclass
+class TracedRun:
+    """One recorded training run: the compact trace plus its run result.
+
+    Both halves are pure values determined by (program, tape, args), which
+    is what makes the pair a content-addressed cache artifact.
+    """
+
+    trace: ExecutionTrace
+    result: ExecutionResult
+
+
+@dataclass
 class ProfileBundle:
     """Everything a formation pass might want from one training run."""
 
@@ -63,6 +91,43 @@ class ProfileBundle:
     path: PathProfile
     result: ExecutionResult
     forward: Optional[PathProfile] = None
+
+
+def record_trace(
+    program: Program,
+    input_tape: Sequence[int] = (),
+    args: Sequence[int] = (),
+    step_limit: int = 50_000_000,
+) -> TracedRun:
+    """Run ``program`` once, recording its compact execution trace."""
+    result, trace = Interpreter(program, step_limit=step_limit).run_traced(
+        input_tape, args
+    )
+    return TracedRun(trace=trace, result=result)
+
+
+def profiles_from_trace(
+    program: Program,
+    traced: TracedRun,
+    depth: int = DEFAULT_DEPTH,
+    include_forward: bool = False,
+) -> ProfileBundle:
+    """Replay a recorded trace through the batch profilers.
+
+    Bit-identical to streaming collection at the same depth, but with no
+    interpreter execution: depth sweeps and profiler ablations replay the
+    same trace instead of re-running the program.
+    """
+    return ProfileBundle(
+        edge=edge_profile_from_trace(traced.trace),
+        path=general_path_profile_from_trace(program, traced.trace, depth),
+        result=traced.result,
+        forward=(
+            forward_path_profile_from_trace(program, traced.trace, depth)
+            if include_forward
+            else None
+        ),
+    )
 
 
 def collect_profiles(
@@ -75,6 +140,9 @@ def collect_profiles(
 ) -> ProfileBundle:
     """Run ``program`` on a training input, collecting edge and path profiles.
 
+    Records the run's trace once, then derives every requested profile as a
+    batch pass over it.
+
     Args:
         program: the program to profile.
         input_tape: training input words for ``read``.
@@ -85,6 +153,29 @@ def collect_profiles(
 
     Returns:
         A :class:`ProfileBundle` with finalized profiles and the run result.
+    """
+    if depth < 1:
+        raise ValueError("path profiling depth must be >= 1")
+    traced = record_trace(
+        program, input_tape=input_tape, args=args, step_limit=step_limit
+    )
+    return profiles_from_trace(
+        program, traced, depth=depth, include_forward=include_forward
+    )
+
+
+def collect_profiles_streaming(
+    program: Program,
+    input_tape: Sequence[int] = (),
+    args: Sequence[int] = (),
+    depth: int = DEFAULT_DEPTH,
+    include_forward: bool = False,
+    step_limit: int = 50_000_000,
+) -> ProfileBundle:
+    """Collect profiles with live observers (the pre-trace code path).
+
+    One Python callback per executed block per profiler; kept as the
+    parity baseline the batch engine is tested (and benchmarked) against.
     """
     edge_profiler = EdgeProfiler()
     path_profiler = GeneralPathProfiler(program, depth=depth)

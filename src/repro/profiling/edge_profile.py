@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..ir.cfg import Edge, Program
 from ..interp.interpreter import ExecutionObserver
+from ..interp.trace import ExecutionTrace
 
 
 @dataclass
@@ -135,3 +136,49 @@ class EdgeProfiler(ExecutionObserver):
             blocks={p: dict(b) for p, b in self._blocks.items()},
             entries=dict(self._entries),
         )
+
+
+def edge_profile_from_trace(trace: ExecutionTrace) -> EdgeProfile:
+    """Batch pass: derive an :class:`EdgeProfile` from a recorded trace.
+
+    Produces results identical to running an :class:`EdgeProfiler` observer
+    during execution.  The inner loop works entirely on interned block ids
+    — integer-keyed dicts, ``(src, dst)`` tuples of ints — and labels are
+    rematerialized only once per distinct block/edge at the end, so the
+    cost per dynamic block is two dict operations with no Python call
+    overhead.
+    """
+    nprocs = len(trace.proc_names)
+    entries = [0] * nprocs
+    block_counts: List[Dict[int, int]] = [{} for _ in range(nprocs)]
+    edge_counts: List[Dict[Tuple[int, int], int]] = [{} for _ in range(nprocs)]
+
+    for pidx, buf in trace.frames:
+        entries[pidx] += 1
+        bc = block_counts[pidx]
+        ec = edge_counts[pidx]
+        prev = -1
+        for lid in buf.tolist() if hasattr(buf, "tolist") else buf:
+            bc[lid] = bc.get(lid, 0) + 1
+            if prev >= 0:
+                key = (prev, lid)
+                ec[key] = ec.get(key, 0) + 1
+            prev = lid
+
+    edges: Dict[str, Dict[Edge, int]] = {}
+    blocks: Dict[str, Dict[str, int]] = {}
+    out_entries: Dict[str, int] = {}
+    for pidx, name in enumerate(trace.proc_names):
+        table = trace.labels[pidx]
+        if entries[pidx]:
+            out_entries[name] = entries[pidx]
+        if block_counts[pidx]:
+            blocks[name] = {
+                table[lid]: count for lid, count in block_counts[pidx].items()
+            }
+        if edge_counts[pidx]:
+            edges[name] = {
+                (table[src], table[dst]): count
+                for (src, dst), count in edge_counts[pidx].items()
+            }
+    return EdgeProfile(edges=edges, blocks=blocks, entries=out_entries)

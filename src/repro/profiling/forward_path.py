@@ -12,11 +12,19 @@ the only difference is the reset at back edges.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..analysis.loops import back_edges
+from ..interp.trace import ExecutionTrace
 from ..ir.cfg import Program
-from .path_profile import DEFAULT_DEPTH, GeneralPathProfiler, PathProfile
+from .path_profile import (
+    DEFAULT_DEPTH,
+    GeneralPathProfiler,
+    PathProfile,
+    _int_branch_sets,
+    _path_tables_from_trace,
+    branch_block_labels,
+)
 
 
 class ForwardPathProfiler(GeneralPathProfiler):
@@ -43,3 +51,39 @@ class ForwardPathProfiler(GeneralPathProfiler):
                 self._current[frame_id] = (proc_name, node)
                 return
         super().block_executed(proc_name, frame_id, label)
+
+
+def forward_path_profile_from_trace(
+    program: Program, trace: ExecutionTrace, depth: int = DEFAULT_DEPTH
+) -> PathProfile:
+    """Batch pass: derive a forward (acyclic) :class:`PathProfile` from a
+    recorded trace.
+
+    Identical results to running a :class:`ForwardPathProfiler` observer
+    during execution: the shared batch loop resets the window whenever the
+    frame's block stream crosses a back edge.
+    """
+    if depth < 1:
+        raise ValueError("path profiling depth must be >= 1")
+    branch_labels = branch_block_labels(program)
+    branch_sets = _int_branch_sets(trace, branch_labels)
+    backs = {proc.name: back_edges(proc) for proc in program.procedures()}
+    reset_edges: List[Set[Tuple[int, int]]] = []
+    for pidx, name in enumerate(trace.proc_names):
+        table = trace.labels[pidx]
+        ids = {label: lid for lid, label in enumerate(table)}
+        reset_edges.append(
+            {
+                (ids[src], ids[dst])
+                for src, dst in backs.get(name, set())
+                if src in ids and dst in ids
+            }
+        )
+    tables = _path_tables_from_trace(
+        trace, depth, branch_sets, reset_edges=reset_edges
+    )
+    return PathProfile(
+        paths=tables,
+        depth=depth,
+        branch_blocks={p: set(s) for p, s in branch_labels.items()},
+    )

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..ir.cfg import Program
 from ..interp.interpreter import ExecutionObserver
+from ..interp.trace import ExecutionTrace
 
 Path = Tuple[str, ...]
 
@@ -256,3 +257,148 @@ class GeneralPathProfiler(ExecutionObserver):
     def distinct_windows(self) -> int:
         """Number of distinct windows materialized (the paper's n_paths)."""
         return sum(1 for node in self._nodes.values() if node.count > 0)
+
+
+# -- batch replay over encoded traces ----------------------------------------
+
+
+class _IntPathNode:
+    """A path-graph node over interned block ids (batch-replay twin of
+    :class:`_PathNode`)."""
+
+    __slots__ = ("labels", "branches", "count", "succ")
+
+    def __init__(self, labels: Tuple[int, ...], branches: int) -> None:
+        self.labels = labels
+        self.branches = branches
+        self.count = 0
+        self.succ: Dict[int, "_IntPathNode"] = {}
+
+
+def branch_block_labels(program: Program) -> Dict[str, Set[str]]:
+    """Per procedure: labels of blocks ending in a conditional/multiway
+    branch (the blocks that consume path depth)."""
+    return {
+        proc.name: {b.label for b in proc.blocks() if b.ends_in_branch}
+        for proc in program.procedures()
+    }
+
+
+def _int_branch_sets(
+    trace: ExecutionTrace, branch_labels: Dict[str, Set[str]]
+) -> List[Set[int]]:
+    """Interned-id image of ``branch_labels`` under the trace string table."""
+    sets: List[Set[int]] = []
+    for pidx, name in enumerate(trace.proc_names):
+        labs = branch_labels.get(name, set())
+        sets.append(
+            {
+                lid
+                for lid, label in enumerate(trace.labels[pidx])
+                if label in labs
+            }
+        )
+    return sets
+
+
+def _path_tables_from_trace(
+    trace: ExecutionTrace,
+    depth: int,
+    branch_sets: List[Set[int]],
+    reset_edges: Optional[List[Set[Tuple[int, int]]]] = None,
+) -> Dict[str, Dict[Path, int]]:
+    """The shared batch inner loop: lazy path graph over interned ids.
+
+    Runs the same lazy successor-pointer algorithm as the streaming
+    profilers — one dict probe plus one counter increment per executed
+    block after warm-up — but over ints, with no observer call overhead.
+    ``reset_edges`` (per procedure index) chops the window at back edges,
+    turning the general profile into a forward one.
+    """
+    nprocs = len(trace.proc_names)
+    nodes_per_proc: List[Dict[Tuple[int, ...], _IntPathNode]] = [
+        {} for _ in range(nprocs)
+    ]
+
+    for pidx, buf in trace.frames:
+        nodes = nodes_per_proc[pidx]
+        branch_set = branch_sets[pidx]
+        resets = reset_edges[pidx] if reset_edges is not None else None
+        node: Optional[_IntPathNode] = None
+        for lid in buf.tolist():
+            if node is not None and (
+                resets is not None
+                and (node.labels[-1], lid) in resets
+            ):
+                # Crossing a back edge ends the forward path.
+                node = None
+            if node is None:
+                key = (lid,)
+                node = nodes.get(key)
+                if node is None:
+                    node = nodes[key] = _IntPathNode(
+                        key, 1 if lid in branch_set else 0
+                    )
+            else:
+                nxt = node.succ.get(lid)
+                if nxt is None:
+                    labels = node.labels + (lid,)
+                    branches = node.branches + (
+                        1 if lid in branch_set else 0
+                    )
+                    start = 0
+                    while branches > depth and start < len(labels) - 1:
+                        if labels[start] in branch_set:
+                            branches -= 1
+                        start += 1
+                    key = labels[start:]
+                    nxt = nodes.get(key)
+                    if nxt is None:
+                        nxt = nodes[key] = _IntPathNode(key, branches)
+                    node.succ[lid] = nxt
+                node = nxt
+            node.count += 1
+
+    # Suffix expansion in int space, label rematerialization once per
+    # distinct aggregated path.
+    tables: Dict[str, Dict[Path, int]] = {}
+    for pidx in range(nprocs):
+        nodes = nodes_per_proc[pidx]
+        if not nodes:
+            continue
+        int_table: Dict[Tuple[int, ...], int] = {}
+        for key, node in nodes.items():
+            count = node.count
+            if count == 0:
+                continue
+            for start in range(len(key)):
+                suffix = key[start:]
+                int_table[suffix] = int_table.get(suffix, 0) + count
+        table = trace.labels[pidx]
+        tables[trace.proc_names[pidx]] = {
+            tuple(table[lid] for lid in path): count
+            for path, count in int_table.items()
+        }
+    return tables
+
+
+def general_path_profile_from_trace(
+    program: Program, trace: ExecutionTrace, depth: int = DEFAULT_DEPTH
+) -> PathProfile:
+    """Batch pass: derive a general :class:`PathProfile` from a trace.
+
+    Bit-identical to running a :class:`GeneralPathProfiler` observer during
+    execution — same lazy path graph, same suffix-sum finalization — but
+    decoupled from the interpreter, so one recorded trace can be replayed
+    at any number of depths.
+    """
+    if depth < 1:
+        raise ValueError("path profiling depth must be >= 1")
+    branch_labels = branch_block_labels(program)
+    branch_sets = _int_branch_sets(trace, branch_labels)
+    tables = _path_tables_from_trace(trace, depth, branch_sets)
+    return PathProfile(
+        paths=tables,
+        depth=depth,
+        branch_blocks={p: set(s) for p, s in branch_labels.items()},
+    )

@@ -1,18 +1,23 @@
-"""Profile persistence: save and load profiles as JSON.
+"""Profile and trace persistence: save and load as JSON.
 
 A real profile-guided compiler separates the training run from the
 optimizing build; these helpers let a workflow do the same — collect once,
-store the profiles, and feed them to any number of formation experiments.
+store the profiles (or the raw execution trace), and feed them to any
+number of formation experiments.
 
 Path tuples are encoded as ``\\x1f``-joined label strings (labels never
-contain control characters), edges as ``src\\x1fdst``.
+contain control characters), edges as ``src\\x1fdst``.  Execution traces
+keep their interned form: the per-procedure label string-table is stored
+once, and each frame is a procedure index plus its list of block ids.
 """
 
 from __future__ import annotations
 
 import json
+from array import array
 from typing import Any, Dict, TextIO, Union
 
+from ..interp.trace import TRACE_TYPECODE, ExecutionTrace
 from .edge_profile import EdgeProfile
 from .path_profile import PathProfile
 
@@ -87,24 +92,60 @@ def path_profile_from_dict(data: Dict[str, Any]) -> PathProfile:
     )
 
 
+def trace_to_dict(trace: ExecutionTrace) -> Dict[str, Any]:
+    """JSON-serializable form of an execution trace.
+
+    The label string-table (``labels``) is stored once per procedure; the
+    frames stay interned (procedure index plus block-id list), so the JSON
+    form preserves the compactness of the in-memory encoding.
+    """
+    return {
+        "kind": "execution-trace",
+        "version": 1,
+        "procs": list(trace.proc_names),
+        "labels": [list(table) for table in trace.labels],
+        "frames": [[pidx, buf.tolist()] for pidx, buf in trace.frames],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> ExecutionTrace:
+    """Inverse of :func:`trace_to_dict`."""
+    if data.get("kind") != "execution-trace":
+        raise ValueError("not a serialized execution trace")
+    return ExecutionTrace(
+        proc_names=list(data["procs"]),
+        labels=[list(table) for table in data["labels"]],
+        frames=[
+            (int(pidx), array(TRACE_TYPECODE, ids))
+            for pidx, ids in data["frames"]
+        ],
+    )
+
+
 def save_profile(
-    profile: Union[EdgeProfile, PathProfile], stream: TextIO
+    profile: Union[EdgeProfile, PathProfile, ExecutionTrace], stream: TextIO
 ) -> None:
-    """Write a profile to an open text stream as JSON."""
+    """Write a profile or execution trace to an open text stream as JSON."""
     if isinstance(profile, EdgeProfile):
         json.dump(edge_profile_to_dict(profile), stream)
     elif isinstance(profile, PathProfile):
         json.dump(path_profile_to_dict(profile), stream)
+    elif isinstance(profile, ExecutionTrace):
+        json.dump(trace_to_dict(profile), stream)
     else:
         raise TypeError(f"cannot serialize {type(profile).__name__}")
 
 
-def load_profile(stream: TextIO) -> Union[EdgeProfile, PathProfile]:
-    """Read a profile written by :func:`save_profile`."""
+def load_profile(
+    stream: TextIO,
+) -> Union[EdgeProfile, PathProfile, ExecutionTrace]:
+    """Read a profile or trace written by :func:`save_profile`."""
     data = json.load(stream)
     kind = data.get("kind")
     if kind == "edge-profile":
         return edge_profile_from_dict(data)
     if kind == "path-profile":
         return path_profile_from_dict(data)
+    if kind == "execution-trace":
+        return trace_from_dict(data)
     raise ValueError(f"unknown profile kind {kind!r}")

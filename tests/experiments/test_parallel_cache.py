@@ -8,12 +8,15 @@ uncached engine must agree on cycles, outputs, and the Figure 7 statistics.
 import pytest
 
 from repro.experiments import (
+    MIN_PARALLEL_TASKS,
     ExperimentCache,
     outcome_key,
     profile_key,
     reference_key,
     resolve_jobs,
     run_suite,
+    should_parallelize,
+    trace_key,
 )
 from repro.formation import scheme
 from repro.scheduling.machine import PAPER_MACHINE
@@ -52,15 +55,22 @@ def serial_results():
 
 
 class TestParallelParity:
+    # min_parallel_tasks=0 forces the worker pool even for these tiny
+    # batches, which would otherwise take the serial fallback.
+
     def test_parallel_matches_serial(self, serial_results):
-        parallel = run_suite(SCHEMES, NAMES, scale=TINY, jobs=2)
+        parallel = run_suite(
+            SCHEMES, NAMES, scale=TINY, jobs=2, min_parallel_tasks=0
+        )
         assert suite_fingerprint(parallel) == suite_fingerprint(
             serial_results
         )
         assert list(parallel) == list(serial_results)
 
     def test_parallel_shares_profiles_within_workload(self):
-        results = run_suite(SCHEMES, ["alt"], scale=TINY, jobs=2)
+        results = run_suite(
+            SCHEMES, ["alt"], scale=TINY, jobs=2, min_parallel_tasks=0
+        )
         assert (
             results[("alt", "M4")].profiles
             is results[("alt", "P4")].profiles
@@ -73,7 +83,12 @@ class TestParallelParity:
     def test_parallel_icache_matches_serial(self):
         serial = run_suite(["M4"], ["alt"], scale=TINY, with_icache=True)
         parallel = run_suite(
-            ["M4"], ["alt"], scale=TINY, with_icache=True, jobs=2
+            ["M4"],
+            ["alt"],
+            scale=TINY,
+            with_icache=True,
+            jobs=2,
+            min_parallel_tasks=0,
         )
         assert suite_fingerprint(parallel) == suite_fingerprint(serial)
 
@@ -81,6 +96,29 @@ class TestParallelParity:
         assert resolve_jobs(3) == 3
         assert resolve_jobs(0) >= 1
         assert resolve_jobs(None) >= 1
+
+
+class TestSerialFallback:
+    def test_should_parallelize_threshold(self):
+        assert not should_parallelize(MIN_PARALLEL_TASKS - 1, jobs=2)
+        assert should_parallelize(MIN_PARALLEL_TASKS, jobs=2)
+        assert not should_parallelize(1000, jobs=1)
+        assert should_parallelize(1, jobs=2, min_tasks=0)
+        assert not should_parallelize(5, jobs=4, min_tasks=6)
+
+    def test_small_batch_runs_serially_and_logs(self, capsys):
+        # 2 workloads x 2 schemes = 4 tasks, under the threshold: jobs=2
+        # must quietly produce the serial engine's results.
+        results = run_suite(SCHEMES, NAMES, scale=TINY, jobs=2)
+        err = capsys.readouterr().err
+        assert "running serially" in err
+        assert suite_fingerprint(results) == suite_fingerprint(
+            run_suite(SCHEMES, NAMES, scale=TINY)
+        )
+
+    def test_no_fallback_log_when_serial_requested(self, capsys):
+        run_suite(["M4"], ["alt"], scale=TINY, jobs=1)
+        assert "running serially" not in capsys.readouterr().err
 
 
 class TestCacheParity:
@@ -141,6 +179,71 @@ class TestCacheParity:
         assert not entry.exists()
 
 
+class TestTraceCache:
+    def test_cached_trace_avoids_interpreter(
+        self, serial_results, tmp_path, monkeypatch
+    ):
+        """A warm trace cache must serve a profile miss by replay alone:
+        re-recording (i.e. re-executing the interpreter on the training
+        input) is a bug."""
+        import repro.experiments.harness as harness
+        from repro.profiling import record_trace
+
+        workload = workload_map()["alt"]
+        program = workload.program()
+        train = workload.train_tape(TINY)
+        cache = ExperimentCache(path=tmp_path)
+        cache.put(trace_key(program, train), record_trace(program, train))
+
+        def boom(*args, **kwargs):
+            raise AssertionError("training run re-executed despite trace")
+
+        monkeypatch.setattr(harness, "record_trace", boom)
+        results = run_suite(SCHEMES, ["alt"], scale=TINY, cache=cache)
+        expect = {
+            pair: fp
+            for pair, fp in suite_fingerprint(serial_results).items()
+            if pair[0] == "alt"
+        }
+        assert suite_fingerprint(results) == expect
+
+    def test_trace_derived_profiles_are_stored(self, tmp_path):
+        from repro.profiling import record_trace
+        from repro.profiling.path_profile import DEFAULT_DEPTH
+
+        workload = workload_map()["alt"]
+        program = workload.program()
+        train = workload.train_tape(TINY)
+        cache = ExperimentCache(path=tmp_path)
+        cache.put(trace_key(program, train), record_trace(program, train))
+        run_suite(["M4"], ["alt"], scale=TINY, cache=cache)
+        fresh = ExperimentCache(path=tmp_path)
+        assert fresh.get(profile_key(program, train, DEFAULT_DEPTH)) is not None
+
+    def test_suite_records_and_stores_traces(self, tmp_path):
+        workload = workload_map()["alt"]
+        program = workload.program()
+        train = workload.train_tape(TINY)
+        cache = ExperimentCache(path=tmp_path)
+        run_suite(["M4"], ["alt"], scale=TINY, cache=cache)
+        fresh = ExperimentCache(path=tmp_path)
+        traced = fresh.get(trace_key(program, train))
+        assert traced is not None
+        assert traced.trace.num_blocks > 0
+
+    def test_trace_cache_flag_off_skips_traces(self, tmp_path):
+        workload = workload_map()["alt"]
+        program = workload.program()
+        train = workload.train_tape(TINY)
+        cache = ExperimentCache(path=tmp_path)
+        run_suite(["M4"], ["alt"], scale=TINY, cache=cache, trace_cache=False)
+        fresh = ExperimentCache(path=tmp_path)
+        assert fresh.get(trace_key(program, train)) is None
+        from repro.profiling.path_profile import DEFAULT_DEPTH
+
+        assert fresh.get(profile_key(program, train, DEFAULT_DEPTH)) is not None
+
+
 class TestCacheInvalidation:
     def setup_method(self):
         workload = workload_map()["alt"]
@@ -186,6 +289,14 @@ class TestCacheInvalidation:
             None,
         )
         assert changed != self._key(scheme("M4"))
+
+    def test_trace_key_depends_on_inputs_not_depth(self):
+        tk = trace_key(self.program, self.train)
+        assert trace_key(self.program, list(self.train) + [1]) != tk
+        other = workload_map()["wc"].program()
+        assert trace_key(other, self.train) != tk
+        # The trace is depth-independent: one recording serves every depth.
+        assert tk != profile_key(self.program, self.train, 15)
 
     def test_profile_and_reference_keys_depend_on_inputs(self):
         pk = profile_key(self.program, self.train, 15)

@@ -1,0 +1,72 @@
+"""The trace-recording interpreter loop must behave exactly like the
+no-observer fast path, and its trace must reproduce the dynamic block
+stream the live observers would have seen."""
+
+from repro.interp import run_program, run_program_traced
+from repro.interp.interpreter import Interpreter
+from repro.profiling.edge_profile import EdgeProfiler
+from repro.workloads.suite import workload_map
+
+TINY = 0.06
+
+
+def _result_tuple(result):
+    return (
+        result.output,
+        result.return_value,
+        result.instructions,
+        result.branches,
+        result.blocks,
+        result.calls,
+        dict(result.per_procedure),
+    )
+
+
+class TestRunTraced:
+    def test_result_matches_untraced_run(self):
+        for wname in ("alt", "wc", "corr", "eqn"):
+            workload = workload_map()[wname]
+            program = workload.program()
+            tape = workload.train_tape(TINY)
+            plain = run_program(program, input_tape=tape)
+            traced_result, trace = run_program_traced(program, input_tape=tape)
+            assert _result_tuple(traced_result) == _result_tuple(plain)
+            assert trace.num_blocks == plain.blocks
+
+    def test_trace_shape(self):
+        workload = workload_map()["corr"]
+        program = workload.program()
+        result, trace = run_program_traced(
+            program, input_tape=workload.train_tape(TINY)
+        )
+        assert trace.num_frames == result.calls + 1  # calls plus main
+        assert trace.nbytes() > 0
+        for frame_id in range(trace.num_frames):
+            labels = trace.frame_labels(frame_id)
+            assert labels  # every activation executes its entry block
+            proc = trace.proc_names[trace.frames[frame_id][0]]
+            assert proc in program.names
+
+    def test_replay_feeds_observers_like_live_execution(self):
+        workload = workload_map()["wc"]
+        program = workload.program()
+        tape = workload.train_tape(TINY)
+
+        live = EdgeProfiler()
+        Interpreter(program, observer=live).run(tape)
+
+        _, trace = run_program_traced(program, input_tape=tape)
+        replayed = EdgeProfiler()
+        trace.replay(replayed)
+
+        assert replayed.finalize().edges == live.finalize().edges
+
+    def test_step_limit_still_enforced(self):
+        import pytest
+
+        workload = workload_map()["alt"]
+        program = workload.program()
+        with pytest.raises(Exception):
+            run_program_traced(
+                program, input_tape=workload.train_tape(TINY), step_limit=3
+            )

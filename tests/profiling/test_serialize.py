@@ -7,11 +7,15 @@ import pytest
 from repro.profiling import (
     collect_profiles,
     load_profile,
+    profiles_from_trace,
+    record_trace,
     save_profile,
 )
 from repro.profiling.serialize import (
     edge_profile_from_dict,
     path_profile_from_dict,
+    trace_from_dict,
+    trace_to_dict,
 )
 
 from tests.support import call_program, diamond_program
@@ -77,6 +81,50 @@ class TestRoundTrip:
             path_profile=load_profile(path_io),
         )
         assert result.superblocks["main"]
+
+
+class TestTraceRoundTrip:
+    def test_trace_roundtrip_is_equal(self):
+        original = record_trace(
+            diamond_program(), input_tape=[10, 11, 60, 10, -1]
+        ).trace
+        stream = io.StringIO()
+        save_profile(original, stream)
+        stream.seek(0)
+        restored = load_profile(stream)
+        assert restored == original
+
+    def test_string_table_and_frames_survive(self):
+        original = record_trace(call_program(), input_tape=[4]).trace
+        restored = trace_from_dict(trace_to_dict(original))
+        assert restored.proc_names == original.proc_names
+        assert restored.labels == original.labels
+        assert restored.frames == original.frames
+        for frame_id in range(original.num_frames):
+            assert restored.frame_labels(frame_id) == original.frame_labels(
+                frame_id
+            )
+
+    def test_restored_trace_replays_to_same_profiles(self):
+        program = call_program()
+        traced = record_trace(program, input_tape=[4])
+        stream = io.StringIO()
+        save_profile(traced.trace, stream)
+        stream.seek(0)
+        traced.trace = load_profile(stream)
+        replayed = profiles_from_trace(
+            program, traced, depth=7, include_forward=True
+        )
+        direct = collect_profiles(
+            program, input_tape=[4], depth=7, include_forward=True
+        )
+        assert replayed.edge.edges == direct.edge.edges
+        assert replayed.path.paths == direct.path.paths
+        assert replayed.forward.paths == direct.forward.paths
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_dict({"kind": "edge-profile"})
 
 
 class TestErrors:

@@ -1,0 +1,124 @@
+"""Streaming-vs-batch profile parity across the whole workload suite.
+
+The record-once/replay-many engine's acceptance bar: for every workload
+and every profiling depth, replaying the recorded execution trace through
+the batch profilers must produce profiles identical to running the live
+observers — edge, general path, and forward path alike.  One trace per
+workload is recorded once (module fixture) and replayed at every depth;
+the streaming baseline re-runs the interpreter each time, exactly as the
+pre-trace engine did.
+"""
+
+import pytest
+
+from repro.profiling import (
+    collect_profiles,
+    collect_profiles_streaming,
+    profiles_from_trace,
+    record_trace,
+)
+from repro.workloads.suite import workload_map
+
+SCALE = 0.06
+DEPTHS = (1, 3, 7, 15)
+ALL_NAMES = list(workload_map())
+
+
+def edge_fingerprint(profile):
+    return {
+        "blocks": profile.blocks,
+        "edges": profile.edges,
+        "entries": profile.entries,
+    }
+
+
+def path_fingerprint(profile):
+    return {
+        "paths": profile.paths,
+        "depth": profile.depth,
+        "branch_blocks": profile.branch_blocks,
+    }
+
+
+def result_fingerprint(result):
+    return {
+        "output": result.output,
+        "return_value": result.return_value,
+        "instructions": result.instructions,
+        "branches": result.branches,
+        "blocks": result.blocks,
+        "calls": result.calls,
+        "per_procedure": result.per_procedure,
+    }
+
+
+@pytest.fixture(scope="module")
+def traced_runs():
+    """One recorded training run per workload, shared by every depth."""
+    runs = {}
+    for name, workload in workload_map().items():
+        program = workload.program()
+        train = workload.train_tape(SCALE)
+        runs[name] = (program, train, record_trace(program, input_tape=train))
+    return runs
+
+
+class TestBatchMatchesStreaming:
+    @pytest.mark.parametrize("depth", DEPTHS)
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_profiles_identical(self, traced_runs, name, depth):
+        program, train, traced = traced_runs[name]
+        streaming = collect_profiles_streaming(
+            program, input_tape=train, depth=depth, include_forward=True
+        )
+        batch = profiles_from_trace(
+            program, traced, depth=depth, include_forward=True
+        )
+        assert edge_fingerprint(batch.edge) == edge_fingerprint(
+            streaming.edge
+        )
+        assert path_fingerprint(batch.path) == path_fingerprint(
+            streaming.path
+        )
+        assert path_fingerprint(batch.forward) == path_fingerprint(
+            streaming.forward
+        )
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_run_results_identical(self, traced_runs, name):
+        program, train, traced = traced_runs[name]
+        streaming = collect_profiles_streaming(program, input_tape=train)
+        assert result_fingerprint(traced.result) == result_fingerprint(
+            streaming.result
+        )
+
+
+class TestDropInEntryPoint:
+    def test_collect_profiles_matches_streaming(self):
+        workload = workload_map()["wc"]
+        program = workload.program()
+        train = workload.train_tape(SCALE)
+        batch = collect_profiles(
+            program, input_tape=train, depth=7, include_forward=True
+        )
+        streaming = collect_profiles_streaming(
+            program, input_tape=train, depth=7, include_forward=True
+        )
+        assert edge_fingerprint(batch.edge) == edge_fingerprint(
+            streaming.edge
+        )
+        assert path_fingerprint(batch.path) == path_fingerprint(
+            streaming.path
+        )
+        assert path_fingerprint(batch.forward) == path_fingerprint(
+            streaming.forward
+        )
+
+    def test_depth_validated(self):
+        workload = workload_map()["alt"]
+        program = workload.program()
+        with pytest.raises(ValueError):
+            collect_profiles(program, input_tape=[1, -1], depth=0)
+        traced = record_trace(program, input_tape=[1, -1])
+        with pytest.raises(ValueError):
+            profiles_from_trace(program, traced, depth=0)
