@@ -6,6 +6,16 @@ Usage::
     python -m repro.experiments figure4 --scale 0.5
     python -m repro.experiments all --scale 0.25 --jobs 4
 
+Validation commands (see :mod:`repro.validation`):
+
+* ``validate`` — run every (workload, scheme) pair with all stage
+  checkpoints on and differentially compare the simulated output of the
+  scheduled code against the reference interpreter (cached outcomes are
+  re-checked too).  Exits nonzero on any mismatch.
+* ``fuzz --seeds N`` — differential fuzzing: N seeded random MiniC
+  programs through the whole compiler under several schemes, failures
+  delta-debugged to minimal reproducers.  Exits nonzero on any failure.
+
 Performance flags:
 
 * ``--jobs N`` — run (workload, scheme) pipelines over N worker processes
@@ -140,8 +150,31 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "validate", "fuzz"],
+        help="which table/figure to regenerate, or a validation command",
+    )
+    parser.add_argument(
+        "--schemes",
+        default=None,
+        help="comma-separated scheme names for validate/fuzz (defaults:"
+        " all five for validate, BB,M4,P4 for fuzz)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=100,
+        help="fuzz: how many seeds to run (default 100)",
+    )
+    parser.add_argument(
+        "--start",
+        type=int,
+        default=0,
+        help="fuzz: first seed (default 0)",
+    )
+    parser.add_argument(
+        "--no-reduce",
+        action="store_true",
+        help="fuzz: skip delta-debugging failing programs",
     )
     parser.add_argument(
         "--scale",
@@ -181,6 +214,43 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     cache = None if args.no_cache else ExperimentCache(path=args.cache_dir)
+    if args.experiment == "validate":
+        from . import ALL_SCHEMES, format_validation, validate_suite
+
+        schemes = (
+            args.schemes.split(",") if args.schemes else list(ALL_SCHEMES)
+        )
+        rows = validate_suite(
+            schemes,
+            scale=args.scale,
+            verbose=not args.quiet,
+            jobs=args.jobs,
+            cache=cache,
+            trace_cache=args.trace_cache,
+        )
+        print(format_validation(rows))
+        if cache is not None and not args.quiet:
+            print(f"[cache] {cache.stats.summary()}", file=sys.stderr)
+        return 0 if all(row.ok for row in rows) else 1
+    if args.experiment == "fuzz":
+        from ..validation.fuzz import (
+            DEFAULT_SCHEMES,
+            format_fuzz_report,
+            run_fuzz,
+        )
+
+        schemes = (
+            args.schemes.split(",") if args.schemes else list(DEFAULT_SCHEMES)
+        )
+        report = run_fuzz(
+            args.seeds,
+            start=args.start,
+            schemes=schemes,
+            reduce=not args.no_reduce,
+            verbose=not args.quiet,
+        )
+        print(format_fuzz_report(report))
+        return 0 if report.ok else 1
     if args.experiment == "all":
         # "all" is the canonical paper-regeneration artifact; its output is
         # kept stable so engine changes can be diffed against it.  The

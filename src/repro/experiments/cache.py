@@ -24,9 +24,16 @@ alongside ``cached_result``), a miss on an ideal-cache key falls back to
 the matching I-cache entry with ``cached_result`` stripped — Figure 7 reuses
 Figure 5's work even though they simulate "different" cache models.
 
-Keys deliberately cover experiment *inputs*, not compiler internals: bump
-:data:`CACHE_FORMAT` (or wipe the directory / pass ``--no-cache``) after
-changing formation, scheduling, or simulation code.
+Keys cover experiment *inputs* plus an automatic digest of the compiler
+source that produced the artifact: :func:`outcome_key` folds in a hash of
+the formation/scheduling/regalloc/layout/simulation modules,
+:func:`profile_key` a hash of the profiling-facing modules, and
+:func:`trace_key`/:func:`reference_key` a hash of the interpreter-facing
+subset only (a scheduler edit must not invalidate recorded traces).
+Editing compiler code therefore invalidates exactly the entries it could
+have changed — no manual bump needed.  :data:`CACHE_FORMAT` survives as a
+manual nuke for format changes the digests cannot see (e.g. a new pickle
+layout for cached artifacts).
 """
 
 from __future__ import annotations
@@ -36,9 +43,10 @@ import hashlib
 import os
 import pickle
 import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from .. import __version__
 from ..ir.cfg import Program
@@ -60,22 +68,114 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-experiments"
 
 
+# -- source digests -----------------------------------------------------------
+
+#: Default root for source digests: the ``repro`` package directory.
+_SOURCE_ROOT = Path(__file__).resolve().parent.parent
+
+#: Package-relative files/directories whose source determines a full
+#: pipeline outcome.  The frontend is deliberately absent: a frontend
+#: change alters the printed IR and thus :func:`program_fingerprint`.
+COMPILER_SOURCES: Tuple[str, ...] = (
+    "analysis",
+    "formation",
+    "interp",
+    "ir",
+    "layout",
+    "pipeline.py",
+    "profiling",
+    "regalloc",
+    "scheduling",
+    "simulate",
+)
+
+#: Subset that determines a :class:`ProfileBundle` (training-run replay).
+PROFILE_SOURCES: Tuple[str, ...] = ("interp", "ir", "profiling")
+
+#: Interpreter-facing subset: what a recorded trace or reference run can
+#: depend on.  Scheduler/regalloc edits must *not* invalidate these.
+INTERP_SOURCES: Tuple[str, ...] = ("interp", "ir")
+
+_SOURCE_DIGESTS: Dict[Tuple[Tuple[str, ...], str], str] = {}
+
+
+def source_digest(
+    parts: Iterable[str], root: Optional[os.PathLike] = None
+) -> str:
+    """Digest the ``*.py`` source under ``root`` for each relative part.
+
+    Parts may name single files or directories (walked recursively in
+    sorted order); each file contributes its root-relative path plus its
+    bytes, so renames and edits both change the digest.  Results are
+    memoized per (parts, root) for the life of the process — key
+    construction happens per (workload, scheme) pair and must not re-read
+    ~70 files each time.
+    """
+    base = Path(root) if root is not None else _SOURCE_ROOT
+    memo_key = (tuple(parts), str(base))
+    cached = _SOURCE_DIGESTS.get(memo_key)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    for part in memo_key[0]:
+        path = base / part
+        if path.is_dir():
+            files = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            files = [path]
+        else:
+            files = []
+        for file in files:
+            hasher.update(str(file.relative_to(base)).encode("utf-8"))
+            hasher.update(b"\x1f")
+            hasher.update(file.read_bytes())
+            hasher.update(b"\x1e")
+    digest = hasher.hexdigest()
+    _SOURCE_DIGESTS[memo_key] = digest
+    return digest
+
+
+def compiler_digest() -> str:
+    """Digest of every module that can change a pipeline outcome."""
+    return source_digest(COMPILER_SOURCES)
+
+
+def profile_digest() -> str:
+    """Digest of the modules that can change a collected profile."""
+    return source_digest(PROFILE_SOURCES)
+
+
+def interpreter_digest() -> str:
+    """Digest of the interpreter-facing modules only (traces, references)."""
+    return source_digest(INTERP_SOURCES)
+
+
 # -- key construction ---------------------------------------------------------
 
-#: id(program) -> (program, fingerprint); the program reference keeps the id
-#: stable for the life of the memo entry.
-_FINGERPRINTS: Dict[int, tuple] = {}
+#: Bound on the fingerprint memo below; must comfortably exceed the number
+#: of distinct live programs in one ``experiments all`` run (14 workloads)
+#: while keeping a fuzzing run (thousands of throwaway programs) bounded.
+FINGERPRINT_MEMO_LIMIT = 256
+
+#: id(program) -> (program, fingerprint), LRU-bounded.  The program
+#: reference keeps the id stable for the life of the memo entry; the bound
+#: keeps a long fuzzing run from pinning every program ever fingerprinted.
+_FINGERPRINTS: "OrderedDict[int, tuple]" = OrderedDict()
 
 
 def program_fingerprint(program: Program) -> str:
     """Digest of the program's printed IR (canonical per compiled program)."""
     cached = _FINGERPRINTS.get(id(program))
     if cached is not None and cached[0] is program:
+        _FINGERPRINTS.move_to_end(id(program))
         return cached[1]
     digest = hashlib.sha256(
         format_program(program).encode("utf-8")
     ).hexdigest()
     _FINGERPRINTS[id(program)] = (program, digest)
+    _FINGERPRINTS.move_to_end(id(program))
+    while len(_FINGERPRINTS) > FINGERPRINT_MEMO_LIMIT:
+        _FINGERPRINTS.popitem(last=False)
     return digest
 
 
@@ -108,6 +208,7 @@ def outcome_key(
         "outcome",
         CACHE_FORMAT,
         __version__,
+        compiler_digest(),
         program_fingerprint(program),
         config,
         tuple(train_tape),
@@ -132,6 +233,7 @@ def profile_key(
         "profile",
         CACHE_FORMAT,
         __version__,
+        profile_digest(),
         program_fingerprint(program),
         tuple(train_tape),
         depth,
@@ -152,12 +254,14 @@ def trace_key(
     Unlike :func:`profile_key`, the trace key is depth-independent: one
     recorded trace replays into profiles at *every* depth and for every
     profiler kind, so depth sweeps and forward-profile ablations hit the
-    same entry.
+    same entry.  Its source digest covers the interpreter-facing modules
+    only, so scheduler and profiler edits keep recorded traces valid.
     """
     return _digest(
         "trace",
         CACHE_FORMAT,
         __version__,
+        interpreter_digest(),
         program_fingerprint(program),
         tuple(train_tape),
         tuple(args),
@@ -175,6 +279,7 @@ def reference_key(
         "reference",
         CACHE_FORMAT,
         __version__,
+        interpreter_digest(),
         program_fingerprint(program),
         tuple(test_tape),
         step_limit,

@@ -72,6 +72,7 @@ def run_workload(
     icache_config: Optional[ICacheConfig] = None,
     profiles: Optional[ProfileBundle] = None,
     reference: Optional[ExecutionResult] = None,
+    validation=None,
 ) -> Dict[str, SchemeOutcome]:
     """Run one workload under each scheme, sharing the training profile and
     the testing-input reference run across schemes."""
@@ -94,6 +95,7 @@ def run_workload(
             icache_config=icache_config,
             profiles=profiles,
             reference=reference,
+            validation=validation,
         )
     return outcomes
 
@@ -110,6 +112,7 @@ def run_suite(
     cache: Optional[ExperimentCache] = None,
     trace_cache: bool = True,
     min_parallel_tasks: Optional[int] = None,
+    validation=None,
 ) -> SuiteResults:
     """Run a set of workloads under a set of schemes.
 
@@ -131,6 +134,9 @@ def run_suite(
         min_parallel_tasks: override the serial-fallback threshold
             (:data:`~repro.experiments.parallel.MIN_PARALLEL_TASKS`); pass
             ``0`` to force the pool for any task count.
+        validation: a :class:`~repro.validation.ValidationConfig` running
+            stage checkpoints inside every *computed* pipeline (cached
+            outcomes were checked when first computed).
 
     Returns:
         Map from (workload, scheme) to the full outcome.
@@ -224,6 +230,7 @@ def run_suite(
                 references_by,
                 verbose=verbose,
                 traces_by_workload=traces_by,
+                validation=validation,
             )
         else:
             for wname, wanted in pending.items():
@@ -255,6 +262,7 @@ def run_suite(
                         icache_config=icache_config,
                         profiles=profiles,
                         reference=reference,
+                        validation=validation,
                     )
 
         if cache is not None:

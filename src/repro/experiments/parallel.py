@@ -113,6 +113,7 @@ def _scheme_task(
     icache_config,
     profiles: ProfileBundle,
     reference: ExecutionResult,
+    validation=None,
 ) -> Tuple[Tuple[str, str], SchemeOutcome]:
     """Stage 2: the full pipeline for one (workload, scheme) pair."""
     workload = _workload(wname)
@@ -126,6 +127,7 @@ def _scheme_task(
         icache_config=icache_config,
         profiles=profiles,
         reference=reference,
+        validation=validation,
     )
     return (wname, scheme_name), outcome
 
@@ -141,6 +143,7 @@ def run_pairs_parallel(
     references_by_workload: Dict[str, ExecutionResult],
     verbose: bool = False,
     traces_by_workload: Optional[Dict[str, TracedRun]] = None,
+    validation=None,
 ) -> Dict[Tuple[str, str], SchemeOutcome]:
     """Compute ``pending`` (workload -> scheme names) outcomes in parallel.
 
@@ -173,6 +176,7 @@ def run_pairs_parallel(
                             icache_config,
                             profiles,
                             reference,
+                            validation,
                         )
                     )
             else:
@@ -203,6 +207,7 @@ def run_pairs_parallel(
                             icache_config,
                             profiles,
                             reference,
+                            validation,
                         )
                     )
 

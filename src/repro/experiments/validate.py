@@ -1,0 +1,128 @@
+"""End-to-end differential validation of the whole compiler.
+
+:func:`validate_suite` runs every requested (workload, scheme) pair
+through :func:`~repro.experiments.harness.run_suite` with all stage
+checkpoints enabled (:meth:`~repro.validation.ValidationConfig.full`),
+then performs an explicit post-hoc differential comparison of each
+outcome: the VLIW-simulated output and return value of the scheduled
+code against the scheme-independent reference-interpreter run.
+
+The post-hoc pass is deliberately redundant with ``run_scheme``'s inline
+``check_output`` for freshly computed pairs — its point is *cached*
+outcomes: a :class:`~repro.experiments.cache.ExperimentCache` replay
+skips the pipeline entirely, but the stored outcome still carries both
+the simulation result and the reference run, so the oracle re-checks it
+here without recomputation.
+
+Exposed on the command line as ``python -m repro.experiments validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..validation import ValidationConfig
+from .cache import ExperimentCache
+from .harness import run_suite
+
+#: Every named formation scheme (see :func:`repro.formation.scheme`).
+ALL_SCHEMES = ("BB", "M4", "M16", "P4", "P4e")
+
+
+@dataclass
+class ValidationRow:
+    """Differential verdict for one (workload, scheme) pair."""
+
+    workload: str
+    scheme: str
+    cycles: int
+    output_words: int
+    #: simulated output == reference output (order and values)
+    output_matches: bool
+    #: simulated return value == reference return value
+    return_matches: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.output_matches and self.return_matches
+
+
+def validate_suite(
+    schemes: Sequence[str] = ALL_SCHEMES,
+    workload_names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
+    trace_cache: bool = True,
+) -> List[ValidationRow]:
+    """Validate every (workload, scheme) pair differentially.
+
+    Freshly computed pairs additionally run the full set of stage
+    checkpoints inside the pipeline (a violation raises
+    :class:`~repro.validation.ValidationError` and aborts the suite);
+    cached pairs are re-checked by the post-hoc oracle only.
+    """
+    results = run_suite(
+        schemes,
+        workload_names=workload_names,
+        scale=scale,
+        verbose=verbose,
+        jobs=jobs,
+        cache=cache,
+        trace_cache=trace_cache,
+        validation=ValidationConfig.full(),
+    )
+    rows: List[ValidationRow] = []
+    for (wname, sname), outcome in results.items():
+        reference = outcome.reference
+        if reference is None:
+            raise RuntimeError(
+                f"{wname}/{sname}: outcome carries no reference run;"
+                " cannot validate differentially"
+            )
+        rows.append(
+            ValidationRow(
+                workload=wname,
+                scheme=sname,
+                cycles=outcome.result.cycles,
+                output_words=len(outcome.result.output),
+                output_matches=outcome.result.output == reference.output,
+                return_matches=(
+                    outcome.result.return_value == reference.return_value
+                ),
+            )
+        )
+    return rows
+
+
+def format_validation(rows: Sequence[ValidationRow]) -> str:
+    """Render the differential table, one row per (workload, scheme)."""
+    header = (
+        f"{'workload':<14} {'scheme':<7} {'cycles':>10}"
+        f" {'output':>7}  verdict"
+    )
+    lines = [header, "-" * len(header)]
+    bad = 0
+    for row in rows:
+        if row.ok:
+            verdict = "ok"
+        else:
+            bad += 1
+            parts = []
+            if not row.output_matches:
+                parts.append("OUTPUT MISMATCH")
+            if not row.return_matches:
+                parts.append("RETURN MISMATCH")
+            verdict = ", ".join(parts)
+        lines.append(
+            f"{row.workload:<14} {row.scheme:<7} {row.cycles:>10}"
+            f" {row.output_words:>7}  {verdict}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{len(rows)} pair(s) validated, {bad} mismatch(es)"
+        + ("" if bad else " — scheduled code matches the interpreter")
+    )
+    return "\n".join(lines)

@@ -114,12 +114,16 @@ def form_superblocks(
     config: FormationConfig,
     edge_profile: Optional[EdgeProfile] = None,
     path_profile: Optional[PathProfile] = None,
+    validation=None,
 ) -> FormationResult:
     """Run the configured formation scheme over every procedure.
 
     The input program is not modified; the result holds a transformed copy.
     Raises :class:`IRError` when the result violates the formation
-    invariants (a formation bug, not a user error).
+    invariants (a formation bug, not a user error).  ``validation``
+    (a :class:`~repro.validation.ValidationConfig`) additionally runs the
+    full IR verifier and formation structure checks as a stage checkpoint,
+    raising :class:`~repro.validation.ValidationError` on violation.
     """
     if config.kind == "edge" and edge_profile is None:
         raise ValueError("edge-based formation needs an edge profile")
@@ -146,6 +150,18 @@ def form_superblocks(
             f"formation invariant violation ({config.name}): "
             + "; ".join(problems[:5])
         )
+    if validation is not None and validation.any_formation_checks:
+        # Imported lazily: repro.validation pulls in this package.
+        from ..validation.invariants import (
+            check_cfg_consistency,
+            check_formation_invariants,
+            require,
+        )
+
+        if validation.check_ir:
+            require("formation:ir", check_cfg_consistency(transformed))
+        if validation.check_formation:
+            require("formation:structure", check_formation_invariants(result))
     return result
 
 

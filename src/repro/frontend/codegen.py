@@ -22,6 +22,7 @@ from . import ast_nodes as ast
 from .lexer import MiniCError
 from .parser import parse
 from .sema import check_module
+from .trampoline import run_trampoline
 
 _BINOP_OPCODES = {
     "+": Opcode.ADD,
@@ -65,44 +66,47 @@ class _FunctionCodegen:
     # -- statements -----------------------------------------------------------
 
     def generate(self) -> FunctionBuilder:
-        self._stmts(self.func.body)
+        # Lowering runs as trampoline steps (``yield`` = recurse): nesting
+        # depth is program data, so it must not be bounded by the Python
+        # call stack.
+        run_trampoline(self._stmts(self.func.body))
         if self.cur is not None:
             self.cur.ret()
         return self.fb
 
-    def _stmts(self, stmts: List[ast.Stmt]) -> None:
+    def _stmts(self, stmts: List[ast.Stmt]):
         for stmt in stmts:
             if self.cur is None:
                 return  # unreachable code after break/continue/return
-            self._stmt(stmt)
+            yield self._stmt(stmt)
 
-    def _stmt(self, stmt: ast.Stmt) -> None:
+    def _stmt(self, stmt: ast.Stmt):
         if isinstance(stmt, ast.VarDecl):
             reg = self.fb.reg()
             self.vars[stmt.name] = reg
-            value = self._expr(stmt.init)
+            value = yield self._expr(stmt.init)
             self.cur.mov(reg, value)
         elif isinstance(stmt, ast.Assign):
-            value = self._expr(stmt.value)
+            value = yield self._expr(stmt.value)
             self.cur.mov(self.vars[stmt.name], value)
         elif isinstance(stmt, ast.StoreStmt):
-            addr = self._expr(stmt.addr)
-            value = self._expr(stmt.value)
+            addr = yield self._expr(stmt.addr)
+            value = yield self._expr(stmt.value)
             self.cur.store(addr, value)
         elif isinstance(stmt, ast.Print):
             # Evaluate first: _expr may switch the current block (logical
             # operators lower to control flow).
-            value = self._expr(stmt.value)
+            value = yield self._expr(stmt.value)
             self.cur.print_(value)
         elif isinstance(stmt, ast.Return):
             if stmt.value is not None:
-                value = self._expr(stmt.value)
+                value = yield self._expr(stmt.value)
                 self.cur.ret(value)
             else:
                 self.cur.ret()
             self.cur = None
         elif isinstance(stmt, ast.ExprStmt):
-            self._expr(stmt.value)
+            yield self._expr(stmt.value)
         elif isinstance(stmt, ast.Break):
             self.cur.jmp(self.loops[-1][1])
             self.cur = None
@@ -110,18 +114,18 @@ class _FunctionCodegen:
             self.cur.jmp(self.loops[-1][0])
             self.cur = None
         elif isinstance(stmt, ast.If):
-            self._if(stmt)
+            yield self._if(stmt)
         elif isinstance(stmt, ast.While):
-            self._while(stmt)
+            yield self._while(stmt)
         elif isinstance(stmt, ast.For):
-            self._for(stmt)
+            yield self._for(stmt)
         elif isinstance(stmt, ast.Switch):
-            self._switch(stmt)
+            yield self._switch(stmt)
         else:  # pragma: no cover - exhaustive over Stmt
             raise MiniCError(f"cannot lower {type(stmt).__name__}")
 
-    def _if(self, stmt: ast.If) -> None:
-        cond = self._expr(stmt.cond)
+    def _if(self, stmt: ast.If):
+        cond = yield self._expr(stmt.cond)
         then_blk = self._new_block("then")
         join_blk: Optional[BlockBuilder] = None
         if stmt.orelse:
@@ -132,13 +136,13 @@ class _FunctionCodegen:
             self.cur.br(cond, then_blk.label, join_blk.label)
 
         self.cur = then_blk
-        self._stmts(stmt.then)
+        yield self._stmts(stmt.then)
         then_end = self.cur
 
         else_end: Optional[BlockBuilder] = None
         if stmt.orelse:
             self.cur = else_blk
-            self._stmts(stmt.orelse)
+            yield self._stmts(stmt.orelse)
             else_end = self.cur
 
         if then_end is None and (not stmt.orelse or else_end is None):
@@ -156,32 +160,32 @@ class _FunctionCodegen:
             else_end.jmp(join_blk.label)
         self.cur = join_blk
 
-    def _while(self, stmt: ast.While) -> None:
+    def _while(self, stmt: ast.While):
         cond_blk = self._new_block("while_cond")
         exit_blk = self._new_block("while_exit")
         self.cur.jmp(cond_blk.label)
         self.cur = cond_blk
-        cond = self._expr(stmt.cond)
+        cond = yield self._expr(stmt.cond)
         body_blk = self._new_block("while_body")
         self.cur.br(cond, body_blk.label, exit_blk.label)
         self.loops.append((cond_blk.label, exit_blk.label))
         self.cur = body_blk
-        self._stmts(stmt.body)
+        yield self._stmts(stmt.body)
         if self.cur is not None:
             self.cur.jmp(cond_blk.label)
         self.loops.pop()
         self.cur = exit_blk
 
-    def _for(self, stmt: ast.For) -> None:
+    def _for(self, stmt: ast.For):
         if stmt.init is not None:
-            self._stmt(stmt.init)
+            yield self._stmt(stmt.init)
         cond_blk = self._new_block("for_cond")
         exit_blk = self._new_block("for_exit")
         step_blk = self._new_block("for_step")
         self.cur.jmp(cond_blk.label)
         self.cur = cond_blk
         if stmt.cond is not None:
-            cond = self._expr(stmt.cond)
+            cond = yield self._expr(stmt.cond)
             body_blk = self._new_block("for_body")
             self.cur.br(cond, body_blk.label, exit_blk.label)
         else:
@@ -189,19 +193,19 @@ class _FunctionCodegen:
             self.cur.jmp(body_blk.label)
         self.loops.append((step_blk.label, exit_blk.label))
         self.cur = body_blk
-        self._stmts(stmt.body)
+        yield self._stmts(stmt.body)
         if self.cur is not None:
             self.cur.jmp(step_blk.label)
         self.loops.pop()
         self.cur = step_blk
         if stmt.step is not None:
-            self._stmt(stmt.step)
+            yield self._stmt(stmt.step)
         if self.cur is not None:
             self.cur.jmp(cond_blk.label)
         self.cur = exit_blk
 
-    def _switch(self, stmt: ast.Switch) -> None:
-        selector = self._expr(stmt.selector)
+    def _switch(self, stmt: ast.Switch):
+        selector = yield self._expr(stmt.selector)
         join_blk = self._new_block("switch_join")
         default_blk = self._new_block("switch_default")
         case_blocks: Dict[int, BlockBuilder] = {}
@@ -217,18 +221,18 @@ class _FunctionCodegen:
 
         for case in stmt.cases:
             self.cur = case_blocks[case.value]
-            self._stmts(case.body)
+            yield self._stmts(case.body)
             if self.cur is not None:
                 self.cur.jmp(join_blk.label)
         self.cur = default_blk
-        self._stmts(stmt.default)
+        yield self._stmts(stmt.default)
         if self.cur is not None:
             self.cur.jmp(join_blk.label)
         self.cur = join_blk
 
     # -- expressions ---------------------------------------------------------
 
-    def _expr(self, expr: ast.Expr) -> int:
+    def _expr(self, expr: ast.Expr):
         if isinstance(expr, ast.IntLit):
             reg = self.fb.reg()
             self.cur.li(reg, expr.value)
@@ -236,21 +240,21 @@ class _FunctionCodegen:
         if isinstance(expr, ast.Var):
             return self.vars[expr.name]
         if isinstance(expr, ast.Unary):
-            src = self._expr(expr.operand)
+            src = yield self._expr(expr.operand)
             dest = self.fb.reg()
             opcode = Opcode.NEG if expr.op == "-" else Opcode.NOT
             self.cur.alu(opcode, dest, src)
             return dest
         if isinstance(expr, ast.Binary):
-            lhs = self._expr(expr.lhs)
-            rhs = self._expr(expr.rhs)
+            lhs = yield self._expr(expr.lhs)
+            rhs = yield self._expr(expr.rhs)
             dest = self.fb.reg()
             self.cur.alu(_BINOP_OPCODES[expr.op], dest, lhs, rhs)
             return dest
         if isinstance(expr, ast.Logical):
-            return self._logical(expr)
+            return (yield self._logical(expr))
         if isinstance(expr, ast.Load):
-            addr = self._expr(expr.addr)
+            addr = yield self._expr(expr.addr)
             dest = self.fb.reg()
             self.cur.load(dest, addr)
             return dest
@@ -259,7 +263,9 @@ class _FunctionCodegen:
             self.cur.read(dest)
             return dest
         if isinstance(expr, ast.Call):
-            args = [self._expr(arg) for arg in expr.args]
+            args = []
+            for arg in expr.args:
+                args.append((yield self._expr(arg)))
             dest = self.fb.reg()
             self.cur.call(expr.name, args, dest=dest)
             return dest
@@ -267,10 +273,10 @@ class _FunctionCodegen:
             f"cannot lower {type(expr).__name__}"
         )
 
-    def _logical(self, expr: ast.Logical) -> int:
+    def _logical(self, expr: ast.Logical):
         """Short-circuit evaluation materializing 0/1 into a register."""
         result = self.fb.reg()
-        lhs = self._expr(expr.lhs)
+        lhs = yield self._expr(expr.lhs)
         rhs_blk = self._new_block("sc_rhs")
         short_blk = self._new_block("sc_short")
         join_blk = self._new_block("sc_join")
@@ -286,7 +292,7 @@ class _FunctionCodegen:
         short_blk.jmp(join_blk.label)
 
         self.cur = rhs_blk
-        rhs = self._expr(expr.rhs)
+        rhs = yield self._expr(expr.rhs)
         zero = self.fb.reg()
         self.cur.li(zero, 0)
         self.cur.alu(Opcode.CMPNE, result, rhs, zero)

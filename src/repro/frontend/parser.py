@@ -1,4 +1,12 @@
-"""Recursive-descent parser for MiniC."""
+"""Recursive-descent parser for MiniC.
+
+The grammar methods are written as generator *steps* run by
+:func:`~repro.frontend.trampoline.run_trampoline`: nesting depth costs
+heap instead of Python stack, so fuzz-generated programs with thousands
+of nested parentheses or ``if`` arms parse without ``RecursionError``.
+A nested parse reads as ``x = yield self._rule()`` instead of
+``x = self._rule()``; everything else is ordinary recursive descent.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,7 @@ from typing import List, Optional
 
 from . import ast_nodes as ast
 from .lexer import MiniCError, Token, TokenKind, tokenize
+from .trampoline import run_trampoline
 
 #: Binary operator precedence (higher binds tighter).  ``&&``/``||`` are
 #: handled separately because they short-circuit.
@@ -83,10 +92,10 @@ class Parser:
         """``module := funcdef*``"""
         module = ast.Module(line=1)
         while self._peek().kind is not TokenKind.EOF:
-            module.functions.append(self._funcdef())
+            module.functions.append(run_trampoline(self._funcdef()))
         return module
 
-    def _funcdef(self) -> ast.FuncDef:
+    def _funcdef(self):
         start = self._expect_keyword("func")
         name = self._expect_ident().text
         self._expect_punct("(")
@@ -96,34 +105,34 @@ class Parser:
             while self._accept_punct(","):
                 params.append(self._expect_ident().text)
         self._expect_punct(")")
-        body = self._block()
+        body = yield self._block()
         return ast.FuncDef(line=start.line, name=name, params=params, body=body)
 
     # -- grammar: statements ------------------------------------------------------
 
-    def _block(self) -> List[ast.Stmt]:
+    def _block(self):
         self._expect_punct("{")
         stmts: List[ast.Stmt] = []
         while not self._peek().is_punct("}"):
             if self._peek().kind is TokenKind.EOF:
                 tok = self._peek()
                 raise MiniCError("unterminated block", tok.line, tok.col)
-            stmts.append(self._statement())
+            stmts.append((yield self._statement()))
         self._expect_punct("}")
         return stmts
 
-    def _statement(self) -> ast.Stmt:
+    def _statement(self):
         tok = self._peek()
         if tok.is_keyword("var"):
-            return self._var_decl()
+            return (yield self._var_decl())
         if tok.is_keyword("if"):
-            return self._if()
+            return (yield self._if())
         if tok.is_keyword("while"):
-            return self._while()
+            return (yield self._while())
         if tok.is_keyword("for"):
-            return self._for()
+            return (yield self._for())
         if tok.is_keyword("switch"):
-            return self._switch()
+            return (yield self._switch())
         if tok.is_keyword("break"):
             self._next()
             self._expect_punct(";")
@@ -136,75 +145,75 @@ class Parser:
             self._next()
             value: Optional[ast.Expr] = None
             if not self._peek().is_punct(";"):
-                value = self._expression()
+                value = yield self._expression()
             self._expect_punct(";")
             return ast.Return(line=tok.line, value=value)
         if tok.is_keyword("print"):
             self._next()
             self._expect_punct("(")
-            value = self._expression()
+            value = yield self._expression()
             self._expect_punct(")")
             self._expect_punct(";")
             return ast.Print(line=tok.line, value=value)
         if tok.is_keyword("mem"):
-            return self._store_stmt()
+            return (yield self._store_stmt())
         if tok.kind is TokenKind.IDENT:
             # assignment or expression statement (e.g. a call for effect)
             if self._tokens[self._pos + 1].is_punct("="):
                 name_tok = self._next()
                 self._next()  # '='
-                value = self._expression()
+                value = yield self._expression()
                 self._expect_punct(";")
                 return ast.Assign(
                     line=name_tok.line, name=name_tok.text, value=value
                 )
-            value = self._expression()
+            value = yield self._expression()
             self._expect_punct(";")
             return ast.ExprStmt(line=tok.line, value=value)
         raise MiniCError(f"unexpected token {tok.text!r}", tok.line, tok.col)
 
-    def _var_decl(self) -> ast.VarDecl:
+    def _var_decl(self):
         start = self._expect_keyword("var")
         name = self._expect_ident().text
         self._expect_punct("=")
-        init = self._expression()
+        init = yield self._expression()
         self._expect_punct(";")
         return ast.VarDecl(line=start.line, name=name, init=init)
 
-    def _store_stmt(self) -> ast.StoreStmt:
+    def _store_stmt(self):
         start = self._expect_keyword("mem")
         self._expect_punct("[")
-        addr = self._expression()
+        addr = yield self._expression()
         self._expect_punct("]")
         self._expect_punct("=")
-        value = self._expression()
+        value = yield self._expression()
         self._expect_punct(";")
         return ast.StoreStmt(line=start.line, addr=addr, value=value)
 
-    def _if(self) -> ast.If:
+    def _if(self):
         start = self._expect_keyword("if")
         self._expect_punct("(")
-        cond = self._expression()
+        cond = yield self._expression()
         self._expect_punct(")")
-        then = self._block()
+        then = yield self._block()
         orelse: List[ast.Stmt] = []
         if self._peek().is_keyword("else"):
             self._next()
             if self._peek().is_keyword("if"):
-                orelse = [self._if()]
+                orelse = [(yield self._if())]
             else:
-                orelse = self._block()
+                orelse = yield self._block()
         return ast.If(line=start.line, cond=cond, then=then, orelse=orelse)
 
-    def _while(self) -> ast.While:
+    def _while(self):
         start = self._expect_keyword("while")
         self._expect_punct("(")
-        cond = self._expression()
+        cond = yield self._expression()
         self._expect_punct(")")
-        body = self._block()
+        body = yield self._block()
         return ast.While(line=start.line, cond=cond, body=body)
 
-    def _simple_statement(self) -> ast.Stmt:
+    def _simple_statement(self):
         """A statement legal in for-headers: var decl, assignment, store,
         or expression (no trailing ';' consumed here)."""
         tok = self._peek()
@@ -212,48 +221,48 @@ class Parser:
             self._next()
             name = self._expect_ident().text
             self._expect_punct("=")
-            init = self._expression()
+            init = yield self._expression()
             return ast.VarDecl(line=tok.line, name=name, init=init)
         if tok.is_keyword("mem"):
             self._next()
             self._expect_punct("[")
-            addr = self._expression()
+            addr = yield self._expression()
             self._expect_punct("]")
             self._expect_punct("=")
-            value = self._expression()
+            value = yield self._expression()
             return ast.StoreStmt(line=tok.line, addr=addr, value=value)
         if tok.kind is TokenKind.IDENT and self._tokens[self._pos + 1].is_punct("="):
             name_tok = self._next()
             self._next()
-            value = self._expression()
+            value = yield self._expression()
             return ast.Assign(line=name_tok.line, name=name_tok.text, value=value)
-        value = self._expression()
+        value = yield self._expression()
         return ast.ExprStmt(line=tok.line, value=value)
 
-    def _for(self) -> ast.For:
+    def _for(self):
         start = self._expect_keyword("for")
         self._expect_punct("(")
         init: Optional[ast.Stmt] = None
         if not self._peek().is_punct(";"):
-            init = self._simple_statement()
+            init = yield self._simple_statement()
         self._expect_punct(";")
         cond: Optional[ast.Expr] = None
         if not self._peek().is_punct(";"):
-            cond = self._expression()
+            cond = yield self._expression()
         self._expect_punct(";")
         step: Optional[ast.Stmt] = None
         if not self._peek().is_punct(")"):
-            step = self._simple_statement()
+            step = yield self._simple_statement()
         self._expect_punct(")")
-        body = self._block()
+        body = yield self._block()
         return ast.For(
             line=start.line, init=init, cond=cond, step=step, body=body
         )
 
-    def _switch(self) -> ast.Switch:
+    def _switch(self):
         start = self._expect_keyword("switch")
         self._expect_punct("(")
-        selector = self._expression()
+        selector = yield self._expression()
         self._expect_punct(")")
         self._expect_punct("{")
         cases: List[ast.Case] = []
@@ -271,7 +280,7 @@ class Parser:
                         value_tok.col,
                     )
                 self._expect_punct(":")
-                body = self._block()
+                body = yield self._block()
                 cases.append(
                     ast.Case(
                         value=int(value_tok.text), body=body, line=tok.line
@@ -283,7 +292,7 @@ class Parser:
                 saw_default = True
                 self._next()
                 self._expect_punct(":")
-                default = self._block()
+                default = yield self._block()
             else:
                 raise MiniCError(
                     f"expected case/default, found {tok.text!r}",
@@ -297,27 +306,27 @@ class Parser:
 
     # -- grammar: expressions ---------------------------------------------------
 
-    def _expression(self) -> ast.Expr:
-        return self._logical_or()
+    def _expression(self):
+        return (yield self._logical_or())
 
-    def _logical_or(self) -> ast.Expr:
-        expr = self._logical_and()
+    def _logical_or(self):
+        expr = yield self._logical_and()
         while self._peek().is_punct("||"):
             tok = self._next()
-            rhs = self._logical_and()
+            rhs = yield self._logical_and()
             expr = ast.Logical(line=tok.line, op="||", lhs=expr, rhs=rhs)
         return expr
 
-    def _logical_and(self) -> ast.Expr:
-        expr = self._binary(0)
+    def _logical_and(self):
+        expr = yield self._binary(0)
         while self._peek().is_punct("&&"):
             tok = self._next()
-            rhs = self._binary(0)
+            rhs = yield self._binary(0)
             expr = ast.Logical(line=tok.line, op="&&", lhs=expr, rhs=rhs)
         return expr
 
-    def _binary(self, min_prec: int) -> ast.Expr:
-        expr = self._unary()
+    def _binary(self, min_prec: int):
+        expr = yield self._unary()
         while True:
             tok = self._peek()
             prec = (
@@ -328,23 +337,23 @@ class Parser:
             if prec is None or prec < min_prec:
                 return expr
             self._next()
-            rhs = self._binary(prec + 1)
+            rhs = yield self._binary(prec + 1)
             expr = ast.Binary(line=tok.line, op=tok.text, lhs=expr, rhs=rhs)
 
-    def _unary(self) -> ast.Expr:
+    def _unary(self):
         tok = self._peek()
         if tok.is_punct("-") or tok.is_punct("!"):
             self._next()
-            operand = self._unary()
+            operand = yield self._unary()
             return ast.Unary(line=tok.line, op=tok.text, operand=operand)
-        return self._primary()
+        return (yield self._primary())
 
-    def _primary(self) -> ast.Expr:
+    def _primary(self):
         tok = self._next()
         if tok.kind is TokenKind.INT:
             return ast.IntLit(line=tok.line, value=int(tok.text))
         if tok.is_punct("("):
-            expr = self._expression()
+            expr = yield self._expression()
             self._expect_punct(")")
             return expr
         if tok.is_keyword("read"):
@@ -353,7 +362,7 @@ class Parser:
             return ast.ReadExpr(line=tok.line)
         if tok.is_keyword("mem"):
             self._expect_punct("[")
-            addr = self._expression()
+            addr = yield self._expression()
             self._expect_punct("]")
             return ast.Load(line=tok.line, addr=addr)
         if tok.kind is TokenKind.IDENT:
@@ -361,9 +370,9 @@ class Parser:
                 self._next()
                 args: List[ast.Expr] = []
                 if not self._peek().is_punct(")"):
-                    args.append(self._expression())
+                    args.append((yield self._expression()))
                     while self._accept_punct(","):
-                        args.append(self._expression())
+                        args.append((yield self._expression()))
                 self._expect_punct(")")
                 return ast.Call(line=tok.line, name=tok.text, args=args)
             return ast.Var(line=tok.line, name=tok.text)

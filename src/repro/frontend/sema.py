@@ -12,6 +12,7 @@ from typing import Dict, List, Set
 
 from . import ast_nodes as ast
 from .lexer import MiniCError
+from .trampoline import run_trampoline
 
 
 def check_module(module: ast.Module) -> None:
@@ -42,15 +43,19 @@ class _FunctionChecker:
                 )
             seen_params.add(param)
         self.declared = set(seen_params)
-        self._stmts(self.func.body)
+        run_trampoline(self._stmts(self.func.body))
 
     # -- statements -------------------------------------------------------
+    #
+    # Statement checking runs as trampoline steps (``yield`` = recurse):
+    # nesting depth is program data, so it must not be bounded by the
+    # Python call stack.
 
-    def _stmts(self, stmts: List[ast.Stmt]) -> None:
+    def _stmts(self, stmts: List[ast.Stmt]):
         for stmt in stmts:
-            self._stmt(stmt)
+            yield self._stmt(stmt)
 
-    def _stmt(self, stmt: ast.Stmt) -> None:
+    def _stmt(self, stmt: ast.Stmt):
         if isinstance(stmt, ast.VarDecl):
             self._expr(stmt.init)
             if stmt.name in self.declared:
@@ -70,22 +75,22 @@ class _FunctionChecker:
             self._expr(stmt.value)
         elif isinstance(stmt, ast.If):
             self._expr(stmt.cond)
-            self._stmts(stmt.then)
-            self._stmts(stmt.orelse)
+            yield self._stmts(stmt.then)
+            yield self._stmts(stmt.orelse)
         elif isinstance(stmt, ast.While):
             self._expr(stmt.cond)
             self.loop_depth += 1
-            self._stmts(stmt.body)
+            yield self._stmts(stmt.body)
             self.loop_depth -= 1
         elif isinstance(stmt, ast.For):
             if stmt.init is not None:
-                self._stmt(stmt.init)
+                yield self._stmt(stmt.init)
             if stmt.cond is not None:
                 self._expr(stmt.cond)
             if stmt.step is not None:
-                self._stmt(stmt.step)
+                yield self._stmt(stmt.step)
             self.loop_depth += 1
-            self._stmts(stmt.body)
+            yield self._stmts(stmt.body)
             self.loop_depth -= 1
         elif isinstance(stmt, ast.Break):
             if self.loop_depth == 0:
@@ -113,49 +118,55 @@ class _FunctionChecker:
                         f"duplicate case label {case.value}", case.line
                     )
                 seen_values.add(case.value)
-                self._stmts(case.body)
-            self._stmts(stmt.default)
+                yield self._stmts(case.body)
+            yield self._stmts(stmt.default)
         else:  # pragma: no cover - exhaustive over Stmt
             raise MiniCError(f"unknown statement {type(stmt).__name__}")
 
     # -- expressions -----------------------------------------------------------
 
     def _expr(self, expr: ast.Expr) -> None:
-        if isinstance(expr, ast.IntLit):
-            return
-        if isinstance(expr, ast.Var):
-            if expr.name not in self.declared:
-                raise MiniCError(
-                    f"use of undeclared variable {expr.name!r}", expr.line
-                )
-            return
-        if isinstance(expr, (ast.Unary,)):
-            self._expr(expr.operand)
-            return
-        if isinstance(expr, (ast.Binary, ast.Logical)):
-            self._expr(expr.lhs)
-            self._expr(expr.rhs)
-            return
-        if isinstance(expr, ast.Load):
-            self._expr(expr.addr)
-            return
-        if isinstance(expr, ast.ReadExpr):
-            return
-        if isinstance(expr, ast.Call):
-            if expr.name not in self.signatures:
-                raise MiniCError(
-                    f"call to undefined function {expr.name!r}", expr.line
-                )
-            expected = self.signatures[expr.name]
-            if len(expr.args) != expected:
-                raise MiniCError(
-                    f"{expr.name!r} expects {expected} args,"
-                    f" got {len(expr.args)}",
-                    expr.line,
-                )
-            for arg in expr.args:
-                self._expr(arg)
-            return
-        raise MiniCError(  # pragma: no cover - exhaustive over Expr
-            f"unknown expression {type(expr).__name__}"
-        )
+        # Iterative preorder walk: expression depth is program data, so it
+        # must not be bounded by the Python call stack.
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.IntLit):
+                continue
+            if isinstance(node, ast.Var):
+                if node.name not in self.declared:
+                    raise MiniCError(
+                        f"use of undeclared variable {node.name!r}",
+                        node.line,
+                    )
+                continue
+            if isinstance(node, ast.Unary):
+                stack.append(node.operand)
+                continue
+            if isinstance(node, (ast.Binary, ast.Logical)):
+                stack.append(node.rhs)
+                stack.append(node.lhs)
+                continue
+            if isinstance(node, ast.Load):
+                stack.append(node.addr)
+                continue
+            if isinstance(node, ast.ReadExpr):
+                continue
+            if isinstance(node, ast.Call):
+                if node.name not in self.signatures:
+                    raise MiniCError(
+                        f"call to undefined function {node.name!r}",
+                        node.line,
+                    )
+                expected = self.signatures[node.name]
+                if len(node.args) != expected:
+                    raise MiniCError(
+                        f"{node.name!r} expects {expected} args,"
+                        f" got {len(node.args)}",
+                        node.line,
+                    )
+                stack.extend(reversed(node.args))
+                continue
+            raise MiniCError(  # pragma: no cover - exhaustive over Expr
+                f"unknown expression {type(node).__name__}"
+            )

@@ -1,0 +1,47 @@
+"""Heap-allocated recursion for the frontend's tree walks.
+
+MiniC programs are data — the fuzzer manufactures them — so their nesting
+depth must not be limited by the Python call stack: a few hundred nested
+parentheses or ``if`` arms would otherwise kill the recursive-descent
+parser (and the sema/codegen visitors behind it) with ``RecursionError``.
+
+:func:`run_trampoline` executes a *generator-shaped* recursion on an
+explicit stack.  A recursive step is written as a generator that
+``yield``s each sub-step (another such generator) and receives the
+sub-step's return value as the value of the ``yield`` expression::
+
+    def _factorial(n):
+        if n == 0:
+            return 1
+        return n * (yield _factorial(n - 1))
+
+    run_trampoline(_factorial(10_000))   # no RecursionError
+
+The driver keeps the pending generators in a list, so call depth costs
+heap, not stack.  Exceptions raised inside a step propagate to the caller
+exactly as with plain recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+#: A recursion step: yields sub-steps, returns its result.
+Step = Generator["Step", Any, Any]
+
+
+def run_trampoline(root: Step) -> Any:
+    """Run ``root`` to completion, executing yielded sub-steps on an
+    explicit stack; returns ``root``'s return value."""
+    stack = [root]
+    value: Any = None
+    while stack:
+        try:
+            child = stack[-1].send(value)
+        except StopIteration as stop:
+            stack.pop()
+            value = stop.value
+        else:
+            stack.append(child)
+            value = None
+    return value

@@ -32,6 +32,7 @@ from .scheduling.compactor import CompiledProgram, compact_program
 from .scheduling.machine import MachineModel, PAPER_MACHINE
 from .simulate.icache import ICache, ICacheConfig
 from .simulate.vliw_sim import SimulationResult, simulate
+from .validation.config import ValidationConfig
 
 
 class OutputMismatch(Exception):
@@ -67,13 +68,15 @@ def compile_scheme(
     profiles: Optional[ProfileBundle] = None,
     traced: Optional[TracedRun] = None,
     step_limit: int = 50_000_000,
+    validation: Optional[ValidationConfig] = None,
 ):
     """Profile, form, compact, and lay out ``program`` under one scheme.
 
     Returns ``(profiles, formation, compiled, layout)``.  Pass ``profiles``
     to reuse one training run across several schemes, or ``traced`` (a
     recorded training run) to derive the profiles by trace replay without
-    re-executing the interpreter.
+    re-executing the interpreter.  ``validation`` enables the stage
+    checkpoints (see :class:`~repro.validation.ValidationConfig`).
     """
     if profiles is None:
         if traced is not None:
@@ -88,9 +91,14 @@ def compile_scheme(
         formation_config,
         edge_profile=profiles.edge,
         path_profile=profiles.path,
+        validation=validation,
     )
     compiled = compact_program(
-        formation, machine=machine, optimize=optimize, allocate=allocate
+        formation,
+        machine=machine,
+        optimize=optimize,
+        allocate=allocate,
+        validation=validation,
     )
     layout = layout_program(compiled, profile=profiles.edge)
     return profiles, formation, compiled, layout
@@ -113,6 +121,7 @@ def run_scheme(
     reference: Optional[ExecutionResult] = None,
     step_limit: int = 50_000_000,
     cycle_limit: int = 100_000_000,
+    validation: Optional[ValidationConfig] = None,
 ) -> SchemeOutcome:
     """Run the full pipeline for one scheme and verify its correctness.
 
@@ -137,9 +146,12 @@ def run_scheme(
             scheme of a workload.
         step_limit: interpreter instruction budget.
         cycle_limit: simulator cycle budget.
+        validation: run the selected stage checkpoints after each
+            transform (see :class:`~repro.validation.ValidationConfig`).
 
     Raises:
         OutputMismatch: the scheduled code misbehaved (a compiler bug).
+        repro.validation.ValidationError: a stage checkpoint failed.
     """
     profiles, formation, compiled, layout = compile_scheme(
         program,
@@ -152,6 +164,7 @@ def run_scheme(
         profiles=profiles,
         traced=traced,
         step_limit=step_limit,
+        validation=validation,
     )
     result = simulate(
         compiled, input_tape=test_tape, cycle_limit=cycle_limit

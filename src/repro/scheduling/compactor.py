@@ -73,6 +73,7 @@ def compact_program(
     machine: MachineModel = PAPER_MACHINE,
     optimize: bool = True,
     allocate: bool = True,
+    validation=None,
 ) -> CompiledProgram:
     """Compact every superblock of a formed program.
 
@@ -84,11 +85,27 @@ def compact_program(
             the preschedule (infinite virtual registers) is the final
             schedule, modelling a register file large enough to never
             constrain the code.
+        validation: a :class:`~repro.validation.ValidationConfig` enabling
+            stage checkpoints (renaming SSA-ness, schedule legality,
+            allocation value-flow) that raise
+            :class:`~repro.validation.ValidationError` on violation.
 
     Returns:
         The compiled program ready for simulation.
     """
     from ..regalloc.linear_scan import allocate_procedure
+
+    if validation is not None and validation.any_compact_checks:
+        # Imported lazily: repro.validation pulls in this package.
+        from ..validation.invariants import (
+            AllocationSnapshot,
+            check_allocation_value_flow,
+            check_renamed_code,
+            check_schedule_legality,
+            require,
+        )
+    else:
+        validation = None
 
     program = formation.program
     compiled = CompiledProgram(
@@ -114,11 +131,23 @@ def compact_program(
                     set(),
                 )
             rename_superblock(code, proc)
+            if validation is not None and validation.check_renaming:
+                require(
+                    "compact:renaming", check_renamed_code(code, arch_bound)
+                )
             codes.append(code)
 
         preschedules = [schedule_superblock(code, machine) for code in codes]
+        if validation is not None and validation.check_schedule:
+            for presched in preschedules:
+                require(
+                    "compact:preschedule", check_schedule_legality(presched)
+                )
 
         if allocate:
+            snapshots = None
+            if validation is not None and validation.check_allocation:
+                snapshots = [AllocationSnapshot.capture(c) for c in codes]
             allocation = allocate_procedure(
                 proc.name,
                 proc.params,
@@ -127,7 +156,25 @@ def compact_program(
                 machine,
                 arch_bound,
             )
+            if snapshots is not None:
+                for code, snapshot in zip(codes, snapshots):
+                    require(
+                        "compact:allocation",
+                        check_allocation_value_flow(
+                            code,
+                            snapshot,
+                            allocation.arch_map,
+                            allocation.arch_spilled,
+                            machine.num_registers,
+                        ),
+                    )
             schedules = [schedule_superblock(code, machine) for code in codes]
+            if validation is not None and validation.check_schedule:
+                for schedule in schedules:
+                    require(
+                        "compact:postschedule",
+                        check_schedule_legality(schedule),
+                    )
             params = allocation.params
             compiled.allocation_stats[proc.name] = allocation.stats
         else:

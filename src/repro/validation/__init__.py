@@ -1,0 +1,43 @@
+"""Differential validation: stage checkpoints, an end-to-end oracle, and a
+property-based fuzzer.
+
+Three layers of defence against silent miscompiles:
+
+* **Stage checkpoints** (:mod:`repro.validation.invariants`) — structural
+  invariants re-checked after formation, renaming, scheduling, and
+  register allocation, selected by a :class:`ValidationConfig` threaded
+  through :func:`repro.pipeline.run_scheme`.
+* **Differential oracle** (:mod:`repro.experiments.validate`) — reference
+  interpreter vs. VLIW-simulated scheduled code for every (workload,
+  scheme) pair: ``python -m repro.experiments validate``.
+* **Fuzzer** (:mod:`repro.validation.fuzz`) — seeded random MiniC programs
+  (:mod:`repro.validation.genprog`) pushed through every scheme with all
+  checkpoints on; failures shrink to minimal sources via delta debugging
+  (:mod:`repro.validation.reduce`): ``python -m repro.experiments fuzz``.
+"""
+
+from .config import ValidationConfig, ValidationError
+from .genprog import GenConfig, generate_source
+from .invariants import (
+    AllocationSnapshot,
+    check_allocation_value_flow,
+    check_cfg_consistency,
+    check_formation_invariants,
+    check_renamed_code,
+    check_schedule_legality,
+    require,
+)
+
+__all__ = [
+    "AllocationSnapshot",
+    "GenConfig",
+    "ValidationConfig",
+    "ValidationError",
+    "check_allocation_value_flow",
+    "check_cfg_consistency",
+    "check_formation_invariants",
+    "check_renamed_code",
+    "check_schedule_legality",
+    "generate_source",
+    "require",
+]

@@ -1,0 +1,83 @@
+"""Configuration for the stage-checkpoint validation subsystem.
+
+A :class:`ValidationConfig` travels with a pipeline invocation
+(:func:`repro.pipeline.run_scheme` and friends) and selects which
+structural invariants are re-checked after each transform.  The checks are
+pure observers: with every flag off (or ``validation=None``, the default)
+the pipeline's behaviour and output are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+class ValidationError(Exception):
+    """A pipeline transform produced structurally invalid code.
+
+    Always a compiler bug, never a user error.  ``stage`` names the
+    checkpoint that fired; ``problems`` lists every violated invariant.
+    """
+
+    def __init__(self, stage: str, problems: Sequence[str]) -> None:
+        self.stage = stage
+        self.problems: List[str] = list(problems)
+        shown = "; ".join(self.problems[:5])
+        extra = len(self.problems) - 5
+        if extra > 0:
+            shown += f"; ... ({extra} more)"
+        super().__init__(f"[{stage}] {shown}")
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Which stage checkpoints to run.  Frozen (and picklable) so one
+    config can be shared across worker processes."""
+
+    #: Verify the IR (CFG edge consistency, terminators, call targets)
+    #: after superblock formation rewrites the program.
+    check_ir: bool = True
+    #: Re-check the formation result's structural invariants (partition,
+    #: single entry, connectivity) at the pipeline checkpoint.
+    check_formation: bool = True
+    #: After renaming: every renamer-created temporary is defined exactly
+    #: once, before its uses, and only moves write architectural registers.
+    check_renaming: bool = True
+    #: Verify every preschedule and final schedule against the dependence
+    #: and machine-resource rules.
+    check_schedule: bool = True
+    #: After register allocation: symbolically re-execute the rewritten
+    #: code and check it computes the same values as the pre-allocation
+    #: code (catches interference/clobbering and broken spill code).
+    check_allocation: bool = True
+
+    @classmethod
+    def full(cls) -> "ValidationConfig":
+        """Every checkpoint on (the ``validate``/``fuzz`` default)."""
+        return cls()
+
+    @classmethod
+    def none(cls) -> "ValidationConfig":
+        """Every checkpoint off (same behaviour as ``validation=None``)."""
+        return cls(
+            check_ir=False,
+            check_formation=False,
+            check_renaming=False,
+            check_schedule=False,
+            check_allocation=False,
+        )
+
+    @property
+    def any_formation_checks(self) -> bool:
+        """True when the formation-stage checkpoint must run."""
+        return self.check_ir or self.check_formation
+
+    @property
+    def any_compact_checks(self) -> bool:
+        """True when any compaction-stage checkpoint must run."""
+        return (
+            self.check_renaming
+            or self.check_schedule
+            or self.check_allocation
+        )

@@ -1,0 +1,198 @@
+"""Differential fuzzing driver: random MiniC programs through the whole
+compiler, checked against the reference interpreter.
+
+For each seed the driver generates one program
+(:func:`~repro.validation.genprog.generate_source`), derives deterministic
+training/testing input tapes from the same seed, runs the reference
+interpreter, and then pushes the program through the full pipeline —
+formation, compaction, allocation, scheduling, simulation — under every
+requested scheme with all stage checkpoints enabled
+(:meth:`~repro.validation.ValidationConfig.full`).  Any divergence
+(:class:`~repro.pipeline.OutputMismatch`), checkpoint violation
+(:class:`~repro.validation.ValidationError`), or crash is recorded as a
+:class:`FuzzFailure` classified by *kind* (stage + exception type), and
+the offending program is shrunk with
+:func:`~repro.validation.reduce.reduce_source` under a same-kind
+predicate, so every report carries a minimal reproducer.
+
+Everything is deterministic: seed ``k`` always denotes the same program
+and the same input tapes, so a failure report is a complete repro recipe.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..frontend import compile_source
+from ..interp.interpreter import run_program
+from ..pipeline import run_scheme
+from .config import ValidationConfig
+from .genprog import DEFAULT_CONFIG, GenConfig, generate_source
+from .reduce import DEFAULT_MAX_CHECKS, reduce_source
+
+#: Schemes each seed is pushed through: the paper's basic-block baseline,
+#: an edge-profile mutation scheme, and a path-profile scheme — the three
+#: structurally distinct formation/compaction flows.
+DEFAULT_SCHEMES: Tuple[str, ...] = ("BB", "M4", "P4")
+
+#: Input-tape length per seed (words); ``read()`` past the end yields -1.
+TAPE_WORDS = 48
+
+STEP_LIMIT = 5_000_000
+CYCLE_LIMIT = 20_000_000
+
+
+def fuzz_tapes(seed: int) -> Tuple[List[int], List[int]]:
+    """Deterministic (training, testing) input tapes for one seed."""
+    rng = random.Random(seed ^ 0x9E3779B9)
+    train = [rng.randint(0, 255) for _ in range(TAPE_WORDS)]
+    test = [rng.randint(0, 255) for _ in range(TAPE_WORDS)]
+    return train, test
+
+
+@dataclass
+class FuzzFailure:
+    """One seed that provoked a compiler failure."""
+
+    seed: int
+    #: ``stage:ExceptionName`` — e.g. ``P4:OutputMismatch``,
+    #: ``M4:ValidationError``, ``frontend:MiniCError``.
+    kind: str
+    message: str
+    #: The generated program.
+    source: str
+    #: Delta-debugged minimal reproducer (None when reduction was off).
+    reduced: Optional[str] = None
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    seeds: int
+    failures: List[FuzzFailure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def classify_failure(
+    source: str,
+    seed: int,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    validation: Optional[ValidationConfig] = None,
+) -> Optional[Tuple[str, str]]:
+    """Run the whole differential check on ``source`` and return the first
+    failure as ``(kind, message)``, or None when everything agrees.
+
+    The classification doubles as the reducer's predicate: a candidate
+    reproduces the original failure iff it yields the same *kind*.
+    """
+    if validation is None:
+        validation = ValidationConfig.full()
+    train, test = fuzz_tapes(seed)
+    try:
+        program = compile_source(source)
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        return f"frontend:{type(exc).__name__}", str(exc)
+    try:
+        reference = run_program(
+            program, input_tape=test, step_limit=STEP_LIMIT
+        )
+    except Exception as exc:  # noqa: BLE001
+        return f"interp:{type(exc).__name__}", str(exc)
+    for scheme_name in schemes:
+        try:
+            run_scheme(
+                program,
+                scheme_name,
+                train,
+                test,
+                reference=reference,
+                validation=validation,
+                step_limit=STEP_LIMIT,
+                cycle_limit=CYCLE_LIMIT,
+            )
+        except Exception as exc:  # noqa: BLE001
+            return f"{scheme_name}:{type(exc).__name__}", str(exc)
+    return None
+
+
+def fuzz_one(
+    seed: int,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    gen_config: GenConfig = DEFAULT_CONFIG,
+    validation: Optional[ValidationConfig] = None,
+    reduce: bool = True,
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> Optional[FuzzFailure]:
+    """Fuzz one seed; return its (reduced) failure, or None on success."""
+    source = generate_source(seed, gen_config)
+    found = classify_failure(source, seed, schemes, validation)
+    if found is None:
+        return None
+    kind, message = found
+    failure = FuzzFailure(seed=seed, kind=kind, message=message, source=source)
+    if reduce:
+        def predicate(candidate: str) -> bool:
+            got = classify_failure(candidate, seed, schemes, validation)
+            return got is not None and got[0] == kind
+
+        failure.reduced = reduce_source(source, predicate, max_checks)
+    return failure
+
+
+def run_fuzz(
+    seeds: int,
+    start: int = 0,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    gen_config: GenConfig = DEFAULT_CONFIG,
+    validation: Optional[ValidationConfig] = None,
+    reduce: bool = True,
+    verbose: bool = False,
+) -> FuzzReport:
+    """Fuzz seeds ``start .. start + seeds - 1`` and collect failures."""
+    failures: List[FuzzFailure] = []
+    for offset in range(seeds):
+        seed = start + offset
+        if verbose and offset % 10 == 0:
+            print(
+                f"[fuzz] seed {seed} ({offset}/{seeds},"
+                f" {len(failures)} failure(s))",
+                flush=True,
+            )
+        failure = fuzz_one(
+            seed,
+            schemes=schemes,
+            gen_config=gen_config,
+            validation=validation,
+            reduce=reduce,
+        )
+        if failure is not None:
+            failures.append(failure)
+            if verbose:
+                print(f"[fuzz] seed {seed} FAILED: {failure.kind}", flush=True)
+    return FuzzReport(seeds=seeds, failures=failures)
+
+
+def format_fuzz_report(report: FuzzReport) -> str:
+    """Human-readable campaign summary, with minimal repros inline."""
+    lines = [
+        f"fuzz: {report.seeds} seed(s),"
+        f" {len(report.failures)} failure(s)"
+    ]
+    for failure in report.failures:
+        lines.append("")
+        lines.append(f"seed {failure.seed}: {failure.kind}")
+        lines.append(f"  {failure.message}")
+        repro = failure.reduced or failure.source
+        label = "reduced repro" if failure.reduced else "repro (unreduced)"
+        lines.append(f"  {label}:")
+        for line in repro.rstrip("\n").splitlines():
+            lines.append(f"    {line}")
+    if report.ok:
+        lines.append("all seeds passed: interpreter and scheduled code agree")
+    return "\n".join(lines)

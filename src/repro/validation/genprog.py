@@ -1,0 +1,300 @@
+"""Seeded random MiniC program generator for differential fuzzing.
+
+:func:`generate_source` maps ``(seed, config)`` deterministically to a
+MiniC source string — same seed, same program, byte for byte — built so
+that *every* generated program terminates and is semantically
+well-defined:
+
+* loops count a reserved variable (``lc…``) up to a small bound; the
+  counter is never handed to the rest of the generator, so nothing can
+  reassign it (`while` bodies increment first, making ``continue`` safe);
+* helper functions only call helpers defined before them — no recursion;
+* every divisor is forced odd (``| 1``) so division and modulo never
+  fault, and every shift amount is masked to ``& 15``;
+* every value that can accumulate across iterations (variables, memory
+  cells, return values) is masked to ``value_mask``, so loop-carried
+  products cannot grow into multi-kiloword integers;
+* memory addresses are masked to a small window, keeping the heap dense
+  and store/load aliasing likely (good for the memory-dependence logic).
+
+Programs still cover the compiler's interesting surface: nested control
+flow, switches (dense ``mbr`` tables), short-circuit logicals, memory
+aliasing, calls, ``read()``-driven data-dependent branches, and prints
+whose order and values make any miscompile observable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: Operators with plain (non-guarded) rendering.
+_PLAIN_BINOPS = (
+    "+",
+    "-",
+    "*",
+    "&",
+    "|",
+    "^",
+    "==",
+    "!=",
+    "<",
+    "<=",
+    ">",
+    ">=",
+)
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size/shape knobs of the generator (all bounds inclusive)."""
+
+    max_helpers: int = 3
+    max_params: int = 3
+    max_block_stmts: int = 4
+    max_stmt_depth: int = 3
+    max_expr_depth: int = 3
+    max_loop_iters: int = 8
+    max_switch_cases: int = 4
+    #: Mask applied to every stored value (variables, memory, returns).
+    value_mask: int = 0xFFFF
+    #: Mask applied to every memory address.
+    addr_mask: int = 63
+
+
+DEFAULT_CONFIG = GenConfig()
+
+
+class _FuncScope:
+    """Names visible inside one function being generated."""
+
+    def __init__(self, variables: List[str], callees: List[Tuple[str, int]]):
+        self.variables = variables
+        self.callees = callees
+        self.loop_depth = 0
+
+
+class _Generator:
+    def __init__(self, rng: random.Random, config: GenConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self._fresh = 0
+        self._fresh_loop = 0
+
+    # -- names -----------------------------------------------------------
+
+    def _var(self) -> str:
+        self._fresh += 1
+        return f"v{self._fresh}"
+
+    def _loop_var(self) -> str:
+        self._fresh_loop += 1
+        return f"lc{self._fresh_loop}"
+
+    # -- expressions ------------------------------------------------------
+
+    def _leaf(self, scope: _FuncScope) -> str:
+        roll = self.rng.random()
+        if scope.variables and roll < 0.55:
+            return self.rng.choice(scope.variables)
+        if roll < 0.8:
+            return str(self.rng.randint(0, 99))
+        if roll < 0.9:
+            return str(-self.rng.randint(1, 16))
+        return "read()"
+
+    def _expr(self, scope: _FuncScope, depth: int) -> str:
+        if depth <= 0 or self.rng.random() < 0.25:
+            return self._leaf(scope)
+        roll = self.rng.random()
+        if roll < 0.45:
+            op = self.rng.choice(_PLAIN_BINOPS)
+            lhs = self._expr(scope, depth - 1)
+            rhs = self._expr(scope, depth - 1)
+            return f"({lhs} {op} {rhs})"
+        if roll < 0.55:
+            op = self.rng.choice(("/", "%"))
+            lhs = self._expr(scope, depth - 1)
+            rhs = self._expr(scope, depth - 1)
+            return f"({lhs} {op} (({rhs}) | 1))"
+        if roll < 0.62:
+            op = self.rng.choice(("<<", ">>"))
+            lhs = self._expr(scope, depth - 1)
+            rhs = self._expr(scope, depth - 1)
+            return f"({lhs} {op} (({rhs}) & 15))"
+        if roll < 0.72:
+            op = self.rng.choice(("-", "!"))
+            return f"({op}({self._expr(scope, depth - 1)}))"
+        if roll < 0.82:
+            op = self.rng.choice(("&&", "||"))
+            lhs = self._expr(scope, depth - 1)
+            rhs = self._expr(scope, depth - 1)
+            return f"({lhs} {op} {rhs})"
+        if roll < 0.9:
+            return f"mem[{self._addr(scope, depth - 1)}]"
+        if scope.callees:
+            name, arity = self.rng.choice(scope.callees)
+            args = ", ".join(
+                self._expr(scope, depth - 1) for _ in range(arity)
+            )
+            return f"{name}({args})"
+        return self._leaf(scope)
+
+    def _addr(self, scope: _FuncScope, depth: int) -> str:
+        return f"(({self._expr(scope, depth)}) & {self.config.addr_mask})"
+
+    def _masked(self, scope: _FuncScope, depth: Optional[int] = None) -> str:
+        if depth is None:
+            depth = self.config.max_expr_depth
+        return f"({self._expr(scope, depth)}) & {self.config.value_mask}"
+
+    def _cond(self, scope: _FuncScope) -> str:
+        return self._expr(scope, max(1, self.config.max_expr_depth - 1))
+
+    # -- statements --------------------------------------------------------
+
+    def _block(
+        self, scope: _FuncScope, depth: int, indent: str, lines: List[str]
+    ) -> None:
+        """Emit one statement block.
+
+        Variables declared inside are scoped to the block: a sibling
+        branch (or code after the block) must not read a name whose
+        initialization it may never have executed.  Generation also stops
+        after a ``break``/``continue`` — statements behind one are dead,
+        and declarations there would poison the scope.
+        """
+        visible = len(scope.variables)
+        for _ in range(self.rng.randint(1, self.config.max_block_stmts)):
+            if self._stmt(scope, depth, indent, lines):
+                break
+        del scope.variables[visible:]
+
+    def _stmt(
+        self, scope: _FuncScope, depth: int, indent: str, lines: List[str]
+    ) -> bool:
+        """Emit one statement; True when it unconditionally leaves the
+        block (break/continue), ending generation of the block."""
+        roll = self.rng.random()
+        if roll < 0.22:
+            name = self._var()
+            lines.append(f"{indent}var {name} = {self._masked(scope)};")
+            scope.variables.append(name)
+            return False
+        if roll < 0.42 and scope.variables:
+            target = self.rng.choice(scope.variables)
+            lines.append(f"{indent}{target} = {self._masked(scope)};")
+            return False
+        if roll < 0.52:
+            lines.append(f"{indent}print({self._expr(scope, 2)});")
+            return False
+        if roll < 0.62:
+            addr = self._addr(scope, 2)
+            lines.append(f"{indent}mem[{addr}] = {self._masked(scope, 2)};")
+            return False
+        if roll < 0.67 and scope.loop_depth > 0:
+            # Break/continue both safe: `while` bodies increment their
+            # counter before any generated statement, `for` steps do it in
+            # the loop header.
+            lines.append(
+                f"{indent}{self.rng.choice(('break', 'continue'))};"
+            )
+            return True
+        if depth <= 0:
+            lines.append(f"{indent}print({self._expr(scope, 1)});")
+            return False
+        inner = indent + "    "
+        if roll < 0.78:
+            lines.append(f"{indent}if ({self._cond(scope)}) {{")
+            self._block(scope, depth - 1, inner, lines)
+            if self.rng.random() < 0.5:
+                lines.append(f"{indent}}} else {{")
+                self._block(scope, depth - 1, inner, lines)
+            lines.append(f"{indent}}}")
+            return False
+        if roll < 0.86:
+            counter = self._loop_var()
+            iters = self.rng.randint(1, self.config.max_loop_iters)
+            lines.append(f"{indent}var {counter} = 0;")
+            lines.append(f"{indent}while ({counter} < {iters}) {{")
+            lines.append(f"{inner}{counter} = {counter} + 1;")
+            scope.loop_depth += 1
+            self._block(scope, depth - 1, inner, lines)
+            scope.loop_depth -= 1
+            lines.append(f"{indent}}}")
+            return False
+        if roll < 0.94:
+            counter = self._loop_var()
+            iters = self.rng.randint(1, self.config.max_loop_iters)
+            lines.append(
+                f"{indent}for (var {counter} = 0; {counter} < {iters};"
+                f" {counter} = {counter} + 1) {{"
+            )
+            scope.loop_depth += 1
+            self._block(scope, depth - 1, inner, lines)
+            scope.loop_depth -= 1
+            lines.append(f"{indent}}}")
+            return False
+        # Switch: dense labels near zero keep the mbr table small.  Case
+        # bodies never hold break/continue (a break there would target the
+        # enclosing loop, which generated code is better off doing
+        # explicitly).
+        case_count = self.rng.randint(1, self.config.max_switch_cases)
+        labels = sorted(
+            self.rng.sample(range(self.config.max_switch_cases * 2), case_count)
+        )
+        outer_depth = scope.loop_depth
+        scope.loop_depth = 0
+        lines.append(
+            f"{indent}switch (({self._expr(scope, 2)})"
+            f" & {self.config.max_switch_cases * 2 - 1}) {{"
+        )
+        body_indent = inner + "    "
+        for label in labels:
+            lines.append(f"{inner}case {label}: {{")
+            self._block(scope, depth - 1, body_indent, lines)
+            lines.append(f"{inner}}}")
+        lines.append(f"{inner}default: {{")
+        self._block(scope, depth - 1, body_indent, lines)
+        lines.append(f"{inner}}}")
+        lines.append(f"{indent}}}")
+        scope.loop_depth = outer_depth
+        return False
+
+    # -- functions ---------------------------------------------------------
+
+    def _function(
+        self,
+        name: str,
+        params: List[str],
+        callees: List[Tuple[str, int]],
+        is_main: bool,
+        lines: List[str],
+    ) -> None:
+        scope = _FuncScope(variables=list(params), callees=callees)
+        lines.append(f"func {name}({', '.join(params)}) {{")
+        self._block(scope, self.config.max_stmt_depth, "    ", lines)
+        if is_main:
+            lines.append(f"    print({self._masked(scope, 2)});")
+        lines.append(f"    return {self._masked(scope, 2)};")
+        lines.append("}")
+
+    def generate(self) -> str:
+        lines: List[str] = []
+        callees: List[Tuple[str, int]] = []
+        for index in range(self.rng.randint(0, self.config.max_helpers)):
+            name = f"f{index}"
+            params = [self._var() for _ in range(
+                self.rng.randint(0, self.config.max_params)
+            )]
+            self._function(name, params, list(callees), False, lines)
+            lines.append("")
+            callees.append((name, len(params)))
+        self._function("main", [], callees, True, lines)
+        return "\n".join(lines) + "\n"
+
+
+def generate_source(seed: int, config: GenConfig = DEFAULT_CONFIG) -> str:
+    """Deterministically generate one MiniC program for ``seed``."""
+    return _Generator(random.Random(seed), config).generate()

@@ -1,0 +1,272 @@
+"""Structural invariant checks for every pipeline stage.
+
+Each function returns a list of human-readable problem strings (empty =
+invariant holds); :func:`require` turns a non-empty list into a
+:class:`~repro.validation.config.ValidationError`.  The checks never
+mutate what they inspect, so a validated run is bit-identical to an
+unvalidated one.
+
+The allocation check deserves a note: rather than re-deriving interference
+sets, :func:`check_allocation_value_flow` *symbolically re-executes* the
+allocator's output.  Every definition site gets a value id; the physical
+code must deliver exactly the value ids the virtual code delivered — to
+each instruction's sources, and to each exit's live-out registers (via
+their allocated homes, register or spill slot).  A clobbered live range,
+a wrong spill slot, or a lost materialization all surface as a value-id
+mismatch at the first consumer that observes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..formation.superblock import FormationResult, verify_formation
+from ..ir.cfg import Program
+from ..ir.instructions import Instruction, Opcode
+from ..ir.verify import verify_program
+from ..scheduling.list_scheduler import SuperblockSchedule, verify_schedule
+from ..scheduling.sbcode import SuperblockCode
+from .config import ValidationError
+
+
+def require(stage: str, problems: Sequence[str]) -> None:
+    """Raise :class:`ValidationError` when ``problems`` is non-empty."""
+    if problems:
+        raise ValidationError(stage, problems)
+
+
+# -- CFG / formation ----------------------------------------------------------
+
+
+def check_cfg_consistency(program: Program) -> List[str]:
+    """IR verifier plus edge-map consistency for a whole program."""
+    problems = verify_program(program)
+    for proc in program.procedures():
+        labels = set(proc.labels)
+        if proc.labels and proc.entry_label not in labels:
+            problems.append(f"{proc.name}: entry label missing")
+        for label in proc.labels:
+            block = proc.block(label)
+            if block.label != label:
+                problems.append(
+                    f"{proc.name}: block registered as {label} is"
+                    f" labelled {block.label}"
+                )
+        # The predecessor map must be the exact transpose of the edge
+        # list — a desynchronized map means some pass edited targets
+        # without rewiring.
+        preds = proc.predecessors()
+        derived: Dict[str, List[str]] = {label: [] for label in proc.labels}
+        for src, dst in proc.edges():
+            if dst in derived:
+                derived[dst].append(src)
+        if preds != derived:
+            problems.append(f"{proc.name}: predecessor map out of sync")
+    return problems
+
+
+def check_formation_invariants(result: FormationResult) -> List[str]:
+    """Superblock partition / single-entry / connectivity invariants."""
+    problems = verify_formation(result)
+    for proc_name, sbs in result.superblocks.items():
+        proc = result.program.procedure(proc_name)
+        for sb in sbs:
+            for label in sb.labels:
+                if not proc.has_block(label):
+                    problems.append(
+                        f"{proc_name}: superblock {sb.head} lists missing"
+                        f" block {label}"
+                    )
+    return problems
+
+
+# -- renaming -----------------------------------------------------------------
+
+
+def check_renamed_code(code: SuperblockCode, arch_bound: int) -> List[str]:
+    """SSA-ness of the renamed trace.
+
+    After :func:`~repro.scheduling.renaming.rename_superblock`, every
+    register at or above ``arch_bound`` is a renamer-created temporary:
+    defined exactly once, before all of its uses.  Architectural registers
+    may only be (re)written by materializing moves.
+    """
+    problems: List[str] = []
+    defined_at: Dict[int, int] = {}
+    for index, instr in enumerate(code.instructions):
+        for src in instr.srcs:
+            if src >= arch_bound and src not in defined_at:
+                problems.append(
+                    f"{code.proc}/{code.head}@{index}: temp v{src} used"
+                    f" before definition"
+                )
+        dest = instr.dest
+        if dest is None:
+            continue
+        if dest >= arch_bound:
+            if dest in defined_at:
+                problems.append(
+                    f"{code.proc}/{code.head}@{index}: temp v{dest}"
+                    f" redefined (first at {defined_at[dest]})"
+                )
+            else:
+                defined_at[dest] = index
+        elif instr.opcode is not Opcode.MOV:
+            problems.append(
+                f"{code.proc}/{code.head}@{index}: non-move"
+                f" {instr.opcode.value} writes architectural v{dest}"
+            )
+    return problems
+
+
+# -- scheduling ---------------------------------------------------------------
+
+
+def check_schedule_legality(schedule: SuperblockSchedule) -> List[str]:
+    """Dependence, latency, and machine-resource legality of a schedule."""
+    return verify_schedule(schedule)
+
+
+# -- register allocation ------------------------------------------------------
+
+#: Value id: ("init", virtual reg) for values live at superblock entry,
+#: ("def", i) for the value defined by pre-allocation instruction ``i``.
+ValueId = Tuple[str, int]
+
+
+@dataclass
+class AllocationSnapshot:
+    """Pre-allocation state of one superblock, captured for the value-flow
+    check (allocation rewrites the code and its exit sets in place)."""
+
+    instructions: List[Instruction]
+    exit_live: Dict[int, Set[int]]
+
+    @classmethod
+    def capture(cls, code: SuperblockCode) -> "AllocationSnapshot":
+        return cls(
+            instructions=[instr.copy() for instr in code.instructions],
+            exit_live={
+                index: set(live)
+                for index, live in code.exit_live_by_index().items()
+            },
+        )
+
+
+def check_allocation_value_flow(
+    code: SuperblockCode,
+    snapshot: AllocationSnapshot,
+    arch_map: Dict[int, int],
+    arch_spilled: Dict[int, int],
+    num_registers: int,
+) -> List[str]:
+    """Symbolic value-flow equivalence of allocated vs. pre-allocation code.
+
+    Walks both instruction lists in lockstep (the allocator only inserts
+    ``spld``/``spst`` around existing instructions), tracking which value
+    id each virtual register, physical register, and spill slot holds.
+    Reports any instruction whose physical sources deliver different value
+    ids than its virtual sources did, and any exit whose live
+    architectural registers are no longer available (with the right
+    values) in their allocated homes.
+    """
+    where = f"{code.proc}/{code.head}"
+    problems: List[str] = []
+
+    # Pass 1: the virtual (pre-allocation) code defines the expectation.
+    before = snapshot.instructions
+    venv: Dict[int, ValueId] = {}
+    expected_srcs: List[Tuple[ValueId, ...]] = []
+    exit_expect: Dict[int, Dict[int, ValueId]] = {}
+    for index, instr in enumerate(before):
+        expected_srcs.append(
+            tuple(venv.get(src, ("init", src)) for src in instr.srcs)
+        )
+        if index in snapshot.exit_live:
+            exit_expect[index] = {
+                reg: venv.get(reg, ("init", reg))
+                for reg in snapshot.exit_live[index]
+            }
+        if instr.dest is not None:
+            venv[instr.dest] = ("def", index)
+
+    # Pass 2: the physical code must deliver the same value ids.
+    penv: Dict[int, ValueId] = {
+        phys: ("init", arch) for arch, phys in arch_map.items()
+    }
+    slots: Dict[int, ValueId] = {
+        slot: ("init", arch) for arch, slot in arch_spilled.items()
+    }
+    position = 0  # index into ``before``
+    for instr in code.instructions:
+        for reg in instr.srcs + (
+            (instr.dest,) if instr.dest is not None else ()
+        ):
+            if not 0 <= reg < num_registers:
+                problems.append(
+                    f"{where}: physical register v{reg} out of range"
+                )
+        if instr.opcode is Opcode.SPILL_LD:
+            value = slots.get(instr.imm)
+            if value is None:
+                problems.append(
+                    f"{where}: reload from uninitialized slot {instr.imm}"
+                )
+                value = ("slot", instr.imm)
+            penv[instr.dest] = value
+            continue
+        if instr.opcode is Opcode.SPILL_ST:
+            slots[instr.imm] = penv.get(
+                instr.srcs[0], ("init", instr.srcs[0])
+            )
+            continue
+        if position >= len(before):
+            problems.append(f"{where}: extra instruction {instr!r}")
+            break
+        original = before[position]
+        if (
+            instr.opcode is not original.opcode
+            or instr.imm != original.imm
+            or instr.targets != original.targets
+            or instr.callee != original.callee
+        ):
+            problems.append(
+                f"{where}@{position}: allocated instruction {instr!r} does"
+                f" not correspond to {original!r}"
+            )
+            break
+        actual = tuple(
+            penv.get(src, ("init", src)) for src in instr.srcs
+        )
+        if actual != expected_srcs[position]:
+            problems.append(
+                f"{where}@{position}: {original.opcode.value} sources"
+                f" carry {actual}, expected {expected_srcs[position]}"
+            )
+        if position in exit_expect:
+            for reg, value in sorted(exit_expect[position].items()):
+                if reg in arch_map:
+                    got = penv.get(arch_map[reg])
+                elif reg in arch_spilled:
+                    got = slots.get(arch_spilled[reg])
+                else:
+                    problems.append(
+                        f"{where}@{position}: exit-live v{reg} has no"
+                        f" allocated home"
+                    )
+                    continue
+                if got != value:
+                    problems.append(
+                        f"{where}@{position}: exit-live v{reg} holds"
+                        f" {got}, expected {value}"
+                    )
+        if instr.dest is not None:
+            penv[instr.dest] = ("def", position)
+        position += 1
+    if position != len(before):
+        problems.append(
+            f"{where}: allocated code covers {position} of"
+            f" {len(before)} instructions"
+        )
+    return problems

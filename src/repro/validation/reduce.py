@@ -1,0 +1,386 @@
+"""Delta-debugging reducer for failing MiniC programs.
+
+:func:`reduce_source` takes a MiniC source string and a *predicate* (a
+callable that returns True when a candidate still reproduces the failure
+of interest) and greedily shrinks the program while the predicate keeps
+holding.  The fuzzer uses it to turn a few-hundred-line generated program
+into the handful of statements that actually tickle the compiler bug.
+
+The reducer works on the real frontend AST — candidates are produced by
+:func:`render_module`, re-parsed by the predicate, and therefore always
+syntactically valid; semantic validity is the predicate's problem (a
+candidate that no longer compiles simply does not reproduce a
+miscompilation, so the predicate rejects it and the mutation is undone).
+
+Passes, iterated to a fixpoint under a predicate-evaluation budget:
+
+1. drop whole helper functions (rejected automatically if still called);
+2. drop individual statements from every statement list;
+3. splice control flow — replace an ``if``/``while``/``for``/``switch``
+   with one of its bodies inlined;
+4. simplify expressions — replace a subtree with ``0`` or with one of
+   its own operands.
+
+Every accepted mutation strictly shrinks the AST, so the process
+terminates; the returned source always satisfies the predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..frontend import ast_nodes as ast
+from ..frontend.parser import parse
+
+#: A predicate deciding whether a candidate source still fails the same way.
+Predicate = Callable[[str], bool]
+
+#: Default budget of predicate evaluations for one reduction.
+DEFAULT_MAX_CHECKS = 2000
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _render_expr(expr: ast.Expr) -> str:
+    """Render one expression, fully parenthesized (precedence-proof)."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value) if expr.value >= 0 else f"(0 - {-expr.value})"
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{_render_expr(expr.operand)})"
+    if isinstance(expr, (ast.Binary, ast.Logical)):
+        return (
+            f"({_render_expr(expr.lhs)} {expr.op} {_render_expr(expr.rhs)})"
+        )
+    if isinstance(expr, ast.Load):
+        return f"mem[{_render_expr(expr.addr)}]"
+    if isinstance(expr, ast.ReadExpr):
+        return "read()"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(_render_expr(arg) for arg in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _render_block(stmts: List[ast.Stmt], indent: str, out: List[str]) -> None:
+    for stmt in stmts:
+        _render_stmt(stmt, indent, out)
+
+
+def _render_stmt(stmt: ast.Stmt, indent: str, out: List[str]) -> None:
+    inner = indent + "    "
+    if isinstance(stmt, ast.VarDecl):
+        out.append(f"{indent}var {stmt.name} = {_render_expr(stmt.init)};")
+    elif isinstance(stmt, ast.Assign):
+        out.append(f"{indent}{stmt.name} = {_render_expr(stmt.value)};")
+    elif isinstance(stmt, ast.StoreStmt):
+        out.append(
+            f"{indent}mem[{_render_expr(stmt.addr)}] ="
+            f" {_render_expr(stmt.value)};"
+        )
+    elif isinstance(stmt, ast.If):
+        out.append(f"{indent}if ({_render_expr(stmt.cond)}) {{")
+        _render_block(stmt.then, inner, out)
+        if stmt.orelse:
+            out.append(f"{indent}}} else {{")
+            _render_block(stmt.orelse, inner, out)
+        out.append(f"{indent}}}")
+    elif isinstance(stmt, ast.While):
+        out.append(f"{indent}while ({_render_expr(stmt.cond)}) {{")
+        _render_block(stmt.body, inner, out)
+        out.append(f"{indent}}}")
+    elif isinstance(stmt, ast.For):
+        init = _render_inline(stmt.init)
+        cond = _render_expr(stmt.cond) if stmt.cond is not None else ""
+        step = _render_inline(stmt.step)
+        out.append(f"{indent}for ({init}; {cond}; {step}) {{")
+        _render_block(stmt.body, inner, out)
+        out.append(f"{indent}}}")
+    elif isinstance(stmt, ast.Switch):
+        out.append(f"{indent}switch ({_render_expr(stmt.selector)}) {{")
+        for case in stmt.cases:
+            out.append(f"{inner}case {case.value}: {{")
+            _render_block(case.body, inner + "    ", out)
+            out.append(f"{inner}}}")
+        if stmt.default:
+            out.append(f"{inner}default: {{")
+            _render_block(stmt.default, inner + "    ", out)
+            out.append(f"{inner}}}")
+        out.append(f"{indent}}}")
+    elif isinstance(stmt, ast.Break):
+        out.append(f"{indent}break;")
+    elif isinstance(stmt, ast.Continue):
+        out.append(f"{indent}continue;")
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            out.append(f"{indent}return;")
+        else:
+            out.append(f"{indent}return {_render_expr(stmt.value)};")
+    elif isinstance(stmt, ast.Print):
+        out.append(f"{indent}print({_render_expr(stmt.value)});")
+    elif isinstance(stmt, ast.ExprStmt):
+        out.append(f"{indent}{_render_expr(stmt.value)};")
+    else:
+        raise TypeError(f"unknown statement node {type(stmt).__name__}")
+
+
+def _render_inline(stmt: Optional[ast.Stmt]) -> str:
+    """Render a for-header init/step statement without its semicolon."""
+    if stmt is None:
+        return ""
+    out: List[str] = []
+    _render_stmt(stmt, "", out)
+    assert len(out) == 1 and out[0].endswith(";")
+    return out[0][:-1]
+
+
+def render_module(module: ast.Module) -> str:
+    """Render a module back to parseable MiniC source."""
+    out: List[str] = []
+    for index, func in enumerate(module.functions):
+        if index:
+            out.append("")
+        out.append(f"func {func.name}({', '.join(func.params)}) {{")
+        _render_block(func.body, "    ", out)
+        out.append("}")
+    return "\n".join(out) + "\n"
+
+
+# -- AST traversal -----------------------------------------------------------
+
+
+def _stmt_lists(module: ast.Module) -> Iterator[List[ast.Stmt]]:
+    """Yield every statement list in the module (bodies, arms, cases)."""
+
+    def walk(stmts: List[ast.Stmt]) -> Iterator[List[ast.Stmt]]:
+        yield stmts
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                yield from walk(stmt.then)
+                yield from walk(stmt.orelse)
+            elif isinstance(stmt, (ast.While, ast.For)):
+                yield from walk(stmt.body)
+            elif isinstance(stmt, ast.Switch):
+                for case in stmt.cases:
+                    yield from walk(case.body)
+                yield from walk(stmt.default)
+
+    for func in module.functions:
+        yield from walk(func.body)
+
+
+#: An expression slot: (read current value, write replacement).
+_ExprSlot = Tuple[Callable[[], ast.Expr], Callable[[ast.Expr], None]]
+
+
+def _attr_slot(obj: object, attr: str) -> _ExprSlot:
+    return (
+        lambda: getattr(obj, attr),
+        lambda value: setattr(obj, attr, value),
+    )
+
+
+def _item_slot(items: List[ast.Expr], index: int) -> _ExprSlot:
+    return (
+        lambda: items[index],
+        lambda value: items.__setitem__(index, value),
+    )
+
+
+def _expr_slots(module: ast.Module) -> List[_ExprSlot]:
+    """Collect a slot for every expression node in the module, outermost
+    first (replacing an outer node removes its whole subtree at once)."""
+    slots: List[_ExprSlot] = []
+
+    def visit_expr(slot: _ExprSlot) -> None:
+        slots.append(slot)
+        expr = slot[0]()
+        if isinstance(expr, ast.Unary):
+            visit_expr(_attr_slot(expr, "operand"))
+        elif isinstance(expr, (ast.Binary, ast.Logical)):
+            visit_expr(_attr_slot(expr, "lhs"))
+            visit_expr(_attr_slot(expr, "rhs"))
+        elif isinstance(expr, ast.Load):
+            visit_expr(_attr_slot(expr, "addr"))
+        elif isinstance(expr, ast.Call):
+            for index in range(len(expr.args)):
+                visit_expr(_item_slot(expr.args, index))
+
+    def visit_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            visit_expr(_attr_slot(stmt, "init"))
+        elif isinstance(stmt, ast.Assign):
+            visit_expr(_attr_slot(stmt, "value"))
+        elif isinstance(stmt, ast.StoreStmt):
+            visit_expr(_attr_slot(stmt, "addr"))
+            visit_expr(_attr_slot(stmt, "value"))
+        elif isinstance(stmt, ast.If):
+            visit_expr(_attr_slot(stmt, "cond"))
+            for child in stmt.then:
+                visit_stmt(child)
+            for child in stmt.orelse:
+                visit_stmt(child)
+        elif isinstance(stmt, ast.While):
+            visit_expr(_attr_slot(stmt, "cond"))
+            for child in stmt.body:
+                visit_stmt(child)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                visit_stmt(stmt.init)
+            if stmt.cond is not None:
+                visit_expr(_attr_slot(stmt, "cond"))
+            if stmt.step is not None:
+                visit_stmt(stmt.step)
+            for child in stmt.body:
+                visit_stmt(child)
+        elif isinstance(stmt, ast.Switch):
+            visit_expr(_attr_slot(stmt, "selector"))
+            for case in stmt.cases:
+                for child in case.body:
+                    visit_stmt(child)
+            for child in stmt.default:
+                visit_stmt(child)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                visit_expr(_attr_slot(stmt, "value"))
+        elif isinstance(stmt, (ast.Print, ast.ExprStmt)):
+            visit_expr(_attr_slot(stmt, "value"))
+
+    for func in module.functions:
+        for stmt in func.body:
+            visit_stmt(stmt)
+    return slots
+
+
+# -- reduction ---------------------------------------------------------------
+
+
+class _Reducer:
+    def __init__(
+        self, module: ast.Module, predicate: Predicate, max_checks: int
+    ) -> None:
+        self.module = module
+        self.predicate = predicate
+        self.checks_left = max_checks
+        self.accepted = render_module(module)
+
+    def _try(self) -> bool:
+        """Does the current (mutated) module still reproduce the failure?"""
+        candidate = render_module(self.module)
+        if candidate == self.accepted:
+            # The mutation changed nothing observable (e.g. it rewired a
+            # subtree already detached by an earlier accepted replacement):
+            # rejecting it keeps the fixpoint loop honest.
+            return False
+        if self.checks_left <= 0:
+            return False
+        self.checks_left -= 1
+        if self.predicate(candidate):
+            self.accepted = candidate
+            return True
+        return False
+
+    # Each pass returns True when it accepted at least one mutation.
+
+    def drop_functions(self) -> bool:
+        progress = False
+        functions = self.module.functions
+        for index in range(len(functions) - 1, -1, -1):
+            if functions[index].name == "main":
+                continue
+            victim = functions.pop(index)
+            if self._try():
+                progress = True
+            else:
+                functions.insert(index, victim)
+        return progress
+
+    def drop_statements(self) -> bool:
+        progress = False
+        for stmts in list(_stmt_lists(self.module)):
+            for index in range(len(stmts) - 1, -1, -1):
+                victim = stmts.pop(index)
+                if self._try():
+                    progress = True
+                else:
+                    stmts.insert(index, victim)
+        return progress
+
+    def splice_bodies(self) -> bool:
+        progress = False
+        for stmts in list(_stmt_lists(self.module)):
+            index = 0
+            while index < len(stmts):
+                stmt = stmts[index]
+                replacements: List[List[ast.Stmt]] = []
+                if isinstance(stmt, ast.If):
+                    replacements = [stmt.then, stmt.orelse]
+                elif isinstance(stmt, (ast.While, ast.For)):
+                    replacements = [stmt.body]
+                elif isinstance(stmt, ast.Switch):
+                    replacements = [case.body for case in stmt.cases]
+                    replacements.append(stmt.default)
+                spliced = False
+                for body in replacements:
+                    stmts[index : index + 1] = body
+                    if self._try():
+                        progress = spliced = True
+                        break
+                    stmts[index : index + len(body)] = [stmt]
+                if not spliced:
+                    index += 1
+        return progress
+
+    def simplify_exprs(self) -> bool:
+        progress = False
+        for get, put in _expr_slots(self.module):
+            expr = get()
+            candidates: List[ast.Expr] = []
+            if not isinstance(expr, ast.IntLit):
+                candidates.append(ast.IntLit(line=0, value=0))
+            if isinstance(expr, (ast.Binary, ast.Logical)):
+                candidates.extend([expr.lhs, expr.rhs])
+            elif isinstance(expr, ast.Unary):
+                candidates.append(expr.operand)
+            elif isinstance(expr, ast.Load):
+                candidates.append(expr.addr)
+            for candidate in candidates:
+                put(candidate)
+                if self._try():
+                    progress = True
+                    break
+                put(expr)
+        return progress
+
+    def run(self) -> None:
+        while self.checks_left > 0:
+            progress = self.drop_functions()
+            progress = self.drop_statements() or progress
+            progress = self.splice_bodies() or progress
+            progress = self.simplify_exprs() or progress
+            if not progress:
+                break
+
+
+def reduce_source(
+    source: str,
+    predicate: Predicate,
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> str:
+    """Shrink ``source`` while ``predicate`` keeps returning True.
+
+    ``predicate`` must hold for ``source`` itself (checked); the returned
+    program — possibly ``source`` unchanged, re-rendered — satisfies it
+    too.  ``max_checks`` bounds the number of predicate evaluations.
+    """
+    module = parse(source)
+    baseline = render_module(module)
+    if not predicate(baseline):
+        raise ValueError(
+            "predicate does not hold for the re-rendered input program"
+        )
+    reducer = _Reducer(module, predicate, max_checks)
+    reducer.run()
+    return reducer.accepted

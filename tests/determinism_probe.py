@@ -1,0 +1,50 @@
+"""Print a deterministic fingerprint of the whole toolchain.
+
+Run as a subprocess under different ``PYTHONHASHSEED`` values by
+``tests/test_determinism.py``; any dependence on hash ordering anywhere in
+the compiler, scheduler, allocator, layout, or fuzzer shows up as a byte
+difference in this script's stdout.
+"""
+
+from repro.ir.instructions import format_instruction
+from repro.pipeline import run_scheme
+from repro.validation.genprog import generate_source
+from repro.workloads import get_workload
+
+WORKLOADS = ("alt", "wc")
+SCHEMES = ("BB", "P4")
+SCALE = 0.25
+
+
+def main() -> None:
+    for seed in (0, 1, 2):
+        print(f"=== genprog seed {seed} ===")
+        print(generate_source(seed), end="")
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        program = workload.fresh_program()
+        train = workload.train_tape(SCALE)
+        test = workload.test_tape(SCALE)
+        for scheme in SCHEMES:
+            outcome = run_scheme(program, scheme, train, test)
+            result = outcome.result
+            print(
+                f"=== {name}/{scheme}: cycles={result.cycles}"
+                f" ops={result.operations} output={result.output[:8]}"
+                f" ret={result.return_value} ==="
+            )
+            # Iterate in natural (insertion) order on purpose: sorting here
+            # would mask container-ordering nondeterminism.
+            for proc_name, proc in outcome.compiled.procedures.items():
+                for head, schedule in proc.schedules.items():
+                    print(f"--- {proc_name}/{head} ---")
+                    for op in schedule.ops:
+                        print(
+                            f"{op.cycle}.{op.slot}"
+                            f"{' s' if op.speculative else ''}"
+                            f"  {format_instruction(op.instr)}"
+                        )
+
+
+if __name__ == "__main__":
+    main()

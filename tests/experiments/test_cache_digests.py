@@ -1,0 +1,153 @@
+"""Regression tests for automatic cache invalidation and the memo bound.
+
+PR 3 fixed two cache bugs: keys that ignored compiler internals (so an
+edited scheduler silently served stale outcomes until someone hand-bumped
+``CACHE_FORMAT``) and an unbounded fingerprint memo pinning every program
+ever hashed.  These tests pin both fixes.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.experiments import cache as cache_mod
+from repro.experiments.cache import (
+    COMPILER_SOURCES,
+    FINGERPRINT_MEMO_LIMIT,
+    INTERP_SOURCES,
+    PROFILE_SOURCES,
+    outcome_key,
+    profile_key,
+    program_fingerprint,
+    reference_key,
+    source_digest,
+    trace_key,
+)
+from repro.formation import scheme
+from repro.frontend import compile_source
+from repro.scheduling.machine import PAPER_MACHINE
+
+REPRO_ROOT = Path(cache_mod.__file__).resolve().parent.parent
+
+
+def tiny_program(ret=7):
+    return compile_source(f"func main() {{ return {ret}; }}")
+
+
+class TestSourceDigest:
+    def _copy_tree(self, tmp_path):
+        root = tmp_path / "repro"
+        shutil.copytree(REPRO_ROOT, root)
+        return root
+
+    def test_editing_scheduling_changes_compiler_digest_only(self, tmp_path):
+        root = self._copy_tree(tmp_path)
+        before_compiler = source_digest(COMPILER_SOURCES, root=root)
+        before_interp = source_digest(INTERP_SOURCES, root=root)
+        target = root / "scheduling" / "list_scheduler.py"
+        target.write_text(target.read_text() + "\n# tweak\n")
+        cache_mod._SOURCE_DIGESTS.clear()
+        assert source_digest(COMPILER_SOURCES, root=root) != before_compiler
+        assert source_digest(INTERP_SOURCES, root=root) == before_interp
+        cache_mod._SOURCE_DIGESTS.clear()
+
+    def test_editing_simulator_changes_compiler_digest(self, tmp_path):
+        root = self._copy_tree(tmp_path)
+        before = source_digest(COMPILER_SOURCES, root=root)
+        target = sorted((root / "simulate").glob("*.py"))[0]
+        target.write_text(target.read_text() + "\n# tweak\n")
+        cache_mod._SOURCE_DIGESTS.clear()
+        assert source_digest(COMPILER_SOURCES, root=root) != before
+        cache_mod._SOURCE_DIGESTS.clear()
+
+    def test_editing_interpreter_changes_every_digest(self, tmp_path):
+        root = self._copy_tree(tmp_path)
+        befores = {
+            parts: source_digest(parts, root=root)
+            for parts in (COMPILER_SOURCES, PROFILE_SOURCES, INTERP_SOURCES)
+        }
+        target = root / "interp" / "interpreter.py"
+        target.write_text(target.read_text() + "\n# tweak\n")
+        cache_mod._SOURCE_DIGESTS.clear()
+        for parts, before in befores.items():
+            assert source_digest(parts, root=root) != before
+        cache_mod._SOURCE_DIGESTS.clear()
+
+    def test_digest_is_memoized_and_stable(self):
+        assert source_digest(COMPILER_SOURCES) == source_digest(
+            COMPILER_SOURCES
+        )
+
+    def test_sources_exist(self):
+        # Guard against the digest silently covering nothing after a
+        # package reorganization.
+        for part in set(COMPILER_SOURCES + PROFILE_SOURCES + INTERP_SOURCES):
+            assert (REPRO_ROOT / part).exists(), part
+
+
+class TestKeysIncludeCodeDigests:
+    def _keys(self):
+        program = tiny_program()
+        config = scheme("M4")
+        train, test = (1, 2, 3), (4, 5)
+        return {
+            "outcome": outcome_key(
+                program, config, train, test, PAPER_MACHINE, False, None
+            ),
+            "profile": profile_key(program, train, depth=4),
+            "trace": trace_key(program, train),
+            "reference": reference_key(program, test),
+        }
+
+    def test_compiler_digest_changes_outcome_key_only(self, monkeypatch):
+        before = self._keys()
+        monkeypatch.setattr(
+            cache_mod, "compiler_digest", lambda: "sentinel-compiler"
+        )
+        after = self._keys()
+        assert after["outcome"] != before["outcome"]
+        assert after["profile"] == before["profile"]
+        assert after["trace"] == before["trace"]
+        assert after["reference"] == before["reference"]
+
+    def test_profile_digest_changes_profile_key_only(self, monkeypatch):
+        before = self._keys()
+        monkeypatch.setattr(
+            cache_mod, "profile_digest", lambda: "sentinel-profile"
+        )
+        after = self._keys()
+        assert after["profile"] != before["profile"]
+        assert after["outcome"] == before["outcome"]
+        assert after["trace"] == before["trace"]
+
+    def test_interpreter_digest_changes_trace_and_reference(
+        self, monkeypatch
+    ):
+        before = self._keys()
+        monkeypatch.setattr(
+            cache_mod, "interpreter_digest", lambda: "sentinel-interp"
+        )
+        after = self._keys()
+        assert after["trace"] != before["trace"]
+        assert after["reference"] != before["reference"]
+        assert after["outcome"] == before["outcome"]
+        assert after["profile"] == before["profile"]
+
+
+class TestFingerprintMemoBound:
+    def test_memo_stays_bounded(self):
+        programs = [tiny_program(i) for i in range(FINGERPRINT_MEMO_LIMIT * 2)]
+        for program in programs:
+            program_fingerprint(program)
+        assert len(cache_mod._FINGERPRINTS) <= FINGERPRINT_MEMO_LIMIT
+
+    def test_memo_still_caches_recent_programs(self):
+        program = tiny_program(99)
+        first = program_fingerprint(program)
+        entry = cache_mod._FINGERPRINTS[id(program)]
+        assert entry[0] is program
+        assert program_fingerprint(program) == first
+
+    def test_distinct_programs_distinct_fingerprints(self):
+        assert program_fingerprint(tiny_program(1)) != program_fingerprint(
+            tiny_program(2)
+        )

@@ -1,0 +1,87 @@
+"""Deep nesting must not blow the Python call stack.
+
+Fuzzed programs routinely nest far deeper than hand-written code, so the
+parser, semantic checker, and code generator all run their tree walks on
+an explicit heap stack (see ``repro.frontend.trampoline``).  These tests
+pin that at depths well past CPython's default recursion limit.
+"""
+
+import sys
+
+from repro.analysis.dominators import DominatorTree, immediate_dominators
+from repro.frontend import compile_source
+from repro.interp.interpreter import run_program
+
+DEPTH = 4000
+
+
+def _assert_deep(depth: int) -> None:
+    assert depth > sys.getrecursionlimit() * 2
+
+
+class TestDeepExpressions:
+    def test_nested_parentheses(self):
+        _assert_deep(DEPTH)
+        expr = "(" * DEPTH + "1" + ")" * DEPTH
+        source = f"func main() {{\n    print({expr});\n    return 0;\n}}\n"
+        program = compile_source(source)
+        result = run_program(program, input_tape=[])
+        assert result.output == [1]
+
+    def test_left_deep_binary_chain(self):
+        _assert_deep(DEPTH)
+        expr = " + ".join(["1"] * DEPTH)
+        source = f"func main() {{\n    print({expr});\n    return 0;\n}}\n"
+        result = run_program(compile_source(source), input_tape=[])
+        assert result.output == [DEPTH]
+
+    def test_deep_unary_chain(self):
+        _assert_deep(DEPTH)
+        expr = "-" * DEPTH + "1"
+        source = f"func main() {{\n    print({expr});\n    return 0;\n}}\n"
+        result = run_program(compile_source(source), input_tape=[])
+        assert result.output == [1 if DEPTH % 2 == 0 else -1]
+
+    def test_deep_logical_chain(self):
+        _assert_deep(DEPTH)
+        expr = " && ".join(["1"] * DEPTH)
+        source = f"func main() {{\n    print({expr});\n    return 0;\n}}\n"
+        program = compile_source(source)
+        result = run_program(program, input_tape=[])
+        assert result.output == [1]
+
+
+class TestDeepStatements:
+    def _nested_ifs(self, depth: int) -> str:
+        lines = ["func main() {", "    var x = 0;"]
+        for level in range(depth):
+            lines.append("    " * 0 + "if (x < %d) {" % (depth + 1))
+        lines.append("x = x + 1;")
+        for _ in range(depth):
+            lines.append("}")
+        lines.append("    print(x);")
+        lines.append("    return 0;")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def test_nested_ifs_compile_and_run(self):
+        _assert_deep(DEPTH)
+        program = compile_source(self._nested_ifs(DEPTH))
+        result = run_program(program, input_tape=[])
+        assert result.output == [1]
+
+    def test_dominators_on_deep_cfg(self):
+        # Every nested if contributes blocks: the dominator computation
+        # and tree construction must both handle long chains iteratively.
+        depth = 2500
+        _assert_deep(depth)
+        program = compile_source(self._nested_ifs(depth))
+        proc = program.procedure("main")
+        idom = immediate_dominators(proc)
+        assert idom[proc.entry_label] is None
+        assert len(idom) >= depth
+        tree = DominatorTree(proc)
+        # The entry dominates everything in a single-function CFG.
+        assert all(
+            tree.dominates(proc.entry_label, label) for label in idom
+        )

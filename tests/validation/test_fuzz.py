@@ -1,0 +1,49 @@
+"""The differential fuzzing harness end to end (bounded seed counts)."""
+
+from repro.validation.fuzz import (
+    classify_failure,
+    format_fuzz_report,
+    fuzz_one,
+    fuzz_tapes,
+    run_fuzz,
+)
+
+
+class TestFuzzTapes:
+    def test_deterministic_per_seed(self):
+        assert fuzz_tapes(7) == fuzz_tapes(7)
+        assert fuzz_tapes(7) != fuzz_tapes(8)
+
+    def test_train_and_test_differ(self):
+        train, test = fuzz_tapes(3)
+        assert train != test
+
+
+class TestClassifyFailure:
+    def test_clean_program_has_no_failure(self):
+        source = "func main() {\n    print(read() + 1);\n    return 0;\n}\n"
+        assert classify_failure(source, seed=0) is None
+
+    def test_frontend_error_is_classified(self):
+        found = classify_failure("func main() { return x; }", seed=0)
+        assert found is not None
+        kind, message = found
+        assert kind == "frontend:MiniCError"
+        assert "x" in message
+
+    def test_scheme_name_tags_the_kind(self):
+        # An interpreter-level fault (division by zero) is caught before
+        # any scheme runs and classified against the reference stage.
+        source = "func main() {\n    print(1 / 0);\n    return 0;\n}\n"
+        found = classify_failure(source, seed=0)
+        assert found is not None
+        assert found[0].startswith("interp:")
+
+
+class TestFuzzCampaign:
+    def test_first_seeds_are_clean(self):
+        report = run_fuzz(seeds=6)
+        assert report.ok
+        assert report.seeds == 6
+        assert fuzz_one(0) is None
+        assert "0 failure(s)" in format_fuzz_report(report)

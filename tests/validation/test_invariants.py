@@ -1,0 +1,191 @@
+"""Stage-checkpoint invariants: pass on real pipelines, catch corruption."""
+
+import pickle
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.instructions import Opcode, binop, li, mov, spill_ld, spill_st
+from repro.pipeline import run_scheme
+from repro.validation import (
+    AllocationSnapshot,
+    ValidationConfig,
+    ValidationError,
+    check_allocation_value_flow,
+    check_cfg_consistency,
+    check_renamed_code,
+    require,
+)
+
+SOURCE = """\
+func main() {
+    var total = 0;
+    for (var i = 0; i < 20; i = i + 1) {
+        if ((read() & 3) != 0) {
+            total = total + i;
+        } else {
+            total = total - 1;
+        }
+    }
+    print(total);
+    return total;
+}
+"""
+
+
+class TestValidationConfig:
+    def test_full_enables_everything(self):
+        config = ValidationConfig.full()
+        assert config.any_formation_checks
+        assert config.any_compact_checks
+
+    def test_none_disables_everything(self):
+        config = ValidationConfig.none()
+        assert not config.any_formation_checks
+        assert not config.any_compact_checks
+
+    def test_picklable_for_worker_processes(self):
+        config = ValidationConfig.full()
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_require_raises_with_stage(self):
+        require("anywhere", [])  # empty problem list: no error
+        with pytest.raises(ValidationError) as info:
+            require("compact:renaming", ["bad thing"])
+        assert info.value.stage == "compact:renaming"
+        assert "bad thing" in str(info.value)
+
+
+class TestPipelineUnderValidation:
+    def test_all_schemes_pass_checkpoints(self):
+        program = compile_source(SOURCE)
+        train = [k % 7 for k in range(40)]
+        test = [k % 5 for k in range(40)]
+        for scheme in ("BB", "M4", "P4"):
+            outcome = run_scheme(
+                program,
+                scheme,
+                train,
+                test,
+                validation=ValidationConfig.full(),
+            )
+            assert outcome.reference is not None
+            assert outcome.result.output == outcome.reference.output
+
+
+class TestCfgConsistency:
+    def test_clean_program_has_no_problems(self):
+        program = compile_source(SOURCE)
+        assert check_cfg_consistency(program) == []
+
+    def test_detects_label_mismatch(self):
+        program = compile_source(SOURCE)
+        proc = next(iter(program.procedures()))
+        block = proc.block(proc.entry_label)
+        block.label = "not_the_registered_name"
+        problems = check_cfg_consistency(program)
+        assert any("labelled" in p for p in problems)
+
+
+class _FakeCode:
+    """Just enough of SuperblockCode for the instruction-level checks."""
+
+    proc = "p"
+    head = "h"
+
+    def __init__(self, instructions):
+        self.instructions = instructions
+
+
+class TestRenamedCode:
+    ARCH_BOUND = 8
+
+    def test_clean_trace_passes(self):
+        code = _FakeCode([
+            li(10, 1),
+            binop(Opcode.ADD, 11, 10, 10),
+            mov(3, 11),  # writing arch regs is fine for moves
+        ])
+        assert check_renamed_code(code, self.ARCH_BOUND) == []
+
+    def test_detects_temp_redefinition(self):
+        code = _FakeCode([li(10, 1), li(10, 2)])
+        problems = check_renamed_code(code, self.ARCH_BOUND)
+        assert any("redefined" in p for p in problems)
+
+    def test_detects_use_before_def(self):
+        code = _FakeCode([binop(Opcode.ADD, 11, 10, 10)])
+        problems = check_renamed_code(code, self.ARCH_BOUND)
+        assert any("before definition" in p for p in problems)
+
+    def test_detects_non_move_arch_write(self):
+        code = _FakeCode([li(3, 1)])
+        problems = check_renamed_code(code, self.ARCH_BOUND)
+        assert any("architectural" in p for p in problems)
+
+
+class TestAllocationValueFlow:
+    NUM_REGS = 16
+
+    def _snapshot(self, instructions, exit_live=None):
+        return AllocationSnapshot(
+            instructions=[i.copy() for i in instructions],
+            exit_live=exit_live or {},
+        )
+
+    def test_identity_allocation_passes(self):
+        virtual = [li(5, 1), binop(Opcode.ADD, 6, 5, 5)]
+        code = _FakeCode([i.copy() for i in virtual])
+        problems = check_allocation_value_flow(
+            code, self._snapshot(virtual), {}, {}, self.NUM_REGS
+        )
+        assert problems == []
+
+    def test_spill_round_trip_passes(self):
+        virtual = [li(5, 1), binop(Opcode.ADD, 6, 5, 5)]
+        code = _FakeCode([
+            li(2, 1),
+            spill_st(0, 2),
+            spill_ld(3, 0),
+            binop(Opcode.ADD, 2, 3, 3),
+        ])
+        problems = check_allocation_value_flow(
+            code, self._snapshot(virtual), {}, {}, self.NUM_REGS
+        )
+        assert problems == []
+
+    def test_detects_clobbered_source(self):
+        virtual = [li(5, 1), li(6, 2), binop(Opcode.ADD, 7, 5, 6)]
+        # The allocator "reused" r2 for both values: the add now sees the
+        # second definition twice.
+        code = _FakeCode([
+            li(2, 1),
+            li(2, 2),
+            binop(Opcode.ADD, 3, 2, 2),
+        ])
+        problems = check_allocation_value_flow(
+            code, self._snapshot(virtual), {}, {}, self.NUM_REGS
+        )
+        assert any("sources carry" in p for p in problems)
+
+    def test_detects_lost_exit_live_value(self):
+        virtual = [li(5, 1), li(6, 2)]
+        # v5 is live at the exit taken at instruction 1 and the map says it
+        # lives in r2 — but the physical code computed it into r3.
+        code = _FakeCode([li(3, 1), li(2, 2)])
+        problems = check_allocation_value_flow(
+            code,
+            self._snapshot(virtual, exit_live={1: {5}}),
+            {5: 2},
+            {},
+            self.NUM_REGS,
+        )
+        assert any("exit-live" in p for p in problems)
+
+    def test_detects_missing_instructions(self):
+        virtual = [li(5, 1), li(6, 2)]
+        code = _FakeCode([li(2, 1)])
+        problems = check_allocation_value_flow(
+            code, self._snapshot(virtual), {}, {}, self.NUM_REGS
+        )
+        assert any("covers 1 of 2" in p for p in problems)

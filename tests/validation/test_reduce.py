@@ -1,0 +1,91 @@
+"""The delta-debugging reducer: faithful rendering, real shrinking."""
+
+import random
+
+import pytest
+
+from repro.frontend import compile_source, parse
+from repro.interp.interpreter import run_program
+from repro.validation.genprog import generate_source
+from repro.validation.reduce import reduce_source, render_module
+
+
+class TestRenderModule:
+    def test_round_trip_preserves_behavior(self):
+        for seed in range(25):
+            source = generate_source(seed)
+            rendered = render_module(parse(source))
+            tape = [
+                random.Random(seed).randint(0, 255) for _ in range(64)
+            ]
+            original = run_program(
+                compile_source(source), input_tape=tape, step_limit=2_000_000
+            )
+            round_tripped = run_program(
+                compile_source(rendered),
+                input_tape=tape,
+                step_limit=2_000_000,
+            )
+            assert original.output == round_tripped.output
+            assert original.return_value == round_tripped.return_value
+
+    def test_render_is_reparseable_fixpoint(self):
+        source = generate_source(11)
+        once = render_module(parse(source))
+        twice = render_module(parse(once))
+        assert once == twice
+
+
+KNOWN_BAD = """\
+func helper(a, b) {
+    return (a * b) & 65535;
+}
+
+func main() {
+    var x = 5;
+    var y = helper(x, 3);
+    print(7);
+    if (x < 9) {
+        print(42);
+    } else {
+        print(1);
+    }
+    for (var i = 0; i < 4; i = i + 1) {
+        mem[i] = i * 2;
+    }
+    print(y);
+    return 0;
+}
+"""
+
+
+def _prints_42(source: str) -> bool:
+    try:
+        result = run_program(
+            compile_source(source), input_tape=[], step_limit=200_000
+        )
+    except Exception:
+        return False
+    return 42 in result.output
+
+
+class TestReduceSource:
+    def test_shrinks_known_bad_input(self):
+        reduced = reduce_source(KNOWN_BAD, _prints_42)
+        assert _prints_42(reduced)
+        assert len(reduced) < len(KNOWN_BAD) / 3
+        # The failure-irrelevant structure must be gone entirely.
+        assert "helper" not in reduced
+        assert "for" not in reduced
+
+    def test_result_still_satisfies_predicate(self):
+        reduced = reduce_source(KNOWN_BAD, _prints_42, max_checks=50)
+        assert _prints_42(reduced)
+
+    def test_rejects_non_failing_input(self):
+        with pytest.raises(ValueError):
+            reduce_source(KNOWN_BAD, lambda source: False)
+
+    def test_budget_zero_returns_input_rendered(self):
+        reduced = reduce_source(KNOWN_BAD, _prints_42, max_checks=0)
+        assert _prints_42(reduced)
