@@ -3,9 +3,13 @@
 Runs a small suite slice four ways — serial/uncached (the baseline every
 accelerator must match bit-for-bit), parallel, cold-cache, and warm-cache —
 plus a raw interpreter throughput probe, a profile-collection benchmark
-(streaming observers vs record-once/replay-many), and a depth-sweep timing
-over cold vs warm trace caches, and writes the measurements to
-``BENCH_pipeline.json`` at the repo root.
+(streaming observers vs record-once/replay-many), a depth-sweep timing
+over cold vs warm trace caches, and a metrics-instrumentation overhead
+measurement (suite with vs without a ``MetricsSink`` attached), and writes
+the measurements to ``BENCH_pipeline.json`` at the repo root.  The report
+doubles as the bench-tripwire baseline: ``python -m repro.experiments
+report --check-bench NEW.json`` fails when any ratio metric regresses more
+than 25% against it.
 
 Usage::
 
@@ -37,6 +41,7 @@ from repro.experiments import (  # noqa: E402
     run_suite,
 )
 from repro.interp.interpreter import run_program  # noqa: E402
+from repro.metrics import MetricsSink  # noqa: E402
 from repro.profiling import (  # noqa: E402
     collect_profiles_streaming,
     profiles_from_trace,
@@ -235,6 +240,56 @@ def depth_sweep_trace_cache(scale):
     }
 
 
+def metrics_overhead(scale, rounds=3):
+    """Wall-clock cost of running the suite with a metrics sink attached.
+
+    The ISSUE's acceptance bar is <2% overhead at smoke scale; a single
+    round is too noisy to resolve that, so each configuration takes the
+    best of ``rounds`` runs.  Results must stay bit-identical either way.
+    """
+    off_wall = None
+    off_results = None
+    for _ in range(rounds):
+        wall, results = _suite_wall(scale, metrics=None)
+        if off_wall is None or wall < off_wall:
+            off_wall, off_results = wall, results
+    sink = None
+    best_on = None
+    on_results = None
+    for _ in range(rounds):
+        round_sink = MetricsSink()
+        wall, results = _suite_wall(scale, metrics=round_sink)
+        if best_on is None or wall < best_on:
+            best_on, on_results, sink = wall, results, round_sink
+    assert _cycles(on_results) == _cycles(off_results), (
+        "metrics collection changed results"
+    )
+    overhead = (best_on - off_wall) / off_wall if off_wall else 0.0
+    print(
+        f"  metrics off      {off_wall:7.2f}s\n"
+        f"  metrics on       {best_on:7.2f}s ({overhead:+.1%})"
+    )
+    return sink, {
+        "rounds": rounds,
+        "wall_seconds": {
+            "metrics_off": round(off_wall, 3),
+            "metrics_on": round(best_on, 3),
+        },
+        "overhead_fraction": round(overhead, 4),
+        # Higher is better (1.0 = zero overhead); the bench tripwire fails
+        # when instrumentation cost grows and this ratio drops.
+        "speedup_on_vs_off": round(off_wall / best_on, 3) if best_on else 0.0,
+        "stage_seconds_total": round(sink.total_stage_seconds, 3),
+        "parity": "cycles identical with and without the sink",
+    }
+
+
+def _suite_wall(scale, metrics):
+    start = time.perf_counter()
+    results = run_suite(SCHEMES, NAMES, scale=scale, metrics=metrics)
+    return time.perf_counter() - start, results
+
+
 def interpreter_throughput(scale):
     """Dynamic instructions per second through the reference interpreter."""
     workload = workload_map()["eqn"]
@@ -258,6 +313,13 @@ def main(argv=None) -> int:
         "--skip-e2e",
         action="store_true",
         help="skip the full 'experiments all' timing runs (~30s)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics-on run's event log to FILE as JSONL"
+        " (render with: python -m repro.experiments report FILE)",
     )
     args = parser.parse_args(argv)
 
@@ -291,6 +353,10 @@ def main(argv=None) -> int:
 
     profile_report = profile_collection(args.scale)
     sweep_report = depth_sweep_trace_cache(args.scale)
+    metrics_sink, metrics_report = metrics_overhead(args.scale)
+    if args.metrics_out:
+        lines = metrics_sink.write_jsonl(args.metrics_out)
+        print(f"  metrics log      {lines} event(s) -> {args.metrics_out}")
 
     instructions, interp_wall = interpreter_throughput(args.scale)
     ips = instructions / interp_wall if interp_wall else 0.0
@@ -321,6 +387,7 @@ def main(argv=None) -> int:
         "warm_cache_hit_rate": round(hit_rate, 3),
         "profile_collection": profile_report,
         "depth_sweep": sweep_report,
+        "metrics": metrics_report,
         "interpreter": {
             "workload": "eqn",
             "instructions": instructions,

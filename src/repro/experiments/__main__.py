@@ -60,87 +60,155 @@ from . import (
     table1,
 )
 
-# Suite-backed experiments accept jobs/cache/traces; most ablations are
-# small single-purpose loops and ignore them, but the depth sweep replays
-# cached traces.
+# Suite-backed experiments accept jobs/cache/traces/metrics; most ablations
+# are small single-purpose loops and ignore them, but the depth sweep
+# replays cached traces.
 EXPERIMENTS = {
-    "table1": lambda scale, verbose, jobs, cache, traces: format_table1(
-        table1(
-            scale=scale,
-            verbose=verbose,
-            jobs=jobs,
-            cache=cache,
-            trace_cache=traces,
+    "table1": lambda scale, verbose, jobs, cache, traces, metrics: (
+        format_table1(
+            table1(
+                scale=scale,
+                verbose=verbose,
+                jobs=jobs,
+                cache=cache,
+                trace_cache=traces,
+                metrics=metrics,
+            )
         )
     ),
-    "figure4": lambda scale, verbose, jobs, cache, traces: format_figure4(
-        figure4(
-            scale=scale,
-            verbose=verbose,
-            jobs=jobs,
-            cache=cache,
-            trace_cache=traces,
+    "figure4": lambda scale, verbose, jobs, cache, traces, metrics: (
+        format_figure4(
+            figure4(
+                scale=scale,
+                verbose=verbose,
+                jobs=jobs,
+                cache=cache,
+                trace_cache=traces,
+                metrics=metrics,
+            )
         )
     ),
-    "figure5": lambda scale, verbose, jobs, cache, traces: format_figure5(
-        figure5(
-            scale=scale,
-            verbose=verbose,
-            jobs=jobs,
-            cache=cache,
-            trace_cache=traces,
+    "figure5": lambda scale, verbose, jobs, cache, traces, metrics: (
+        format_figure5(
+            figure5(
+                scale=scale,
+                verbose=verbose,
+                jobs=jobs,
+                cache=cache,
+                trace_cache=traces,
+                metrics=metrics,
+            )
         )
     ),
-    "figure6": lambda scale, verbose, jobs, cache, traces: format_figure6(
-        figure6(
-            scale=scale,
-            verbose=verbose,
-            jobs=jobs,
-            cache=cache,
-            trace_cache=traces,
+    "figure6": lambda scale, verbose, jobs, cache, traces, metrics: (
+        format_figure6(
+            figure6(
+                scale=scale,
+                verbose=verbose,
+                jobs=jobs,
+                cache=cache,
+                trace_cache=traces,
+                metrics=metrics,
+            )
         )
     ),
-    "figure7": lambda scale, verbose, jobs, cache, traces: format_figure7(
-        figure7(
-            scale=scale,
-            verbose=verbose,
-            jobs=jobs,
-            cache=cache,
-            trace_cache=traces,
+    "figure7": lambda scale, verbose, jobs, cache, traces, metrics: (
+        format_figure7(
+            figure7(
+                scale=scale,
+                verbose=verbose,
+                jobs=jobs,
+                cache=cache,
+                trace_cache=traces,
+                metrics=metrics,
+            )
         )
     ),
-    "missrates": lambda scale, verbose, jobs, cache, traces: format_missrates(
-        missrates(
-            scale=scale,
-            verbose=verbose,
-            jobs=jobs,
-            cache=cache,
-            trace_cache=traces,
+    "missrates": lambda scale, verbose, jobs, cache, traces, metrics: (
+        format_missrates(
+            missrates(
+                scale=scale,
+                verbose=verbose,
+                jobs=jobs,
+                cache=cache,
+                trace_cache=traces,
+                metrics=metrics,
+            )
         )
     ),
-    "depthsweep": lambda scale, verbose, jobs, cache, traces: (
+    "depthsweep": lambda scale, verbose, jobs, cache, traces, metrics: (
         format_depth_sweep(
             depth_sweep(
                 scale=scale, verbose=verbose, cache=cache if traces else None
             )
         )
     ),
-    "latency": lambda scale, verbose, jobs, cache, traces: (
+    "latency": lambda scale, verbose, jobs, cache, traces, metrics: (
         format_latency_sensitivity(
             latency_sensitivity(scale=scale, verbose=verbose)
         )
     ),
-    "forwardpaths": lambda scale, verbose, jobs, cache, traces: (
+    "forwardpaths": lambda scale, verbose, jobs, cache, traces, metrics: (
         format_forward_vs_general(
             forward_vs_general(scale=scale, verbose=verbose)
         )
     ),
-    "prediction": lambda scale, verbose, jobs, cache, traces: (
+    "prediction": lambda scale, verbose, jobs, cache, traces, metrics: (
         format_static_prediction(
             static_prediction(scale=scale, verbose=verbose)
         )
     ),
 }
+
+
+def run_report(args) -> int:
+    """The ``report`` subcommand: render a metrics JSONL file and/or run
+    the bench tripwire against the committed baseline."""
+    import json
+
+    from ..metrics import (
+        MetricsSink,
+        check_bench_regression,
+        format_bench_check,
+        format_report,
+        summarize,
+    )
+
+    status = 0
+    if args.path:
+        sink = MetricsSink.read_jsonl(args.path)
+        summary = summarize(sink)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(format_report(summary))
+    if args.check_bench:
+        with open(args.check_bench) as fh:
+            current = json.load(fh)
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        if args.path:
+            print()
+        print(
+            format_bench_check(
+                current, baseline, threshold=args.threshold
+            )
+        )
+        failures = check_bench_regression(
+            current, baseline, threshold=args.threshold
+        )
+        for failure in failures:
+            print(f"[tripwire] {failure}", file=sys.stderr)
+        if failures:
+            status = 1
+    if not args.path and not args.check_bench:
+        print(
+            "report: nothing to do (give a METRICS.jsonl path and/or"
+            " --check-bench)",
+            file=sys.stderr,
+        )
+        status = 2
+    return status
 
 
 def main(argv=None) -> int:
@@ -150,8 +218,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "validate", "fuzz"],
-        help="which table/figure to regenerate, or a validation command",
+        choices=sorted(EXPERIMENTS) + ["all", "validate", "fuzz", "report"],
+        help="which table/figure to regenerate, a validation command, or"
+        " 'report' to render collected metrics / run the bench tripwire",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="report: metrics JSONL file to render",
     )
     parser.add_argument(
         "--schemes",
@@ -211,7 +286,48 @@ def main(argv=None) -> int:
         " replay them instead of re-running the interpreter (default on;"
         " --no-trace-cache disables)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="collect pipeline stage metrics during the experiments and"
+        " write them to FILE as JSONL (render with the report command)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="report: print the machine-readable summary instead of text",
+    )
+    parser.add_argument(
+        "--check-bench",
+        default=None,
+        metavar="FILE",
+        help="report: compare a fresh perf-smoke report FILE against the"
+        " baseline; exit 1 on a tripwire regression",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_pipeline.json",
+        help="report: baseline perf-smoke report"
+        " (default BENCH_pipeline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="report: tripwire regression threshold as a fraction"
+        " (default 0.25)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        if args.threshold is None:
+            from ..metrics import DEFAULT_REGRESSION_THRESHOLD
+
+            args.threshold = DEFAULT_REGRESSION_THRESHOLD
+        return run_report(args)
+    if args.path is not None:
+        parser.error("a metrics path only makes sense with 'report'")
 
     cache = None if args.no_cache else ExperimentCache(path=args.cache_dir)
     if args.experiment == "validate":
@@ -259,13 +375,32 @@ def main(argv=None) -> int:
         names = sorted(name for name in EXPERIMENTS if name != "depthsweep")
     else:
         names = [args.experiment]
+    metrics = None
+    if args.metrics_out:
+        from ..metrics import MetricsSink
+
+        metrics = MetricsSink()
     for name in names:
         print(
             EXPERIMENTS[name](
-                args.scale, not args.quiet, args.jobs, cache, args.trace_cache
+                args.scale,
+                not args.quiet,
+                args.jobs,
+                cache,
+                args.trace_cache,
+                metrics,
             )
         )
         print()
+    if metrics is not None:
+        lines = metrics.write_jsonl(args.metrics_out)
+        if not args.quiet:
+            print(
+                f"[metrics] {lines} event(s) ->"
+                f" {args.metrics_out} (render with:"
+                f" python -m repro.experiments report {args.metrics_out})",
+                file=sys.stderr,
+            )
     if cache is not None and not args.quiet:
         print(f"[cache] {cache.stats.summary()}", file=sys.stderr)
     return 0

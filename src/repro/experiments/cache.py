@@ -61,10 +61,19 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 def default_cache_dir() -> Path:
-    """Resolve the on-disk cache location (env override, then XDG-ish)."""
+    """Resolve the on-disk cache location.
+
+    Precedence: the :data:`CACHE_DIR_ENV` override, then
+    ``$XDG_CACHE_HOME/repro-experiments`` (the Base Directory spec says a
+    relative ``XDG_CACHE_HOME`` must be ignored), then
+    ``~/.cache/repro-experiments``.
+    """
     env = os.environ.get(CACHE_DIR_ENV)
     if env:
         return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg and Path(xdg).is_absolute():
+        return Path(xdg) / "repro-experiments"
     return Path.home() / ".cache" / "repro-experiments"
 
 

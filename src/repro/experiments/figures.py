@@ -77,6 +77,7 @@ def figure4(
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
     trace_cache: bool = True,
+    metrics=None,
 ) -> NormalizedSeries:
     """P4 vs M4 cycle counts, ideal I-cache, all benchmarks."""
     names = list(workload_names) if workload_names else SUITE_ORDER
@@ -89,6 +90,7 @@ def figure4(
         jobs=jobs,
         cache=cache,
         trace_cache=trace_cache,
+        metrics=metrics,
     )
     return _normalized(results, names, ["P4"], baseline="M4", cached=False)
 
@@ -110,6 +112,7 @@ def figure5(
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
     trace_cache: bool = True,
+    metrics=None,
 ) -> NormalizedSeries:
     """P4 and P4e vs M4 through the 32KB direct-mapped I-cache."""
     names = list(workload_names) if workload_names else SPEC_NAMES
@@ -122,6 +125,7 @@ def figure5(
         jobs=jobs,
         cache=cache,
         trace_cache=trace_cache,
+        metrics=metrics,
     )
     return _normalized(
         results, names, ["P4", "P4e"], baseline="M4", cached=True
@@ -145,6 +149,7 @@ def figure6(
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
     trace_cache: bool = True,
+    metrics=None,
 ) -> NormalizedSeries:
     """P4e (paths, unroll 4) vs M16 (edges, unroll 16), I-cache included."""
     names = list(workload_names) if workload_names else SPEC_NAMES
@@ -157,6 +162,7 @@ def figure6(
         jobs=jobs,
         cache=cache,
         trace_cache=trace_cache,
+        metrics=metrics,
     )
     return _normalized(
         results, names, ["P4e", "M16"], baseline="M4", cached=True
@@ -190,6 +196,7 @@ def figure7(
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
     trace_cache: bool = True,
+    metrics=None,
 ) -> Figure7Data:
     """Blocks executed per dynamic superblock vs superblock size."""
     names = list(workload_names) if workload_names else SUITE_ORDER
@@ -202,6 +209,7 @@ def figure7(
         jobs=jobs,
         cache=cache,
         trace_cache=trace_cache,
+        metrics=metrics,
     )
     data = Figure7Data()
     for wname in names:
@@ -250,6 +258,7 @@ def missrates(
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
     trace_cache: bool = True,
+    metrics=None,
 ) -> List[MissRateRow]:
     """The gcc/go miss-rate comparison of Section 4."""
     results = run_suite(
@@ -261,6 +270,7 @@ def missrates(
         jobs=jobs,
         cache=cache,
         trace_cache=trace_cache,
+        metrics=metrics,
     )
     rows = []
     for wname in workload_names:

@@ -28,10 +28,12 @@ so every combination of ``jobs`` and ``cache`` produces an identical
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..formation import scheme
 from ..interp.interpreter import ExecutionResult, run_program
+from ..metrics import MetricsSink, timed
 from ..pipeline import SchemeOutcome, run_scheme
 from ..profiling.collector import (
     ProfileBundle,
@@ -113,6 +115,7 @@ def run_suite(
     trace_cache: bool = True,
     min_parallel_tasks: Optional[int] = None,
     validation=None,
+    metrics: Optional[MetricsSink] = None,
 ) -> SuiteResults:
     """Run a set of workloads under a set of schemes.
 
@@ -137,6 +140,11 @@ def run_suite(
         validation: a :class:`~repro.validation.ValidationConfig` running
             stage checkpoints inside every *computed* pipeline (cached
             outcomes were checked when first computed).
+        metrics: a :class:`~repro.metrics.MetricsSink` recording stage
+            timings, counters, and cache hit/miss disposition events.
+            Parallel workers collect into per-process sinks that are
+            merged back here, so counter totals are identical to a
+            serial run's.
 
     Returns:
         Map from (workload, scheme) to the full outcome.
@@ -160,10 +168,15 @@ def run_suite(
     pending: Dict[str, List[str]] = {}
     for wname in names:
         train, test = tapes[wname]
-        program = table[wname].program()
+        if metrics is None:
+            program = table[wname].program()
+        else:
+            with metrics.stage("setup.program", workload=wname):
+                program = table[wname].program()
         for sname in scheme_names:
             outcome = None
             if cache is not None:
+                before_disk = cache.stats.disk_hits
                 outcome = cache.get_outcome(
                     program,
                     configs[sname],
@@ -173,6 +186,20 @@ def run_suite(
                     with_icache,
                     icache_config,
                 )
+                if metrics is not None:
+                    if outcome is None:
+                        disp = "miss"
+                    elif cache.stats.disk_hits > before_disk:
+                        disp = "disk"
+                    else:
+                        disp = "memo"
+                    metrics.add(f"cache.outcome.{disp}")
+                    metrics.event(
+                        "cache",
+                        workload=wname,
+                        scheme=sname,
+                        disposition=disp,
+                    )
             if outcome is not None:
                 hits[(wname, sname)] = outcome
             else:
@@ -202,9 +229,19 @@ def run_suite(
                     traced = cache.get(trace_key(program, train))
                     if traced is not None:
                         traces_by[wname] = traced
-                        profiles_by[wname] = profiles_from_trace(
-                            program, traced
-                        )
+                        if metrics is None:
+                            profiles_by[wname] = profiles_from_trace(
+                                program, traced
+                            )
+                        else:
+                            with metrics.context(workload=wname):
+                                profiles_by[wname] = timed(
+                                    metrics,
+                                    "profile.replay",
+                                    profiles_from_trace,
+                                    program,
+                                    traced,
+                                )
                 reference = cache.get(reference_key(program, test))
                 if reference is not None:
                     references_by[wname] = reference
@@ -231,6 +268,7 @@ def run_suite(
                 verbose=verbose,
                 traces_by_workload=traces_by,
                 validation=validation,
+                metrics=metrics,
             )
         else:
             for wname, wanted in pending.items():
@@ -239,31 +277,67 @@ def run_suite(
                 program = workload.program()
                 if verbose:
                     print(f"[suite] {wname} ...", flush=True)
-                profiles = profiles_by.get(wname)
-                if profiles is None:
-                    traced = traces_by.get(wname)
-                    if traced is None:
-                        traced = record_trace(program, input_tape=train)
-                        traces_by[wname] = traced
-                    profiles = profiles_from_trace(program, traced)
-                    profiles_by[wname] = profiles
-                reference = references_by.get(wname)
-                if reference is None:
-                    reference = run_program(program, input_tape=test)
-                    references_by[wname] = reference
+                wctx = (
+                    nullcontext()
+                    if metrics is None
+                    else metrics.context(workload=wname)
+                )
+                with wctx:
+                    profiles = profiles_by.get(wname)
+                    if profiles is None:
+                        traced = traces_by.get(wname)
+                        if traced is None:
+                            traced = timed(
+                                metrics,
+                                "profile.record",
+                                record_trace,
+                                program,
+                                input_tape=train,
+                            )
+                            traces_by[wname] = traced
+                            if metrics is not None:
+                                metrics.add(
+                                    "profile.trace_blocks",
+                                    traced.trace.num_blocks,
+                                )
+                        profiles = timed(
+                            metrics,
+                            "profile.replay",
+                            profiles_from_trace,
+                            program,
+                            traced,
+                        )
+                        profiles_by[wname] = profiles
+                    reference = references_by.get(wname)
+                    if reference is None:
+                        reference = timed(
+                            metrics,
+                            "reference",
+                            run_program,
+                            program,
+                            input_tape=test,
+                        )
+                        references_by[wname] = reference
                 for sname in wanted:
-                    computed[(wname, sname)] = run_scheme(
-                        program,
-                        sname,
-                        train,
-                        test,
-                        machine=machine,
-                        with_icache=with_icache,
-                        icache_config=icache_config,
-                        profiles=profiles,
-                        reference=reference,
-                        validation=validation,
+                    sctx = (
+                        nullcontext()
+                        if metrics is None
+                        else metrics.context(workload=wname, scheme=sname)
                     )
+                    with sctx:
+                        computed[(wname, sname)] = run_scheme(
+                            program,
+                            sname,
+                            train,
+                            test,
+                            machine=machine,
+                            with_icache=with_icache,
+                            icache_config=icache_config,
+                            profiles=profiles,
+                            reference=reference,
+                            validation=validation,
+                            metrics=metrics,
+                        )
 
         if cache is not None:
             for wname in pending:

@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import sys
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..interp.interpreter import ExecutionResult, run_program
+from ..metrics import MetricsSink, timed
 from ..pipeline import SchemeOutcome, run_scheme
 from ..profiling.collector import (
     ProfileBundle,
@@ -87,21 +89,44 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def _profile_task(
-    wname: str, scale: float
-) -> Tuple[str, TracedRun, ProfileBundle, ExecutionResult]:
+    wname: str, scale: float, with_metrics: bool = False
+) -> Tuple[
+    str, TracedRun, ProfileBundle, ExecutionResult, Optional[MetricsSink]
+]:
     """Stage 1: record the training trace, replay it into profiles, and run
     the testing-input reference for one workload.
 
     The trace ships back alongside the bundle so the parent process can
     persist it in the experiment cache for later replays (depth sweeps,
-    forward-profile ablations) without re-executing the interpreter.
+    forward-profile ablations) without re-executing the interpreter.  When
+    ``with_metrics`` is set a fresh per-task sink records the same stages
+    and counters the serial engine would, for the parent to merge.
     """
+    sink = MetricsSink() if with_metrics else None
     workload = _workload(wname)
     program = workload.program()
-    traced = record_trace(program, input_tape=workload.train_tape(scale))
-    profiles = profiles_from_trace(program, traced)
-    reference = run_program(program, input_tape=workload.test_tape(scale))
-    return wname, traced, profiles, reference
+    ctx = nullcontext() if sink is None else sink.context(workload=wname)
+    with ctx:
+        traced = timed(
+            sink,
+            "profile.record",
+            record_trace,
+            program,
+            input_tape=workload.train_tape(scale),
+        )
+        if sink is not None:
+            sink.add("profile.trace_blocks", traced.trace.num_blocks)
+        profiles = timed(
+            sink, "profile.replay", profiles_from_trace, program, traced
+        )
+        reference = timed(
+            sink,
+            "reference",
+            run_program,
+            program,
+            input_tape=workload.test_tape(scale),
+        )
+    return wname, traced, profiles, reference, sink
 
 
 def _scheme_task(
@@ -114,22 +139,31 @@ def _scheme_task(
     profiles: ProfileBundle,
     reference: ExecutionResult,
     validation=None,
-) -> Tuple[Tuple[str, str], SchemeOutcome]:
+    with_metrics: bool = False,
+) -> Tuple[Tuple[str, str], SchemeOutcome, Optional[MetricsSink]]:
     """Stage 2: the full pipeline for one (workload, scheme) pair."""
+    sink = MetricsSink() if with_metrics else None
     workload = _workload(wname)
-    outcome = run_scheme(
-        workload.program(),
-        scheme_name,
-        workload.train_tape(scale),
-        workload.test_tape(scale),
-        machine=machine,
-        with_icache=with_icache,
-        icache_config=icache_config,
-        profiles=profiles,
-        reference=reference,
-        validation=validation,
+    ctx = (
+        nullcontext()
+        if sink is None
+        else sink.context(workload=wname, scheme=scheme_name)
     )
-    return (wname, scheme_name), outcome
+    with ctx:
+        outcome = run_scheme(
+            workload.program(),
+            scheme_name,
+            workload.train_tape(scale),
+            workload.test_tape(scale),
+            machine=machine,
+            with_icache=with_icache,
+            icache_config=icache_config,
+            profiles=profiles,
+            reference=reference,
+            validation=validation,
+            metrics=sink,
+        )
+    return (wname, scheme_name), outcome, sink
 
 
 def run_pairs_parallel(
@@ -144,6 +178,7 @@ def run_pairs_parallel(
     verbose: bool = False,
     traces_by_workload: Optional[Dict[str, TracedRun]] = None,
     validation=None,
+    metrics: Optional[MetricsSink] = None,
 ) -> Dict[Tuple[str, str], SchemeOutcome]:
     """Compute ``pending`` (workload -> scheme names) outcomes in parallel.
 
@@ -151,8 +186,14 @@ def run_pairs_parallel(
     stage (e.g. from the cache) and are filled in for workloads profiled
     here, so callers can persist the new bundles; workloads traced here
     also land in ``traces_by_workload`` (when given) for the same reason.
+    ``metrics`` receives every worker's per-task sink, merged in request
+    order (never completion order), so counter totals and event order match
+    a serial run's.
     """
+    with_metrics = metrics is not None
     computed: Dict[Tuple[str, str], SchemeOutcome] = {}
+    profile_sinks: Dict[str, MetricsSink] = {}
+    scheme_sinks: Dict[Tuple[str, str], MetricsSink] = {}
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         profile_futures = {}
         scheme_futures = []
@@ -177,11 +218,12 @@ def run_pairs_parallel(
                             profiles,
                             reference,
                             validation,
+                            with_metrics,
                         )
                     )
             else:
                 profile_futures[
-                    pool.submit(_profile_task, wname, scale)
+                    pool.submit(_profile_task, wname, scale, with_metrics)
                 ] = schemes
 
         # As profiles land, launch that workload's scheme tasks immediately
@@ -190,11 +232,13 @@ def run_pairs_parallel(
         while outstanding:
             done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
             for future in done:
-                wname, traced, profiles, reference = future.result()
+                wname, traced, profiles, reference, sink = future.result()
                 if traces_by_workload is not None:
                     traces_by_workload[wname] = traced
                 profiles_by_workload[wname] = profiles
                 references_by_workload[wname] = reference
+                if sink is not None:
+                    profile_sinks[wname] = sink
                 for sname in profile_futures[future]:
                     scheme_futures.append(
                         pool.submit(
@@ -208,12 +252,26 @@ def run_pairs_parallel(
                             profiles,
                             reference,
                             validation,
+                            with_metrics,
                         )
                     )
 
         for future in scheme_futures:
-            pair, outcome = future.result()
+            pair, outcome, sink = future.result()
             computed[pair] = outcome
+            if sink is not None:
+                scheme_sinks[pair] = sink
+
+    if metrics is not None:
+        # Merge per-task sinks in the caller's request order so the merged
+        # event stream (and float stage totals) are deterministic even
+        # though completion order is not.
+        for wname, schemes in pending.items():
+            if wname in profile_sinks:
+                metrics.merge(profile_sinks[wname])
+            for sname in schemes:
+                if (wname, sname) in scheme_sinks:
+                    metrics.merge(scheme_sinks[(wname, sname)])
 
     # One bundle object per workload, as in the serial engine: replace each
     # unpickled copy with the canonical bundle shipped to (or received from)

@@ -46,6 +46,7 @@ def table1(
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
     trace_cache: bool = True,
+    metrics=None,
 ) -> List[Table1Row]:
     """Regenerate Table 1's rows at the given input scale."""
     workloads = [
@@ -61,6 +62,7 @@ def table1(
         jobs=jobs,
         cache=cache,
         trace_cache=trace_cache,
+        metrics=metrics,
     )
     rows: List[Table1Row] = []
     for workload in workloads:

@@ -109,12 +109,18 @@ def scheme(name: str, **overrides) -> FormationConfig:
     return config
 
 
+def _static_size(proc: Procedure):
+    """(block count, instruction count) of one procedure right now."""
+    return len(proc.labels), sum(len(proc.block(l)) for l in proc.labels)
+
+
 def form_superblocks(
     program: Program,
     config: FormationConfig,
     edge_profile: Optional[EdgeProfile] = None,
     path_profile: Optional[PathProfile] = None,
     validation=None,
+    metrics=None,
 ) -> FormationResult:
     """Run the configured formation scheme over every procedure.
 
@@ -124,6 +130,8 @@ def form_superblocks(
     (a :class:`~repro.validation.ValidationConfig`) additionally runs the
     full IR verifier and formation structure checks as a stage checkpoint,
     raising :class:`~repro.validation.ValidationError` on violation.
+    ``metrics`` (a :class:`~repro.metrics.MetricsSink`) records one timed
+    event per procedure plus superblock and code-growth counters.
     """
     if config.kind == "edge" and edge_profile is None:
         raise ValueError("edge-based formation needs an edge profile")
@@ -136,15 +144,38 @@ def form_superblocks(
     )
     for proc in transformed.procedures():
         origin: OriginMap = {}
-        sbs, loops = _form_procedure(
-            proc, config, edge_profile, path_profile, origin
-        )
+        if metrics is None:
+            sbs, loops = _form_procedure(
+                proc, config, edge_profile, path_profile, origin
+            )
+        else:
+            blocks_in, instrs_in = _static_size(proc)
+            with metrics.stage("formation.form", proc=proc.name) as out:
+                sbs, loops = _form_procedure(
+                    proc, config, edge_profile, path_profile, origin
+                )
+                blocks_out, instrs_out = _static_size(proc)
+                out["superblocks"] = len(sbs)
+                out["blocks_in"] = blocks_in
+                out["blocks_out"] = blocks_out
+                out["instructions_in"] = instrs_in
+                out["instructions_out"] = instrs_out
+            metrics.add("formation.superblocks", len(sbs))
+            metrics.add("formation.loop_superblocks", len(loops))
+            metrics.add("formation.blocks_in", blocks_in)
+            metrics.add("formation.blocks_out", blocks_out)
+            metrics.add("formation.instructions_in", instrs_in)
+            metrics.add("formation.instructions_out", instrs_out)
         result.superblocks[proc.name] = [
             Superblock(proc.name, labels, is_loop=labels[0] in loops)
             for labels in sbs
         ]
         result.origin[proc.name] = origin
-    problems = verify_formation(result)
+    if metrics is None:
+        problems = verify_formation(result)
+    else:
+        with metrics.stage("formation.verify"):
+            problems = verify_formation(result)
     if problems:
         raise IRError(
             f"formation invariant violation ({config.name}): "

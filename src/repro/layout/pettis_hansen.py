@@ -101,7 +101,12 @@ def order_procedures(
         if chain and chain[-1] == entry:
             chain = list(reversed(chain))  # keeps affinity adjacency
         elif chain and chain[0] != entry:
-            chain = [entry] + [name for name in chain if name != entry]
+            # Rotate rather than splice the entry out of the middle: a
+            # splice would break both of the entry's affinity adjacencies
+            # (and one more at its old position); rotation breaks only the
+            # single adjacency at the cut point.
+            idx = chain.index(entry)
+            chain = chain[idx:] + chain[:idx]
         ordered.extend(chain)
     for rep in sorted(chains):
         if rep == entry_chain:

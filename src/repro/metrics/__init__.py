@@ -1,0 +1,38 @@
+"""Pipeline observability: stage timers, counters, and a JSONL event log.
+
+The :class:`MetricsSink` travels with a pipeline invocation the same way
+:class:`~repro.validation.ValidationConfig` does: pass one to
+:func:`repro.pipeline.run_scheme` (or :func:`repro.experiments.run_suite`)
+and every stage of the compiler — profiling, superblock formation,
+compaction, register allocation, layout, simulation — records how long it
+took and what it did (superblocks formed, tail-duplication code growth,
+operations speculated above side exits, compensation copies inserted by
+renaming, spills from linear scan, schedule slots filled vs. empty,
+I-cache traffic).  With ``metrics=None`` (the default) the instrumentation
+is a single ``is not None`` test per site: the pipeline's behaviour and
+output are unchanged and the overhead is unmeasurable.
+
+This package is dependency-free (stdlib only) so every layer of the
+compiler can import it without cycles.
+"""
+
+from .report import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    TRIPWIRE_METRICS,
+    check_bench_regression,
+    format_bench_check,
+    format_report,
+    summarize,
+)
+from .sink import MetricsSink, timed
+
+__all__ = [
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "MetricsSink",
+    "TRIPWIRE_METRICS",
+    "check_bench_regression",
+    "format_bench_check",
+    "format_report",
+    "summarize",
+    "timed",
+]

@@ -1,0 +1,220 @@
+"""Rendering and regression-checking of collected pipeline metrics.
+
+Two consumers:
+
+* ``python -m repro.experiments report METRICS.jsonl`` renders the
+  per-stage time/growth breakdown (:func:`summarize` +
+  :func:`format_report`);
+* ``python -m repro.experiments report --check-bench NEW.json`` compares a
+  fresh ``benchmarks/perf_smoke.py`` report against the committed
+  ``BENCH_pipeline.json`` baseline (:func:`check_bench_regression`) and
+  fails on a >25% regression of any tripwire metric.
+
+The tripwire compares *ratio* metrics (cache speedup, replay-vs-streaming
+speedup, metrics-on vs metrics-off slowdown) rather than absolute wall
+times, so a slower CI machine does not trip it — only a genuinely worse
+engine does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .sink import MetricsSink
+
+#: Higher-is-better ratio metrics compared by the bench tripwire, as dotted
+#: paths into the ``BENCH_pipeline.json`` report.
+TRIPWIRE_METRICS: Sequence[str] = (
+    "speedup_vs_serial.cache_warm",
+    "profile_collection.speedup_record_replay_vs_streaming",
+    "depth_sweep.speedup_warm_vs_cold",
+    "metrics.speedup_on_vs_off",
+)
+
+#: A tripwire metric may lose up to this fraction before the check fails.
+DEFAULT_REGRESSION_THRESHOLD = 0.25
+
+
+# -- summary ------------------------------------------------------------------
+
+
+def _derived(counters: Dict[str, int]) -> Dict[str, float]:
+    """Growth/quality ratios computable from the raw counters."""
+    derived: Dict[str, float] = {}
+
+    def ratio(key: str, num: str, den: str) -> None:
+        n, d = counters.get(num), counters.get(den)
+        if n is not None and d:
+            derived[key] = round(n / d, 4)
+
+    ratio("formation_block_growth", "formation.blocks_out", "formation.blocks_in")
+    ratio(
+        "formation_instruction_growth",
+        "formation.instructions_out",
+        "formation.instructions_in",
+    )
+    ratio("schedule_slot_utilization", "compact.slots_filled", "compact.slots_total")
+    ratio(
+        "speculative_op_fraction", "compact.speculative_ops", "compact.slots_filled"
+    )
+    ratio("wasted_operation_fraction", "simulate.wasted_operations", "simulate.operations")
+    ratio("icache_miss_rate", "icache.misses", "icache.accesses")
+    return derived
+
+
+def summarize(sink: MetricsSink) -> Dict[str, Any]:
+    """Machine-readable account of one sink: stage totals, counters, and
+    the derived growth/quality ratios."""
+    stages = {
+        name: {
+            "calls": sink.stage_calls.get(name, 0),
+            "seconds": round(secs, 6),
+        }
+        for name, secs in sink.stage_seconds.items()
+    }
+    return {
+        "total_stage_seconds": round(sink.total_stage_seconds, 6),
+        "stages": dict(sorted(stages.items())),
+        "counters": dict(sorted(sink.counters.items())),
+        "derived": _derived(sink.counters),
+        "events": len(sink.events),
+    }
+
+
+# -- text rendering ------------------------------------------------------------
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        first = row[0].ljust(widths[0])
+        rest = "  ".join(c.rjust(w) for c, w in zip(row[1:], widths[1:]))
+        lines.append(f"{first}  {rest}" if rest else first)
+    return "\n".join(lines)
+
+
+def format_report(summary: Dict[str, Any]) -> str:
+    """Render a summary as the per-stage breakdown + counters + ratios."""
+    total = summary.get("total_stage_seconds") or 0.0
+    stages: Dict[str, Dict[str, Any]] = summary.get("stages", {})
+
+    # Group leaf stages under their top-level segment so the hierarchy
+    # reads as a tree: "compact" aggregates "compact.allocate" etc.
+    groups: Dict[str, List[str]] = {}
+    for name in stages:
+        groups.setdefault(name.split(".", 1)[0], []).append(name)
+
+    rows: List[List[object]] = []
+    for top in sorted(groups):
+        members = sorted(groups[top])
+        secs = sum(stages[m]["seconds"] for m in members)
+        calls = sum(stages[m]["calls"] for m in members)
+        share = f"{100.0 * secs / total:5.1f}%" if total else "    -"
+        rows.append([top, calls, f"{secs:.3f}", share])
+        if members != [top]:
+            for member in members:
+                leaf = stages[member]
+                share = (
+                    f"{100.0 * leaf['seconds'] / total:5.1f}%" if total else "    -"
+                )
+                rows.append(
+                    [
+                        "  " + member,
+                        leaf["calls"],
+                        f"{leaf['seconds']:.3f}",
+                        share,
+                    ]
+                )
+
+    parts = [
+        "Pipeline metrics report"
+        f" ({summary.get('events', 0)} events,"
+        f" {total:.3f}s of instrumented stage time)",
+        "",
+        _format_table(["stage", "calls", "seconds", "share"], rows),
+    ]
+    counters = summary.get("counters", {})
+    if counters:
+        parts += [
+            "",
+            _format_table(
+                ["counter", "total"], sorted(counters.items())
+            ),
+        ]
+    derived = summary.get("derived", {})
+    if derived:
+        parts += [
+            "",
+            _format_table(["derived metric", "value"], sorted(derived.items())),
+        ]
+    return "\n".join(parts)
+
+
+# -- bench tripwire ------------------------------------------------------------
+
+
+def _lookup(tree: Any, dotted: str) -> Optional[float]:
+    node = tree
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def check_bench_regression(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    metrics: Sequence[str] = TRIPWIRE_METRICS,
+) -> List[str]:
+    """Compare two perf-smoke reports; return one message per regressed
+    tripwire metric (empty list = no regression).
+
+    A metric regresses when ``current < baseline * (1 - threshold)``.
+    Metrics missing from either report are skipped (older baselines may
+    predate newer measurements).
+    """
+    failures: List[str] = []
+    for path in metrics:
+        cur = _lookup(current, path)
+        base = _lookup(baseline, path)
+        if cur is None or base is None:
+            continue
+        floor = base * (1.0 - threshold)
+        if cur < floor:
+            failures.append(
+                f"{path}: {cur:.3f} regressed below {floor:.3f}"
+                f" (baseline {base:.3f}, threshold {threshold:.0%})"
+            )
+    return failures
+
+
+def format_bench_check(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    metrics: Sequence[str] = TRIPWIRE_METRICS,
+) -> str:
+    """Human-readable per-metric verdict for the bench tripwire."""
+    rows: List[List[object]] = []
+    for path in metrics:
+        cur = _lookup(current, path)
+        base = _lookup(baseline, path)
+        if cur is None or base is None:
+            rows.append([path, "-", "-", "skipped"])
+            continue
+        verdict = "ok" if cur >= base * (1.0 - threshold) else "REGRESSED"
+        rows.append([path, f"{base:.3f}", f"{cur:.3f}", verdict])
+    title = (
+        f"Bench tripwire (fail under baseline - {threshold:.0%})"
+    )
+    return title + "\n" + _format_table(
+        ["metric", "baseline", "current", "verdict"], rows
+    )

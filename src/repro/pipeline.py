@@ -22,6 +22,7 @@ from .formation import FormationConfig, FormationResult, form_superblocks, schem
 from .interp.interpreter import ExecutionResult, run_program
 from .ir.cfg import Program
 from .layout.pettis_hansen import Layout, layout_program
+from .metrics import MetricsSink, timed
 from .profiling.collector import (
     ProfileBundle,
     TracedRun,
@@ -69,6 +70,7 @@ def compile_scheme(
     traced: Optional[TracedRun] = None,
     step_limit: int = 50_000_000,
     validation: Optional[ValidationConfig] = None,
+    metrics: Optional[MetricsSink] = None,
 ):
     """Profile, form, compact, and lay out ``program`` under one scheme.
 
@@ -76,14 +78,23 @@ def compile_scheme(
     to reuse one training run across several schemes, or ``traced`` (a
     recorded training run) to derive the profiles by trace replay without
     re-executing the interpreter.  ``validation`` enables the stage
-    checkpoints (see :class:`~repro.validation.ValidationConfig`).
+    checkpoints (see :class:`~repro.validation.ValidationConfig`);
+    ``metrics`` records per-stage timings and counters (see
+    :class:`~repro.metrics.MetricsSink`).
     """
     if profiles is None:
         if traced is not None:
-            profiles = profiles_from_trace(program, traced)
+            profiles = timed(
+                metrics, "profile.replay", profiles_from_trace, program, traced
+            )
         else:
-            profiles = collect_profiles(
-                program, input_tape=train_tape, step_limit=step_limit
+            profiles = timed(
+                metrics,
+                "profile.collect",
+                collect_profiles,
+                program,
+                input_tape=train_tape,
+                step_limit=step_limit,
             )
     formation_config = config or scheme(scheme_name)
     formation = form_superblocks(
@@ -92,6 +103,7 @@ def compile_scheme(
         edge_profile=profiles.edge,
         path_profile=profiles.path,
         validation=validation,
+        metrics=metrics,
     )
     compiled = compact_program(
         formation,
@@ -99,8 +111,13 @@ def compile_scheme(
         optimize=optimize,
         allocate=allocate,
         validation=validation,
+        metrics=metrics,
     )
-    layout = layout_program(compiled, profile=profiles.edge)
+    layout = timed(
+        metrics, "layout", layout_program, compiled, profile=profiles.edge
+    )
+    if metrics is not None:
+        metrics.add("layout.code_bytes", layout.code_bytes)
     return profiles, formation, compiled, layout
 
 
@@ -122,6 +139,7 @@ def run_scheme(
     step_limit: int = 50_000_000,
     cycle_limit: int = 100_000_000,
     validation: Optional[ValidationConfig] = None,
+    metrics: Optional[MetricsSink] = None,
 ) -> SchemeOutcome:
     """Run the full pipeline for one scheme and verify its correctness.
 
@@ -148,6 +166,9 @@ def run_scheme(
         cycle_limit: simulator cycle budget.
         validation: run the selected stage checkpoints after each
             transform (see :class:`~repro.validation.ValidationConfig`).
+        metrics: record per-stage timings, counters, and events into this
+            sink (see :class:`~repro.metrics.MetricsSink`); ``None`` (the
+            default) keeps the pipeline entirely uninstrumented.
 
     Raises:
         OutputMismatch: the scheduled code misbehaved (a compiler bug).
@@ -165,24 +186,51 @@ def run_scheme(
         traced=traced,
         step_limit=step_limit,
         validation=validation,
+        metrics=metrics,
     )
-    result = simulate(
-        compiled, input_tape=test_tape, cycle_limit=cycle_limit
+    result = timed(
+        metrics,
+        "simulate.ideal",
+        simulate,
+        compiled,
+        input_tape=test_tape,
+        cycle_limit=cycle_limit,
     )
+    if metrics is not None:
+        metrics.add("simulate.cycles", result.cycles)
+        metrics.add("simulate.operations", result.operations)
+        metrics.add("simulate.wasted_operations", result.wasted_operations)
+        metrics.add("simulate.sb_entries", result.sb_entries)
+        metrics.add("simulate.blocks_executed", result.blocks_executed)
     cached_result = None
     if with_icache:
         icache = ICache(icache_config or ICacheConfig())
-        cached_result = simulate(
+        cached_result = timed(
+            metrics,
+            "simulate.icache",
+            simulate,
             compiled,
             input_tape=test_tape,
             icache=icache,
             layout=layout,
             cycle_limit=cycle_limit,
         )
+        if metrics is not None:
+            metrics.add("icache.accesses", cached_result.icache_accesses)
+            metrics.add("icache.misses", cached_result.icache_misses)
+            metrics.add(
+                "icache.miss_penalty_cycles",
+                cached_result.miss_penalty_cycles,
+            )
     if check_output:
         if reference is None:
-            reference = run_program(
-                program, input_tape=test_tape, step_limit=step_limit
+            reference = timed(
+                metrics,
+                "reference",
+                run_program,
+                program,
+                input_tape=test_tape,
+                step_limit=step_limit,
             )
         if reference.output != result.output or (
             reference.return_value != result.return_value

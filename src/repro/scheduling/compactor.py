@@ -15,6 +15,7 @@ VLIW simulator executes it directly.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -68,12 +69,20 @@ class CompiledProgram:
         )
 
 
+def _stage(metrics, name: str, **fields):
+    """Metrics stage context, or a no-op context when metrics are off."""
+    if metrics is None:
+        return nullcontext(fields)
+    return metrics.stage(name, **fields)
+
+
 def compact_program(
     formation: FormationResult,
     machine: MachineModel = PAPER_MACHINE,
     optimize: bool = True,
     allocate: bool = True,
     validation=None,
+    metrics=None,
 ) -> CompiledProgram:
     """Compact every superblock of a formed program.
 
@@ -89,6 +98,9 @@ def compact_program(
             stage checkpoints (renaming SSA-ness, schedule legality,
             allocation value-flow) that raise
             :class:`~repro.validation.ValidationError` on violation.
+        metrics: a :class:`~repro.metrics.MetricsSink` recording per-phase
+            timings per procedure plus compensation-copy, speculation,
+            spill, and slot-occupancy counters.
 
     Returns:
         The compiled program ready for simulation.
@@ -120,24 +132,34 @@ def compact_program(
         arch_bound = proc.max_reg
         sbs = formation.superblocks[proc.name]
         codes: List[SuperblockCode] = []
-        for sb in sbs:
-            code = extract_superblock_code(proc, sb, liveness)
-            if optimize:
-                code.instructions = fold_constants(code.instructions)
-                code.instructions = local_value_number(code.instructions)
-                code.instructions = eliminate_dead_code(
-                    code.instructions,
-                    code.exit_live_by_index(),
-                    set(),
-                )
-            rename_superblock(code, proc)
-            if validation is not None and validation.check_renaming:
-                require(
-                    "compact:renaming", check_renamed_code(code, arch_bound)
-                )
-            codes.append(code)
+        compensation_movs = 0
+        with _stage(metrics, "compact.local", proc=proc.name) as out:
+            for sb in sbs:
+                code = extract_superblock_code(proc, sb, liveness)
+                if optimize:
+                    code.instructions = fold_constants(code.instructions)
+                    code.instructions = local_value_number(code.instructions)
+                    code.instructions = eliminate_dead_code(
+                        code.instructions,
+                        code.exit_live_by_index(),
+                        set(),
+                    )
+                before_rename = len(code.instructions)
+                rename_superblock(code, proc)
+                compensation_movs += len(code.instructions) - before_rename
+                if validation is not None and validation.check_renaming:
+                    require(
+                        "compact:renaming", check_renamed_code(code, arch_bound)
+                    )
+                codes.append(code)
+            out["compensation_movs"] = compensation_movs
+        if metrics is not None:
+            metrics.add("compact.compensation_movs", compensation_movs)
 
-        preschedules = [schedule_superblock(code, machine) for code in codes]
+        with _stage(metrics, "compact.preschedule", proc=proc.name):
+            preschedules = [
+                schedule_superblock(code, machine) for code in codes
+            ]
         if validation is not None and validation.check_schedule:
             for presched in preschedules:
                 require(
@@ -148,14 +170,22 @@ def compact_program(
             snapshots = None
             if validation is not None and validation.check_allocation:
                 snapshots = [AllocationSnapshot.capture(c) for c in codes]
-            allocation = allocate_procedure(
-                proc.name,
-                proc.params,
-                codes,
-                preschedules,
-                machine,
-                arch_bound,
-            )
+            with _stage(metrics, "compact.allocate", proc=proc.name):
+                allocation = allocate_procedure(
+                    proc.name,
+                    proc.params,
+                    codes,
+                    preschedules,
+                    machine,
+                    arch_bound,
+                )
+            if metrics is not None:
+                stats = allocation.stats
+                metrics.add("compact.arch_spilled", stats.arch_spilled)
+                metrics.add("compact.temps_spilled", stats.temps_spilled)
+                metrics.add(
+                    "compact.spill_instructions", stats.spill_instructions
+                )
             if snapshots is not None:
                 for code, snapshot in zip(codes, snapshots):
                     require(
@@ -168,7 +198,10 @@ def compact_program(
                             machine.num_registers,
                         ),
                     )
-            schedules = [schedule_superblock(code, machine) for code in codes]
+            with _stage(metrics, "compact.postschedule", proc=proc.name):
+                schedules = [
+                    schedule_superblock(code, machine) for code in codes
+                ]
             if validation is not None and validation.check_schedule:
                 for schedule in schedules:
                     require(
@@ -180,6 +213,21 @@ def compact_program(
         else:
             schedules = preschedules
             params = proc.params
+
+        if metrics is not None:
+            speculative = sum(
+                1
+                for schedule in schedules
+                for op in schedule.ops
+                if op.speculative
+            )
+            filled = sum(len(schedule.ops) for schedule in schedules)
+            slots = machine.issue_width * sum(
+                len(schedule.bundles) for schedule in schedules
+            )
+            metrics.add("compact.speculative_ops", speculative)
+            metrics.add("compact.slots_filled", filled)
+            metrics.add("compact.slots_total", slots)
 
         by_head = {
             schedule.code.head: schedule for schedule in schedules

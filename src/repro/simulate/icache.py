@@ -9,6 +9,11 @@ instruction; code expansion from aggressive enlargement shows up here.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
 
 
 @dataclass
@@ -28,10 +33,24 @@ class ICacheConfig:
 class ICache:
     """Direct-mapped instruction cache with miss counting."""
 
-    def __init__(self, config: ICacheConfig = None) -> None:
+    def __init__(self, config: Optional[ICacheConfig] = None) -> None:
         self.config = config or ICacheConfig()
-        if self.config.size_bytes % self.config.line_bytes:
-            raise ValueError("cache size must be a multiple of the line size")
+        line = self.config.line_bytes
+        size = self.config.size_bytes
+        if not _is_pow2(line):
+            raise ValueError(
+                f"line size must be a positive power of two, got {line}"
+            )
+        if size <= 0 or size % line:
+            raise ValueError(
+                f"cache size must be a positive multiple of the"
+                f" {line}-byte line size, got {size}"
+            )
+        if not _is_pow2(self.config.num_lines):
+            raise ValueError(
+                f"cache must have a power-of-two number of lines, got"
+                f" {self.config.num_lines} ({size} / {line} bytes)"
+            )
         self._tags = [None] * self.config.num_lines
         self.accesses = 0
         self.misses = 0

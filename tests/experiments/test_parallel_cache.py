@@ -244,6 +244,107 @@ class TestTraceCache:
         assert fresh.get(profile_key(program, train, DEFAULT_DEPTH)) is not None
 
 
+class TestMetricsParity:
+    def test_parallel_counters_match_serial_exactly(self):
+        from repro.metrics import MetricsSink
+
+        serial_sink = MetricsSink()
+        serial = run_suite(SCHEMES, NAMES, scale=TINY, metrics=serial_sink)
+        parallel_sink = MetricsSink()
+        parallel = run_suite(
+            SCHEMES,
+            NAMES,
+            scale=TINY,
+            jobs=2,
+            min_parallel_tasks=0,
+            metrics=parallel_sink,
+        )
+        assert suite_fingerprint(parallel) == suite_fingerprint(serial)
+        # Counters are integer sums, so worker sinks merged by the parent
+        # must total exactly what the serial engine counted.
+        assert parallel_sink.counters == serial_sink.counters
+        # Worker stage timings came from other processes.
+        pids = {
+            e["pid"]
+            for e in parallel_sink.events
+            if e["event"] == "stage"
+        }
+        assert len(pids) > 1
+
+    def test_metrics_do_not_change_results(self, serial_results):
+        from repro.metrics import MetricsSink
+
+        instrumented = run_suite(
+            SCHEMES, NAMES, scale=TINY, metrics=MetricsSink()
+        )
+        assert suite_fingerprint(instrumented) == suite_fingerprint(
+            serial_results
+        )
+
+    def test_cache_disposition_counters(self, tmp_path):
+        from repro.metrics import MetricsSink
+
+        cache = ExperimentCache(path=tmp_path)
+        cold = MetricsSink()
+        run_suite(SCHEMES, ["alt"], scale=TINY, cache=cache, metrics=cold)
+        assert cold.counters["cache.outcome.miss"] == len(SCHEMES)
+
+        warm = MetricsSink()
+        run_suite(SCHEMES, ["alt"], scale=TINY, cache=cache, metrics=warm)
+        assert warm.counters["cache.outcome.memo"] == len(SCHEMES)
+        assert "cache.outcome.miss" not in warm.counters
+
+        disk = MetricsSink()
+        fresh = ExperimentCache(path=tmp_path)
+        run_suite(SCHEMES, ["alt"], scale=TINY, cache=fresh, metrics=disk)
+        assert disk.counters["cache.outcome.disk"] == len(SCHEMES)
+        events = [e for e in disk.events if e["event"] == "cache"]
+        assert {e["disposition"] for e in events} == {"disk"}
+        assert {e["workload"] for e in events} == {"alt"}
+
+
+class TestDefaultCacheDir:
+    def test_env_override_wins(self, monkeypatch):
+        from repro.experiments.cache import default_cache_dir
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/override")
+        monkeypatch.setenv("XDG_CACHE_HOME", "/tmp/xdg")
+        assert str(default_cache_dir()) == "/tmp/override"
+
+    def test_xdg_cache_home_honored(self, monkeypatch):
+        from repro.experiments.cache import default_cache_dir
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", "/tmp/xdg")
+        assert str(default_cache_dir()) == "/tmp/xdg/repro-experiments"
+
+    def test_relative_xdg_ignored(self, monkeypatch, tmp_path):
+        # The Base Directory spec: a relative XDG_CACHE_HOME is invalid
+        # and must be ignored in favour of the ~/.cache default.
+        from pathlib import Path
+
+        from repro.experiments.cache import default_cache_dir
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", "relative/cache")
+        assert (
+            default_cache_dir()
+            == Path.home() / ".cache" / "repro-experiments"
+        )
+
+    def test_home_fallback(self, monkeypatch):
+        from pathlib import Path
+
+        from repro.experiments.cache import default_cache_dir
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        assert (
+            default_cache_dir()
+            == Path.home() / ".cache" / "repro-experiments"
+        )
+
+
 class TestCacheInvalidation:
     def setup_method(self):
         workload = workload_map()["alt"]

@@ -35,6 +35,21 @@ class TestOrdering:
         order = order_procedures(["main"], {("main", "main"): 9}, "main")
         assert order == ["main"]
 
+    def test_entry_mid_chain_rotates_instead_of_splicing(self):
+        # Merging order by weight builds the chain [a, b, main, z]: entry
+        # lands mid-chain.  Splicing it out to the front would keep only
+        # one of the three affinity adjacencies ((a,b)); rotation keeps
+        # (a,b) and (main,z) and breaks only the (b,main) adjacency at the
+        # cut point.
+        order = order_procedures(
+            ["main", "a", "b", "z"],
+            {("a", "b"): 100, ("b", "main"): 50, ("main", "z"): 30},
+            "main",
+        )
+        assert order == ["main", "z", "a", "b"]
+        assert abs(order.index("a") - order.index("b")) == 1
+        assert abs(order.index("main") - order.index("z")) == 1
+
 
 class TestLayout:
     def test_addresses_disjoint_and_packed(self):

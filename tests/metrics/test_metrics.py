@@ -1,0 +1,239 @@
+"""Tests for the pipeline metrics layer: sink, report, bench tripwire."""
+
+import json
+
+import pytest
+
+from repro.metrics import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    MetricsSink,
+    TRIPWIRE_METRICS,
+    check_bench_regression,
+    format_bench_check,
+    format_report,
+    summarize,
+    timed,
+)
+from repro.pipeline import run_scheme
+
+from tests.support import call_program
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestSink:
+    def test_counters_accumulate(self):
+        sink = MetricsSink()
+        sink.add("x")
+        sink.add("x", 4)
+        sink.add("y", 2)
+        assert sink.counters == {"x": 5, "y": 2}
+
+    def test_stage_times_and_calls(self):
+        sink = MetricsSink(clock=FakeClock())
+        with sink.stage("compact.local"):
+            pass
+        with sink.stage("compact.local"):
+            pass
+        assert sink.stage_calls["compact.local"] == 2
+        # FakeClock: start/stop reads plus one event timestamp per stage.
+        assert sink.stage_seconds["compact.local"] > 0
+        assert sink.total_stage_seconds == sink.stage_seconds["compact.local"]
+
+    def test_stage_yields_out_fields(self):
+        sink = MetricsSink(clock=FakeClock())
+        with sink.stage("formation.form", proc="main") as out:
+            out["superblocks"] = 3
+        (event,) = sink.events
+        assert event["event"] == "stage"
+        assert event["stage"] == "formation.form"
+        assert event["proc"] == "main"
+        assert event["superblocks"] == 3
+        assert event["dt"] > 0
+
+    def test_stage_records_on_exception(self):
+        sink = MetricsSink(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with sink.stage("simulate.ideal"):
+                raise RuntimeError("boom")
+        assert sink.stage_calls["simulate.ideal"] == 1
+
+    def test_context_labels_stack_and_restore(self):
+        sink = MetricsSink(clock=FakeClock())
+        with sink.context(workload="wc"):
+            with sink.context(scheme="P4"):
+                sink.event("cache", disposition="miss")
+            sink.event("cache", disposition="memo")
+        sink.event("bare")
+        inner, outer, bare = sink.events
+        assert inner["workload"] == "wc" and inner["scheme"] == "P4"
+        assert outer["workload"] == "wc" and "scheme" not in outer
+        assert "workload" not in bare
+
+    def test_timed_helper(self):
+        assert timed(None, "x", lambda a: a + 1, 1) == 2
+        sink = MetricsSink(clock=FakeClock())
+        assert timed(sink, "x", lambda a: a + 1, 1) == 2
+        assert sink.stage_calls == {"x": 1}
+
+    def test_merge_sums_everything(self):
+        a = MetricsSink(clock=FakeClock())
+        b = MetricsSink(clock=FakeClock())
+        for sink in (a, b):
+            sink.add("n", 3)
+            with sink.stage("layout"):
+                pass
+        a.merge(b)
+        assert a.counters == {"n": 6}
+        assert a.stage_calls == {"layout": 2}
+        assert len(a.events) == 2
+
+    def test_jsonl_round_trip(self, tmp_path):
+        sink = MetricsSink(clock=FakeClock())
+        sink.add("simulate.cycles", 42)
+        with sink.context(workload="alt"):
+            with sink.stage("simulate.ideal"):
+                pass
+        path = tmp_path / "metrics.jsonl"
+        lines = sink.write_jsonl(path)
+        assert lines == len(sink.events) + 1  # trailing counters record
+        back = MetricsSink.read_jsonl(path)
+        assert back.counters == sink.counters
+        assert back.stage_calls == sink.stage_calls
+        assert back.stage_seconds == pytest.approx(sink.stage_seconds)
+        assert [e["event"] for e in back.events] == ["stage"]
+        assert back.events[0]["workload"] == "alt"
+
+
+class TestReport:
+    def _sink(self):
+        sink = MetricsSink(clock=FakeClock())
+        with sink.stage("compact.allocate"):
+            pass
+        with sink.stage("layout"):
+            pass
+        sink.add("compact.slots_filled", 30)
+        sink.add("compact.slots_total", 40)
+        return sink
+
+    def test_summarize_shape(self):
+        summary = summarize(self._sink())
+        assert summary["stages"]["compact.allocate"]["calls"] == 1
+        assert summary["counters"]["compact.slots_total"] == 40
+        assert summary["derived"]["schedule_slot_utilization"] == 0.75
+        assert summary["total_stage_seconds"] > 0
+
+    def test_format_report_renders_hierarchy(self):
+        text = format_report(summarize(self._sink()))
+        assert "compact" in text
+        assert "compact.allocate" in text
+        assert "schedule_slot_utilization" in text
+        assert "0.75" in text
+
+    def test_derived_skips_zero_denominators(self):
+        sink = MetricsSink()
+        sink.add("icache.misses", 5)
+        sink.add("icache.accesses", 0)
+        assert "icache_miss_rate" not in summarize(sink)["derived"]
+
+
+class TestTripwire:
+    BASE = {
+        "speedup_vs_serial": {"cache_warm": 4.0},
+        "metrics": {"speedup_on_vs_off": 1.0},
+    }
+
+    def test_no_regression_passes(self):
+        current = {
+            "speedup_vs_serial": {"cache_warm": 3.9},
+            "metrics": {"speedup_on_vs_off": 0.99},
+        }
+        assert check_bench_regression(current, self.BASE) == []
+
+    def test_within_threshold_passes(self):
+        current = {"speedup_vs_serial": {"cache_warm": 3.1}}
+        assert check_bench_regression(current, self.BASE) == []
+
+    def test_over_threshold_fails(self):
+        current = {"speedup_vs_serial": {"cache_warm": 2.0}}
+        failures = check_bench_regression(current, self.BASE)
+        assert len(failures) == 1
+        assert "speedup_vs_serial.cache_warm" in failures[0]
+
+    def test_missing_metric_skipped(self):
+        assert check_bench_regression({}, self.BASE) == []
+        assert check_bench_regression(self.BASE, {}) == []
+
+    def test_custom_threshold(self):
+        current = {"speedup_vs_serial": {"cache_warm": 3.5}}
+        assert check_bench_regression(current, self.BASE, threshold=0.05)
+
+    def test_format_bench_check_verdicts(self):
+        current = {"speedup_vs_serial": {"cache_warm": 2.0}}
+        text = format_bench_check(current, self.BASE)
+        assert "REGRESSED" in text
+        assert "skipped" in text
+
+    def test_tripwire_metrics_are_ratio_paths(self):
+        assert 0 < DEFAULT_REGRESSION_THRESHOLD < 1
+        for path in TRIPWIRE_METRICS:
+            assert "wall" not in path  # ratios only: machine-independent
+            assert "speedup" in path
+
+
+class TestPipelineIntegration:
+    def test_run_scheme_counters_and_stages(self):
+        sink = MetricsSink()
+        program = call_program()
+        out = run_scheme(
+            program, "M4", [6], [3], with_icache=True, metrics=sink
+        )
+        assert sink.counters["simulate.cycles"] == out.result.cycles
+        assert sink.counters["icache.accesses"] == (
+            out.cached_result.icache_accesses
+        )
+        assert sink.counters["layout.code_bytes"] == out.layout.code_bytes
+        assert sink.counters["compact.slots_total"] > 0
+        for stage in (
+            "profile.collect",
+            "formation.form",
+            "compact.preschedule",
+            "compact.allocate",
+            "compact.postschedule",
+            "layout",
+            "simulate.ideal",
+            "simulate.icache",
+            "reference",
+        ):
+            assert sink.stage_calls.get(stage, 0) >= 1, stage
+        assert sink.total_stage_seconds > 0
+
+    def test_metrics_off_identical_results(self):
+        program = call_program()
+        plain = run_scheme(program, "P4", [6], [3])
+        with_sink = run_scheme(
+            program, "P4", [6], [3], metrics=MetricsSink()
+        )
+        assert with_sink.result.cycles == plain.result.cycles
+        assert with_sink.result.output == plain.result.output
+        assert with_sink.layout.base == plain.layout.base
+
+    def test_jsonl_is_valid_json_per_line(self, tmp_path):
+        sink = MetricsSink()
+        run_scheme(call_program(), "M4", [6], [3], metrics=sink)
+        path = tmp_path / "m.jsonl"
+        sink.write_jsonl(path)
+        with open(path) as fh:
+            records = [json.loads(line) for line in fh]
+        assert records[-1]["event"] == "counters"
+        assert all("t" in r and "pid" in r for r in records[:-1])

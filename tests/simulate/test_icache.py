@@ -14,8 +14,28 @@ class TestGeometry:
         assert cache.config.num_lines == 1024
 
     def test_bad_geometry_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="positive multiple"):
             ICache(ICacheConfig(size_bytes=100, line_bytes=32))
+
+    def test_none_config_uses_default(self):
+        assert ICache(None).config == ICacheConfig()
+
+    def test_non_pow2_line_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ICache(ICacheConfig(size_bytes=1024, line_bytes=24))
+
+    def test_nonpositive_geometry_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ICache(ICacheConfig(size_bytes=1024, line_bytes=0))
+        with pytest.raises(ValueError, match="positive multiple"):
+            ICache(ICacheConfig(size_bytes=0, line_bytes=32))
+        with pytest.raises(ValueError, match="positive multiple"):
+            ICache(ICacheConfig(size_bytes=-1024, line_bytes=32))
+
+    def test_non_pow2_line_count_rejected(self):
+        # 96/32 = 3 lines: the modulo indexing needs a power of two.
+        with pytest.raises(ValueError, match="number of lines"):
+            ICache(ICacheConfig(size_bytes=96, line_bytes=32))
 
 
 class TestBehaviour:
