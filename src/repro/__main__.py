@@ -4,9 +4,15 @@ Usage::
 
     python -m repro run --workload wc --schemes BB M4 P4 --scale 0.5
     python -m repro run --source my_program.mc --schemes P4 --icache
+    python -m repro explain wc --scheme P4 --scale 0.5
+    python -m repro trace-diff wc --schemes M4 P4 --scale 0.5
     python -m repro list
 
-(For the paper's tables and figures use ``python -m repro.experiments``.)
+``explain`` runs one pipeline with the decision tracer on and renders
+why a superblock came out the way it did; ``trace-diff`` runs two
+schemes, names their first diverging formation decision, and attributes
+the cycle delta.  (For the paper's tables and figures use
+``python -m repro.experiments``.)
 """
 
 from __future__ import annotations
@@ -79,6 +85,54 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    # Imported here: repro.trace.explain pulls in the whole pipeline and
+    # the workload suite, which `list` and `--help` should not pay for.
+    from .trace.explain import explain, format_explain, run_traced
+    from .trace.perfetto import write_trace
+
+    tracer, outcome = run_traced(
+        args.workload, args.scheme, scale=args.scale
+    )
+    report = explain(tracer, outcome, proc=args.proc, head=args.head)
+    print(format_explain(report, max_ops=args.max_ops))
+    if args.out:
+        write_trace(tracer, args.out)
+        print(f"[trace] full decision trace written to {args.out}")
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from .trace.explain import format_trace_diff, run_traced, trace_diff
+
+    scheme_a, scheme_b = args.schemes
+    tracer_a, outcome_a = run_traced(
+        args.workload, scheme_a, scale=args.scale
+    )
+    tracer_b, outcome_b = run_traced(
+        args.workload, scheme_b, scale=args.scale
+    )
+    report = trace_diff(
+        tracer_a,
+        tracer_b,
+        scheme_a,
+        scheme_b,
+        cycles_a=outcome_a.result.cycles,
+        cycles_b=outcome_b.result.cycles,
+        top=args.top,
+    )
+    print(f"{args.workload}: {scheme_a} vs {scheme_b} (scale {args.scale})")
+    print(format_trace_diff(report))
+    if args.out:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[trace] diff report written to {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -117,6 +171,59 @@ def main(argv=None) -> int:
         help="use the realistic-latency machine model",
     )
 
+    explain_parser = sub.add_parser(
+        "explain",
+        help="trace one pipeline and explain a superblock's schedule",
+    )
+    explain_parser.add_argument(
+        "workload", choices=SUITE_ORDER, help="suite workload"
+    )
+    explain_parser.add_argument(
+        "--scheme",
+        default="P4",
+        choices=["BB", "M4", "M16", "P4", "P4e"],
+        help="formation scheme to explain",
+    )
+    explain_parser.add_argument(
+        "--scale", type=float, default=1.0, help="input size scale"
+    )
+    explain_parser.add_argument(
+        "--proc", help="procedure (default: wherever the hottest SB is)"
+    )
+    explain_parser.add_argument(
+        "--head", help="superblock head label (default: hottest SB)"
+    )
+    explain_parser.add_argument(
+        "--max-ops", type=int, default=24, help="schedule lines to show"
+    )
+    explain_parser.add_argument(
+        "--out", help="also write the full Perfetto trace JSON here"
+    )
+
+    diff_parser = sub.add_parser(
+        "trace-diff",
+        help="run two schemes and explain where their decisions diverge",
+    )
+    diff_parser.add_argument(
+        "workload", choices=SUITE_ORDER, help="suite workload"
+    )
+    diff_parser.add_argument(
+        "--schemes",
+        nargs=2,
+        default=["M4", "P4"],
+        choices=["BB", "M4", "M16", "P4", "P4e"],
+        help="the two schemes to compare",
+    )
+    diff_parser.add_argument(
+        "--scale", type=float, default=1.0, help="input size scale"
+    )
+    diff_parser.add_argument(
+        "--top", type=int, default=5, help="rows per attribution table"
+    )
+    diff_parser.add_argument(
+        "--out", help="write the diff report as JSON here"
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -124,6 +231,10 @@ def main(argv=None) -> int:
         if not args.workload and not args.source:
             parser.error("run needs --workload or --source")
         return _cmd_run(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "trace-diff":
+        return _cmd_trace_diff(args)
     return 2  # pragma: no cover
 
 

@@ -51,6 +51,12 @@ _RIGHT_ZERO = {
 }
 
 
+def _inherit(replacement: Instruction, original: Instruction) -> Instruction:
+    """Provenance: a folded instruction stands in for the original."""
+    replacement.origin = original.origin
+    return replacement
+
+
 def fold_constants(instrs: Sequence[Instruction]) -> List[Instruction]:
     """Fold and strength-reduce a straight-line region.
 
@@ -76,7 +82,7 @@ def fold_constants(instrs: Sequence[Instruction]) -> List[Instruction]:
         if op is Opcode.MOV:
             src_value = value_of(instr.srcs[0])
             if src_value is not None:
-                replacement = ins.li(instr.dest, src_value)
+                replacement = _inherit(ins.li(instr.dest, src_value), instr)
                 known[instr.dest] = src_value
             else:
                 known.pop(instr.dest, None)
@@ -87,7 +93,7 @@ def fold_constants(instrs: Sequence[Instruction]) -> List[Instruction]:
             src_value = value_of(instr.srcs[0])
             if src_value is not None:
                 folded = UNARY_EVAL[op](src_value)
-                replacement = ins.li(instr.dest, folded)
+                replacement = _inherit(ins.li(instr.dest, folded), instr)
                 known[instr.dest] = folded
             else:
                 known.pop(instr.dest, None)
@@ -104,16 +110,16 @@ def fold_constants(instrs: Sequence[Instruction]) -> List[Instruction]:
                 except MachineFault:
                     folded = None  # leave the faulting op in place
                 if folded is not None:
-                    replacement = ins.li(instr.dest, folded)
+                    replacement = _inherit(ins.li(instr.dest, folded), instr)
                     known[instr.dest] = folded
                     result.append(replacement)
                     continue
             if vb is not None and _RIGHT_IDENTITY.get(op) == vb:
-                replacement = ins.mov(instr.dest, a)
+                replacement = _inherit(ins.mov(instr.dest, a), instr)
             elif va is not None and _LEFT_IDENTITY.get(op) == va:
-                replacement = ins.mov(instr.dest, b)
+                replacement = _inherit(ins.mov(instr.dest, b), instr)
             elif vb is not None and _RIGHT_ZERO.get(op) == vb:
-                replacement = ins.li(instr.dest, 0)
+                replacement = _inherit(ins.li(instr.dest, 0), instr)
                 known[instr.dest] = 0
                 result.append(replacement)
                 continue

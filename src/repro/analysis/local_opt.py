@@ -64,6 +64,14 @@ _COMMUTATIVE = frozenset(
 )
 
 
+def _reuse_mov(instr: Instruction, holder_reg: int) -> Instruction:
+    """Move from the value's existing holder, standing in for ``instr``
+    (which keeps its provenance)."""
+    replacement = ins.mov(instr.dest, holder_reg)
+    replacement.origin = instr.origin
+    return replacement
+
+
 def local_value_number(instrs: Sequence[Instruction]) -> List[Instruction]:
     """Classic local value numbering over a straight-line region.
 
@@ -108,7 +116,7 @@ def local_value_number(instrs: Sequence[Instruction]) -> List[Instruction]:
             vn = expr_table.setdefault(key, fresh_vn())
             known = holder.get(vn)
             if known is not None and known != instr.dest and reg_vn.get(known) == vn:
-                result.append(ins.mov(instr.dest, known))
+                result.append(_reuse_mov(instr, known))
             else:
                 result.append(instr)
             define(instr.dest, vn)
@@ -126,7 +134,7 @@ def local_value_number(instrs: Sequence[Instruction]) -> List[Instruction]:
             vn = expr_table.setdefault(key, fresh_vn())
             known = holder.get(vn)
             if known is not None and known != instr.dest and reg_vn.get(known) == vn:
-                result.append(ins.mov(instr.dest, known))
+                result.append(_reuse_mov(instr, known))
             else:
                 result.append(instr)
             define(instr.dest, vn)
@@ -136,7 +144,7 @@ def local_value_number(instrs: Sequence[Instruction]) -> List[Instruction]:
             vn = expr_table.setdefault(key, fresh_vn())
             known = holder.get(vn)
             if known is not None and known != instr.dest and reg_vn.get(known) == vn:
-                result.append(ins.mov(instr.dest, known))
+                result.append(_reuse_mov(instr, known))
             else:
                 result.append(instr)
             define(instr.dest, vn)

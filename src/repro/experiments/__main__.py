@@ -167,6 +167,7 @@ def run_report(args) -> int:
     import json
 
     from ..metrics import (
+        SCHEMA_VERSION,
         MetricsSink,
         check_bench_regression,
         format_bench_check,
@@ -177,6 +178,16 @@ def run_report(args) -> int:
     status = 0
     if args.path:
         sink = MetricsSink.read_jsonl(args.path)
+        if (
+            sink.schema_version is not None
+            and sink.schema_version != SCHEMA_VERSION
+        ):
+            print(
+                f"[report] warning: {args.path} declares schema version"
+                f" {sink.schema_version}, this reader understands"
+                f" {SCHEMA_VERSION}; rendering best-effort",
+                file=sys.stderr,
+            )
         summary = summarize(sink)
         if args.json:
             print(json.dumps(summary, indent=2, sort_keys=True))

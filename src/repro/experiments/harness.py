@@ -45,6 +45,7 @@ from ..profiling.collector import (
 from ..profiling.path_profile import DEFAULT_DEPTH
 from ..scheduling.machine import MachineModel, PAPER_MACHINE
 from ..simulate.icache import ICacheConfig
+from ..trace.tracer import Tracer, tspan
 from ..workloads.base import Workload
 from ..workloads.suite import all_workloads, workload_map
 from .cache import (
@@ -116,6 +117,7 @@ def run_suite(
     min_parallel_tasks: Optional[int] = None,
     validation=None,
     metrics: Optional[MetricsSink] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SuiteResults:
     """Run a set of workloads under a set of schemes.
 
@@ -145,6 +147,13 @@ def run_suite(
             Parallel workers collect into per-process sinks that are
             merged back here, so counter totals are identical to a
             serial run's.
+        tracer: a :class:`~repro.trace.Tracer` recording formation
+            decisions, provenance, timing spans, and exit-cycle
+            histograms inside every *computed* pipeline.  Parallel
+            workers collect into per-task tracers merged back in request
+            order, so the decision and span-name streams are identical
+            to a serial run's (only wall-clock timestamps and pids
+            differ).  Cached outcomes contribute no trace records.
 
     Returns:
         Map from (workload, scheme) to the full outcome.
@@ -229,12 +238,24 @@ def run_suite(
                     traced = cache.get(trace_key(program, train))
                     if traced is not None:
                         traces_by[wname] = traced
-                        if metrics is None:
+                        if metrics is None and tracer is None:
                             profiles_by[wname] = profiles_from_trace(
                                 program, traced
                             )
                         else:
-                            with metrics.context(workload=wname):
+                            mctx = (
+                                nullcontext()
+                                if metrics is None
+                                else metrics.context(workload=wname)
+                            )
+                            tctx = (
+                                nullcontext()
+                                if tracer is None
+                                else tracer.context(workload=wname)
+                            )
+                            with mctx, tctx, tspan(
+                                tracer, "profile.replay"
+                            ):
                                 profiles_by[wname] = timed(
                                     metrics,
                                     "profile.replay",
@@ -252,7 +273,7 @@ def run_suite(
         if jobs > 1 and not should_parallelize(
             task_count, jobs, min_parallel_tasks
         ):
-            log_serial_fallback(task_count, jobs)
+            log_serial_fallback(task_count, jobs, verbose)
             jobs = 1
 
         if jobs > 1:
@@ -269,6 +290,7 @@ def run_suite(
                 traces_by_workload=traces_by,
                 validation=validation,
                 metrics=metrics,
+                tracer=tracer,
             )
         else:
             for wname, wanted in pending.items():
@@ -282,41 +304,49 @@ def run_suite(
                     if metrics is None
                     else metrics.context(workload=wname)
                 )
-                with wctx:
+                wtctx = (
+                    nullcontext()
+                    if tracer is None
+                    else tracer.context(workload=wname)
+                )
+                with wctx, wtctx:
                     profiles = profiles_by.get(wname)
                     if profiles is None:
                         traced = traces_by.get(wname)
                         if traced is None:
-                            traced = timed(
-                                metrics,
-                                "profile.record",
-                                record_trace,
-                                program,
-                                input_tape=train,
-                            )
+                            with tspan(tracer, "profile.record"):
+                                traced = timed(
+                                    metrics,
+                                    "profile.record",
+                                    record_trace,
+                                    program,
+                                    input_tape=train,
+                                )
                             traces_by[wname] = traced
                             if metrics is not None:
                                 metrics.add(
                                     "profile.trace_blocks",
                                     traced.trace.num_blocks,
                                 )
-                        profiles = timed(
-                            metrics,
-                            "profile.replay",
-                            profiles_from_trace,
-                            program,
-                            traced,
-                        )
+                        with tspan(tracer, "profile.replay"):
+                            profiles = timed(
+                                metrics,
+                                "profile.replay",
+                                profiles_from_trace,
+                                program,
+                                traced,
+                            )
                         profiles_by[wname] = profiles
                     reference = references_by.get(wname)
                     if reference is None:
-                        reference = timed(
-                            metrics,
-                            "reference",
-                            run_program,
-                            program,
-                            input_tape=test,
-                        )
+                        with tspan(tracer, "reference"):
+                            reference = timed(
+                                metrics,
+                                "reference",
+                                run_program,
+                                program,
+                                input_tape=test,
+                            )
                         references_by[wname] = reference
                 for sname in wanted:
                     sctx = (
@@ -324,7 +354,12 @@ def run_suite(
                         if metrics is None
                         else metrics.context(workload=wname, scheme=sname)
                     )
-                    with sctx:
+                    stctx = (
+                        nullcontext()
+                        if tracer is None
+                        else tracer.context(workload=wname, scheme=sname)
+                    )
+                    with sctx, stctx:
                         computed[(wname, sname)] = run_scheme(
                             program,
                             sname,
@@ -337,6 +372,7 @@ def run_suite(
                             reference=reference,
                             validation=validation,
                             metrics=metrics,
+                            tracer=tracer,
                         )
 
         if cache is not None:

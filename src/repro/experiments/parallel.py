@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..interp.interpreter import ExecutionResult, run_program
 from ..metrics import MetricsSink, timed
 from ..pipeline import SchemeOutcome, run_scheme
+from ..trace.tracer import Tracer, tspan
 from ..profiling.collector import (
     ProfileBundle,
     TracedRun,
@@ -60,9 +61,14 @@ def should_parallelize(
     return task_count >= threshold
 
 
-def log_serial_fallback(task_count: int, jobs: int) -> None:
+def log_serial_fallback(
+    task_count: int, jobs: int, verbose: bool = False
+) -> None:
     """Tell the user (on stderr, never polluting table output) that a
-    small batch is running serially."""
+    small batch is running serially.  Silent unless ``verbose``: scripted
+    consumers (``--json`` pipelines) get clean streams by default."""
+    if not verbose:
+        return
     print(
         f"[parallel] {task_count} task(s) <"
         f" {MIN_PARALLEL_TASKS}-task threshold:"
@@ -89,9 +95,17 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def _profile_task(
-    wname: str, scale: float, with_metrics: bool = False
+    wname: str,
+    scale: float,
+    with_metrics: bool = False,
+    with_tracer: bool = False,
 ) -> Tuple[
-    str, TracedRun, ProfileBundle, ExecutionResult, Optional[MetricsSink]
+    str,
+    TracedRun,
+    ProfileBundle,
+    ExecutionResult,
+    Optional[MetricsSink],
+    Optional[Tracer],
 ]:
     """Stage 1: record the training trace, replay it into profiles, and run
     the testing-input reference for one workload.
@@ -99,34 +113,40 @@ def _profile_task(
     The trace ships back alongside the bundle so the parent process can
     persist it in the experiment cache for later replays (depth sweeps,
     forward-profile ablations) without re-executing the interpreter.  When
-    ``with_metrics`` is set a fresh per-task sink records the same stages
-    and counters the serial engine would, for the parent to merge.
+    ``with_metrics`` (``with_tracer``) is set a fresh per-task sink
+    (tracer) records the same stages the serial engine would, for the
+    parent to merge in request order.
     """
     sink = MetricsSink() if with_metrics else None
+    tracer = Tracer() if with_tracer else None
     workload = _workload(wname)
     program = workload.program()
     ctx = nullcontext() if sink is None else sink.context(workload=wname)
-    with ctx:
-        traced = timed(
-            sink,
-            "profile.record",
-            record_trace,
-            program,
-            input_tape=workload.train_tape(scale),
-        )
+    tctx = nullcontext() if tracer is None else tracer.context(workload=wname)
+    with ctx, tctx:
+        with tspan(tracer, "profile.record"):
+            traced = timed(
+                sink,
+                "profile.record",
+                record_trace,
+                program,
+                input_tape=workload.train_tape(scale),
+            )
         if sink is not None:
             sink.add("profile.trace_blocks", traced.trace.num_blocks)
-        profiles = timed(
-            sink, "profile.replay", profiles_from_trace, program, traced
-        )
-        reference = timed(
-            sink,
-            "reference",
-            run_program,
-            program,
-            input_tape=workload.test_tape(scale),
-        )
-    return wname, traced, profiles, reference, sink
+        with tspan(tracer, "profile.replay"):
+            profiles = timed(
+                sink, "profile.replay", profiles_from_trace, program, traced
+            )
+        with tspan(tracer, "reference"):
+            reference = timed(
+                sink,
+                "reference",
+                run_program,
+                program,
+                input_tape=workload.test_tape(scale),
+            )
+    return wname, traced, profiles, reference, sink, tracer
 
 
 def _scheme_task(
@@ -140,16 +160,25 @@ def _scheme_task(
     reference: ExecutionResult,
     validation=None,
     with_metrics: bool = False,
-) -> Tuple[Tuple[str, str], SchemeOutcome, Optional[MetricsSink]]:
+    with_tracer: bool = False,
+) -> Tuple[
+    Tuple[str, str], SchemeOutcome, Optional[MetricsSink], Optional[Tracer]
+]:
     """Stage 2: the full pipeline for one (workload, scheme) pair."""
     sink = MetricsSink() if with_metrics else None
+    tracer = Tracer() if with_tracer else None
     workload = _workload(wname)
     ctx = (
         nullcontext()
         if sink is None
         else sink.context(workload=wname, scheme=scheme_name)
     )
-    with ctx:
+    tctx = (
+        nullcontext()
+        if tracer is None
+        else tracer.context(workload=wname, scheme=scheme_name)
+    )
+    with ctx, tctx:
         outcome = run_scheme(
             workload.program(),
             scheme_name,
@@ -162,8 +191,9 @@ def _scheme_task(
             reference=reference,
             validation=validation,
             metrics=sink,
+            tracer=tracer,
         )
-    return (wname, scheme_name), outcome, sink
+    return (wname, scheme_name), outcome, sink, tracer
 
 
 def run_pairs_parallel(
@@ -179,6 +209,7 @@ def run_pairs_parallel(
     traces_by_workload: Optional[Dict[str, TracedRun]] = None,
     validation=None,
     metrics: Optional[MetricsSink] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[Tuple[str, str], SchemeOutcome]:
     """Compute ``pending`` (workload -> scheme names) outcomes in parallel.
 
@@ -186,14 +217,17 @@ def run_pairs_parallel(
     stage (e.g. from the cache) and are filled in for workloads profiled
     here, so callers can persist the new bundles; workloads traced here
     also land in ``traces_by_workload`` (when given) for the same reason.
-    ``metrics`` receives every worker's per-task sink, merged in request
-    order (never completion order), so counter totals and event order match
-    a serial run's.
+    ``metrics`` (``tracer``) receives every worker's per-task sink
+    (tracer), merged in request order (never completion order), so counter
+    totals, event order, and decision/span streams match a serial run's.
     """
     with_metrics = metrics is not None
+    with_tracer = tracer is not None
     computed: Dict[Tuple[str, str], SchemeOutcome] = {}
     profile_sinks: Dict[str, MetricsSink] = {}
     scheme_sinks: Dict[Tuple[str, str], MetricsSink] = {}
+    profile_tracers: Dict[str, Tracer] = {}
+    scheme_tracers: Dict[Tuple[str, str], Tracer] = {}
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         profile_futures = {}
         scheme_futures = []
@@ -219,11 +253,14 @@ def run_pairs_parallel(
                             reference,
                             validation,
                             with_metrics,
+                            with_tracer,
                         )
                     )
             else:
                 profile_futures[
-                    pool.submit(_profile_task, wname, scale, with_metrics)
+                    pool.submit(
+                        _profile_task, wname, scale, with_metrics, with_tracer
+                    )
                 ] = schemes
 
         # As profiles land, launch that workload's scheme tasks immediately
@@ -232,13 +269,22 @@ def run_pairs_parallel(
         while outstanding:
             done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
             for future in done:
-                wname, traced, profiles, reference, sink = future.result()
+                (
+                    wname,
+                    traced,
+                    profiles,
+                    reference,
+                    sink,
+                    task_tracer,
+                ) = future.result()
                 if traces_by_workload is not None:
                     traces_by_workload[wname] = traced
                 profiles_by_workload[wname] = profiles
                 references_by_workload[wname] = reference
                 if sink is not None:
                     profile_sinks[wname] = sink
+                if task_tracer is not None:
+                    profile_tracers[wname] = task_tracer
                 for sname in profile_futures[future]:
                     scheme_futures.append(
                         pool.submit(
@@ -253,25 +299,32 @@ def run_pairs_parallel(
                             reference,
                             validation,
                             with_metrics,
+                            with_tracer,
                         )
                     )
 
         for future in scheme_futures:
-            pair, outcome, sink = future.result()
+            pair, outcome, sink, task_tracer = future.result()
             computed[pair] = outcome
             if sink is not None:
                 scheme_sinks[pair] = sink
+            if task_tracer is not None:
+                scheme_tracers[pair] = task_tracer
 
-    if metrics is not None:
-        # Merge per-task sinks in the caller's request order so the merged
-        # event stream (and float stage totals) are deterministic even
-        # though completion order is not.
+    if metrics is not None or tracer is not None:
+        # Merge per-task sinks and tracers in the caller's request order so
+        # the merged event/decision/span streams (and float stage totals)
+        # are deterministic even though completion order is not.
         for wname, schemes in pending.items():
-            if wname in profile_sinks:
+            if metrics is not None and wname in profile_sinks:
                 metrics.merge(profile_sinks[wname])
+            if tracer is not None and wname in profile_tracers:
+                tracer.merge(profile_tracers[wname])
             for sname in schemes:
-                if (wname, sname) in scheme_sinks:
+                if metrics is not None and (wname, sname) in scheme_sinks:
                     metrics.merge(scheme_sinks[(wname, sname)])
+                if tracer is not None and (wname, sname) in scheme_tracers:
+                    tracer.merge(scheme_tracers[(wname, sname)])
 
     # One bundle object per workload, as in the serial engine: replace each
     # unpickled copy with the canonical bundle shipped to (or received from)

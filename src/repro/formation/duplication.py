@@ -52,6 +52,7 @@ def tail_duplicate(
     proc: Procedure,
     traces: Sequence[List[str]],
     origin: OriginMap,
+    tracer=None,
 ) -> List[List[str]]:
     """Remove side entrances from every trace by tail duplication.
 
@@ -76,6 +77,16 @@ def tail_duplicate(
             chain = duplicate_chain(proc, sb[i:], origin)
             for pred in side:
                 retarget(proc.block(pred).instructions[-1], label, chain[0])
+            if tracer is not None:
+                tracer.decision(
+                    "tail_dup",
+                    proc=proc.name,
+                    head=sb[0],
+                    at=label,
+                    side_preds=side,
+                    copied=list(sb[i:]),
+                    chain=list(chain),
+                )
             chains.append(chain)
     return superblocks + chains
 
@@ -84,6 +95,7 @@ def remove_side_entrances(
     proc: Procedure,
     superblocks: List[List[str]],
     origin: OriginMap,
+    tracer=None,
 ) -> List[List[str]]:
     """Post-enlargement fixup: restore the single-entry invariant.
 
@@ -128,11 +140,24 @@ def remove_side_entrances(
         ]
         if target_origin in equivalent:
             new_target = target_origin
+            repair = "retarget_original_head"
         elif equivalent:
             new_target = min(equivalent)
+            repair = "retarget_equivalent_head"
         else:
             chain = duplicate_chain(proc, sb[pi:], origin)
             result.append(chain)
             new_target = chain[0]
+            repair = "duplicate_suffix"
+        if tracer is not None:
+            tracer.decision(
+                "reentry",
+                proc=proc.name,
+                head=sb[0],
+                at=sb[pi],
+                side_preds=side,
+                repair=repair,
+                new_target=new_target,
+            )
         for pred in side:
             retarget(proc.block(pred).instructions[-1], sb[pi], new_target)

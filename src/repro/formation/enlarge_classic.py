@@ -140,6 +140,7 @@ def enlarge_classic(
     origin: OriginMap,
     config: Optional[ClassicEnlargeConfig] = None,
     loop_heads: Optional[Set[str]] = None,
+    tracer=None,
 ) -> Dict[str, str]:
     """Run the classical enlargements over all superblocks of ``proc``.
 
@@ -147,6 +148,11 @@ def enlarge_classic(
     either unrolled/peeled (superblock loops) or branch-target expanded
     (non-loops).  Returns a map head label -> applied transformation name
     (used by tests and diagnostics).
+
+    With a tracer, every peel/unroll choice and every expansion step (or
+    refusal) becomes an ``enlarge`` decision carrying the estimates —
+    expected trip count, branch probability, alternatives — the
+    heuristic acted on.
     """
     config = config or ClassicEnlargeConfig()
     applied: Dict[str, str] = {}
@@ -170,10 +176,32 @@ def enlarge_classic(
             if trips <= config.peel_trip_threshold:
                 copies = max(1, math.ceil(trips)) - 1
                 copies = min(copies, config.unroll_factor - 1)
+                if tracer is not None:
+                    tracer.decision(
+                        "enlarge",
+                        enlarger="classic",
+                        proc=proc.name,
+                        head=head,
+                        action="peel" if copies > 0 else "peel_skip",
+                        trips=round(trips, 6),
+                        copies=copies,
+                        threshold=config.peel_trip_threshold,
+                    )
                 if copies > 0:
                     _unroll(proc, sb, copies, origin, config.max_instructions)
                     applied[head] = "peel"
             else:
+                if tracer is not None:
+                    tracer.decision(
+                        "enlarge",
+                        enlarger="classic",
+                        proc=proc.name,
+                        head=head,
+                        action="unroll",
+                        trips=round(trips, 6),
+                        copies=config.unroll_factor - 1,
+                        threshold=config.peel_trip_threshold,
+                    )
                 _unroll(
                     proc,
                     sb,
@@ -185,14 +213,33 @@ def enlarge_classic(
             continue
         # Branch target expansion for non-loop superblocks.
         expansions = 0
-        while expansions < config.max_expansions:
+
+        def _note(action, reason=None, **fields):
+            if tracer is not None:
+                record = {
+                    "enlarger": "classic",
+                    "proc": proc.name,
+                    "head": head,
+                    "step": expansions + 1,
+                    "action": action,
+                }
+                if reason is not None:
+                    record["reason"] = reason
+                record.update(fields)
+                tracer.decision("enlarge", **record)
+
+        while True:
+            if expansions >= config.max_expansions:
+                _note("stop", "max_expansions")
+                break
             tail = sb[-1]
             best = profile.most_likely_successor(
                 proc.name, origin.get(tail, tail)
             )
             if best is None:
+                _note("stop", "no_profiled_successor")
                 break
-            succ_origin, _ = best
+            succ_origin, succ_count = best
             # Resolve to the actual successor label in the transformed CFG.
             candidates = [
                 s
@@ -200,24 +247,54 @@ def enlarge_classic(
                 if origin.get(s, s) == succ_origin
             ]
             if not candidates:
+                _note("stop", "target_not_reachable", candidate=succ_origin)
                 break
             succ = candidates[0]
             prob = profile.branch_probability(
                 proc.name, origin.get(tail, tail), succ_origin
             )
             if prob < config.likely_threshold:
+                _note(
+                    "stop",
+                    "below_likely_threshold",
+                    candidate=succ_origin,
+                    prob=round(prob, 6),
+                    threshold=config.likely_threshold,
+                )
                 break
             target_sb = by_head.get(succ)
             if target_sb is None or target_sb is sb:
+                _note(
+                    "stop",
+                    "self_target" if target_sb is sb else "target_not_a_head",
+                    candidate=succ,
+                )
                 break
             if target_sb[0] in loop_heads:
-                break  # never expand into a superblock loop
+                # Never expand into a superblock loop.
+                _note("stop", "target_is_loop", candidate=succ)
+                break
             if (
                 _sb_instructions(proc, sb)
                 + _sb_instructions(proc, target_sb)
                 > config.max_instructions
             ):
+                _note("stop", "instruction_budget", candidate=succ)
                 break
+            if tracer is not None:
+                _note(
+                    "expand",
+                    chosen=succ,
+                    freq=succ_count,
+                    prob=round(prob, 6),
+                    alternatives=[
+                        list(kv)
+                        for kv in profile.successors_by_count(
+                            proc.name, origin.get(tail, tail)
+                        )
+                        if kv[0] != succ_origin
+                    ],
+                )
             _expand_target(proc, sb, target_sb, origin)
             applied.setdefault(head, "expand")
             expansions += 1

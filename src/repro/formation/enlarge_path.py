@@ -77,6 +77,7 @@ def enlarge_path(
     origin: OriginMap,
     config: Optional[PathEnlargeConfig] = None,
     loop_heads: Optional[Set[str]] = None,
+    tracer=None,
 ) -> Dict[str, str]:
     """Enlarge every qualifying superblock of ``proc`` in place.
 
@@ -84,6 +85,11 @@ def enlarge_path(
     (for tests/diagnostics).  Side entrances left by partial absorption of
     other superblocks must be repaired afterwards with
     :func:`repro.formation.duplication.remove_side_entrances`.
+
+    With a tracer, the completion-ratio gate and every grow/stop step is
+    recorded as an ``enlarge`` decision: the chosen path successor with
+    its exact path frequency, the rejected alternatives, and the
+    stopping rule that ended growth.
     """
     config = config or PathEnlargeConfig()
     applied: Dict[str, str] = {}
@@ -105,24 +111,54 @@ def enlarge_path(
         head = sb[0]
         trace = [origin.get(label, label) for label in sb]
         ratio = profile.completion_ratio(proc.name, trace)
+        grown = 0
+
+        def _note(action, reason=None, **fields):
+            if tracer is not None:
+                record = {
+                    "enlarger": "path",
+                    "proc": proc.name,
+                    "head": head,
+                    "step": grown + 1,
+                    "action": action,
+                }
+                if reason is not None:
+                    record["reason"] = reason
+                record.update(fields)
+                tracer.decision("enlarge", **record)
+
         if ratio < config.completion_threshold:
+            if tracer is not None:
+                tracer.decision(
+                    "enlarge",
+                    enlarger="path",
+                    proc=proc.name,
+                    head=head,
+                    action="ratio_skip",
+                    ratio=round(ratio, 6),
+                    threshold=config.completion_threshold,
+                )
             continue
         self_is_loop = head in loop_heads
         absorbed_loops = 0
-        grown = 0
-        while (
-            sum(len(proc.block(label)) for label in sb)
-            < config.max_instructions
-        ):
+        while True:
+            if (
+                sum(len(proc.block(label)) for label in sb)
+                >= config.max_instructions
+            ):
+                _note("stop", "instruction_budget")
+                break
             tail = sb[-1]
             succs = proc.successors(tail)
             if not succs:
+                _note("stop", "no_successors")
                 break
             succ_origins = {origin.get(s, s): s for s in succs}
             best = profile.most_likely_path_successor(
                 proc.name, trace, list(succ_origins)
             )
             if best is None:
+                _note("stop", "no_observed_path")
                 break
             succ_origin = best[0]
             succ = succ_origins[succ_origin]
@@ -135,10 +171,24 @@ def enlarge_path(
                     # absorbs a superblock loop.
                     is_copy_head = origin.get(succ, succ) != succ
                     if (succ in loop_heads) or not is_copy_head:
+                        _note(
+                            "stop",
+                            "p4e_loop_head"
+                            if succ in loop_heads
+                            else "p4e_primary_head",
+                            candidate=succ_origin,
+                        )
                         break
                 if succ in loop_heads:
                     if absorbed_loops >= config.max_loop_heads:
-                        break  # the "fifth superblock loop head" rule
+                        # The "fifth superblock loop head" rule.
+                        _note(
+                            "stop",
+                            "max_loop_heads",
+                            candidate=succ_origin,
+                            absorbed_loops=absorbed_loops,
+                        )
+                        break
                     absorbed_loops += 1
                 # Non-loop heads are passed through: this is how the unified
                 # mechanism performs branch target expansion and how the
@@ -146,6 +196,25 @@ def enlarge_path(
                 # arm's block.  Section 4 of the paper: "In P4, all
                 # superblocks are treated equally: a superblock ... is
                 # enlarged until it contains at most 4 superblock loops."
+            if tracer is not None:
+                freqs = profile.successor_frequencies(
+                    proc.name, trace, list(succ_origins)
+                )
+                _note(
+                    "grow",
+                    chosen=succ_origin,
+                    freq=best[1],
+                    is_loop_head=succ in loop_heads,
+                    absorbed_loops=absorbed_loops,
+                    alternatives=sorted(
+                        (
+                            [label, freq]
+                            for label, freq in freqs.items()
+                            if label != succ_origin
+                        ),
+                        key=lambda kv: (-kv[1], kv[0]),
+                    ),
+                )
             chain = duplicate_chain(proc, [succ], origin)
             retarget(proc.block(tail).instructions[-1], succ, chain[0])
             sb.append(chain[0])

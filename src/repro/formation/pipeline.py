@@ -44,6 +44,7 @@ from .selection import (
     select_traces_path,
 )
 from .superblock import FormationResult, Superblock, verify_formation
+from ..trace.tracer import tspan
 
 
 @dataclass
@@ -121,6 +122,7 @@ def form_superblocks(
     path_profile: Optional[PathProfile] = None,
     validation=None,
     metrics=None,
+    tracer=None,
 ) -> FormationResult:
     """Run the configured formation scheme over every procedure.
 
@@ -132,6 +134,8 @@ def form_superblocks(
     raising :class:`~repro.validation.ValidationError` on violation.
     ``metrics`` (a :class:`~repro.metrics.MetricsSink`) records one timed
     event per procedure plus superblock and code-growth counters.
+    ``tracer`` (a :class:`~repro.trace.Tracer`) records every selection
+    and enlargement decision plus a per-procedure formation span.
     """
     if config.kind == "edge" and edge_profile is None:
         raise ValueError("edge-based formation needs an edge profile")
@@ -144,28 +148,30 @@ def form_superblocks(
     )
     for proc in transformed.procedures():
         origin: OriginMap = {}
-        if metrics is None:
-            sbs, loops = _form_procedure(
-                proc, config, edge_profile, path_profile, origin
-            )
-        else:
-            blocks_in, instrs_in = _static_size(proc)
-            with metrics.stage("formation.form", proc=proc.name) as out:
+        with tspan(tracer, "formation.form", proc=proc.name):
+            if metrics is None:
                 sbs, loops = _form_procedure(
-                    proc, config, edge_profile, path_profile, origin
+                    proc, config, edge_profile, path_profile, origin, tracer
                 )
-                blocks_out, instrs_out = _static_size(proc)
-                out["superblocks"] = len(sbs)
-                out["blocks_in"] = blocks_in
-                out["blocks_out"] = blocks_out
-                out["instructions_in"] = instrs_in
-                out["instructions_out"] = instrs_out
-            metrics.add("formation.superblocks", len(sbs))
-            metrics.add("formation.loop_superblocks", len(loops))
-            metrics.add("formation.blocks_in", blocks_in)
-            metrics.add("formation.blocks_out", blocks_out)
-            metrics.add("formation.instructions_in", instrs_in)
-            metrics.add("formation.instructions_out", instrs_out)
+            else:
+                blocks_in, instrs_in = _static_size(proc)
+                with metrics.stage("formation.form", proc=proc.name) as out:
+                    sbs, loops = _form_procedure(
+                        proc, config, edge_profile, path_profile, origin,
+                        tracer,
+                    )
+                    blocks_out, instrs_out = _static_size(proc)
+                    out["superblocks"] = len(sbs)
+                    out["blocks_in"] = blocks_in
+                    out["blocks_out"] = blocks_out
+                    out["instructions_in"] = instrs_in
+                    out["instructions_out"] = instrs_out
+                metrics.add("formation.superblocks", len(sbs))
+                metrics.add("formation.loop_superblocks", len(loops))
+                metrics.add("formation.blocks_in", blocks_in)
+                metrics.add("formation.blocks_out", blocks_out)
+                metrics.add("formation.instructions_in", instrs_in)
+                metrics.add("formation.instructions_out", instrs_out)
         result.superblocks[proc.name] = [
             Superblock(proc.name, labels, is_loop=labels[0] in loops)
             for labels in sbs
@@ -202,6 +208,7 @@ def _form_procedure(
     edge_profile: Optional[EdgeProfile],
     path_profile: Optional[PathProfile],
     origin: OriginMap,
+    tracer=None,
 ):
     """Returns ``(superblock label lists, loop head set)``.
 
@@ -212,8 +219,8 @@ def _form_procedure(
     if config.kind == "bb":
         return [list(t) for t in select_traces_basic_block(proc)], set()
     if config.kind == "edge":
-        traces = select_traces_mutual_most_likely(proc, edge_profile)
-        sbs = tail_duplicate(proc, traces, origin)
+        traces = select_traces_mutual_most_likely(proc, edge_profile, tracer)
+        sbs = tail_duplicate(proc, traces, origin, tracer)
         loops = {
             sb[0]
             for sb in sbs
@@ -223,20 +230,24 @@ def _form_procedure(
         }
         if config.enlarge:
             enlarge_classic(
-                proc, sbs, edge_profile, origin, config.classic, loops
+                proc, sbs, edge_profile, origin, config.classic, loops,
+                tracer=tracer,
             )
-        sbs = remove_side_entrances(proc, sbs, origin)
+        sbs = remove_side_entrances(proc, sbs, origin, tracer)
         return sbs, loops
     if config.kind == "path":
-        traces = select_traces_path(proc, path_profile)
-        sbs = tail_duplicate(proc, traces, origin)
+        traces = select_traces_path(proc, path_profile, tracer)
+        sbs = tail_duplicate(proc, traces, origin, tracer)
         loops = {
             sb[0]
             for sb in sbs
             if is_superblock_loop_path(proc, sb, path_profile, origin)
         }
         if config.enlarge:
-            enlarge_path(proc, sbs, path_profile, origin, config.path, loops)
-        sbs = remove_side_entrances(proc, sbs, origin)
+            enlarge_path(
+                proc, sbs, path_profile, origin, config.path, loops,
+                tracer=tracer,
+            )
+        sbs = remove_side_entrances(proc, sbs, origin, tracer)
         return sbs, loops
     raise ValueError(f"unknown formation kind {config.kind!r}")

@@ -13,11 +13,18 @@ Shared rules: seeds are taken in decreasing block-frequency order; traces may
 not contain a block reached by a back edge except as the trace head (loop
 headers only start traces); a block belongs to at most one trace; the
 procedure entry block can only be a trace head.
+
+When a :class:`~repro.trace.Tracer` is supplied, every seed choice and
+every grow step is recorded as a ``select`` decision — the chosen
+successor with its frequency, the rejected alternatives, and (for stops)
+the rule that ended the trace.  All tracer work is behind
+``if tracer is not None``: an untraced run performs exactly the same
+profile queries as before.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.loops import loop_headers
 from ..ir.cfg import Procedure
@@ -55,58 +62,161 @@ def _grow_trace(
     taken: Set[str],
     headers: Set[str],
     pick_successor: Callable[[Trace], Optional[str]],
+    tracer=None,
+    proposal: Optional[Dict] = None,
+    selector: Optional[str] = None,
 ) -> Trace:
-    """Grow a trace downward from ``seed`` using ``pick_successor``."""
+    """Grow a trace downward from ``seed`` using ``pick_successor``.
+
+    With a tracer, ``pick_successor`` leaves its reasoning (candidate,
+    frequency, alternatives, rejection reason) in ``proposal`` and each
+    step is recorded here — after the shared stop rules have spoken, so
+    the decision log reflects what actually happened to the trace.
+    """
     trace: Trace = [seed]
     taken.add(seed)
+    step = 0
     while True:
+        if proposal is not None:
+            proposal.clear()
         succ = pick_successor(trace)
+        step += 1
         if succ is None:
+            if tracer is not None:
+                tracer.decision(
+                    "select",
+                    selector=selector,
+                    proc=proc.name,
+                    head=seed,
+                    step=step,
+                    action="stop",
+                    reason=proposal.get("reason", "no_successor"),
+                    **{
+                        k: v
+                        for k, v in proposal.items()
+                        if k in ("candidate", "freq", "alternatives", "mutual_pred")
+                    },
+                )
             break
+        stop_reason = None
         if succ in taken:
+            stop_reason = "in_other_trace"
+        elif succ in headers:
+            stop_reason = "loop_header"  # reached by a back edge
+        elif succ == proc.entry_label:
+            stop_reason = "procedure_entry"
+        elif succ in trace:
+            stop_reason = "already_in_trace"  # irreducible-shape safety net
+        if tracer is not None:
+            fields = {
+                k: v
+                for k, v in proposal.items()
+                if k in ("freq", "alternatives")
+            }
+            if stop_reason is None:
+                tracer.decision(
+                    "select",
+                    selector=selector,
+                    proc=proc.name,
+                    head=seed,
+                    step=step,
+                    action="extend",
+                    chosen=succ,
+                    **fields,
+                )
+            else:
+                tracer.decision(
+                    "select",
+                    selector=selector,
+                    proc=proc.name,
+                    head=seed,
+                    step=step,
+                    action="stop",
+                    reason=stop_reason,
+                    candidate=succ,
+                    **fields,
+                )
+        if stop_reason is not None:
             break
-        if succ in headers:
-            break  # reached by a back edge: may only head its own trace
-        if succ == proc.entry_label:
-            break  # the procedure entry must stay a region head
-        if succ in trace:
-            break  # safety net for irreducible shapes
         trace.append(succ)
         taken.add(succ)
     return trace
 
 
+def _record_seed(tracer, selector, proc, seed, counts) -> None:
+    tracer.decision(
+        "select",
+        selector=selector,
+        proc=proc.name,
+        head=seed,
+        step=0,
+        action="seed",
+        freq=counts.get(seed, 0),
+    )
+
+
 def select_traces_mutual_most_likely(
-    proc: Procedure, profile: EdgeProfile
+    proc: Procedure, profile: EdgeProfile, tracer=None
 ) -> List[Trace]:
     """Partition ``proc``'s blocks into traces with the mutual-most-likely
     heuristic over an edge profile [Lowney et al.]."""
     headers = loop_headers(proc)
     taken: Set[str] = set()
+    proposal: Optional[Dict] = {} if tracer is not None else None
 
     def pick(trace: Trace) -> Optional[str]:
         tail = trace[-1]
         best = profile.most_likely_successor(proc.name, tail)
         if best is None or best[1] == 0:
+            if proposal is not None:
+                proposal["reason"] = "no_profiled_successor"
+                proposal["alternatives"] = [
+                    list(kv)
+                    for kv in profile.successors_by_count(proc.name, tail)
+                ]
             return None
-        succ, _ = best
+        succ, count = best
+        if proposal is not None:
+            proposal["freq"] = count
+            proposal["alternatives"] = [
+                list(kv)
+                for kv in profile.successors_by_count(proc.name, tail)
+                if kv[0] != succ
+            ]
         if succ not in proc.successors(tail):
+            if proposal is not None:
+                proposal["reason"] = "stale_profile_edge"
+                proposal["candidate"] = succ
             return None  # stale profile entry (defensive)
         back = profile.most_likely_predecessor(proc.name, succ)
         if back is None or back[0] != tail:
+            if proposal is not None:
+                proposal["reason"] = "not_mutually_most_likely"
+                proposal["candidate"] = succ
+                if back is not None:
+                    proposal["mutual_pred"] = back[0]
             return None  # not mutually most likely
         return succ
 
+    ranked = profile.blocks_by_count(proc.name)
+    counts = dict(ranked) if tracer is not None else None
     traces: List[Trace] = []
-    for seed in _seed_order(proc, profile.blocks_by_count(proc.name), headers):
+    for seed in _seed_order(proc, ranked, headers):
         if seed in taken:
             continue
-        traces.append(_grow_trace(proc, seed, taken, headers, pick))
+        if tracer is not None:
+            _record_seed(tracer, "edge", proc, seed, counts)
+        traces.append(
+            _grow_trace(
+                proc, seed, taken, headers, pick,
+                tracer=tracer, proposal=proposal, selector="edge",
+            )
+        )
     return traces
 
 
 def select_traces_path(
-    proc: Procedure, profile: PathProfile
+    proc: Procedure, profile: PathProfile, tracer=None
 ) -> List[Trace]:
     """Partition ``proc``'s blocks into traces using exact path frequencies
     (Figure 2's ``select_trace``).
@@ -118,22 +228,46 @@ def select_traces_path(
     """
     headers = loop_headers(proc)
     taken: Set[str] = set()
+    proposal: Optional[Dict] = {} if tracer is not None else None
 
     def pick(trace: Trace) -> Optional[str]:
         tail = trace[-1]
         succs = proc.successors(tail)
         if not succs:
+            if proposal is not None:
+                proposal["reason"] = "no_successors"
             return None
         best = profile.most_likely_path_successor(proc.name, trace, succs)
+        if proposal is not None:
+            freqs = profile.successor_frequencies(proc.name, trace, succs)
+            chosen = best[0] if best is not None else None
+            proposal["alternatives"] = sorted(
+                ([label, freq] for label, freq in freqs.items()
+                 if label != chosen),
+                key=lambda kv: (-kv[1], kv[0]),
+            )
+            if best is None:
+                proposal["reason"] = "no_observed_path"
+            else:
+                proposal["freq"] = best[1]
         if best is None:
             return None
         return best[0]
 
+    ranked = profile.blocks_by_count(proc.name)
+    counts = dict(ranked) if tracer is not None else None
     traces: List[Trace] = []
-    for seed in _seed_order(proc, profile.blocks_by_count(proc.name), headers):
+    for seed in _seed_order(proc, ranked, headers):
         if seed in taken:
             continue
-        traces.append(_grow_trace(proc, seed, taken, headers, pick))
+        if tracer is not None:
+            _record_seed(tracer, "path", proc, seed, counts)
+        traces.append(
+            _grow_trace(
+                proc, seed, taken, headers, pick,
+                tracer=tracer, proposal=proposal, selector="path",
+            )
+        )
     return traces
 
 

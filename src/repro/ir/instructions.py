@@ -155,9 +155,13 @@ class Instruction:
         imm: immediate operand (``LI`` only).
         targets: tuple of target block labels (control transfers only).
         callee: target procedure name (``CALL`` only).
+        origin: provenance id of the source-program instruction this one
+            descends from (``"proc:label:index"``), or ``None`` when no
+            tracer stamped the program.  Copies, compensation movs, and
+            spill code inherit it; it never affects execution or equality.
     """
 
-    __slots__ = ("opcode", "dest", "srcs", "imm", "targets", "callee")
+    __slots__ = ("opcode", "dest", "srcs", "imm", "targets", "callee", "origin")
 
     def __init__(
         self,
@@ -167,6 +171,7 @@ class Instruction:
         imm: Optional[int] = None,
         targets: Tuple[str, ...] = (),
         callee: Optional[str] = None,
+        origin: Optional[str] = None,
     ) -> None:
         self.opcode = opcode
         self.dest = dest
@@ -174,6 +179,7 @@ class Instruction:
         self.imm = imm
         self.targets = tuple(targets)
         self.callee = callee
+        self.origin = origin
 
     # -- structural properties -------------------------------------------
 
@@ -222,6 +228,7 @@ class Instruction:
             imm=self.imm,
             targets=self.targets,
             callee=self.callee,
+            origin=self.origin,
         )
 
     def same_operation(self, other: "Instruction") -> bool:

@@ -24,11 +24,12 @@ from .report import (
     format_report,
     summarize,
 )
-from .sink import MetricsSink, timed
+from .sink import MetricsSink, SCHEMA_VERSION, timed
 
 __all__ = [
     "DEFAULT_REGRESSION_THRESHOLD",
     "MetricsSink",
+    "SCHEMA_VERSION",
     "TRIPWIRE_METRICS",
     "check_bench_regression",
     "format_bench_check",

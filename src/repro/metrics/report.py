@@ -73,6 +73,7 @@ def summarize(sink: MetricsSink) -> Dict[str, Any]:
         for name, secs in sink.stage_seconds.items()
     }
     return {
+        "schema_version": sink.schema_version,
         "total_stage_seconds": round(sink.total_stage_seconds, 6),
         "stages": dict(sorted(stages.items())),
         "counters": dict(sorted(sink.counters.items())),

@@ -28,6 +28,10 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+#: Version of the JSONL event-log format.  Bump when record shapes change
+#: incompatibly; readers warn (but still parse) on versions they don't know.
+SCHEMA_VERSION = 1
+
 
 def timed(metrics: Optional["MetricsSink"], stage: str, fn, *args, **kwargs):
     """Call ``fn(*args, **kwargs)``, timing it as ``stage`` when a sink is
@@ -58,6 +62,10 @@ class MetricsSink:
         self.events: List[Dict[str, Any]] = []
         #: labels stamped onto every event (workload/scheme context)
         self._labels: Dict[str, Any] = {}
+        #: schema version declared by the file this sink was read from
+        #: (:data:`SCHEMA_VERSION` when written by this code, ``None`` for
+        #: legacy files with no ``schema`` record)
+        self.schema_version: Optional[int] = None
 
     # -- context labels ------------------------------------------------------
 
@@ -138,10 +146,17 @@ class MetricsSink:
     # -- serialization -------------------------------------------------------
 
     def write_jsonl(self, path: os.PathLike) -> int:
-        """Write the event log as JSONL, one event per line, terminated by
-        a ``counters`` record so the file is self-contained.  Returns the
-        number of lines written."""
+        """Write the event log as JSONL: a leading ``schema`` record, one
+        event per line, terminated by a ``counters`` record so the file is
+        self-contained.  Returns the number of lines written."""
         with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {"event": "schema", "version": SCHEMA_VERSION},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
             for record in self.events:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.write(
@@ -151,7 +166,7 @@ class MetricsSink:
                 )
                 + "\n"
             )
-        return len(self.events) + 1
+        return len(self.events) + 2
 
     @classmethod
     def read_jsonl(cls, path: os.PathLike) -> "MetricsSink":
@@ -166,6 +181,9 @@ class MetricsSink:
                     continue
                 record = json.loads(line)
                 kind = record.get("event")
+                if kind == "schema":
+                    sink.schema_version = record.get("version")
+                    continue
                 if kind == "counters":
                     for name, value in record.get("counters", {}).items():
                         sink.add(name, value)

@@ -33,6 +33,8 @@ from .scheduling.compactor import CompiledProgram, compact_program
 from .scheduling.machine import MachineModel, PAPER_MACHINE
 from .simulate.icache import ICache, ICacheConfig
 from .simulate.vliw_sim import SimulationResult, simulate
+from .trace.provenance import assign_origins
+from .trace.tracer import Tracer, tspan
 from .validation.config import ValidationConfig
 
 
@@ -71,6 +73,7 @@ def compile_scheme(
     step_limit: int = 50_000_000,
     validation: Optional[ValidationConfig] = None,
     metrics: Optional[MetricsSink] = None,
+    tracer: Optional[Tracer] = None,
 ):
     """Profile, form, compact, and lay out ``program`` under one scheme.
 
@@ -80,22 +83,33 @@ def compile_scheme(
     re-executing the interpreter.  ``validation`` enables the stage
     checkpoints (see :class:`~repro.validation.ValidationConfig`);
     ``metrics`` records per-stage timings and counters (see
-    :class:`~repro.metrics.MetricsSink`).
+    :class:`~repro.metrics.MetricsSink`); ``tracer`` records formation
+    decisions, timing spans, and instruction provenance (the source
+    program is stamped with origin ids first — an observation-only
+    mutation that never affects execution or output).
     """
+    if tracer is not None:
+        assign_origins(program)
     if profiles is None:
         if traced is not None:
-            profiles = timed(
-                metrics, "profile.replay", profiles_from_trace, program, traced
-            )
+            with tspan(tracer, "profile.replay"):
+                profiles = timed(
+                    metrics,
+                    "profile.replay",
+                    profiles_from_trace,
+                    program,
+                    traced,
+                )
         else:
-            profiles = timed(
-                metrics,
-                "profile.collect",
-                collect_profiles,
-                program,
-                input_tape=train_tape,
-                step_limit=step_limit,
-            )
+            with tspan(tracer, "profile.collect"):
+                profiles = timed(
+                    metrics,
+                    "profile.collect",
+                    collect_profiles,
+                    program,
+                    input_tape=train_tape,
+                    step_limit=step_limit,
+                )
     formation_config = config or scheme(scheme_name)
     formation = form_superblocks(
         program,
@@ -104,6 +118,7 @@ def compile_scheme(
         path_profile=profiles.path,
         validation=validation,
         metrics=metrics,
+        tracer=tracer,
     )
     compiled = compact_program(
         formation,
@@ -112,10 +127,12 @@ def compile_scheme(
         allocate=allocate,
         validation=validation,
         metrics=metrics,
+        tracer=tracer,
     )
-    layout = timed(
-        metrics, "layout", layout_program, compiled, profile=profiles.edge
-    )
+    with tspan(tracer, "layout"):
+        layout = timed(
+            metrics, "layout", layout_program, compiled, profile=profiles.edge
+        )
     if metrics is not None:
         metrics.add("layout.code_bytes", layout.code_bytes)
     return profiles, formation, compiled, layout
@@ -140,6 +157,7 @@ def run_scheme(
     cycle_limit: int = 100_000_000,
     validation: Optional[ValidationConfig] = None,
     metrics: Optional[MetricsSink] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SchemeOutcome:
     """Run the full pipeline for one scheme and verify its correctness.
 
@@ -169,6 +187,10 @@ def run_scheme(
         metrics: record per-stage timings, counters, and events into this
             sink (see :class:`~repro.metrics.MetricsSink`); ``None`` (the
             default) keeps the pipeline entirely uninstrumented.
+        tracer: record formation decisions, instruction provenance,
+            timing spans, and per-superblock exit-cycle histograms into
+            this :class:`~repro.trace.Tracer`; like ``metrics``, ``None``
+            leaves the pipeline untouched and its output byte-identical.
 
     Raises:
         OutputMismatch: the scheduled code misbehaved (a compiler bug).
@@ -187,15 +209,18 @@ def run_scheme(
         step_limit=step_limit,
         validation=validation,
         metrics=metrics,
+        tracer=tracer,
     )
-    result = timed(
-        metrics,
-        "simulate.ideal",
-        simulate,
-        compiled,
-        input_tape=test_tape,
-        cycle_limit=cycle_limit,
-    )
+    with tspan(tracer, "simulate.ideal"):
+        result = timed(
+            metrics,
+            "simulate.ideal",
+            simulate,
+            compiled,
+            input_tape=test_tape,
+            cycle_limit=cycle_limit,
+            tracer=tracer,
+        )
     if metrics is not None:
         metrics.add("simulate.cycles", result.cycles)
         metrics.add("simulate.operations", result.operations)
@@ -205,16 +230,20 @@ def run_scheme(
     cached_result = None
     if with_icache:
         icache = ICache(icache_config or ICacheConfig())
-        cached_result = timed(
-            metrics,
-            "simulate.icache",
-            simulate,
-            compiled,
-            input_tape=test_tape,
-            icache=icache,
-            layout=layout,
-            cycle_limit=cycle_limit,
-        )
+        # The tracer is deliberately not passed here: exit histograms
+        # come from the ideal simulation only, so the finite-I-cache
+        # pass never double-counts superblock exits.
+        with tspan(tracer, "simulate.icache"):
+            cached_result = timed(
+                metrics,
+                "simulate.icache",
+                simulate,
+                compiled,
+                input_tape=test_tape,
+                icache=icache,
+                layout=layout,
+                cycle_limit=cycle_limit,
+            )
         if metrics is not None:
             metrics.add("icache.accesses", cached_result.icache_accesses)
             metrics.add("icache.misses", cached_result.icache_misses)
@@ -224,14 +253,15 @@ def run_scheme(
             )
     if check_output:
         if reference is None:
-            reference = timed(
-                metrics,
-                "reference",
-                run_program,
-                program,
-                input_tape=test_tape,
-                step_limit=step_limit,
-            )
+            with tspan(tracer, "reference"):
+                reference = timed(
+                    metrics,
+                    "reference",
+                    run_program,
+                    program,
+                    input_tape=test_tape,
+                    step_limit=step_limit,
+                )
         if reference.output != result.output or (
             reference.return_value != result.return_value
         ):

@@ -276,7 +276,11 @@ def _allocate_superblock(
                     )
                 val_reg = scratch[used_values]
                 used_values += 1
-                pre.append(ins.spill_ld(val_reg, spilled[src]))
+                reload = ins.spill_ld(val_reg, spilled[src])
+                # Provenance: spill traffic belongs to the instruction it
+                # feeds (reload) or drains (store-back).
+                reload.origin = instr.origin
+                pre.append(reload)
                 new_srcs.append(val_reg)
             else:
                 new_srcs.append(phys)
@@ -286,7 +290,9 @@ def _allocate_superblock(
             if phys is None:
                 slot = spilled[instr.dest]
                 instr.dest = scratch[0]
-                post.append(ins.spill_st(slot, scratch[0]))
+                store_back = ins.spill_st(slot, scratch[0])
+                store_back.origin = instr.origin
+                post.append(store_back)
             else:
                 instr.dest = phys
         stats.spill_instructions += len(pre) + len(post)

@@ -28,6 +28,7 @@ from .list_scheduler import SuperblockSchedule, schedule_superblock
 from .machine import MachineModel, PAPER_MACHINE
 from .renaming import rename_superblock
 from .sbcode import SuperblockCode, extract_superblock_code
+from ..trace.tracer import tspan
 
 
 @dataclass
@@ -83,6 +84,7 @@ def compact_program(
     allocate: bool = True,
     validation=None,
     metrics=None,
+    tracer=None,
 ) -> CompiledProgram:
     """Compact every superblock of a formed program.
 
@@ -101,6 +103,10 @@ def compact_program(
         metrics: a :class:`~repro.metrics.MetricsSink` recording per-phase
             timings per procedure plus compensation-copy, speculation,
             spill, and slot-occupancy counters.
+        tracer: a :class:`~repro.trace.Tracer` recording a per-procedure
+            compaction span plus one ``compact`` decision per superblock
+            (schedule length, op/speculation/compensation counts) and a
+            ``spill`` decision per allocated procedure.
 
     Returns:
         The compiled program ready for simulation.
@@ -133,7 +139,10 @@ def compact_program(
         sbs = formation.superblocks[proc.name]
         codes: List[SuperblockCode] = []
         compensation_movs = 0
-        with _stage(metrics, "compact.local", proc=proc.name) as out:
+        movs_by_head: Dict[str, int] = {}
+        with tspan(tracer, "compact.local", proc=proc.name), _stage(
+            metrics, "compact.local", proc=proc.name
+        ) as out:
             for sb in sbs:
                 code = extract_superblock_code(proc, sb, liveness)
                 if optimize:
@@ -146,7 +155,10 @@ def compact_program(
                     )
                 before_rename = len(code.instructions)
                 rename_superblock(code, proc)
-                compensation_movs += len(code.instructions) - before_rename
+                movs = len(code.instructions) - before_rename
+                compensation_movs += movs
+                if tracer is not None:
+                    movs_by_head[code.head] = movs
                 if validation is not None and validation.check_renaming:
                     require(
                         "compact:renaming", check_renamed_code(code, arch_bound)
@@ -156,7 +168,9 @@ def compact_program(
         if metrics is not None:
             metrics.add("compact.compensation_movs", compensation_movs)
 
-        with _stage(metrics, "compact.preschedule", proc=proc.name):
+        with tspan(tracer, "compact.preschedule", proc=proc.name), _stage(
+            metrics, "compact.preschedule", proc=proc.name
+        ):
             preschedules = [
                 schedule_superblock(code, machine) for code in codes
             ]
@@ -170,7 +184,9 @@ def compact_program(
             snapshots = None
             if validation is not None and validation.check_allocation:
                 snapshots = [AllocationSnapshot.capture(c) for c in codes]
-            with _stage(metrics, "compact.allocate", proc=proc.name):
+            with tspan(tracer, "compact.allocate", proc=proc.name), _stage(
+                metrics, "compact.allocate", proc=proc.name
+            ):
                 allocation = allocate_procedure(
                     proc.name,
                     proc.params,
@@ -178,6 +194,14 @@ def compact_program(
                     preschedules,
                     machine,
                     arch_bound,
+                )
+            if tracer is not None:
+                tracer.decision(
+                    "spill",
+                    proc=proc.name,
+                    arch_spilled=allocation.stats.arch_spilled,
+                    temps_spilled=allocation.stats.temps_spilled,
+                    spill_instructions=allocation.stats.spill_instructions,
                 )
             if metrics is not None:
                 stats = allocation.stats
@@ -198,7 +222,9 @@ def compact_program(
                             machine.num_registers,
                         ),
                     )
-            with _stage(metrics, "compact.postschedule", proc=proc.name):
+            with tspan(tracer, "compact.postschedule", proc=proc.name), _stage(
+                metrics, "compact.postschedule", proc=proc.name
+            ):
                 schedules = [
                     schedule_superblock(code, machine) for code in codes
                 ]
@@ -213,6 +239,22 @@ def compact_program(
         else:
             schedules = preschedules
             params = proc.params
+
+        if tracer is not None:
+            for schedule in schedules:
+                tracer.decision(
+                    "compact",
+                    proc=proc.name,
+                    head=schedule.code.head,
+                    cycles=len(schedule.bundles),
+                    ops=len(schedule.ops),
+                    speculative=sum(
+                        1 for op in schedule.ops if op.speculative
+                    ),
+                    compensation_movs=movs_by_head.get(
+                        schedule.code.head, 0
+                    ),
+                )
 
         if metrics is not None:
             speculative = sum(

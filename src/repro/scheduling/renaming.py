@@ -90,5 +90,9 @@ def rename_superblock(code: SuperblockCode, proc: Procedure) -> None:
         stable.add(fresh)
         result.append(instr)
         if materialize:
-            result.append(ins.mov(dest, fresh))
+            compensation = ins.mov(dest, fresh)
+            # Provenance: the compensation mov stands in for the renamed
+            # instruction's architectural write.
+            compensation.origin = instr.origin
+            result.append(compensation)
     code.instructions = result

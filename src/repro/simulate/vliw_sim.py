@@ -237,6 +237,7 @@ class VLIWSimulator:
         icache: Optional[ICache] = None,
         layout: Optional[Layout] = None,
         cycle_limit: int = 100_000_000,
+        tracer=None,
     ) -> None:
         if icache is not None and layout is None:
             raise SimulationError("an instruction cache needs a code layout")
@@ -244,6 +245,8 @@ class VLIWSimulator:
         self.icache = icache
         self.layout = layout
         self.cycle_limit = cycle_limit
+        #: optional repro.trace.Tracer collecting exit-cycle histograms
+        self.tracer = tracer
         #: (proc, head) -> per-bundle fetch addresses
         self._bundle_addrs: Dict[Tuple[str, str], List[List[int]]] = {}
         #: (proc, head) -> instruction -> member block position
@@ -313,6 +316,7 @@ class VLIWSimulator:
         miss_cycles = 0
         return_value = 0
         cycle_limit = self.cycle_limit
+        tracer = self.tracer
 
         def enter_stats(schedule: SuperblockSchedule) -> None:
             nonlocal sb_entries, sb_size_blocks
@@ -453,6 +457,10 @@ class VLIWSimulator:
                     # Leaving the superblock.
                     blocks_executed += action[4]
                     wasted += self._wasted(schedule, action[2])
+                    if tracer is not None:
+                        tracer.exit_cycle(
+                            proc_name, schedule.code.head, action[2].cycle
+                        )
                     frame.schedule = frame.cproc.schedules[target]
                     frame.bundle_idx = 0
                     enter_stats(frame.schedule)
@@ -468,6 +476,10 @@ class VLIWSimulator:
                     value = action[1]
                     blocks_executed += action[3]
                     wasted += self._wasted(schedule, action[2])
+                    if tracer is not None:
+                        tracer.exit_cycle(
+                            proc_name, schedule.code.head, action[2].cycle
+                        )
                     stack.pop()
                     if stack:
                         caller = stack[-1]
@@ -526,9 +538,14 @@ def simulate(
     icache: Optional[ICache] = None,
     layout: Optional[Layout] = None,
     cycle_limit: int = 100_000_000,
+    tracer=None,
 ) -> SimulationResult:
     """Convenience wrapper around :class:`VLIWSimulator`."""
     simulator = VLIWSimulator(
-        compiled, icache=icache, layout=layout, cycle_limit=cycle_limit
+        compiled,
+        icache=icache,
+        layout=layout,
+        cycle_limit=cycle_limit,
+        tracer=tracer,
     )
     return simulator.run(input_tape, args)

@@ -1,0 +1,49 @@
+"""Decision tracing and instruction provenance.
+
+``repro.trace`` makes the pipeline *explainable*: a :class:`Tracer`
+threaded through formation, compaction, and simulation (exactly like a
+:class:`~repro.metrics.MetricsSink` — every site guarded by
+``if tracer is not None``, so a tracer-less run is byte-identical)
+records
+
+* **formation decisions** — each trace-selection/enlargement step with
+  the chosen successor, its frequency, and the rejected alternatives;
+* **instruction provenance** — a stable origin id stamped on every
+  source instruction and carried through tail duplication, speculation,
+  renaming compensation movs, and spill code;
+* **spans** — stage timings exportable as Chrome trace-event JSON
+  (loadable in Perfetto / ``chrome://tracing``), merged
+  deterministically across parallel workers;
+* **exit-cycle histograms** — per-superblock distributions of the cycle
+  at which the VLIW simulator left each superblock (the paper's
+  "exited later" effect, measured directly).
+
+The CLI verbs ``python -m repro explain`` and ``python -m repro
+trace-diff`` (see :mod:`repro.trace.explain`) render these records.
+"""
+
+from .perfetto import TRACE_SCHEMA_VERSION, read_trace, to_trace_events, write_trace
+from .provenance import (
+    ProvenanceError,
+    assign_origins,
+    check_provenance,
+    origin_id,
+    origin_table,
+    require_provenance,
+)
+from .tracer import Tracer, tspan
+
+__all__ = [
+    "Tracer",
+    "tspan",
+    "ProvenanceError",
+    "assign_origins",
+    "check_provenance",
+    "origin_id",
+    "origin_table",
+    "require_provenance",
+    "TRACE_SCHEMA_VERSION",
+    "to_trace_events",
+    "write_trace",
+    "read_trace",
+]

@@ -1,0 +1,533 @@
+"""Explain a schedule from its decision trace; diff two traced runs.
+
+This module powers the two observability verbs:
+
+* ``python -m repro explain WORKLOAD --scheme S`` — run one pipeline
+  with a :class:`~repro.trace.Tracer` and render, for one superblock,
+  the chain of formation decisions that shaped it (seed choice, every
+  grow step with the rejected alternatives, enlargement, tail
+  duplication), the provenance of every scheduled operation, and the
+  exit-cycle histogram observed by the simulator.
+
+* ``python -m repro trace-diff WORKLOAD --schemes A B`` — run the same
+  workload under two schemes, align their decision streams, name the
+  *first diverging formation decision*, attribute the cycle delta to
+  superblocks via the exit histograms, and show where the winning
+  scheme's superblocks exit later (deeper on-trace progress per entry).
+
+Unlike :mod:`repro.trace.tracer` (stdlib-only, imported by the whole
+compiler), this module imports the pipeline and the workload suite —
+keep it out of ``repro.trace.__init__`` so tracing stays cheap to
+import.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..ir.instructions import format_instruction
+from ..pipeline import SchemeOutcome, run_scheme
+from ..scheduling.machine import MachineModel, PAPER_MACHINE
+from ..workloads.suite import get_workload
+from .tracer import Tracer
+
+#: (proc name, superblock head label)
+HeadKey = Tuple[str, str]
+
+
+def run_traced(
+    workload_name: str,
+    scheme_name: str,
+    scale: float = 1.0,
+    machine: MachineModel = PAPER_MACHINE,
+) -> Tuple[Tracer, SchemeOutcome]:
+    """Run one (workload, scheme) pipeline under a fresh tracer."""
+    workload = get_workload(workload_name)
+    tracer = Tracer()
+    with tracer.context(workload=workload_name, scheme=scheme_name):
+        outcome = run_scheme(
+            workload.program(),
+            scheme_name,
+            workload.train_tape(scale),
+            workload.test_tape(scale),
+            machine=machine,
+            tracer=tracer,
+        )
+    return tracer, outcome
+
+
+# -- decision-stream views ---------------------------------------------------
+
+
+def decision_chains(
+    tracer: Tracer, kind: str, scheme: Optional[str] = None
+) -> Dict[HeadKey, List[Dict[str, Any]]]:
+    """Group ``kind`` decisions by (proc, head), preserving seed order."""
+    chains: Dict[HeadKey, List[Dict[str, Any]]] = {}
+    for record in tracer.decisions:
+        if record.get("kind") != kind:
+            continue
+        if scheme is not None and record.get("scheme") != scheme:
+            continue
+        proc = record.get("proc")
+        head = record.get("head")
+        if proc is None or head is None:
+            continue
+        chains.setdefault((proc, head), []).append(record)
+    return chains
+
+
+def _step_signature(record: Dict[str, Any]) -> Tuple:
+    """What makes two formation steps "the same decision": the action
+    taken and the block it concerns — never frequencies (edge and path
+    profiles count in different units) or timestamps (there are none)."""
+    return (
+        record.get("action"),
+        record.get("chosen"),
+        record.get("candidate"),
+        record.get("reason"),
+    )
+
+
+def entries_per_head(tracer: Tracer) -> Dict[HeadKey, int]:
+    """Dynamic entry count of each superblock, from the exit histograms."""
+    totals: Dict[HeadKey, int] = {}
+    for (_, _, proc, head), hist in tracer.exit_histograms.items():
+        totals[(proc, head)] = totals.get((proc, head), 0) + sum(
+            hist.values()
+        )
+    return totals
+
+
+def mean_exit_cycles(tracer: Tracer) -> Dict[HeadKey, float]:
+    """Mean simulator exit cycle of each superblock (higher = control
+    stayed on trace longer per entry)."""
+    sums: Dict[HeadKey, int] = {}
+    counts: Dict[HeadKey, int] = {}
+    for (_, _, proc, head), hist in tracer.exit_histograms.items():
+        key = (proc, head)
+        for cycle, count in hist.items():
+            sums[key] = sums.get(key, 0) + cycle * count
+            counts[key] = counts.get(key, 0) + count
+    return {
+        key: sums[key] / counts[key] for key in sums if counts.get(key)
+    }
+
+
+def attributed_cycles(tracer: Tracer) -> Dict[HeadKey, int]:
+    """Cycles attributable to each superblock: each entry that exits at
+    cycle ``c`` occupied the machine for ``c + 1`` cycles."""
+    totals: Dict[HeadKey, int] = {}
+    for (_, _, proc, head), hist in tracer.exit_histograms.items():
+        key = (proc, head)
+        totals[key] = totals.get(key, 0) + sum(
+            (cycle + 1) * count for cycle, count in hist.items()
+        )
+    return totals
+
+
+# -- explain -----------------------------------------------------------------
+
+
+def explain(
+    tracer: Tracer,
+    outcome: SchemeOutcome,
+    proc: Optional[str] = None,
+    head: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Collect everything known about one superblock's construction.
+
+    Defaults to the hottest superblock (most dynamic entries).  Returns a
+    JSON-able dict; render with :func:`format_explain`.
+    """
+    entries = entries_per_head(tracer)
+    if proc is None or head is None:
+        candidates = [
+            key
+            for key in sorted(
+                entries, key=lambda k: (-entries[k], k[0], k[1])
+            )
+            if proc is None or key[0] == proc
+        ]
+        if not candidates:
+            raise ValueError(
+                "no simulated superblock entries recorded"
+                + (f" for procedure {proc!r}" if proc else "")
+            )
+        proc, head = candidates[0]
+
+    def _mine(record: Dict[str, Any]) -> bool:
+        return record.get("proc") == proc and record.get("head") == head
+
+    selection = [
+        r for r in tracer.decisions if r.get("kind") == "select" and _mine(r)
+    ]
+    enlargement = [
+        r for r in tracer.decisions if r.get("kind") == "enlarge" and _mine(r)
+    ]
+    duplication = [
+        r
+        for r in tracer.decisions
+        if r.get("kind") in ("tail_dup", "reentry") and _mine(r)
+    ]
+    compact = next(
+        (
+            r
+            for r in tracer.decisions
+            if r.get("kind") == "compact" and _mine(r)
+        ),
+        None,
+    )
+    spill = next(
+        (
+            r
+            for r in tracer.decisions
+            if r.get("kind") == "spill" and r.get("proc") == proc
+        ),
+        None,
+    )
+
+    schedule = outcome.compiled.procedures[proc].schedules.get(head)
+    ops: List[Dict[str, Any]] = []
+    if schedule is not None:
+        for op in schedule.ops:
+            ops.append(
+                {
+                    "cycle": op.cycle,
+                    "slot": op.slot,
+                    "text": format_instruction(op.instr),
+                    "origin": op.instr.origin,
+                    "speculative": bool(op.speculative),
+                }
+            )
+        ops.sort(key=lambda o: (o["cycle"], o["slot"]))
+
+    hist = tracer.histogram(proc, head)
+    total = sum(hist.values())
+    mean = (
+        sum(cycle * count for cycle, count in hist.items()) / total
+        if total
+        else None
+    )
+    return {
+        "workload": next(
+            (r.get("workload") for r in tracer.decisions if r.get("workload")),
+            None,
+        ),
+        "scheme": outcome.scheme,
+        "proc": proc,
+        "head": head,
+        "entries": entries.get((proc, head), 0),
+        "selection": selection,
+        "enlargement": enlargement,
+        "duplication": duplication,
+        "compact": compact,
+        "spill": spill,
+        "schedule": ops,
+        "exit_histogram": {str(c): n for c, n in sorted(hist.items())},
+        "mean_exit_cycle": mean,
+    }
+
+
+def _fmt_alternatives(record: Dict[str, Any], limit: int = 3) -> str:
+    alts = record.get("alternatives") or []
+    if not alts:
+        return ""
+    shown = ", ".join(f"{label}({freq})" for label, freq in alts[:limit])
+    more = f", +{len(alts) - limit} more" if len(alts) > limit else ""
+    return f" over [{shown}{more}]"
+
+
+def _fmt_select(record: Dict[str, Any]) -> str:
+    action = record.get("action")
+    if action == "seed":
+        return (
+            f"seed {record['head']} (block freq {record.get('freq', 0)},"
+            f" {record.get('selector')} selector)"
+        )
+    if action == "extend":
+        return (
+            f"step {record['step']}: extend -> {record['chosen']}"
+            f" (freq {record.get('freq')})" + _fmt_alternatives(record)
+        )
+    parts = [f"step {record['step']}: stop ({record.get('reason')})"]
+    if record.get("candidate"):
+        parts.append(f"candidate was {record['candidate']}")
+    if record.get("mutual_pred"):
+        parts.append(f"its likeliest pred is {record['mutual_pred']}")
+    return ", ".join(parts) + _fmt_alternatives(record)
+
+
+def _fmt_enlarge(record: Dict[str, Any]) -> str:
+    action = record.get("action")
+    tag = record.get("enlarger", "?")
+    if action in ("peel", "peel_skip"):
+        return (
+            f"[{tag}] {action}: avg trips {record.get('trips')} ->"
+            f" {record.get('copies')} copies"
+            f" (threshold {record.get('threshold')})"
+        )
+    if action == "unroll":
+        return (
+            f"[{tag}] unroll: avg trips {record.get('trips')} ->"
+            f" {record.get('copies')} copies"
+        )
+    if action in ("expand", "grow"):
+        return (
+            f"[{tag}] {action} -> {record.get('chosen')}"
+            f" (freq {record.get('freq')}"
+            + (
+                f", p={record.get('prob')}"
+                if record.get("prob") is not None
+                else ""
+            )
+            + ")"
+            + _fmt_alternatives(record)
+        )
+    if action == "ratio_skip":
+        return (
+            f"[{tag}] skipped: completion ratio {record.get('ratio')}"
+            f" < {record.get('threshold')}"
+        )
+    reason = record.get("reason")
+    return f"[{tag}] stop ({reason})" if reason else f"[{tag}] {action}"
+
+
+def format_explain(report: Dict[str, Any], max_ops: int = 24) -> str:
+    """Human-readable rendering of an :func:`explain` report."""
+    lines: List[str] = []
+    lines.append(
+        f"superblock {report['proc']}:{report['head']}"
+        f" — scheme {report['scheme']}, workload {report['workload']}"
+    )
+    lines.append(
+        f"  entered {report['entries']} times; mean exit cycle"
+        f" {report['mean_exit_cycle']:.2f}"
+        if report["mean_exit_cycle"] is not None
+        else f"  entered {report['entries']} times (never simulated)"
+    )
+    lines.append("formation decisions:")
+    for record in report["selection"]:
+        lines.append("  " + _fmt_select(record))
+    for record in report["enlargement"]:
+        lines.append("  " + _fmt_enlarge(record))
+    for record in report["duplication"]:
+        if record["kind"] == "tail_dup":
+            lines.append(
+                f"  tail-duplicate at {record.get('at')}: side preds"
+                f" {record.get('side_preds')} get a copy of"
+                f" {record.get('copied')}"
+            )
+        else:
+            lines.append(
+                f"  re-entry at {record.get('at')}:"
+                f" {record.get('repair')} -> {record.get('new_target')}"
+            )
+    if report["compact"]:
+        c = report["compact"]
+        lines.append(
+            f"compaction: {c.get('cycles')} cycles for {c.get('ops')} ops"
+            f" ({c.get('speculative')} speculative,"
+            f" {c.get('compensation_movs')} compensation movs)"
+        )
+    if report["spill"]:
+        s = report["spill"]
+        lines.append(
+            f"allocation: {s.get('arch_spilled')} arch +"
+            f" {s.get('temps_spilled')} temp values spilled"
+            f" ({s.get('spill_instructions')} spill instructions)"
+        )
+    ops = report["schedule"]
+    if ops:
+        lines.append(f"schedule ({len(ops)} ops; origin = source instr):")
+        for op in ops[:max_ops]:
+            spec = " [spec]" if op["speculative"] else ""
+            lines.append(
+                f"  c{op['cycle']:>3} s{op['slot']}: {op['text']:<28}"
+                f" <- {op['origin']}{spec}"
+            )
+        if len(ops) > max_ops:
+            lines.append(f"  ... {len(ops) - max_ops} more ops")
+    hist = report["exit_histogram"]
+    if hist:
+        lines.append(
+            "exit cycles: "
+            + ", ".join(f"c{c}×{n}" for c, n in list(hist.items())[:8])
+            + (" ..." if len(hist) > 8 else "")
+        )
+    return "\n".join(lines)
+
+
+# -- trace-diff --------------------------------------------------------------
+
+
+def _first_chain_divergence(
+    chains_a: Dict[HeadKey, List[Dict[str, Any]]],
+    chains_b: Dict[HeadKey, List[Dict[str, Any]]],
+) -> Optional[Dict[str, Any]]:
+    """First (proc, head) whose decision chains differ, in a's seed order."""
+    keys = list(chains_a)
+    keys.extend(k for k in chains_b if k not in chains_a)
+    for key in keys:
+        chain_a = chains_a.get(key, [])
+        chain_b = chains_b.get(key, [])
+        length = max(len(chain_a), len(chain_b))
+        for index in range(length):
+            rec_a = chain_a[index] if index < len(chain_a) else None
+            rec_b = chain_b[index] if index < len(chain_b) else None
+            sig_a = _step_signature(rec_a) if rec_a else None
+            sig_b = _step_signature(rec_b) if rec_b else None
+            if sig_a != sig_b:
+                return {
+                    "proc": key[0],
+                    "head": key[1],
+                    "step": index,
+                    "a": rec_a,
+                    "b": rec_b,
+                }
+    return None
+
+
+def trace_diff(
+    tracer_a: Tracer,
+    tracer_b: Tracer,
+    label_a: str,
+    label_b: str,
+    cycles_a: Optional[int] = None,
+    cycles_b: Optional[int] = None,
+    top: int = 5,
+) -> Dict[str, Any]:
+    """Align two traced runs of the same workload and explain the gap.
+
+    Selection chains are compared first (in seed order); if selection is
+    identical the enlargement chains are compared.  The cycle delta is
+    attributed to superblocks via the exit histograms, and the mean exit
+    cycles show which run leaves its superblocks later.
+    """
+    divergence = None
+    phase = None
+    for kind in ("select", "enlarge", "tail_dup", "reentry", "compact"):
+        divergence = _first_chain_divergence(
+            decision_chains(tracer_a, kind), decision_chains(tracer_b, kind)
+        )
+        if divergence is not None:
+            phase = kind
+            break
+
+    attr_a = attributed_cycles(tracer_a)
+    attr_b = attributed_cycles(tracer_b)
+    heads = set(attr_a) | set(attr_b)
+    deltas = sorted(
+        (
+            {
+                "proc": proc,
+                "head": head,
+                label_a: attr_a.get((proc, head), 0),
+                label_b: attr_b.get((proc, head), 0),
+                "delta": attr_b.get((proc, head), 0)
+                - attr_a.get((proc, head), 0),
+            }
+            for proc, head in heads
+        ),
+        key=lambda row: (-abs(row["delta"]), row["proc"], row["head"]),
+    )
+
+    mean_a = mean_exit_cycles(tracer_a)
+    mean_b = mean_exit_cycles(tracer_b)
+    entries_b = entries_per_head(tracer_b)
+    later = sorted(
+        (
+            {
+                "proc": proc,
+                "head": head,
+                label_a: round(mean_a[(proc, head)], 3),
+                label_b: round(mean_b[(proc, head)], 3),
+                "entries": entries_b.get((proc, head), 0),
+            }
+            for proc, head in set(mean_a) & set(mean_b)
+            if mean_b[(proc, head)] > mean_a[(proc, head)]
+        ),
+        key=lambda row: (
+            -(row[label_b] - row[label_a]) * row["entries"],
+            row["proc"],
+            row["head"],
+        ),
+    )
+
+    report: Dict[str, Any] = {
+        "labels": [label_a, label_b],
+        "first_divergence": divergence,
+        "divergence_phase": phase,
+        "cycle_attribution": deltas[:top],
+        "later_exits": later[:top],
+    }
+    if cycles_a is not None and cycles_b is not None:
+        report["cycles"] = {
+            label_a: cycles_a,
+            label_b: cycles_b,
+            "delta": cycles_b - cycles_a,
+        }
+    return report
+
+
+def _fmt_divergent_record(record: Optional[Dict[str, Any]]) -> str:
+    if record is None:
+        return "(no decision at this step)"
+    kind = record.get("kind")
+    if kind == "select":
+        return _fmt_select(record)
+    if kind == "enlarge":
+        return _fmt_enlarge(record)
+    keys = (
+        "action", "chosen", "candidate", "reason", "at", "repair", "cycles"
+    )
+    fields = ", ".join(
+        f"{k}={record[k]}" for k in keys if record.get(k) is not None
+    )
+    return f"{kind}: {fields}" if fields else str(kind)
+
+
+def format_trace_diff(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`trace_diff` report."""
+    label_a, label_b = report["labels"]
+    lines: List[str] = []
+    cycles = report.get("cycles")
+    if cycles:
+        faster = label_b if cycles["delta"] < 0 else label_a
+        lines.append(
+            f"cycles: {label_a}={cycles[label_a]}"
+            f" {label_b}={cycles[label_b]}"
+            f" (delta {cycles['delta']:+d}; {faster} is faster)"
+        )
+    div = report["first_divergence"]
+    if div is None:
+        lines.append("decision streams are identical")
+    else:
+        lines.append(
+            f"first diverging decision"
+            f" ({report['divergence_phase']} phase) at"
+            f" {div['proc']}:{div['head']} step {div['step']}:"
+        )
+        lines.append(f"  {label_a}: {_fmt_divergent_record(div['a'])}")
+        lines.append(f"  {label_b}: {_fmt_divergent_record(div['b'])}")
+    if report["cycle_attribution"]:
+        lines.append(
+            f"cycle delta by superblock ({label_b} - {label_a}, top):"
+        )
+        for row in report["cycle_attribution"]:
+            lines.append(
+                f"  {row['proc']}:{row['head']}: {row['delta']:+d}"
+                f" ({label_a}={row[label_a]}, {label_b}={row[label_b]})"
+            )
+    if report["later_exits"]:
+        lines.append(
+            f"superblocks where {label_b} exits later (deeper on-trace"
+            f" progress per entry):"
+        )
+        for row in report["later_exits"]:
+            lines.append(
+                f"  {row['proc']}:{row['head']}: mean exit"
+                f" {row[label_a]} -> {row[label_b]}"
+                f" over {row['entries']} entries"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""The decision tracer: formation decisions, timing spans, exit histograms.
+
+Modeled on :class:`~repro.metrics.sink.MetricsSink` and subject to the
+same contract:
+
+* **zero overhead when off** — every site in the compiler is guarded by
+  ``if tracer is not None``; a tracer-less run never allocates, times,
+  or queries a profile beyond what the untraced pipeline already does,
+  and produces byte-identical output;
+* **deterministic records** — decision records carry no timestamps or
+  pids, so a serial run and a parallel run (one tracer per worker,
+  merged back in request order) produce *identical* decision streams;
+* **mergeable** — :meth:`Tracer.merge` concatenates decisions/spans and
+  sums exit histograms, mirroring ``MetricsSink.merge``.
+
+Spans store start/duration in microseconds (the Chrome trace-event
+unit), so the Perfetto export in :mod:`repro.trace.perfetto` round-trips
+without float drift.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager, nullcontext
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+#: key of one exit histogram: (workload, scheme, proc, superblock head)
+HistKey = Tuple[Optional[str], Optional[str], str, str]
+
+
+def tspan(tracer: Optional["Tracer"], name: str, **args: Any):
+    """Span context for an optional tracer; ``nullcontext`` when absent."""
+    if tracer is None:
+        return nullcontext()
+    return tracer.span(name, **args)
+
+
+class Tracer:
+    """Collects formation decisions, timing spans, and exit histograms.
+
+    Args:
+        clock: monotonic time source in seconds (overridable for
+            deterministic tests); defaults to :func:`time.perf_counter`.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        #: decision records in emission order; flat JSON-able dicts with
+        #: no timestamps, so serial and parallel runs agree exactly
+        self.decisions: List[Dict[str, Any]] = []
+        #: completed spans: {"name", "ts", "dur" (microseconds), "pid",
+        #: "args"} in completion order
+        self.spans: List[Dict[str, Any]] = []
+        #: (workload, scheme, proc, head) -> {exit cycle -> count}
+        self.exit_histograms: Dict[HistKey, Dict[int, int]] = {}
+        #: labels stamped onto every decision/span (workload/scheme)
+        self._labels: Dict[str, Any] = {}
+
+    # -- context labels ------------------------------------------------------
+
+    @contextmanager
+    def context(self, **labels: Any) -> Iterator["Tracer"]:
+        """Stamp ``labels`` (e.g. ``workload=..., scheme=...``) onto every
+        record emitted inside the ``with`` block.  Nested contexts stack."""
+        saved = self._labels
+        self._labels = {**saved, **labels}
+        try:
+            yield self
+        finally:
+            self._labels = saved
+
+    # -- decisions -----------------------------------------------------------
+
+    def decision(self, kind: str, **fields: Any) -> None:
+        """Append one formation/compaction decision record.
+
+        ``kind`` names the decision family (``select``, ``enlarge``,
+        ``tail_dup``, ``reentry``, ``compact``, ...); ``fields`` carry
+        the specifics (proc, head, step, action, chosen, freq,
+        alternatives, reason).  No timestamp: records must be identical
+        between serial and parallel runs.
+        """
+        record: Dict[str, Any] = {"kind": kind}
+        record.update(self._labels)
+        record.update(fields)
+        self.decisions.append(record)
+
+    # -- spans ---------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[Dict[str, Any]]:
+        """Time one region; records a complete ("X") span on exit.
+
+        Yields the span's args dict so the body can attach values it
+        only knows at the end (mirrors ``MetricsSink.stage``)."""
+        merged = {**self._labels, **args}
+        start = self._clock()
+        try:
+            yield merged
+        finally:
+            elapsed = self._clock() - start
+            self.spans.append(
+                {
+                    "name": name,
+                    "ts": round(start * 1e6, 3),
+                    "dur": round(elapsed * 1e6, 3),
+                    "pid": os.getpid(),
+                    "args": merged,
+                }
+            )
+
+    # -- exit histograms -----------------------------------------------------
+
+    def exit_cycle(self, proc: str, head: str, cycle: int) -> None:
+        """Record that a superblock execution exited at ``cycle``."""
+        key = (
+            self._labels.get("workload"),
+            self._labels.get("scheme"),
+            proc,
+            head,
+        )
+        hist = self.exit_histograms.get(key)
+        if hist is None:
+            hist = self.exit_histograms[key] = {}
+        hist[cycle] = hist.get(cycle, 0) + 1
+
+    def histogram(self, proc: str, head: str) -> Dict[int, int]:
+        """Exit histogram for one superblock, summed over label contexts."""
+        total: Dict[int, int] = {}
+        for (_, _, hproc, hhead), hist in self.exit_histograms.items():
+            if hproc == proc and hhead == head:
+                for cycle, count in hist.items():
+                    total[cycle] = total.get(cycle, 0) + count
+        return total
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer (e.g. shipped back from a worker process)
+        into this one: decisions and spans concatenate, histograms sum.
+        Merging per-worker tracers in request order reproduces the
+        serial decision stream exactly."""
+        self.decisions.extend(other.decisions)
+        self.spans.extend(other.spans)
+        for key, hist in other.exit_histograms.items():
+            mine = self.exit_histograms.get(key)
+            if mine is None:
+                mine = self.exit_histograms[key] = {}
+            for cycle, count in hist.items():
+                mine[cycle] = mine.get(cycle, 0) + count

@@ -28,6 +28,8 @@ from typing import List, Optional, Sequence, Tuple
 from ..frontend import compile_source
 from ..interp.interpreter import run_program
 from ..pipeline import run_scheme
+from ..trace.provenance import require_provenance
+from ..trace.tracer import Tracer
 from .config import ValidationConfig
 from .genprog import DEFAULT_CONFIG, GenConfig, generate_source
 from .reduce import DEFAULT_MAX_CHECKS, reduce_source
@@ -106,7 +108,12 @@ def classify_failure(
         return f"interp:{type(exc).__name__}", str(exc)
     for scheme_name in schemes:
         try:
-            run_scheme(
+            # Running under a tracer stamps origin ids onto the source
+            # program, letting the provenance invariant cross-check the
+            # compiled schedules: every scheduled instruction — including
+            # tail-duplicated copies, compensation movs, and spill code —
+            # must resolve to exactly one source instruction.
+            outcome = run_scheme(
                 program,
                 scheme_name,
                 train,
@@ -115,7 +122,9 @@ def classify_failure(
                 validation=validation,
                 step_limit=STEP_LIMIT,
                 cycle_limit=CYCLE_LIMIT,
+                tracer=Tracer(),
             )
+            require_provenance(program, outcome.compiled)
         except Exception as exc:  # noqa: BLE001
             return f"{scheme_name}:{type(exc).__name__}", str(exc)
     return None

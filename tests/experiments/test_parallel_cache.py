@@ -108,16 +108,22 @@ class TestSerialFallback:
 
     def test_small_batch_runs_serially_and_logs(self, capsys):
         # 2 workloads x 2 schemes = 4 tasks, under the threshold: jobs=2
-        # must quietly produce the serial engine's results.
-        results = run_suite(SCHEMES, NAMES, scale=TINY, jobs=2)
+        # must produce the serial engine's results, with the fallback
+        # note only under --verbose.
+        results = run_suite(SCHEMES, NAMES, scale=TINY, jobs=2, verbose=True)
         err = capsys.readouterr().err
         assert "running serially" in err
         assert suite_fingerprint(results) == suite_fingerprint(
             run_suite(SCHEMES, NAMES, scale=TINY)
         )
 
+    def test_fallback_is_silent_by_default(self, capsys):
+        # Scripted consumers (--json pipelines) must get clean streams.
+        run_suite(SCHEMES, NAMES, scale=TINY, jobs=2)
+        assert "running serially" not in capsys.readouterr().err
+
     def test_no_fallback_log_when_serial_requested(self, capsys):
-        run_suite(["M4"], ["alt"], scale=TINY, jobs=1)
+        run_suite(["M4"], ["alt"], scale=TINY, jobs=1, verbose=True)
         assert "running serially" not in capsys.readouterr().err
 
 

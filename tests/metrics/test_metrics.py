@@ -6,6 +6,7 @@ import pytest
 
 from repro.metrics import (
     DEFAULT_REGRESSION_THRESHOLD,
+    SCHEMA_VERSION,
     MetricsSink,
     TRIPWIRE_METRICS,
     check_bench_regression,
@@ -106,13 +107,34 @@ class TestSink:
                 pass
         path = tmp_path / "metrics.jsonl"
         lines = sink.write_jsonl(path)
-        assert lines == len(sink.events) + 1  # trailing counters record
+        # leading schema record + events + trailing counters record
+        assert lines == len(sink.events) + 2
         back = MetricsSink.read_jsonl(path)
         assert back.counters == sink.counters
         assert back.stage_calls == sink.stage_calls
         assert back.stage_seconds == pytest.approx(sink.stage_seconds)
         assert [e["event"] for e in back.events] == ["stage"]
         assert back.events[0]["workload"] == "alt"
+        assert back.schema_version == SCHEMA_VERSION
+
+    def test_schema_record_leads_the_file(self, tmp_path):
+        sink = MetricsSink(clock=FakeClock())
+        path = tmp_path / "metrics.jsonl"
+        sink.write_jsonl(path)
+        with open(path) as fh:
+            first = json.loads(fh.readline())
+        assert first == {"event": "schema", "version": SCHEMA_VERSION}
+
+    def test_legacy_file_without_schema_record(self, tmp_path):
+        # Files written before the schema record existed still read; the
+        # version surfaces as None so reports can flag them.
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            '{"event": "counters", "counters": {"n": 3}}\n'
+        )
+        back = MetricsSink.read_jsonl(path)
+        assert back.counters == {"n": 3}
+        assert back.schema_version is None
 
 
 class TestReport:
@@ -235,5 +257,6 @@ class TestPipelineIntegration:
         sink.write_jsonl(path)
         with open(path) as fh:
             records = [json.loads(line) for line in fh]
+        assert records[0]["event"] == "schema"
         assert records[-1]["event"] == "counters"
-        assert all("t" in r and "pid" in r for r in records[:-1])
+        assert all("t" in r and "pid" in r for r in records[1:-1])

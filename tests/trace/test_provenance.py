@@ -1,0 +1,157 @@
+"""Provenance invariant: every scheduled op resolves to one source instr."""
+
+import pytest
+
+from repro.pipeline import run_scheme
+from repro.trace import (
+    ProvenanceError,
+    Tracer,
+    assign_origins,
+    check_provenance,
+    origin_id,
+    origin_table,
+    require_provenance,
+)
+from repro.workloads.suite import workload_map
+
+from tests.support import call_program, diamond_program, figure3_loop_program
+
+SCALE = 0.06
+
+
+def traced_outcome(program, scheme_name, train, test):
+    tracer = Tracer()
+    outcome = run_scheme(
+        program, scheme_name, train, test, tracer=tracer
+    )
+    return outcome
+
+
+class TestAssignOrigins:
+    def test_stamps_every_instruction(self):
+        program = diamond_program()
+        count = assign_origins(program)
+        assert count > 0
+        table = origin_table(program)
+        assert len(table) == count
+        for oid, instr in table.items():
+            assert instr.origin == oid
+
+    def test_idempotent(self):
+        program = diamond_program()
+        first = assign_origins(program)
+        table_before = dict(origin_table(program))
+        assert assign_origins(program) == first
+        assert origin_table(program) == table_before
+
+    def test_origin_id_format(self):
+        assert origin_id("main", "entry", 4) == "main:entry:4"
+
+    def test_copy_preserves_origin(self):
+        program = diamond_program()
+        assign_origins(program)
+        proc = next(iter(program.procedures()))
+        block = next(iter(proc.blocks()))
+        instr = block.instructions[0]
+        assert instr.copy().origin == instr.origin
+
+    def test_origins_invisible_to_execution(self):
+        from repro.interp.interpreter import run_program
+
+        plain = run_program(diamond_program(), input_tape=[10, 3, 60, -1])
+        stamped_program = diamond_program()
+        assign_origins(stamped_program)
+        stamped = run_program(stamped_program, input_tape=[10, 3, 60, -1])
+        assert stamped.output == plain.output
+        assert stamped.return_value == plain.return_value
+
+
+class TestPipelineProvenance:
+    @pytest.mark.parametrize("scheme_name", ["BB", "M4", "P4", "P4e"])
+    def test_support_programs_clean(self, scheme_name):
+        # The loop program exercises peel/unroll + tail duplication; the
+        # call program exercises renaming compensation across calls.
+        for program, train, test in [
+            (figure3_loop_program(), [12, 0], [9, 0]),
+            (call_program(), [6], [3]),
+        ]:
+            outcome = traced_outcome(program, scheme_name, train, test)
+            assert check_provenance(program, outcome.compiled) == []
+
+    @pytest.mark.parametrize("wname", ["alt", "wc"])
+    def test_workloads_clean_under_path_scheme(self, wname):
+        workload = workload_map()[wname]
+        program = workload.program()
+        outcome = traced_outcome(
+            program,
+            "P4",
+            workload.train_tape(SCALE),
+            workload.test_tape(SCALE),
+        )
+        assert check_provenance(program, outcome.compiled) == []
+
+    def test_every_scheduled_op_has_exactly_one_origin(self):
+        workload = workload_map()["alt"]
+        program = workload.program()
+        outcome = traced_outcome(
+            program,
+            "M4",
+            workload.train_tape(SCALE),
+            workload.test_tape(SCALE),
+        )
+        valid = set(origin_table(program))
+        for cproc in outcome.compiled.procedures.values():
+            for schedule in cproc.schedules.values():
+                for op in schedule.ops:
+                    assert op.instr.origin in valid
+
+    def test_stripped_origin_is_reported(self):
+        program = figure3_loop_program()
+        outcome = traced_outcome(program, "M4", [12, 0], [9, 0])
+        cproc = next(iter(outcome.compiled.procedures.values()))
+        schedule = next(iter(cproc.schedules.values()))
+        schedule.ops[0].instr.origin = None
+        problems = check_provenance(program, outcome.compiled)
+        assert len(problems) == 1
+        assert "no origin" in problems[0]
+        with pytest.raises(ProvenanceError, match="no origin"):
+            require_provenance(program, outcome.compiled)
+
+    def test_foreign_origin_is_reported(self):
+        program = figure3_loop_program()
+        outcome = traced_outcome(program, "M4", [12, 0], [9, 0])
+        cproc = next(iter(outcome.compiled.procedures.values()))
+        schedule = next(iter(cproc.schedules.values()))
+        schedule.ops[0].instr.origin = "ghost:nowhere:0"
+        problems = check_provenance(program, outcome.compiled)
+        assert any("unknown origin" in p for p in problems)
+
+
+class TestFuzzIntegration:
+    def test_classifier_runs_provenance_check(self, monkeypatch):
+        """classify_failure must surface a provenance violation as a
+        scheme-stage failure kind."""
+        import repro.validation.fuzz as fuzz
+
+        def sabotage(source, compiled):
+            raise ProvenanceError("planted")
+
+        monkeypatch.setattr(fuzz, "require_provenance", sabotage)
+        found = fuzz.classify_failure(
+            "func main() { print(read() + 1); }", seed=0, schemes=("M4",)
+        )
+        assert found is not None
+        kind, message = found
+        assert kind == "M4:ProvenanceError"
+        assert "planted" in message
+
+    def test_clean_program_passes_classifier(self):
+        from repro.validation.fuzz import classify_failure
+
+        found = classify_failure(
+            "func main() { var x = read(); while (x > 0) {"
+            " print(x); x = x - 1; } }",
+            seed=1,
+            schemes=("M4", "P4"),
+        )
+        assert found is None

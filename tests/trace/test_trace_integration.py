@@ -1,0 +1,237 @@
+"""End-to-end tracer guarantees: tracer-off parity, serial-vs-parallel
+determinism, and the explain / trace-diff acceptance behaviours."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import run_suite
+from repro.pipeline import run_scheme
+from repro.trace import Tracer
+from repro.trace.explain import (
+    decision_chains,
+    explain,
+    format_explain,
+    format_trace_diff,
+    mean_exit_cycles,
+    run_traced,
+    trace_diff,
+)
+from repro.workloads.suite import workload_map
+
+TINY = 0.06
+SCHEMES = ["M4", "P4"]
+NAMES = ["alt", "wc"]
+
+
+def schedule_fingerprint(outcome):
+    """Byte-exact view of everything an outcome exposes downstream."""
+    schedules = {}
+    for pname, cproc in outcome.compiled.procedures.items():
+        for head, schedule in cproc.schedules.items():
+            schedules[(pname, head)] = [
+                (op.cycle, op.slot, op.instr.opcode.value, op.instr.dest,
+                 tuple(op.instr.srcs), op.instr.imm, op.speculative)
+                for op in schedule.ops
+            ]
+    return {
+        "cycles": outcome.result.cycles,
+        "operations": outcome.result.operations,
+        "output": outcome.result.output,
+        "return": outcome.result.return_value,
+        "code_bytes": outcome.layout.code_bytes,
+        "layout_base": dict(outcome.layout.base),
+        "layout_order": tuple(outcome.layout.procedure_order),
+        "schedules": schedules,
+    }
+
+
+class TestTracerOffParity:
+    @pytest.mark.parametrize("scheme_name", SCHEMES)
+    def test_traced_run_is_byte_identical(self, scheme_name):
+        workload = workload_map()["wc"]
+        train = workload.train_tape(TINY)
+        test = workload.test_tape(TINY)
+        plain = run_scheme(workload.program(), scheme_name, train, test)
+        tracer = Tracer()
+        traced = run_scheme(
+            workload.program(), scheme_name, train, test, tracer=tracer
+        )
+        assert schedule_fingerprint(traced) == schedule_fingerprint(plain)
+        # ... and the tracer actually observed the pipeline.
+        assert tracer.decisions
+        assert tracer.spans
+        assert tracer.exit_histograms
+
+
+class TestSerialParallelDeterminism:
+    def _span_view(self, tracer):
+        # ts/dur/pid are wall-clock facts; name + args are the
+        # deterministic part of the stream.
+        return [(s["name"], s["args"]) for s in tracer.spans]
+
+    def test_jobs2_merge_matches_serial_exactly(self):
+        serial_tracer = Tracer()
+        serial = run_suite(SCHEMES, NAMES, scale=TINY, tracer=serial_tracer)
+        parallel_tracer = Tracer()
+        parallel = run_suite(
+            SCHEMES,
+            NAMES,
+            scale=TINY,
+            jobs=2,
+            min_parallel_tasks=0,
+            tracer=parallel_tracer,
+        )
+        assert list(parallel) == list(serial)
+        # Decisions carry no timestamps: merged-in-request-order worker
+        # tracers must reproduce the serial stream *exactly*.
+        assert parallel_tracer.decisions == serial_tracer.decisions
+        assert self._span_view(parallel_tracer) == self._span_view(
+            serial_tracer
+        )
+        assert (
+            parallel_tracer.exit_histograms
+            == serial_tracer.exit_histograms
+        )
+        # ...while the spans really did come from worker processes.
+        pids = {s["pid"] for s in parallel_tracer.spans}
+        assert len(pids) > 1
+
+    def test_tracer_does_not_change_suite_results(self):
+        plain = run_suite(SCHEMES, ["alt"], scale=TINY)
+        traced = run_suite(SCHEMES, ["alt"], scale=TINY, tracer=Tracer())
+        for pair in plain:
+            assert schedule_fingerprint(
+                traced[pair]
+            ) == schedule_fingerprint(plain[pair])
+
+
+class TestExplain:
+    @pytest.fixture(scope="class")
+    def wc_p4(self):
+        return run_traced("wc", "P4", scale=TINY)
+
+    def test_explain_hottest_superblock(self, wc_p4):
+        tracer, outcome = wc_p4
+        report = explain(tracer, outcome)
+        assert report["scheme"] == "P4"
+        assert report["entries"] > 0
+        assert report["selection"], "selection chain must be recorded"
+        assert report["selection"][0]["action"] == "seed"
+        assert all(op["origin"] for op in report["schedule"])
+        text = format_explain(report)
+        assert "formation decisions" in text
+        assert "seed" in text
+
+    def test_explain_specific_head(self, wc_p4):
+        tracer, outcome = wc_p4
+        hottest = explain(tracer, outcome)
+        report = explain(
+            tracer, outcome, proc=hottest["proc"], head=hottest["head"]
+        )
+        assert report["head"] == hottest["head"]
+
+    def test_explain_unknown_head_raises(self, wc_p4):
+        tracer, outcome = wc_p4
+        with pytest.raises(ValueError):
+            explain(tracer, outcome, proc="nope")
+
+
+class TestTraceDiff:
+    @pytest.fixture(scope="class")
+    def diffed(self):
+        tracer_a, outcome_a = run_traced("wc", "M4", scale=0.25)
+        tracer_b, outcome_b = run_traced("wc", "P4", scale=0.25)
+        report = trace_diff(
+            tracer_a,
+            tracer_b,
+            "M4",
+            "P4",
+            cycles_a=outcome_a.result.cycles,
+            cycles_b=outcome_b.result.cycles,
+        )
+        return tracer_a, tracer_b, outcome_a, outcome_b, report
+
+    def test_names_first_diverging_decision(self, diffed):
+        _, _, _, _, report = diffed
+        div = report["first_divergence"]
+        assert div is not None
+        assert report["divergence_phase"] == "select"
+        assert div["proc"] and div["head"]
+        # Both sides of the divergence are real formation decisions (or a
+        # missing step on one side).
+        for side in ("a", "b"):
+            record = div[side]
+            assert record is None or record["kind"] == "select"
+
+    def test_path_scheme_exits_later(self, diffed):
+        tracer_a, tracer_b, _, _, report = diffed
+        assert report["later_exits"], (
+            "P4 must exit some superblock later than M4"
+        )
+        mean_a = mean_exit_cycles(tracer_a)
+        mean_b = mean_exit_cycles(tracer_b)
+        row = report["later_exits"][0]
+        key = (row["proc"], row["head"])
+        assert mean_b[key] > mean_a[key]
+
+    def test_cycle_delta_attributed(self, diffed):
+        _, _, outcome_a, outcome_b, report = diffed
+        assert report["cycles"]["delta"] == (
+            outcome_b.result.cycles - outcome_a.result.cycles
+        )
+        assert report["cycle_attribution"]
+        assert any(
+            row["delta"] != 0 for row in report["cycle_attribution"]
+        )
+
+    def test_identical_runs_have_no_divergence(self):
+        tracer_a, _ = run_traced("alt", "M4", scale=TINY)
+        tracer_b, _ = run_traced("alt", "M4", scale=TINY)
+        report = trace_diff(tracer_a, tracer_b, "M4", "M4")
+        assert report["first_divergence"] is None
+        assert "identical" in format_trace_diff(report)
+
+    def test_selection_chains_group_by_head(self, diffed):
+        tracer_a, _, _, _, _ = diffed
+        chains = decision_chains(tracer_a, "select")
+        assert chains
+        for (proc, head), chain in chains.items():
+            assert chain[0]["action"] == "seed"
+            assert all(r["head"] == head for r in chain)
+
+    def test_format_mentions_divergence_and_exits(self, diffed):
+        _, _, _, _, report = diffed
+        text = format_trace_diff(report)
+        assert "first diverging decision" in text
+        assert "exits later" in text
+        assert "P4" in text and "M4" in text
+
+
+class TestCLI:
+    def test_explain_verb(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        code = main(
+            ["explain", "wc", "--scheme", "P4", "--scale", "0.1",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "formation decisions" in out
+        assert "schedule" in out
+        document = json.loads(out_path.read_text())
+        assert document["repro"]["decisions"]
+
+    def test_trace_diff_verb(self, capsys, tmp_path):
+        out_path = tmp_path / "diff.json"
+        code = main(
+            ["trace-diff", "wc", "--schemes", "M4", "P4",
+             "--scale", "0.1", "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "first diverging decision" in out
+        report = json.loads(out_path.read_text())
+        assert report["first_divergence"] is not None
+        assert report["cycles"]["M4"] > 0

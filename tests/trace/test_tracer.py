@@ -1,0 +1,172 @@
+"""Unit tests for the decision tracer and its Perfetto export."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    read_trace,
+    to_trace_events,
+    tspan,
+    write_trace,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step=0.5):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestTracer:
+    def test_decisions_carry_context_labels(self):
+        tracer = Tracer()
+        with tracer.context(workload="wc", scheme="P4"):
+            tracer.decision("select", proc="main", head="A", action="seed")
+        tracer.decision("select", proc="main", head="B", action="seed")
+        assert tracer.decisions[0]["workload"] == "wc"
+        assert tracer.decisions[0]["scheme"] == "P4"
+        assert "workload" not in tracer.decisions[1]
+
+    def test_nested_contexts_stack_and_restore(self):
+        tracer = Tracer()
+        with tracer.context(workload="wc"):
+            with tracer.context(scheme="M4"):
+                tracer.decision("x")
+            tracer.decision("y")
+        record_x, record_y = tracer.decisions
+        assert record_x["scheme"] == "M4" and record_x["workload"] == "wc"
+        assert "scheme" not in record_y and record_y["workload"] == "wc"
+
+    def test_decisions_have_no_timestamps(self):
+        tracer = Tracer()
+        tracer.decision("select", proc="main", head="A")
+        assert "ts" not in tracer.decisions[0]
+        assert "t" not in tracer.decisions[0]
+        assert "pid" not in tracer.decisions[0]
+
+    def test_span_records_microseconds(self):
+        tracer = Tracer(clock=FakeClock(step=0.5))
+        with tracer.span("layout", proc="main"):
+            pass
+        (span,) = tracer.spans
+        assert span["name"] == "layout"
+        assert span["ts"] == pytest.approx(0.5e6)
+        assert span["dur"] == pytest.approx(0.5e6)
+        assert span["args"] == {"proc": "main"}
+
+    def test_span_yields_args_dict(self):
+        tracer = Tracer()
+        with tracer.span("formation.form") as args:
+            args["superblocks"] = 7
+        assert tracer.spans[0]["args"]["superblocks"] == 7
+
+    def test_tspan_is_nullcontext_without_tracer(self):
+        with tspan(None, "anything"):
+            pass  # must not raise, must not allocate a tracer
+
+    def test_exit_histograms_key_on_labels(self):
+        tracer = Tracer()
+        with tracer.context(workload="wc", scheme="P4"):
+            tracer.exit_cycle("main", "A", 3)
+            tracer.exit_cycle("main", "A", 3)
+            tracer.exit_cycle("main", "A", 9)
+        with tracer.context(workload="wc", scheme="M4"):
+            tracer.exit_cycle("main", "A", 1)
+        assert tracer.exit_histograms[("wc", "P4", "main", "A")] == {
+            3: 2,
+            9: 1,
+        }
+        # histogram() sums over label contexts
+        assert tracer.histogram("main", "A") == {3: 2, 9: 1, 1: 1}
+
+    def test_merge_concatenates_and_sums(self):
+        a, b = Tracer(), Tracer()
+        a.decision("select", proc="p", head="h")
+        b.decision("enlarge", proc="p", head="h")
+        with a.span("layout"):
+            pass
+        with b.span("simulate.ideal"):
+            pass
+        a.exit_cycle("p", "h", 2)
+        b.exit_cycle("p", "h", 2)
+        b.exit_cycle("p", "h", 5)
+        a.merge(b)
+        assert [d["kind"] for d in a.decisions] == ["select", "enlarge"]
+        assert [s["name"] for s in a.spans] == ["layout", "simulate.ideal"]
+        assert a.exit_histograms[(None, None, "p", "h")] == {2: 2, 5: 1}
+
+
+def populated_tracer():
+    tracer = Tracer(clock=FakeClock(step=0.25))
+    with tracer.context(workload="wc", scheme="P4"):
+        tracer.decision(
+            "select",
+            selector="path",
+            proc="main",
+            head="A",
+            step=1,
+            action="extend",
+            chosen="B",
+            freq=42,
+            alternatives=[["C", 7], ["D", 0]],
+        )
+        with tracer.span("formation.form", proc="main"):
+            pass
+        tracer.exit_cycle("main", "A", 3)
+        tracer.exit_cycle("main", "A", 11)
+        tracer.exit_cycle("main", "A", 11)
+    return tracer
+
+
+class TestPerfettoRoundTrip:
+    def test_round_trip_is_exact(self, tmp_path):
+        tracer = populated_tracer()
+        path = tmp_path / "trace.json"
+        write_trace(tracer, path)
+        back = read_trace(path)
+        assert back.decisions == tracer.decisions
+        assert back.spans == tracer.spans
+        assert back.exit_histograms == tracer.exit_histograms
+
+    def test_file_is_perfetto_loadable_shape(self, tmp_path):
+        tracer = populated_tracer()
+        path = tmp_path / "trace.json"
+        count = write_trace(tracer, path)
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == count == 1
+        (event,) = document["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["cat"] == "repro"
+        assert {"name", "ts", "dur", "pid", "tid"} <= set(event)
+        payload = document["repro"]
+        assert payload["schema_version"] == TRACE_SCHEMA_VERSION
+        assert payload["decisions"] == tracer.decisions
+        # JSON object keys are strings; counts survive.
+        assert payload["exit_histograms"][0]["hist"] == {"3": 1, "11": 2}
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        tracer = populated_tracer()
+        path = tmp_path / "trace.json"
+        write_trace(tracer, path)
+        document = json.loads(path.read_text())
+        document["repro"]["schema_version"] = TRACE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="schema version"):
+            read_trace(path)
+
+    def test_empty_tracer_round_trips(self, tmp_path):
+        path = tmp_path / "empty.json"
+        assert write_trace(Tracer(), path) == 0
+        back = read_trace(path)
+        assert back.decisions == []
+        assert back.spans == []
+        assert back.exit_histograms == {}
