@@ -41,12 +41,15 @@ from repro.experiments import (  # noqa: E402
     run_suite,
 )
 from repro.interp.interpreter import run_program  # noqa: E402
+from repro.jit import JIT_STATS  # noqa: E402
 from repro.metrics import MetricsSink  # noqa: E402
+from repro.pipeline import compile_scheme  # noqa: E402
 from repro.profiling import (  # noqa: E402
     collect_profiles_streaming,
-    profiles_from_trace,
+    profiles_from_trace_multi,
     record_trace,
 )
+from repro.simulate import simulate  # noqa: E402
 from repro.workloads.suite import workload_map  # noqa: E402
 
 SCHEMES = ["M4", "P4", "P4e"]
@@ -55,6 +58,35 @@ NAMES = ["alt", "corr", "wc", "eqn", "m88k"]
 
 def _cycles(results):
     return {f"{w}/{s}": o.result.cycles for (w, s), o in results.items()}
+
+
+def _best_of(fn, rounds):
+    """Warm once, then best-of-``rounds`` wall clock with the GC paused.
+
+    The microbenchmarks time allocation-heavy engine hot paths from inside
+    a process whose heap already holds prior sections' results; collector
+    pauses landing inside a round would charge unrelated garbage to
+    whichever engine ran last.
+    """
+    import gc
+
+    fn()  # warm: JIT codegen, decode caches, interned tables
+    wall = None
+    result = None
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            start = time.perf_counter()
+            out = fn()
+            elapsed = time.perf_counter() - start
+            if wall is None or elapsed < wall:
+                wall, result = elapsed, out
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return wall, result
 
 
 def time_suite(label, **kwargs):
@@ -128,40 +160,45 @@ def end_to_end(scale):
 PROFILE_DEPTHS = (1, 3, 7, 15)
 
 
-def profile_collection(scale):
+def profile_collection(scale, rounds=5):
     """Streaming observers vs record-once/replay-many over the suite slice.
 
     Both engines produce all three profiles (edge, general path, forward
     path) for every workload at every depth in ``PROFILE_DEPTHS``.  The
     streaming baseline re-executes the interpreter under live observers
     for each depth; the batch engine records each workload's trace once
-    and replays it per depth.
+    and replays it through the multi-depth profiler in a single pass.
+    Each engine is warmed once (JIT codegen, decode caches) and timed
+    best-of-``rounds``.
     """
     jobs = [
         (workload_map()[name].program(), workload_map()[name].train_tape(scale))
         for name in NAMES
     ]
 
-    start = time.perf_counter()
-    stream_bundles = [
-        collect_profiles_streaming(
-            program, input_tape=train, depth=depth, include_forward=True
-        )
-        for program, train in jobs
-        for depth in PROFILE_DEPTHS
-    ]
-    stream_wall = time.perf_counter() - start
+    def run_streaming():
+        return [
+            collect_profiles_streaming(
+                program, input_tape=train, depth=depth, include_forward=True
+            )
+            for program, train in jobs
+            for depth in PROFILE_DEPTHS
+        ]
 
-    start = time.perf_counter()
-    traced_runs = [
-        record_trace(program, input_tape=train) for program, train in jobs
-    ]
-    batch_bundles = [
-        profiles_from_trace(program, traced, depth=depth, include_forward=True)
-        for (program, _), traced in zip(jobs, traced_runs)
-        for depth in PROFILE_DEPTHS
-    ]
-    batch_wall = time.perf_counter() - start
+    def run_batch():
+        traced_runs = [
+            record_trace(program, input_tape=train) for program, train in jobs
+        ]
+        bundles = []
+        for (program, _), traced in zip(jobs, traced_runs):
+            by_depth = profiles_from_trace_multi(
+                program, traced, PROFILE_DEPTHS, include_forward=True
+            )
+            bundles.extend(by_depth[depth] for depth in PROFILE_DEPTHS)
+        return traced_runs, bundles
+
+    stream_wall, stream_bundles = _best_of(run_streaming, rounds)
+    batch_wall, (traced_runs, batch_bundles) = _best_of(run_batch, rounds)
 
     for streamed, batched in zip(stream_bundles, batch_bundles):
         assert batched.edge.edges == streamed.edge.edges
@@ -290,15 +327,76 @@ def _suite_wall(scale, metrics):
     return time.perf_counter() - start, results
 
 
-def interpreter_throughput(scale):
-    """Dynamic instructions per second through the reference interpreter."""
+def jit_benchmarks(scale, rounds=3):
+    """Template-JIT cost and payoff: compile wall, cache hits, speedups.
+
+    Times the interpreter and the VLIW simulator on the ``eqn`` workload
+    with the JIT forced off (reference loops) and on (generated code),
+    best of ``rounds``; results must agree bit-for-bit.  The first JIT run
+    pays codegen (``compile_seconds``), the rest must hit the code cache.
+    """
     workload = workload_map()["eqn"]
     program = workload.program()
     tape = workload.test_tape(scale)
-    run_program(program, input_tape=tape)  # warm the decode cache
-    start = time.perf_counter()
-    result = run_program(program, input_tape=tape)
-    wall = time.perf_counter() - start
+    _, _, compiled, _ = compile_scheme(program, "P4", workload.train_tape(scale))
+
+    before = JIT_STATS.snapshot()
+    interp_on_wall, interp_on = _best_of(
+        lambda: run_program(program, input_tape=tape, jit=True), rounds
+    )
+    vliw_on_wall, vliw_on = _best_of(
+        lambda: simulate(compiled, input_tape=tape, jit=True), rounds
+    )
+    moved = JIT_STATS.delta(before)
+    interp_off_wall, interp_off = _best_of(
+        lambda: run_program(program, input_tape=tape, jit=False), rounds
+    )
+    vliw_off_wall, vliw_off = _best_of(
+        lambda: simulate(compiled, input_tape=tape, jit=False), rounds
+    )
+    assert interp_on.output == interp_off.output, "interp JIT parity broken"
+    assert interp_on.instructions == interp_off.instructions
+    assert vliw_on.cycles == vliw_off.cycles, "VLIW JIT parity broken"
+    assert vliw_on.output == vliw_off.output, "VLIW JIT parity broken"
+
+    interp_speedup = interp_off_wall / interp_on_wall if interp_on_wall else 0.0
+    vliw_speedup = vliw_off_wall / vliw_on_wall if vliw_on_wall else 0.0
+    print(
+        f"  jit interp       {interp_on_wall:7.2f}s"
+        f" vs {interp_off_wall:.2f}s off ({interp_speedup:.2f}x)"
+    )
+    print(
+        f"  jit vliw         {vliw_on_wall:7.2f}s"
+        f" vs {vliw_off_wall:.2f}s off ({vliw_speedup:.2f}x)"
+    )
+    return {
+        "workload": "eqn",
+        "rounds": rounds,
+        "compile_seconds": round(moved["compile_seconds"], 3),
+        "procs_compiled": moved["procs_compiled"],
+        "code_cache_hits": moved["code_cache_hits"],
+        "code_cache_misses": moved["code_cache_misses"],
+        "wall_seconds": {
+            "interp_jit_on": round(interp_on_wall, 3),
+            "interp_jit_off": round(interp_off_wall, 3),
+            "vliw_jit_on": round(vliw_on_wall, 3),
+            "vliw_jit_off": round(vliw_off_wall, 3),
+        },
+        "speedup_on_vs_off": round(interp_speedup, 2),
+        "vliw_speedup_on_vs_off": round(vliw_speedup, 2),
+        "parity": "outputs and counters identical with the JIT on and off",
+    }
+
+
+def interpreter_throughput(scale, rounds=5):
+    """Dynamic instructions per second through the interpreter (best of
+    ``rounds``; the warm-up run pays JIT codegen and decode caching)."""
+    workload = workload_map()["eqn"]
+    program = workload.program()
+    tape = workload.test_tape(scale)
+    wall, result = _best_of(
+        lambda: run_program(program, input_tape=tape), rounds
+    )
     return result.instructions, wall
 
 
@@ -353,6 +451,7 @@ def main(argv=None) -> int:
 
     profile_report = profile_collection(args.scale)
     sweep_report = depth_sweep_trace_cache(args.scale)
+    jit_report = jit_benchmarks(args.scale)
     metrics_sink, metrics_report = metrics_overhead(args.scale)
     if args.metrics_out:
         lines = metrics_sink.write_jsonl(args.metrics_out)
@@ -387,6 +486,7 @@ def main(argv=None) -> int:
         "warm_cache_hit_rate": round(hit_rate, 3),
         "profile_collection": profile_report,
         "depth_sweep": sweep_report,
+        "jit": jit_report,
         "metrics": metrics_report,
         "interpreter": {
             "workload": "eqn",

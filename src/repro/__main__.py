@@ -135,6 +135,12 @@ def _cmd_trace_diff(args) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro")
+    parser.add_argument(
+        "--no-jit",
+        action="store_true",
+        help="run the reference interpreter/simulator loops instead of"
+        " the template JIT (also: REPRO_JIT=0)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the workload suite")
@@ -225,6 +231,10 @@ def main(argv=None) -> int:
     )
 
     args = parser.parse_args(argv)
+    if args.no_jit:
+        from .jit import set_jit_enabled
+
+        set_jit_enabled(False)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":

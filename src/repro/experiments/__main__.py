@@ -34,6 +34,7 @@ byte-identical whatever their setting.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import (
@@ -279,6 +280,21 @@ def main(argv=None) -> int:
         " 1 = serial)",
     )
     parser.add_argument(
+        "--parallel-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="minimum (workload, scheme) task count before --jobs uses a"
+        " worker pool; smaller batches fall back to the serial engine"
+        " (default 16; also: REPRO_PARALLEL_THRESHOLD; 0 always pools)",
+    )
+    parser.add_argument(
+        "--no-jit",
+        action="store_true",
+        help="run the reference interpreter/simulator loops instead of"
+        " the template JIT (also: REPRO_JIT=0)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="ignore and do not write the on-disk result cache",
@@ -330,6 +346,18 @@ def main(argv=None) -> int:
         " (default 0.25)",
     )
     args = parser.parse_args(argv)
+
+    # Both knobs travel through the environment so worker processes (and
+    # every experiment function, without re-threading parameters) see them.
+    if args.parallel_threshold is not None:
+        from .parallel import PARALLEL_THRESHOLD_ENV
+
+        os.environ[PARALLEL_THRESHOLD_ENV] = str(args.parallel_threshold)
+    if args.no_jit:
+        from ..jit import JIT_ENV_VAR, set_jit_enabled
+
+        os.environ[JIT_ENV_VAR] = "0"
+        set_jit_enabled(False)
 
     if args.experiment == "report":
         if args.threshold is None:

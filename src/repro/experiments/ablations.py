@@ -29,7 +29,7 @@ from ..pipeline import run_scheme
 from ..profiling.collector import (
     TracedRun,
     collect_profiles,
-    profiles_from_trace,
+    profiles_from_trace_multi,
     record_trace,
 )
 from ..scheduling.machine import MachineModel, PAPER_MACHINE, REALISTIC_MACHINE
@@ -265,8 +265,10 @@ def depth_sweep(
         test = workload.test_tape(scale)
         traced = fetch_traced_run(workload, scale, cache=cache)
         reference = run_program(program, input_tape=test)
+        # One pass over the trace builds every depth's bundle at once.
+        bundles = profiles_from_trace_multi(program, traced, depths)
         for depth in depths:
-            bundle = profiles_from_trace(program, traced, depth=depth)
+            bundle = bundles[depth]
             outcome = run_scheme(
                 program,
                 "P4",

@@ -90,6 +90,7 @@ COMPILER_SOURCES: Tuple[str, ...] = (
     "formation",
     "interp",
     "ir",
+    "jit",
     "layout",
     "pipeline.py",
     "profiling",
@@ -99,11 +100,11 @@ COMPILER_SOURCES: Tuple[str, ...] = (
 )
 
 #: Subset that determines a :class:`ProfileBundle` (training-run replay).
-PROFILE_SOURCES: Tuple[str, ...] = ("interp", "ir", "profiling")
+PROFILE_SOURCES: Tuple[str, ...] = ("interp", "ir", "jit", "profiling")
 
 #: Interpreter-facing subset: what a recorded trace or reference run can
 #: depend on.  Scheduler/regalloc edits must *not* invalidate these.
-INTERP_SOURCES: Tuple[str, ...] = ("interp", "ir")
+INTERP_SOURCES: Tuple[str, ...] = ("interp", "ir", "jit")
 
 _SOURCE_DIGESTS: Dict[Tuple[Tuple[str, ...], str], str] = {}
 

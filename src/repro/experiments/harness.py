@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..formation import scheme
 from ..interp.interpreter import ExecutionResult, run_program
+from ..jit import JIT_STATS, record_jit_metrics
 from ..metrics import MetricsSink, timed
 from ..pipeline import SchemeOutcome, run_scheme
 from ..profiling.collector import (
@@ -273,8 +274,20 @@ def run_suite(
         if jobs > 1 and not should_parallelize(
             task_count, jobs, min_parallel_tasks
         ):
-            log_serial_fallback(task_count, jobs, verbose)
+            log_serial_fallback(task_count, jobs, verbose, min_parallel_tasks)
             jobs = 1
+        if metrics is not None:
+            # Which execution engine this suite actually used, so metric
+            # dumps can tell a threshold-triggered serial fallback apart
+            # from an explicit --jobs 1 run.
+            engine = "parallel" if jobs > 1 else "serial"
+            metrics.add(f"suite.engine.{engine}")
+            metrics.event(
+                "suite.engine",
+                engine=engine,
+                tasks=task_count,
+                jobs=jobs,
+            )
 
         if jobs > 1:
             computed = run_pairs_parallel(
@@ -308,6 +321,9 @@ def run_suite(
                     nullcontext()
                     if tracer is None
                     else tracer.context(workload=wname)
+                )
+                jit_before = (
+                    None if metrics is None else JIT_STATS.snapshot()
                 )
                 with wctx, wtctx:
                     profiles = profiles_by.get(wname)
@@ -348,6 +364,8 @@ def run_suite(
                                 input_tape=test,
                             )
                         references_by[wname] = reference
+                    if metrics is not None:
+                        record_jit_metrics(metrics, jit_before)
                 for sname in wanted:
                     sctx = (
                         nullcontext()

@@ -28,6 +28,7 @@ from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..interp.interpreter import ExecutionResult, run_program
+from ..jit import JIT_STATS, record_jit_metrics
 from ..metrics import MetricsSink, timed
 from ..pipeline import SchemeOutcome, run_scheme
 from ..trace.tracer import Tracer, tspan
@@ -50,6 +51,24 @@ _WORKLOADS: Dict[str, Workload] = {}
 #: falls back to the serial engine under the threshold (and logs it).
 MIN_PARALLEL_TASKS = 16
 
+#: Environment override for the threshold (``--parallel-threshold`` sets
+#: it, so the value also reaches worker processes); ``0`` forces the pool
+#: for any task count.
+PARALLEL_THRESHOLD_ENV = "REPRO_PARALLEL_THRESHOLD"
+
+
+def default_min_parallel_tasks() -> int:
+    """The serial-fallback threshold: env override or the baked default."""
+    import os
+
+    raw = os.environ.get(PARALLEL_THRESHOLD_ENV)
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return MIN_PARALLEL_TASKS
+
 
 def should_parallelize(
     task_count: int, jobs: int, min_tasks: Optional[int] = None
@@ -57,21 +76,25 @@ def should_parallelize(
     """True when a ``task_count``-task batch is worth a worker pool."""
     if jobs <= 1:
         return False
-    threshold = MIN_PARALLEL_TASKS if min_tasks is None else min_tasks
+    threshold = default_min_parallel_tasks() if min_tasks is None else min_tasks
     return task_count >= threshold
 
 
 def log_serial_fallback(
-    task_count: int, jobs: int, verbose: bool = False
+    task_count: int,
+    jobs: int,
+    verbose: bool = False,
+    min_tasks: Optional[int] = None,
 ) -> None:
     """Tell the user (on stderr, never polluting table output) that a
     small batch is running serially.  Silent unless ``verbose``: scripted
     consumers (``--json`` pipelines) get clean streams by default."""
     if not verbose:
         return
+    threshold = default_min_parallel_tasks() if min_tasks is None else min_tasks
     print(
         f"[parallel] {task_count} task(s) <"
-        f" {MIN_PARALLEL_TASKS}-task threshold:"
+        f" {threshold}-task threshold:"
         f" running serially instead of on {jobs} workers",
         file=sys.stderr,
         flush=True,
@@ -123,6 +146,7 @@ def _profile_task(
     program = workload.program()
     ctx = nullcontext() if sink is None else sink.context(workload=wname)
     tctx = nullcontext() if tracer is None else tracer.context(workload=wname)
+    jit_before = None if sink is None else JIT_STATS.snapshot()
     with ctx, tctx:
         with tspan(tracer, "profile.record"):
             traced = timed(
@@ -146,6 +170,8 @@ def _profile_task(
                 program,
                 input_tape=workload.test_tape(scale),
             )
+        if sink is not None:
+            record_jit_metrics(sink, jit_before)
     return wname, traced, profiles, reference, sink, tracer
 
 

@@ -209,12 +209,24 @@ class Interpreter:
         program: Program,
         step_limit: int = 50_000_000,
         observer: Optional[ExecutionObserver] = None,
+        jit: Optional[bool] = None,
     ) -> None:
         self.program = program
         self.step_limit = step_limit
         self.observer = observer
+        #: ``True``/``False`` forces the template JIT on/off for this
+        #: instance; ``None`` defers to :func:`repro.jit.jit_enabled`
+        #: (the ``REPRO_JIT`` env toggle / ``--no-jit``).
+        self.jit = jit
         #: procedure name -> block label -> decoded instructions
         self._decoded: Dict[str, Dict[str, List[tuple]]] = {}
+
+    def _use_jit(self) -> bool:
+        if self.jit is not None:
+            return self.jit
+        from ..jit import jit_enabled
+
+        return jit_enabled()
 
     # -- decode cache --------------------------------------------------------
 
@@ -250,6 +262,12 @@ class Interpreter:
             An :class:`ExecutionResult` with the output and dynamic counts.
         """
         if self.observer is None:
+            if self._use_jit():
+                from ..jit.interp_jit import run_jit
+
+                return run_jit(
+                    self.program, input_tape, args, self.step_limit
+                )
             return self._run_fast(input_tape, args)
         return self._run_observed(input_tape, args)
 
@@ -264,6 +282,12 @@ class Interpreter:
         attached observer is ignored: tracing replaces live observation —
         replay the trace through the batch profilers instead.
         """
+        if self._use_jit():
+            from ..jit.interp_jit import run_traced_jit
+
+            return run_traced_jit(
+                self.program, input_tape, args, self.step_limit
+            )
         return self._run_traced(input_tape, args)
 
     # -- shared helpers ------------------------------------------------------
@@ -852,11 +876,12 @@ def run_program(
     args: Sequence[int] = (),
     step_limit: int = 50_000_000,
     observer: Optional[ExecutionObserver] = None,
+    jit: Optional[bool] = None,
 ) -> ExecutionResult:
     """Convenience wrapper: interpret ``program`` and return the result."""
-    return Interpreter(program, step_limit=step_limit, observer=observer).run(
-        input_tape, args
-    )
+    return Interpreter(
+        program, step_limit=step_limit, observer=observer, jit=jit
+    ).run(input_tape, args)
 
 
 def run_program_traced(
@@ -864,8 +889,9 @@ def run_program_traced(
     input_tape: Sequence[int] = (),
     args: Sequence[int] = (),
     step_limit: int = 50_000_000,
+    jit: Optional[bool] = None,
 ) -> Tuple[ExecutionResult, ExecutionTrace]:
     """Interpret ``program`` while recording its compact execution trace."""
-    return Interpreter(program, step_limit=step_limit).run_traced(
+    return Interpreter(program, step_limit=step_limit, jit=jit).run_traced(
         input_tape, args
     )

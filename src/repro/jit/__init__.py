@@ -1,0 +1,115 @@
+"""Template JIT for the interpreter and the VLIW simulator.
+
+Both execution engines spend their time in per-operation dispatch: the
+interpreter walks flat decoded tuples, the simulator walks decoded bundle
+rows, and every dynamic operation pays a kind test, several tuple indexes,
+and a dict-keyed register file.  The JIT removes all of it by *generating
+Python source* for each procedure — registers become locals, operation
+bodies become straight-line statements, and control flow becomes real
+``while``/``if`` statements reconstructed from the CFG — and ``exec``-ing
+it once per program.
+
+Layout:
+
+- :mod:`repro.jit.structure` — generic reducible-CFG structurer shared by
+  both code generators (RPO, dominators, natural loops, region tree).
+- :mod:`repro.jit.interp_jit` — compiles each procedure of an IR
+  :class:`~repro.ir.cfg.Program` into one generator function; a small
+  driver threads an explicit stack of generators, so recursion never
+  touches the Python stack.
+- :mod:`repro.jit.vliw_jit` — compiles each procedure of a
+  :class:`~repro.scheduling.compactor.CompiledProgram`, treating every
+  superblock schedule as a node of a schedule-level CFG.
+
+The JIT is on by default and must be bit-for-bit compatible with the
+reference loops; ``--no-jit`` (or ``REPRO_JIT=0``) selects the reference
+engines, and parity is enforced by the cross-engine matrix tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment toggle: ``REPRO_JIT=0`` disables the JIT process-wide
+#: (inherited by parallel worker processes, which is exactly the point).
+JIT_ENV_VAR = "REPRO_JIT"
+
+_FALSY = {"0", "off", "false", "no"}
+
+#: Session override installed by :func:`set_jit_enabled`; ``None`` defers
+#: to the environment variable.
+_override: Optional[bool] = None
+
+
+def jit_enabled() -> bool:
+    """Whether engines should JIT by default (env var unless overridden)."""
+    if _override is not None:
+        return _override
+    return os.environ.get(JIT_ENV_VAR, "1").strip().lower() not in _FALSY
+
+
+def set_jit_enabled(enabled: Optional[bool]) -> None:
+    """Override the process-wide JIT default (``None`` restores the env)."""
+    global _override
+    _override = enabled
+
+
+class JitStats:
+    """Process-wide JIT counters, surfaced through the metrics sink.
+
+    ``snapshot()``/``delta()`` let callers attribute compile time and
+    code-cache traffic to individual pipeline stages.
+    """
+
+    __slots__ = (
+        "compile_seconds",
+        "procs_compiled",
+        "code_cache_hits",
+        "code_cache_misses",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.compile_seconds = 0.0
+        self.procs_compiled = 0
+        self.code_cache_hits = 0
+        self.code_cache_misses = 0
+
+    def snapshot(self) -> tuple:
+        return (
+            self.compile_seconds,
+            self.procs_compiled,
+            self.code_cache_hits,
+            self.code_cache_misses,
+        )
+
+    def delta(self, before: tuple) -> dict:
+        """Counter movement since ``before`` (a :meth:`snapshot`)."""
+        now = self.snapshot()
+        return {
+            "compile_seconds": now[0] - before[0],
+            "procs_compiled": now[1] - before[1],
+            "code_cache_hits": now[2] - before[2],
+            "code_cache_misses": now[3] - before[3],
+        }
+
+
+#: The process-wide counter instance both code generators update.
+JIT_STATS = JitStats()
+
+
+def record_jit_metrics(metrics, before: tuple) -> None:
+    """Fold the JIT counter movement since ``before`` into ``metrics``."""
+    if metrics is None:
+        return
+    moved = JIT_STATS.delta(before)
+    if moved["procs_compiled"] or moved["compile_seconds"]:
+        metrics.add("jit.compile_seconds", moved["compile_seconds"])
+        metrics.add("jit.procs_compiled", moved["procs_compiled"])
+    if moved["code_cache_hits"]:
+        metrics.add("jit.code_cache_hits", moved["code_cache_hits"])
+    if moved["code_cache_misses"]:
+        metrics.add("jit.code_cache_misses", moved["code_cache_misses"])

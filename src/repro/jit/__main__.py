@@ -1,0 +1,103 @@
+"""Dump the JIT's generated Python source for a workload.
+
+Debugging aid (and CI artifact): compiles a workload through both code
+generators and writes every generated function to a directory::
+
+    python -m repro.jit wc --out jit-dump/
+    python -m repro.jit eqn --scheme P4 --stdout
+
+Each interpreter procedure yields ``interp_<variant>_<proc>.py`` and each
+VLIW procedure ``vliw_<scheme>_<proc>.py``; the sources are exactly what
+``exec`` saw, so a parity failure can be read straight off the dump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..pipeline import compile_scheme
+from ..workloads.suite import all_workloads, get_workload
+from .interp_jit import compiled_functions, jit_sources
+from .vliw_jit import compiled_vliw_functions, vliw_jit_sources
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.jit",
+        description="dump generated JIT code for one workload",
+    )
+    parser.add_argument(
+        "workload",
+        help="workload name (see --list)",
+        nargs="?",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list workload names and exit"
+    )
+    parser.add_argument(
+        "--scheme",
+        default="P4",
+        help="formation scheme for the VLIW dump (default: P4)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="training-tape scale for formation (default: 0.25)",
+    )
+    parser.add_argument(
+        "--out",
+        default="jit-dump",
+        help="output directory (default: ./jit-dump)",
+    )
+    parser.add_argument(
+        "--stdout",
+        action="store_true",
+        help="print sources to stdout instead of writing files",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for wl in all_workloads():
+            print(wl.name)
+        return 0
+    if not args.workload:
+        parser.error("workload name required (or --list)")
+    wl = get_workload(args.workload)
+
+    program = wl.program()
+    for traced in (False, True):
+        compiled_functions(program, traced=traced)
+    sources = {
+        f"interp_{variant}_{proc}.py": text
+        for (variant, proc), text in jit_sources(program).items()
+    }
+
+    cprogram = wl.fresh_program()
+    _, _, compiled, _ = compile_scheme(
+        cprogram, args.scheme, wl.train_tape(args.scale)
+    )
+    compiled_vliw_functions(compiled)
+    sources.update(
+        {
+            f"vliw_{args.scheme}_{proc}.py": text
+            for proc, text in vliw_jit_sources(compiled).items()
+        }
+    )
+
+    if args.stdout:
+        for name in sorted(sources):
+            print(f"# ===== {name} =====")
+            print(sources[name])
+        return 0
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, text in sources.items():
+        (out / name).write_text(text)
+    print(f"wrote {len(sources)} generated files to {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,686 @@
+"""Template JIT for the reference interpreter.
+
+Each procedure compiles to one Python *generator* function: registers are
+locals (``r3 = r1 + r2``), basic blocks are straight-line statement runs,
+and the CFG becomes structured ``while``/``if`` code via
+:mod:`repro.jit.structure` — natural loops turn into ``while True:`` with
+the header emitted unconditionally at the top, back edges into bare
+``continue``, and single-predecessor blocks are inlined into their
+predecessor's branch arm so hot paths run with no dispatch at all.
+
+Procedure calls suspend the generator::
+
+    rD, _ic, _br, _bl, _cl = yield (_p2, (r4, r5), _ic, _br, _bl, _cl)
+
+and a small driver threads an explicit stack of generators, so recursion
+depth is bounded by memory, not the Python stack, exactly like the
+reference loop's frame list.  Returns yield a ``(None, value, ...)``
+marker (cheaper than ``StopIteration`` unwinding on every call).
+
+Bookkeeping parity with :meth:`Interpreter._run_fast` is bit-for-bit for
+every run that completes: instruction/branch/block/call counters are
+hoisted to one constant increment per block, ``per_procedure`` uses a
+base-shift (``_t0``) that subtracts callee instructions at each call
+site, and the traced variant interns labels in first-execution order so
+the resulting :class:`~repro.interp.trace.ExecutionTrace` compares equal
+to the reference recorder's.  The step limit is enforced at loop headers,
+call sites, and returns — every cycle and every termination passes one —
+so a run fails with ``StepLimitExceeded`` iff the reference fails (the
+raise can land a few instructions later inside a block, which is
+unobservable outside the failing run itself).
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+from ..interp.interpreter import (
+    ExecutionResult,
+    InterpreterError,
+    StepLimitExceeded,
+)
+from ..interp.ops import MachineFault, _div, _mod
+from ..interp.trace import TRACE_TYPECODE, ExecutionTrace
+from ..ir.cfg import BasicBlock, Procedure, Program
+from ..ir.instructions import Instruction, Opcode
+from . import JIT_STATS
+from .structure import Structure, structure_cfg
+
+#: Deepest if/else nesting the inliner may create (CPython's parser caps
+#: statement nesting around 100; stay far below it).
+_MAX_INLINE_DEPTH = 12
+
+_CMP_OPS = {
+    Opcode.CMPEQ: "==",
+    Opcode.CMPNE: "!=",
+    Opcode.CMPLT: "<",
+    Opcode.CMPLE: "<=",
+    Opcode.CMPGT: ">",
+    Opcode.CMPGE: ">=",
+}
+
+_ARITH_OPS = {
+    Opcode.ADD: "+",
+    Opcode.SUB: "-",
+    Opcode.MUL: "*",
+    Opcode.AND: "&",
+    Opcode.OR: "|",
+    Opcode.XOR: "^",
+}
+
+_TERMINATORS = (Opcode.BR, Opcode.JMP, Opcode.MBR, Opcode.RET)
+
+
+def _trim_block(block: BasicBlock) -> List[Instruction]:
+    """Instructions that can actually execute: everything after the first
+    control transfer is dead (the reference loop never reaches it)."""
+    out: List[Instruction] = []
+    for instr in block.instructions:
+        out.append(instr)
+        if instr.opcode in _TERMINATORS:
+            break
+    return out
+
+
+def _successor_labels(instrs: List[Instruction]) -> List[str]:
+    """Dynamic successor labels (with multiplicity) of a trimmed block."""
+    if not instrs:
+        return []
+    last = instrs[-1]
+    if last.opcode is Opcode.BR:
+        return [last.targets[0], last.targets[1]]
+    if last.opcode is Opcode.JMP:
+        return [last.targets[0]]
+    if last.opcode is Opcode.MBR:
+        return list(last.targets)
+    return []
+
+
+class _ProcEmitter:
+    """Generates the source of one procedure's JIT function."""
+
+    def __init__(self, program: Program, proc: Procedure, traced: bool) -> None:
+        self.program = program
+        self.proc = proc
+        self.traced = traced
+        self.lines: List[str] = []
+        self.ns: Dict[str, object] = {
+            "_div": _div,
+            "_mod": _mod,
+            "InterpreterError": InterpreterError,
+            "StepLimitExceeded": StepLimitExceeded,
+            "MachineFault": MachineFault,
+        }
+        self.blocks = list(proc.blocks())
+        self.block_index = {b.label: i for i, b in enumerate(self.blocks)}
+        self.by_label = {b.label: b for b in self.blocks}
+        self.trimmed = {b.label: _trim_block(b) for b in self.blocks}
+        self.succs = {
+            label: [
+                t for t in _successor_labels(instrs) if t in self.by_label
+            ]
+            for label, instrs in self.trimmed.items()
+        }
+        self.structure: Optional[Structure] = structure_cfg(
+            proc.entry_label, self.succs
+        )
+        #: dispatch index per unit label (assigned in emission order)
+        self.dispatch: Dict[str, int] = {}
+        self.inlined: set = set()
+        self._callees: Dict[str, str] = {}
+
+    # -- small helpers -------------------------------------------------------
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def callee_const(self, name: str) -> str:
+        const = self._callees.get(name)
+        if const is None:
+            const = f"_p{len(self._callees)}"
+            self._callees[name] = const
+            self.ns[const] = self.program.procedure(name)
+        return const
+
+    def dispatch_index(self, label: str) -> int:
+        idx = self.dispatch.get(label)
+        if idx is None:
+            idx = self.dispatch[label] = len(self.dispatch)
+        return idx
+
+    def limit_check(self, indent: int) -> None:
+        self.emit(indent, "if _ic > _limit:")
+        self.emit(
+            indent + 1,
+            "raise StepLimitExceeded("
+            "'exceeded %d dynamic instructions' % _limit)",
+        )
+
+    # -- per-instruction bodies ----------------------------------------------
+
+    def emit_instr(self, indent: int, instr: Instruction) -> None:
+        op = instr.opcode
+        arith = _ARITH_OPS.get(op)
+        if arith is not None:
+            a, b = instr.srcs
+            self.emit(indent, f"r{instr.dest} = r{a} {arith} r{b}")
+            return
+        cmp = _CMP_OPS.get(op)
+        if cmp is not None:
+            a, b = instr.srcs
+            self.emit(
+                indent, f"r{instr.dest} = 1 if r{a} {cmp} r{b} else 0"
+            )
+            return
+        if op is Opcode.LI:
+            self.emit(indent, f"r{instr.dest} = {instr.imm!r}")
+        elif op is Opcode.MOV:
+            self.emit(indent, f"r{instr.dest} = r{instr.srcs[0]}")
+        elif op in (Opcode.LOAD, Opcode.LOAD_S):
+            self.emit(indent, f"r{instr.dest} = _mg(r{instr.srcs[0]}, 0)")
+        elif op is Opcode.STORE:
+            self.emit(
+                indent, f"_mem[r{instr.srcs[0]}] = r{instr.srcs[1]}"
+            )
+        elif op is Opcode.SPILL_LD:
+            self.emit(indent, f"r{instr.dest} = _spg({instr.imm!r}, 0)")
+        elif op is Opcode.SPILL_ST:
+            self.emit(indent, f"_sp[{instr.imm!r}] = r{instr.srcs[0]}")
+        elif op is Opcode.READ:
+            self.emit(indent, "if _tp < _tlen:")
+            self.emit(indent + 1, f"r{instr.dest} = _tape[_tp]")
+            self.emit(indent + 1, "_tp += 1")
+            self.emit(indent, "else:")
+            self.emit(indent + 1, f"r{instr.dest} = -1")
+        elif op is Opcode.PRINT:
+            self.emit(indent, f"_oa(r{instr.srcs[0]})")
+        elif op is Opcode.SHL:
+            a, b = instr.srcs
+            self.emit(indent, f"r{instr.dest} = r{a} << (r{b} & 63)")
+        elif op is Opcode.SHR:
+            a, b = instr.srcs
+            self.emit(indent, f"r{instr.dest} = r{a} >> (r{b} & 63)")
+        elif op is Opcode.DIV:
+            a, b = instr.srcs
+            self.emit(indent, f"r{instr.dest} = _div(r{a}, r{b})")
+        elif op is Opcode.MOD:
+            a, b = instr.srcs
+            self.emit(indent, f"r{instr.dest} = _mod(r{a}, r{b})")
+        elif op is Opcode.NEG:
+            self.emit(indent, f"r{instr.dest} = -r{instr.srcs[0]}")
+        elif op is Opcode.NOT:
+            self.emit(
+                indent,
+                f"r{instr.dest} = 1 if r{instr.srcs[0]} == 0 else 0",
+            )
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.CALL:
+            dest = f"r{instr.dest}" if instr.dest is not None else "_rv"
+            argv = ", ".join(f"r{s}" for s in instr.srcs)
+            argv = f"({argv},)" if instr.srcs else "()"
+            const = self.callee_const(instr.callee)
+            self.limit_check(indent)
+            self.emit(indent, "_cl += 1")
+            self.emit(indent, "_tpc[0] = _tp")
+            self.emit(indent, "_pre = _ic")
+            self.emit(
+                indent,
+                f"{dest}, _ic, _br, _bl, _cl = yield"
+                f" ({const}, {argv}, _ic, _br, _bl, _cl)",
+            )
+            self.emit(indent, "_t0 += _ic - _pre")
+            self.emit(indent, "_tp = _tpc[0]")
+        else:  # pragma: no cover - exhaustive over non-terminator opcodes
+            raise InterpreterError(f"jit cannot compile {op}")
+
+    # -- transfers -----------------------------------------------------------
+
+    def emit_transfer(
+        self, indent: int, src: str, target: str, flat: bool, depth: int
+    ) -> None:
+        """Emit the control transfer for edge ``src -> target``.
+
+        ``depth`` counts if/else nesting added by inlining at this site.
+        """
+        if not flat:
+            st = self.structure
+            if (
+                target not in self.inlined
+                and self.inlinable(src, target, depth)
+            ):
+                self.inlined.add(target)
+                self.emit_block_code(indent, target, flat, depth)
+                return
+            chain = st.headers[src]
+            if chain and target == chain[0]:
+                self.emit(indent, "continue")
+                return
+            idx = self.dispatch_index(target)
+            if target in chain:
+                self.emit(indent, f"_L = {idx}")
+                self.emit(indent, "break")
+            elif st.region_depth[target] == len(chain):
+                self.emit(indent, f"_L = {idx}")
+            else:
+                self.emit(indent, f"_L = {idx}")
+                self.emit(indent, "break")
+        else:
+            idx = self.dispatch_index(target)
+            self.emit(indent, f"_L = {idx}")
+            self.emit(indent, "continue")
+
+    def inlinable(self, src: str, target: str, depth: int) -> bool:
+        """Whether ``target`` can be inlined at its sole transfer site in
+        ``src``: one incoming edge, not a loop header, and the same
+        innermost loop (so ``continue``/``break`` keep their meaning)."""
+        st = self.structure
+        return (
+            depth < _MAX_INLINE_DEPTH
+            and target != self.proc.entry_label
+            and target in st.region_depth
+            and st.pred_edges.get(target) == 1
+            and st.loop_of[target] is not target
+            and st.loop_of[target] is st.loop_of[src]
+        )
+
+    # -- block bodies --------------------------------------------------------
+
+    def emit_block_code(
+        self, indent: int, label: str, flat: bool, depth: int = 0
+    ) -> None:
+        """Counter prologue, straight-line body, and terminator transfer."""
+        instrs = self.trimmed[label]
+        bidx = self.block_index[label]
+        self.emit(indent, f"_ic += {len(instrs)}")
+        self.emit(indent, "_bl += 1")
+        if self.traced:
+            self.emit(indent, f"_l = _lc[{bidx}]")
+            self.emit(indent, "if _l < 0:")
+            self.emit(indent + 1, f"_l = _lc[{bidx}] = _itn({label!r})")
+            self.emit(indent, "_tba(_l)")
+        term = instrs[-1] if instrs else None
+        body = instrs[:-1] if (
+            term is not None and term.opcode in _TERMINATORS
+        ) else instrs
+        for instr in body:
+            self.emit_instr(indent, instr)
+        if term is None or term.opcode not in _TERMINATORS:
+            msg = (
+                f"fell off the end of block {label}"
+                f" in {self.proc.name}"
+            )
+            self.emit(indent, f"raise InterpreterError({msg!r})")
+            return
+        op = term.opcode
+        if op is Opcode.RET:
+            value = f"r{term.srcs[0]}" if term.srcs else "0"
+            self.limit_check(indent)
+            name = self.proc.name
+            self.emit(
+                indent,
+                f"_pp[{name!r}] = _pp.get({name!r}, 0) + _ic - _t0",
+            )
+            self.emit(indent, "_tpc[0] = _tp")
+            self.emit(
+                indent,
+                f"yield (None, {value}, _ic, _br, _bl, _cl)",
+            )
+            self.emit(indent, "return")
+        elif op is Opcode.JMP:
+            self.emit_transfer(
+                indent, label, term.targets[0], flat, depth
+            )
+        elif op is Opcode.BR:
+            self.emit(indent, "_br += 1")
+            t1, t2 = term.targets[0], term.targets[1]
+            cond = f"r{term.srcs[0]}"
+            if not flat and self.plain_fallthrough(label, t1, t2, depth):
+                i1 = self.dispatch_index(t1)
+                i2 = self.dispatch_index(t2)
+                self.emit(indent, f"_L = {i1} if {cond} else {i2}")
+            else:
+                self.emit(indent, f"if {cond}:")
+                self.emit_transfer(indent + 1, label, t1, flat, depth + 1)
+                self.emit(indent, "else:")
+                self.emit_transfer(indent + 1, label, t2, flat, depth + 1)
+        else:  # MBR
+            self.emit(indent, "_br += 1")
+            targets = list(term.targets)
+            sel = f"r{term.srcs[0]}"
+            if len(targets) == 1:
+                self.emit_transfer(indent, label, targets[0], flat, depth)
+            else:
+                self.emit(indent, f"_s = {sel}")
+                for i, t in enumerate(targets[:-1]):
+                    kw = "if" if i == 0 else "elif"
+                    self.emit(indent, f"{kw} _s == {i}:")
+                    self.emit_transfer(indent + 1, label, t, flat, depth + 1)
+                self.emit(indent, "else:")
+                self.emit_transfer(
+                    indent + 1, label, targets[-1], flat, depth + 1
+                )
+
+    def plain_fallthrough(
+        self, src: str, t1: str, t2: str, depth: int
+    ) -> bool:
+        """Both BR arms are plain ladder fallthroughs (collapsible to one
+        conditional expression)."""
+        st = self.structure
+        for t in (t1, t2):
+            if t not in self.inlined and self.inlinable(src, t, depth):
+                return False
+            chain = st.headers[src]
+            if t in chain or st.region_depth.get(t) != len(chain):
+                return False
+        return True
+
+    # -- regions -------------------------------------------------------------
+
+    def emit_region_items(self, indent: int, items) -> None:
+        for item in items:
+            if item[0] == "b":
+                label = item[1]
+                if label in self.inlined:
+                    continue
+                idx = self.dispatch_index(label)
+                self.emit(indent, f"if _L == {idx}:")
+                self.emit_block_code(indent + 1, label, flat=False)
+            else:
+                header, sub = item[1], item[2]
+                idx = self.dispatch_index(header)
+                self.emit(indent, f"if _L == {idx}:")
+                self.emit(indent + 1, "while True:")
+                self.limit_check(indent + 2)
+                self.emit_block_code(indent + 2, header, flat=False)
+                self.emit_region_items(indent + 2, sub)
+                if header in self.structure.needs_reentry:
+                    self.emit(indent + 2, f"if _L == {idx}:")
+                    self.emit(indent + 3, "continue")
+                self.emit(indent + 2, "break")
+
+    # -- whole function ------------------------------------------------------
+
+    def generate(self) -> str:
+        proc = self.proc
+        fname = "_jit_fn"
+        if self.traced:
+            self.emit(
+                0,
+                f"def {fname}(_argv, _rt, _tb, _lc, _itn,"
+                " _ic, _br, _bl, _cl):",
+            )
+        else:
+            self.emit(0, f"def {fname}(_argv, _rt, _ic, _br, _bl, _cl):")
+        self.emit(1, "_tape, _tpc, _mem, _out, _pp, _limit = _rt")
+        ops_used = {
+            i.opcode
+            for instrs in self.trimmed.values()
+            for i in instrs
+        }
+        if ops_used & {Opcode.LOAD, Opcode.LOAD_S}:
+            self.emit(1, "_mg = _mem.get")
+        if Opcode.PRINT in ops_used:
+            self.emit(1, "_oa = _out.append")
+        self.emit(1, "_tlen = len(_tape)")
+        self.emit(1, "_tp = _tpc[0]")
+        self.emit(1, "_t0 = _ic")
+        if Opcode.SPILL_LD in ops_used or Opcode.SPILL_ST in ops_used:
+            self.emit(1, "_sp = {}")
+            if Opcode.SPILL_LD in ops_used:
+                self.emit(1, "_spg = _sp.get")
+        if self.traced:
+            self.emit(1, "_tba = _tb.append")
+        params = proc.params
+        if len(params) == 1:
+            self.emit(1, f"r{params[0]}, = _argv")
+        elif params:
+            unpack = ", ".join(f"r{p}" for p in params)
+            self.emit(1, f"{unpack} = _argv")
+        self.emit(1, "if 0:")
+        self.emit(2, "yield")  # generator even without calls/returns
+        entry = proc.entry_label
+        if self.structure is not None:
+            self.emit(1, f"_L = {self.dispatch_index(entry)}")
+            self.emit_region_items(1, self.structure.items)
+            # All transfers resolve within the tree; reaching the end of
+            # the top-level ladder is impossible for well-formed emission.
+            self.emit(1, "raise InterpreterError('jit dispatch fell out')")
+        else:
+            # Flat fallback ladder for irreducible graphs.
+            reachable = [
+                b.label
+                for b in self.blocks
+            ]
+            self.emit(1, f"_L = {self.dispatch_index(entry)}")
+            self.emit(1, "while True:")
+            self.limit_check(2)
+            for i, label in enumerate(reachable):
+                idx = self.dispatch_index(label)
+                kw = "if" if i == 0 else "elif"
+                self.emit(2, f"{kw} _L == {idx}:")
+                self.emit_block_code(3, label, flat=True)
+            self.emit(2, "else:")
+            self.emit(3, "raise InterpreterError('jit dispatch fell out')")
+        return "\n".join(self.lines) + "\n"
+
+
+def compile_procedure(program: Program, proc: Procedure, traced: bool):
+    """Compile one procedure; returns ``(function, source)``."""
+    emitter = _ProcEmitter(program, proc, traced)
+    source = emitter.generate()
+    variant = "traced" if traced else "plain"
+    code = compile(
+        source, f"<jit:{variant}:{proc.name}>", "exec"
+    )
+    ns = emitter.ns
+    exec(code, ns)  # noqa: S102 - the whole point of a template JIT
+    return ns["_jit_fn"], source
+
+
+_CODE_CACHE: "WeakKeyDictionary[Program, Dict]" = WeakKeyDictionary()
+
+
+def compiled_functions(program: Program, traced: bool) -> Dict[str, object]:
+    """Per-procedure JIT functions for ``program`` (cached per variant)."""
+    entry = _CODE_CACHE.get(program)
+    if entry is None:
+        entry = _CODE_CACHE[program] = {"sources": {}}
+    variant = "traced" if traced else "plain"
+    fns = entry.get(variant)
+    if fns is not None:
+        JIT_STATS.code_cache_hits += 1
+        return fns
+    JIT_STATS.code_cache_misses += 1
+    t0 = time.perf_counter()
+    fns = {}
+    for proc in program.procedures():
+        fn, source = compile_procedure(program, proc, traced)
+        fns[proc.name] = fn
+        entry["sources"][(variant, proc.name)] = source
+        JIT_STATS.procs_compiled += 1
+    entry[variant] = fns
+    JIT_STATS.compile_seconds += time.perf_counter() - t0
+    return fns
+
+
+def jit_sources(program: Program) -> Dict[Tuple[str, str], str]:
+    """Generated sources compiled so far for ``program`` (debug dumps)."""
+    entry = _CODE_CACHE.get(program)
+    return dict(entry["sources"]) if entry else {}
+
+
+def _check_args(proc: Procedure, argv: Sequence[int]) -> None:
+    if len(argv) != len(proc.params):
+        raise InterpreterError(
+            f"{proc.name} expects {len(proc.params)} args,"
+            f" got {len(argv)}"
+        )
+
+
+def run_jit(
+    program: Program,
+    input_tape: Sequence[int] = (),
+    args: Sequence[int] = (),
+    step_limit: int = 50_000_000,
+) -> ExecutionResult:
+    """JIT-execute ``program``; bit-identical to ``Interpreter.run``."""
+    fns = compiled_functions(program, traced=False)
+    tape = list(input_tape)
+    tpc = [0]
+    memory: Dict[int, int] = {}
+    output: List[int] = []
+    pp: Dict[str, int] = {}
+    rt = (tape, tpc, memory, output, pp, step_limit)
+
+    entry = program.procedure(program.entry)
+    argv = tuple(args)
+    _check_args(entry, argv)
+    stack: List[Tuple[object, str]] = [
+        (fns[entry.name](argv, rt, 0, 0, 0, 0), entry.name)
+    ]
+    send = None
+    return_value = 0
+    ic = br = bl = cl = 0
+    while stack:
+        req = stack[-1][0].send(send)
+        if req[0] is None:
+            stack.pop()
+            if stack:
+                send = req[1:]
+            else:
+                return_value = req[1]
+                ic, br, bl, cl = req[2], req[3], req[4], req[5]
+        else:
+            callee, cargv = req[0], req[1]
+            # The caller's bookkeeping round ends here: mirror the
+            # reference loop's per_procedure insertion order.
+            caller = stack[-1][1]
+            if caller not in pp:
+                pp[caller] = 0
+            _check_args(callee, cargv)
+            stack.append(
+                (
+                    fns[callee.name](
+                        cargv, rt, req[2], req[3], req[4], req[5]
+                    ),
+                    callee.name,
+                )
+            )
+            send = None
+    return ExecutionResult(
+        output=output,
+        return_value=return_value,
+        instructions=ic,
+        branches=br,
+        blocks=bl,
+        calls=cl,
+        per_procedure=pp,
+    )
+
+
+def run_traced_jit(
+    program: Program,
+    input_tape: Sequence[int] = (),
+    args: Sequence[int] = (),
+    step_limit: int = 50_000_000,
+) -> Tuple[ExecutionResult, ExecutionTrace]:
+    """JIT-execute while recording the compact block trace."""
+    fns = compiled_functions(program, traced=True)
+    tape = list(input_tape)
+    tpc = [0]
+    memory: Dict[int, int] = {}
+    output: List[int] = []
+    pp: Dict[str, int] = {}
+    rt = (tape, tpc, memory, output, pp, step_limit)
+
+    nblocks = {
+        proc.name: len(list(proc.blocks()))
+        for proc in program.procedures()
+    }
+    proc_ids: Dict[str, int] = {}
+    label_maps: List[Dict[str, int]] = []
+    label_lists: List[List[str]] = []
+    lcaches: List[List[int]] = []
+    interns: List[object] = []
+    frames_rec: List[Tuple[int, array]] = []
+
+    def make_intern(tmap: Dict[str, int], tlist: List[str]):
+        def intern(label: str) -> int:
+            lid = tmap.get(label)
+            if lid is None:
+                lid = tmap[label] = len(tlist)
+                tlist.append(label)
+            return lid
+
+        return intern
+
+    def open_state(proc: Procedure):
+        pidx = proc_ids.get(proc.name)
+        if pidx is None:
+            pidx = proc_ids[proc.name] = len(label_lists)
+            label_maps.append({})
+            label_lists.append([])
+            lcaches.append([-1] * nblocks[proc.name])
+            interns.append(make_intern(label_maps[pidx], label_lists[pidx]))
+        tbuf = array(TRACE_TYPECODE)
+        frames_rec.append((pidx, tbuf))
+        return tbuf, lcaches[pidx], interns[pidx]
+
+    entry = program.procedure(program.entry)
+    argv = tuple(args)
+    _check_args(entry, argv)
+    tbuf, lc, itn = open_state(entry)
+    stack: List[Tuple[object, str]] = [
+        (fns[entry.name](argv, rt, tbuf, lc, itn, 0, 0, 0, 0), entry.name)
+    ]
+    send = None
+    return_value = 0
+    ic = br = bl = cl = 0
+    while stack:
+        req = stack[-1][0].send(send)
+        if req[0] is None:
+            stack.pop()
+            if stack:
+                send = req[1:]
+            else:
+                return_value = req[1]
+                ic, br, bl, cl = req[2], req[3], req[4], req[5]
+        else:
+            callee, cargv = req[0], req[1]
+            caller = stack[-1][1]
+            if caller not in pp:
+                pp[caller] = 0
+            _check_args(callee, cargv)
+            tbuf, lc, itn = open_state(callee)
+            stack.append(
+                (
+                    fns[callee.name](
+                        cargv, rt, tbuf, lc, itn,
+                        req[2], req[3], req[4], req[5],
+                    ),
+                    callee.name,
+                )
+            )
+            send = None
+    result = ExecutionResult(
+        output=output,
+        return_value=return_value,
+        instructions=ic,
+        branches=br,
+        blocks=bl,
+        calls=cl,
+        per_procedure=pp,
+    )
+    proc_names = [""] * len(proc_ids)
+    for name, pidx in proc_ids.items():
+        proc_names[pidx] = name
+    trace = ExecutionTrace(
+        proc_names=proc_names,
+        labels=label_lists,
+        frames=frames_rec,
+    )
+    return result, trace

@@ -1,0 +1,219 @@
+"""Reducible-CFG structurer shared by both template code generators.
+
+The JIT emits real Python control flow instead of a dispatch loop: each
+natural loop becomes a ``while True:`` whose body starts with the header's
+code, and everything else becomes a guarded if-ladder inside its region.
+This module computes the region tree that makes the emission valid:
+
+- reverse postorder and dominators (iterative, Cooper–Harvey–Kennedy),
+- back edges and natural loop bodies,
+- a region tree whose units (blocks, or whole nested loops contracted to
+  their header) are ordered by header RPO — an order every non-back edge
+  respects, so forward transfers always move *down* the ladder,
+- per-node context the emitters need to classify each CFG edge as
+  ``continue`` (innermost back edge), ``break`` (exit toward an outer
+  region, cascading one level at a time), or plain fallthrough.
+
+Graphs the scheme cannot express — a retreating edge whose target does not
+dominate its source, or overlapping (not properly nested) loop bodies —
+return ``None``; callers fall back to a flat dispatch ladder that handles
+any shape, just slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+Node = Hashable
+#: ("b", node) for a plain block, ("l", header, sub_items) for a loop.
+Item = Tuple
+
+
+@dataclass
+class Structure:
+    """Region tree plus the per-node lookups the emitters use."""
+
+    order: List[Node]
+    items: List[Item]
+    #: innermost enclosing loop header (headers map to themselves)
+    loop_of: Dict[Node, Optional[Node]]
+    #: enclosing loop headers, innermost first (headers include themselves)
+    headers: Dict[Node, List[Node]]
+    #: nesting depth of the region holding this node's unit
+    region_depth: Dict[Node, int]
+    #: headers reached by a break-cascade (outer back edges): their loops
+    #: need a trailing ``if _L == idx: continue`` re-entry check
+    needs_reentry: Set[Node] = field(default_factory=set)
+    #: total number of CFG edges into each node
+    pred_edges: Dict[Node, int] = field(default_factory=dict)
+
+
+def _rpo(entry: Node, succs: Dict[Node, Sequence[Node]]) -> List[Node]:
+    """Reverse postorder over the nodes reachable from ``entry``."""
+    post: List[Node] = []
+    visited: Set[Node] = {entry}
+    # Iterative DFS with an explicit (node, next-successor-index) stack.
+    stack: List[Tuple[Node, int]] = [(entry, 0)]
+    while stack:
+        node, i = stack[-1]
+        out = succs.get(node, ())
+        if i < len(out):
+            stack[-1] = (node, i + 1)
+            nxt = out[i]
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            stack.pop()
+            post.append(node)
+    post.reverse()
+    return post
+
+
+def structure_cfg(
+    entry: Node, succs: Dict[Node, Sequence[Node]]
+) -> Optional[Structure]:
+    """Build the region tree for a reducible CFG, or ``None`` if it isn't."""
+    order = _rpo(entry, succs)
+    index = {node: i for i, node in enumerate(order)}
+    preds: Dict[Node, List[Node]] = {node: [] for node in order}
+    pred_edges: Dict[Node, int] = {node: 0 for node in order}
+    for node in order:
+        for nxt in succs.get(node, ()):
+            if nxt in index:
+                preds[nxt].append(node)
+                pred_edges[nxt] += 1
+
+    # -- dominators (iterative intersection over RPO) ------------------------
+    idom: Dict[Node, Optional[Node]] = {node: None for node in order}
+    idom[entry] = entry
+
+    def intersect(a: Node, b: Node) -> Node:
+        while a is not b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order[1:]:
+            new: Optional[Node] = None
+            for p in preds[node]:
+                if idom[p] is None:
+                    continue
+                new = p if new is None else intersect(new, p)
+            if new is not None and idom[node] is not new:
+                idom[node] = new
+                changed = True
+
+    def dominates(a: Node, b: Node) -> bool:
+        while True:
+            if b is a:
+                return True
+            nxt = idom[b]
+            if nxt is b or nxt is None:
+                return False
+            b = nxt
+
+    # -- back edges and natural loop bodies ----------------------------------
+    body_of: Dict[Node, Set[Node]] = {}
+    for node in order:
+        for nxt in succs.get(node, ()):
+            if nxt not in index or index[nxt] > index[node]:
+                continue
+            # Retreating edge: must be a true back edge or we bail out.
+            if not dominates(nxt, node):
+                return None
+            body = body_of.setdefault(nxt, {nxt})
+            work = [node]
+            while work:
+                m = work.pop()
+                if m in body:
+                    continue
+                body.add(m)
+                work.extend(preds[m])
+
+    # -- loop nesting ---------------------------------------------------------
+    # Innermost loop per node; verify bodies are properly nested as we go.
+    loops_by_size = sorted(
+        body_of, key=lambda h: (len(body_of[h]), index[h])
+    )
+    loop_of: Dict[Node, Optional[Node]] = {node: None for node in order}
+    for header in reversed(loops_by_size):  # largest body first
+        for member in body_of[header]:
+            loop_of[member] = header  # smaller bodies overwrite later
+    for header in loops_by_size:
+        loop_of[header] = header
+
+    #: header -> innermost strictly-enclosing header (or None)
+    parent_of: Dict[Node, Optional[Node]] = {}
+    for header in loops_by_size:
+        enclosing = [
+            h
+            for h in loops_by_size
+            if h is not header and header in body_of[h]
+        ]
+        enclosing.sort(key=lambda h: len(body_of[h]))
+        # Proper nesting: each enclosing body must contain the previous one.
+        prev = body_of[header]
+        for h in enclosing:
+            if not prev <= body_of[h]:
+                return None
+            prev = body_of[h]
+        parent_of[header] = enclosing[0] if enclosing else None
+
+    headers: Dict[Node, List[Node]] = {}
+    for node in order:
+        chain: List[Node] = []
+        cur = loop_of[node]
+        while cur is not None:
+            chain.append(cur)
+            cur = parent_of[cur]
+        headers[node] = chain
+
+    region_depth = {
+        node: len(headers[node]) - (1 if node in body_of else 0)
+        for node in order
+    }
+
+    # -- region tree ----------------------------------------------------------
+    def build(region_header: Optional[Node]) -> List[Item]:
+        items: List[Item] = []
+        for node in order:
+            if node in body_of:
+                unit_parent = parent_of[node]
+            else:
+                unit_parent = loop_of[node]
+            if unit_parent is not region_header:
+                continue
+            if node in body_of:
+                items.append(("l", node, build(node)))
+            else:
+                items.append(("b", node))
+        return items
+
+    # ``build`` scans the full order per region; fine for the small CFGs
+    # the JIT compiles (procedures and schedule graphs, not whole programs).
+    items = build(None)
+
+    # -- re-entry checks: outer back edges arriving via break cascades --------
+    needs_reentry: Set[Node] = set()
+    for node in order:
+        chain = headers[node]
+        for nxt in succs.get(node, ()):
+            if nxt in chain and nxt is not chain[0]:
+                needs_reentry.add(nxt)
+
+    return Structure(
+        order=order,
+        items=items,
+        loop_of=loop_of,
+        headers=headers,
+        region_depth=region_depth,
+        needs_reentry=needs_reentry,
+        pred_edges=pred_edges,
+    )

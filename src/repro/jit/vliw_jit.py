@@ -1,0 +1,565 @@
+"""Template JIT for the VLIW simulator.
+
+Each compiled procedure becomes one Python *generator* function over its
+schedule-level CFG: the nodes are superblock schedules, an off-trace exit
+is a dispatch transfer to the target schedule, and each schedule's bundle
+sequence is emitted as straight-line statements.  Registers are locals
+(``r7 = r3 + r5``), VLIW read-before-write semantics fall out of a single
+tuple assignment per bundle (every right-hand side evaluates before any
+register is written), and cycle/operation/branch counters collapse to one
+constant increment per control bundle.
+
+Procedure calls suspend the generator exactly like the interpreter JIT::
+
+    r4, _cy, _op, _ws, _br, _ca, _se, _bx, _sz = yield (_p0, (r2,), ...)
+
+and the driver threads an explicit stack of generators.  Statistics parity
+with :meth:`VLIWSimulator.run` is bit-for-bit for every run that
+completes: wasted-operation counts and Figure 7 bookkeeping are baked in
+as per-exit constants, and speculative ``DIV``/``MOD`` run through
+fault-suppressing helpers that produce 0, like the reference's
+non-excepting variants.  The cycle limit is enforced at every schedule
+entry, call, and return — so a run fails with :class:`CycleLimitExceeded`
+iff the reference fails (the raise can land a few bundles later inside a
+schedule, which is unobservable outside the failing run itself).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..interp.ops import MachineFault, _div, _mod
+from ..ir.instructions import Instruction, Opcode
+from ..scheduling.compactor import CompiledProcedure, CompiledProgram
+from ..scheduling.list_scheduler import SuperblockSchedule
+from ..simulate.vliw_sim import (
+    CycleLimitExceeded,
+    SimulationError,
+    SimulationResult,
+    _wasted_ops,
+)
+from . import JIT_STATS
+
+_CONTROL = (Opcode.BR, Opcode.MBR, Opcode.JMP, Opcode.CALL, Opcode.RET)
+
+_ARITH = {
+    Opcode.ADD: "+",
+    Opcode.SUB: "-",
+    Opcode.MUL: "*",
+    Opcode.AND: "&",
+    Opcode.OR: "|",
+    Opcode.XOR: "^",
+}
+
+_CMP = {
+    Opcode.CMPEQ: "==",
+    Opcode.CMPNE: "!=",
+    Opcode.CMPLT: "<",
+    Opcode.CMPLE: "<=",
+    Opcode.CMPGT: ">",
+    Opcode.CMPGE: ">=",
+}
+
+
+def _sdiv(a: int, b: int) -> int:
+    """Speculative divide: faults produce 0 instead of trapping."""
+    try:
+        return _div(a, b)
+    except MachineFault:
+        return 0
+
+
+def _smod(a: int, b: int) -> int:
+    """Speculative modulo: faults produce 0 instead of trapping."""
+    try:
+        return _mod(a, b)
+    except MachineFault:
+        return 0
+
+
+class _BundleCtx:
+    """Read-phase staging for one bundle's code."""
+
+    def __init__(self, dests: set) -> None:
+        self.dests = dests
+        self.pre: List[str] = []
+        self.writes: List[Tuple[int, str]] = []
+        self.mem: List[Tuple[str, str]] = []
+        self.spill: List[Tuple[object, str]] = []
+        self.prints: List[str] = []
+        self.captured: Dict[int, str] = {}
+        self.ntmp = 0
+
+    def tmp(self) -> str:
+        name = f"_v{self.ntmp}"
+        self.ntmp += 1
+        return name
+
+    def read(self, reg: int) -> str:
+        """Expression for a *post-write* use of a read-phase register value.
+
+        When the register is also written by this bundle, its pre-write
+        value is captured into a temp during the read phase; otherwise the
+        live local still holds the read-phase value afterwards.
+        """
+        if reg not in self.dests:
+            return f"r{reg}"
+        name = self.captured.get(reg)
+        if name is None:
+            name = self.captured[reg] = self.tmp()
+            self.pre.append(f"{name} = r{reg}")
+        return name
+
+
+class _VliwEmitter:
+    """Generates the source of one compiled procedure's JIT function."""
+
+    def __init__(self, compiled: CompiledProgram, cproc: CompiledProcedure):
+        self.compiled = compiled
+        self.cproc = cproc
+        self.lines: List[str] = []
+        self.ns: Dict[str, object] = {
+            "_div": _div,
+            "_mod": _mod,
+            "_sdiv": _sdiv,
+            "_smod": _smod,
+            "SimulationError": SimulationError,
+            "CycleLimitExceeded": CycleLimitExceeded,
+        }
+        self.heads = list(cproc.schedules)
+        self.head_index = {h: i for i, h in enumerate(self.heads)}
+        self._callees: Dict[str, str] = {}
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def callee_const(self, name: str) -> str:
+        const = self._callees.get(name)
+        if const is None:
+            const = f"_p{len(self._callees)}"
+            self._callees[name] = const
+            self.ns[const] = self.compiled.procedures[name]
+        return const
+
+    def limit_check(self, indent: int) -> None:
+        self.emit(indent, "if _cy > _limit:")
+        self.emit(
+            indent + 1,
+            "raise CycleLimitExceeded('exceeded %d cycles' % _limit)",
+        )
+
+    # -- per-op read-phase staging -------------------------------------------
+
+    def stage_op(self, ctx: _BundleCtx, op) -> None:
+        instr = op.instr
+        opcode = instr.opcode
+        arith = _ARITH.get(opcode)
+        if arith is not None:
+            a, b = instr.srcs
+            ctx.writes.append((instr.dest, f"r{a} {arith} r{b}"))
+            return
+        cmp = _CMP.get(opcode)
+        if cmp is not None:
+            a, b = instr.srcs
+            ctx.writes.append((instr.dest, f"1 if r{a} {cmp} r{b} else 0"))
+            return
+        if opcode is Opcode.SHL:
+            a, b = instr.srcs
+            ctx.writes.append((instr.dest, f"r{a} << (r{b} & 63)"))
+        elif opcode is Opcode.SHR:
+            a, b = instr.srcs
+            ctx.writes.append((instr.dest, f"r{a} >> (r{b} & 63)"))
+        elif opcode in (Opcode.DIV, Opcode.MOD):
+            # Faults must fire in op order relative to tape reads, so
+            # these evaluate as read-phase statements, not tuple items.
+            fn = "_div" if opcode is Opcode.DIV else "_mod"
+            if op.speculative:
+                fn = "_s" + fn[1:]
+            a, b = instr.srcs
+            name = ctx.tmp()
+            ctx.pre.append(f"{name} = {fn}(r{a}, r{b})")
+            ctx.writes.append((instr.dest, name))
+        elif opcode is Opcode.LI:
+            ctx.writes.append((instr.dest, repr(instr.imm)))
+        elif opcode is Opcode.MOV:
+            ctx.writes.append((instr.dest, f"r{instr.srcs[0]}"))
+        elif opcode in (Opcode.LOAD, Opcode.LOAD_S):
+            ctx.writes.append((instr.dest, f"_mg(r{instr.srcs[0]}, 0)"))
+        elif opcode is Opcode.STORE:
+            ctx.mem.append(
+                (ctx.read(instr.srcs[0]), ctx.read(instr.srcs[1]))
+            )
+        elif opcode is Opcode.SPILL_LD:
+            ctx.writes.append((instr.dest, f"_spg({instr.imm!r}, 0)"))
+        elif opcode is Opcode.SPILL_ST:
+            ctx.spill.append((instr.imm, ctx.read(instr.srcs[0])))
+        elif opcode is Opcode.READ:
+            name = ctx.tmp()
+            ctx.pre.append("if _tp < _tlen:")
+            ctx.pre.append(f"    {name} = _tape[_tp]")
+            ctx.pre.append("    _tp += 1")
+            ctx.pre.append("else:")
+            ctx.pre.append(f"    {name} = -1")
+            ctx.writes.append((instr.dest, name))
+        elif opcode is Opcode.PRINT:
+            ctx.prints.append(ctx.read(instr.srcs[0]))
+        elif opcode is Opcode.NEG:
+            ctx.writes.append((instr.dest, f"-r{instr.srcs[0]}"))
+        elif opcode is Opcode.NOT:
+            ctx.writes.append(
+                (instr.dest, f"1 if r{instr.srcs[0]} == 0 else 0")
+            )
+        elif opcode is Opcode.NOP or opcode in _CONTROL:
+            pass
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise SimulationError(f"cannot simulate {opcode}")
+
+    # -- exits ----------------------------------------------------------------
+
+    def emit_exit(
+        self,
+        indent: int,
+        schedule: SuperblockSchedule,
+        op,
+        pos1: int,
+        target: str,
+    ) -> None:
+        """Bookkeeping and transfer for leaving the superblock at ``op``."""
+        self.emit(indent, f"_bx += {pos1}")
+        wasted = _wasted_ops(schedule, op)
+        if wasted:
+            self.emit(indent, f"_ws += {wasted}")
+        idx = self.head_index.get(target)
+        if idx is None:
+            # The reference transfer is cproc.schedules[target]: mirror
+            # its KeyError for targets with no schedule.
+            self.emit(indent, f"raise KeyError({target!r})")
+        else:
+            self.emit(indent, f"_L = {idx}")
+            self.emit(indent, "continue")
+
+    def emit_ret(
+        self,
+        indent: int,
+        schedule: SuperblockSchedule,
+        op,
+        pos1: int,
+        value: str,
+    ) -> None:
+        self.emit(indent, f"_bx += {pos1}")
+        wasted = _wasted_ops(schedule, op)
+        if wasted:
+            self.emit(indent, f"_ws += {wasted}")
+        self.limit_check(indent)
+        self.emit(indent, "_tpc[0] = _tp")
+        self.emit(
+            indent,
+            f"yield (None, {value},"
+            " _cy, _op, _ws, _br, _ca, _se, _bx, _sz)",
+        )
+        self.emit(indent, "return")
+
+    # -- schedules ------------------------------------------------------------
+
+    def emit_schedule(self, indent: int, head: str) -> None:
+        schedule = self.cproc.schedules[head]
+        code = schedule.code
+        exits = code.exits
+        position = {label: i for i, label in enumerate(code.labels)}
+        block_pos = {
+            instr: position[label]
+            for instr, label in code.block_of.items()
+            if label in position
+        }
+        self.emit(indent, "_se += 1")
+        self.emit(indent, f"_sz += {len(code.labels)}")
+        pend_cy = pend_op = pend_br = 0
+        for bundle in schedule.bundles:
+            pend_cy += 1
+            pend_op += len(bundle)
+            ctrl = [
+                op for op in bundle if op.instr.opcode in _CONTROL
+            ]
+            pend_br += sum(
+                1
+                for op in bundle
+                if op.instr.opcode in (Opcode.BR, Opcode.MBR)
+            )
+            if ctrl:
+                self.emit(indent, f"_cy += {pend_cy}")
+                if pend_op:
+                    self.emit(indent, f"_op += {pend_op}")
+                if pend_br:
+                    self.emit(indent, f"_br += {pend_br}")
+                pend_cy = pend_op = pend_br = 0
+            dests = {
+                op.instr.dest
+                for op in bundle
+                if op.instr.dest is not None
+                and op.instr.opcode not in _CONTROL
+            }
+            ctx = _BundleCtx(dests)
+            for op in bundle:
+                self.stage_op(ctx, op)
+            # The reference processes only the LAST control op's action
+            # (earlier ones are overwritten), but counts every BR/MBR.
+            action = ctrl[-1] if ctrl else None
+            if action is not None and action.instr.opcode is Opcode.CALL:
+                self.stage_call_args(ctx, action.instr)
+            cond = None
+            if action is not None:
+                instr = action.instr
+                if instr.opcode in (Opcode.BR, Opcode.MBR):
+                    cond = ctx.read(instr.srcs[0])
+                elif instr.opcode is Opcode.RET and instr.srcs:
+                    cond = ctx.read(instr.srcs[0])
+            for line in ctx.pre:
+                self.emit(indent, line)
+            if len(ctx.writes) == 1:
+                dest, expr = ctx.writes[0]
+                self.emit(indent, f"r{dest} = {expr}")
+            elif ctx.writes:
+                lhs = ", ".join(f"r{d}" for d, _ in ctx.writes)
+                rhs = ", ".join(expr for _, expr in ctx.writes)
+                self.emit(indent, f"{lhs} = {rhs}")
+            for addr, value in ctx.mem:
+                self.emit(indent, f"_mem[{addr}] = {value}")
+            for slot, value in ctx.spill:
+                self.emit(indent, f"_sp[{slot!r}] = {value}")
+            for value in ctx.prints:
+                self.emit(indent, f"_oa({value})")
+            if action is not None:
+                self.emit_action(
+                    indent, schedule, exits, block_pos, action, ctx, cond
+                )
+        name = self.cproc.name
+        msg = f"{name}/{head}: fell off the end of the schedule"
+        self.emit(indent, f"raise SimulationError({msg!r})")
+
+    def stage_call_args(self, ctx: _BundleCtx, instr: Instruction) -> None:
+        ctx.call_args = [ctx.read(s) for s in instr.srcs]  # type: ignore
+
+    def emit_action(
+        self,
+        indent: int,
+        schedule: SuperblockSchedule,
+        exits,
+        block_pos,
+        action,
+        ctx: _BundleCtx,
+        cond: Optional[str],
+    ) -> None:
+        instr = action.instr
+        opcode = instr.opcode
+        exit_info = exits.get(instr)
+        on_trace = (
+            exit_info.on_trace_target if exit_info is not None else None
+        )
+        pos1 = block_pos.get(instr, 0) + 1
+        if opcode is Opcode.CALL:
+            const = self.callee_const(instr.callee)
+            args = getattr(ctx, "call_args", [])
+            argv = ", ".join(args)
+            argv = f"({argv},)" if args else "()"
+            self.limit_check(indent)
+            self.emit(indent, "_ca += 1")
+            self.emit(indent, "_tpc[0] = _tp")
+            dest = f"r{instr.dest}" if instr.dest is not None else "_rv"
+            self.emit(
+                indent,
+                f"{dest}, _cy, _op, _ws, _br, _ca, _se, _bx, _sz ="
+                f" yield ({const}, {argv},"
+                " _cy, _op, _ws, _br, _ca, _se, _bx, _sz)",
+            )
+            self.emit(indent, "_tp = _tpc[0]")
+        elif opcode is Opcode.RET:
+            value = cond if instr.srcs else "0"
+            self.emit_ret(indent, schedule, action, pos1, value)
+        elif opcode is Opcode.JMP:
+            target = instr.targets[0]
+            if target != on_trace:
+                self.emit_exit(indent, schedule, action, pos1, target)
+        elif opcode is Opcode.BR:
+            t1, t2 = instr.targets[0], instr.targets[1]
+            if t1 == t2:
+                if t1 != on_trace:
+                    self.emit_exit(indent, schedule, action, pos1, t1)
+            elif t1 == on_trace:
+                self.emit(indent, f"if not {cond}:")
+                self.emit_exit(indent + 1, schedule, action, pos1, t2)
+            elif t2 == on_trace:
+                self.emit(indent, f"if {cond}:")
+                self.emit_exit(indent + 1, schedule, action, pos1, t1)
+            else:
+                self.emit(indent, f"if {cond}:")
+                self.emit_exit(indent + 1, schedule, action, pos1, t1)
+                self.emit(indent, "else:")
+                self.emit_exit(indent + 1, schedule, action, pos1, t2)
+        else:  # MBR
+            targets = list(instr.targets)
+            if len(targets) == 1 or len(set(targets)) == 1:
+                if targets[-1] != on_trace:
+                    self.emit_exit(
+                        indent, schedule, action, pos1, targets[-1]
+                    )
+                return
+            self.emit(indent, f"_s = {cond}")
+            for i, t in enumerate(targets[:-1]):
+                kw = "if" if i == 0 else "elif"
+                self.emit(indent, f"{kw} _s == {i}:")
+                if t == on_trace:
+                    self.emit(indent + 1, "pass")
+                else:
+                    self.emit_exit(indent + 1, schedule, action, pos1, t)
+            self.emit(indent, "else:")
+            if targets[-1] == on_trace:
+                self.emit(indent + 1, "pass")
+            else:
+                self.emit_exit(
+                    indent + 1, schedule, action, pos1, targets[-1]
+                )
+
+    # -- whole function -------------------------------------------------------
+
+    def generate(self) -> str:
+        cproc = self.cproc
+        self.emit(
+            0,
+            "def _jit_fn(_argv, _rt,"
+            " _cy, _op, _ws, _br, _ca, _se, _bx, _sz):",
+        )
+        self.emit(1, "_tape, _tpc, _mem, _out, _limit = _rt")
+        ops_used = {
+            op.instr.opcode
+            for schedule in cproc.schedules.values()
+            for bundle in schedule.bundles
+            for op in bundle
+        }
+        if ops_used & {Opcode.LOAD, Opcode.LOAD_S}:
+            self.emit(1, "_mg = _mem.get")
+        if Opcode.PRINT in ops_used:
+            self.emit(1, "_oa = _out.append")
+        self.emit(1, "_tlen = len(_tape)")
+        self.emit(1, "_tp = _tpc[0]")
+        if Opcode.SPILL_ST in ops_used or Opcode.SPILL_LD in ops_used:
+            self.emit(1, "_sp = {}")
+            if Opcode.SPILL_LD in ops_used:
+                self.emit(1, "_spg = _sp.get")
+        params = cproc.params
+        if len(params) == 1:
+            self.emit(1, f"r{params[0]}, = _argv")
+        elif params:
+            unpack = ", ".join(f"r{p}" for p in params)
+            self.emit(1, f"{unpack} = _argv")
+        self.emit(1, "if 0:")
+        self.emit(2, "yield")  # generator even without calls/returns
+        if cproc.entry_head not in self.head_index:
+            # Mirror the reference's schedules[entry_head] KeyError.
+            self.emit(1, f"raise KeyError({cproc.entry_head!r})")
+            return "\n".join(self.lines) + "\n"
+        self.emit(1, f"_L = {self.head_index[cproc.entry_head]}")
+        self.emit(1, "while True:")
+        self.limit_check(2)
+        for i, head in enumerate(self.heads):
+            kw = "if" if i == 0 else "elif"
+            self.emit(2, f"{kw} _L == {i}:")
+            self.emit_schedule(3, head)
+        self.emit(2, "else:")
+        self.emit(3, "raise SimulationError('jit dispatch fell out')")
+        return "\n".join(self.lines) + "\n"
+
+
+def compile_vliw_procedure(
+    compiled: CompiledProgram, cproc: CompiledProcedure
+):
+    """Compile one procedure; returns ``(function, source)``."""
+    emitter = _VliwEmitter(compiled, cproc)
+    source = emitter.generate()
+    code = compile(source, f"<jit:vliw:{cproc.name}>", "exec")
+    ns = emitter.ns
+    exec(code, ns)  # noqa: S102 - the whole point of a template JIT
+    return ns["_jit_fn"], source
+
+
+def compiled_vliw_functions(compiled: CompiledProgram) -> Dict[str, object]:
+    """Per-procedure JIT functions for ``compiled`` (cached on instance)."""
+    cache = getattr(compiled, "_jit_cache", None)
+    if cache is not None:
+        JIT_STATS.code_cache_hits += 1
+        return cache["fns"]
+    JIT_STATS.code_cache_misses += 1
+    t0 = time.perf_counter()
+    fns: Dict[str, object] = {}
+    sources: Dict[str, str] = {}
+    for name, cproc in compiled.procedures.items():
+        fn, source = compile_vliw_procedure(compiled, cproc)
+        fns[name] = fn
+        sources[name] = source
+        JIT_STATS.procs_compiled += 1
+    compiled._jit_cache = {"fns": fns, "sources": sources}
+    JIT_STATS.compile_seconds += time.perf_counter() - t0
+    return fns
+
+
+def vliw_jit_sources(compiled: CompiledProgram) -> Dict[str, str]:
+    """Generated sources compiled so far for ``compiled`` (debug dumps)."""
+    cache = getattr(compiled, "_jit_cache", None)
+    return dict(cache["sources"]) if cache else {}
+
+
+def _check_args(cproc: CompiledProcedure, argv: Sequence[int]) -> None:
+    if len(argv) != len(cproc.params):
+        raise SimulationError(
+            f"{cproc.name} expects {len(cproc.params)} args,"
+            f" got {len(argv)}"
+        )
+
+
+def run_vliw_jit(
+    compiled: CompiledProgram,
+    input_tape: Sequence[int] = (),
+    args: Sequence[int] = (),
+    cycle_limit: int = 100_000_000,
+) -> SimulationResult:
+    """JIT-simulate ``compiled``; bit-identical to ``VLIWSimulator.run``."""
+    fns = compiled_vliw_functions(compiled)
+    tape = list(input_tape)
+    tpc = [0]
+    memory: Dict[int, int] = {}
+    output: List[int] = []
+    rt = (tape, tpc, memory, output, cycle_limit)
+
+    entry = compiled.procedures[compiled.entry]
+    argv = tuple(args)
+    _check_args(entry, argv)
+    stack = [fns[entry.name](argv, rt, 0, 0, 0, 0, 0, 0, 0, 0)]
+    send = None
+    return_value = 0
+    cy = op = ws = br = ca = se = bx = sz = 0
+    while stack:
+        req = stack[-1].send(send)
+        if req[0] is None:
+            stack.pop()
+            if stack:
+                send = req[1:]
+            else:
+                return_value = req[1]
+                cy, op, ws, br, ca, se, bx, sz = req[2:]
+        else:
+            callee, cargv = req[0], req[1]
+            _check_args(callee, cargv)
+            stack.append(fns[callee.name](cargv, rt, *req[2:]))
+            send = None
+    return SimulationResult(
+        output=output,
+        return_value=return_value,
+        cycles=cy,
+        operations=op,
+        wasted_operations=ws,
+        branches=br,
+        calls=ca,
+        sb_entries=se,
+        blocks_executed=bx,
+        sb_size_blocks=sz,
+    )

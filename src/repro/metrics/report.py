@@ -29,6 +29,8 @@ TRIPWIRE_METRICS: Sequence[str] = (
     "profile_collection.speedup_record_replay_vs_streaming",
     "depth_sweep.speedup_warm_vs_cold",
     "metrics.speedup_on_vs_off",
+    "jit.speedup_on_vs_off",
+    "jit.vliw_speedup_on_vs_off",
 )
 
 #: A tripwire metric may lose up to this fraction before the check fails.

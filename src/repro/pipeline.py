@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 from .formation import FormationConfig, FormationResult, form_superblocks, scheme
 from .interp.interpreter import ExecutionResult, run_program
 from .ir.cfg import Program
+from .jit import JIT_STATS, record_jit_metrics
 from .layout.pettis_hansen import Layout, layout_program
 from .metrics import MetricsSink, timed
 from .profiling.collector import (
@@ -211,6 +212,7 @@ def run_scheme(
         metrics=metrics,
         tracer=tracer,
     )
+    jit_before = None if metrics is None else JIT_STATS.snapshot()
     with tspan(tracer, "simulate.ideal"):
         result = timed(
             metrics,
@@ -222,6 +224,7 @@ def run_scheme(
             tracer=tracer,
         )
     if metrics is not None:
+        record_jit_metrics(metrics, jit_before)
         metrics.add("simulate.cycles", result.cycles)
         metrics.add("simulate.operations", result.operations)
         metrics.add("simulate.wasted_operations", result.wasted_operations)

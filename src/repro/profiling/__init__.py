@@ -13,16 +13,22 @@ from .collector import (
     collect_profiles,
     collect_profiles_streaming,
     profiles_from_trace,
+    profiles_from_trace_multi,
     record_trace,
 )
 from .edge_profile import EdgeProfile, EdgeProfiler, edge_profile_from_trace
-from .forward_path import ForwardPathProfiler, forward_path_profile_from_trace
+from .forward_path import (
+    ForwardPathProfiler,
+    forward_path_profile_from_trace,
+    forward_path_profiles_from_trace_multi,
+)
 from .path_profile import (
     DEFAULT_DEPTH,
     GeneralPathProfiler,
     Path,
     PathProfile,
     general_path_profile_from_trace,
+    general_path_profiles_from_trace_multi,
 )
 from .serialize import (
     edge_profile_from_dict,
@@ -52,11 +58,14 @@ __all__ = [
     "edge_profile_from_trace",
     "edge_profile_to_dict",
     "forward_path_profile_from_trace",
+    "forward_path_profiles_from_trace_multi",
     "general_path_profile_from_trace",
+    "general_path_profiles_from_trace_multi",
     "load_profile",
     "path_profile_from_dict",
     "path_profile_to_dict",
     "profiles_from_trace",
+    "profiles_from_trace_multi",
     "record_trace",
     "save_profile",
     "trace_from_dict",

@@ -20,7 +20,7 @@ live-observer path as the parity baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..interp.interpreter import (
     ExecutionObserver,
@@ -30,11 +30,21 @@ from ..interp.interpreter import (
 from ..interp.trace import ExecutionTrace
 from ..ir.cfg import Program
 from .edge_profile import EdgeProfile, EdgeProfiler, edge_profile_from_trace
-from .forward_path import ForwardPathProfiler, forward_path_profile_from_trace
+from .forward_path import (
+    ForwardPathProfiler,
+    _int_reset_edges,
+    forward_path_profile_from_trace,
+)
 from .path_profile import (
     DEFAULT_DEPTH,
     GeneralPathProfiler,
     PathProfile,
+    _edge_profile_from_path_graph,
+    _expand_nodes_dual,
+    _expand_nodes_multi,
+    _int_branch_sets,
+    _path_graph_from_trace,
+    branch_block_labels,
     general_path_profile_from_trace,
 )
 
@@ -128,6 +138,75 @@ def profiles_from_trace(
             else None
         ),
     )
+
+
+def profiles_from_trace_multi(
+    program: Program,
+    traced: TracedRun,
+    depths: Sequence[int],
+    include_forward: bool = False,
+) -> Dict[int, ProfileBundle]:
+    """Replay one recorded trace at *every* depth in ``depths`` at once.
+
+    A depth sweep through :func:`profiles_from_trace` walks the trace once
+    per depth per profiler; this walks it exactly once — general, at
+    ``max(depths)`` — and derives everything else from the path-graph node
+    set, which is orders of magnitude smaller than the trace: the smaller
+    depths by branch-count filtering during suffix expansion, and the
+    forward profiles by chopping each general window at its last back-edge
+    pair.  The edge profile does not depend on depth, so it is computed
+    once and shared by every returned bundle.  Each bundle is
+    bit-identical to
+    ``profiles_from_trace(program, traced, depth, include_forward)``.
+    """
+    if not depths:
+        return {}
+    if any(depth < 1 for depth in depths):
+        raise ValueError("path profiling depth must be >= 1")
+    trace = traced.trace
+    branch_labels = branch_block_labels(program)
+    branch_sets = _int_branch_sets(trace, branch_labels)
+    top = max(depths)
+    nodes_per_proc = _path_graph_from_trace(trace, top, branch_sets)
+    edge = (
+        _edge_profile_from_path_graph(trace, nodes_per_proc)
+        if top >= 2
+        else edge_profile_from_trace(trace)
+    )
+    if include_forward:
+        path_tables, forward_tables = _expand_nodes_dual(
+            trace,
+            nodes_per_proc,
+            branch_sets,
+            depths,
+            _int_reset_edges(program, trace),
+        )
+    else:
+        path_tables = _expand_nodes_multi(
+            trace, nodes_per_proc, branch_sets, depths
+        )
+        forward_tables = {}
+
+    def _wrap(tables: Dict, depth: int) -> PathProfile:
+        return PathProfile(
+            paths=tables,
+            depth=depth,
+            branch_blocks={p: set(s) for p, s in branch_labels.items()},
+        )
+
+    return {
+        depth: ProfileBundle(
+            edge=edge,
+            path=_wrap(path_tables[depth], depth),
+            result=traced.result,
+            forward=(
+                _wrap(forward_tables[depth], depth)
+                if include_forward
+                else None
+            ),
+        )
+        for depth in depths
+    }
 
 
 def collect_profiles(

@@ -12,7 +12,8 @@ the only difference is the reset at back edges.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
+from weakref import WeakKeyDictionary
 
 from ..analysis.loops import back_edges
 from ..interp.trace import ExecutionTrace
@@ -22,6 +23,7 @@ from .path_profile import (
     GeneralPathProfiler,
     PathProfile,
     _int_branch_sets,
+    _multi_depth_tables_from_trace,
     _path_tables_from_trace,
     branch_block_labels,
 )
@@ -53,6 +55,41 @@ class ForwardPathProfiler(GeneralPathProfiler):
         super().block_executed(proc_name, frame_id, label)
 
 
+#: Back edges are a static CFG fact; cache them weakly per program so
+#: repeated trace replays skip the dominator computation.
+_BACK_EDGE_CACHE: "WeakKeyDictionary[Program, Dict[str, Set[Tuple[str, str]]]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _program_back_edges(program: Program) -> Dict[str, Set[Tuple[str, str]]]:
+    backs = _BACK_EDGE_CACHE.get(program)
+    if backs is None:
+        backs = _BACK_EDGE_CACHE[program] = {
+            proc.name: back_edges(proc) for proc in program.procedures()
+        }
+    return backs
+
+
+def _int_reset_edges(
+    program: Program, trace: ExecutionTrace
+) -> List[Set[Tuple[int, int]]]:
+    """Per procedure index: the trace's back edges as interned-id pairs."""
+    backs = _program_back_edges(program)
+    reset_edges: List[Set[Tuple[int, int]]] = []
+    for pidx, name in enumerate(trace.proc_names):
+        table = trace.labels[pidx]
+        ids = {label: lid for lid, label in enumerate(table)}
+        reset_edges.append(
+            {
+                (ids[src], ids[dst])
+                for src, dst in backs.get(name, set())
+                if src in ids and dst in ids
+            }
+        )
+    return reset_edges
+
+
 def forward_path_profile_from_trace(
     program: Program, trace: ExecutionTrace, depth: int = DEFAULT_DEPTH
 ) -> PathProfile:
@@ -67,23 +104,47 @@ def forward_path_profile_from_trace(
         raise ValueError("path profiling depth must be >= 1")
     branch_labels = branch_block_labels(program)
     branch_sets = _int_branch_sets(trace, branch_labels)
-    backs = {proc.name: back_edges(proc) for proc in program.procedures()}
-    reset_edges: List[Set[Tuple[int, int]]] = []
-    for pidx, name in enumerate(trace.proc_names):
-        table = trace.labels[pidx]
-        ids = {label: lid for lid, label in enumerate(table)}
-        reset_edges.append(
-            {
-                (ids[src], ids[dst])
-                for src, dst in backs.get(name, set())
-                if src in ids and dst in ids
-            }
-        )
     tables = _path_tables_from_trace(
-        trace, depth, branch_sets, reset_edges=reset_edges
+        trace,
+        depth,
+        branch_sets,
+        reset_edges=_int_reset_edges(program, trace),
     )
     return PathProfile(
         paths=tables,
         depth=depth,
         branch_blocks={p: set(s) for p, s in branch_labels.items()},
     )
+
+
+def forward_path_profiles_from_trace_multi(
+    program: Program, trace: ExecutionTrace, depths: Sequence[int]
+) -> Dict[int, PathProfile]:
+    """Forward :class:`PathProfile` at every depth in ``depths`` from one
+    walk of the trace.
+
+    Back-edge resets fire identically at every depth (the reset test looks
+    only at the window's last label and the next one, never at the part a
+    smaller depth would trim), so the multi-depth derivation of the general
+    profiler carries over unchanged.
+    """
+    if not depths:
+        return {}
+    if any(depth < 1 for depth in depths):
+        raise ValueError("path profiling depth must be >= 1")
+    branch_labels = branch_block_labels(program)
+    branch_sets = _int_branch_sets(trace, branch_labels)
+    per_depth = _multi_depth_tables_from_trace(
+        trace,
+        depths,
+        branch_sets,
+        reset_edges=_int_reset_edges(program, trace),
+    )
+    return {
+        depth: PathProfile(
+            paths=tables,
+            depth=depth,
+            branch_blocks={p: set(s) for p, s in branch_labels.items()},
+        )
+        for depth, tables in per_depth.items()
+    }

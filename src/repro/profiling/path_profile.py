@@ -24,12 +24,15 @@ of Figure 2 query.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from weakref import WeakKeyDictionary
 
 from ..ir.cfg import Program
 from ..interp.interpreter import ExecutionObserver
 from ..interp.trace import ExecutionTrace
+from .edge_profile import EdgeProfile
 
 Path = Tuple[str, ...]
 
@@ -275,13 +278,23 @@ class _IntPathNode:
         self.succ: Dict[int, "_IntPathNode"] = {}
 
 
+#: Static CFG facts keyed weakly by program, so repeated trace replays
+#: (multi-depth sweeps, benchmark rounds) do not re-derive them.
+_BRANCH_LABEL_CACHE: "WeakKeyDictionary[Program, Dict[str, Set[str]]]" = (
+    WeakKeyDictionary()
+)
+
+
 def branch_block_labels(program: Program) -> Dict[str, Set[str]]:
     """Per procedure: labels of blocks ending in a conditional/multiway
     branch (the blocks that consume path depth)."""
-    return {
-        proc.name: {b.label for b in proc.blocks() if b.ends_in_branch}
-        for proc in program.procedures()
-    }
+    labels = _BRANCH_LABEL_CACHE.get(program)
+    if labels is None:
+        labels = _BRANCH_LABEL_CACHE[program] = {
+            proc.name: {b.label for b in proc.blocks() if b.ends_in_branch}
+            for proc in program.procedures()
+        }
+    return labels
 
 
 def _int_branch_sets(
@@ -301,12 +314,12 @@ def _int_branch_sets(
     return sets
 
 
-def _path_tables_from_trace(
+def _path_graph_from_trace(
     trace: ExecutionTrace,
     depth: int,
     branch_sets: List[Set[int]],
     reset_edges: Optional[List[Set[Tuple[int, int]]]] = None,
-) -> Dict[str, Dict[Path, int]]:
+) -> List[Dict[Tuple[int, ...], _IntPathNode]]:
     """The shared batch inner loop: lazy path graph over interned ids.
 
     Runs the same lazy successor-pointer algorithm as the streaming
@@ -325,11 +338,28 @@ def _path_tables_from_trace(
         branch_set = branch_sets[pidx]
         resets = reset_edges[pidx] if reset_edges is not None else None
         node: Optional[_IntPathNode] = None
+        # Two copies of the per-block body: the general walk (the hot
+        # multi-depth replay path) skips the back-edge test entirely.
+        if resets is None:
+            for lid in buf.tolist():
+                if node is None:
+                    key = (lid,)
+                    node = nodes.get(key)
+                    if node is None:
+                        node = nodes[key] = _IntPathNode(
+                            key, 1 if lid in branch_set else 0
+                        )
+                else:
+                    nxt = node.succ.get(lid)
+                    if nxt is None:
+                        nxt = _extend_node(
+                            nodes, node, lid, branch_set, depth
+                        )
+                    node = nxt
+                node.count += 1
+            continue
         for lid in buf.tolist():
-            if node is not None and (
-                resets is not None
-                and (node.labels[-1], lid) in resets
-            ):
+            if node is not None and (node.labels[-1], lid) in resets:
                 # Crossing a back edge ends the forward path.
                 node = None
             if node is None:
@@ -342,37 +372,72 @@ def _path_tables_from_trace(
             else:
                 nxt = node.succ.get(lid)
                 if nxt is None:
-                    labels = node.labels + (lid,)
-                    branches = node.branches + (
-                        1 if lid in branch_set else 0
-                    )
-                    start = 0
-                    while branches > depth and start < len(labels) - 1:
-                        if labels[start] in branch_set:
-                            branches -= 1
-                        start += 1
-                    key = labels[start:]
-                    nxt = nodes.get(key)
-                    if nxt is None:
-                        nxt = nodes[key] = _IntPathNode(key, branches)
-                    node.succ[lid] = nxt
+                    nxt = _extend_node(nodes, node, lid, branch_set, depth)
                 node = nxt
             node.count += 1
 
-    # Suffix expansion in int space, label rematerialization once per
-    # distinct aggregated path.
+    return nodes_per_proc
+
+
+def _extend_node(
+    nodes: Dict[Tuple[int, ...], _IntPathNode],
+    node: _IntPathNode,
+    lid: int,
+    branch_set: Set[int],
+    depth: int,
+) -> _IntPathNode:
+    """Cold path of the walk: intern ``node``'s successor under ``lid``."""
+    labels = node.labels + (lid,)
+    branches = node.branches + (1 if lid in branch_set else 0)
+    start = 0
+    while branches > depth and start < len(labels) - 1:
+        if labels[start] in branch_set:
+            branches -= 1
+        start += 1
+    key = labels[start:]
+    nxt = nodes.get(key)
+    if nxt is None:
+        nxt = nodes[key] = _IntPathNode(key, branches)
+    node.succ[lid] = nxt
+    return nxt
+
+
+def _tables_at_depth(
+    trace: ExecutionTrace,
+    nodes_per_proc: List[Dict[Tuple[int, ...], _IntPathNode]],
+    branch_sets: List[Set[int]],
+    depth: int,
+) -> Dict[str, Dict[Path, int]]:
+    """Suffix-expand a path graph into the table for ``depth``.
+
+    The graph may have been walked at a *larger* depth D: the depth-d
+    window at any execution step is the in-depth trim of the depth-D
+    window at that step (trimming is monotone in depth, and the trim
+    point depends only on the window's own labels), so trimming each
+    node's key to ``depth`` before suffix expansion yields a table
+    bit-identical to walking the trace again at ``depth``.  Cost per
+    extra depth is O(distinct windows), not O(trace length).
+    """
     tables: Dict[str, Dict[Path, int]] = {}
-    for pidx in range(nprocs):
+    for pidx in range(len(trace.proc_names)):
         nodes = nodes_per_proc[pidx]
         if not nodes:
             continue
+        branch_set = branch_sets[pidx]
         int_table: Dict[Tuple[int, ...], int] = {}
         for key, node in nodes.items():
             count = node.count
             if count == 0:
                 continue
-            for start in range(len(key)):
-                suffix = key[start:]
+            branches = node.branches
+            start = 0
+            klen = len(key)
+            while branches > depth and start < klen - 1:
+                if key[start] in branch_set:
+                    branches -= 1
+                start += 1
+            for s in range(start, klen):
+                suffix = key[s:]
                 int_table[suffix] = int_table.get(suffix, 0) + count
         table = trace.labels[pidx]
         tables[trace.proc_names[pidx]] = {
@@ -380,6 +445,394 @@ def _path_tables_from_trace(
             for path, count in int_table.items()
         }
     return tables
+
+
+def _path_tables_from_trace(
+    trace: ExecutionTrace,
+    depth: int,
+    branch_sets: List[Set[int]],
+    reset_edges: Optional[List[Set[Tuple[int, int]]]] = None,
+) -> Dict[str, Dict[Path, int]]:
+    """Walk the trace at ``depth`` and suffix-expand: the one-depth case."""
+    nodes_per_proc = _path_graph_from_trace(
+        trace, depth, branch_sets, reset_edges=reset_edges
+    )
+    return _tables_at_depth(trace, nodes_per_proc, branch_sets, depth)
+
+
+def _forward_node_entries(
+    nodes: Dict[Tuple[int, ...], _IntPathNode],
+    reset_set: Set[Tuple[int, int]],
+    branch_set: Set[int],
+) -> Dict[Tuple[int, ...], List[int]]:
+    """Derive the forward-window multiset from the general node set.
+
+    At every execution step, the forward window is a pure function of the
+    general window ``w``: chop ``w`` after the last back-edge pair it
+    contains (adjacency in a window is adjacency in the frame's stream).
+    If the last reset happened at or before ``w``'s first block, the
+    since-reset suffix and the full stream suffix share their tail, and
+    trimming both to the same depth yields the same window — so the
+    forward window is ``w`` itself.  No depth trim is needed after the
+    chop: chopping only removes branches.  Summing general occurrence
+    counts per image gives exact forward window counts without a second
+    trace walk.
+
+    Returns ``fkey -> [count, branches(fkey)]`` — the branch count falls
+    out of the backward scan for free.
+    """
+    out: Dict[Tuple[int, ...], List[int]] = {}
+    for key, node in nodes.items():
+        count = node.count
+        if count == 0:
+            continue
+        fkey = key
+        fb = node.branches
+        if reset_set:
+            # Scan backwards: the chop point is the *last* reset pair.
+            # The scan visits exactly the labels of the chopped window,
+            # so its branch count accumulates along the way.
+            fb = 0
+            hit = False
+            for i in range(len(key) - 2, -1, -1):
+                nxt = key[i + 1]
+                fb += nxt in branch_set
+                if (key[i], nxt) in reset_set:
+                    fkey = key[i + 1 :]
+                    hit = True
+                    break
+            if not hit:
+                fb += key[0] in branch_set
+        entry = out.get(fkey)
+        if entry is None:
+            out[fkey] = [count, fb]
+        else:
+            entry[0] += count
+    return out
+
+
+def _assemble_tables(
+    parts: List[Dict[Path, int]], depths_sorted: List[int]
+) -> Dict[int, Dict[Path, int]]:
+    """Assemble nested per-depth tables from per-depth-range partitions.
+
+    ``table_d`` is ``table_D`` restricted to paths with at most ``d``
+    branches, so the tables nest: walk the depths in ascending order,
+    merging in the next range partition and snapshotting the accumulator
+    per depth.  Every path was hashed exactly once when inserted into its
+    partition — ``dict.update`` from a dict and ``dict.copy`` both reuse
+    the stored hashes, so assembly is pure C-speed entry copying.
+    """
+    out: Dict[int, Dict[Path, int]] = {}
+    accum = parts[0]
+    last = depths_sorted[-1]
+    for i, depth in enumerate(depths_sorted):
+        if i:
+            accum.update(parts[i])
+        out[depth] = accum if depth == last else accum.copy()
+    return out
+
+
+def _sweep_tables(
+    items: List[Tuple[Tuple[int, ...], Path, int, int, int]],
+    str_branch_set: Set[str],
+    nlabels: int,
+    depths_sorted: List[int],
+    want_forward: bool,
+) -> Tuple[Dict[int, Dict[Path, int]], Optional[Dict[int, Dict[Path, int]]]]:
+    """Suffix-sum window multisets into per-depth path tables.
+
+    Each item is ``(window, window labels, general count, forward count,
+    branches)``.  The distinct table paths are exactly the distinct
+    suffixes of the windows, and a path's count is the sum over windows
+    having it as a suffix.  Reversing every window turns suffixes into
+    prefixes, and in any lexicographic order windows sharing a prefix are
+    contiguous — so the suffix sums become a classic sorted-strings
+    sweep: sort the byte-encoded reversed windows (C memcmp), compute
+    neighbour LCPs by binary search (C slice compares), and maintain a
+    stack of open prefix groups whose counts roll up into their parent
+    when they close.  Each distinct path is emitted exactly once, as one
+    C tuple slice of the source window's label tuple plus one dict
+    insert; everything that is per-window rather than per-path costs
+    O(window length) only inside C primitives.  Per-depth filtering is a
+    bucket index per emission (occurrence counts are depth-independent
+    for in-depth paths, because the depth-d window is the longest suffix
+    with at most d branches and therefore contains every in-depth suffix
+    of the depth-D window); :func:`_assemble_tables` then merges the
+    partitions without rehashing anything.
+    """
+    typecode = "H" if nlabels <= 0xFFFF else "I"
+    width = 2 if typecode == "H" else 4
+    enc = [
+        (array(typecode, key[::-1]).tobytes(), labs, g, f, br)
+        for key, labs, g, f, br in items
+    ]
+    enc.sort()
+    enc.append((b"", (), 0, 0, 0))  # sentinel: flushes the group stack
+    top = depths_sorted[-1]
+    #: branch count -> index of the smallest depth that includes it
+    range_of = [0] * (top + 1)
+    r = 0
+    for b in range(top + 1):
+        while b > depths_sorted[r]:
+            r += 1
+        range_of[b] = r
+    nranges = len(depths_sorted)
+    gparts: List[Dict[Path, int]] = [{} for _ in range(nranges)]
+    fparts: List[Dict[Path, int]] = [{} for _ in range(nranges)]
+    bset = str_branch_set
+    #: open groups: [d_lo, d_hi, general, forward, labels, len, branches@d_hi]
+    stack: List[list] = []
+    push = stack.append
+    pop = stack.pop
+    prev = b""
+    for rev, labs, g, f, br in enc:
+        m = min(len(rev), len(prev))
+        if prev[:m] == rev[:m]:
+            lcp = m // width
+        else:
+            lo, hi = 0, m - 1
+            while lo < hi:
+                mid = (lo + hi + 1) >> 1
+                if prev[:mid] == rev[:mid]:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            lcp = lo // width
+        while stack:
+            grp = stack[-1]
+            if grp[1] <= lcp:
+                break
+            d_lo, d, eg, ef, slabs, sl, bc = grp
+            emit_from = lcp + 1 if d_lo <= lcp else d_lo
+            while d >= emit_from:
+                path = slabs[sl - d :]
+                ri = range_of[bc]
+                gparts[ri][path] = eg
+                if ef:
+                    fparts[ri][path] = ef
+                bc -= slabs[sl - d] in bset
+                d -= 1
+            if d_lo <= lcp:
+                # Split: the depths <= lcp stay open for upcoming items.
+                grp[1] = lcp
+                grp[6] = bc
+                break
+            pop()
+            if stack:
+                parent = stack[-1]
+                parent[2] += eg
+                parent[3] += ef
+        if lcp * width < len(rev):
+            klen = len(rev) // width
+            push([lcp + 1, klen, g, f, labs, klen, br])
+        prev = rev
+    general = _assemble_tables(gparts, depths_sorted)
+    forward = _assemble_tables(fparts, depths_sorted) if want_forward else None
+    return general, forward
+
+
+def _expand_nodes_multi(
+    trace: ExecutionTrace,
+    nodes_per_proc: List[Dict[Tuple[int, ...], _IntPathNode]],
+    branch_sets: List[Set[int]],
+    depths: Sequence[int],
+    reset_edges: Optional[List[Set[Tuple[int, int]]]] = None,
+) -> Dict[int, Dict[str, Dict[Path, int]]]:
+    """Expand a top-depth *general* path graph into per-depth tables.
+
+    With ``reset_edges`` given, the forward-window multiset is first
+    derived from the general nodes (:func:`_forward_node_entries`) and the
+    forward tables are expanded from that — the same walked graph serves
+    both profile families.
+    """
+    depths_sorted = sorted(set(depths))
+    out: Dict[int, Dict[str, Dict[Path, int]]] = {
+        depth: {} for depth in depths
+    }
+    for pidx in range(len(trace.proc_names)):
+        nodes = nodes_per_proc[pidx]
+        if not nodes:
+            continue
+        ltable = trace.labels[pidx]
+        lget = ltable.__getitem__
+        int_bset = branch_sets[pidx]
+        str_bset = {ltable[lid] for lid in int_bset}
+        if reset_edges is not None:
+            fentries = _forward_node_entries(
+                nodes, reset_edges[pidx], int_bset
+            )
+            items = [
+                (fkey, tuple(map(lget, fkey)), count, 0, fb)
+                for fkey, (count, fb) in fentries.items()
+            ]
+        else:
+            items = [
+                (key, tuple(map(lget, key)), node.count, 0, node.branches)
+                for key, node in nodes.items()
+                if node.count
+            ]
+        expanded, _ = _sweep_tables(
+            items, str_bset, len(ltable), depths_sorted, False
+        )
+        name = trace.proc_names[pidx]
+        for depth, tables in expanded.items():
+            if tables:
+                out[depth][name] = tables
+    return out
+
+
+def _expand_nodes_dual(
+    trace: ExecutionTrace,
+    nodes_per_proc: List[Dict[Tuple[int, ...], _IntPathNode]],
+    branch_sets: List[Set[int]],
+    depths: Sequence[int],
+    reset_edges: List[Set[Tuple[int, int]]],
+) -> Tuple[
+    Dict[int, Dict[str, Dict[Path, int]]],
+    Dict[int, Dict[str, Dict[Path, int]]],
+]:
+    """General *and* forward per-depth tables from one shared sweep pass."""
+    depths_sorted = sorted(set(depths))
+    gout: Dict[int, Dict[str, Dict[Path, int]]] = {
+        depth: {} for depth in depths
+    }
+    fout: Dict[int, Dict[str, Dict[Path, int]]] = {
+        depth: {} for depth in depths
+    }
+    for pidx in range(len(trace.proc_names)):
+        nodes = nodes_per_proc[pidx]
+        if not nodes:
+            continue
+        ltable = trace.labels[pidx]
+        lget = ltable.__getitem__
+        int_bset = branch_sets[pidx]
+        str_bset = {ltable[lid] for lid in int_bset}
+        fentries = _forward_node_entries(nodes, reset_edges[pidx], int_bset)
+        #: window -> [general count, forward count, branches]
+        merged: Dict[Tuple[int, ...], list] = {}
+        for key, node in nodes.items():
+            count = node.count
+            if count:
+                merged[key] = [count, 0, node.branches]
+        for fkey, (fcount, fb) in fentries.items():
+            entry = merged.get(fkey)
+            if entry is None:
+                merged[fkey] = [0, fcount, fb]
+            else:
+                entry[1] = fcount
+        items = [
+            (key, tuple(map(lget, key)), g, f, br)
+            for key, (g, f, br) in merged.items()
+        ]
+        general, forward = _sweep_tables(
+            items, str_bset, len(ltable), depths_sorted, True
+        )
+        name = trace.proc_names[pidx]
+        for depth, tables in general.items():
+            if tables:
+                gout[depth][name] = tables
+        for depth, tables in forward.items():
+            if tables:
+                fout[depth][name] = tables
+    return gout, fout
+
+
+def _edge_profile_from_path_graph(
+    trace: ExecutionTrace,
+    nodes_per_proc: List[Dict[Tuple[int, ...], _IntPathNode]],
+) -> EdgeProfile:
+    """Derive the edge profile from a general path graph walked at depth
+    >= 2, instead of re-walking the trace.
+
+    Every trace step increments exactly one window node, and the step's
+    block is the window's last label — so block counts are window-count
+    sums grouped by last label.  At walk depth >= 2, extending a window
+    always leaves at least its last two labels in place (a two-label
+    suffix has at most two branches), so every arrival at a node with two
+    or more labels is an extension step traversing the edge
+    ``(key[-2], key[-1])``, and arrivals at single-label nodes are
+    exactly the frame starts, which traverse no edge.  The sums run over
+    the node set, which is orders of magnitude smaller than the trace.
+    """
+    nprocs = len(trace.proc_names)
+    entries = [0] * nprocs
+    for pidx, _buf in trace.frames:
+        entries[pidx] += 1
+    edges: Dict[str, Dict[Tuple[str, str], int]] = {}
+    blocks: Dict[str, Dict[str, int]] = {}
+    out_entries: Dict[str, int] = {}
+    for pidx, name in enumerate(trace.proc_names):
+        if entries[pidx]:
+            out_entries[name] = entries[pidx]
+        nodes = nodes_per_proc[pidx]
+        if not nodes:
+            continue
+        table = trace.labels[pidx]
+        bc: Dict[int, int] = {}
+        ec: Dict[Tuple[int, int], int] = {}
+        for key, node in nodes.items():
+            count = node.count
+            if not count:
+                continue
+            last = key[-1]
+            bc[last] = bc.get(last, 0) + count
+            if len(key) >= 2:
+                ekey = (key[-2], last)
+                ec[ekey] = ec.get(ekey, 0) + count
+        if bc:
+            blocks[name] = {table[lid]: c for lid, c in bc.items()}
+        if ec:
+            edges[name] = {
+                (table[src], table[dst]): c for (src, dst), c in ec.items()
+            }
+    return EdgeProfile(edges=edges, blocks=blocks, entries=out_entries)
+
+
+def _multi_depth_tables_from_trace(
+    trace: ExecutionTrace,
+    depths: Sequence[int],
+    branch_sets: List[Set[int]],
+    reset_edges: Optional[List[Set[Tuple[int, int]]]] = None,
+) -> Dict[int, Dict[str, Dict[Path, int]]]:
+    """Path tables for every depth in ``depths`` from ONE trace walk.
+
+    The trace is walked *general* (no resets) at ``max(depths)``; the
+    forward variant (``reset_edges`` given) is derived per node via
+    :func:`_forward_node_counts` rather than walked again.  Suffix
+    expansion and per-depth filtering happen in one trie pass.
+    """
+    nodes_per_proc = _path_graph_from_trace(trace, max(depths), branch_sets)
+    return _expand_nodes_multi(
+        trace, nodes_per_proc, branch_sets, depths, reset_edges
+    )
+
+
+def general_path_profiles_from_trace_multi(
+    program: Program, trace: ExecutionTrace, depths: Sequence[int]
+) -> Dict[int, PathProfile]:
+    """Batch pass: general :class:`PathProfile` at every depth in ``depths``
+    from a single walk of the trace.
+
+    Each returned profile is bit-identical to
+    :func:`general_path_profile_from_trace` at that depth (and hence to
+    streaming collection); only the walk is shared.
+    """
+    if not depths:
+        return {}
+    if any(depth < 1 for depth in depths):
+        raise ValueError("path profiling depth must be >= 1")
+    branch_labels = branch_block_labels(program)
+    branch_sets = _int_branch_sets(trace, branch_labels)
+    per_depth = _multi_depth_tables_from_trace(trace, depths, branch_sets)
+    return {
+        depth: PathProfile(
+            paths=tables,
+            depth=depth,
+            branch_blocks={p: set(s) for p, s in branch_labels.items()},
+        )
+        for depth, tables in per_depth.items()
+    }
 
 
 def general_path_profile_from_trace(

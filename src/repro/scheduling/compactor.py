@@ -57,6 +57,14 @@ class CompiledProgram:
     #: Per-procedure allocation statistics (None when allocation was off).
     allocation_stats: Dict[str, object] = field(default_factory=dict)
 
+    def __getstate__(self):
+        # The VLIW template JIT caches exec'd functions on the instance
+        # (``_jit_cache``); they are neither picklable nor worth shipping
+        # to worker processes, which recompile from source in one go.
+        state = self.__dict__.copy()
+        state.pop("_jit_cache", None)
+        return state
+
     def schedule_at(self, proc: str, head: str) -> SuperblockSchedule:
         """Look up the schedule entered at superblock head ``head``."""
         return self.procedures[proc].schedules[head]

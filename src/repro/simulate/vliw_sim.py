@@ -238,6 +238,7 @@ class VLIWSimulator:
         layout: Optional[Layout] = None,
         cycle_limit: int = 100_000_000,
         tracer=None,
+        jit: Optional[bool] = None,
     ) -> None:
         if icache is not None and layout is None:
             raise SimulationError("an instruction cache needs a code layout")
@@ -247,6 +248,12 @@ class VLIWSimulator:
         self.cycle_limit = cycle_limit
         #: optional repro.trace.Tracer collecting exit-cycle histograms
         self.tracer = tracer
+        #: ``True``/``False`` forces the template JIT on or off for this
+        #: instance; ``None`` defers to :func:`repro.jit.jit_enabled` (the
+        #: ``REPRO_JIT`` env toggle / ``--no-jit``).  The JIT only covers
+        #: plain runs: an instruction cache or exit tracer always selects
+        #: the reference loop, which observes every bundle.
+        self.jit = jit
         #: (proc, head) -> per-bundle fetch addresses
         self._bundle_addrs: Dict[Tuple[str, str], List[List[int]]] = {}
         #: (proc, head) -> instruction -> member block position
@@ -291,12 +298,27 @@ class VLIWSimulator:
             )
         return decoded
 
+    def _use_jit(self) -> bool:
+        if self.icache is not None or self.tracer is not None:
+            return False
+        if self.jit is not None:
+            return self.jit
+        from ..jit import jit_enabled
+
+        return jit_enabled()
+
     # -- public API ---------------------------------------------------------
 
     def run(
         self, input_tape: Sequence[int] = (), args: Sequence[int] = ()
     ) -> SimulationResult:
         """Simulate the program on ``input_tape``; returns statistics."""
+        if self._use_jit():
+            from ..jit.vliw_jit import run_vliw_jit
+
+            return run_vliw_jit(
+                self.compiled, input_tape, args, self.cycle_limit
+            )
         compiled = self.compiled
         icache = self.icache
         tape = list(input_tape)
@@ -539,6 +561,7 @@ def simulate(
     layout: Optional[Layout] = None,
     cycle_limit: int = 100_000_000,
     tracer=None,
+    jit: Optional[bool] = None,
 ) -> SimulationResult:
     """Convenience wrapper around :class:`VLIWSimulator`."""
     simulator = VLIWSimulator(
@@ -547,5 +570,6 @@ def simulate(
         layout=layout,
         cycle_limit=cycle_limit,
         tracer=tracer,
+        jit=jit,
     )
     return simulator.run(input_tape, args)

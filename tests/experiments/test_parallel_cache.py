@@ -266,9 +266,24 @@ class TestMetricsParity:
             metrics=parallel_sink,
         )
         assert suite_fingerprint(parallel) == suite_fingerprint(serial)
+
         # Counters are integer sums, so worker sinks merged by the parent
-        # must total exactly what the serial engine counted.
-        assert parallel_sink.counters == serial_sink.counters
+        # must total exactly what the serial engine counted — except the
+        # engine-dependent families: ``suite.engine.*`` differs by design,
+        # and ``jit.*`` holds wall-clock compile time plus per-process
+        # code-cache traffic (each worker compiles its own copy).
+        def deterministic(counters):
+            return {
+                k: v
+                for k, v in counters.items()
+                if not k.startswith(("jit.", "suite.engine."))
+            }
+
+        assert deterministic(parallel_sink.counters) == deterministic(
+            serial_sink.counters
+        )
+        assert serial_sink.counters.get("suite.engine.serial") == 1
+        assert parallel_sink.counters.get("suite.engine.parallel") == 1
         # Worker stage timings came from other processes.
         pids = {
             e["pid"]

@@ -1,0 +1,190 @@
+"""Cross-engine parity matrix: every execution engine, same answers.
+
+The interpreter has four ways to run a program — the no-observer fast
+path, the observer loop, the trace recorder, and the template JIT (plain
+and traced) — and the VLIW simulator has two (reference loop and JIT).
+They are alternative implementations of one semantics, so everything
+observable must be bit-identical across them: outputs, dynamic counters,
+recorded traces, and every profile derived from them.  The matrix runs
+the whole workload suite plus a band of fuzz-generated programs, so a
+codegen bug in any engine fails here with the engine pair named.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp.interpreter import (
+    ExecutionObserver,
+    run_program,
+    run_program_traced,
+)
+from repro.pipeline import compile_scheme
+from repro.profiling.collector import (
+    collect_profiles,
+    profiles_from_trace,
+    record_trace,
+)
+from repro.simulate import simulate
+from repro.validation.fuzz import fuzz_tapes
+from repro.validation.genprog import generate_source
+from repro.workloads.suite import all_workloads, workload_map
+
+SCALE = 0.1
+FUZZ_SEEDS = range(25)
+WORKLOAD_NAMES = [wl.name for wl in all_workloads()]
+
+
+def _trace_key(trace):
+    """Hashable image of an ExecutionTrace for equality assertions."""
+    return (
+        tuple(trace.proc_names),
+        tuple(tuple(t) for t in trace.labels),
+        tuple((pidx, tuple(buf)) for pidx, buf in trace.frames),
+    )
+
+
+def _result_key(result):
+    return asdict(result)
+
+
+class _CountingObserver(ExecutionObserver):
+    """Minimal observer: forces the instrumented interpreter loop."""
+
+    def __init__(self):
+        self.blocks = 0
+
+    def block_executed(self, proc_name, frame_id, label):
+        self.blocks += 1
+
+
+def _run_all_interp_engines(program, tape):
+    """Run one program through every interpreter engine."""
+    fast = run_program(program, input_tape=tape, jit=False)
+    observer = _CountingObserver()
+    observed = run_program(
+        program, input_tape=tape, observer=observer, jit=False
+    )
+    traced_result, trace = run_program_traced(
+        program, input_tape=tape, jit=False
+    )
+    jit = run_program(program, input_tape=tape, jit=True)
+    jit_traced_result, jit_trace = run_program_traced(
+        program, input_tape=tape, jit=True
+    )
+    engines = {
+        "fast": fast,
+        "observed": observed,
+        "traced": traced_result,
+        "jit": jit,
+        "jit_traced": jit_traced_result,
+    }
+    return engines, observer, trace, jit_trace
+
+
+class TestInterpreterMatrix:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_engines_agree_on_workload(self, name):
+        workload = workload_map()[name]
+        program = workload.program()
+        tape = workload.train_tape(SCALE)
+        engines, observer, trace, jit_trace = _run_all_interp_engines(
+            program, tape
+        )
+        baseline = _result_key(engines["fast"])
+        for engine, result in engines.items():
+            assert _result_key(result) == baseline, engine
+        assert observer.blocks == engines["fast"].blocks
+        assert _trace_key(jit_trace) == _trace_key(trace)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_profiles_agree_across_engines(self, name):
+        """Streaming observers vs a JIT-recorded trace replay: identical
+        edge, general-path, and forward-path counts."""
+        workload = workload_map()[name]
+        program = workload.program()
+        tape = workload.train_tape(SCALE)
+        streamed = collect_profiles(
+            program, input_tape=tape, include_forward=True
+        )
+        traced = record_trace(program, input_tape=tape)
+        replayed = profiles_from_trace(
+            program, traced, include_forward=True
+        )
+        assert replayed.edge.__dict__ == streamed.edge.__dict__
+        assert replayed.path.paths == streamed.path.paths
+        assert replayed.forward.paths == streamed.forward.paths
+
+
+class TestVliwMatrix:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_jit_matches_reference_p4(self, name):
+        workload = workload_map()[name]
+        program = workload.fresh_program()
+        _, _, compiled, _ = compile_scheme(
+            program, "P4", workload.train_tape(SCALE)
+        )
+        tape = workload.test_tape(SCALE)
+        ref = simulate(compiled, tape, jit=False)
+        jit = simulate(compiled, tape, jit=True)
+        assert asdict(jit) == asdict(ref)
+
+    @pytest.mark.parametrize("scheme", ["BB", "M4", "P4e"])
+    @pytest.mark.parametrize("name", ["alt", "wc", "eqn"])
+    def test_jit_matches_reference_other_schemes(self, name, scheme):
+        workload = workload_map()[name]
+        program = workload.fresh_program()
+        _, _, compiled, _ = compile_scheme(
+            program, scheme, workload.train_tape(SCALE)
+        )
+        tape = workload.test_tape(SCALE)
+        ref = simulate(compiled, tape, jit=False)
+        jit = simulate(compiled, tape, jit=True)
+        assert asdict(jit) == asdict(ref)
+
+
+class TestFuzzMatrix:
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_engines_agree_on_fuzz_program(self, seed):
+        """Generated programs: every interpreter engine and both simulator
+        loops agree — including on which exception they raise."""
+        source = generate_source(seed)
+        train, test = fuzz_tapes(seed)
+        program = compile_source(source)
+
+        def outcome(fn):
+            try:
+                return ("ok", fn())
+            except Exception as exc:  # parity includes failure identity
+                return ("exc", (type(exc).__name__, str(exc)))
+
+        kind, fast = outcome(
+            lambda: _result_key(
+                run_program(program, input_tape=train, jit=False)
+            )
+        )
+        jkind, jit = outcome(
+            lambda: _result_key(
+                run_program(program, input_tape=train, jit=True)
+            )
+        )
+        assert (jkind, jit) == (kind, fast)
+
+        try:
+            _, _, compiled, _ = compile_scheme(program, "P4", train)
+        except Exception:
+            return  # pipeline rejection is upstream of both simulators
+        skind, ref = outcome(
+            lambda: asdict(
+                simulate(compiled, test, cycle_limit=2_000_000, jit=False)
+            )
+        )
+        sjkind, sjit = outcome(
+            lambda: asdict(
+                simulate(compiled, test, cycle_limit=2_000_000, jit=True)
+            )
+        )
+        assert (sjkind, sjit) == (skind, ref)
