@@ -327,7 +327,7 @@ def _suite_wall(scale, metrics):
     return time.perf_counter() - start, results
 
 
-def jit_benchmarks(scale, rounds=3):
+def jit_benchmarks(scale, rounds=9):
     """Template-JIT cost and payoff: compile wall, cache hits, speedups.
 
     Times the interpreter and the VLIW simulator on the ``eqn`` workload
@@ -385,6 +385,233 @@ def jit_benchmarks(scale, rounds=3):
         "speedup_on_vs_off": round(interp_speedup, 2),
         "vliw_speedup_on_vs_off": round(vliw_speedup, 2),
         "parity": "outputs and counters identical with the JIT on and off",
+    }
+
+
+def worker_warmup():
+    """First-task import cost with and without the pre-importing pool
+    initializer, measured under spawn in a clean child process (this
+    process has long since imported everything, so measuring in-process
+    would read 0 for both)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.service._warmup_bench"],
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"warmup bench failed:\n{proc.stderr[-2000:]}")
+    report = json.loads(proc.stdout)
+    print(
+        f"  worker import    {report['cold_first_import_seconds']:7.2f}s cold"
+        f" vs {report['warm_first_import_seconds']:.2f}s pre-imported (spawn)"
+    )
+    return report
+
+
+#: One workload: the service headline targets the smallest batches, where
+#: a cold process's startup (interpreter + compiler import chain) rivals
+#: or exceeds the compute itself and a warm daemon saves the most.
+SERVICE_WORKLOADS = ["alt"]
+
+
+def service_benchmarks(scale, rounds=3):
+    """The daemon's value proposition, measured: a warm submit against a
+    live daemon vs the same grid as a cold CLI process, plus the in-flight
+    dedup rate for two concurrent identical clients and the round-trip
+    latency of a fully cached submit.
+
+    The grid is small (``SERVICE_WORKLOADS`` x ``SCHEMES``) on purpose:
+    small batches are exactly where cold-process overhead — interpreter
+    startup, the compiler import chain, pool spin-up — used to dominate
+    (the seed's parallel row sat at ~0.6x for this reason).  The daemon
+    pays those once at startup, so its warm submits only pay compute.
+    All timings are best-of-``rounds``; submits run ``no_cache`` so every
+    round recomputes instead of answering from the disk cache.
+    """
+    import threading
+
+    from repro.service.client import ServiceClient, service_available
+
+    tasks = len(SERVICE_WORKLOADS) * len(SCHEMES)
+    with tempfile.TemporaryDirectory(prefix="repro-svc-bench-") as root:
+        socket_path = Path(root) / "svc.sock"
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(Path(root) / "cache")
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        daemon = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "serve",
+                "--socket",
+                str(socket_path),
+                "--workers",
+                "2",
+                "--quiet",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.perf_counter() + 120
+            while not service_available(socket_path):
+                if daemon.poll() is not None or time.perf_counter() > deadline:
+                    raise RuntimeError("service daemon failed to start")
+                time.sleep(0.2)
+
+            def warm_submit():
+                with ServiceClient(socket_path) as client:
+                    client.hello()
+                    return client.submit(
+                        SCHEMES,
+                        workloads=SERVICE_WORKLOADS,
+                        scale=scale,
+                        no_cache=True,
+                    )
+
+            # Warm-up primes worker-process program/JIT caches, then
+            # best-of-rounds measures the steady state a long-lived daemon
+            # actually serves.
+            warm_wall, warm_out = _best_of(warm_submit, rounds)
+            assert warm_out.stats["computed"] == tasks
+
+            # The same grid as a cold CLI process: interpreter startup,
+            # imports, and compute all inside one throwaway python run
+            # (the auto-fallback path, pointed at a socket nobody owns).
+            cold_cmd = [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "submit",
+                "--schemes",
+                ",".join(SCHEMES),
+                "--workloads",
+                ",".join(SERVICE_WORKLOADS),
+                "--scale",
+                str(scale),
+                "--no-cache",
+                "--socket",
+                str(Path(root) / "nobody-home.sock"),
+                "--quiet",
+            ]
+            cold_wall = None
+            cold_stdout = None
+            for _ in range(rounds):
+                start = time.perf_counter()
+                proc = subprocess.run(
+                    cold_cmd, env=env, capture_output=True, text=True
+                )
+                elapsed = time.perf_counter() - start
+                if proc.returncode != 0:
+                    raise RuntimeError(
+                        f"cold CLI submit failed:\n{proc.stderr[-2000:]}"
+                    )
+                if cold_wall is None or elapsed < cold_wall:
+                    cold_wall, cold_stdout = elapsed, proc.stdout
+
+            # Same table bytes from both engines, or the comparison is
+            # meaningless.
+            warm_proc = subprocess.run(
+                cold_cmd[:-3] + ["--socket", str(socket_path), "--quiet"],
+                env=env,
+                capture_output=True,
+                text=True,
+            )
+            assert warm_proc.returncode == 0, warm_proc.stderr[-2000:]
+            assert warm_proc.stdout == cold_stdout, (
+                "daemon and cold CLI rendered different tables"
+            )
+
+            # Warm in-process serial, for an honest same-process baseline:
+            # on a single-CPU box the pool cannot beat this on compute, and
+            # the report says so instead of hiding it.
+            serial_wall, _ = _best_of(
+                lambda: run_suite(
+                    SCHEMES, SERVICE_WORKLOADS, scale=scale, cache=None
+                ),
+                rounds,
+            )
+
+            # Two concurrent identical clients: the second must ride the
+            # first's in-flight futures, computing nothing.
+            dedup_outcomes = []
+
+            def dedup_submit():
+                dedup_outcomes.append(warm_submit())
+
+            threads = [
+                threading.Thread(target=dedup_submit) for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            computed = sum(o.stats["computed"] for o in dedup_outcomes)
+            dedup = sum(o.stats["dedup"] for o in dedup_outcomes)
+            assert computed == tasks, "dedup benchmark recomputed work"
+            hit_rate = dedup / (computed + dedup)
+
+            # Round-trip latency of a submit served entirely from the
+            # shared cache (one task; measures protocol + cache overhead).
+            def cached_submit():
+                with ServiceClient(socket_path) as client:
+                    client.hello()
+                    return client.submit(
+                        [SCHEMES[0]], workloads=[SERVICE_WORKLOADS[0]],
+                        scale=scale,
+                    )
+
+            cached_wall, cached_out = _best_of(cached_submit, rounds)
+            assert set(cached_out.dispositions.values()) == {"cache"}
+
+            with ServiceClient(socket_path, timeout=30.0) as client:
+                client.shutdown()
+            daemon.wait(timeout=60)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+    cli_speedup = cold_wall / warm_wall if warm_wall else 0.0
+    serial_ratio = serial_wall / warm_wall if warm_wall else 0.0
+    print(
+        f"  service warm     {warm_wall:7.2f}s"
+        f" vs {cold_wall:.2f}s cold CLI ({cli_speedup:.2f}x)"
+    )
+    print(
+        f"  service dedup    {hit_rate:7.2f} hit rate,"
+        f" cached submit {cached_wall * 1000:.0f}ms"
+    )
+    return {
+        "workers": 2,
+        "workloads": SERVICE_WORKLOADS,
+        "schemes": SCHEMES,
+        "tasks": tasks,
+        "rounds": rounds,
+        "wall_seconds": {
+            "warm_submit": round(warm_wall, 3),
+            "cold_cli_in_process": round(cold_wall, 3),
+            "warm_serial_in_process": round(serial_wall, 3),
+            "cached_submit": round(cached_wall, 3),
+        },
+        "small_batch": {
+            # Headline: the same small batch that used to pay cold-process
+            # overhead every invocation, against a warm daemon.
+            "speedup_warm_pool_vs_cold_cli": round(cli_speedup, 2),
+            # Honest same-process comparison: >1.0 only when compute
+            # parallelism wins, which a single-CPU runner cannot show.
+            "warm_serial_over_warm_submit": round(serial_ratio, 2),
+        },
+        "dedup": {
+            "clients": 2,
+            "hit_rate": round(hit_rate, 3),
+            "computed": computed,
+            "deduped": dedup,
+        },
+        "parity": "daemon and cold-CLI tables byte-identical",
     }
 
 
@@ -452,6 +679,8 @@ def main(argv=None) -> int:
     profile_report = profile_collection(args.scale)
     sweep_report = depth_sweep_trace_cache(args.scale)
     jit_report = jit_benchmarks(args.scale)
+    warmup_report = worker_warmup()
+    service_report = service_benchmarks(args.scale)
     metrics_sink, metrics_report = metrics_overhead(args.scale)
     if args.metrics_out:
         lines = metrics_sink.write_jsonl(args.metrics_out)
@@ -487,6 +716,8 @@ def main(argv=None) -> int:
         "profile_collection": profile_report,
         "depth_sweep": sweep_report,
         "jit": jit_report,
+        "worker_warmup": warmup_report,
+        "service": service_report,
         "metrics": metrics_report,
         "interpreter": {
             "workload": "eqn",

@@ -1,0 +1,221 @@
+"""CI smoke test for the experiment service.
+
+Starts a daemon on a private socket with a private cache, drives a small
+grid from two concurrent clients, and checks the properties the service
+exists to provide:
+
+* results are byte-identical to the in-process engine's;
+* the two clients' identical grids cost one computation total (the
+  in-flight dedup counters prove it);
+* a repeat submit is served entirely from the shared, sharded cache;
+* shutdown is clean: exit code 0, socket removed, no orphaned workers.
+
+Everything runs under a hard wall-clock budget so a wedged daemon fails
+the build instead of hanging it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py [--scale 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments.harness import run_suite  # noqa: E402
+from repro.service.client import ServiceClient, service_available  # noqa: E402
+
+WORKLOADS = ["alt", "com", "wc", "eqn"]
+SCHEMES = ["M4", "P4"]
+
+
+def log(text: str) -> None:
+    print(f"[service-smoke] {text}", flush=True)
+
+
+def wait_for(predicate, timeout: float, what: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.2)
+    raise TimeoutError(f"timed out waiting for {what}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="hard budget for the whole smoke, seconds",
+    )
+    args = parser.parse_args()
+    started = time.monotonic()
+
+    def budget() -> float:
+        remaining = args.timeout - (time.monotonic() - started)
+        if remaining <= 0:
+            raise TimeoutError("service smoke exceeded its wall-clock budget")
+        return remaining
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as root:
+        socket_path = Path(root) / "svc.sock"
+        cache_dir = Path(root) / "cache"
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        env["PYTHONPATH"] = (
+            str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+
+        log(f"starting daemon on {socket_path}")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "serve",
+                "--socket",
+                str(socket_path),
+                "--workers",
+                "2",
+            ],
+            env=env,
+        )
+        try:
+            wait_for(
+                lambda: proc.poll() is not None
+                or service_available(socket_path),
+                min(120.0, budget()),
+                "daemon startup",
+            )
+            if proc.poll() is not None:
+                log(f"FAIL: daemon died during startup (exit {proc.returncode})")
+                return 1
+            worker_pids = []
+            with ServiceClient(socket_path, timeout=budget()) as client:
+                client.hello()
+                worker_pids = client.status()["worker_pids"]
+            log(f"daemon up, workers: {worker_pids}")
+
+            # --- two concurrent clients, identical grids -------------------
+            outcomes = {}
+            errors = []
+
+            def submit(tag: str) -> None:
+                try:
+                    with ServiceClient(socket_path, timeout=budget()) as c:
+                        c.hello()
+                        outcomes[tag] = c.submit(
+                            SCHEMES, workloads=WORKLOADS, scale=args.scale
+                        )
+                except Exception as exc:  # noqa: BLE001 - reported below
+                    errors.append((tag, exc))
+
+            threads = [
+                threading.Thread(target=submit, args=(tag,))
+                for tag in ("a", "b")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=budget())
+            if errors:
+                for tag, exc in errors:
+                    log(f"FAIL: client {tag}: {exc}")
+                return 1
+
+            total = len(WORKLOADS) * len(SCHEMES)
+            computed = sum(o.stats["computed"] for o in outcomes.values())
+            dedup = sum(o.stats["dedup"] for o in outcomes.values())
+            cached = sum(o.stats["cache"] for o in outcomes.values())
+            log(
+                f"two clients, {total}-task grid each:"
+                f" {computed} computed, {dedup} deduped, {cached} cached"
+            )
+            if computed != total:
+                log(
+                    f"FAIL: expected exactly {total} computations across both"
+                    f" clients, got {computed} (duplicate work!)"
+                )
+                return 1
+            if dedup + cached != total:
+                log(
+                    f"FAIL: the second client should ride dedup/cache for all"
+                    f" {total} tasks, got dedup={dedup} cache={cached}"
+                )
+                return 1
+
+            # --- byte-identical vs the in-process engine -------------------
+            log("comparing against the in-process engine ...")
+            local = run_suite(SCHEMES, WORKLOADS, scale=args.scale)
+            for tag, out in outcomes.items():
+                for pair, outcome in out.results.items():
+                    expected = local[pair]
+                    if pickle.dumps(outcome.result) != pickle.dumps(
+                        expected.result
+                    ):
+                        log(
+                            f"FAIL: client {tag} {pair}: daemon result"
+                            " differs from in-process engine"
+                        )
+                        return 1
+            log(f"all {total} results byte-identical to in-process engine")
+
+            # --- repeat submit: all cache ----------------------------------
+            with ServiceClient(socket_path, timeout=budget()) as client:
+                client.hello()
+                repeat = client.submit(
+                    SCHEMES, workloads=WORKLOADS, scale=args.scale
+                )
+            if set(repeat.dispositions.values()) != {"cache"}:
+                log(
+                    "FAIL: repeat submit was not served from cache:"
+                    f" {repeat.stats}"
+                )
+                return 1
+            log("repeat submit served 100% from the shared cache")
+
+            # --- clean shutdown --------------------------------------------
+            with ServiceClient(socket_path, timeout=budget()) as client:
+                client.shutdown()
+            exit_code = proc.wait(timeout=min(60.0, budget()))
+            if exit_code != 0:
+                log(f"FAIL: daemon exited {exit_code}")
+                return 1
+            if socket_path.exists():
+                log("FAIL: daemon left its socket behind")
+                return 1
+            for pid in worker_pids:
+                try:
+                    os.kill(pid, 0)
+                except OSError:
+                    continue
+                log(f"FAIL: worker {pid} orphaned after shutdown")
+                return 1
+            log(
+                "clean shutdown: exit 0, socket removed, no orphaned workers"
+            )
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    log(f"OK ({time.monotonic() - started:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,11 @@ Two layers back the same keys:
   within one ``experiments all`` run, and
 * an **on-disk pickle store** under ``~/.cache/repro-experiments`` (override
   with ``$REPRO_CACHE_DIR`` or ``--cache-dir``), written atomically so
-  concurrent runs never observe torn entries.
+  concurrent runs never observe torn entries.  Entries are sharded into
+  256 two-hex-char prefix subdirectories so the many concurrent readers
+  and writers of one shared cache (parallel workers, experiment-service
+  clients) never contend on a single directory; entries from the old flat
+  layout are migrated lazily, one atomic rename per first read.
 
 Because an I-cache outcome is a strict superset of the corresponding
 ideal-cache outcome (the simulator always produces the ideal ``result``
@@ -307,6 +311,8 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: flat-layout entries moved into their shard directory on first read
+    migrations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -320,13 +326,27 @@ class CacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another process's counts into this one (e.g. per-request
+        stats shipped back from the experiment service).  Counters are
+        plain integer sums, so merged totals are exact regardless of how
+        concurrently the underlying probes ran."""
+        self.hits += other.hits
+        self.disk_hits += other.disk_hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.migrations += other.migrations
+
     def summary(self) -> str:
         """One-line human-readable account of the cache's work."""
-        return (
+        text = (
             f"{self.hits} hits ({self.disk_hits} from disk), "
             f"{self.misses} misses, {self.stores} stores, "
             f"{self.hit_rate * 100:.1f}% hit rate"
         )
+        if self.migrations:
+            text += f", {self.migrations} flat entries migrated"
+        return text
 
 
 class ExperimentCache:
@@ -350,7 +370,67 @@ class ExperimentCache:
         self._memo: Dict[str, Any] = {}
 
     def _entry_path(self, key: str) -> Path:
+        """Sharded location: 256 two-hex-char prefix subdirectories, so
+        concurrent workers and clients never contend on (or enumerate) a
+        single flat directory."""
         return self.path / key[:2] / f"{key}.pkl"
+
+    def _flat_path(self, key: str) -> Path:
+        """Where the pre-sharding flat layout stored this key."""
+        return self.path / f"{key}.pkl"
+
+    @staticmethod
+    def _discard(entry: Path) -> None:
+        try:
+            entry.unlink()
+        except OSError:
+            pass
+
+    def _load_disk(self, key: str) -> Optional[Any]:
+        """Read ``key`` from disk, or ``None``.
+
+        Probes the sharded location first, then the legacy flat layout;
+        a flat hit is lazily migrated into its shard directory (atomic
+        ``os.replace``, so a concurrent reader sees the entry at exactly
+        one of the two locations, never torn).  Corrupt entries (torn
+        writes from killed runs, format drift) are deleted and count as
+        absent.
+        """
+        entry = self._entry_path(key)
+        try:
+            with open(entry, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            pass
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            self._discard(entry)
+            return None
+        flat = self._flat_path(key)
+        try:
+            with open(flat, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            # A concurrent reader may have migrated the entry between our
+            # two probes (``os.replace`` makes the flat path vanish at the
+            # instant the sharded one appears), so check the shard once
+            # more before declaring a miss.
+            try:
+                with open(entry, "rb") as handle:
+                    return pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+                return None
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            self._discard(flat)
+            return None
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(flat, entry)
+        except OSError:
+            # Migration is an optimization; the value is already in hand.
+            pass
+        else:
+            self.stats.migrations += 1
+        return value
 
     def get(self, key: str) -> Optional[Any]:
         """Fetch a cached artifact, or ``None`` on a miss.
@@ -363,18 +443,8 @@ class ExperimentCache:
             self.stats.hits += 1
             return value
         if not self.memory_only:
-            entry = self._entry_path(key)
-            try:
-                with open(entry, "rb") as handle:
-                    value = pickle.load(handle)
-            except FileNotFoundError:
-                pass
-            except (OSError, pickle.UnpicklingError, EOFError, ValueError):
-                try:
-                    entry.unlink()
-                except OSError:
-                    pass
-            else:
+            value = self._load_disk(key)
+            if value is not None:
                 self._memo[key] = value
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
@@ -458,12 +528,7 @@ class ExperimentCache:
         )
         superset = self._memo.get(superset_key)
         if superset is None and not self.memory_only:
-            entry = self._entry_path(superset_key)
-            try:
-                with open(entry, "rb") as handle:
-                    superset = pickle.load(handle)
-            except (OSError, pickle.UnpicklingError, EOFError, ValueError):
-                superset = None
+            superset = self._load_disk(superset_key)
         if superset is None:
             return None
         value = dataclasses.replace(superset, cached_result=None)

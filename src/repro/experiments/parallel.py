@@ -39,6 +39,7 @@ from ..profiling.collector import (
     record_trace,
 )
 from ..scheduling.machine import MachineModel
+from ..service.pool import warm_worker
 from ..workloads.base import Workload
 from ..workloads.suite import workload_map
 
@@ -254,7 +255,10 @@ def run_pairs_parallel(
     scheme_sinks: Dict[Tuple[str, str], MetricsSink] = {}
     profile_tracers: Dict[str, Tracer] = {}
     scheme_tracers: Dict[Tuple[str, str], Tracer] = {}
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    # The pre-importing initializer moves the compiler import chain out of
+    # each worker's first task (a no-op under fork, the real fix under
+    # spawn/forkserver — see repro.service.pool).
+    with ProcessPoolExecutor(max_workers=jobs, initializer=warm_worker) as pool:
         profile_futures = {}
         scheme_futures = []
         for wname, schemes in pending.items():

@@ -31,6 +31,8 @@ TRIPWIRE_METRICS: Sequence[str] = (
     "metrics.speedup_on_vs_off",
     "jit.speedup_on_vs_off",
     "jit.vliw_speedup_on_vs_off",
+    "service.small_batch.speedup_warm_pool_vs_cold_cli",
+    "service.dedup.hit_rate",
 )
 
 #: A tripwire metric may lose up to this fraction before the check fails.

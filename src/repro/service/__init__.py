@@ -1,0 +1,55 @@
+"""The persistent experiment service.
+
+A long-lived daemon (:mod:`repro.service.server`) that keeps a warm,
+pre-imported worker pool and a shared, sharded
+:class:`~repro.experiments.cache.ExperimentCache` between experiment
+invocations, so parallelism wins even on small batches and N concurrent
+clients share one profile/trace cache.  Clients speak a newline-delimited
+JSON protocol (:mod:`repro.service.protocol`) over a unix-domain socket;
+:mod:`repro.service.client` is the synchronous client used by the
+``python -m repro.service submit`` CLI, which transparently falls back to
+the in-process engine when no daemon is running.
+
+Identical requests that are in flight at the same time are deduplicated by
+content key: the second client awaits the first client's futures instead
+of recomputing, so concurrent identical grids cost one computation total.
+
+Submodules are loaded lazily (PEP 562): :mod:`repro.service.pool` must be
+importable without dragging the compiler in (pool workers unpickle its
+functions before their pre-importing initializer runs), and
+:mod:`repro.experiments.parallel` imports it while the ``experiments``
+package is itself still initializing.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+#: Public name -> defining submodule.
+_EXPORTS = {
+    "ExperimentService": ".server",
+    "PROTOCOL_VERSION": ".protocol",
+    "SOCKET_ENV": ".protocol",
+    "ServiceClient": ".client",
+    "ServiceError": ".client",
+    "SubmitOutcome": ".client",
+    "WARM_IMPORTS": ".pool",
+    "WarmPool": ".pool",
+    "default_socket_path": ".protocol",
+    "run_suite_service": ".client",
+    "service_available": ".client",
+    "warm_worker": ".pool",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module, __name__), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,227 @@
+"""Command-line entry points for the experiment service.
+
+Usage::
+
+    python -m repro.service serve  [--socket PATH] [--workers N]
+    python -m repro.service submit --schemes M4,P4 [--workloads wc,eqn]
+    python -m repro.service status
+    python -m repro.service shutdown
+
+``serve`` runs the daemon in the foreground until ``shutdown`` (or
+SIGTERM/SIGINT).  ``submit`` renders the same cycles table whether it was
+served by the daemon or — when no daemon is listening and ``--no-fallback``
+was not given — computed in-process, so scripted consumers see
+byte-identical output either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..experiments.render import format_table
+
+
+def _render_results(results, dispositions, with_icache: bool) -> str:
+    """The submit table: one row per (workload, scheme), request order."""
+    headers = ["workload", "scheme", "cycles", "ops", "wasted"]
+    if with_icache:
+        headers += ["icache cycles", "miss %"]
+    rows = []
+    for (wname, sname), outcome in results.items():
+        sim = outcome.result
+        row = [wname, sname, sim.cycles, sim.operations, sim.wasted_operations]
+        if with_icache:
+            cached = outcome.cached_result
+            row += [cached.cycles, f"{cached.icache_miss_rate * 100:.2f}"]
+        rows.append(row)
+    return format_table(headers, rows, title="Experiment results")
+
+
+def _cmd_serve(args) -> int:
+    from ..experiments.cache import ExperimentCache
+    from .protocol import default_socket_path
+    from .server import run_service
+
+    cache = (
+        None
+        if args.no_cache
+        else ExperimentCache(path=args.cache_dir)
+    )
+    run_service(
+        args.socket or default_socket_path(),
+        workers=args.workers,
+        cache=cache,
+        verbose=not args.quiet,
+    )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .client import ServiceError, run_suite_service
+
+    schemes = [s for s in args.schemes.split(",") if s]
+    workloads = (
+        None
+        if not args.workloads or args.workloads == "all"
+        else [w for w in args.workloads.split(",") if w]
+    )
+    try:
+        results, engine, outcome = run_suite_service(
+            schemes,
+            workload_names=workloads,
+            scale=args.scale,
+            with_icache=args.icache,
+            socket_path=args.socket,
+            fallback=not args.no_fallback,
+            no_cache=args.no_cache,
+            with_metrics=args.metrics_out is not None,
+            with_tracer=args.trace_out is not None,
+            verbose=not args.quiet,
+        )
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    print(_render_results(results, outcome.dispositions, args.icache))
+    if not args.quiet:
+        note = f"[service] engine: {engine}"
+        if outcome.stats:
+            note += (
+                f" ({outcome.stats.get('computed', 0)} computed,"
+                f" {outcome.stats.get('cache', 0)} from cache,"
+                f" {outcome.stats.get('dedup', 0)} deduped in flight)"
+            )
+        print(note, file=sys.stderr, flush=True)
+    if args.metrics_out and outcome.metrics is not None:
+        lines = outcome.metrics.write_jsonl(args.metrics_out)
+        if not args.quiet:
+            print(
+                f"[metrics] {lines} event(s) -> {args.metrics_out} (render"
+                f" with: python -m repro.experiments report"
+                f" {args.metrics_out})",
+                file=sys.stderr,
+            )
+    if args.trace_out and outcome.tracer is not None:
+        from ..trace.perfetto import write_trace
+
+        events = write_trace(outcome.tracer, args.trace_out)
+        if not args.quiet:
+            print(
+                f"[trace] {events} event(s) -> {args.trace_out}",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from .client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.socket, timeout=30.0) as client:
+            status = client.status()
+    except (OSError, ServiceError) as exc:
+        print(f"status: no daemon ({exc})", file=sys.stderr)
+        return 1
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_shutdown(args) -> int:
+    from .client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.socket, timeout=30.0) as client:
+            client.shutdown()
+    except (OSError, ServiceError) as exc:
+        print(f"shutdown: no daemon ({exc})", file=sys.stderr)
+        return 1
+    print("daemon asked to stop")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Persistent experiment daemon and its client verbs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the daemon (foreground)")
+    serve.add_argument("--socket", default=None, help="unix socket path")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="warm-pool size (default: one per CPU)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared experiment-cache directory (default: $REPRO_CACHE_DIR"
+        " or ~/.cache/repro-experiments)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without the shared disk cache (in-flight dedup only)",
+    )
+    serve.add_argument("--quiet", action="store_true")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="run a workload x scheme grid via the daemon"
+    )
+    submit.add_argument(
+        "--schemes", required=True, help="comma-separated scheme names"
+    )
+    submit.add_argument(
+        "--workloads",
+        default="all",
+        help="comma-separated workload names (default: the full suite)",
+    )
+    submit.add_argument("--scale", type=float, default=1.0)
+    submit.add_argument(
+        "--icache", action="store_true", help="also simulate the finite I-cache"
+    )
+    submit.add_argument("--socket", default=None, help="unix socket path")
+    submit.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the shared cache (results recomputed; dedup still on)",
+    )
+    submit.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail instead of running in-process when no daemon listens",
+    )
+    submit.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write merged per-task metrics as JSONL (render with"
+        " 'python -m repro.experiments report FILE')",
+    )
+    submit.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write merged decision/timing traces as Perfetto JSON",
+    )
+    submit.add_argument("--quiet", action="store_true")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status", help="daemon counters and cache stats")
+    status.add_argument("--socket", default=None)
+    status.set_defaults(func=_cmd_status)
+
+    shutdown = sub.add_parser("shutdown", help="stop a running daemon")
+    shutdown.add_argument("--socket", default=None)
+    shutdown.set_defaults(func=_cmd_shutdown)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Measure what the warm-pool initializer saves: first-task import cost.
+
+Runs two single-worker **spawn**-context pools — spawn, because a forked
+child inherits the parent's modules and the probe would measure nothing —
+and times :func:`~repro.service.pool.import_probe` (the wall clock of
+``import repro.pipeline`` inside the worker) in each:
+
+* **cold**: no initializer; the first task pays the full compiler import
+  chain;
+* **warm**: :func:`~repro.service.pool.warm_worker` pre-imported the stack
+  at pool startup, so the probe finds every module already loaded.
+
+Prints one JSON object on stdout.  This module (like
+:mod:`repro.service.pool`) keeps stdlib-only top-level imports on purpose:
+a spawn child imports the defining module of every submitted function
+*before* the initializer runs, so a heavy import here would silently
+pre-warm the "cold" pool and zero the measurement.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.service._warmup_bench
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sys
+from concurrent.futures import ProcessPoolExecutor
+
+
+def measure() -> dict:
+    from .pool import WARM_IMPORTS, import_probe, warm_worker
+
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+        cold = pool.submit(import_probe).result()
+    with ProcessPoolExecutor(
+        max_workers=1, mp_context=context, initializer=warm_worker
+    ) as pool:
+        warm = pool.submit(import_probe).result()
+    return {
+        "start_method": "spawn",
+        "warm_imports": list(WARM_IMPORTS),
+        "cold_first_import_seconds": round(cold, 4),
+        "warm_first_import_seconds": round(warm, 4),
+        "import_seconds_saved": round(cold - warm, 4),
+    }
+
+
+def main() -> int:
+    print(json.dumps(measure(), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

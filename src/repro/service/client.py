@@ -1,0 +1,281 @@
+"""Synchronous client for the experiment service.
+
+:class:`ServiceClient` speaks the :mod:`~repro.service.protocol` over a
+unix-domain socket — no asyncio on the client side, so it drops into
+scripts, tests, and the CLI unchanged.  :func:`run_suite_service` is the
+drop-in engine front door: it serves a suite request from a running daemon
+when one is listening, and transparently falls back to the in-process
+:func:`~repro.experiments.harness.run_suite` when none is.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..metrics import MetricsSink
+from ..trace.tracer import Tracer
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    default_socket_path,
+    encode_message,
+    unpack,
+)
+
+
+class ServiceError(Exception):
+    """The daemon reported an error, or the conversation broke down."""
+
+
+@dataclass
+class SubmitOutcome:
+    """Everything one ``submit`` returned.
+
+    ``results`` matches the shape of
+    :data:`~repro.experiments.harness.SuiteResults` — a dict from
+    (workload, scheme) to :class:`~repro.pipeline.SchemeOutcome`, in
+    request order — so daemon results drop into every existing renderer.
+    """
+
+    results: Dict[Tuple[str, str], Any]
+    #: (workload, scheme) -> "computed" | "cache" | "dedup"
+    dispositions: Dict[Tuple[str, str], str]
+    #: per-request dedup/cache accounting, as counted by the daemon
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: merged per-task metrics (only when requested with ``with_metrics``)
+    metrics: Optional[MetricsSink] = None
+    #: merged per-task decision traces (only with ``with_tracer``)
+    tracer: Optional[Tracer] = None
+
+
+class ServiceClient:
+    """One connection to a running experiment daemon."""
+
+    def __init__(
+        self,
+        socket_path: Optional[os.PathLike] = None,
+        timeout: Optional[float] = 600.0,
+    ) -> None:
+        self.path = str(socket_path or default_socket_path())
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(self.path)
+        except OSError:
+            self._sock.close()
+            raise
+        self._reader = self._sock.makefile("rb")
+
+    # -- plumbing ------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        self._sock.sendall(encode_message(message))
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("connection closed by the daemon")
+        try:
+            return decode_message(line)
+        except ProtocolError as exc:
+            raise ServiceError(str(exc)) from exc
+
+    def _recv_expect(self, *types: str) -> Dict[str, Any]:
+        message = self._recv()
+        kind = message.get("type")
+        if kind == "error" and "error" not in types:
+            raise ServiceError(message.get("message", "unknown error"))
+        if kind not in types:
+            raise ServiceError(f"expected {types}, got {kind!r}")
+        return message
+
+    # -- ops -----------------------------------------------------------------
+
+    def hello(self) -> Dict[str, Any]:
+        """Handshake; raises on a protocol-version mismatch."""
+        self._send({"op": "hello"})
+        message = self._recv_expect("hello")
+        version = message.get("version")
+        if version != PROTOCOL_VERSION:
+            raise ServiceError(
+                f"daemon speaks protocol {version}, client {PROTOCOL_VERSION}"
+            )
+        return message
+
+    def status(self) -> Dict[str, Any]:
+        """Daemon-lifetime counters, cache stats, and in-flight load."""
+        self._send({"op": "status"})
+        return self._recv_expect("status")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to stop (it finishes in-flight work first)."""
+        self._send({"op": "shutdown"})
+        return self._recv_expect("bye")
+
+    def submit(
+        self,
+        schemes: Sequence[str],
+        workloads: Optional[Sequence[str]] = None,
+        scale: float = 1.0,
+        with_icache: bool = False,
+        machine: str = "paper",
+        no_cache: bool = False,
+        with_metrics: bool = False,
+        with_tracer: bool = False,
+        request_id: Optional[str] = None,
+        on_task: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> SubmitOutcome:
+        """Run a (workload x scheme) grid on the daemon and collect the
+        streamed results.
+
+        ``on_task`` (if given) observes each raw task message as it
+        arrives — progress bars hook in here; the outcome payload is
+        already decoded by the time it is called.
+        """
+        self._send(
+            {
+                "op": "submit",
+                "id": request_id,
+                "schemes": list(schemes),
+                "workloads": list(workloads) if workloads else None,
+                "scale": scale,
+                "with_icache": with_icache,
+                "machine": machine,
+                "no_cache": no_cache,
+                "with_metrics": with_metrics,
+                "with_tracer": with_tracer,
+            }
+        )
+        plan = self._recv_expect("plan")
+        total = plan.get("total", 0)
+        results: Dict[Tuple[str, str], Any] = {}
+        dispositions: Dict[Tuple[str, str], str] = {}
+        metrics = MetricsSink() if with_metrics else None
+        tracer = Tracer() if with_tracer else None
+        for _ in range(total):
+            message = self._recv_expect("task")
+            pair = (message["workload"], message["scheme"])
+            results[pair] = unpack(message["outcome"])
+            dispositions[pair] = message.get("disposition", "?")
+            # Merge streamed observability payloads in arrival order ==
+            # request order, the same order the in-process engines use.
+            for source, target in (
+                ("profile_metrics", metrics),
+                ("metrics", metrics),
+                ("profile_trace", tracer),
+                ("trace", tracer),
+            ):
+                payload = message.get(source)
+                if payload is not None and target is not None:
+                    shipped = unpack(payload)
+                    if shipped is not None:
+                        target.merge(shipped)
+            if on_task is not None:
+                message = dict(message)
+                message["outcome"] = results[pair]
+                on_task(message)
+        done = self._recv_expect("done")
+        return SubmitOutcome(
+            results=results,
+            dispositions=dispositions,
+            stats=dict(done.get("stats", {})),
+            metrics=metrics,
+            tracer=tracer,
+        )
+
+
+def service_available(socket_path: Optional[os.PathLike] = None) -> bool:
+    """True when a daemon answers a handshake on the socket."""
+    try:
+        with ServiceClient(socket_path, timeout=5.0) as client:
+            client.hello()
+        return True
+    except (OSError, ServiceError):
+        return False
+
+
+def run_suite_service(
+    schemes: Sequence[str],
+    workload_names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    with_icache: bool = False,
+    socket_path: Optional[os.PathLike] = None,
+    fallback: bool = True,
+    no_cache: bool = False,
+    with_metrics: bool = False,
+    with_tracer: bool = False,
+    verbose: bool = False,
+) -> Tuple[Dict[Tuple[str, str], Any], str, Optional[SubmitOutcome]]:
+    """Suite results via the daemon, falling back to in-process execution.
+
+    Returns ``(results, engine, submit_outcome)`` where ``engine`` is
+    ``"service"`` or ``"in-process"`` and ``submit_outcome`` carries the
+    dispositions/stats/metrics (its ``stats`` are empty on the fallback
+    path — nothing was deduped because nothing was shared).  Raises
+    :class:`ServiceError` instead of falling back when ``fallback=False``
+    and no daemon is listening.
+    """
+    path = socket_path or default_socket_path()
+    try:
+        client = ServiceClient(path)
+    except OSError as exc:
+        if not fallback:
+            raise ServiceError(
+                f"no experiment service listening on {path} ({exc})"
+            ) from exc
+        if verbose:
+            print(
+                f"[service] no daemon on {path}; running in-process",
+                file=sys.stderr,
+                flush=True,
+            )
+        from ..experiments.cache import ExperimentCache
+        from ..experiments.harness import run_suite
+
+        metrics = MetricsSink() if with_metrics else None
+        tracer = Tracer() if with_tracer else None
+        results = run_suite(
+            schemes,
+            workload_names,
+            scale=scale,
+            with_icache=with_icache,
+            cache=None if no_cache else ExperimentCache(),
+            metrics=metrics,
+            tracer=tracer,
+        )
+        outcome = SubmitOutcome(
+            results=results,
+            dispositions={pair: "in-process" for pair in results},
+            metrics=metrics,
+            tracer=tracer,
+        )
+        return results, "in-process", outcome
+    with client:
+        client.hello()
+        outcome = client.submit(
+            schemes,
+            workloads=workload_names,
+            scale=scale,
+            with_icache=with_icache,
+            no_cache=no_cache,
+            with_metrics=with_metrics,
+            with_tracer=with_tracer,
+        )
+    return outcome.results, "service", outcome

@@ -1,0 +1,130 @@
+"""Warm worker pools: pre-imported processes, primed before first use.
+
+A cold ``ProcessPoolExecutor`` worker pays the compiler/interpreter/JIT
+import chain inside its *first task's* wall clock.  :func:`warm_worker` is
+a pool initializer that moves those imports to worker startup instead, so
+the first real task starts computing immediately.  Under the default
+``fork`` start method a child inherits the parent's modules and the
+initializer is a cheap no-op; under ``spawn``/``forkserver`` (and in any
+parent that has not itself imported the compiler) it does the real work.
+
+This module deliberately imports nothing heavy at top level: workers
+unpickle references to its functions before running the initializer, and
+that unpickle must not drag the whole compiler in through module import —
+otherwise the initializer could never be cheaper than the problem it
+solves (and :func:`import_probe` could not measure the difference).
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, wait
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: Modules every experiment worker needs before its first task: the
+#: frontend (workload programs compile from MiniC source), the interpreter
+#: and template JIT (training runs, references), and the full pipeline
+#: (formation, scheduling, regalloc, layout, simulation).
+WARM_IMPORTS: Tuple[str, ...] = (
+    "repro.frontend",
+    "repro.interp.interpreter",
+    "repro.jit",
+    "repro.pipeline",
+    "repro.experiments.parallel",
+    "repro.workloads.suite",
+)
+
+
+def warm_worker(extra: Sequence[str] = ()) -> None:
+    """Pool initializer: pre-import the compiler stack in this worker."""
+    for name in (*WARM_IMPORTS, *extra):
+        importlib.import_module(name)
+
+
+def import_probe() -> float:
+    """Seconds this worker spends importing ``repro.pipeline`` *now* — ~0
+    in a pre-imported (or forked-from-warm-parent) worker, the full import
+    chain in a cold spawned one.  ``perf_smoke.py`` uses it to measure the
+    first-task cost :func:`warm_worker` removes."""
+    start = time.perf_counter()
+    importlib.import_module("repro.pipeline")
+    return time.perf_counter() - start
+
+
+def _prime_probe(delay: float) -> int:
+    """Occupy one worker long enough for the pool to spread the remaining
+    probes over its other workers, and report who ran it."""
+    time.sleep(delay)
+    return os.getpid()
+
+
+class WarmPool:
+    """A ``ProcessPoolExecutor`` wrapper that is warm before first use.
+
+    Workers run :func:`warm_worker` at startup, and :meth:`prime` forces
+    every worker process to exist (and finish importing) before the pool
+    accepts real work — a daemon pays this once at serve time, never
+    inside a request.
+
+    Args:
+        workers: pool size.
+        extra_imports: additional module names for the initializer.
+        mp_context: ``multiprocessing`` context (default: the platform
+            default, ``fork`` on Linux).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        extra_imports: Sequence[str] = (),
+        mp_context=None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=warm_worker,
+            initargs=(tuple(extra_imports),),
+            mp_context=mp_context,
+        )
+
+    def prime(self, delay: float = 0.05, timeout: float = 120.0) -> List[int]:
+        """Start (and pre-import) every worker; return their pids.
+
+        Submits one short sleeper per worker: the executor spawns a new
+        process per queued task until it reaches ``workers``, and the
+        sleep keeps early workers busy so later probes land on fresh ones.
+        """
+        futures: List[Future] = [
+            self.executor.submit(_prime_probe, delay)
+            for _ in range(self.workers)
+        ]
+        done, not_done = wait(futures, timeout=timeout)
+        if not_done:
+            raise TimeoutError(
+                f"warm pool failed to start within {timeout}s"
+                f" ({len(not_done)} of {self.workers} probes pending)"
+            )
+        return sorted({future.result() for future in done})
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        """Forward to the underlying executor."""
+        return self.executor.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        """Shut the executor down (idempotent)."""
+        self.executor.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+    def worker_pids(self) -> Iterable[int]:
+        """Pids of the currently live worker processes."""
+        processes: Optional[dict] = getattr(self.executor, "_processes", None)
+        if not processes:
+            return []
+        return sorted(processes.keys())
+
+    def __enter__(self) -> "WarmPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown(wait=True)

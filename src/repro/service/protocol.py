@@ -1,0 +1,108 @@
+"""Wire protocol for the experiment service.
+
+One message per line: UTF-8 JSON, ``\\n``-terminated, sorted keys.  Client
+messages carry an ``op`` field; server messages a ``type`` field.  Python
+artifacts (outcomes, metrics sinks, tracers) travel as base64-encoded
+pickles inside string fields, so the framing stays line-oriented and a
+human can still read the control traffic with ``socat``.
+
+Client -> server ops::
+
+    {"op": "hello"}
+    {"op": "submit", "id": ..., "schemes": [...], "workloads": [...],
+     "scale": 1.0, "with_icache": false, "machine": "paper",
+     "no_cache": false, "with_metrics": false, "with_tracer": false}
+    {"op": "status"}
+    {"op": "shutdown"}
+
+Server -> client message types::
+
+    {"type": "hello", "version": 1, "pid": ..., "workers": ...}
+    {"type": "plan", "id": ..., "total": N}            # submit accepted
+    {"type": "task", "workload": ..., "scheme": ...,   # one per pair,
+     "disposition": "computed"|"cache"|"dedup",        # in request order
+     "seq": k, "total": N, "outcome": <b64 pickle>,
+     "metrics": <b64 pickle, only when requested and computed>,
+     "trace": <b64 pickle, only when requested and computed>}
+    {"type": "done", "id": ..., "stats": {...}}        # end of submit
+    {"type": "status", ...}
+    {"type": "bye"}                                    # shutdown ack
+    {"type": "error", "message": ...}
+
+The ``disposition`` names who answered: ``computed`` (this request caused
+the work), ``cache`` (the shared on-disk/memo cache), or ``dedup`` (an
+identical task was already in flight for another request and this one
+awaited the same future — zero new computation).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict
+
+#: Bump on incompatible wire changes; ``hello`` reports it so clients can
+#: refuse to talk to a daemon from a different era.
+PROTOCOL_VERSION = 1
+
+#: Environment variable overriding the default socket location.
+SOCKET_ENV = "REPRO_SERVICE_SOCKET"
+
+#: StreamReader line limit for the server side (client requests are small;
+#: this is pure headroom — server *writes* are unlimited).
+LINE_LIMIT = 4 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed or unexpected message."""
+
+
+def default_socket_path() -> Path:
+    """Resolve the daemon's unix-socket path.
+
+    Precedence: the :data:`SOCKET_ENV` override, then
+    ``$XDG_RUNTIME_DIR/repro-service.sock``, then
+    ``<cache dir>/service.sock`` next to the experiment cache.
+    """
+    env = os.environ.get(SOCKET_ENV)
+    if env:
+        return Path(env)
+    runtime = os.environ.get("XDG_RUNTIME_DIR")
+    if runtime and Path(runtime).is_absolute():
+        return Path(runtime) / "repro-service.sock"
+    from ..experiments.cache import default_cache_dir
+
+    return default_cache_dir() / "service.sock"
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One wire line for ``message`` (newline-terminated UTF-8 JSON)."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line; raises :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def pack(obj: Any) -> str:
+    """Pickle + base64 an artifact for transport inside a JSON field."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack(text: str) -> Any:
+    """Inverse of :func:`pack`."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))

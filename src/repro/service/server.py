@@ -1,0 +1,573 @@
+"""The experiment daemon: an asyncio front-end over a warm worker pool.
+
+One :class:`ExperimentService` owns three long-lived assets that a cold
+CLI invocation pays for on every run:
+
+* a **warm worker pool** (:class:`~repro.service.pool.WarmPool`): worker
+  processes exist, have pre-imported the compiler/interpreter/JIT stack,
+  and keep their per-process program and JIT code caches across requests;
+* a **shared, sharded** :class:`~repro.experiments.cache.ExperimentCache`:
+  every client's outcomes, profiles, traces, and references land in (and
+  are served from) one content-addressed store;
+* an **in-flight table**: tasks currently being computed, keyed by the
+  same content keys the cache uses.  A request whose (workload, scheme,
+  inputs, compiler-digest) task is already running *awaits the existing
+  future* instead of recomputing — N concurrent identical grids cost one
+  computation total, and the counters prove it.
+
+Requests are planned synchronously on the event loop (cache probes and
+in-flight registration happen before any await), so dedup behaviour is
+deterministic: whichever submit the loop reads first computes, every
+later overlapping submit dedups.  Results stream back per task, in
+request order, as soon as each future resolves.
+
+The compute path reuses the parallel engine's worker tasks
+(:func:`~repro.experiments.parallel._profile_task` /
+:func:`~repro.experiments.parallel._scheme_task`), so daemon-served
+outcomes are the same objects, byte for byte, the in-process engine
+produces — the training-run-shared-across-schemes discipline included.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..experiments.cache import (
+    ExperimentCache,
+    outcome_key,
+    profile_key,
+    reference_key,
+    trace_key,
+)
+from ..experiments.parallel import _profile_task, _scheme_task
+from ..formation import scheme as scheme_config
+from ..metrics import MetricsSink
+from ..profiling.path_profile import DEFAULT_DEPTH
+from ..scheduling.machine import PAPER_MACHINE, REALISTIC_MACHINE
+from ..workloads.suite import workload_map
+from .pool import WarmPool
+from .protocol import (
+    LINE_LIMIT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    pack,
+)
+
+#: Machine models a request may name.
+MACHINES = {"paper": PAPER_MACHINE, "realistic": REALISTIC_MACHINE}
+
+
+class ExperimentService:
+    """A long-lived experiment daemon bound to one unix-domain socket.
+
+    Args:
+        socket_path: where to listen.
+        workers: warm-pool size (default: one per CPU).
+        cache: shared experiment cache; ``None`` disables the disk cache
+            entirely (requests can still dedup in flight).
+        verbose: print a line per request/task to stdout.
+    """
+
+    def __init__(
+        self,
+        socket_path: os.PathLike,
+        workers: Optional[int] = None,
+        cache: Optional[ExperimentCache] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.workers = workers or (os.cpu_count() or 1)
+        self.cache = cache
+        self.verbose = verbose
+        #: service-lifetime counters/events (``status`` reports them)
+        self.metrics = MetricsSink()
+        #: outcome content key -> future of (outcome, extras dict)
+        self._inflight: Dict[str, asyncio.Future] = {}
+        #: profile content key -> future of (profiles, reference)
+        self._profile_inflight: Dict[str, asyncio.Future] = {}
+        #: compute tasks still running (drained on shutdown)
+        self._tasks: set = set()
+        self._pool: Optional[WarmPool] = None
+        self._stop = asyncio.Event()
+        self._started = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _log(self, text: str) -> None:
+        if self.verbose:
+            print(f"[service] {text}", flush=True)
+
+    def _claim_socket(self) -> None:
+        """Bind-or-die: refuse to shadow a live daemon, sweep a stale
+        socket left by a killed one."""
+        if not self.socket_path.exists():
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            return
+        import socket as socketlib
+
+        probe = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        try:
+            probe.settimeout(1.0)
+            probe.connect(str(self.socket_path))
+        except OSError:
+            self.socket_path.unlink()
+        else:
+            raise RuntimeError(
+                f"a service is already listening on {self.socket_path}"
+            )
+        finally:
+            probe.close()
+
+    async def serve(self) -> None:
+        """Run until a ``shutdown`` request (or SIGTERM/SIGINT) arrives."""
+        self._claim_socket()
+        self._pool = WarmPool(self.workers)
+        pids = self._pool.prime()
+        loop = asyncio.get_running_loop()
+        import signal
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        server = await asyncio.start_unix_server(
+            self._handle_client, path=str(self.socket_path), limit=LINE_LIMIT
+        )
+        print(
+            f"[service] listening on {self.socket_path}"
+            f" ({self.workers} workers: {pids})",
+            flush=True,
+        )
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            if self._tasks:
+                await asyncio.wait(self._tasks, timeout=60)
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+            self._log("stopped")
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._stop.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                message: Dict[str, Any] = {}
+                try:
+                    message = decode_message(line)
+                    await self._dispatch(message, writer)
+                except ProtocolError as exc:
+                    await self._send(writer, {"type": "error", "message": str(exc)})
+                except (ConnectionResetError, BrokenPipeError):
+                    raise
+                except Exception as exc:  # noqa: BLE001 — daemon must outlive
+                    # one bad request; report and keep the connection usable.
+                    self.metrics.add("service.errors")
+                    await self._send(
+                        writer,
+                        {
+                            "type": "error",
+                            "message": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
+                if message.get("op") == "shutdown":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+        writer.write(encode_message(message))
+        await writer.drain()
+
+    async def _dispatch(
+        self, message: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        op = message.get("op")
+        if op == "hello":
+            await self._send(writer, self._hello())
+        elif op == "status":
+            await self._send(writer, self._status())
+        elif op == "shutdown":
+            self.metrics.add("service.shutdowns")
+            await self._send(writer, {"type": "bye"})
+            self._stop.set()
+        elif op == "submit":
+            await self._handle_submit(message, writer)
+        else:
+            raise ProtocolError(f"unknown op {op!r}")
+
+    def _hello(self) -> Dict[str, Any]:
+        return {
+            "type": "hello",
+            "version": PROTOCOL_VERSION,
+            "server_version": __version__,
+            "pid": os.getpid(),
+            "workers": self.workers,
+        }
+
+    def _status(self) -> Dict[str, Any]:
+        cache_stats: Optional[Dict[str, int]] = None
+        if self.cache is not None:
+            stats = self.cache.stats
+            cache_stats = {
+                "hits": stats.hits,
+                "disk_hits": stats.disk_hits,
+                "misses": stats.misses,
+                "stores": stats.stores,
+                "migrations": stats.migrations,
+            }
+        return {
+            "type": "status",
+            "version": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "workers": self.workers,
+            "worker_pids": list(self._pool.worker_pids()) if self._pool else [],
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "counters": dict(sorted(self.metrics.counters.items())),
+            "cache": cache_stats,
+            "inflight_tasks": len(self._inflight),
+            "inflight_profiles": len(self._profile_inflight),
+        }
+
+    # -- submit --------------------------------------------------------------
+
+    async def _handle_submit(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        table = workload_map()
+        schemes = request.get("schemes") or []
+        workloads = request.get("workloads") or list(table)
+        unknown = [w for w in workloads if w not in table]
+        if unknown or not schemes:
+            raise ProtocolError(
+                f"bad submit: unknown workloads {unknown}"
+                if unknown
+                else "bad submit: no schemes"
+            )
+        try:
+            configs = {sname: scheme_config(sname) for sname in schemes}
+        except ValueError as exc:
+            raise ProtocolError(f"bad submit: {exc}") from exc
+        scale = float(request.get("scale", 1.0))
+        with_icache = bool(request.get("with_icache", False))
+        no_cache = bool(request.get("no_cache", False))
+        with_metrics = bool(request.get("with_metrics", False))
+        with_tracer = bool(request.get("with_tracer", False))
+        machine_name = request.get("machine", "paper")
+        machine = MACHINES.get(machine_name)
+        if machine is None:
+            raise ProtocolError(f"unknown machine {machine_name!r}")
+        request_id = request.get("id")
+
+        self.metrics.add("service.requests")
+        self.metrics.event(
+            "service.submit",
+            id=request_id,
+            workloads=len(workloads),
+            schemes=len(schemes),
+            scale=scale,
+        )
+        self._log(
+            f"submit {request_id or '-'}: {len(workloads)} workload(s) x"
+            f" {schemes} @ scale {scale}"
+        )
+
+        # Plan synchronously: every cache probe and in-flight registration
+        # happens before the first await, so a submit read later by the
+        # loop deterministically dedups onto this one.
+        plan: List[Tuple[str, str, str, Any]] = []
+        stats = {"computed": 0, "cache": 0, "dedup": 0}
+        for wname in workloads:
+            workload = table[wname]
+            program = workload.program()
+            train = workload.train_tape(scale)
+            test = workload.test_tape(scale)
+            for sname in schemes:
+                key = outcome_key(
+                    program,
+                    configs[sname],
+                    train,
+                    test,
+                    machine,
+                    with_icache,
+                    None,
+                )
+                inflight = self._inflight.get(key)
+                if inflight is not None:
+                    disposition, result = "dedup", inflight
+                else:
+                    outcome = None
+                    if self.cache is not None and not no_cache:
+                        outcome = self.cache.get_outcome(
+                            program,
+                            configs[sname],
+                            train,
+                            test,
+                            machine,
+                            with_icache,
+                            None,
+                        )
+                    if outcome is not None:
+                        disposition, result = "cache", (outcome, {})
+                    else:
+                        disposition = "computed"
+                        result = self._schedule_pair(
+                            key,
+                            wname,
+                            sname,
+                            scale,
+                            with_icache,
+                            machine,
+                            no_cache,
+                            with_metrics,
+                            with_tracer,
+                        )
+                stats[disposition] += 1
+                self.metrics.add(f"service.tasks.{disposition}")
+                plan.append((wname, sname, disposition, result))
+
+        total = len(plan)
+        await self._send(
+            writer, {"type": "plan", "id": request_id, "total": total}
+        )
+
+        # Stream results in request order as their futures resolve.
+        for seq, (wname, sname, disposition, result) in enumerate(plan):
+            if isinstance(result, asyncio.Future):
+                try:
+                    outcome, extras = await asyncio.shield(result)
+                except Exception as exc:  # noqa: BLE001 — forwarded to client
+                    self.metrics.add("service.tasks.failed")
+                    await self._send(
+                        writer,
+                        {
+                            "type": "error",
+                            "id": request_id,
+                            "workload": wname,
+                            "scheme": sname,
+                            "message": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
+                    return
+            else:
+                outcome, extras = result
+            message: Dict[str, Any] = {
+                "type": "task",
+                "id": request_id,
+                "workload": wname,
+                "scheme": sname,
+                "disposition": disposition,
+                "seq": seq,
+                "total": total,
+                "outcome": pack(outcome),
+            }
+            # Observability payloads only exist for tasks this request (or
+            # a concurrent twin) actually computed; merge order at the
+            # client is request order, matching the serial engine.
+            if disposition != "cache":
+                for field in (
+                    "profile_metrics",
+                    "metrics",
+                    "profile_trace",
+                    "trace",
+                ):
+                    if extras.get(field) is not None:
+                        message[field] = pack(extras[field])
+            await self._send(writer, message)
+        self.metrics.event("service.done", id=request_id, **stats)
+        await self._send(
+            writer, {"type": "done", "id": request_id, "stats": stats}
+        )
+
+    # -- compute chain -------------------------------------------------------
+
+    def _schedule_pair(
+        self,
+        key: str,
+        wname: str,
+        sname: str,
+        scale: float,
+        with_icache: bool,
+        machine: Any,
+        no_cache: bool,
+        with_metrics: bool,
+        with_tracer: bool,
+    ) -> asyncio.Future:
+        """Register ``key`` as in flight and start its compute task."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        task = loop.create_task(
+            self._compute_pair(
+                key,
+                future,
+                wname,
+                sname,
+                scale,
+                with_icache,
+                machine,
+                no_cache,
+                with_metrics,
+                with_tracer,
+            )
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return future
+
+    async def _compute_pair(
+        self,
+        key: str,
+        future: asyncio.Future,
+        wname: str,
+        sname: str,
+        scale: float,
+        with_icache: bool,
+        machine: Any,
+        no_cache: bool,
+        with_metrics: bool,
+        with_tracer: bool,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            profiles, reference, extras = await self._ensure_profile(
+                wname, scale, no_cache, with_metrics, with_tracer
+            )
+            pair, outcome, sink, tracer = await loop.run_in_executor(
+                self._pool.executor,
+                functools.partial(
+                    _scheme_task,
+                    wname,
+                    sname,
+                    scale,
+                    with_icache,
+                    machine,
+                    None,
+                    profiles,
+                    reference,
+                    None,
+                    with_metrics,
+                    with_tracer,
+                ),
+            )
+            # One canonical bundle per workload, as in both in-process
+            # engines: the outcome carries the profiles/reference every
+            # scheme of this workload shares.
+            outcome.profiles = profiles
+            outcome.reference = reference
+            if self.cache is not None and not no_cache:
+                self.cache.put(key, outcome)
+            extras = dict(extras)
+            extras["metrics"] = sink
+            extras["trace"] = tracer
+            self._log(f"computed {wname}/{sname}")
+            future.set_result((outcome, extras))
+        except Exception as exc:  # noqa: BLE001 — surfaced via the future
+            if not future.done():
+                future.set_exception(exc)
+                # Mark retrieved even if every requester has gone away.
+                future.exception()
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _ensure_profile(
+        self,
+        wname: str,
+        scale: float,
+        no_cache: bool,
+        with_metrics: bool,
+        with_tracer: bool,
+    ) -> Tuple[Any, Any, Dict[str, Any]]:
+        """One training run (profiles + testing reference) per workload,
+        deduped in flight and shared through the cache.
+
+        Returns ``(profiles, reference, extras)`` where ``extras`` carries
+        the profile-stage metrics/trace only for the caller that actually
+        caused the computation (merge order stays request order).
+        """
+        table = workload_map()
+        workload = table[wname]
+        program = workload.program()
+        train = workload.train_tape(scale)
+        test = workload.test_tape(scale)
+        pkey = profile_key(program, train, DEFAULT_DEPTH)
+        rkey = reference_key(program, test)
+        inflight = self._profile_inflight.get(pkey + rkey)
+        if inflight is not None:
+            self.metrics.add("service.profiles.dedup")
+            profiles, reference = await asyncio.shield(inflight)
+            return profiles, reference, {}
+        if self.cache is not None and not no_cache:
+            profiles = self.cache.get(pkey)
+            reference = self.cache.get(rkey)
+            if profiles is not None and reference is not None:
+                self.metrics.add("service.profiles.cache")
+                return profiles, reference, {}
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._profile_inflight[pkey + rkey] = future
+        try:
+            _, traced, profiles, reference, sink, tracer = (
+                await loop.run_in_executor(
+                    self._pool.executor,
+                    functools.partial(
+                        _profile_task, wname, scale, with_metrics, with_tracer
+                    ),
+                )
+            )
+            if self.cache is not None and not no_cache:
+                self.cache.put(pkey, profiles)
+                self.cache.put(trace_key(program, train), traced)
+                self.cache.put(rkey, reference)
+            self.metrics.add("service.profiles.computed")
+            future.set_result((profiles, reference))
+            return (
+                profiles,
+                reference,
+                {"profile_metrics": sink, "profile_trace": tracer},
+            )
+        except Exception as exc:  # noqa: BLE001 — surfaced via the future
+            future.set_exception(exc)
+            future.exception()
+            raise
+        finally:
+            self._profile_inflight.pop(pkey + rkey, None)
+
+
+def run_service(
+    socket_path: os.PathLike,
+    workers: Optional[int] = None,
+    cache: Optional[ExperimentCache] = None,
+    verbose: bool = False,
+) -> None:
+    """Blocking entry point: serve until shutdown."""
+    service = ExperimentService(
+        socket_path, workers=workers, cache=cache, verbose=verbose
+    )
+    asyncio.run(service.serve())

@@ -1,0 +1,134 @@
+"""Sharded-layout, flat-entry migration, and concurrent-access cache tests."""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.experiments.cache import CacheStats, ExperimentCache
+
+
+def test_entries_live_in_prefix_shards(tmp_path):
+    cache = ExperimentCache(path=tmp_path)
+    key = "ab" + "0" * 62
+    cache.put(key, {"value": 1})
+    entry = tmp_path / "ab" / f"{key}.pkl"
+    assert entry.is_file()
+    # Nothing lands in the flat root besides the shard directory itself.
+    assert [p.name for p in tmp_path.iterdir()] == ["ab"]
+
+
+def test_flat_layout_entry_migrates_on_first_read(tmp_path):
+    key = "cd" + "1" * 62
+    flat = tmp_path / f"{key}.pkl"
+    flat.write_bytes(pickle.dumps({"value": 42}))
+
+    cache = ExperimentCache(path=tmp_path)
+    assert cache.get(key) == {"value": 42}
+    assert cache.stats.disk_hits == 1
+    assert cache.stats.migrations == 1
+    assert not flat.exists()
+    assert (tmp_path / "cd" / f"{key}.pkl").is_file()
+
+    # A second cache instance reads it from the sharded location.
+    fresh = ExperimentCache(path=tmp_path)
+    assert fresh.get(key) == {"value": 42}
+    assert fresh.stats.migrations == 0
+    assert "migrated" not in fresh.stats.summary()
+
+
+def test_corrupt_flat_entry_is_discarded(tmp_path):
+    key = "ef" + "2" * 62
+    flat = tmp_path / f"{key}.pkl"
+    flat.write_bytes(b"not a pickle")
+    cache = ExperimentCache(path=tmp_path)
+    assert cache.get(key) is None
+    assert cache.stats.misses == 1
+    assert not flat.exists()
+
+
+def test_migration_counts_in_summary(tmp_path):
+    key = "aa" + "3" * 62
+    (tmp_path / f"{key}.pkl").write_bytes(pickle.dumps(1))
+    cache = ExperimentCache(path=tmp_path)
+    cache.get(key)
+    assert "1 flat entries migrated" in cache.stats.summary()
+
+
+def test_cache_stats_merge_is_exact():
+    a = CacheStats(hits=3, disk_hits=1, misses=2, stores=2, migrations=1)
+    b = CacheStats(hits=5, disk_hits=4, misses=0, stores=1)
+    a.merge(b)
+    assert a == CacheStats(
+        hits=8, disk_hits=5, misses=2, stores=3, migrations=1
+    )
+    assert a.lookups == 10
+    assert a.hit_rate == pytest.approx(0.8)
+
+
+def _writer(path, key, payload, barrier, results):
+    cache = ExperimentCache(path=path)
+    barrier.wait()
+    for _ in range(25):
+        cache.put(key, payload)
+    results.put(cache.stats.stores)
+
+
+def test_concurrent_same_key_writes_are_race_free(tmp_path):
+    """Two processes hammering one key: every write is an atomic rename,
+    so afterwards exactly one (complete) entry exists, both payloads being
+    identical bytes, and no temp files are left behind."""
+    key = "12" + "a" * 62
+    payload = {"table": list(range(200))}
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(2)
+    results = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_writer, args=(tmp_path, key, payload, barrier, results)
+        )
+        for _ in range(2)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    assert results.get(timeout=10) == 25
+    assert results.get(timeout=10) == 25
+
+    reader = ExperimentCache(path=tmp_path)
+    assert reader.get(key) == payload
+    leftovers = [p for p in tmp_path.rglob("*.tmp")]
+    assert leftovers == []
+    entries = [p for p in tmp_path.rglob("*.pkl")]
+    assert len(entries) == 1
+
+
+def _racing_reader(path, key, out):
+    cache = ExperimentCache(path=path)
+    value = cache.get(key)
+    out.put(value)
+
+
+def test_concurrent_migration_single_winner(tmp_path):
+    """Two processes reading the same flat-layout key concurrently: both
+    get the value, and the entry ends up sharded exactly once."""
+    key = "34" + "b" * 62
+    payload = {"value": "migrate-me"}
+    (tmp_path / f"{key}.pkl").write_bytes(pickle.dumps(payload))
+    ctx = multiprocessing.get_context("fork")
+    out = ctx.Queue()
+    procs = [
+        ctx.Process(target=_racing_reader, args=(tmp_path, key, out))
+        for _ in range(2)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    assert out.get(timeout=10) == payload
+    assert out.get(timeout=10) == payload
+    assert not (tmp_path / f"{key}.pkl").exists()
+    assert (tmp_path / "34" / f"{key}.pkl").is_file()

@@ -1,0 +1,77 @@
+"""Wire-protocol round trips and socket-path resolution."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    SOCKET_ENV,
+    ProtocolError,
+    decode_message,
+    default_socket_path,
+    encode_message,
+    pack,
+    unpack,
+)
+
+
+class TestMessages:
+    def test_round_trip(self):
+        message = {"op": "submit", "schemes": ["M4"], "scale": 0.5}
+        line = encode_message(message)
+        assert line.endswith(b"\n")
+        assert decode_message(line) == message
+
+    def test_sorted_keys_are_deterministic(self):
+        a = encode_message({"b": 1, "a": 2})
+        b = encode_message({"a": 2, "b": 1})
+        assert a == b
+
+    def test_one_line_per_message(self):
+        line = encode_message({"text": "with\nnewline"})
+        # JSON escapes the embedded newline; framing stays line-oriented.
+        assert line.count(b"\n") == 1
+        assert decode_message(line)["text"] == "with\nnewline"
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2]\n")
+
+    def test_version_is_an_int(self):
+        assert isinstance(PROTOCOL_VERSION, int)
+
+
+class TestPack:
+    def test_round_trips_arbitrary_objects(self):
+        payload = {"cycles": 123, "nested": [1, (2, 3)]}
+        assert unpack(pack(payload)) == payload
+
+    def test_packed_artifact_survives_json(self):
+        packed = pack({"k": "v"})
+        line = encode_message({"outcome": packed})
+        assert unpack(json.loads(line)["outcome"]) == {"k": "v"}
+
+
+class TestSocketPath:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SOCKET_ENV, str(tmp_path / "custom.sock"))
+        assert default_socket_path() == tmp_path / "custom.sock"
+
+    def test_xdg_runtime_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(SOCKET_ENV, raising=False)
+        monkeypatch.setenv("XDG_RUNTIME_DIR", str(tmp_path))
+        assert default_socket_path() == tmp_path / "repro-service.sock"
+
+    def test_falls_back_next_to_cache(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(SOCKET_ENV, raising=False)
+        monkeypatch.delenv("XDG_RUNTIME_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = default_socket_path()
+        assert path == tmp_path / "cache" / "service.sock"
+        assert isinstance(path, Path)

@@ -1,0 +1,338 @@
+"""End-to-end tests for the experiment daemon.
+
+One daemon subprocess (module-scoped, private socket, private cache dir)
+backs the client-facing tests; parity tests compare its results against
+the in-process engine computing from the same inputs.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cache import ExperimentCache
+from repro.experiments.harness import run_suite
+from repro.metrics import MetricsSink
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    run_suite_service,
+    service_available,
+)
+from repro.trace.tracer import Tracer
+
+WORKLOADS = ["alt", "com"]
+SCHEMES = ["M4", "P4"]
+SCALE = 0.25
+
+
+def _wait_for_socket(path: Path, proc: subprocess.Popen, timeout: float = 60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon died during startup (exit {proc.returncode})"
+            )
+        if path.exists() and service_available(path):
+            return
+        time.sleep(0.2)
+    raise TimeoutError(f"daemon socket {path} never came up")
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    """A live daemon on a private socket with a private shared cache."""
+    root = tmp_path_factory.mktemp("service")
+    socket_path = root / "svc.sock"
+    cache_dir = root / "cache"
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    src = Path(__file__).resolve().parents[2] / "src"
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "serve",
+            "--socket",
+            str(socket_path),
+            "--workers",
+            "2",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        _wait_for_socket(socket_path, proc)
+        yield {"socket": socket_path, "cache_dir": cache_dir, "proc": proc}
+    finally:
+        if proc.poll() is None:
+            try:
+                with ServiceClient(socket_path, timeout=30.0) as client:
+                    client.shutdown()
+            except (OSError, ServiceError):
+                proc.terminate()
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+class TestHandshake:
+    def test_hello_reports_version_and_workers(self, daemon):
+        with ServiceClient(daemon["socket"]) as client:
+            hello = client.hello()
+        assert hello["workers"] == 2
+        assert hello["pid"] > 0
+
+    def test_status_counts_workers(self, daemon):
+        with ServiceClient(daemon["socket"]) as client:
+            client.hello()
+            status = client.status()
+        assert status["workers"] == 2
+        assert len(status["worker_pids"]) == 2
+        assert status["uptime_seconds"] > 0
+
+    def test_service_available(self, daemon, tmp_path):
+        assert service_available(daemon["socket"])
+        assert not service_available(tmp_path / "nothing.sock")
+
+
+class TestSubmit:
+    def test_results_match_in_process_engine(self, daemon):
+        with ServiceClient(daemon["socket"]) as client:
+            client.hello()
+            served = client.submit(SCHEMES, workloads=WORKLOADS, scale=SCALE)
+        local = run_suite(SCHEMES, WORKLOADS, scale=SCALE)
+        assert set(served.results) == set(local.keys())
+        for pair, outcome in served.results.items():
+            expected = local[pair]
+            assert outcome.result.cycles == expected.result.cycles
+            assert outcome.result.operations == expected.result.operations
+            # The simulation result is the paper's unit of comparison; it
+            # must be bit-identical across engines, not merely equal.
+            assert pickle.dumps(outcome.result) == pickle.dumps(
+                expected.result
+            )
+            assert outcome.reference.output == expected.reference.output
+
+    def test_repeat_submit_served_from_cache(self, daemon):
+        with ServiceClient(daemon["socket"]) as client:
+            client.hello()
+            out = client.submit(SCHEMES, workloads=WORKLOADS, scale=SCALE)
+        assert set(out.dispositions.values()) == {"cache"}
+        assert out.stats["cache"] == len(SCHEMES) * len(WORKLOADS)
+        assert out.stats["computed"] == 0
+
+    def test_request_order_is_preserved(self, daemon):
+        with ServiceClient(daemon["socket"]) as client:
+            client.hello()
+            out = client.submit(SCHEMES, workloads=WORKLOADS, scale=SCALE)
+        expected = [(w, s) for w in WORKLOADS for s in SCHEMES]
+        assert list(out.results) == expected
+
+    def test_unknown_workload_is_an_error_not_a_hangup(self, daemon):
+        with ServiceClient(daemon["socket"]) as client:
+            client.hello()
+            with pytest.raises(ServiceError, match="unknown workloads"):
+                client.submit(SCHEMES, workloads=["nope"])
+            # The connection survives a rejected submit.
+            out = client.submit(["BB"], workloads=["alt"], scale=SCALE)
+            assert ("alt", "BB") in out.results
+
+    def test_unknown_scheme_is_an_error(self, daemon):
+        with ServiceClient(daemon["socket"]) as client:
+            client.hello()
+            with pytest.raises(ServiceError, match="unknown scheme"):
+                client.submit(["Z9"], workloads=["alt"])
+
+    def test_metrics_and_trace_stream_back(self, daemon):
+        with ServiceClient(daemon["socket"]) as client:
+            client.hello()
+            out = client.submit(
+                ["BB"],
+                workloads=["alt"],
+                scale=SCALE,
+                no_cache=True,
+                with_metrics=True,
+                with_tracer=True,
+            )
+        assert out.metrics is not None
+        assert out.metrics.stage_seconds  # stage timers crossed the wire
+        assert any(
+            name.startswith("profile.") for name in out.metrics.stage_seconds
+        )
+        assert out.tracer is not None
+        assert len(out.tracer.spans) > 0
+
+
+class TestInFlightDedup:
+    def test_second_identical_request_computes_nothing(self, daemon):
+        """Two concurrent clients, identical no-cache grids: exactly one
+        computes, the other rides the in-flight futures."""
+        outcomes = {}
+        errors = []
+
+        def submit(tag):
+            try:
+                with ServiceClient(daemon["socket"]) as client:
+                    client.hello()
+                    outcomes[tag] = client.submit(
+                        SCHEMES,
+                        workloads=WORKLOADS,
+                        scale=SCALE,
+                        no_cache=True,
+                    )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submit, args=(tag,)) for tag in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        total = len(SCHEMES) * len(WORKLOADS)
+        computed = sum(o.stats["computed"] for o in outcomes.values())
+        dedup = sum(o.stats["dedup"] for o in outcomes.values())
+        assert computed == total
+        assert dedup == total
+        # Both clients still get full, identical result sets.
+        pairs = {(w, s) for w in WORKLOADS for s in SCHEMES}
+        for out in outcomes.values():
+            assert set(out.results) == pairs
+        a, b = outcomes["a"], outcomes["b"]
+        for pair in pairs:
+            assert (
+                a.results[pair].result.cycles == b.results[pair].result.cycles
+            )
+
+
+class TestSharedCache:
+    def test_cache_dir_is_sharded(self, daemon):
+        cache = ExperimentCache(path=daemon["cache_dir"])
+        entries = list(Path(cache.path).glob("*/*.pkl"))
+        flat = list(Path(cache.path).glob("*.pkl"))
+        assert entries, "daemon stored nothing in the shared cache"
+        assert not flat, "daemon wrote flat (unsharded) cache entries"
+
+    def test_second_client_reads_first_clients_results(self, daemon):
+        """A different client process (here: a fresh connection) gets
+        cache dispositions for work another client caused."""
+        with ServiceClient(daemon["socket"]) as client:
+            client.hello()
+            before = client.status()["counters"].get(
+                "service.tasks.computed", 0
+            )
+            out = client.submit(SCHEMES, workloads=WORKLOADS, scale=SCALE)
+            after = client.status()["counters"].get(
+                "service.tasks.computed", 0
+            )
+        assert set(out.dispositions.values()) == {"cache"}
+        assert after == before
+
+
+class TestFallback:
+    def test_run_suite_service_uses_daemon(self, daemon):
+        results, engine, outcome = run_suite_service(
+            SCHEMES,
+            workload_names=WORKLOADS,
+            scale=SCALE,
+            socket_path=daemon["socket"],
+        )
+        assert engine == "service"
+        assert set(results) == {(w, s) for w in WORKLOADS for s in SCHEMES}
+
+    def test_falls_back_in_process_when_no_daemon(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        results, engine, outcome = run_suite_service(
+            ["BB"],
+            workload_names=["alt"],
+            scale=SCALE,
+            socket_path=tmp_path / "no-daemon.sock",
+        )
+        assert engine == "in-process"
+        assert ("alt", "BB") in results
+        assert outcome.dispositions[("alt", "BB")] == "in-process"
+
+    def test_no_fallback_raises(self, tmp_path):
+        with pytest.raises(ServiceError, match="no experiment service"):
+            run_suite_service(
+                ["BB"],
+                workload_names=["alt"],
+                socket_path=tmp_path / "no-daemon.sock",
+                fallback=False,
+            )
+
+    def test_fallback_matches_daemon_results(self, daemon, tmp_path,
+                                             monkeypatch):
+        served, engine, _ = run_suite_service(
+            ["M4"],
+            workload_names=["alt"],
+            scale=SCALE,
+            socket_path=daemon["socket"],
+        )
+        assert engine == "service"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        local, engine, _ = run_suite_service(
+            ["M4"],
+            workload_names=["alt"],
+            scale=SCALE,
+            socket_path=tmp_path / "no-daemon.sock",
+        )
+        assert engine == "in-process"
+        pair = ("alt", "M4")
+        assert pickle.dumps(served[pair].result) == pickle.dumps(
+            local[pair].result
+        )
+
+
+class TestShutdown:
+    def test_clean_shutdown_removes_socket_and_exits_zero(
+        self, tmp_path_factory
+    ):
+        """A dedicated daemon (not the shared fixture) shuts down cleanly."""
+        root = tmp_path_factory.mktemp("shutdown")
+        socket_path = root / "svc.sock"
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(root / "cache")
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "serve",
+                "--socket",
+                str(socket_path),
+                "--workers",
+                "1",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            _wait_for_socket(socket_path, proc)
+            with ServiceClient(socket_path, timeout=30.0) as client:
+                bye = client.shutdown()
+            assert bye["type"] == "bye"
+            assert proc.wait(timeout=60) == 0
+            assert not socket_path.exists()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
