@@ -38,6 +38,7 @@ from repro.experiments import (  # noqa: E402
     MIN_PARALLEL_TASKS,
     ExperimentCache,
     depth_sweep,
+    gap_check,
     run_suite,
 )
 from repro.interp.interpreter import run_program  # noqa: E402
@@ -615,6 +616,42 @@ def service_benchmarks(scale, rounds=3):
     }
 
 
+def scheduler_quality(scale, max_ops=48, node_budget=20_000):
+    """Deterministic scheduler-gap section (no wall clock involved).
+
+    Runs the list-vs-oracle ``gapcheck`` over the smoke slice with a small
+    search budget; ``gap_from_optimal`` is the weighted fraction of cycles
+    the list scheduler gives up against the exact schedule — the bench
+    tripwire's only lower-is-better metric.
+    """
+    summary = gap_check(
+        scheme_names=SCHEMES,
+        scale=scale,
+        workload_names=NAMES,
+        max_ops=max_ops,
+        node_budget=node_budget,
+    )
+    fraction = summary.gap_fraction
+    print(
+        f"  scheduler gap    {fraction * 100:.3f}% of weighted cycles"
+        f" ({summary.count('optimal')} proved optimal,"
+        f" {summary.count('budget')} budget-bound,"
+        f" {summary.count('skipped')} skipped)"
+    )
+    return {
+        "schemes": SCHEMES,
+        "oracle_max_ops": max_ops,
+        "oracle_node_budget": node_budget,
+        "superblocks": len(summary.rows),
+        "proved_optimal": summary.count("optimal"),
+        "budget_exhausted": summary.count("budget"),
+        "skipped": summary.count("skipped"),
+        "weighted_gap_cycles": summary.weighted_gap,
+        "weighted_list_cycles": summary.weighted_list_cycles,
+        "gap_from_optimal": round(fraction, 4),
+    }
+
+
 def interpreter_throughput(scale, rounds=5):
     """Dynamic instructions per second through the interpreter (best of
     ``rounds``; the warm-up run pays JIT codegen and decode caching)."""
@@ -681,6 +718,7 @@ def main(argv=None) -> int:
     jit_report = jit_benchmarks(args.scale)
     warmup_report = worker_warmup()
     service_report = service_benchmarks(args.scale)
+    scheduler_report = scheduler_quality(args.scale)
     metrics_sink, metrics_report = metrics_overhead(args.scale)
     if args.metrics_out:
         lines = metrics_sink.write_jsonl(args.metrics_out)
@@ -718,6 +756,7 @@ def main(argv=None) -> int:
         "jit": jit_report,
         "worker_warmup": warmup_report,
         "service": service_report,
+        "scheduler": scheduler_report,
         "metrics": metrics_report,
         "interpreter": {
             "workload": "eqn",

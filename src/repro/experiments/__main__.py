@@ -230,9 +230,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "validate", "fuzz", "report"],
-        help="which table/figure to regenerate, a validation command, or"
-        " 'report' to render collected metrics / run the bench tripwire",
+        choices=sorted(EXPERIMENTS)
+        + ["all", "validate", "fuzz", "report", "gapcheck", "tune"],
+        help="which table/figure to regenerate, a validation command,"
+        " 'report' to render collected metrics / run the bench tripwire,"
+        " 'gapcheck' to measure the list scheduler's gap from the exact"
+        " oracle, or 'tune' to search the scheduler priority weights",
     )
     parser.add_argument(
         "path",
@@ -345,6 +348,73 @@ def main(argv=None) -> int:
         help="report: tripwire regression threshold as a fraction"
         " (default 0.25)",
     )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload subset for validate/gapcheck/tune"
+        " (default: all 14)",
+    )
+    parser.add_argument(
+        "--machine",
+        choices=["paper", "realistic"],
+        default="paper",
+        help="gapcheck/tune: machine model (default paper)",
+    )
+    parser.add_argument(
+        "--oracle-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gapcheck: skip superblocks larger than N instructions"
+        " (default 48)",
+    )
+    parser.add_argument(
+        "--oracle-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gapcheck: branch-and-bound node budget per superblock"
+        " (default 200000)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="gapcheck: also write the full per-superblock report as JSON",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="tune: random seed for the candidate draw (default 0)",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tune: random candidates beyond the baseline (default 12)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="tune: persist the search report as JSON",
+    )
+    parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="tune: re-run a persisted search from its own parameters and"
+        " verify the fresh report is byte-identical",
+    )
+    parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="validate: compile with software pipelining enabled, so every"
+        " modulo-scheduled loop runs the expansion legality check and the"
+        " differential output oracle",
+    )
     args = parser.parse_args(argv)
 
     # Both knobs travel through the environment so worker processes (and
@@ -369,7 +439,96 @@ def main(argv=None) -> int:
         parser.error("a metrics path only makes sense with 'report'")
 
     cache = None if args.no_cache else ExperimentCache(path=args.cache_dir)
+    workloads = args.workloads.split(",") if args.workloads else None
+    if args.experiment == "gapcheck":
+        from ..scheduling.machine import PAPER_MACHINE, REALISTIC_MACHINE
+        from ..scheduling.oracle import DEFAULT_MAX_OPS, DEFAULT_NODE_BUDGET
+        from . import format_gap_check, gap_check, gap_check_json
+
+        summary = gap_check(
+            scheme_names=(
+                args.schemes.split(",") if args.schemes else ("P4",)
+            ),
+            scale=args.scale,
+            workload_names=workloads,
+            machine=(
+                REALISTIC_MACHINE
+                if args.machine == "realistic"
+                else PAPER_MACHINE
+            ),
+            max_ops=(
+                args.oracle_ops
+                if args.oracle_ops is not None
+                else DEFAULT_MAX_OPS
+            ),
+            node_budget=(
+                args.oracle_nodes
+                if args.oracle_nodes is not None
+                else DEFAULT_NODE_BUDGET
+            ),
+            verbose=not args.quiet,
+        )
+        print(format_gap_check(summary))
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                fh.write(gap_check_json(summary))
+            if not args.quiet:
+                print(f"[gapcheck] report -> {args.json_out}", file=sys.stderr)
+        return 0
+    if args.experiment == "tune":
+        from ..scheduling.machine import PAPER_MACHINE, REALISTIC_MACHINE
+        from . import (
+            DEFAULT_SAMPLES,
+            format_tune,
+            replay_tune,
+            tune_json,
+            tune_weights,
+        )
+
+        if args.replay:
+            ok = replay_tune(
+                args.replay,
+                cache=cache,
+                trace_cache=args.trace_cache,
+                jobs=args.jobs,
+                verbose=not args.quiet,
+            )
+            print(
+                f"[tune] replay of {args.replay}:"
+                f" {'byte-identical' if ok else 'MISMATCH'}"
+            )
+            return 0 if ok else 1
+        payload = tune_weights(
+            scheme_names=(
+                args.schemes.split(",") if args.schemes else ("P4",)
+            ),
+            scale=args.scale,
+            workload_names=workloads,
+            samples=(
+                args.samples if args.samples is not None else DEFAULT_SAMPLES
+            ),
+            seed=args.seed,
+            machine=(
+                REALISTIC_MACHINE
+                if args.machine == "realistic"
+                else PAPER_MACHINE
+            ),
+            cache=cache,
+            trace_cache=args.trace_cache,
+            jobs=args.jobs,
+            verbose=not args.quiet,
+        )
+        print(format_tune(payload))
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(tune_json(payload))
+            if not args.quiet:
+                print(f"[tune] report -> {args.out}", file=sys.stderr)
+        if cache is not None and not args.quiet:
+            print(f"[cache] {cache.stats.summary()}", file=sys.stderr)
+        return 0
     if args.experiment == "validate":
+        from ..scheduling.config import SchedConfig
         from . import ALL_SCHEMES, format_validation, validate_suite
 
         schemes = (
@@ -378,10 +537,12 @@ def main(argv=None) -> int:
         rows = validate_suite(
             schemes,
             scale=args.scale,
+            workload_names=workloads,
             verbose=not args.quiet,
             jobs=args.jobs,
             cache=cache,
             trace_cache=args.trace_cache,
+            sched=SchedConfig(pipeline=True) if args.pipeline else None,
         )
         print(format_validation(rows))
         if cache is not None and not args.quiet:

@@ -211,12 +211,16 @@ def outcome_key(
     icache_config: Any,
     step_limit: int = 50_000_000,
     cycle_limit: int = 100_000_000,
+    sched: Any = None,
 ) -> str:
     """Cache key for one full (program, scheme, inputs) pipeline outcome.
 
     ``config`` is the full :class:`~repro.formation.FormationConfig` (its
     dataclass repr covers every enlargement knob), never just the scheme
-    name — so changing a knob changes the key.
+    name — so changing a knob changes the key.  ``sched`` is the optional
+    :class:`~repro.scheduling.SchedConfig` (tuned scheduler weights,
+    software pipelining); its frozen-dataclass repr is stable, so every
+    distinct scheduler configuration gets its own key.
     """
     return _digest(
         "outcome",
@@ -232,6 +236,7 @@ def outcome_key(
         icache_config,
         step_limit,
         cycle_limit,
+        sched,
     )
 
 
@@ -494,6 +499,7 @@ class ExperimentCache:
         icache_config: Any,
         step_limit: int = 50_000_000,
         cycle_limit: int = 100_000_000,
+        sched: Any = None,
     ) -> Optional[Any]:
         """Outcome lookup with the I-cache superset fallback.
 
@@ -511,6 +517,7 @@ class ExperimentCache:
             icache_config,
             step_limit,
             cycle_limit,
+            sched,
         )
         value = self.get(key)
         if value is not None or with_icache:
@@ -525,6 +532,7 @@ class ExperimentCache:
             icache_config,
             step_limit,
             cycle_limit,
+            sched,
         )
         superset = self._memo.get(superset_key)
         if superset is None and not self.memory_only:

@@ -1,0 +1,247 @@
+"""The ``gapcheck`` experiment: how far is the list scheduler from optimal?
+
+For every superblock the compiler schedules, the branch-and-bound oracle
+(:mod:`repro.scheduling.oracle`) computes the true optimal schedule length
+on the same dependence graph and machine model.  The difference — weighted
+by how often the testing run actually entered each superblock (from the
+tracer's exit-cycle histograms) — is the *scheduler quality gap*: an upper
+bound on the cycles a smarter list scheduler could recover.
+
+The headline number is the **weighted gap fraction**::
+
+    sum(entries * (list_len - oracle_len)) / sum(entries * list_len)
+
+over all superblocks whose oracle search completed (``optimal``) or at
+least produced a certified-achievable bound (``budget``).  Superblocks
+above the oracle's op budget are reported as ``skipped`` with a zero gap,
+so the fraction is a *lower* bound on the true gap — never an overclaim.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..interp.interpreter import run_program
+from ..pipeline import run_scheme
+from ..profiling.collector import collect_profiles
+from ..scheduling.machine import MachineModel, PAPER_MACHINE
+from ..scheduling.oracle import (
+    DEFAULT_MAX_OPS,
+    DEFAULT_NODE_BUDGET,
+    oracle_schedule_length,
+)
+from ..trace.tracer import Tracer
+from ..workloads.suite import workload_map
+from .render import format_table
+
+
+@dataclass
+class GapRow:
+    """List-vs-oracle schedule quality of one superblock."""
+
+    workload: str
+    scheme: str
+    proc: str
+    head: str
+    #: instruction count of the (renamed, allocated) superblock code
+    ops: int
+    #: dynamic entries during the testing-input simulation
+    entries: int
+    list_cycles: int
+    #: oracle schedule length (== ``list_cycles`` when ``skipped``)
+    oracle_cycles: int
+    #: ``"optimal"`` / ``"budget"`` / ``"skipped"``
+    status: str
+    #: branch-and-bound nodes expanded
+    nodes: int
+
+    @property
+    def gap(self) -> int:
+        """Static cycles the list schedule gives up on one traversal."""
+        return self.list_cycles - self.oracle_cycles
+
+    @property
+    def weighted_gap(self) -> int:
+        """Gap scaled by how often the testing run entered this block."""
+        return self.entries * self.gap
+
+
+@dataclass
+class GapSummary:
+    """Suite-level aggregation of :class:`GapRow` records."""
+
+    rows: List[GapRow]
+
+    @property
+    def weighted_gap(self) -> int:
+        return sum(r.weighted_gap for r in self.rows)
+
+    @property
+    def weighted_list_cycles(self) -> int:
+        return sum(r.entries * r.list_cycles for r in self.rows)
+
+    @property
+    def gap_fraction(self) -> float:
+        """Weighted gap over weighted list cycles (0.0 = optimal)."""
+        denom = self.weighted_list_cycles
+        return self.weighted_gap / denom if denom else 0.0
+
+    def count(self, status: str) -> int:
+        return sum(1 for r in self.rows if r.status == status)
+
+
+def gap_check(
+    scheme_names: Sequence[str] = ("P4",),
+    scale: float = 1.0,
+    workload_names: Optional[Sequence[str]] = None,
+    machine: MachineModel = PAPER_MACHINE,
+    max_ops: int = DEFAULT_MAX_OPS,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    verbose: bool = False,
+) -> GapSummary:
+    """Measure the list scheduler's gap from optimal across the suite.
+
+    Each workload is compiled and simulated once per scheme with a tracer
+    attached; the tracer's exit histograms supply the per-superblock entry
+    counts that weight each gap.  One training run and one interpreter
+    reference are shared across all schemes of a workload, as everywhere
+    else in the experiment layer.
+    """
+    table = workload_map()
+    names = list(workload_names) if workload_names else list(table)
+    rows: List[GapRow] = []
+    for wname in names:
+        workload = table[wname]
+        if verbose:
+            print(f"[gapcheck] {wname} ...", flush=True)
+        program = workload.program()
+        train = workload.train_tape(scale)
+        test = workload.test_tape(scale)
+        profiles = collect_profiles(program, input_tape=train)
+        reference = run_program(program, input_tape=test)
+        for sname in scheme_names:
+            tracer = Tracer()
+            with tracer.context(workload=wname, scheme=sname):
+                outcome = run_scheme(
+                    program,
+                    sname,
+                    train,
+                    test,
+                    machine=machine,
+                    profiles=profiles,
+                    reference=reference,
+                    tracer=tracer,
+                )
+            for proc_name, proc in sorted(outcome.compiled.procedures.items()):
+                for head, schedule in sorted(proc.schedules.items()):
+                    entries = sum(
+                        tracer.histogram(proc_name, head).values()
+                    )
+                    result = oracle_schedule_length(
+                        schedule.code,
+                        schedule.machine,
+                        max_ops=max_ops,
+                        node_budget=node_budget,
+                        upper_bound=schedule.length,
+                    )
+                    rows.append(
+                        GapRow(
+                            workload=wname,
+                            scheme=sname,
+                            proc=proc_name,
+                            head=head,
+                            ops=len(schedule.code.instructions),
+                            entries=entries,
+                            list_cycles=schedule.length,
+                            oracle_cycles=result.length,
+                            status=result.status,
+                            nodes=result.nodes,
+                        )
+                    )
+    return GapSummary(rows=rows)
+
+
+def format_gap_check(summary: GapSummary, top: int = 20) -> str:
+    """The per-superblock table (worst weighted gaps first) plus totals."""
+    ranked = sorted(
+        summary.rows, key=lambda r: (-r.weighted_gap, r.workload, r.head)
+    )
+    shown = [r for r in ranked if r.weighted_gap > 0][:top]
+    lines = [
+        format_table(
+            [
+                "benchmark",
+                "scheme",
+                "superblock",
+                "ops",
+                "entries",
+                "list",
+                "oracle",
+                "gap",
+                "status",
+            ],
+            [
+                (
+                    r.workload,
+                    r.scheme,
+                    f"{r.proc}/{r.head}",
+                    r.ops,
+                    r.entries,
+                    r.list_cycles,
+                    r.oracle_cycles,
+                    r.gap,
+                    r.status,
+                )
+                for r in shown
+            ],
+            title="Scheduler gap from optimal (worst weighted gaps)",
+        )
+    ]
+    if not shown:
+        lines.append("(no superblock with a positive weighted gap)")
+    lines.append(
+        f"superblocks: {len(summary.rows)}"
+        f"  optimal: {summary.count('optimal')}"
+        f"  budget: {summary.count('budget')}"
+        f"  skipped: {summary.count('skipped')}"
+    )
+    lines.append(
+        f"weighted gap: {summary.weighted_gap}"
+        f" / {summary.weighted_list_cycles} cycles"
+        f" = {summary.gap_fraction * 100:.3f}%"
+    )
+    return "\n".join(lines)
+
+
+def gap_check_json(summary: GapSummary) -> str:
+    """Stable JSON encoding of the summary (the CI artifact)."""
+    payload = {
+        "rows": [
+            {
+                "workload": r.workload,
+                "scheme": r.scheme,
+                "proc": r.proc,
+                "head": r.head,
+                "ops": r.ops,
+                "entries": r.entries,
+                "list_cycles": r.list_cycles,
+                "oracle_cycles": r.oracle_cycles,
+                "gap": r.gap,
+                "status": r.status,
+                "nodes": r.nodes,
+            }
+            for r in summary.rows
+        ],
+        "totals": {
+            "superblocks": len(summary.rows),
+            "optimal": summary.count("optimal"),
+            "budget": summary.count("budget"),
+            "skipped": summary.count("skipped"),
+            "weighted_gap": summary.weighted_gap,
+            "weighted_list_cycles": summary.weighted_list_cycles,
+            "gap_fraction": summary.gap_fraction,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

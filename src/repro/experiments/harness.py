@@ -119,6 +119,7 @@ def run_suite(
     validation=None,
     metrics: Optional[MetricsSink] = None,
     tracer: Optional[Tracer] = None,
+    sched=None,
 ) -> SuiteResults:
     """Run a set of workloads under a set of schemes.
 
@@ -155,6 +156,9 @@ def run_suite(
             order, so the decision and span-name streams are identical
             to a serial run's (only wall-clock timestamps and pids
             differ).  Cached outcomes contribute no trace records.
+        sched: optional :class:`~repro.scheduling.SchedConfig` (tuned
+            list-scheduler weights, software pipelining) applied to every
+            computed pipeline and folded into each outcome's cache key.
 
     Returns:
         Map from (workload, scheme) to the full outcome.
@@ -195,6 +199,7 @@ def run_suite(
                     machine,
                     with_icache,
                     icache_config,
+                    sched=sched,
                 )
                 if metrics is not None:
                     if outcome is None:
@@ -304,6 +309,7 @@ def run_suite(
                 validation=validation,
                 metrics=metrics,
                 tracer=tracer,
+                sched=sched,
             )
         else:
             for wname, wanted in pending.items():
@@ -391,6 +397,7 @@ def run_suite(
                             validation=validation,
                             metrics=metrics,
                             tracer=tracer,
+                            sched=sched,
                         )
 
         if cache is not None:
@@ -428,6 +435,7 @@ def run_suite(
                         machine,
                         with_icache,
                         icache_config,
+                        sched=sched,
                     ),
                     outcome,
                 )

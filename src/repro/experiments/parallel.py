@@ -188,6 +188,7 @@ def _scheme_task(
     validation=None,
     with_metrics: bool = False,
     with_tracer: bool = False,
+    sched=None,
 ) -> Tuple[
     Tuple[str, str], SchemeOutcome, Optional[MetricsSink], Optional[Tracer]
 ]:
@@ -219,6 +220,7 @@ def _scheme_task(
             validation=validation,
             metrics=sink,
             tracer=tracer,
+            sched=sched,
         )
     return (wname, scheme_name), outcome, sink, tracer
 
@@ -237,6 +239,7 @@ def run_pairs_parallel(
     validation=None,
     metrics: Optional[MetricsSink] = None,
     tracer: Optional[Tracer] = None,
+    sched=None,
 ) -> Dict[Tuple[str, str], SchemeOutcome]:
     """Compute ``pending`` (workload -> scheme names) outcomes in parallel.
 
@@ -247,6 +250,8 @@ def run_pairs_parallel(
     ``metrics`` (``tracer``) receives every worker's per-task sink
     (tracer), merged in request order (never completion order), so counter
     totals, event order, and decision/span streams match a serial run's.
+    ``sched`` (a :class:`~repro.scheduling.SchedConfig`) ships to every
+    scheme task unchanged.
     """
     with_metrics = metrics is not None
     with_tracer = tracer is not None
@@ -284,6 +289,7 @@ def run_pairs_parallel(
                             validation,
                             with_metrics,
                             with_tracer,
+                            sched,
                         )
                     )
             else:
@@ -330,6 +336,7 @@ def run_pairs_parallel(
                             validation,
                             with_metrics,
                             with_tracer,
+                            sched,
                         )
                     )
 

@@ -1,0 +1,210 @@
+"""The ``tune`` experiment: search the list scheduler's priority-weight space.
+
+:class:`~repro.scheduling.ScheduleWeights` exposes three priority terms
+(critical-path height, slack, path weight).  This module runs a **seeded
+multi-start search** over that space: candidate weight vectors are drawn
+from a :class:`random.Random` seeded by ``--seed``, every candidate is
+evaluated by compiling and simulating the suite under
+``SchedConfig(weights=...)``, and the candidate with the fewest total
+testing-input cycles wins.  The baseline (untuned) weights are always
+candidate 0, so the report directly answers "did tuning help?".
+
+Determinism is the point: the persisted JSON names the seed, sample count,
+scale, schemes, and workloads, and :func:`replay_tune` re-runs the whole
+search from the file's own parameters and compares byte-for-byte.  Every
+evaluation flows through :func:`~repro.experiments.harness.run_suite`, so
+a warm experiment cache replays candidates without recompiling (the
+:class:`~repro.scheduling.SchedConfig` is part of each outcome's cache
+key).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..scheduling.config import SchedConfig
+from ..scheduling.list_scheduler import ScheduleWeights
+from ..scheduling.machine import (
+    MachineModel,
+    PAPER_MACHINE,
+    REALISTIC_MACHINE,
+)
+from ..workloads.suite import workload_map
+from .cache import ExperimentCache
+from .harness import run_suite
+from .render import format_table
+
+#: Random candidates drawn per search (the baseline rides along as #0).
+DEFAULT_SAMPLES = 12
+
+#: Format version of the persisted search report.
+TUNE_VERSION = 1
+
+#: Sample ranges: height stays positive (a negative height inverts the
+#: scheduler into pessimization), slack and path are secondary terms.
+_HEIGHT_RANGE = (0.25, 2.0)
+_SLACK_RANGE = (0.0, 1.0)
+_PATH_RANGE = (0.0, 0.5)
+
+
+def _draw(rng: random.Random) -> ScheduleWeights:
+    """One candidate; rounded so the JSON round-trips exactly."""
+    return ScheduleWeights(
+        height=round(rng.uniform(*_HEIGHT_RANGE), 3),
+        slack=round(rng.uniform(*_SLACK_RANGE), 3),
+        path=round(rng.uniform(*_PATH_RANGE), 3),
+    )
+
+
+def tune_weights(
+    scheme_names: Sequence[str] = ("P4",),
+    scale: float = 1.0,
+    workload_names: Optional[Sequence[str]] = None,
+    samples: int = DEFAULT_SAMPLES,
+    seed: int = 0,
+    machine: MachineModel = PAPER_MACHINE,
+    cache: Optional[ExperimentCache] = None,
+    trace_cache: bool = True,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> Dict[str, Any]:
+    """Run the seeded multi-start weight search; returns the JSON payload.
+
+    The search is exhaustive over its candidate list (no adaptive steps),
+    so the outcome depends only on the seeded draw and the deterministic
+    pipeline — two runs with the same parameters produce identical
+    payloads, cache or no cache.
+    """
+    names = (
+        list(workload_names) if workload_names else list(workload_map())
+    )
+    schemes = list(scheme_names)
+    rng = random.Random(seed)
+    candidates: List[ScheduleWeights] = [ScheduleWeights()]
+    candidates.extend(_draw(rng) for _ in range(samples))
+    entries: List[Dict[str, Any]] = []
+    for index, weights in enumerate(candidates):
+        sched = SchedConfig(weights=weights)
+        results = run_suite(
+            schemes,
+            workload_names=names,
+            scale=scale,
+            machine=machine,
+            cache=cache,
+            trace_cache=trace_cache,
+            jobs=jobs,
+            sched=sched,
+        )
+        cycles = sum(o.result.cycles for o in results.values())
+        entries.append(
+            {
+                "index": index,
+                "height": weights.height,
+                "slack": weights.slack,
+                "path": weights.path,
+                "cycles": cycles,
+            }
+        )
+        if verbose:
+            tag = "baseline" if index == 0 else f"sample {index}"
+            print(
+                f"[tune] {tag}: h={weights.height} s={weights.slack}"
+                f" p={weights.path} -> {cycles} cycles",
+                flush=True,
+            )
+    best = min(entries, key=lambda e: (e["cycles"], e["index"]))
+    baseline = entries[0]
+    return {
+        "version": TUNE_VERSION,
+        "seed": seed,
+        "samples": samples,
+        "scale": scale,
+        "machine": machine.name,
+        "schemes": schemes,
+        "workloads": names,
+        "candidates": entries,
+        "best": dict(best),
+        "baseline_cycles": baseline["cycles"],
+        "improvement": baseline["cycles"] - best["cycles"],
+    }
+
+
+def tune_json(payload: Dict[str, Any]) -> str:
+    """Canonical byte encoding of a search report (sorted keys)."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_tune(payload: Dict[str, Any]) -> str:
+    """Human-readable candidate table plus the verdict line."""
+    best_index = payload["best"]["index"]
+    table = format_table(
+        ["candidate", "height", "slack", "path", "cycles", ""],
+        [
+            (
+                "baseline" if e["index"] == 0 else f"#{e['index']}",
+                f"{e['height']:.3f}",
+                f"{e['slack']:.3f}",
+                f"{e['path']:.3f}",
+                e["cycles"],
+                "<- best" if e["index"] == best_index else "",
+            )
+            for e in payload["candidates"]
+        ],
+        title=(
+            f"Weight search: seed {payload['seed']},"
+            f" {payload['samples']} samples,"
+            f" schemes {','.join(payload['schemes'])},"
+            f" scale {payload['scale']}"
+        ),
+    )
+    saved = payload["improvement"]
+    if saved > 0:
+        verdict = (
+            f"best candidate #{best_index} saves {saved} cycles"
+            f" ({saved / payload['baseline_cycles'] * 100:.3f}%)"
+            f" over the untuned scheduler"
+        )
+    else:
+        verdict = "the untuned weights are already the best candidate"
+    return f"{table}\n{verdict}"
+
+
+#: Machines resolvable by name when replaying a persisted search.
+_MACHINES: Dict[str, MachineModel] = {
+    PAPER_MACHINE.name: PAPER_MACHINE,
+    REALISTIC_MACHINE.name: REALISTIC_MACHINE,
+}
+
+
+def replay_tune(
+    path: str,
+    cache: Optional[ExperimentCache] = None,
+    trace_cache: bool = True,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> bool:
+    """Re-run a persisted search from its own parameters; ``True`` when the
+    fresh payload is byte-identical to the file."""
+    with open(path) as fh:
+        saved = fh.read()
+    payload = json.loads(saved)
+    machine = _MACHINES.get(payload["machine"])
+    if machine is None:
+        raise ValueError(
+            f"{path}: unknown machine {payload['machine']!r}"
+        )
+    fresh = tune_weights(
+        scheme_names=payload["schemes"],
+        scale=payload["scale"],
+        workload_names=payload["workloads"],
+        samples=payload["samples"],
+        seed=payload["seed"],
+        machine=machine,
+        cache=cache,
+        trace_cache=trace_cache,
+        jobs=jobs,
+        verbose=verbose,
+    )
+    return tune_json(fresh) == tune_json(json.loads(saved))

@@ -56,13 +56,18 @@ def validate_suite(
     jobs: int = 1,
     cache: Optional[ExperimentCache] = None,
     trace_cache: bool = True,
+    sched=None,
 ) -> List[ValidationRow]:
     """Validate every (workload, scheme) pair differentially.
 
     Freshly computed pairs additionally run the full set of stage
     checkpoints inside the pipeline (a violation raises
     :class:`~repro.validation.ValidationError` and aborts the suite);
-    cached pairs are re-checked by the post-hoc oracle only.
+    cached pairs are re-checked by the post-hoc oracle only.  ``sched``
+    (a :class:`~repro.scheduling.SchedConfig`) validates the tuned /
+    pipelined scheduler configurations under the same checkpoints —
+    ``validate --pipeline`` uses it to put every modulo-scheduled loop
+    through the expansion legality check and the differential oracle.
     """
     results = run_suite(
         schemes,
@@ -73,6 +78,7 @@ def validate_suite(
         cache=cache,
         trace_cache=trace_cache,
         validation=ValidationConfig.full(),
+        sched=sched,
     )
     rows: List[ValidationRow] = []
     for (wname, sname), outcome in results.items():

@@ -18,6 +18,7 @@ compiler can import it without cycles.
 
 from .report import (
     DEFAULT_REGRESSION_THRESHOLD,
+    INVERSE_TRIPWIRE_METRICS,
     TRIPWIRE_METRICS,
     check_bench_regression,
     format_bench_check,
@@ -28,6 +29,7 @@ from .sink import MetricsSink, SCHEMA_VERSION, timed
 
 __all__ = [
     "DEFAULT_REGRESSION_THRESHOLD",
+    "INVERSE_TRIPWIRE_METRICS",
     "MetricsSink",
     "SCHEMA_VERSION",
     "TRIPWIRE_METRICS",

@@ -33,10 +33,25 @@ TRIPWIRE_METRICS: Sequence[str] = (
     "jit.vliw_speedup_on_vs_off",
     "service.small_batch.speedup_warm_pool_vs_cold_cli",
     "service.dedup.hit_rate",
+    "scheduler.gap_from_optimal",
+)
+
+#: Lower-is-better tripwire metrics: these fail when the *current* value
+#: rises above the baseline, not when it falls below it.  The scheduler
+#: gap is a fraction in [0, 1] whose baseline may legitimately be 0.0, so
+#: the inverse check adds a small absolute allowance on top of the
+#: relative threshold.
+INVERSE_TRIPWIRE_METRICS: Sequence[str] = (
+    "scheduler.gap_from_optimal",
 )
 
 #: A tripwire metric may lose up to this fraction before the check fails.
 DEFAULT_REGRESSION_THRESHOLD = 0.25
+
+#: Absolute slack for inverse (lower-is-better) metrics whose baseline is
+#: at or near zero: current may exceed baseline by this much before the
+#: relative threshold even matters.
+INVERSE_ABSOLUTE_ALLOWANCE = 0.005
 
 
 # -- summary ------------------------------------------------------------------
@@ -182,15 +197,26 @@ def check_bench_regression(
     """Compare two perf-smoke reports; return one message per regressed
     tripwire metric (empty list = no regression).
 
-    A metric regresses when ``current < baseline * (1 - threshold)``.
-    Metrics missing from either report are skipped (older baselines may
-    predate newer measurements).
+    A higher-is-better metric regresses when
+    ``current < baseline * (1 - threshold)``; a lower-is-better metric
+    (:data:`INVERSE_TRIPWIRE_METRICS`) regresses when ``current`` exceeds
+    ``baseline * (1 + threshold) + INVERSE_ABSOLUTE_ALLOWANCE``.  Metrics
+    missing from either report are skipped (older baselines may predate
+    newer measurements).
     """
     failures: List[str] = []
     for path in metrics:
         cur = _lookup(current, path)
         base = _lookup(baseline, path)
         if cur is None or base is None:
+            continue
+        if path in INVERSE_TRIPWIRE_METRICS:
+            ceiling = base * (1.0 + threshold) + INVERSE_ABSOLUTE_ALLOWANCE
+            if cur > ceiling:
+                failures.append(
+                    f"{path}: {cur:.4f} regressed above {ceiling:.4f}"
+                    f" (baseline {base:.4f}, threshold {threshold:.0%})"
+                )
             continue
         floor = base * (1.0 - threshold)
         if cur < floor:
@@ -214,6 +240,11 @@ def format_bench_check(
         base = _lookup(baseline, path)
         if cur is None or base is None:
             rows.append([path, "-", "-", "skipped"])
+            continue
+        if path in INVERSE_TRIPWIRE_METRICS:
+            ceiling = base * (1.0 + threshold) + INVERSE_ABSOLUTE_ALLOWANCE
+            verdict = "ok" if cur <= ceiling else "REGRESSED"
+            rows.append([path, f"{base:.4f}", f"{cur:.4f}", verdict])
             continue
         verdict = "ok" if cur >= base * (1.0 - threshold) else "REGRESSED"
         rows.append([path, f"{base:.3f}", f"{cur:.3f}", verdict])

@@ -75,6 +75,7 @@ def compile_scheme(
     validation: Optional[ValidationConfig] = None,
     metrics: Optional[MetricsSink] = None,
     tracer: Optional[Tracer] = None,
+    sched=None,
 ):
     """Profile, form, compact, and lay out ``program`` under one scheme.
 
@@ -87,7 +88,9 @@ def compile_scheme(
     :class:`~repro.metrics.MetricsSink`); ``tracer`` records formation
     decisions, timing spans, and instruction provenance (the source
     program is stamped with origin ids first — an observation-only
-    mutation that never affects execution or output).
+    mutation that never affects execution or output).  ``sched`` is an
+    optional :class:`~repro.scheduling.SchedConfig` selecting tuned
+    list-scheduler weights and/or software pipelining.
     """
     if tracer is not None:
         assign_origins(program)
@@ -129,6 +132,7 @@ def compile_scheme(
         validation=validation,
         metrics=metrics,
         tracer=tracer,
+        sched=sched,
     )
     with tspan(tracer, "layout"):
         layout = timed(
@@ -159,6 +163,7 @@ def run_scheme(
     validation: Optional[ValidationConfig] = None,
     metrics: Optional[MetricsSink] = None,
     tracer: Optional[Tracer] = None,
+    sched=None,
 ) -> SchemeOutcome:
     """Run the full pipeline for one scheme and verify its correctness.
 
@@ -192,6 +197,10 @@ def run_scheme(
             timing spans, and per-superblock exit-cycle histograms into
             this :class:`~repro.trace.Tracer`; like ``metrics``, ``None``
             leaves the pipeline untouched and its output byte-identical.
+        sched: optional :class:`~repro.scheduling.SchedConfig` enabling
+            tuned list-scheduler priority weights and/or software
+            pipelining of loop superblocks; ``None`` compiles exactly as
+            before.
 
     Raises:
         OutputMismatch: the scheduled code misbehaved (a compiler bug).
@@ -211,6 +220,7 @@ def run_scheme(
         validation=validation,
         metrics=metrics,
         tracer=tracer,
+        sched=sched,
     )
     jit_before = None if metrics is None else JIT_STATS.snapshot()
     with tspan(tracer, "simulate.ideal"):

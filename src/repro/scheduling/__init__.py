@@ -1,32 +1,44 @@
 """Superblock compaction: machine model, dependences, renaming, scheduling."""
 
 from .compactor import CompiledProcedure, CompiledProgram, compact_program
+from .config import DEFAULT_SCHED, SchedConfig
 from .depgraph import DepGraph, build_dependence_graph
 from .list_scheduler import (
     ScheduledOp,
+    ScheduleWeights,
     SuperblockSchedule,
     schedule_superblock,
     verify_schedule,
 )
 from .machine import MachineModel, PAPER_MACHINE, REALISTIC_MACHINE
+from .oracle import OracleResult, oracle_schedule_length
+from .pipeline import PipelinedLoop, loop_candidate, try_pipeline_loop
 from .renaming import rename_superblock
 from .sbcode import ExitInfo, SuperblockCode, extract_superblock_code
 
 __all__ = [
     "CompiledProcedure",
     "CompiledProgram",
+    "DEFAULT_SCHED",
     "DepGraph",
     "ExitInfo",
     "MachineModel",
+    "OracleResult",
     "PAPER_MACHINE",
+    "PipelinedLoop",
     "REALISTIC_MACHINE",
+    "SchedConfig",
+    "ScheduleWeights",
     "ScheduledOp",
     "SuperblockCode",
     "SuperblockSchedule",
     "build_dependence_graph",
     "compact_program",
     "extract_superblock_code",
+    "loop_candidate",
+    "oracle_schedule_length",
     "rename_superblock",
     "schedule_superblock",
+    "try_pipeline_loop",
     "verify_schedule",
 ]

@@ -93,6 +93,7 @@ def compact_program(
     validation=None,
     metrics=None,
     tracer=None,
+    sched=None,
 ) -> CompiledProgram:
     """Compact every superblock of a formed program.
 
@@ -115,11 +116,17 @@ def compact_program(
             compaction span plus one ``compact`` decision per superblock
             (schedule length, op/speculation/compensation counts) and a
             ``spill`` decision per allocated procedure.
+        sched: a :class:`~repro.scheduling.config.SchedConfig` with the
+            optional scheduler features: tuned list-scheduler priority
+            weights and software pipelining of loop superblocks.
+            ``None`` (or the default config) compiles exactly as before.
 
     Returns:
         The compiled program ready for simulation.
     """
     from ..regalloc.linear_scan import allocate_procedure
+
+    weights = sched.weights if sched is not None else None
 
     if validation is not None and validation.any_compact_checks:
         # Imported lazily: repro.validation pulls in this package.
@@ -180,7 +187,8 @@ def compact_program(
             metrics, "compact.preschedule", proc=proc.name
         ):
             preschedules = [
-                schedule_superblock(code, machine) for code in codes
+                schedule_superblock(code, machine, weights=weights)
+                for code in codes
             ]
         if validation is not None and validation.check_schedule:
             for presched in preschedules:
@@ -234,7 +242,8 @@ def compact_program(
                 metrics, "compact.postschedule", proc=proc.name
             ):
                 schedules = [
-                    schedule_superblock(code, machine) for code in codes
+                    schedule_superblock(code, machine, weights=weights)
+                    for code in codes
                 ]
             if validation is not None and validation.check_schedule:
                 for schedule in schedules:
@@ -247,6 +256,55 @@ def compact_program(
         else:
             schedules = preschedules
             params = proc.params
+
+        if sched is not None and sched.pipeline:
+            from .pipeline import try_pipeline_loop
+
+            used_labels = {s.code.head for s in schedules}
+            for code in codes:
+                used_labels.update(code.labels)
+            pipelined = []
+            final: List[SuperblockSchedule] = []
+            with tspan(tracer, "compact.pipeline", proc=proc.name), _stage(
+                metrics, "compact.pipeline", proc=proc.name
+            ):
+                for code, schedule in zip(codes, schedules):
+                    loop = try_pipeline_loop(
+                        code, schedule, machine, sched, used_labels
+                    )
+                    if loop is None:
+                        final.append(schedule)
+                        continue
+                    pipelined.append(loop)
+                    used_labels.add(loop.kernel.code.head)
+                    if loop.prologue is not None:
+                        final.append(loop.prologue)
+                    final.append(loop.kernel)
+            schedules = final
+            if validation is not None and validation.check_schedule:
+                from ..validation.invariants import check_pipelined_loop
+
+                for loop in pipelined:
+                    require(
+                        "compact:pipeline", check_pipelined_loop(loop)
+                    )
+            if tracer is not None:
+                for loop in pipelined:
+                    tracer.decision(
+                        "pipeline",
+                        proc=proc.name,
+                        head=loop.code.head,
+                        kernel=loop.kernel.code.head,
+                        ii=loop.ii,
+                        phase=loop.phase,
+                        list_cycles=loop.list_length,
+                    )
+            if metrics is not None:
+                metrics.add("compact.pipelined_loops", len(pipelined))
+                metrics.add(
+                    "compact.pipeline_cycles_saved",
+                    sum(loop.list_length - loop.ii for loop in pipelined),
+                )
 
         if tracer is not None:
             for schedule in schedules:

@@ -1,0 +1,48 @@
+"""Scheduler configuration threaded through the experiment engine.
+
+A :class:`SchedConfig` bundles the optional scheduler features so one
+value can travel from the CLI through :func:`repro.pipeline.run_scheme`,
+the parallel workers, and the result cache:
+
+* ``weights`` — tuned list-scheduler priority terms (the ``tune``
+  subcommand's search space); ``None`` keeps the classic height-priority
+  scheduler byte-for-byte.
+* ``pipeline`` — modulo-schedule eligible loop superblocks (see
+  :mod:`repro.scheduling.pipeline`); default off, and off is guaranteed
+  byte-identical to the pre-pipelining compiler.
+
+The frozen dataclass repr is stable, so it participates directly in
+:func:`repro.experiments.cache.outcome_key` — changing any knob changes
+the cache key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .list_scheduler import ScheduleWeights
+
+
+@dataclass(frozen=True)
+class SchedConfig:
+    """Optional scheduler features for one compilation."""
+
+    #: Tuned list-scheduler priority weights (``None`` = classic).
+    weights: Optional[ScheduleWeights] = None
+    #: Software-pipeline eligible loop superblocks.
+    pipeline: bool = False
+    #: Loops with more instructions than this are never pipelined.
+    pipeline_max_ops: int = 200
+
+    @property
+    def is_default(self) -> bool:
+        """True when this config changes nothing about compilation."""
+        return (
+            (self.weights is None or self.weights.is_default)
+            and not self.pipeline
+        )
+
+
+#: The do-nothing configuration (classic scheduler, no pipelining).
+DEFAULT_SCHED = SchedConfig()

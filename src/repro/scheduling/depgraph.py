@@ -24,7 +24,7 @@ a latency-0 edge permits the consumer to share the producer's cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 from ..ir.instructions import Instruction, Opcode
 from .machine import MachineModel
@@ -63,22 +63,25 @@ def build_dependence_graph(
     n = len(instrs)
     succs: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
     preds: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
-    edge_set: Set[Tuple[int, int]] = set()
+    #: (src, dst) -> (index in succs[src], index in preds[dst]); one record
+    #: per edge, so a duplicate add updates *both* adjacency views (or
+    #: neither) — they can never fall out of sync.
+    edge_pos: Dict[Tuple[int, int], Tuple[int, int]] = {}
 
     def add_edge(src: int, dst: int, latency: int) -> None:
         if src == dst:
             return
         key = (src, dst)
-        if key in edge_set:
-            # Keep the max latency for duplicate edges.
-            for k, (j, lat) in enumerate(succs[src]):
-                if j == dst and latency > lat:
-                    succs[src][k] = (dst, latency)
-            for k, (i, lat) in enumerate(preds[dst]):
-                if i == src and latency > lat:
-                    preds[dst][k] = (src, latency)
+        found = edge_pos.get(key)
+        if found is not None:
+            # Keep the max latency for duplicate edges, atomically in both
+            # the successor and the predecessor list.
+            s_idx, p_idx = found
+            if latency > succs[src][s_idx][1]:
+                succs[src][s_idx] = (dst, latency)
+                preds[dst][p_idx] = (src, latency)
             return
-        edge_set.add(key)
+        edge_pos[key] = (len(succs[src]), len(preds[dst]))
         succs[src].append((dst, latency))
         preds[dst].append((src, latency))
 

@@ -19,6 +19,63 @@ from .machine import MachineModel
 from .sbcode import SuperblockCode
 
 
+@dataclass(frozen=True)
+class ScheduleWeights:
+    """Tunable priority terms for the list scheduler (the ``tune`` search
+    space).
+
+    The priority of a ready op is::
+
+        height * heights[i] - slack * slacks[i] + path * descendants[i]
+
+    where ``heights`` is the critical-path height, ``slacks`` is
+    ``ALAP - ASAP`` (mobility: how far the op can slip without stretching
+    the critical path), and ``descendants`` is the number of transitive
+    dependents (the "path weight" of the op: how much downstream work it
+    unlocks).  Whatever the weights, ties always break by original program
+    order — determinism never depends on the tuning.
+
+    The defaults reproduce the untuned scheduler byte-for-byte.
+    """
+
+    height: float = 1.0
+    slack: float = 0.0
+    path: float = 0.0
+
+    @property
+    def is_default(self) -> bool:
+        return self.height == 1.0 and self.slack == 0.0 and self.path == 0.0
+
+
+def _priority_scores(graph: DepGraph, weights: ScheduleWeights) -> List[float]:
+    """Combined priority of every op under ``weights``."""
+    n = graph.size
+    heights = graph.critical_heights()
+    # ASAP (longest path from the roots, in latency cycles).
+    asap = [0] * n
+    for i in range(n):
+        for j, lat in graph.succs[i]:
+            if asap[i] + lat > asap[j]:
+                asap[j] = asap[i] + lat
+    length = max((asap[i] + heights[i] for i in range(n)), default=0)
+    # slack = ALAP - ASAP: zero on the critical path.
+    slacks = [length - (asap[i] + heights[i]) for i in range(n)]
+    # Transitive dependent count via reverse-topological bitset union
+    # (program order is a topological order: every edge goes forward).
+    reach = [0] * n
+    for i in range(n - 1, -1, -1):
+        mask = 0
+        for j, _ in graph.succs[i]:
+            mask |= reach[j] | (1 << j)
+        reach[i] = mask
+    return [
+        weights.height * heights[i]
+        - weights.slack * slacks[i]
+        + weights.path * reach[i].bit_count()
+        for i in range(n)
+    ]
+
+
 @dataclass
 class ScheduledOp:
     """One instruction placed in the schedule."""
@@ -63,13 +120,24 @@ def schedule_superblock(
     code: SuperblockCode,
     machine: MachineModel,
     graph: Optional[DepGraph] = None,
+    weights: Optional[ScheduleWeights] = None,
 ) -> SuperblockSchedule:
-    """Compact ``code`` with top-down cycle scheduling on ``machine``."""
+    """Compact ``code`` with top-down cycle scheduling on ``machine``.
+
+    ``weights`` reweights the ready-op priority terms (see
+    :class:`ScheduleWeights`); ``None`` or the default weights reproduce
+    the classic height-priority scheduler exactly.  Ties between equal
+    priorities always break by original program order, whatever the
+    weights.
+    """
     instrs = code.instructions
     n = len(instrs)
     if graph is None:
         graph = build_dependence_graph(code, machine)
-    heights = graph.critical_heights()
+    if weights is not None and not weights.is_default:
+        heights = _priority_scores(graph, weights)
+    else:
+        heights = graph.critical_heights()
     unscheduled_preds = [len(graph.preds[i]) for i in range(n)]
     earliest = [0] * n
     cycle_of: List[int] = [-1] * n

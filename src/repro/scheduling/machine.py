@@ -20,7 +20,17 @@ from ..ir.instructions import Opcode
 
 @dataclass(frozen=True)
 class MachineModel:
-    """Resource and latency description of the target VLIW."""
+    """Resource and latency description of the target VLIW.
+
+    Instruction latencies are *result* latencies and must be >= 1: an
+    operation's value is available to consumers no earlier than the next
+    cycle.  Latency overrides below 1 are rejected at construction.  Note
+    that the dependence graph still carries latency-0 *edges* — those are
+    intentional and express same-cycle orderings under the machine's
+    read-before-write semantics (anti-dependences, and the producer-shares-
+    the-exit's-cycle rule for off-trace consumers), not a zero-cycle result
+    latency.
+    """
 
     #: Operations issued per cycle (universal functional units).
     issue_width: int = 8
@@ -32,6 +42,16 @@ class MachineModel:
     latencies: Mapping[Opcode, int] = field(default_factory=dict)
     #: Human-readable name used in reports.
     name: str = "paper-vliw"
+
+    def __post_init__(self) -> None:
+        for opcode, value in self.latencies.items():
+            if value < 1:
+                raise ValueError(
+                    f"latency override {opcode.value}={value} is invalid:"
+                    " result latencies must be >= 1 (latency-0 scheduling"
+                    " edges are a dependence-graph concept, not a machine"
+                    " property)"
+                )
 
     def latency(self, opcode: Opcode) -> int:
         """Result latency of ``opcode`` in cycles (>= 1)."""

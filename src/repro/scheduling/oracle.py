@@ -1,0 +1,186 @@
+"""Exact superblock scheduling by branch and bound (the ``gapcheck`` oracle).
+
+The list scheduler is a greedy heuristic; this module computes the true
+optimal schedule length of a superblock on the same
+:class:`~repro.scheduling.depgraph.DepGraph` /
+:class:`~repro.scheduling.machine.MachineModel`, so experiments can report
+the heuristic's *gap from optimal* per superblock.
+
+The search space is restricted to **non-delay** schedules: whenever at most
+``issue_width`` ops are ready, all of them issue.  On this machine the
+restriction is lossless — every op occupies a universal functional unit for
+exactly one cycle, so moving a ready op into a free slot of an earlier
+cycle never delays anything else (its successors only get slack, and the
+slot it vacates frees up); and at most one control op is ever ready at a
+time (control ops form a latency-1 program-order chain), so the single
+control slot never forces idling either.  Branching therefore happens only
+when *more* than ``issue_width`` ops are ready, over the choice of the
+width-sized subset to issue.
+
+Pruning: a node is cut when a lower bound (critical-path height of the
+remaining ops, and remaining-op count over the issue width) cannot beat the
+incumbent, which is seeded with the list schedule.  A configurable node
+budget bounds the worst case; exhausting it downgrades the result from
+*proved optimal* to *best found*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from .depgraph import DepGraph, build_dependence_graph
+from .list_scheduler import schedule_superblock
+from .machine import MachineModel
+from .sbcode import SuperblockCode
+
+#: Default instruction-count ceiling: larger superblocks are not searched.
+DEFAULT_MAX_OPS = 48
+
+#: Default search-node budget (one node = one scheduled cycle in the DFS).
+DEFAULT_NODE_BUDGET = 200_000
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Outcome of one branch-and-bound search."""
+
+    #: Best schedule length found (== the optimum when ``proved``).
+    length: int
+    #: The search ran to completion: ``length`` is provably optimal.
+    proved: bool
+    #: ``"optimal"``, ``"budget"`` (node budget exhausted), or
+    #: ``"skipped"`` (superblock larger than the op budget).
+    status: str
+    #: Search nodes expanded.
+    nodes: int
+
+
+def oracle_schedule_length(
+    code: SuperblockCode,
+    machine: MachineModel,
+    graph: Optional[DepGraph] = None,
+    max_ops: int = DEFAULT_MAX_OPS,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    upper_bound: Optional[int] = None,
+) -> OracleResult:
+    """Exact (or budget-bounded) optimal schedule length of ``code``.
+
+    ``upper_bound`` seeds the incumbent (typically the list schedule's
+    length); when absent the list scheduler runs internally.  The result's
+    ``length`` is always achievable — on budget exhaustion it is the best
+    schedule found so far, a valid upper bound on the optimum.
+    """
+    instrs = code.instructions
+    n = len(instrs)
+    if graph is None:
+        graph = build_dependence_graph(code, machine)
+    if upper_bound is None:
+        upper_bound = schedule_superblock(code, machine, graph=graph).length
+    if n == 0:
+        return OracleResult(length=0, proved=True, status="optimal", nodes=0)
+    if n > max_ops:
+        return OracleResult(
+            length=upper_bound, proved=False, status="skipped", nodes=0
+        )
+
+    width = machine.issue_width
+    heights = graph.critical_heights()
+    succs = graph.succs
+    npreds = [len(graph.preds[i]) for i in range(n)]
+    full_mask = (1 << n) - 1
+
+    # Count lower bound never changes shape: ceil(remaining / width).
+    incumbent = upper_bound
+    nodes = 0
+    exhausted = False
+
+    # Iterative DFS.  Each stack entry restores (cycle, mask, earliest,
+    # pending-pred counts) and an iterator over issue choices.
+    def search(
+        cycle: int,
+        done: int,
+        earliest: List[int],
+        pending: List[int],
+    ) -> None:
+        nonlocal incumbent, nodes, exhausted
+        if exhausted:
+            return
+        if done == full_mask:
+            # `cycle` is one past the last issued bundle.
+            if cycle < incumbent:
+                incumbent = cycle
+            return
+        nodes += 1
+        if nodes > node_budget:
+            exhausted = True
+            return
+
+        # Lower bounds over the unscheduled ops.
+        remaining = 0
+        best_tail = 0
+        min_ready = None
+        for i in range(n):
+            if done >> i & 1:
+                continue
+            remaining += 1
+            start = earliest[i] if earliest[i] > cycle else cycle
+            tail = start + heights[i]
+            if tail > best_tail:
+                best_tail = tail
+            if pending[i] == 0 and (
+                min_ready is None or earliest[i] < min_ready
+            ):
+                min_ready = earliest[i]
+        count_bound = cycle + (remaining + width - 1) // width
+        bound = best_tail if best_tail > count_bound else count_bound
+        if bound >= incumbent:
+            return
+
+        # Advance to the first cycle with ready work (latency stalls).
+        if min_ready is not None and min_ready > cycle:
+            search(min_ready, done, earliest, pending)
+            return
+
+        ready = [
+            i
+            for i in range(n)
+            if not (done >> i & 1) and pending[i] == 0 and earliest[i] <= cycle
+        ]
+
+        def issue(chosen: Tuple[int, ...]) -> None:
+            new_done = done
+            new_earliest = list(earliest)
+            new_pending = list(pending)
+            for i in chosen:
+                new_done |= 1 << i
+                for j, lat in succs[i]:
+                    t = cycle + lat
+                    if t > new_earliest[j]:
+                        new_earliest[j] = t
+                    new_pending[j] -= 1
+            search(cycle + 1, new_done, new_earliest, new_pending)
+
+        if len(ready) <= width:
+            # Non-delay restriction: issuing every ready op is optimal
+            # (see module docstring) — no branching at this node.
+            issue(tuple(ready))
+            return
+
+        # Branch over width-subsets, highest combined height first so the
+        # first descent mirrors (and often improves on) the list schedule.
+        ready.sort(key=lambda i: (-heights[i], i))
+        for chosen in combinations(ready, width):
+            issue(chosen)
+            if exhausted:
+                return
+
+    search(0, 0, [0] * n, npreds)
+    status = "budget" if exhausted else "optimal"
+    return OracleResult(
+        length=incumbent,
+        proved=not exhausted,
+        status=status,
+        nodes=nodes,
+    )

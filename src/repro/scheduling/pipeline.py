@@ -1,0 +1,636 @@
+"""Software pipelining of hot single-superblock loops (modulo scheduling).
+
+A superblock whose last instruction branches back to its own head is a
+loop whose iterations the list scheduler executes strictly back to back:
+every iteration costs the full schedule length ``L`` even when latency
+stalls leave most slots empty.  Modulo scheduling overlaps iterations so
+the steady state costs one *initiation interval* ``II <= L`` per
+iteration instead.
+
+The implementation follows Rau's iterative modulo scheduling:
+
+1. **Cross-iteration dependences** come from the existing
+   :func:`~repro.scheduling.depgraph.build_dependence_graph` run on the
+   loop body concatenated with a copy of itself — an edge into the copy
+   is a distance-1 (next-iteration) dependence, an edge inside the first
+   copy is a distance-0 one.  This reuses the exact register, memory,
+   spill-slot, control, side-effect, and exit-liveness semantics of the
+   list scheduler's graph instead of re-deriving them.
+2. **MII** is the larger of the resource bound (ops over issue width,
+   controls over the control slot) and the recurrence bound, probed per
+   candidate ``II`` by positive-cycle detection over edge weights
+   ``latency - II * distance``.
+3. **Scheduling** places ops in priority order (critical-path height),
+   each at the earliest feasible cycle with a free slot in the modulo
+   reservation table, evicting conflicting or violated ops under a
+   budget when no slot is free.
+
+A valid modulo schedule is rotated into a **kernel** of ``II`` cycles
+(entered once per iteration via the rewritten back edge) plus a
+**prologue** that fills the software pipeline and jumps into the kernel.
+Ops scheduled before the kernel window of their own iteration execute
+speculatively for future iterations and are flagged as such, reusing the
+machine's non-excepting semantics.  Every accepted loop is re-validated
+by expanding several iterations back into a straight-line schedule and
+running it through the list scheduler's :func:`verify_schedule`; any
+failed invariant falls back silently to the list schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.instructions import Instruction, Opcode
+from .config import SchedConfig
+from .depgraph import build_dependence_graph
+from .list_scheduler import (
+    ScheduledOp,
+    SuperblockSchedule,
+    _mark_speculative,
+    verify_schedule,
+)
+from .machine import MachineModel
+from .sbcode import ExitInfo, SuperblockCode
+
+#: (src, dst, latency, iteration distance); distance is 0 or 1.
+LoopEdge = Tuple[int, int, int, int]
+
+
+@dataclass
+class PipelinedLoop:
+    """One successfully modulo-scheduled loop superblock."""
+
+    #: The (post-allocation) loop body the schedule was derived from.
+    code: SuperblockCode
+    machine: MachineModel
+    #: Initiation interval: steady-state cycles per iteration.
+    ii: int
+    #: Cycles before the first kernel window (prologue length).
+    phase: int
+    #: Modulo schedule time of each body op (normalized, min 0).
+    times: List[int]
+    #: Kernel window offset of each body op (0 = own iteration,
+    #: -1 = executes one window early for the next iteration, ...).
+    offsets: List[int]
+    #: List-schedule length this loop improved on.
+    list_length: int
+    #: Steady-state kernel schedule (``ii`` bundles, re-entered per
+    #: iteration through the rewritten back edge).
+    kernel: SuperblockSchedule
+    #: Pipeline-fill schedule registered at the original head; ``None``
+    #: when ``phase == 0`` and the kernel itself sits at the head.
+    prologue: Optional[SuperblockSchedule]
+
+
+def loop_candidate(code: SuperblockCode, sched: SchedConfig) -> bool:
+    """True when ``code`` is a single-superblock loop we can pipeline.
+
+    The last instruction must be a non-call control transfer whose
+    targets include the superblock's own head (the loop back edge), and
+    the body must be call-free: a call is a scheduling barrier that
+    defeats overlap and would let callee side effects escape the
+    speculation model.
+    """
+    n = len(code.instructions)
+    if n < 2 or n > sched.pipeline_max_ops:
+        return False
+    last = code.instructions[-1]
+    if not last.is_control or last.opcode is Opcode.CALL:
+        return False
+    if code.head not in last.targets:
+        return False
+    return all(
+        instr.opcode is not Opcode.CALL for instr in code.instructions
+    )
+
+
+def _loop_edges(
+    code: SuperblockCode, machine: MachineModel
+) -> List[LoopEdge]:
+    """Dependence edges of the loop body with iteration distances.
+
+    Builds the ordinary dependence graph over the body followed by a
+    fresh copy of itself; edges landing in the copy are the distance-1
+    (cross-iteration) dependences.  Adjacent iterations suffice: the
+    builder's state when entering the copy is isomorphic to its state
+    when entering any later iteration, so constraints between iterations
+    further apart are implied transitively.
+    """
+    n = len(code.instructions)
+    copies = [instr.copy() for instr in code.instructions]
+    exits: Dict[Instruction, ExitInfo] = dict(code.exits)
+    block_of: Dict[Instruction, str] = dict(code.block_of)
+    for orig, cp in zip(code.instructions, copies):
+        info = code.exits.get(orig)
+        if info is not None:
+            exits[cp] = ExitInfo(info.on_trace_target, set(info.live))
+        block_of[cp] = code.block_of.get(orig, code.head)
+    doubled = SuperblockCode(
+        proc=code.proc,
+        head=code.head,
+        labels=list(code.labels),
+        instructions=list(code.instructions) + copies,
+        block_of=block_of,
+        exits=exits,
+    )
+    graph = build_dependence_graph(doubled, machine)
+    edges: List[LoopEdge] = []
+    for u in range(n):
+        for v, lat in graph.succs[u]:
+            if v < n:
+                edges.append((u, v, lat, 0))
+            else:
+                edges.append((u, v - n, lat, 1))
+    # The back edge must issue last within its own iteration so that the
+    # kernel window ends on it; expressed as a zero-latency edge from
+    # every op to the branch.  (Cycles this creates with distance-1
+    # edges out of the branch have weight <= lat - II <= 0 for any
+    # II >= 1, so the recurrence bound is unaffected.)
+    for j in range(n - 1):
+        edges.append((j, n - 1, 0, 0))
+    return edges
+
+
+def _has_positive_cycle(n: int, edges: Sequence[LoopEdge], ii: int) -> bool:
+    """True when some recurrence needs more than ``ii`` cycles.
+
+    Bellman-Ford longest-path relaxation over edge weights
+    ``latency - ii * distance``: relaxation still progressing after
+    ``n`` full passes implies a positive-weight cycle, i.e. the
+    recurrence bound exceeds ``ii``.
+    """
+    dist = [0] * n
+    for _ in range(n + 1):
+        changed = False
+        for u, v, lat, d in edges:
+            w = dist[u] + lat - ii * d
+            if w > dist[v]:
+                dist[v] = w
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def _body_heights(n: int, edges: Sequence[LoopEdge]) -> List[int]:
+    """Critical-path heights over the distance-0 (intra-iteration) edges.
+
+    Distance-0 edges always point forward in program order, so a single
+    reverse pass computes longest paths.
+    """
+    succs0: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for u, v, lat, d in edges:
+        if d == 0:
+            succs0[u].append((v, lat))
+    heights = [1] * n
+    for i in range(n - 1, -1, -1):
+        best = 1
+        for j, lat in succs0[i]:
+            if lat + heights[j] > best:
+                best = lat + heights[j]
+        heights[i] = best
+    return heights
+
+
+def _modulo_schedule(
+    n: int,
+    edges: Sequence[LoopEdge],
+    heights: Sequence[int],
+    is_control: Sequence[bool],
+    ii: int,
+    machine: MachineModel,
+    budget: int,
+) -> Optional[List[int]]:
+    """Iterative modulo scheduling at a fixed ``ii`` (Rau's algorithm).
+
+    Returns the op issue times, or ``None`` when the eviction budget
+    runs out before a fixed point is reached.
+    """
+    width = machine.issue_width
+    cpc = machine.control_per_cycle
+    preds: List[List[Tuple[int, int, int]]] = [[] for _ in range(n)]
+    succs: List[List[Tuple[int, int, int]]] = [[] for _ in range(n)]
+    for u, v, lat, d in edges:
+        preds[v].append((u, lat, d))
+        succs[u].append((v, lat, d))
+
+    order = sorted(range(n), key=lambda i: (-heights[i], i))
+    time: List[Optional[int]] = [None] * n
+    prev: List[int] = [-1] * n
+    slot_ops: List[List[int]] = [[] for _ in range(ii)]
+    unscheduled: Set[int] = set(range(n))
+
+    def unplace(j: int) -> None:
+        slot_ops[time[j] % ii].remove(j)
+        time[j] = None
+        unscheduled.add(j)
+
+    while unscheduled:
+        if budget <= 0:
+            return None
+        budget -= 1
+        i = next(k for k in order if k in unscheduled)
+        est = 0
+        for u, lat, d in preds[i]:
+            tu = time[u]
+            if tu is not None and u != i:
+                c = tu + lat - ii * d
+                if c > est:
+                    est = c
+        t = None
+        for c in range(est, est + ii):
+            s = c % ii
+            if len(slot_ops[s]) >= width:
+                continue
+            if is_control[i] and (
+                sum(1 for j in slot_ops[s] if is_control[j]) >= cpc
+            ):
+                continue
+            t = c
+            break
+        forced = t is None
+        if forced:
+            t = est if prev[i] < 0 else max(est, prev[i] + 1)
+        unscheduled.discard(i)
+        time[i] = t
+        prev[i] = t
+        s = t % ii
+        slot_ops[s].append(i)
+        if forced:
+            # Evict lowest-priority occupants of the contested slot
+            # until the reservation is feasible again.
+            while True:
+                others = [j for j in slot_ops[s] if j != i]
+                ctrl_over = is_control[i] and (
+                    sum(1 for j in slot_ops[s] if is_control[j]) > cpc
+                )
+                if ctrl_over:
+                    pool = [j for j in others if is_control[j]]
+                elif len(slot_ops[s]) > width:
+                    pool = others
+                else:
+                    break
+                unplace(min(pool, key=lambda j: (heights[j], -j)))
+        # Un-place any scheduled successor whose constraint i now breaks.
+        for v, lat, d in succs[i]:
+            tv = time[v]
+            if v != i and tv is not None and tv < t + lat - ii * d:
+                unplace(v)
+    # Self-dependences (op to its own next-iteration instance) are not
+    # part of est/eviction above; II feasibility was checked up front,
+    # but verify defensively.
+    for u, v, lat, d in edges:
+        if u == v and lat - ii * d > 0:
+            return None
+    return [t for t in time]  # type: ignore[misc]
+
+
+def _offset_problems(
+    code: SuperblockCode, offsets: Sequence[int]
+) -> List[str]:
+    """Sanity of kernel window offsets (all should hold by construction).
+
+    Controls and side effects must stay in their own iteration's window,
+    and definitions of exit-live registers may run at most one window
+    early — otherwise prologue copies or overlapped kernel windows could
+    clobber a value an off-trace exit still needs.
+    """
+    problems: List[str] = []
+    exit_live = code.exit_live_by_index()
+    exit_indices = sorted(exit_live)
+    for i, instr in enumerate(code.instructions):
+        o = offsets[i]
+        if (instr.is_control or instr.has_side_effects) and o != 0:
+            problems.append(
+                f"op {i} ({instr.opcode.value}): control/side effect at"
+                f" window offset {o}"
+            )
+        dest = instr.dest
+        if dest is None or o == 0:
+            continue
+        if any(e < i and dest in exit_live[e] for e in exit_indices):
+            problems.append(
+                f"op {i}: def of r{dest} (live at an earlier exit) at"
+                f" window offset {o}"
+            )
+        elif o < -1 and any(dest in exit_live[e] for e in exit_indices):
+            problems.append(
+                f"op {i}: def of exit-live r{dest} at window offset {o}"
+            )
+    return problems
+
+
+def _finish_bundles(
+    bundles: List[List[ScheduledOp]], width: int
+) -> List[str]:
+    """Sort bundles into program order, assign slots, check resources."""
+    problems: List[str] = []
+    for cycle, bundle in enumerate(bundles):
+        bundle.sort(key=lambda op: op.orig_index)
+        for slot, op in enumerate(bundle):
+            op.slot = slot
+            if op.cycle != cycle:
+                problems.append(
+                    f"cycle {cycle}: op tagged with cycle {op.cycle}"
+                )
+        if len(bundle) > width:
+            problems.append(f"cycle {cycle}: {len(bundle)} ops issued")
+        if sum(1 for op in bundle if op.instr.is_control) > 1:
+            problems.append(f"cycle {cycle}: multiple control ops")
+    return problems
+
+
+def _build_kernel(
+    code: SuperblockCode,
+    machine: MachineModel,
+    times: Sequence[int],
+    offsets: Sequence[int],
+    ii: int,
+    phase: int,
+    kernel_head: str,
+) -> Optional[SuperblockSchedule]:
+    """Rotate the modulo schedule into the steady-state kernel window.
+
+    Kernel program order is iteration-major — current-iteration ops
+    (offset 0) first, then ops running early for later iterations — so
+    the back-edge branch (last offset-0 op, final kernel cycle) precedes
+    exactly the speculative future-iteration ops, and
+    :func:`_mark_speculative` flags them with its ordinary rule.
+    """
+    n = len(code.instructions)
+    order = sorted(range(n), key=lambda i: (-offsets[i], i))
+    instrs: List[Instruction] = []
+    block_of: Dict[Instruction, str] = {}
+    exits: Dict[Instruction, ExitInfo] = {}
+    ops: List[ScheduledOp] = []
+    for pos, i in enumerate(order):
+        orig = code.instructions[i]
+        cp = orig.copy()
+        if i == n - 1 and kernel_head != code.head:
+            cp.targets = tuple(
+                kernel_head if t == code.head else t for t in cp.targets
+            )
+        src_block = code.block_of.get(orig, code.head)
+        block_of[cp] = kernel_head if src_block == code.head else src_block
+        info = code.exits.get(orig)
+        if info is not None:
+            exits[cp] = ExitInfo(info.on_trace_target, set(info.live))
+        instrs.append(cp)
+        ops.append(
+            ScheduledOp(
+                instr=cp,
+                orig_index=pos,
+                cycle=times[i] - phase - offsets[i] * ii,
+                slot=0,
+            )
+        )
+    kcode = SuperblockCode(
+        proc=code.proc,
+        head=kernel_head,
+        labels=[kernel_head] + list(code.labels[1:]),
+        instructions=instrs,
+        block_of=block_of,
+        exits=exits,
+    )
+    bundles: List[List[ScheduledOp]] = [[] for _ in range(ii)]
+    for op in ops:
+        if not 0 <= op.cycle < ii:
+            return None
+        bundles[op.cycle].append(op)
+    if _finish_bundles(bundles, machine.issue_width):
+        return None
+    if not any(op.instr.is_control for op in bundles[-1]):
+        return None  # the back edge must close the window
+    schedule = SuperblockSchedule(
+        code=kcode, ops=ops, bundles=bundles, machine=machine
+    )
+    _mark_speculative(schedule)
+    return schedule
+
+
+def _build_prologue(
+    code: SuperblockCode,
+    machine: MachineModel,
+    times: Sequence[int],
+    offsets: Sequence[int],
+    ii: int,
+    phase: int,
+    kernel_head: str,
+) -> Optional[SuperblockSchedule]:
+    """Build the pipeline-fill schedule registered at the loop head.
+
+    Iteration ``m``'s instance of op ``i`` runs here when the kernel
+    expects it already done on entry (``m <= -offset[i] - 1``), at the
+    same absolute cycle ``m * ii + times[i]`` the infinite expansion
+    assigns it, so every dependence latency carries over unchanged.  A
+    synthetic jump then enters the kernel.  Copies for iterations past
+    the first, and copies above a body exit, are speculative.
+    """
+    n = len(code.instructions)
+    exit_indices = code.exit_indices()
+    fills = max(-o for o in offsets)
+    instrs: List[Instruction] = []
+    block_of: Dict[Instruction, str] = {}
+    ops: List[ScheduledOp] = []
+    for m in range(fills):
+        for i in range(n):
+            if m > -offsets[i] - 1:
+                continue
+            orig = code.instructions[i]
+            cp = orig.copy()
+            instrs.append(cp)
+            block_of[cp] = code.block_of.get(orig, code.head)
+            ops.append(
+                ScheduledOp(
+                    instr=cp,
+                    orig_index=len(instrs) - 1,
+                    cycle=m * ii + times[i],
+                    slot=0,
+                    speculative=(
+                        m >= 1 or any(e < i for e in exit_indices)
+                    ),
+                )
+            )
+    bundles: List[List[ScheduledOp]] = [[] for _ in range(phase)]
+    for op in ops:
+        if not 0 <= op.cycle < phase:
+            return None
+        bundles[op.cycle].append(op)
+    # Jump into the kernel, sharing the last fill cycle when a slot is
+    # free (the prologue contains no other control ops).
+    jmp = Instruction(Opcode.JMP, targets=(kernel_head,))
+    if len(bundles[phase - 1]) < machine.issue_width:
+        jmp_cycle = phase - 1
+    else:
+        jmp_cycle = phase
+        bundles.append([])
+    live: Set[int] = set()
+    for info in code.exits.values():
+        live |= info.live
+    exits: Dict[Instruction, ExitInfo] = {
+        jmp: ExitInfo(on_trace_target=None, live=live)
+    }
+    jop = ScheduledOp(
+        instr=jmp, orig_index=len(instrs), cycle=jmp_cycle, slot=0
+    )
+    instrs.append(jmp)
+    block_of[jmp] = code.head
+    ops.append(jop)
+    bundles[jmp_cycle].append(jop)
+    if _finish_bundles(bundles, machine.issue_width):
+        return None
+    pcode = SuperblockCode(
+        proc=code.proc,
+        head=code.head,
+        labels=list(code.labels),
+        instructions=instrs,
+        block_of=block_of,
+        exits=exits,
+    )
+    return SuperblockSchedule(
+        code=pcode, ops=ops, bundles=bundles, machine=machine
+    )
+
+
+def expansion_problems(loop: PipelinedLoop, trips: int = 0) -> List[str]:
+    """Re-validate a pipelined loop by flattening it back out.
+
+    Expands ``trips`` iterations at the modulo schedule's absolute
+    cycles (iteration ``m``'s op ``i`` at ``m * ii + times[i]``) into
+    one straight-line schedule over fresh instruction copies and runs
+    the list scheduler's :func:`verify_schedule` on it: every register,
+    memory, spill, control, side-effect, exit-liveness, and resource
+    invariant is checked on the overlapped execution itself.
+    """
+    code, ii, times = loop.code, loop.ii, loop.times
+    n = len(code.instructions)
+    if trips <= 0:
+        trips = max(3, max(-o for o in loop.offsets) + 2)
+    instrs: List[Instruction] = []
+    block_of: Dict[Instruction, str] = {}
+    exits: Dict[Instruction, ExitInfo] = {}
+    ops: List[ScheduledOp] = []
+    for m in range(trips):
+        for i in range(n):
+            orig = code.instructions[i]
+            cp = orig.copy()
+            instrs.append(cp)
+            block_of[cp] = code.block_of.get(orig, code.head)
+            info = code.exits.get(orig)
+            if info is not None:
+                exits[cp] = ExitInfo(
+                    on_trace_target=None, live=set(info.live)
+                )
+            ops.append(
+                ScheduledOp(
+                    instr=cp,
+                    orig_index=len(instrs) - 1,
+                    cycle=m * ii + times[i],
+                    slot=0,
+                )
+            )
+    xcode = SuperblockCode(
+        proc=code.proc,
+        head=code.head,
+        labels=list(code.labels),
+        instructions=instrs,
+        block_of=block_of,
+        exits=exits,
+    )
+    last_cycle = max(op.cycle for op in ops)
+    bundles: List[List[ScheduledOp]] = [[] for _ in range(last_cycle + 1)]
+    for op in ops:
+        bundles[op.cycle].append(op)
+    for bundle in bundles:
+        bundle.sort(key=lambda op: op.orig_index)
+        for slot, op in enumerate(bundle):
+            op.slot = slot
+    schedule = SuperblockSchedule(
+        code=xcode, ops=ops, bundles=bundles, machine=loop.machine
+    )
+    _mark_speculative(schedule)
+    return verify_schedule(schedule)
+
+
+def try_pipeline_loop(
+    code: SuperblockCode,
+    list_schedule: SuperblockSchedule,
+    machine: MachineModel,
+    sched: SchedConfig,
+    used_labels: Set[str],
+) -> Optional[PipelinedLoop]:
+    """Attempt to modulo-schedule one loop superblock.
+
+    Returns a :class:`PipelinedLoop` strictly faster in steady state
+    than ``list_schedule`` (``ii < length``) whose expansion passes
+    :func:`verify_schedule`, or ``None`` to keep the list schedule —
+    ineligibility, infeasibility, and any failed invariant all land on
+    the same safe fallback.
+    """
+    if not loop_candidate(code, sched):
+        return None
+    n = len(code.instructions)
+    length = list_schedule.length
+    edges = _loop_edges(code, machine)
+    heights = _body_heights(n, edges)
+    is_control = [instr.is_control for instr in code.instructions]
+    n_controls = sum(1 for c in is_control if c)
+    res_mii = max(
+        -(-n // machine.issue_width),
+        -(-n_controls // machine.control_per_cycle),
+        1,
+    )
+    for ii in range(res_mii, length):
+        if _has_positive_cycle(n, edges, ii):
+            continue
+        times = _modulo_schedule(
+            n, edges, heights, is_control, ii, machine, budget=25 * n + 100
+        )
+        if times is None:
+            continue
+        tmin = min(times)
+        times = [t - tmin for t in times]
+        t_branch = times[n - 1]
+        if t_branch != max(times):
+            continue
+        phase = t_branch + 1 - ii
+        if phase < 0:
+            continue
+        offsets = [(times[i] - phase) // ii for i in range(n)]
+        if _offset_problems(code, offsets):
+            continue
+
+        if phase == 0:
+            kernel_head = code.head
+        else:
+            kernel_head = f"{code.head}@pipe"
+            while kernel_head in used_labels:
+                kernel_head += "+"
+        kernel = _build_kernel(
+            code, machine, times, offsets, ii, phase, kernel_head
+        )
+        if kernel is None:
+            continue
+        prologue = None
+        if phase > 0:
+            prologue = _build_prologue(
+                code, machine, times, offsets, ii, phase, kernel_head
+            )
+            if prologue is None:
+                continue
+        loop = PipelinedLoop(
+            code=code,
+            machine=machine,
+            ii=ii,
+            phase=phase,
+            times=times,
+            offsets=offsets,
+            list_length=length,
+            kernel=kernel,
+            prologue=prologue,
+        )
+        if expansion_problems(loop):
+            continue
+        return loop
+    return None

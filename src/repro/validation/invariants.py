@@ -128,6 +128,20 @@ def check_schedule_legality(schedule: SuperblockSchedule) -> List[str]:
     return verify_schedule(schedule)
 
 
+def check_pipelined_loop(loop) -> List[str]:
+    """Legality of a modulo-scheduled loop via straight-line expansion.
+
+    Flattens several overlapped iterations of the
+    :class:`~repro.scheduling.pipeline.PipelinedLoop` back into one
+    straight-line schedule and applies the full schedule-legality check
+    to it, so the kernel/prologue rotation is validated by the same
+    invariants as every other schedule.
+    """
+    from ..scheduling.pipeline import expansion_problems
+
+    return expansion_problems(loop)
+
+
 # -- register allocation ------------------------------------------------------
 
 #: Value id: ("init", virtual reg) for values live at superblock entry,

@@ -1,0 +1,144 @@
+"""Tests for the scheduler-quality experiments: ``gapcheck`` and ``tune``."""
+
+import json
+
+from repro.experiments import (
+    format_gap_check,
+    format_tune,
+    gap_check,
+    gap_check_json,
+    replay_tune,
+    tune_json,
+    tune_weights,
+)
+from repro.scheduling import REALISTIC_MACHINE
+
+
+def small_gap_check(**kwargs):
+    return gap_check(
+        scheme_names=("P4",),
+        scale=0.25,
+        workload_names=["wc", "eqn"],
+        max_ops=32,
+        node_budget=5_000,
+        **kwargs,
+    )
+
+
+class TestGapCheck:
+    def test_rows_and_invariants(self):
+        summary = small_gap_check()
+        assert summary.rows, "every scheduled superblock yields a row"
+        for row in summary.rows:
+            assert row.status in ("optimal", "budget", "skipped")
+            assert row.list_cycles >= 1
+            # The oracle length is achievable, so never above the list
+            # schedule's; the gap is its complement.
+            assert 0 <= row.oracle_cycles <= row.list_cycles
+            assert row.gap == row.list_cycles - row.oracle_cycles
+            assert row.entries >= 0
+            if row.status == "optimal":
+                assert row.nodes >= 1
+            if row.status == "skipped":
+                assert row.ops > 32
+
+    def test_weighted_totals_consistent(self):
+        summary = small_gap_check()
+        assert summary.weighted_gap == sum(
+            r.weighted_gap for r in summary.rows
+        )
+        assert 0.0 <= summary.gap_fraction <= 1.0
+        counted = (
+            summary.count("optimal")
+            + summary.count("budget")
+            + summary.count("skipped")
+        )
+        assert counted == len(summary.rows)
+
+    def test_list_scheduler_is_optimal_on_suite(self):
+        # The headline experimental result: on these workloads the
+        # height-priority list scheduler leaves nothing on the table for
+        # any superblock the oracle can prove.
+        summary = small_gap_check()
+        proved = [r for r in summary.rows if r.status == "optimal"]
+        assert proved
+        assert all(r.gap == 0 for r in proved)
+
+    def test_json_round_trip(self):
+        summary = small_gap_check()
+        payload = json.loads(gap_check_json(summary))
+        assert len(payload["rows"]) == len(summary.rows)
+        assert payload["totals"]["gap_fraction"] == summary.gap_fraction
+
+    def test_format_renders(self):
+        summary = small_gap_check()
+        text = format_gap_check(summary)
+        assert "superblocks" in text
+
+    def test_realistic_machine(self):
+        summary = gap_check(
+            scheme_names=("P4",),
+            scale=0.25,
+            workload_names=["wc"],
+            machine=REALISTIC_MACHINE,
+            max_ops=24,
+            node_budget=2_000,
+        )
+        assert summary.rows
+
+
+def small_tune(seed=0):
+    return tune_weights(
+        scheme_names=("P4",),
+        scale=0.25,
+        workload_names=["wc"],
+        samples=3,
+        seed=seed,
+        cache=None,
+    )
+
+
+class TestTune:
+    def test_deterministic_for_seed(self):
+        a, b = small_tune(), small_tune()
+        assert tune_json(a) == tune_json(b)
+
+    def test_baseline_is_candidate_zero(self):
+        payload = small_tune()
+        first = payload["candidates"][0]
+        assert (first["height"], first["slack"], first["path"]) == (
+            1.0,
+            0.0,
+            0.0,
+        )
+        assert payload["baseline_cycles"] == first["cycles"]
+
+    def test_best_never_worse_than_baseline(self):
+        payload = small_tune()
+        assert payload["best"]["cycles"] <= payload["baseline_cycles"]
+        assert payload["improvement"] >= 0.0
+
+    def test_weights_within_search_space(self):
+        payload = small_tune(seed=5)
+        for cand in payload["candidates"][1:]:
+            assert 0.25 <= cand["height"] <= 2.0
+            assert 0.0 <= cand["slack"] <= 1.0
+            assert 0.0 <= cand["path"] <= 0.5
+
+    def test_replay_round_trip(self, tmp_path):
+        payload = small_tune(seed=2)
+        out = tmp_path / "tune.json"
+        out.write_text(tune_json(payload))
+        assert replay_tune(str(out), cache=None)
+
+    def test_replay_detects_tampering(self, tmp_path):
+        payload = small_tune(seed=2)
+        payload["best"]["cycles"] -= 1
+        out = tmp_path / "tampered.json"
+        out.write_text(tune_json(payload))
+        assert not replay_tune(str(out), cache=None)
+
+    def test_format_renders(self):
+        payload = small_tune()
+        text = format_tune(payload)
+        assert "best" in text.lower()

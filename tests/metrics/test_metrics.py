@@ -207,10 +207,19 @@ class TestTripwire:
         assert "skipped" in text
 
     def test_tripwire_metrics_are_ratio_paths(self):
+        from repro.metrics import INVERSE_TRIPWIRE_METRICS
+
         assert 0 < DEFAULT_REGRESSION_THRESHOLD < 1
         for path in TRIPWIRE_METRICS:
             assert "wall" not in path  # ratios only: machine-independent
-            assert "speedup" in path or "hit_rate" in path
+            if path in INVERSE_TRIPWIRE_METRICS:
+                # Lower-is-better fractions (e.g. the scheduler's gap
+                # from optimal) are ratios too, just inverted.
+                assert "gap" in path or "rate" in path
+            else:
+                assert "speedup" in path or "hit_rate" in path
+        # Every inverse metric must also be a tripwire metric.
+        assert set(INVERSE_TRIPWIRE_METRICS) <= set(TRIPWIRE_METRICS)
 
 
 class TestPipelineIntegration:

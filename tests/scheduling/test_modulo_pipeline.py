@@ -1,0 +1,194 @@
+"""Tests for iterative modulo scheduling of hot loop superblocks."""
+
+import pytest
+
+from repro.analysis import compute_liveness
+from repro.formation.superblock import Superblock
+from repro.ir import FunctionBuilder, build_program
+from repro.ir import instructions as ins
+from repro.scheduling import (
+    PAPER_MACHINE,
+    REALISTIC_MACHINE,
+    SchedConfig,
+    extract_superblock_code,
+    schedule_superblock,
+    verify_schedule,
+)
+from repro.scheduling.pipeline import (
+    expansion_problems,
+    loop_candidate,
+    try_pipeline_loop,
+)
+
+PIPE = SchedConfig(pipeline=True)
+
+
+def loop_code(body, extra_blocks=None, machine=PAPER_MACHINE):
+    """Build ``main`` with a single-block loop and return the loop's
+    superblock code (head = the loop block, back edge to itself)."""
+    fb = FunctionBuilder("main")
+    entry = fb.block("entry")
+    loop = fb.block("loop")
+    done = fb.block("done")
+    regs = body(fb, entry, loop, done)
+    program = build_program(fb)
+    proc = program.procedure("main")
+    liveness = compute_liveness(proc)
+    sb = Superblock("main", ["loop"])
+    return extract_superblock_code(proc, sb, liveness)
+
+
+def counting_loop(fb, entry, loop, done):
+    i, one, limit, acc, t1, t2, c = fb.regs(7)
+    entry.li(i, 0)
+    entry.li(one, 1)
+    entry.li(limit, 12)
+    entry.li(acc, 0)
+    entry.jmp("loop")
+    # Per-iteration work is a 2-mul chain (6 cycles on REALISTIC) while
+    # the recurrences (acc, i) are single adds: ripe for overlap.
+    loop.mul(t1, i, i)
+    loop.mul(t2, t1, i)
+    loop.add(acc, acc, t2)
+    loop.add(i, i, one)
+    loop.cmplt(c, i, limit)
+    loop.br(c, "loop", "done")
+    done.print_(acc)
+    done.ret()
+
+
+class TestLoopCandidate:
+    def test_counting_loop_is_eligible(self):
+        code = loop_code(counting_loop)
+        assert loop_candidate(code, PIPE)
+
+    def test_no_back_edge_not_eligible(self):
+        def straight(fb, entry, loop, done):
+            a = fb.reg()
+            entry.jmp("loop")
+            loop.li(a, 1)
+            loop.jmp("done")
+            done.print_(a)
+            done.ret()
+
+        code = loop_code(straight)
+        assert not loop_candidate(code, PIPE)
+
+    def test_call_in_body_not_eligible(self):
+        def with_call(fb, entry, loop, done):
+            i, one, limit, c = fb.regs(4)
+            entry.li(i, 0)
+            entry.li(one, 1)
+            entry.li(limit, 4)
+            entry.jmp("loop")
+            loop.add(i, i, one)
+            loop.emit(ins.call("main", (), None))
+            loop.cmplt(c, i, limit)
+            loop.br(c, "loop", "done")
+            done.ret()
+
+        code = loop_code(with_call)
+        assert not loop_candidate(code, PIPE)
+
+    def test_op_budget_respected(self):
+        code = loop_code(counting_loop)
+        tiny = SchedConfig(pipeline=True, pipeline_max_ops=3)
+        assert not loop_candidate(code, tiny)
+
+
+class TestTryPipelineLoop:
+    def test_realistic_loop_pipelines_and_is_legal(self):
+        code = loop_code(counting_loop)
+        listed = schedule_superblock(code, REALISTIC_MACHINE)
+        assert verify_schedule(listed) == []
+        loop = try_pipeline_loop(
+            code, listed, REALISTIC_MACHINE, PIPE, used_labels=set()
+        )
+        assert loop is not None, "the mul-chain loop should pipeline"
+        assert loop.ii < loop.list_length == listed.length
+        assert expansion_problems(loop) == []
+        assert expansion_problems(loop, trips=5) == []
+        assert loop.kernel.length == loop.ii
+        assert verify_schedule(loop.kernel) == []
+        if loop.prologue is not None:
+            assert verify_schedule(loop.prologue) == []
+            assert loop.phase > 0
+
+    def test_pipelining_is_opt_in(self):
+        # The compactor only attempts modulo scheduling behind
+        # ``sched.pipeline``; the default config keeps it off entirely.
+        default = SchedConfig()
+        assert not default.pipeline
+        assert default.is_default
+        assert PIPE.pipeline and not PIPE.is_default
+
+    def test_fallback_when_no_improvement(self):
+        # A pure recurrence (every op feeds the next iteration's chain)
+        # leaves no overlap to exploit; the scheduler must decline rather
+        # than emit an equal-or-worse kernel.
+        def recurrence(fb, entry, loop, done):
+            i, one, limit, c = fb.regs(4)
+            entry.li(i, 0)
+            entry.li(one, 1)
+            entry.li(limit, 8)
+            entry.jmp("loop")
+            loop.add(i, i, one)
+            loop.cmplt(c, i, limit)
+            loop.br(c, "loop", "done")
+            done.print_(i)
+            done.ret()
+
+        code = loop_code(recurrence)
+        listed = schedule_superblock(code, PAPER_MACHINE)
+        loop = try_pipeline_loop(
+            code, listed, PAPER_MACHINE, PIPE, used_labels=set()
+        )
+        if loop is not None:
+            # Only acceptable outcome: a strictly faster, legal kernel.
+            assert loop.ii < listed.length
+            assert expansion_problems(loop) == []
+
+    def test_times_cover_every_op(self):
+        code = loop_code(counting_loop)
+        listed = schedule_superblock(code, REALISTIC_MACHINE)
+        loop = try_pipeline_loop(
+            code, listed, REALISTIC_MACHINE, PIPE, used_labels=set()
+        )
+        assert loop is not None
+        n = len(code.instructions)
+        assert len(loop.times) == len(loop.offsets) == n
+        # The back branch issues last and closes the kernel window.
+        assert loop.times[n - 1] == max(loop.times)
+
+
+class TestPipelineDifferential:
+    """Pipelined compilation must preserve program behaviour end to end."""
+
+    @pytest.mark.parametrize("wname", ["wc", "eqn"])
+    def test_outputs_match_reference(self, wname):
+        from repro.experiments import run_suite
+
+        plain = run_suite(
+            ["P4"], workload_names=[wname], scale=0.25, cache=None
+        )[(wname, "P4")]
+        piped = run_suite(
+            ["P4"],
+            workload_names=[wname],
+            scale=0.25,
+            cache=None,
+            sched=PIPE,
+        )[(wname, "P4")]
+        assert piped.result.output == plain.result.output
+        assert piped.result.return_value == plain.result.return_value
+
+    def test_validate_suite_with_pipeline(self):
+        from repro.experiments import validate_suite
+
+        rows = validate_suite(
+            ["P4"],
+            workload_names=["eqn"],
+            scale=0.25,
+            cache=None,
+            sched=PIPE,
+        )
+        assert rows and all(row.ok for row in rows)

@@ -1,0 +1,295 @@
+"""Regression tests for the list-scheduler bugfix fleet.
+
+Covers the dependence-graph duplicate-edge handling, the machine-model
+latency contract, priority-weight tie-break determinism, and
+``verify_schedule``'s non-unit-latency checking — each pinned down by the
+scheduler-quality PR so they cannot silently regress.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import compute_liveness
+from repro.formation.superblock import Superblock
+from repro.ir import FunctionBuilder, Opcode, build_program
+from repro.scheduling import (
+    MachineModel,
+    PAPER_MACHINE,
+    REALISTIC_MACHINE,
+    ScheduleWeights,
+    build_dependence_graph,
+    extract_superblock_code,
+    schedule_superblock,
+    verify_schedule,
+)
+
+
+def build_code(make_blocks, machine=PAPER_MACHINE):
+    fb = FunctionBuilder("main")
+    labels = make_blocks(fb)
+    program = build_program(fb)
+    proc = program.procedure("main")
+    liveness = compute_liveness(proc)
+    sb = Superblock("main", labels)
+    return extract_superblock_code(proc, sb, liveness)
+
+
+class TestDuplicateEdgeHandling:
+    """Satellite 1: duplicate (src, dst) edges collapse to the max
+    latency, atomically in both adjacency views."""
+
+    def code_with_duplicate_edge(self):
+        # mul defines r; the next instruction both *reads* r (true
+        # dependence, latency = mul's result latency) and *redefines* it
+        # (output dependence, latency 1): two adds of the same edge pair
+        # with different latencies.
+        def blocks(fb):
+            b = fb.block("entry")
+            r, s = fb.regs(2)
+            b.li(r, 3)
+            b.li(s, 4)
+            b.mul(r, r, s)
+            b.add(r, r, s)
+            b.print_(r)
+            b.ret()
+            return ["entry"]
+
+        return build_code(blocks)
+
+    def test_single_edge_with_max_latency(self):
+        code = self.code_with_duplicate_edge()
+        graph = build_dependence_graph(code, REALISTIC_MACHINE)
+        mul_latency = REALISTIC_MACHINE.latency(Opcode.MUL)
+        assert mul_latency > 1
+        edges = [(j, lat) for j, lat in graph.succs[2] if j == 3]
+        # One edge, not one per dependence kind, carrying the larger
+        # (true-dependence) latency, not the output dependence's 1.
+        assert edges == [(3, mul_latency)]
+
+    def test_preds_mirror_succs_exactly(self):
+        code = self.code_with_duplicate_edge()
+        for machine in (PAPER_MACHINE, REALISTIC_MACHINE):
+            graph = build_dependence_graph(code, machine)
+            from_succs = {
+                (i, j, lat)
+                for i in range(graph.size)
+                for j, lat in graph.succs[i]
+            }
+            from_preds = {
+                (i, j, lat)
+                for j in range(graph.size)
+                for i, lat in graph.preds[j]
+            }
+            assert from_succs == from_preds
+
+    def test_no_duplicate_pairs_anywhere(self):
+        code = self.code_with_duplicate_edge()
+        graph = build_dependence_graph(code, REALISTIC_MACHINE)
+        for i in range(graph.size):
+            targets = [j for j, _ in graph.succs[i]]
+            assert len(targets) == len(set(targets))
+
+
+class TestMachineLatencyContract:
+    """Satellite 2: result latencies are >= 1, enforced at construction."""
+
+    def test_zero_latency_override_raises(self):
+        with pytest.raises(ValueError, match="latency override"):
+            MachineModel(latencies={Opcode.MUL: 0}, name="bad")
+
+    def test_negative_latency_override_raises(self):
+        with pytest.raises(ValueError):
+            MachineModel(latencies={Opcode.LOAD: -2}, name="bad")
+
+    def test_valid_overrides_accepted(self):
+        machine = MachineModel(latencies={Opcode.MUL: 3}, name="ok")
+        assert machine.latency(Opcode.MUL) == 3
+        assert machine.latency(Opcode.ADD) == 1
+
+    def test_latency_zero_edges_still_exist_in_graph(self):
+        # The contract is about result latencies; latency-0 *edges*
+        # (anti-dependences) are a graph concept and remain.
+        def blocks(fb):
+            b = fb.block("entry")
+            r, s, t = fb.regs(3)
+            b.li(r, 1)
+            b.add(s, r, r)
+            b.li(r, 2)  # anti-dependence add(s,...) -> li(r, 2)
+            b.add(t, s, r)
+            b.print_(t)
+            b.ret()
+            return ["entry"]
+
+        code = build_code(blocks)
+        graph = build_dependence_graph(code, PAPER_MACHINE)
+        assert (2, 0) in graph.succs[1]  # anti edge, latency 0
+
+
+def _fingerprint(schedule):
+    return tuple((op.orig_index, op.cycle, op.slot) for op in schedule.ops)
+
+
+def _wide_code(seed=0, n=24):
+    """A deterministic pseudo-random code with many equal-priority ops."""
+    import random
+
+    rng = random.Random(seed)
+
+    def blocks(fb):
+        b = fb.block("entry")
+        regs = fb.regs(n)
+        for i, r in enumerate(regs):
+            if i >= 4 and rng.random() < 0.5:
+                b.add(r, regs[rng.randrange(i)], regs[rng.randrange(i)])
+            else:
+                b.li(r, i)
+        b.print_(regs[-1])
+        b.ret()
+        return ["entry"]
+
+    return build_code(blocks)
+
+
+class TestTieBreakDeterminism:
+    """Satellite 3: program-order tie-breaks survive any reweighting."""
+
+    def test_same_weights_same_schedule(self):
+        weights = ScheduleWeights(height=1.3, slack=0.4, path=0.2)
+        for seed in range(6):
+            code = _wide_code(seed)
+            a = schedule_superblock(code, PAPER_MACHINE, weights=weights)
+            b = schedule_superblock(code, PAPER_MACHINE, weights=weights)
+            assert _fingerprint(a) == _fingerprint(b)
+
+    def test_pure_scaling_is_identity(self):
+        # Scaling every priority by the same factor preserves the order
+        # (ties included), so the schedule must be byte-identical to the
+        # untuned one.
+        for seed in range(6):
+            code = _wide_code(seed)
+            base = schedule_superblock(code, PAPER_MACHINE)
+            scaled = schedule_superblock(
+                code, PAPER_MACHINE, weights=ScheduleWeights(height=2.0)
+            )
+            assert _fingerprint(base) == _fingerprint(scaled)
+
+    def test_default_weights_take_untuned_path(self):
+        for seed in range(4):
+            code = _wide_code(seed)
+            a = schedule_superblock(code, PAPER_MACHINE)
+            b = schedule_superblock(
+                code, PAPER_MACHINE, weights=ScheduleWeights()
+            )
+            assert _fingerprint(a) == _fingerprint(b)
+
+    def test_stable_across_hash_seeds(self):
+        # Iteration order of any set/dict the scheduler touches must not
+        # leak into the schedule: the fingerprint is identical under
+        # different PYTHONHASHSEED values (fresh interpreters).
+        script = textwrap.dedent(
+            """
+            from tests.scheduling.test_scheduler_fixes import (
+                _fingerprint,
+                _wide_code,
+            )
+            from repro.scheduling import (
+                PAPER_MACHINE,
+                ScheduleWeights,
+                schedule_superblock,
+            )
+
+            weights = ScheduleWeights(height=1.3, slack=0.4, path=0.2)
+            for seed in range(4):
+                code = _wide_code(seed)
+                print(
+                    _fingerprint(
+                        schedule_superblock(
+                            code, PAPER_MACHINE, weights=weights
+                        )
+                    )
+                )
+            """
+        )
+        outputs = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(
+                    os.path.dirname(os.path.dirname(__file__))
+                ),
+            )
+            assert result.returncode == 0, result.stderr
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+
+
+class TestVerifyScheduleLatencies:
+    """Satellite 4: ``verify_schedule`` checks non-unit latencies and
+    reports violations instead of waving them through."""
+
+    def latency_code(self):
+        def blocks(fb):
+            b = fb.block("entry")
+            a, c, d = fb.regs(3)
+            b.li(a, 5)
+            b.mul(c, a, a)
+            b.add(d, c, a)  # needs mul's 3-cycle result
+            b.print_(d)
+            b.ret()
+            return ["entry"]
+
+        return build_code(blocks)
+
+    def test_legal_schedule_is_clean(self):
+        code = self.latency_code()
+        schedule = schedule_superblock(code, REALISTIC_MACHINE)
+        assert verify_schedule(schedule) == []
+        mul = next(
+            op for op in schedule.ops if op.instr.opcode is Opcode.MUL
+        )
+        add = next(
+            op for op in schedule.ops if op.instr.opcode is Opcode.ADD
+        )
+        assert add.cycle - mul.cycle >= REALISTIC_MACHINE.latency(Opcode.MUL)
+
+    def test_latency_violation_is_reported(self):
+        code = self.latency_code()
+        schedule = schedule_superblock(code, REALISTIC_MACHINE)
+        add = next(
+            op for op in schedule.ops if op.instr.opcode is Opcode.ADD
+        )
+        mul = next(
+            op for op in schedule.ops if op.instr.opcode is Opcode.MUL
+        )
+        # Tamper: pull the consumer up to one cycle after the multiply,
+        # inside its 3-cycle result latency.
+        schedule.bundles[add.cycle].remove(add)
+        add.cycle = mul.cycle + 1
+        schedule.bundles[add.cycle].append(add)
+        problems = verify_schedule(schedule)
+        assert any("violated" in p for p in problems)
+
+    def test_width_violation_is_reported(self):
+        code = self.latency_code()
+        narrow = MachineModel(issue_width=1, name="w1")
+        schedule = schedule_superblock(code, narrow)
+        assert verify_schedule(schedule) == []
+        # Cram two ops into one cycle on a 1-wide machine.
+        victim = schedule.bundles[1][0]
+        schedule.bundles[1].remove(victim)
+        victim.cycle = 0
+        schedule.bundles[0].append(victim)
+        problems = verify_schedule(schedule)
+        assert any("ops issued" in p or "violated" in p for p in problems)
