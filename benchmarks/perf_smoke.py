@@ -652,6 +652,58 @@ def scheduler_quality(scale, max_ops=48, node_budget=20_000):
     }
 
 
+#: Workloads with inlinable call sites / long uniform loop runs: the
+#: slice where the interprocedural schemes actually fire.
+INTERPROC_NAMES = ["gcc", "eqn", "go"]
+INTERPROC_SCHEMES = ["P4", "P4i", "P4k"]
+
+
+def interproc_formation(scale):
+    """Deterministic interprocedural-formation counters (no wall clock).
+
+    Runs the P4/P4i/P4k comparison over the hot slice with a metrics sink
+    attached and reports the ``inline.*`` / ``kiter.*`` counter families
+    plus the cycle fraction the best interprocedural scheme saves over
+    P4.  All values are deterministic, so the bench tripwire can hold
+    them to the committed baseline: the inliner silently matching zero
+    sites (or the k-iteration profiler observing zero paths) reads as a
+    regression, not noise.
+    """
+    sink = MetricsSink()
+    results = run_suite(
+        INTERPROC_SCHEMES, INTERPROC_NAMES, scale=scale, metrics=sink
+    )
+    base = sum(
+        results[(name, "P4")].result.cycles for name in INTERPROC_NAMES
+    )
+    best = sum(
+        min(
+            results[(name, sname)].result.cycles
+            for sname in INTERPROC_SCHEMES
+        )
+        for name in INTERPROC_NAMES
+    )
+    counters = sink.counters
+    saved = (base - best) / base if base else 0.0
+    print(
+        f"  interproc        {counters.get('inline.sites_inlined', 0)} sites"
+        f" inlined, {counters.get('kiter.paths_observed', 0):,} k-iter paths,"
+        f" {saved:.2%} cycles saved"
+    )
+    return {
+        "workloads": INTERPROC_NAMES,
+        "schemes": INTERPROC_SCHEMES,
+        "sites_inlined": counters.get("inline.sites_inlined", 0),
+        "procs_inlined": counters.get("inline.procs_inlined", 0),
+        "instructions_added": counters.get("inline.instructions_added", 0),
+        "procs_pruned": counters.get("inline.procs_pruned", 0),
+        "kiter_paths_observed": counters.get("kiter.paths_observed", 0),
+        "kiter_loops_profiled": counters.get("kiter.loops_profiled", 0),
+        "weighted_cycles": {"P4": base, "best_interproc": best},
+        "cycles_saved_fraction": round(saved, 4),
+    }
+
+
 def interpreter_throughput(scale, rounds=5):
     """Dynamic instructions per second through the interpreter (best of
     ``rounds``; the warm-up run pays JIT codegen and decode caching)."""
@@ -719,6 +771,7 @@ def main(argv=None) -> int:
     warmup_report = worker_warmup()
     service_report = service_benchmarks(args.scale)
     scheduler_report = scheduler_quality(args.scale)
+    interproc_report = interproc_formation(args.scale)
     metrics_sink, metrics_report = metrics_overhead(args.scale)
     if args.metrics_out:
         lines = metrics_sink.write_jsonl(args.metrics_out)
@@ -757,6 +810,7 @@ def main(argv=None) -> int:
         "worker_warmup": warmup_report,
         "service": service_report,
         "scheduler": scheduler_report,
+        "interproc": interproc_report,
         "metrics": metrics_report,
         "interpreter": {
             "workload": "eqn",

@@ -156,7 +156,7 @@ def main(argv=None) -> int:
         "--schemes",
         nargs="+",
         default=["BB", "M4", "P4"],
-        choices=["BB", "M4", "M16", "P4", "P4e"],
+        choices=["BB", "M4", "M16", "P4", "P4e", "P4i", "P4k"],
         help="formation schemes to compare",
     )
     run_parser.add_argument(
@@ -187,7 +187,7 @@ def main(argv=None) -> int:
     explain_parser.add_argument(
         "--scheme",
         default="P4",
-        choices=["BB", "M4", "M16", "P4", "P4e"],
+        choices=["BB", "M4", "M16", "P4", "P4e", "P4i", "P4k"],
         help="formation scheme to explain",
     )
     explain_parser.add_argument(
@@ -217,7 +217,7 @@ def main(argv=None) -> int:
         "--schemes",
         nargs=2,
         default=["M4", "P4"],
-        choices=["BB", "M4", "M16", "P4", "P4e"],
+        choices=["BB", "M4", "M16", "P4", "P4e", "P4i", "P4k"],
         help="the two schemes to compare",
     )
     diff_parser.add_argument(

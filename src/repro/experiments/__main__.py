@@ -55,8 +55,10 @@ from . import (
     format_figure5,
     format_figure6,
     format_figure7,
+    format_interproc,
     format_missrates,
     format_table1,
+    interproc,
     missrates,
     table1,
 )
@@ -128,6 +130,18 @@ EXPERIMENTS = {
     "missrates": lambda scale, verbose, jobs, cache, traces, metrics: (
         format_missrates(
             missrates(
+                scale=scale,
+                verbose=verbose,
+                jobs=jobs,
+                cache=cache,
+                trace_cache=traces,
+                metrics=metrics,
+            )
+        )
+    ),
+    "interproc": lambda scale, verbose, jobs, cache, traces, metrics: (
+        format_interproc(
+            interproc(
                 scale=scale,
                 verbose=verbose,
                 jobs=jobs,
@@ -247,7 +261,8 @@ def main(argv=None) -> int:
         "--schemes",
         default=None,
         help="comma-separated scheme names for validate/fuzz (defaults:"
-        " all five for validate, BB,M4,P4 for fuzz)",
+        " all seven — BB,M4,M16,P4,P4e,P4i,P4k — for validate, BB,M4,P4"
+        " for fuzz)",
     )
     parser.add_argument(
         "--seeds",
@@ -570,9 +585,13 @@ def main(argv=None) -> int:
     if args.experiment == "all":
         # "all" is the canonical paper-regeneration artifact; its output is
         # kept stable so engine changes can be diffed against it.  The
-        # depth-sweep demo is newer than that baseline and must be asked
-        # for by name.
-        names = sorted(name for name in EXPERIMENTS if name != "depthsweep")
+        # depth-sweep demo and the interprocedural study are newer than
+        # that baseline and must be asked for by name.
+        names = sorted(
+            name
+            for name in EXPERIMENTS
+            if name not in ("depthsweep", "interproc")
+        )
     else:
         names = [args.experiment]
     metrics = None

@@ -234,9 +234,20 @@ def run_suite(
                 bundle = cache.get(
                     profile_key(program, train, DEFAULT_DEPTH)
                 )
+                # k-iteration schemes consume the recorded trace itself
+                # (its cache key is depth- and k-independent), so probe it
+                # even when the profile bundle hit.
+                wants_trace = any(
+                    configs[sname].kiter is not None
+                    for sname in pending[wname]
+                )
                 if bundle is not None:
                     profiles_by[wname] = bundle
                     cached_profiles.add(wname)
+                    if trace_cache and wants_trace:
+                        traced = cache.get(trace_key(program, train))
+                        if traced is not None:
+                            traces_by[wname] = traced
                 elif trace_cache:
                     # A recorded trace replays into the bundle without
                     # re-executing the interpreter; the derived bundle is
@@ -393,6 +404,7 @@ def run_suite(
                             with_icache=with_icache,
                             icache_config=icache_config,
                             profiles=profiles,
+                            traced=traces_by.get(wname),
                             reference=reference,
                             validation=validation,
                             metrics=metrics,

@@ -1,0 +1,104 @@
+"""Interprocedural formation study: P4 vs inlining (P4i) vs k-iteration
+unroll hints (P4k).
+
+Not part of ``python -m repro.experiments all`` — that artifact's output
+is kept byte-stable — so this table must be asked for by name::
+
+    python -m repro.experiments interproc --scale 0.25
+
+``P4i`` runs the demand-driven profile-guided inliner ahead of formation
+(hot call chains become single-procedure superblock fodder); ``P4k``
+feeds cross-iteration run lengths from a k-iteration path profile into
+the unified enlarger, letting hinted loops unroll past the flat
+profile's depth.  Both reduce to plain P4 on workloads without inlinable
+sites / long uniform loop runs, so the interesting rows are the deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..workloads import SUITE_ORDER
+from .cache import ExperimentCache
+from .harness import run_suite
+from .render import format_table
+
+#: Schemes compared, in column order; P4 is the baseline.
+INTERPROC_SCHEMES = ("P4", "P4i", "P4k")
+
+
+@dataclass
+class InterprocRow:
+    """One workload's cycle counts under each interprocedural scheme."""
+
+    name: str
+    cycles: List[int]  # aligned with INTERPROC_SCHEMES
+
+    @property
+    def baseline(self) -> int:
+        return self.cycles[0]
+
+    @property
+    def best(self) -> int:
+        return min(self.cycles)
+
+
+def interproc(
+    scale: float = 1.0,
+    workload_names: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+    jobs: int = 1,
+    cache: Optional[ExperimentCache] = None,
+    trace_cache: bool = True,
+    metrics=None,
+) -> List[InterprocRow]:
+    """Simulated cycles for P4/P4i/P4k on every workload."""
+    names = list(workload_names) if workload_names else list(SUITE_ORDER)
+    results = run_suite(
+        list(INTERPROC_SCHEMES),
+        names,
+        scale=scale,
+        verbose=verbose,
+        jobs=jobs,
+        cache=cache,
+        trace_cache=trace_cache,
+        metrics=metrics,
+    )
+    return [
+        InterprocRow(
+            name=name,
+            cycles=[
+                results[(name, sname)].result.cycles
+                for sname in INTERPROC_SCHEMES
+            ],
+        )
+        for name in names
+    ]
+
+
+def format_interproc(rows: List[InterprocRow]) -> str:
+    """Render the comparison with a per-row best-delta column and a
+    weighted (total-cycle) summary row."""
+    body = []
+    totals = [0] * len(INTERPROC_SCHEMES)
+    for row in rows:
+        for i, cycles in enumerate(row.cycles):
+            totals[i] += cycles
+        delta = (row.baseline - row.best) / row.baseline * 100.0
+        body.append(
+            (row.name, *row.cycles, f"{delta:+.2f}%" if delta else "-")
+        )
+    best_total = min(totals)
+    total_delta = (totals[0] - best_total) / totals[0] * 100.0
+    body.append(
+        ("TOTAL", *totals, f"{total_delta:+.2f}%" if total_delta else "-")
+    )
+    return format_table(
+        ["benchmark", *INTERPROC_SCHEMES, "best vs P4"],
+        body,
+        title=(
+            "Interprocedural formation: simulated cycles"
+            " (P4i = profile-guided inlining, P4k = k-iteration unrolling)"
+        ),
+    )

@@ -27,6 +27,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..formation import scheme
 from ..interp.interpreter import ExecutionResult, run_program
 from ..jit import JIT_STATS, record_jit_metrics
 from ..metrics import MetricsSink, timed
@@ -189,10 +190,16 @@ def _scheme_task(
     with_metrics: bool = False,
     with_tracer: bool = False,
     sched=None,
+    traced: Optional[TracedRun] = None,
 ) -> Tuple[
     Tuple[str, str], SchemeOutcome, Optional[MetricsSink], Optional[Tracer]
 ]:
-    """Stage 2: the full pipeline for one (workload, scheme) pair."""
+    """Stage 2: the full pipeline for one (workload, scheme) pair.
+
+    ``traced`` ships the recorded training trace to schemes that replay it
+    (k-iteration profiling); other schemes never pay its pickling cost —
+    the caller only passes it where the scheme config asks for it.
+    """
     sink = MetricsSink() if with_metrics else None
     tracer = Tracer() if with_tracer else None
     workload = _workload(wname)
@@ -216,6 +223,7 @@ def _scheme_task(
             with_icache=with_icache,
             icache_config=icache_config,
             profiles=profiles,
+            traced=traced,
             reference=reference,
             validation=validation,
             metrics=sink,
@@ -274,6 +282,11 @@ def run_pairs_parallel(
             profiles = profiles_by_workload.get(wname)
             reference = references_by_workload.get(wname)
             if profiles is not None and reference is not None:
+                traced = (
+                    traces_by_workload.get(wname)
+                    if traces_by_workload is not None
+                    else None
+                )
                 for sname in schemes:
                     scheme_futures.append(
                         pool.submit(
@@ -290,6 +303,11 @@ def run_pairs_parallel(
                             with_metrics,
                             with_tracer,
                             sched,
+                            # Only trace-replaying schemes pay the trace's
+                            # pickling cost.
+                            traced
+                            if scheme(sname).kiter is not None
+                            else None,
                         )
                     )
             else:
@@ -337,6 +355,9 @@ def run_pairs_parallel(
                             with_metrics,
                             with_tracer,
                             sched,
+                            traced
+                            if scheme(sname).kiter is not None
+                            else None,
                         )
                     )
 

@@ -27,7 +27,7 @@ from .cache import ExperimentCache
 from .harness import run_suite
 
 #: Every named formation scheme (see :func:`repro.formation.scheme`).
-ALL_SCHEMES = ("BB", "M4", "M16", "P4", "P4e")
+ALL_SCHEMES = ("BB", "M4", "M16", "P4", "P4e", "P4i", "P4k")
 
 
 @dataclass

@@ -18,6 +18,7 @@ from .enlarge_path import (
     enlarge_path,
     is_superblock_loop_path,
 )
+from .inline import InlineConfig, InlineStats, inline_program
 from .pipeline import FormationConfig, form_superblocks, scheme
 from .selection import (
     Trace,
@@ -31,6 +32,8 @@ __all__ = [
     "ClassicEnlargeConfig",
     "FormationConfig",
     "FormationResult",
+    "InlineConfig",
+    "InlineStats",
     "OriginMap",
     "PathEnlargeConfig",
     "Superblock",
@@ -40,6 +43,7 @@ __all__ = [
     "enlarge_path",
     "expected_trip_count",
     "form_superblocks",
+    "inline_program",
     "is_superblock_loop_edge",
     "is_superblock_loop_path",
     "remove_side_entrances",

@@ -70,6 +70,51 @@ def is_superblock_loop_path(
     return best is not None and best[0] == origin.get(head, head)
 
 
+def _hinted_slide(
+    profile: PathProfile,
+    proc: str,
+    trace: List[str],
+    succ_origins: Dict[str, str],
+    unroll_hints: Dict[str, int],
+) -> Optional[tuple]:
+    """Successor choice past flat-profile depth, under a k-iteration hint.
+
+    The path table stores maximal in-depth windows, so once the growing
+    superblock's suffix reaches full profiling depth every extension
+    ``suffix + (succ,)`` is longer than any recorded key and the flat
+    lookup returns nil.  When the k-iteration profile certifies that the
+    governing loop runs more consecutive iterations than the depth can
+    express, keep growing by *sliding the window*: score each successor
+    by the frequency of the longest recorded window ending in it
+    (``known_suffix(trace + (succ,))``), exactly the evidence a deeper
+    profile would have provided one block later.
+
+    The governing head is the most recent hinted loop head in the trace;
+    its absorption allowance is its hint, counted as occurrences of the
+    head origin in the trace (copies included — unlike the flat
+    ``max_loop_heads`` rule, unrolled re-entries must count).  Returns
+    ``(successor_origin, window_frequency)`` or None to stop.
+    """
+    governing = None
+    for label in reversed(trace):
+        if label in unroll_hints:
+            governing = label
+            break
+    if governing is None:
+        return None
+    if trace.count(governing) >= unroll_hints[governing]:
+        return None
+    best = None
+    for succ_origin in succ_origins:
+        window = profile.known_suffix(proc, tuple(trace) + (succ_origin,))
+        if len(window) < 2 or window[-1] != succ_origin:
+            continue
+        freq = profile.freq(proc, window)
+        if freq > 0 and (best is None or freq > best[1]):
+            best = (succ_origin, freq)
+    return best
+
+
 def enlarge_path(
     proc: Procedure,
     superblocks: List[List[str]],
@@ -78,6 +123,7 @@ def enlarge_path(
     config: Optional[PathEnlargeConfig] = None,
     loop_heads: Optional[Set[str]] = None,
     tracer=None,
+    unroll_hints: Optional[Dict[str, int]] = None,
 ) -> Dict[str, str]:
     """Enlarge every qualifying superblock of ``proc`` in place.
 
@@ -86,12 +132,20 @@ def enlarge_path(
     other superblocks must be repaired afterwards with
     :func:`repro.formation.duplication.remove_side_entrances`.
 
+    ``unroll_hints`` maps loop-head *origin* labels to k-iteration unroll
+    recommendations (see :mod:`repro.profiling.kiter`): a hinted head may
+    be absorbed up to its hint many times even past the flat
+    ``max_loop_heads`` cap, so cross-iteration evidence of long uniform
+    runs unrolls that loop deeper.  Without hints (or with hints at or
+    below the cap) growth is identical to the paper's P4 rule.
+
     With a tracer, the completion-ratio gate and every grow/stop step is
     recorded as an ``enlarge`` decision: the chosen path successor with
     its exact path frequency, the rejected alternatives, and the
     stopping rule that ended growth.
     """
     config = config or PathEnlargeConfig()
+    unroll_hints = unroll_hints or {}
     applied: Dict[str, str] = {}
     heads: Dict[str, List[str]] = {sb[0]: sb for sb in superblocks}
     if loop_heads is None:
@@ -141,6 +195,7 @@ def enlarge_path(
             continue
         self_is_loop = head in loop_heads
         absorbed_loops = 0
+        absorbed_by_head: Dict[str, int] = {}
         while True:
             if (
                 sum(len(proc.block(label)) for label in sb)
@@ -157,9 +212,16 @@ def enlarge_path(
             best = profile.most_likely_path_successor(
                 proc.name, trace, list(succ_origins)
             )
+            hint_slide = False
             if best is None:
-                _note("stop", "no_observed_path")
-                break
+                if unroll_hints:
+                    best = _hinted_slide(
+                        profile, proc.name, trace, succ_origins, unroll_hints
+                    )
+                    hint_slide = best is not None
+                if best is None:
+                    _note("stop", "no_observed_path")
+                    break
             succ_origin = best[0]
             succ = succ_origins[succ_origin]
             if succ in heads:
@@ -180,8 +242,13 @@ def enlarge_path(
                         )
                         break
                 if succ in loop_heads:
-                    if absorbed_loops >= config.max_loop_heads:
-                        # The "fifth superblock loop head" rule.
+                    if absorbed_loops >= config.max_loop_heads and (
+                        absorbed_by_head.get(succ_origin, 0)
+                        >= unroll_hints.get(succ_origin, 0)
+                    ):
+                        # The "fifth superblock loop head" rule — unless a
+                        # k-iteration hint grants this head a deeper
+                        # unroll allowance.
                         _note(
                             "stop",
                             "max_loop_heads",
@@ -190,6 +257,9 @@ def enlarge_path(
                         )
                         break
                     absorbed_loops += 1
+                    absorbed_by_head[succ_origin] = (
+                        absorbed_by_head.get(succ_origin, 0) + 1
+                    )
                 # Non-loop heads are passed through: this is how the unified
                 # mechanism performs branch target expansion and how the
                 # Path1/Path2 unrollings of Figure 3 absorb the secondary
@@ -206,6 +276,7 @@ def enlarge_path(
                     freq=best[1],
                     is_loop_head=succ in loop_heads,
                     absorbed_loops=absorbed_loops,
+                    via="kiter_slide" if hint_slide else "path",
                     alternatives=sorted(
                         (
                             [label, freq]

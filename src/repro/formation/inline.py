@@ -1,0 +1,308 @@
+"""Demand-driven, profile-guided procedure inlining (pre-formation).
+
+Superblock formation works one procedure at a time, so a hot path that
+crosses a call site is invisible to it: the trace stops at the ``CALL`` and
+the scheduler loses every cross-call compaction opportunity.  Following the
+region-based-optimizer literature, this pass runs *ahead* of formation and
+splices the bodies of hot callees into their callers, turning hot call
+chains into single-procedure superblock fodder:
+
+1. **Rank call sites by edge-profile heat.**  A site's heat is the dynamic
+   execution count of its containing block.  Ranking and tie-breaking are
+   fully deterministic: ``(-count, caller name, block label, instruction
+   index)`` — container order never leaks into the result.
+2. **Inline the hottest site that fits the budget.**  The callee CFG is
+   cloned into the caller under fresh block labels, callee virtual
+   registers are shifted above the caller's register space, parameters
+   become ``MOV``s, and every ``RET`` becomes a ``MOV`` of the return value
+   (or ``LI 0`` for a bare ``ret``, matching the interpreter) plus a jump
+   to the split-off continuation block.
+3. **Repeat on the grown program.**  Calls cloned out of a callee body are
+   themselves candidates in later rounds, so hot chains ``a -> b -> c``
+   flatten end to end, bounded by a per-site depth guard, a recursion
+   guard (a callee never inlines into a clone of itself), and a whole-
+   program code-growth budget.
+
+The transformation is semantics-preserving by construction: the interpreter
+binds parameters by position, returns 0 for a value-less ``ret``, and keeps
+memory/I-O global, all of which the generated ``MOV``/``LI``/``JMP``
+sequence reproduces exactly.  Provenance is re-stamped *after* inlining
+(see ``repro.pipeline.compile_scheme``), so two clones of the same callee
+instruction get distinct ``proc:block:index`` ids — the provenance checker
+keeps resolving every scheduled op to exactly one source instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.cfg import BasicBlock, Procedure, Program
+from ..ir.instructions import Instruction, Opcode, jmp, li, mov
+from ..profiling.edge_profile import EdgeProfile
+
+
+@dataclass(frozen=True)
+class InlineConfig:
+    """Budget and guard knobs for profile-guided inlining."""
+
+    #: Whole-program static growth cap: inlining stops when the program
+    #: would exceed ``original size * max_growth_ratio`` instructions.
+    max_growth_ratio: float = 1.6
+    #: Only callees at most this large (static instructions) are inlined.
+    max_callee_instructions: int = 120
+    #: Sites whose containing block ran fewer times are never inlined.
+    min_site_count: int = 1
+    #: A call site descended from ``max_inline_depth`` nested inlinings is
+    #: left alone (bounds chain flattening).
+    max_inline_depth: int = 3
+    #: Hard cap on inlined sites per program (safety valve).
+    max_sites: int = 32
+    #: Drop procedures that become unreachable from the entry point in the
+    #: call graph after inlining (smaller layouts, no dead formation work).
+    prune_uncalled: bool = True
+
+
+@dataclass
+class InlineStats:
+    """What one :func:`inline_program` run did."""
+
+    sites_considered: int = 0
+    sites_inlined: int = 0
+    #: Distinct callee procedures inlined at least once.
+    procs_inlined: int = 0
+    instructions_added: int = 0
+    procs_pruned: int = 0
+
+
+def _callee_reg_span(callee: Procedure) -> int:
+    """One past the highest virtual register the callee mentions."""
+    hi = callee.max_reg
+    for block in callee.blocks():
+        for instr in block:
+            if instr.dest is not None and instr.dest >= hi:
+                hi = instr.dest + 1
+            for src in instr.srcs:
+                if src >= hi:
+                    hi = src + 1
+    return hi
+
+
+def _inline_site(
+    proc: Procedure,
+    label: str,
+    index: int,
+    callee: Procedure,
+    lineage: Dict[int, Tuple[str, ...]],
+) -> Tuple[str, Dict[str, str]]:
+    """Splice ``callee`` into ``proc`` at the call ``label[index]``.
+
+    Returns ``(continuation label, callee label -> clone label map)``.  The
+    containing block keeps its label (predecessors stay wired); the code
+    after the call moves to a fresh continuation block.
+    """
+    block = proc.block(label)
+    site = block.instructions[index]
+    base = proc.max_reg
+    proc.note_reg(base + _callee_reg_span(callee) - 1)
+
+    label_map = {
+        lbl: proc.fresh_label(f"inl_{callee.name}_") for lbl in callee.labels
+    }
+    cont = BasicBlock(
+        proc.fresh_label(f"inl_{callee.name}_cont_"),
+        block.instructions[index + 1 :],
+    )
+    proc.add_block(cont)
+
+    head = block.instructions[:index]
+    for param, arg in zip(callee.params, site.srcs):
+        head.append(mov(base + param, arg))
+    head.append(jmp(label_map[callee.entry_label]))
+    block.instructions = head
+
+    site_lineage = lineage.get(id(site), ()) + (callee.name,)
+    for lbl in callee.labels:
+        clone = BasicBlock(label_map[lbl])
+        for instr in callee.block(lbl):
+            if instr.opcode is Opcode.RET:
+                if site.dest is not None:
+                    if instr.srcs:
+                        clone.instructions.append(
+                            mov(site.dest, base + instr.srcs[0])
+                        )
+                    else:
+                        # A value-less return yields 0 in the interpreter.
+                        clone.instructions.append(li(site.dest, 0))
+                clone.instructions.append(jmp(cont.label))
+                continue
+            copied = instr.copy()
+            if copied.dest is not None:
+                copied.dest += base
+            copied.srcs = tuple(src + base for src in copied.srcs)
+            if copied.targets:
+                copied.targets = tuple(
+                    label_map[t] for t in copied.targets
+                )
+            if copied.opcode is Opcode.CALL:
+                lineage[id(copied)] = site_lineage
+            clone.instructions.append(copied)
+        proc.add_block(clone)
+    return cont.label, label_map
+
+
+def _candidate_sites(
+    program: Program,
+    heat: Dict[str, Dict[str, int]],
+    lineage: Dict[int, Tuple[str, ...]],
+    config: InlineConfig,
+) -> List[Tuple[int, str, str, int, Instruction, Procedure]]:
+    """Every inlinable call site, ranked hottest-first with deterministic
+    tie-breaks ``(-count, caller, block label, index)``."""
+    sites: List[Tuple[int, str, str, int, Instruction, Procedure]] = []
+    for proc in program.procedures():
+        proc_heat = heat.get(proc.name, {})
+        for label in proc.labels:
+            for index, instr in enumerate(proc.block(label)):
+                if instr.opcode is not Opcode.CALL:
+                    continue
+                count = proc_heat.get(label, 0)
+                if count < config.min_site_count:
+                    continue
+                callee_name = instr.callee
+                if callee_name == proc.name:
+                    continue  # direct recursion
+                site_lineage = lineage.get(id(instr), ())
+                if callee_name in site_lineage:
+                    continue  # indirect recursion through an inlined body
+                if len(site_lineage) >= config.max_inline_depth:
+                    continue
+                if not program.has_procedure(callee_name):
+                    continue
+                callee = program.procedure(callee_name)
+                if (
+                    callee.instruction_count()
+                    > config.max_callee_instructions
+                ):
+                    continue
+                sites.append((count, proc.name, label, index, instr, callee))
+    sites.sort(key=lambda s: (-s[0], s[1], s[2], s[3]))
+    return sites
+
+
+def _prune_uncalled(program: Program) -> int:
+    """Drop procedures unreachable from the entry in the call graph."""
+    reachable = {program.entry}
+    work = [program.entry]
+    while work:
+        proc = program.procedure(work.pop())
+        for block in proc.blocks():
+            for instr in block:
+                if (
+                    instr.opcode is Opcode.CALL
+                    and instr.callee not in reachable
+                    and program.has_procedure(instr.callee)
+                ):
+                    reachable.add(instr.callee)
+                    work.append(instr.callee)
+    doomed = [name for name in program.names if name not in reachable]
+    for name in doomed:
+        program.remove(name)
+    return len(doomed)
+
+
+def inline_program(
+    program: Program,
+    edge_profile: EdgeProfile,
+    config: Optional[InlineConfig] = None,
+    tracer=None,
+) -> Tuple[Program, InlineStats]:
+    """Inline hot call sites of ``program``, hottest first, under budget.
+
+    The input program is never modified; the returned program is a
+    transformed copy (the very same object as a fresh ``program.copy()``
+    when nothing qualified, so callers can test ``stats.sites_inlined`` to
+    skip re-profiling).  ``edge_profile`` must describe a training run of
+    ``program`` — its block counts rank the sites, and heat is propagated
+    onto cloned blocks by integer scaling (``callee count * site count //
+    callee entries``) so chained candidates in later rounds stay
+    comparable without re-profiling.
+
+    With a ``tracer``, every inlined site is recorded as an ``inline``
+    decision (caller, block, index, callee, heat) and the final stop
+    carries its reason, mirroring the enlargers' decision log.
+    """
+    config = config or InlineConfig()
+    stats = InlineStats()
+    work = program.copy()
+    budget = int(work.instruction_count() * config.max_growth_ratio)
+    #: call-instruction id -> chain of callee names it descends from
+    lineage: Dict[int, Tuple[str, ...]] = {}
+    heat: Dict[str, Dict[str, int]] = {
+        proc.name: {
+            label: edge_profile.block_count(proc.name, label)
+            for label in proc.labels
+        }
+        for proc in work.procedures()
+    }
+    inlined_callees = set()
+
+    def _note(action, **fields):
+        if tracer is not None:
+            tracer.decision("inline", action=action, **fields)
+
+    while stats.sites_inlined < config.max_sites:
+        sites = _candidate_sites(work, heat, lineage, config)
+        if not sites:
+            _note("stop", reason="no_candidates")
+            break
+        stats.sites_considered += len(sites)
+        chosen = None
+        for count, caller_name, label, index, instr, callee in sites:
+            if (
+                work.instruction_count() + callee.instruction_count() + 2
+                <= budget
+            ):
+                chosen = (count, caller_name, label, index, instr, callee)
+                break
+        if chosen is None:
+            _note("stop", reason="growth_budget", budget=budget)
+            break
+        count, caller_name, label, index, instr, callee = chosen
+        caller = work.procedure(caller_name)
+        before = caller.instruction_count()
+        cont_label, label_map = _inline_site(
+            caller, label, index, callee, lineage
+        )
+        # Propagate heat so later rounds rank chained candidates: the
+        # continuation runs as often as the call completed, and each cloned
+        # callee block inherits its share of the callee's profile scaled to
+        # this site (integer math keeps the ranking deterministic).
+        caller_heat = heat[caller_name]
+        caller_heat[cont_label] = count
+        entries = max(1, edge_profile.entry_count(callee.name))
+        for lbl, clone_lbl in label_map.items():
+            caller_heat[clone_lbl] = (
+                edge_profile.block_count(callee.name, lbl) * count // entries
+            )
+        stats.sites_inlined += 1
+        inlined_callees.add(callee.name)
+        stats.instructions_added += caller.instruction_count() - before
+        _note(
+            "inline",
+            caller=caller_name,
+            block=label,
+            index=index,
+            callee=callee.name,
+            count=count,
+            grown_to=work.instruction_count(),
+        )
+    else:
+        _note("stop", reason="max_sites", max_sites=config.max_sites)
+
+    stats.procs_inlined = len(inlined_callees)
+    if stats.sites_inlined and config.prune_uncalled:
+        stats.procs_pruned = _prune_uncalled(work)
+        if stats.procs_pruned:
+            _note("prune", procs=stats.procs_pruned)
+    return work, stats

@@ -16,6 +16,10 @@ Schemes (Section 4):
 ``P4``     path-profile selection + unified path enlargement, up to 4
            superblock-loop heads (Section 2.2)
 ``P4e``    P4, but non-loop superblocks stop at the first head (Figure 5)
+``P4i``    P4 after demand-driven profile-guided inlining (hot call
+           chains become single-procedure superblock fodder)
+``P4k``    P4 with k-iteration path profiles feeding per-loop unroll
+           hints into the unified enlarger
 =========  ==============================================================
 """
 
@@ -38,6 +42,8 @@ from .enlarge_path import (
     enlarge_path,
     is_superblock_loop_path,
 )
+from .inline import InlineConfig
+from ..profiling.kiter import KIterConfig, KIterProfile
 from .selection import (
     select_traces_basic_block,
     select_traces_mutual_most_likely,
@@ -59,6 +65,12 @@ class FormationConfig:
     enlarge: bool = True
     classic: ClassicEnlargeConfig = field(default_factory=ClassicEnlargeConfig)
     path: PathEnlargeConfig = field(default_factory=PathEnlargeConfig)
+    #: Profile-guided inlining ahead of formation (``None`` = off; the
+    #: default keeps every pre-existing scheme byte-identical).
+    inline: Optional[InlineConfig] = None
+    #: k-iteration path profiling feeding per-loop unroll hints into the
+    #: unified enlarger (``None`` = off).
+    kiter: Optional[KIterConfig] = None
 
 
 def scheme(name: str, **overrides) -> FormationConfig:
@@ -88,6 +100,18 @@ def scheme(name: str, **overrides) -> FormationConfig:
                 max_loop_heads=4, stop_nonloop_at_first_head=True
             ),
         ),
+        "P4i": FormationConfig(
+            kind="path",
+            name="P4i",
+            path=PathEnlargeConfig(max_loop_heads=4),
+            inline=InlineConfig(),
+        ),
+        "P4k": FormationConfig(
+            kind="path",
+            name="P4k",
+            path=PathEnlargeConfig(max_loop_heads=4),
+            kiter=KIterConfig(k=16),
+        ),
     }
     if name not in presets:
         raise ValueError(f"unknown scheme {name!r}; choose from {sorted(presets)}")
@@ -95,17 +119,48 @@ def scheme(name: str, **overrides) -> FormationConfig:
     if overrides:
         classic_fields = set(ClassicEnlargeConfig.__dataclass_fields__)
         path_fields = set(PathEnlargeConfig.__dataclass_fields__)
+        inline_fields = set(InlineConfig.__dataclass_fields__)
+        kiter_fields = set(KIterConfig.__dataclass_fields__)
         classic_kw = {
             k: v for k, v in overrides.items() if k in classic_fields
         }
         path_kw = {k: v for k, v in overrides.items() if k in path_fields}
-        unknown = set(overrides) - classic_fields - path_fields
+        inline_kw = {
+            k: v for k, v in overrides.items() if k in inline_fields
+        }
+        kiter_kw = {k: v for k, v in overrides.items() if k in kiter_fields}
+        unknown = (
+            set(overrides)
+            - classic_fields
+            - path_fields
+            - inline_fields
+            - kiter_fields
+        )
         if unknown:
             raise ValueError(f"unknown overrides: {sorted(unknown)}")
+        if inline_kw and config.inline is None:
+            raise ValueError(
+                f"scheme {name!r} has no inliner; inline overrides need P4i"
+            )
+        if kiter_kw and config.kiter is None:
+            raise ValueError(
+                f"scheme {name!r} has no k-iteration profiler; overrides"
+                " like k= need P4k"
+            )
         config = replace(
             config,
             classic=replace(config.classic, **classic_kw),
             path=replace(config.path, **path_kw),
+            inline=(
+                replace(config.inline, **inline_kw)
+                if inline_kw
+                else config.inline
+            ),
+            kiter=(
+                replace(config.kiter, **kiter_kw)
+                if kiter_kw
+                else config.kiter
+            ),
         )
     return config
 
@@ -123,6 +178,7 @@ def form_superblocks(
     validation=None,
     metrics=None,
     tracer=None,
+    kiter_profile: Optional[KIterProfile] = None,
 ) -> FormationResult:
     """Run the configured formation scheme over every procedure.
 
@@ -136,6 +192,11 @@ def form_superblocks(
     event per procedure plus superblock and code-growth counters.
     ``tracer`` (a :class:`~repro.trace.Tracer`) records every selection
     and enlargement decision plus a per-procedure formation span.
+    ``kiter_profile`` (a :class:`~repro.profiling.kiter.KIterProfile`)
+    supplies cross-iteration unroll hints to the path enlarger when
+    ``config.kiter`` is set; inlining itself happens *before* this
+    function (see ``repro.pipeline.compile_scheme``), which receives the
+    already-inlined program here.
     """
     if config.kind == "edge" and edge_profile is None:
         raise ValueError("edge-based formation needs an edge profile")
@@ -151,14 +212,15 @@ def form_superblocks(
         with tspan(tracer, "formation.form", proc=proc.name):
             if metrics is None:
                 sbs, loops = _form_procedure(
-                    proc, config, edge_profile, path_profile, origin, tracer
+                    proc, config, edge_profile, path_profile, origin, tracer,
+                    kiter_profile,
                 )
             else:
                 blocks_in, instrs_in = _static_size(proc)
                 with metrics.stage("formation.form", proc=proc.name) as out:
                     sbs, loops = _form_procedure(
                         proc, config, edge_profile, path_profile, origin,
-                        tracer,
+                        tracer, kiter_profile,
                     )
                     blocks_out, instrs_out = _static_size(proc)
                     out["superblocks"] = len(sbs)
@@ -209,6 +271,7 @@ def _form_procedure(
     path_profile: Optional[PathProfile],
     origin: OriginMap,
     tracer=None,
+    kiter_profile: Optional[KIterProfile] = None,
 ):
     """Returns ``(superblock label lists, loop head set)``.
 
@@ -244,9 +307,14 @@ def _form_procedure(
             if is_superblock_loop_path(proc, sb, path_profile, origin)
         }
         if config.enlarge:
+            unroll_hints = None
+            if kiter_profile is not None:
+                unroll_hints = kiter_profile.unroll_hints(
+                    proc.name, config.path.max_loop_heads
+                )
             enlarge_path(
                 proc, sbs, path_profile, origin, config.path, loops,
-                tracer=tracer,
+                tracer=tracer, unroll_hints=unroll_hints,
             )
         sbs = remove_side_entrances(proc, sbs, origin, tracer)
         return sbs, loops

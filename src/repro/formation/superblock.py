@@ -55,6 +55,11 @@ class FormationResult:
     origin: Dict[str, Dict[str, str]] = field(default_factory=dict)
     #: Name of the scheme that produced this result (e.g. "M4", "P4").
     scheme: str = ""
+    #: The pre-formation program formation actually ran on, when it differs
+    #: from the user's input (profile-guided inlining rewrote it).  This is
+    #: the program provenance ids resolve against; ``None`` means the input
+    #: program itself.
+    source_program: Optional[Program] = None
 
     def origin_of(self, proc: str, label: str) -> str:
         """Original CFG label a (possibly duplicated) block descends from."""

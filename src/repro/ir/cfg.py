@@ -262,6 +262,17 @@ class Program:
         """True when ``name`` is a procedure of this program."""
         return name in self._procedures
 
+    def remove(self, name: str) -> None:
+        """Delete a procedure (callers must have removed every call to it).
+
+        The entry procedure can never be removed.
+        """
+        if name == self.entry:
+            raise IRError(f"cannot remove entry procedure {name}")
+        if name not in self._procedures:
+            raise IRError(f"no procedure named {name}")
+        del self._procedures[name]
+
     def procedures(self) -> Iterator[Procedure]:
         """Iterate procedures in insertion order."""
         return iter(self._procedures.values())

@@ -34,6 +34,11 @@ TRIPWIRE_METRICS: Sequence[str] = (
     "service.small_batch.speedup_warm_pool_vs_cold_cli",
     "service.dedup.hit_rate",
     "scheduler.gap_from_optimal",
+    # Deterministic interprocedural-formation counters: the inliner
+    # silently matching zero call sites or the k-iteration profiler
+    # observing zero paths reads as a >25% drop, not machine noise.
+    "interproc.procs_inlined",
+    "interproc.kiter_paths_observed",
 )
 
 #: Lower-is-better tripwire metrics: these fail when the *current* value

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from .formation import FormationConfig, FormationResult, form_superblocks, scheme
+from .formation.inline import inline_program
 from .interp.interpreter import ExecutionResult, run_program
 from .ir.cfg import Program
 from .jit import JIT_STATS, record_jit_metrics
@@ -29,7 +30,9 @@ from .profiling.collector import (
     TracedRun,
     collect_profiles,
     profiles_from_trace,
+    record_trace,
 )
+from .profiling.kiter import kiter_profile_from_trace
 from .scheduling.compactor import CompiledProgram, compact_program
 from .scheduling.machine import MachineModel, PAPER_MACHINE
 from .simulate.icache import ICache, ICacheConfig
@@ -91,11 +94,44 @@ def compile_scheme(
     mutation that never affects execution or output).  ``sched`` is an
     optional :class:`~repro.scheduling.SchedConfig` selecting tuned
     list-scheduler weights and/or software pipelining.
+
+    With ``config.inline`` set (scheme ``P4i``) the program is first run
+    through profile-guided inlining, ranked by the training edge profile;
+    when anything was inlined, the inlined program is re-profiled on the
+    training tape (the frame-major trace encoding deliberately drops
+    cross-call interleaving, so the original trace cannot describe the
+    merged frames), origins are re-stamped on it, and it becomes the
+    provenance source (``formation.source_program``).  With
+    ``config.kiter`` set (scheme ``P4k``) the recorded training trace is
+    replayed — never re-executed — into per-loop k-iteration run-length
+    histograms whose unroll hints feed the path enlarger; a missing trace
+    is recorded here as a fallback.
     """
+    formation_config = config or scheme(scheme_name)
     if tracer is not None:
         assign_origins(program)
     if profiles is None:
         if traced is not None:
+            with tspan(tracer, "profile.replay"):
+                profiles = timed(
+                    metrics,
+                    "profile.replay",
+                    profiles_from_trace,
+                    program,
+                    traced,
+                )
+        elif formation_config.kiter is not None:
+            # The k-iteration profiler needs the trace anyway: record the
+            # training run once and replay it into the bundle.
+            with tspan(tracer, "profile.record"):
+                traced = timed(
+                    metrics,
+                    "profile.record",
+                    record_trace,
+                    program,
+                    input_tape=train_tape,
+                    step_limit=step_limit,
+                )
             with tspan(tracer, "profile.replay"):
                 profiles = timed(
                     metrics,
@@ -114,16 +150,96 @@ def compile_scheme(
                     input_tape=train_tape,
                     step_limit=step_limit,
                 )
-    formation_config = config or scheme(scheme_name)
+    source_program = program
+    source_traced = traced
+    form_profiles = profiles
+    if formation_config.inline is not None:
+        with tspan(tracer, "formation.inline"):
+            inlined, inline_stats = timed(
+                metrics,
+                "formation.inline",
+                inline_program,
+                program,
+                profiles.edge,
+                formation_config.inline,
+                tracer=tracer,
+            )
+        if metrics is not None:
+            metrics.add("inline.sites_inlined", inline_stats.sites_inlined)
+            metrics.add("inline.procs_inlined", inline_stats.procs_inlined)
+            metrics.add(
+                "inline.instructions_added", inline_stats.instructions_added
+            )
+            metrics.add("inline.procs_pruned", inline_stats.procs_pruned)
+        if inline_stats.sites_inlined:
+            source_program = inlined
+            if tracer is not None:
+                assign_origins(source_program)
+            # The inlined program has different frames: re-profile it on
+            # the training tape (one recorded run serves the bundle and,
+            # when combined with kiter, the run-length histograms too).
+            with tspan(tracer, "profile.record"):
+                source_traced = timed(
+                    metrics,
+                    "profile.record",
+                    record_trace,
+                    source_program,
+                    input_tape=train_tape,
+                    step_limit=step_limit,
+                )
+            with tspan(tracer, "profile.replay"):
+                form_profiles = timed(
+                    metrics,
+                    "profile.replay",
+                    profiles_from_trace,
+                    source_program,
+                    source_traced,
+                )
+    kiter_profile = None
+    if formation_config.kiter is not None:
+        if source_traced is None:
+            # Fallback for callers that supplied profiles but no trace
+            # (the harness threads cached traces through to avoid this).
+            with tspan(tracer, "profile.record"):
+                source_traced = timed(
+                    metrics,
+                    "profile.record",
+                    record_trace,
+                    source_program,
+                    input_tape=train_tape,
+                    step_limit=step_limit,
+                )
+        with tspan(tracer, "profile.kiter"):
+            kiter_profile = timed(
+                metrics,
+                "profile.kiter",
+                kiter_profile_from_trace,
+                source_program,
+                source_traced.trace,
+                formation_config.kiter,
+            )
+        if metrics is not None:
+            metrics.add(
+                "kiter.paths_observed", kiter_profile.paths_observed
+            )
+            metrics.add(
+                "kiter.loops_profiled",
+                sum(
+                    len(heads) for heads in kiter_profile.runs.values()
+                ),
+            )
     formation = form_superblocks(
-        program,
+        source_program,
         formation_config,
-        edge_profile=profiles.edge,
-        path_profile=profiles.path,
+        edge_profile=form_profiles.edge,
+        path_profile=form_profiles.path,
         validation=validation,
         metrics=metrics,
         tracer=tracer,
+        kiter_profile=kiter_profile,
     )
+    if source_program is not program:
+        formation.source_program = source_program
     compiled = compact_program(
         formation,
         machine=machine,

@@ -22,6 +22,7 @@ from .forward_path import (
     forward_path_profile_from_trace,
     forward_path_profiles_from_trace_multi,
 )
+from .kiter import KIterConfig, KIterProfile, kiter_profile_from_trace
 from .path_profile import (
     DEFAULT_DEPTH,
     GeneralPathProfiler,
@@ -47,6 +48,8 @@ __all__ = [
     "EdgeProfiler",
     "ForwardPathProfiler",
     "GeneralPathProfiler",
+    "KIterConfig",
+    "KIterProfile",
     "MultiObserver",
     "Path",
     "PathProfile",
@@ -61,6 +64,7 @@ __all__ = [
     "forward_path_profiles_from_trace_multi",
     "general_path_profile_from_trace",
     "general_path_profiles_from_trace_multi",
+    "kiter_profile_from_trace",
     "load_profile",
     "path_profile_from_dict",
     "path_profile_to_dict",

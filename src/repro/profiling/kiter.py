@@ -1,0 +1,149 @@
+"""k-iteration path profiling: Ball–Larus runs across loop back edges.
+
+An acyclic (forward) path ends at every back-edge traversal, so a forward
+profile cannot say *how many consecutive iterations* a loop usually runs —
+exactly the number the unified enlarger needs to pick an unroll factor.
+Following the multi-iteration Ball–Larus extension, this profiler
+concatenates up to ``k`` acyclic paths across back-edge traversals of the
+same loop head and histograms the resulting run lengths per loop.
+
+The collector is a pure replay pass over a recorded
+:class:`~repro.interp.trace.ExecutionTrace` — it never re-executes the
+interpreter, and the trace cache key is independent of ``k``, so one cached
+training trace serves every ``k`` (see ``repro.experiments.cache``).
+
+A *run* of loop ``h`` is one visit to the loop: it starts when ``h`` is
+entered along a forward edge (length 1) and grows by one per back-edge
+traversal into ``h``; it flushes when ``h`` is next entered fresh or when
+the frame ends.  Lengths are capped at ``k`` in the histogram — beyond the
+concatenation window the profiler, like the paper's, cannot distinguish
+longer runs.  From the histogram, :meth:`KIterProfile.recommended_unroll`
+answers "what is the largest unroll factor that at least ``min_fraction``
+of the observed runs would fill?", which
+:func:`~repro.formation.enlarge_path.enlarge_path` uses to let a hot loop
+head absorb more copies of itself than the flat ``max_loop_heads`` cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..interp.trace import ExecutionTrace
+from ..ir.cfg import Program
+from .forward_path import _int_reset_edges
+
+
+@dataclass(frozen=True)
+class KIterConfig:
+    """Knobs for k-iteration path profiling."""
+
+    #: Concatenation window: runs are histogrammed up to this many
+    #: iterations (the paper's ``k``).
+    k: int = 8
+    #: An unroll factor is recommended only when at least this fraction of
+    #: the observed runs reaches it.
+    min_fraction: float = 0.5
+    #: Loops observed fewer times than this keep the default behaviour.
+    min_runs: int = 4
+
+
+@dataclass
+class KIterProfile:
+    """Per-loop-head run-length histograms from one training trace."""
+
+    config: KIterConfig
+    #: proc name -> loop head label -> run length (capped at k) -> count
+    runs: Dict[str, Dict[str, Dict[int, int]]] = field(default_factory=dict)
+    #: Total acyclic paths concatenated (dynamic iterations observed).
+    paths_observed: int = 0
+
+    def loop_heads(self, proc: str) -> Tuple[str, ...]:
+        """Loop heads of ``proc`` with at least one observed run, sorted."""
+        return tuple(sorted(self.runs.get(proc, {})))
+
+    def total_runs(self, proc: str, head: str) -> int:
+        """Number of loop visits observed for ``head``."""
+        return sum(self.runs.get(proc, {}).get(head, {}).values())
+
+    def survivors(self, proc: str, head: str, length: int) -> int:
+        """Observed runs of at least ``length`` iterations."""
+        hist = self.runs.get(proc, {}).get(head, {})
+        return sum(c for run, c in hist.items() if run >= length)
+
+    def recommended_unroll(self, proc: str, head: str, default: int) -> int:
+        """Largest unroll factor in ``[default, k]`` that at least
+        ``min_fraction`` of the observed runs would fill; ``default`` when
+        the loop was too rarely observed or short-running."""
+        total = self.total_runs(proc, head)
+        if total < self.config.min_runs:
+            return default
+        best = default
+        for length in range(default + 1, self.config.k + 1):
+            if (
+                self.survivors(proc, head, length) / total
+                >= self.config.min_fraction
+            ):
+                best = length
+            else:
+                break
+        return best
+
+    def unroll_hints(self, proc: str, default: int) -> Dict[str, int]:
+        """Loop heads of ``proc`` whose recommendation beats ``default``."""
+        hints: Dict[str, int] = {}
+        for head in self.loop_heads(proc):
+            rec = self.recommended_unroll(proc, head, default)
+            if rec > default:
+                hints[head] = rec
+        return hints
+
+
+def kiter_profile_from_trace(
+    program: Program,
+    trace: ExecutionTrace,
+    config: KIterConfig,
+) -> KIterProfile:
+    """Replay a recorded trace into a :class:`KIterProfile`.
+
+    Pure batch pass: one walk over each frame's block-id buffer, using the
+    same interned back-edge sets as the forward profiler.  No interpreter
+    execution, no dependence on the path-profile depth.
+    """
+    if config.k < 1:
+        raise ValueError("k-iteration window must be >= 1")
+    profile = KIterProfile(config=config)
+    reset_edges = _int_reset_edges(program, trace)
+    # Per procedure index: interned ids of loop heads (back-edge targets).
+    head_ids = [{dst for _, dst in backs} for backs in reset_edges]
+    cap = config.k
+    for pidx, buf in trace.frames:
+        heads = head_ids[pidx]
+        if not heads:
+            continue
+        backs = reset_edges[pidx]
+        table = trace.labels[pidx]
+        proc_runs = profile.runs.setdefault(trace.proc_names[pidx], {})
+        active: Dict[int, int] = {}
+        prev = -1
+        for lid in buf:
+            if lid in heads:
+                if (prev, lid) in backs:
+                    # In irreducible shapes a retreating edge can be the
+                    # first arrival at its target; start the run at 0 then.
+                    active[lid] = active.get(lid, 0) + 1
+                    profile.paths_observed += 1
+                else:
+                    run = active.get(lid)
+                    if run is not None:
+                        hist = proc_runs.setdefault(table[lid], {})
+                        capped = run if run < cap else cap
+                        hist[capped] = hist.get(capped, 0) + 1
+                    active[lid] = 1
+                    profile.paths_observed += 1
+            prev = lid
+        for lid, run in active.items():
+            hist = proc_runs.setdefault(table[lid], {})
+            capped = run if run < cap else cap
+            hist[capped] = hist.get(capped, 0) + 1
+    return profile

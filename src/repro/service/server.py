@@ -459,6 +459,22 @@ class ExperimentService:
             profiles, reference, extras = await self._ensure_profile(
                 wname, scale, no_cache, with_metrics, with_tracer
             )
+            traced = None
+            if (
+                scheme_config(sname).kiter is not None
+                and self.cache is not None
+                and not no_cache
+            ):
+                # k-iteration schemes replay the recorded training trace;
+                # _ensure_profile (or an earlier run) persisted it under a
+                # k-independent key.  A miss just means the worker records
+                # its own.
+                workload = workload_map()[wname]
+                traced = self.cache.get(
+                    trace_key(
+                        workload.program(), workload.train_tape(scale)
+                    )
+                )
             pair, outcome, sink, tracer = await loop.run_in_executor(
                 self._pool.executor,
                 functools.partial(
@@ -474,6 +490,7 @@ class ExperimentService:
                     None,
                     with_metrics,
                     with_tracer,
+                    traced=traced,
                 ),
             )
             # One canonical bundle per workload, as in both in-process

@@ -124,7 +124,10 @@ def classify_failure(
                 cycle_limit=CYCLE_LIMIT,
                 tracer=Tracer(),
             )
-            require_provenance(program, outcome.compiled)
+            # Inlining schemes rewrite the pre-formation program; their
+            # ops resolve against that re-stamped source, not the input.
+            source = outcome.formation.source_program or program
+            require_provenance(source, outcome.compiled)
         except Exception as exc:  # noqa: BLE001
             return f"{scheme_name}:{type(exc).__name__}", str(exc)
     return None

@@ -11,8 +11,13 @@ from repro.pipeline import run_scheme
 from repro.validation.genprog import generate_source
 from repro.workloads import get_workload
 
-WORKLOADS = ("alt", "wc")
-SCHEMES = ("BB", "P4")
+# gcc has inlinable call sites, so its P4i run exercises the inliner's
+# site ranking / label cloning under varying hash seeds.
+WORKLOADS = (
+    ("alt", ("BB", "P4")),
+    ("wc", ("BB", "P4")),
+    ("gcc", ("P4i", "P4k")),
+)
 SCALE = 0.25
 
 
@@ -20,12 +25,12 @@ def main() -> None:
     for seed in (0, 1, 2):
         print(f"=== genprog seed {seed} ===")
         print(generate_source(seed), end="")
-    for name in WORKLOADS:
+    for name, schemes in WORKLOADS:
         workload = get_workload(name)
         program = workload.fresh_program()
         train = workload.train_tape(SCALE)
         test = workload.test_tape(SCALE)
-        for scheme in SCHEMES:
+        for scheme in schemes:
             outcome = run_scheme(program, scheme, train, test)
             result = outcome.result
             print(

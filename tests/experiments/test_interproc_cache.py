@@ -1,0 +1,144 @@
+"""Cache correctness for the interprocedural schemes (P4i/P4k).
+
+Three properties: editing the inliner or the k-iteration profiler
+invalidates exactly the digests that depend on them; the trace key is
+independent of ``k`` (one cached training trace serves every window);
+and changing ``k`` therefore re-forms without re-executing the training
+run.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+import repro.pipeline as pipeline_mod
+from repro.experiments import cache as cache_mod
+from repro.experiments.cache import (
+    COMPILER_SOURCES,
+    INTERP_SOURCES,
+    PROFILE_SOURCES,
+    outcome_key,
+    source_digest,
+    trace_key,
+)
+from repro.formation import scheme
+from repro.pipeline import run_scheme
+from repro.profiling import collect_profiles, record_trace
+from repro.scheduling.machine import PAPER_MACHINE
+
+from tests.support import alternating_branch_trace, diamond_program
+
+REPRO_ROOT = Path(cache_mod.__file__).resolve().parent.parent
+
+
+def _copy_tree(tmp_path):
+    root = tmp_path / "repro"
+    shutil.copytree(REPRO_ROOT, root)
+    return root
+
+
+def _digests(root):
+    return {
+        parts: source_digest(parts, root=root)
+        for parts in (COMPILER_SOURCES, PROFILE_SOURCES, INTERP_SOURCES)
+    }
+
+
+class TestNewModulesInDigests:
+    def test_editing_inliner_invalidates_outcomes_only(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        before = _digests(root)
+        target = root / "formation" / "inline.py"
+        target.write_text(target.read_text() + "\n# tweak\n")
+        cache_mod._SOURCE_DIGESTS.clear()
+        after = _digests(root)
+        assert after[COMPILER_SOURCES] != before[COMPILER_SOURCES]
+        assert after[PROFILE_SOURCES] == before[PROFILE_SOURCES]
+        assert after[INTERP_SOURCES] == before[INTERP_SOURCES]
+        cache_mod._SOURCE_DIGESTS.clear()
+
+    def test_editing_kiter_invalidates_profiles_too(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        before = _digests(root)
+        target = root / "profiling" / "kiter.py"
+        target.write_text(target.read_text() + "\n# tweak\n")
+        cache_mod._SOURCE_DIGESTS.clear()
+        after = _digests(root)
+        assert after[COMPILER_SOURCES] != before[COMPILER_SOURCES]
+        assert after[PROFILE_SOURCES] != before[PROFILE_SOURCES]
+        assert after[INTERP_SOURCES] == before[INTERP_SOURCES]
+        cache_mod._SOURCE_DIGESTS.clear()
+
+
+class TestKIndependentTraceKey:
+    def test_trace_key_same_outcome_key_differs_across_k(self):
+        program = diamond_program()
+        train, test = (1, 2, -1), (3, 4, -1)
+        keys = {}
+        for k in (4, 16):
+            config = scheme("P4k", k=k)
+            keys[k] = outcome_key(
+                program, config, train, test, PAPER_MACHINE, False, None
+            )
+        assert keys[4] != keys[16]
+        # The trace is profiler-input, not profiler-output: same key
+        # whatever window the k-iteration pass will replay it at.
+        assert trace_key(program, train) == trace_key(program, train)
+
+    def test_inline_and_kiter_configs_change_outcome_key(self):
+        program = diamond_program()
+        train, test = (1, 2, -1), (3, 4, -1)
+        names = ("P4", "P4i", "P4k")
+        keys = {
+            name: outcome_key(
+                program, scheme(name), train, test, PAPER_MACHINE, False, None
+            )
+            for name in names
+        }
+        assert len(set(keys.values())) == len(names)
+
+
+class TestChangingKDoesNotReexecute:
+    def test_p4k_reforms_from_cached_trace(self, monkeypatch):
+        """With a recorded training run supplied, varying ``k`` must never
+        re-enter the interpreter for training."""
+        program = diamond_program()
+        tape = alternating_branch_trace(24)
+        traced = record_trace(program, input_tape=tape)
+        profiles = collect_profiles(program, input_tape=tape)
+
+        def boom(*args, **kwargs):
+            raise AssertionError(
+                "training re-executed despite cached trace/profiles"
+            )
+
+        monkeypatch.setattr(pipeline_mod, "record_trace", boom)
+        monkeypatch.setattr(pipeline_mod, "collect_profiles", boom)
+        cycles = {}
+        for k in (2, 8, 16):
+            outcome = run_scheme(
+                program,
+                "P4k",
+                tape,
+                tape,
+                config=scheme("P4k", k=k),
+                profiles=profiles,
+                traced=traced,
+            )
+            cycles[k] = outcome.result.cycles
+        assert all(isinstance(c, int) and c > 0 for c in cycles.values())
+
+    def test_p4_never_needs_the_trace(self, monkeypatch):
+        program = diamond_program()
+        tape = alternating_branch_trace(24)
+        profiles = collect_profiles(program, input_tape=tape)
+        monkeypatch.setattr(
+            pipeline_mod,
+            "record_trace",
+            lambda *a, **kw: pytest.fail("P4 recorded a trace"),
+        )
+        outcome = run_scheme(
+            program, "P4", tape, tape, profiles=profiles
+        )
+        assert outcome.result.cycles > 0

@@ -1,0 +1,188 @@
+"""Profile-guided inliner tests: semantics, provenance, determinism,
+budget/recursion guards, and call-graph pruning."""
+
+from repro.formation import InlineConfig, inline_program, scheme
+from repro.interp import run_program
+from repro.ir import FunctionBuilder, build_program, verify_program
+from repro.pipeline import run_scheme
+from repro.profiling import collect_profiles
+from repro.trace.provenance import require_provenance
+from repro.trace.tracer import Tracer
+
+from tests.support import call_program
+
+TAPE = [6, 10, -1]
+
+#: Tiny fixture programs blow through the default 1.6x growth ratio on
+#: the first splice; give them room so the logic under test is reached.
+ROOMY = InlineConfig(max_growth_ratio=4.0)
+
+
+def two_site_program():
+    """main calls ``square`` from two different blocks (same callee twice)."""
+    sq = FunctionBuilder("square", num_params=1)
+    sb = sq.block("entry")
+    (p,) = sq.params
+    r = sq.reg()
+    sb.mul(r, p, p)
+    sb.ret(r)
+
+    fb = FunctionBuilder("main")
+    entry = fb.block("entry")
+    second = fb.block("second")
+    a = fb.reg()
+    b = fb.reg()
+    s1 = fb.reg()
+    s2 = fb.reg()
+    t = fb.reg()
+    entry.read(a)
+    entry.call("square", [a], dest=s1)
+    entry.print_(s1)
+    entry.jmp("second")
+    second.read(b)
+    second.call("square", [b], dest=s2)
+    second.add(t, s1, s2)
+    second.print_(t)
+    second.ret(t)
+    return build_program(fb, sq)
+
+
+def recursive_program():
+    """main calls ``fact``, which calls itself (direct recursion)."""
+    fa = FunctionBuilder("fact", num_params=1)
+    entry = fa.block("entry")
+    base = fa.block("base")
+    rec = fa.block("rec")
+    (n,) = fa.params
+    one = fa.reg()
+    t = fa.reg()
+    m = fa.reg()
+    sub = fa.reg()
+    entry.li(one, 1)
+    entry.cmplt(t, n, one)
+    entry.br(t, "base", "rec")
+    base.ret(one)
+    rec.sub(sub, n, one)
+    rec.call("fact", [sub], dest=m)
+    rec.mul(m, n, m)
+    rec.ret(m)
+
+    fb = FunctionBuilder("main")
+    b = fb.block("entry")
+    x = fb.reg()
+    r = fb.reg()
+    b.read(x)
+    b.call("fact", [x], dest=r)
+    b.print_(r)
+    b.ret(r)
+    return build_program(fb, fa)
+
+
+def inline_with_profile(program, tape, config=None, tracer=None):
+    bundle = collect_profiles(program, input_tape=tape)
+    return inline_program(program, bundle.edge, config, tracer=tracer)
+
+
+class TestInlineSemantics:
+    def test_output_preserved(self):
+        program = call_program()
+        tape = [5]
+        inlined, stats = inline_with_profile(program, tape)
+        assert stats.sites_inlined == 1
+        verify_program(inlined)
+        want = run_program(program, input_tape=tape)
+        got = run_program(inlined, input_tape=tape)
+        assert got.output == want.output
+        assert got.return_value == want.return_value
+
+    def test_two_sites_both_inlined(self):
+        program = two_site_program()
+        inlined, stats = inline_with_profile(program, TAPE, ROOMY)
+        assert stats.sites_inlined == 2
+        assert stats.procs_inlined == 1
+        verify_program(inlined)
+        want = run_program(program, input_tape=TAPE)
+        got = run_program(inlined, input_tape=TAPE)
+        assert got.output == want.output
+
+    def test_recursion_guard(self):
+        program = recursive_program()
+        tape = [5]
+        inlined, stats = inline_with_profile(program, tape, ROOMY)
+        # main's call to fact inlines once; the cloned self-call must not
+        # keep unrolling the recursion (its lineage contains "fact").
+        assert stats.sites_inlined == 1
+        # fact is still called from the clone, so pruning keeps it.
+        assert "fact" in inlined.names
+        want = run_program(program, input_tape=tape)
+        got = run_program(inlined, input_tape=tape)
+        assert got.output == want.output
+
+    def test_untouched_program_returned_on_no_candidates(self):
+        program = call_program()
+        config = InlineConfig(max_growth_ratio=1.0)
+        inlined, stats = inline_with_profile(program, [5], config)
+        assert stats.sites_inlined == 0
+        assert inlined.instruction_count() == program.instruction_count()
+
+    def test_prune_uncalled(self):
+        program = call_program()
+        inlined, stats = inline_with_profile(program, [5])
+        assert stats.procs_pruned == 1
+        assert list(inlined.names) == ["main"]
+
+
+class TestInlineProvenance:
+    def test_same_callee_two_sites_distinct_ids(self):
+        """Regression: both clones of ``square`` must resolve to their own
+        re-stamped source instructions — one shared id per original callee
+        op would make the provenance check ambiguous."""
+        program = two_site_program()
+        outcome = run_scheme(
+            program,
+            "P4i",
+            TAPE,
+            TAPE,
+            config=scheme("P4i", max_growth_ratio=4.0),
+            tracer=Tracer(),
+        )
+        source = outcome.formation.source_program
+        assert source is not None, "P4i should rewrite the source program"
+        require_provenance(source, outcome.compiled)
+        origins = [
+            instr.origin
+            for proc in source.procedures()
+            for block in proc.blocks()
+            for instr in block
+        ]
+        assert len(origins) == len(set(origins))
+
+    def test_p4i_matches_p4_output(self):
+        program = two_site_program()
+        base = run_scheme(program, "P4", TAPE, TAPE)
+        inl = run_scheme(program, "P4i", TAPE, TAPE)
+        assert inl.result.output == base.result.output
+        assert inl.result.return_value == base.result.return_value
+
+
+class TestInlineDeterminism:
+    def test_tie_break_is_source_order(self):
+        """Equal-heat sites must inline in (caller, block, index) order,
+        never dict/container order."""
+        program = two_site_program()
+        tracer = Tracer()
+        inline_with_profile(program, TAPE, ROOMY, tracer=tracer)
+        inlined_sites = [
+            (d["block"], d["index"])
+            for d in tracer.decisions
+            if d["kind"] == "inline" and d["action"] == "inline"
+        ]
+        assert inlined_sites == sorted(inlined_sites)
+
+    def test_repeat_runs_identical(self):
+        program = two_site_program()
+        first, _ = inline_with_profile(program, TAPE, ROOMY)
+        second, _ = inline_with_profile(program, TAPE, ROOMY)
+        assert [
+            (proc.name, proc.labels) for proc in first.procedures()
+        ] == [(proc.name, proc.labels) for proc in second.procedures()]

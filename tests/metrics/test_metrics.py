@@ -211,11 +211,15 @@ class TestTripwire:
 
         assert 0 < DEFAULT_REGRESSION_THRESHOLD < 1
         for path in TRIPWIRE_METRICS:
-            assert "wall" not in path  # ratios only: machine-independent
+            assert "wall" not in path  # no wall times: machine-independent
             if path in INVERSE_TRIPWIRE_METRICS:
                 # Lower-is-better fractions (e.g. the scheduler's gap
                 # from optimal) are ratios too, just inverted.
                 assert "gap" in path or "rate" in path
+            elif path.startswith("interproc."):
+                # Deterministic formation counters — no timing at all,
+                # so absolute values are machine-independent.
+                assert "inlined" in path or "observed" in path
             else:
                 assert "speedup" in path or "hit_rate" in path
         # Every inverse metric must also be a tripwire metric.

@@ -1,0 +1,97 @@
+"""k-iteration path profiler tests: run-length histograms from replayed
+traces, the unroll recommendation rule, and end-to-end P4k semantics."""
+
+import pytest
+
+from repro.pipeline import run_scheme
+from repro.profiling import KIterConfig, KIterProfile, kiter_profile_from_trace
+from repro.profiling import record_trace
+
+from tests.support import (
+    alternating_branch_trace,
+    diamond_program,
+    figure3_loop_program,
+)
+
+
+def profile_for(program, tape, config=None):
+    traced = record_trace(program, input_tape=tape)
+    return kiter_profile_from_trace(
+        program, traced.trace, config or KIterConfig()
+    )
+
+
+class TestRunHistograms:
+    def test_single_run_length(self):
+        """The diamond loops once per input word: one run of n+1 arrivals."""
+        program = diamond_program()
+        n = 5
+        profile = profile_for(program, alternating_branch_trace(n), KIterConfig(k=16))
+        assert profile.loop_heads("main") == ("A",)
+        assert profile.total_runs("main", "A") == 1
+        # n words loop back n times; the -1 sentinel adds the final arrival.
+        assert profile.runs["main"]["A"] == {n + 1: 1}
+        assert profile.paths_observed == n + 1
+
+    def test_cap_at_k(self):
+        program = diamond_program()
+        config = KIterConfig(k=4)
+        profile = profile_for(program, alternating_branch_trace(12), config)
+        assert profile.runs["main"]["A"] == {4: 1}
+
+    def test_figure3_loop_observed(self):
+        program = figure3_loop_program()
+        profile = profile_for(program, [10, 0], KIterConfig(k=16))
+        heads = profile.loop_heads("main")
+        assert heads, "figure3 loop must register at least one loop head"
+        assert profile.survivors("main", heads[0], 1) >= 1
+
+    def test_invalid_k_rejected(self):
+        program = diamond_program()
+        traced = record_trace(program, input_tape=[-1])
+        with pytest.raises(ValueError):
+            kiter_profile_from_trace(program, traced.trace, KIterConfig(k=0))
+
+
+class TestRecommendation:
+    def make_profile(self, hist, k=8, min_fraction=0.5, min_runs=4):
+        config = KIterConfig(k=k, min_fraction=min_fraction, min_runs=min_runs)
+        return KIterProfile(config=config, runs={"main": {"L": dict(hist)}})
+
+    def test_majority_run_length_wins(self):
+        # 6 of 8 runs reach 6 iterations: recommend 6 over a default of 4.
+        profile = self.make_profile({6: 6, 2: 2})
+        assert profile.recommended_unroll("main", "L", 4) == 6
+
+    def test_default_when_runs_short(self):
+        profile = self.make_profile({2: 10})
+        assert profile.recommended_unroll("main", "L", 4) == 4
+
+    def test_default_when_too_few_runs(self):
+        profile = self.make_profile({8: 2}, min_runs=4)
+        assert profile.recommended_unroll("main", "L", 4) == 4
+
+    def test_fraction_gate(self):
+        # Only 4 of 10 runs reach 6: below the 0.5 survivor fraction.
+        profile = self.make_profile({6: 4, 3: 6})
+        assert profile.recommended_unroll("main", "L", 4) == 4
+
+    def test_hints_only_above_default(self):
+        profile = self.make_profile({8: 8})
+        assert profile.unroll_hints("main", 4) == {"L": 8}
+        assert profile.unroll_hints("main", 8) == {}
+
+    def test_unknown_proc_empty(self):
+        profile = self.make_profile({8: 8})
+        assert profile.loop_heads("other") == ()
+        assert profile.unroll_hints("other", 4) == {}
+
+
+class TestEndToEnd:
+    def test_p4k_output_matches_p4(self):
+        program = diamond_program()
+        tape = alternating_branch_trace(40)
+        base = run_scheme(program, "P4", tape, tape)
+        kit = run_scheme(program, "P4k", tape, tape)
+        assert kit.result.output == base.result.output
+        assert kit.result.return_value == base.result.return_value

@@ -1,0 +1,64 @@
+"""Differential-oracle parity for the interprocedural schemes.
+
+Three layers: the full validate_suite oracle over every workload under
+P4i and P4k; a fuzz campaign with the inliner and k-iteration profiler
+on; and a byte-identity check that the P4i/P4k presets with their
+interprocedural stage disabled collapse to exactly P4.
+"""
+
+import pickle
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.validate import validate_suite
+from repro.formation import scheme
+from repro.pipeline import run_scheme
+from repro.validation.fuzz import run_fuzz
+from repro.workloads import SUITE_ORDER, get_workload
+
+SCALE = 0.25
+
+
+class TestSuiteParity:
+    def test_all_workloads_validate_under_p4i_and_p4k(self):
+        rows = validate_suite(
+            ("P4i", "P4k"), scale=SCALE, cache=None, trace_cache=False
+        )
+        assert len(rows) == len(SUITE_ORDER) * 2
+        bad = [r for r in rows if not r.ok]
+        assert not bad, [f"{r.workload}/{r.scheme}" for r in bad]
+
+
+class TestFuzzParity:
+    def test_fuzz_seeds_clean_with_inliner_on(self):
+        report = run_fuzz(
+            seeds=25, schemes=("P4i", "P4k"), reduce=False
+        )
+        assert report.ok, [
+            (f.seed, f.kind, f.message) for f in report.failures
+        ]
+
+
+class TestDisabledStagesAreP4:
+    @pytest.mark.parametrize("name", ["wc", "gcc", "eqn"])
+    def test_disabled_presets_byte_identical_to_p4(self, name):
+        """P4i with inline=None and P4k with kiter=None must produce the
+        exact P4 schedule — the new config fields are result-transparent
+        when off."""
+        workload = get_workload(name)
+        train = workload.train_tape(SCALE)
+        test = workload.test_tape(SCALE)
+        base = run_scheme(workload.fresh_program(), "P4", train, test)
+        for preset in ("P4i", "P4k"):
+            config = replace(
+                scheme(preset), name="P4", inline=None, kiter=None
+            )
+            got = run_scheme(
+                workload.fresh_program(), "P4", train, test, config=config
+            )
+            assert pickle.dumps(got.compiled) == pickle.dumps(
+                base.compiled
+            ), preset
+            assert got.result.cycles == base.result.cycles
