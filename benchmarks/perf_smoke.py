@@ -735,6 +735,20 @@ def main(argv=None) -> int:
         help="write the metrics-on run's event log to FILE as JSONL"
         " (render with: python -m repro.experiments report FILE)",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="append this run's report to the bench history store"
+        " (the file 'python -m repro.experiments history' reads)",
+    )
+    parser.add_argument(
+        "--history-keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --history, prune the store to the newest N runs",
+    )
     args = parser.parse_args(argv)
 
     print(
@@ -822,8 +836,20 @@ def main(argv=None) -> int:
     }
     if not args.skip_e2e:
         report["experiments_all"] = end_to_end(args.scale)
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    from repro.metrics import atomic_write_text
+
+    atomic_write_text(args.output, json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+    if args.history:
+        from repro.metrics import HistoryStore
+
+        record = HistoryStore(args.history).append(
+            report, source="perf_smoke", keep=args.history_keep
+        )
+        print(
+            f"appended run {record['sha'][:12]} (machine"
+            f" {record['fingerprint_id']}) -> {args.history}"
+        )
     return 0
 
 

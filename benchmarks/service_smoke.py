@@ -62,6 +62,13 @@ def main() -> int:
         default=600.0,
         help="hard budget for the whole smoke, seconds",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="append this smoke's telemetry summary to the bench history"
+        " store (source=service_smoke)",
+    )
     args = parser.parse_args()
     started = time.monotonic()
 
@@ -187,6 +194,42 @@ def main() -> int:
                 )
                 return 1
             log("repeat submit served 100% from the shared cache")
+
+            # --- telemetry: every request span was measured ----------------
+            with ServiceClient(socket_path, timeout=budget()) as client:
+                client.hello()
+                status = client.status()
+            histograms = status.get("histograms") or {}
+            for span in (
+                "service.request.plan",
+                "service.request.stream",
+                "service.request.total",
+                "service.task.compute",
+            ):
+                if histograms.get(span, {}).get("count", 0) < 1:
+                    log(f"FAIL: daemon recorded no {span} samples")
+                    return 1
+            log(
+                "telemetry: request.total p99"
+                f" {histograms['service.request.total']['p99_ms']:.1f} ms"
+                f" over {histograms['service.request.total']['count']}"
+                " request(s)"
+            )
+            if args.history:
+                from repro.metrics import HistoryStore
+
+                report = {
+                    "dedup": {"hit_rate": dedup / total},
+                    "latency": histograms,
+                    "counters": status.get("counters", {}),
+                }
+                record = HistoryStore(args.history).append(
+                    report, source="service_smoke"
+                )
+                log(
+                    f"history: appended run {record['sha'][:12]}"
+                    f" -> {args.history}"
+                )
 
             # --- clean shutdown --------------------------------------------
             with ServiceClient(socket_path, timeout=budget()) as client:

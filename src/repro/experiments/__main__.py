@@ -177,37 +177,33 @@ EXPERIMENTS = {
 
 
 def run_report(args) -> int:
-    """The ``report`` subcommand: render a metrics JSONL file and/or run
-    the bench tripwire against the committed baseline."""
+    """The ``report`` subcommand: render a metrics JSONL file, run the
+    bench tripwire (history noise bands when a history file has enough
+    runs, the committed single-baseline check otherwise), and/or render
+    the static trend dashboard."""
     import json
 
     from ..metrics import (
-        SCHEMA_VERSION,
+        HistoryStore,
         MetricsSink,
         check_bench_regression,
+        check_history,
         format_bench_check,
+        format_history_check,
         format_report,
         summarize,
     )
 
     status = 0
     if args.path:
+        # Unknown (future) schema versions warn once inside read_jsonl.
         sink = MetricsSink.read_jsonl(args.path)
-        if (
-            sink.schema_version is not None
-            and sink.schema_version != SCHEMA_VERSION
-        ):
-            print(
-                f"[report] warning: {args.path} declares schema version"
-                f" {sink.schema_version}, this reader understands"
-                f" {SCHEMA_VERSION}; rendering best-effort",
-                file=sys.stderr,
-            )
         summary = summarize(sink)
         if args.json:
             print(json.dumps(summary, indent=2, sort_keys=True))
         else:
             print(format_report(summary))
+    current = None
     if args.check_bench:
         with open(args.check_bench) as fh:
             current = json.load(fh)
@@ -215,29 +211,226 @@ def run_report(args) -> int:
             baseline = json.load(fh)
         if args.path:
             print()
-        print(
-            format_bench_check(
+        failures = []
+        fallback_metrics = None
+        if args.history:
+            store = HistoryStore(args.history)
+            checks = check_history(current, store)
+            print(format_history_check(checks))
+            failures += [
+                f"{check.metric}: {check.current:.4f} outside history band"
+                f" [{check.low:.4f}, {check.high:.4f}]"
+                f" (median {check.median:.4f} over {check.runs} runs)"
+                for check in checks
+                if check.failed
+            ]
+            # Metrics the history cannot band yet fall back to the legacy
+            # single-baseline +-threshold check below.
+            fallback_metrics = [
+                check.metric
+                for check in checks
+                if check.status == "insufficient"
+            ]
+            print()
+        if fallback_metrics is None:
+            print(
+                format_bench_check(current, baseline, threshold=args.threshold)
+            )
+            failures += check_bench_regression(
                 current, baseline, threshold=args.threshold
             )
-        )
-        failures = check_bench_regression(
-            current, baseline, threshold=args.threshold
-        )
+        elif fallback_metrics:
+            print(
+                format_bench_check(
+                    current,
+                    baseline,
+                    threshold=args.threshold,
+                    metrics=fallback_metrics,
+                )
+            )
+            failures += check_bench_regression(
+                current,
+                baseline,
+                threshold=args.threshold,
+                metrics=fallback_metrics,
+            )
         for failure in failures:
             print(f"[tripwire] {failure}", file=sys.stderr)
         if failures:
             status = 1
-    if not args.path and not args.check_bench:
+    if args.html:
+        if not args.history:
+            print(
+                "report: --html needs --history FILE (the dashboard plots"
+                " the bench history store)",
+                file=sys.stderr,
+            )
+            return 2
+        from ..metrics.dashboard import render_dashboard
+
+        artifacts = {}
+        for label, href in args.link or []:
+            artifacts[label] = href
+        index = render_dashboard(
+            HistoryStore(args.history),
+            args.html,
+            current=current,
+            artifacts=artifacts or None,
+        )
+        print(f"[report] dashboard -> {index}", file=sys.stderr)
+    if not args.path and not args.check_bench and not args.html:
         print(
-            "report: nothing to do (give a METRICS.jsonl path and/or"
-            " --check-bench)",
+            "report: nothing to do (give a METRICS.jsonl path,"
+            " --check-bench, and/or --html)",
             file=sys.stderr,
         )
         status = 2
     return status
 
 
+def run_history(argv) -> int:
+    """The ``history`` verb: append/list/show/check the bench history."""
+    import argparse
+    import json
+
+    from ..metrics import (
+        HistoryStore,
+        check_history,
+        default_history_path,
+        format_history_check,
+        format_history_list,
+        format_history_show,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments history",
+        description="Longitudinal bench history: append perf reports,"
+        " list/show recorded runs, and check a fresh report against"
+        " per-metric median/MAD noise bands.",
+    )
+    parser.add_argument(
+        "action",
+        choices=["append", "list", "show", "check"],
+        help="append REPORT.json; list runs; show --metric M; check"
+        " REPORT.json against the noise bands",
+    )
+    parser.add_argument(
+        "report",
+        nargs="?",
+        default=None,
+        help="append/check: the perf-smoke (or service-smoke) report JSON",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="history JSONL file (default: $REPRO_HISTORY_FILE or"
+        " BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--source",
+        default="perf_smoke",
+        help="record source tag (append) / filter (list/show/check);"
+        " 'all' disables the filter (default perf_smoke)",
+    )
+    parser.add_argument(
+        "--sha",
+        default=None,
+        help="append: git sha to record (default: the checked-out HEAD)",
+    )
+    parser.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="append: prune the history to the newest N records after"
+        " appending (what CI uses to bound the artifact)",
+    )
+    parser.add_argument(
+        "--metric",
+        default=None,
+        help="show: dotted metric path (e.g. jit.speedup_on_vs_off)",
+    )
+    parser.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show: only the newest N runs",
+    )
+    args = parser.parse_args(argv)
+    source = None if args.source == "all" else args.source
+    store = HistoryStore(args.history or default_history_path())
+
+    if args.action == "append":
+        if not args.report:
+            parser.error("append needs a REPORT.json path")
+        with open(args.report) as fh:
+            report = json.load(fh)
+        record = store.append(
+            report, source=args.source, sha=args.sha, keep=args.keep
+        )
+        total = len(store.records())
+        print(
+            f"[history] appended {record['source']} run"
+            f" {record['sha'][:12]} (machine {record['fingerprint_id']})"
+            f" -> {store.path} ({total} record(s))"
+        )
+        return 0
+    if args.action == "list":
+        records = store.records(source=source)
+        if not records:
+            print(f"history: no records in {store.path}")
+            return 0
+        print(format_history_list(records))
+        if store.skipped_lines:
+            print(
+                f"[history] skipped {store.skipped_lines} malformed"
+                " line(s)",
+                file=sys.stderr,
+            )
+        return 0
+    if args.action == "show":
+        if not args.metric:
+            parser.error("show needs --metric")
+        print(
+            format_history_show(
+                store, args.metric, source=source, last=args.last
+            )
+        )
+        return 0
+    # check
+    if not args.report:
+        parser.error("check needs a REPORT.json path")
+    with open(args.report) as fh:
+        current = json.load(fh)
+    checks = check_history(current, store, source=source)
+    print(format_history_check(checks))
+    failures = [check for check in checks if check.failed]
+    insufficient = [
+        check for check in checks if check.status == "insufficient"
+    ]
+    for check in failures:
+        print(
+            f"[tripwire] {check.metric}: {check.current:.4f} outside"
+            f" history band [{check.low:.4f}, {check.high:.4f}]",
+            file=sys.stderr,
+        )
+    if insufficient:
+        print(
+            f"[history] {len(insufficient)} metric(s) with <3 recorded"
+            " runs; use 'report --check-bench' for the baseline fallback",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
+    raw = list(sys.argv[1:] if argv is None else argv)
+    # "history" has its own verb grammar (append/list/show/check) that the
+    # flat experiment parser cannot express; dispatch it before argparse.
+    if raw and raw[0] == "history":
+        return run_history(raw[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -245,9 +438,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "validate", "fuzz", "report", "gapcheck", "tune"],
+        + ["all", "validate", "fuzz", "report", "history", "gapcheck", "tune"],
         help="which table/figure to regenerate, a validation command,"
         " 'report' to render collected metrics / run the bench tripwire,"
+        " 'history' to append/list/show/check the bench history store,"
         " 'gapcheck' to measure the list scheduler's gap from the exact"
         " oracle, or 'tune' to search the scheduler priority weights",
     )
@@ -339,6 +533,15 @@ def main(argv=None) -> int:
         " write them to FILE as JSONL (render with the report command)",
     )
     parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="attach the sampling profiler to this run and write a"
+        " folded-stacks profile to FILE (feed it to flamegraph.pl or"
+        " speedscope; off by default — results are byte-identical"
+        " either way)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="report: print the machine-readable summary instead of text",
@@ -362,6 +565,31 @@ def main(argv=None) -> int:
         default=None,
         help="report: tripwire regression threshold as a fraction"
         " (default 0.25)",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="report: bench history JSONL; --check-bench then uses"
+        " per-metric median/MAD noise bands for every metric with >=3"
+        " recorded runs (the baseline check remains the fallback), and"
+        " --html plots it",
+    )
+    parser.add_argument(
+        "--html",
+        default=None,
+        metavar="DIR",
+        help="report: render the static trend dashboard (sparklines +"
+        " band status per tripwire metric) into DIR (needs --history)",
+    )
+    parser.add_argument(
+        "--link",
+        action="append",
+        nargs=2,
+        default=None,
+        metavar=("LABEL", "HREF"),
+        help="report --html: add an artifact link to the dashboard"
+        " (e.g. --link flamegraph profile.folded); repeatable",
     )
     parser.add_argument(
         "--workloads",
@@ -599,18 +827,35 @@ def main(argv=None) -> int:
         from ..metrics import MetricsSink
 
         metrics = MetricsSink()
-    for name in names:
-        print(
-            EXPERIMENTS[name](
-                args.scale,
-                not args.quiet,
-                args.jobs,
-                cache,
-                args.trace_cache,
-                metrics,
+    profiler = None
+    if args.profile_out:
+        from ..metrics import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
+    try:
+        for name in names:
+            print(
+                EXPERIMENTS[name](
+                    args.scale,
+                    not args.quiet,
+                    args.jobs,
+                    cache,
+                    args.trace_cache,
+                    metrics,
+                )
             )
-        )
-        print()
+            print()
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            stacks = profiler.write_folded(args.profile_out)
+            if not args.quiet:
+                print(
+                    f"[profile] {profiler.samples} sample(s),"
+                    f" {stacks} stack(s) -> {args.profile_out}"
+                    " (render with flamegraph.pl or speedscope)",
+                    file=sys.stderr,
+                )
     if metrics is not None:
         lines = metrics.write_jsonl(args.metrics_out)
         if not args.quiet:

@@ -16,26 +16,68 @@ This package is dependency-free (stdlib only) so every layer of the
 compiler can import it without cycles.
 """
 
+from .atomicio import atomic_write_text
+from .histogram import LatencyHistogram
+from .history import (
+    HistoryCheck,
+    HistoryStore,
+    check_history,
+    current_git_sha,
+    default_history_path,
+    fingerprint_id,
+    format_history_check,
+    format_history_list,
+    format_history_show,
+    machine_fingerprint,
+    noise_band,
+)
 from .report import (
     DEFAULT_REGRESSION_THRESHOLD,
     INVERSE_TRIPWIRE_METRICS,
     TRIPWIRE_METRICS,
+    BenchVerdict,
     check_bench_regression,
+    evaluate_bench,
     format_bench_check,
     format_report,
     summarize,
 )
-from .sink import MetricsSink, SCHEMA_VERSION, timed
+from .sampler import SamplingProfiler
+from .sink import (
+    KNOWN_SCHEMA_VERSIONS,
+    MetricsSink,
+    SCHEMA_VERSION,
+    timed,
+    warn_unknown_schema,
+)
 
 __all__ = [
+    "BenchVerdict",
     "DEFAULT_REGRESSION_THRESHOLD",
+    "HistoryCheck",
+    "HistoryStore",
     "INVERSE_TRIPWIRE_METRICS",
+    "KNOWN_SCHEMA_VERSIONS",
+    "LatencyHistogram",
     "MetricsSink",
     "SCHEMA_VERSION",
+    "SamplingProfiler",
     "TRIPWIRE_METRICS",
+    "atomic_write_text",
     "check_bench_regression",
+    "check_history",
+    "current_git_sha",
+    "default_history_path",
+    "evaluate_bench",
+    "fingerprint_id",
     "format_bench_check",
+    "format_history_check",
+    "format_history_list",
+    "format_history_show",
     "format_report",
+    "machine_fingerprint",
+    "noise_band",
     "summarize",
     "timed",
+    "warn_unknown_schema",
 ]

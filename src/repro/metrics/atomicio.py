@@ -1,0 +1,43 @@
+"""Atomic text-file writes for every metrics/bench artifact.
+
+An interrupted run (SIGKILL mid-write, a full disk, a crashing worker)
+must never leave a *truncated* JSONL log or bench report behind: a
+half-written line crashes ``summarize`` and silently corrupts the bench
+history.  Every JSON/JSONL writer in the observability stack therefore
+goes through :func:`atomic_write_text`: the content lands in a temp file
+in the destination directory first and is moved into place with
+``os.replace``, which POSIX guarantees is atomic on one filesystem.
+Readers see either the old complete file or the new complete file,
+never a prefix of the new one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path: os.PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file is created in ``path``'s directory so the final rename
+    never crosses a filesystem boundary.  On any failure the temp file is
+    removed and the destination is left untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,318 @@
+"""The trend dashboard: a self-contained static HTML page of bench history.
+
+``python -m repro.experiments report --html DIR --history FILE`` renders
+one card per tripwire metric: an inline-SVG sparkline of the metric's
+recorded runs, the median/MAD noise band shaded behind the line, the
+latest value as a stat figure, and an explicit status (ok / regressed /
+insufficient history) — the same verdicts :func:`~repro.metrics.history.
+check_history` computes, made glanceable.  A links row points at the
+latest Perfetto trace, flamegraph, and raw artifacts when the caller
+passes them.
+
+Everything is one hand-written HTML file: no JS dependencies, no network
+fetches, CSS custom properties for light/dark, native ``<title>`` hover
+tooltips on the sample points, and a ``<details>`` data table per card so
+every number is readable without color or hover.  Status is always icon +
+label, never color alone.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .atomicio import atomic_write_text
+from .history import (
+    DEFAULT_WINDOW,
+    MIN_RUNS_FOR_BAND,
+    HistoryStore,
+    noise_band,
+)
+from .report import INVERSE_TRIPWIRE_METRICS, TRIPWIRE_METRICS, _lookup
+
+#: Sparkline geometry (px).
+_SPARK_W, _SPARK_H, _PAD = 240, 56, 6
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --gridline: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --band-fill: rgba(42, 120, 214, 0.10);
+  --status-good: #0ca30c;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --gridline: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --band-fill: rgba(57, 135, 229, 0.14);
+    --status-good: #0ca30c;
+    --status-critical: #d03b3b;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+header h1 { font-size: 20px; margin: 0 0 4px; }
+header p { margin: 0; color: var(--text-secondary); }
+.links { margin: 12px 0 20px; color: var(--text-secondary); }
+.links a { color: var(--series-1); text-decoration: none; margin-right: 16px; }
+.links a:hover { text-decoration: underline; }
+.grid {
+  display: grid; gap: 16px;
+  grid-template-columns: repeat(auto-fill, minmax(300px, 1fr));
+}
+.card {
+  background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 8px; padding: 14px 16px;
+}
+.card h2 {
+  font-size: 13px; font-weight: 600; margin: 0 0 8px;
+  color: var(--text-secondary); word-break: break-all;
+}
+.value { font-size: 24px; font-weight: 600; }
+.value .unit { font-size: 13px; color: var(--text-muted); font-weight: 400; }
+.status { font-size: 12px; margin-left: 8px; }
+.status.ok { color: var(--status-good); }
+.status.regressed { color: var(--status-critical); font-weight: 600; }
+.status.insufficient, .status.missing { color: var(--text-muted); }
+.band-note { font-size: 12px; color: var(--text-muted); margin-top: 2px; }
+svg { display: block; margin-top: 8px; }
+details { margin-top: 8px; }
+summary { font-size: 12px; color: var(--text-muted); cursor: pointer; }
+table { border-collapse: collapse; margin-top: 6px; width: 100%; }
+th, td {
+  font-size: 12px; text-align: right; padding: 2px 6px;
+  border-bottom: 1px solid var(--gridline);
+  font-variant-numeric: tabular-nums;
+}
+th:first-child, td:first-child { text-align: left; }
+th { color: var(--text-muted); font-weight: 500; }
+footer { margin-top: 24px; color: var(--text-muted); font-size: 12px; }
+"""
+
+
+def _scale(
+    values: Sequence[float], lo: float, hi: float
+) -> List[Tuple[float, float]]:
+    """(x, y) pixel positions for a value series inside the sparkline box."""
+    span = hi - lo or 1.0
+    n = len(values)
+    step = (_SPARK_W - 2 * _PAD) / max(n - 1, 1)
+    return [
+        (
+            _PAD + i * step,
+            _SPARK_H - _PAD - (_SPARK_H - 2 * _PAD) * (v - lo) / span,
+        )
+        for i, v in enumerate(values)
+    ]
+
+
+def _sparkline(
+    values: Sequence[float],
+    band: Optional[Tuple[float, float, float]],
+    labels: Sequence[str],
+) -> str:
+    """One inline-SVG sparkline: shaded noise band, 2px series line,
+    hoverable sample points, emphasized latest point."""
+    pool = list(values)
+    if band is not None:
+        pool += [band[0], band[2]]
+    lo, hi = min(pool), max(pool)
+    points = _scale(values, lo, hi)
+    parts = [
+        f'<svg width="{_SPARK_W}" height="{_SPARK_H}"'
+        f' viewBox="0 0 {_SPARK_W} {_SPARK_H}" role="img"'
+        ' aria-label="run history sparkline">'
+    ]
+    if band is not None:
+        (band_lo, _, band_hi) = band
+        span = hi - lo or 1.0
+        y_hi = _SPARK_H - _PAD - (_SPARK_H - 2 * _PAD) * (band_hi - lo) / span
+        y_lo = _SPARK_H - _PAD - (_SPARK_H - 2 * _PAD) * (band_lo - lo) / span
+        parts.append(
+            f'<rect x="{_PAD}" y="{y_hi:.1f}" width="{_SPARK_W - 2 * _PAD}"'
+            f' height="{max(y_lo - y_hi, 1.0):.1f}" fill="var(--band-fill)"/>'
+        )
+    if len(points) > 1:
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        parts.append(
+            f'<polyline points="{path}" fill="none"'
+            ' stroke="var(--series-1)" stroke-width="2"'
+            ' stroke-linejoin="round" stroke-linecap="round"/>'
+        )
+    for i, ((x, y), label) in enumerate(zip(points, labels)):
+        last = i == len(points) - 1
+        radius = 4 if last else 2.5
+        ring = ' stroke="var(--surface-1)" stroke-width="2"' if last else ""
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius}"'
+            f' fill="var(--series-1)"{ring}>'
+            f"<title>{html.escape(label)}</title></circle>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _metric_card(
+    metric: str,
+    pairs: Sequence[Tuple[Dict[str, Any], float]],
+    current: Optional[float],
+) -> str:
+    """One dashboard card: headline value, status, sparkline, data table."""
+    inverse = metric in INVERSE_TRIPWIRE_METRICS
+    history_values = [value for _, value in pairs]
+    values = list(history_values)
+    labels = [
+        f"{str(record.get('sha', '?'))[:10]}: {value:.4g}"
+        for record, value in pairs
+    ]
+    if current is not None:
+        values.append(current)
+        labels.append(f"current: {current:.4g}")
+    latest = values[-1] if values else None
+
+    band = None
+    if len(history_values) >= MIN_RUNS_FOR_BAND:
+        band = noise_band(history_values)
+
+    if latest is None:
+        status, status_label = "missing", "— no data"
+    elif band is None:
+        status, status_label = (
+            "insufficient",
+            f"— {len(history_values)} run(s), {MIN_RUNS_FOR_BAND} needed",
+        )
+    else:
+        failed = (latest > band[2]) if inverse else (latest < band[0])
+        status, status_label = (
+            ("regressed", "✗ regressed") if failed else ("ok", "✓ ok")
+        )
+
+    parts = [f'<div class="card"><h2>{html.escape(metric)}</h2>']
+    if latest is not None:
+        direction = ' <span class="unit">(lower is better)</span>' if inverse else ""
+        parts.append(
+            f'<div class="value">{latest:.4g}{direction}'
+            f'<span class="status {status}">{html.escape(status_label)}'
+            "</span></div>"
+        )
+    else:
+        parts.append(
+            f'<div class="value"><span class="status {status}">'
+            f"{html.escape(status_label)}</span></div>"
+        )
+    if band is not None:
+        parts.append(
+            f'<div class="band-note">median {band[1]:.4g}, noise band'
+            f" [{band[0]:.4g}, {band[2]:.4g}] over"
+            f" {len(history_values)} run(s)</div>"
+        )
+    if values:
+        parts.append(_sparkline(values, band, labels))
+        rows = "".join(
+            f"<tr><td>{html.escape(label.split(':')[0])}</td>"
+            f"<td>{value:.6g}</td></tr>"
+            for label, value in zip(labels, values)
+        )
+        parts.append(
+            "<details><summary>data</summary><table>"
+            "<tr><th>run</th><th>value</th></tr>"
+            f"{rows}</table></details>"
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def render_dashboard(
+    store: HistoryStore,
+    out_dir: os.PathLike,
+    current: Optional[Dict[str, Any]] = None,
+    metrics: Sequence[str] = TRIPWIRE_METRICS,
+    source: Optional[str] = "perf_smoke",
+    window: int = DEFAULT_WINDOW,
+    artifacts: Optional[Dict[str, str]] = None,
+    title: str = "repro · performance trends",
+) -> Path:
+    """Render ``index.html`` under ``out_dir`` and return its path.
+
+    Args:
+        store: the bench history to plot.
+        current: a fresh (not yet appended) report to show as the latest
+            point on every sparkline; ``None`` plots history only.
+        metrics: dotted metric paths, one card each.
+        source: history source filter (``perf_smoke``/``service_smoke``/
+            ``None`` for all).
+        artifacts: label -> href links (latest Perfetto trace, flamegraph,
+            raw JSONL, ...), rendered as the links row.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    cards = []
+    for metric in metrics:
+        pairs = store.series(metric, source=source, last=window)
+        cards.append(
+            _metric_card(metric, pairs, _lookup(current or {}, metric))
+        )
+
+    records = store.records(source=source)
+    link_row = ""
+    if artifacts:
+        links = " ".join(
+            f'<a href="{html.escape(href)}">{html.escape(label)}</a>'
+            for label, href in artifacts.items()
+        )
+        link_row = f'<div class="links">{links}</div>'
+
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
+    newest = records[-1] if records else None
+    subtitle = (
+        f"{len(records)} recorded run(s)"
+        + (
+            f" · latest sha {html.escape(str(newest.get('sha', '?'))[:12])}"
+            f" · machine {html.escape(str(newest.get('fingerprint_id', '-')))}"
+            if newest
+            else ""
+        )
+    )
+    page = (
+        "<!doctype html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        "<body><header>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p>{subtitle}</p></header>\n"
+        f"{link_row}"
+        f'<div class="grid">{"".join(cards)}</div>\n'
+        f"<footer>generated {stamp} · bands are median ± max(4·1.4826·MAD,"
+        " 5% of median) over the trailing window · lower-is-better metrics"
+        " fail above the band, all others below it</footer>\n"
+        "</body></html>\n"
+    )
+    index = out / "index.html"
+    atomic_write_text(index, page)
+    return index

@@ -1,0 +1,157 @@
+"""Log-bucketed latency histograms for service telemetry.
+
+A :class:`LatencyHistogram` holds one lifetime distribution — say, the
+worker-compute span of every request a daemon ever served — in a fixed,
+tiny footprint: counts per power-of-two microsecond bucket plus exact
+``count``/``sum``/``min``/``max``.  Recording is O(1) (an ``int.bit_length``
+and a dict increment), merging two histograms is exact, and quantiles are
+read back with bounded relative error (one bucket, i.e. at most 2x),
+which is plenty to tell a 3 ms cached round trip from a 300 ms compute.
+
+The JSON form (:meth:`to_dict` / :meth:`from_dict`) round-trips exactly
+and is what the service ``status`` endpoint and the metrics JSONL schema
+v2 ``histograms`` record carry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Bucket ``i`` holds samples with ``2**(i-1) < microseconds <= 2**i``
+#: (bucket 0: anything at or under one microsecond).  62 buckets cover
+#: every representable duration.
+_MAX_BUCKET = 62
+
+
+def bucket_index(seconds: float) -> int:
+    """Map a duration to its log2-microsecond bucket index."""
+    micros = int(seconds * 1e6)
+    if micros <= 1:
+        return 0
+    return min((micros - 1).bit_length(), _MAX_BUCKET)
+
+
+def bucket_upper_seconds(index: int) -> float:
+    """Inclusive upper edge of bucket ``index``, in seconds."""
+    return (1 << index) / 1e6
+
+
+class LatencyHistogram:
+    """One latency distribution: log2 buckets + exact moments."""
+
+    __slots__ = ("count", "sum_seconds", "min_seconds", "max_seconds", "buckets")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.sum_seconds: float = 0.0
+        self.min_seconds: Optional[float] = None
+        self.max_seconds: Optional[float] = None
+        #: bucket index -> sample count (sparse; most buckets stay absent)
+        self.buckets: Dict[int, int] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, seconds: float) -> None:
+        """Add one sample (negative clock skew clamps to zero)."""
+        if seconds < 0.0:
+            seconds = 0.0
+        self.count += 1
+        self.sum_seconds += seconds
+        if self.min_seconds is None or seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if self.max_seconds is None or seconds > self.max_seconds:
+            self.max_seconds = seconds
+        index = bucket_index(seconds)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram in (exact: buckets and moments sum)."""
+        self.count += other.count
+        self.sum_seconds += other.sum_seconds
+        for source in (other.min_seconds,):
+            if source is not None and (
+                self.min_seconds is None or source < self.min_seconds
+            ):
+                self.min_seconds = source
+        for source in (other.max_seconds,):
+            if source is not None and (
+                self.max_seconds is None or source > self.max_seconds
+            ):
+                self.max_seconds = source
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.sum_seconds / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (bucket upper edge; exact min/max at the
+        ends).  ``q`` in [0, 1]."""
+        if not self.count:
+            return 0.0
+        if q <= 0.0 and self.min_seconds is not None:
+            return self.min_seconds
+        if q >= 1.0 and self.max_seconds is not None:
+            return self.max_seconds
+        target = q * self.count
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                upper = bucket_upper_seconds(index)
+                if self.max_seconds is not None:
+                    upper = min(upper, self.max_seconds)
+                return upper
+        return self.max_seconds or 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact human/JSON summary (what ``status`` tables render)."""
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_seconds * 1e3, 3),
+            "p50_ms": round(self.quantile(0.50) * 1e3, 3),
+            "p90_ms": round(self.quantile(0.90) * 1e3, 3),
+            "p99_ms": round(self.quantile(0.99) * 1e3, 3),
+            "max_ms": round((self.max_seconds or 0.0) * 1e3, 3),
+        }
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Exact JSON form (inverse of :meth:`from_dict`)."""
+        return {
+            "count": self.count,
+            "sum_seconds": self.sum_seconds,
+            "min_seconds": self.min_seconds,
+            "max_seconds": self.max_seconds,
+            # JSON objects key by string; sorted for stable output bytes.
+            "buckets": {
+                str(index): self.buckets[index]
+                for index in sorted(self.buckets)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LatencyHistogram":
+        hist = cls()
+        hist.count = int(data.get("count", 0))
+        hist.sum_seconds = float(data.get("sum_seconds", 0.0))
+        hist.min_seconds = data.get("min_seconds")
+        hist.max_seconds = data.get("max_seconds")
+        hist.buckets = {
+            int(index): int(n)
+            for index, n in (data.get("buckets") or {}).items()
+        }
+        return hist
+
+
+def format_histogram_table(
+    histograms: Dict[str, "LatencyHistogram"],
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """Sorted (name, summary) rows for table renderers."""
+    return [
+        (name, histograms[name].summary()) for name in sorted(histograms)
+    ]

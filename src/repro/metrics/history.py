@@ -1,0 +1,453 @@
+"""Longitudinal bench history: an append-only JSONL store of perf reports.
+
+``report --check-bench`` used to compare every fresh ``perf_smoke`` run
+against one committed snapshot with a flat ±25% band — a check with no
+memory, so a naturally noisy ratio (the JIT speedup on a loaded CI
+runner) had to be damped by hand (more bench rounds) while a genuinely
+drifting metric could walk 20% per PR forever without tripping anything.
+
+This module gives the repo memory across runs:
+
+* :class:`HistoryStore` — an append-only JSONL file, one record per
+  bench run, keyed by git sha, wall-clock timestamp, and a machine
+  fingerprint (CPU count, platform, python version) so runs from
+  different machines are never pooled into one noise estimate;
+* :func:`noise_band` — a robust median/MAD band over the last N runs of
+  one metric: flappy metrics get wide bands *automatically* (their MAD
+  is large), stable metrics get tight ones, and a single outlier run
+  cannot poison the estimate the way it poisons a mean/stddev band;
+* :func:`check_history` — the history-based tripwire: each tripwire
+  metric is compared against its own band.  Metrics with fewer than
+  ``min_runs`` recorded values report ``insufficient`` so the caller can
+  fall back to the legacy single-baseline check.
+
+Every write goes through :func:`~repro.metrics.atomicio.atomic_write_text`
+— an interrupted append leaves the previous complete history, never a
+truncated line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .atomicio import atomic_write_text
+from .report import (
+    INVERSE_TRIPWIRE_METRICS,
+    TRIPWIRE_METRICS,
+    _format_table,
+    _lookup,
+)
+
+#: Version of one history record's shape.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Environment override for the default history file location.
+HISTORY_ENV = "REPRO_HISTORY_FILE"
+
+#: Default history file name (repo root / current directory).
+DEFAULT_HISTORY_NAME = "BENCH_history.jsonl"
+
+#: Consecutive-run window the tripwire bands are computed over.
+DEFAULT_WINDOW = 12
+
+#: Minimum recorded runs before the history band replaces the legacy
+#: single-baseline check.
+MIN_RUNS_FOR_BAND = 3
+
+#: Band half-width: ``max(K_MAD * 1.4826 * MAD, MIN_REL * |median|)``.
+#: ``1.4826 * MAD`` estimates one standard deviation for gaussian noise;
+#: 4 sigma keeps the false-trip rate negligible over many metrics x many
+#: runs, while the 5% relative floor stops a perfectly stable metric
+#: (MAD = 0) from tripping on its first sub-ULP wobble.
+K_MAD = 4.0
+MIN_REL_BAND = 0.05
+
+
+def default_history_path() -> Path:
+    """``$REPRO_HISTORY_FILE`` or ``BENCH_history.jsonl`` in the cwd."""
+    env = os.environ.get(HISTORY_ENV)
+    return Path(env) if env else Path(DEFAULT_HISTORY_NAME)
+
+
+# -- run identity --------------------------------------------------------------
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """What makes this machine's timings its own: core count, platform,
+    python.  Runs with different fingerprints never share a noise band."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+def fingerprint_id(fingerprint: Dict[str, Any]) -> str:
+    """Short stable digest of a fingerprint (history records carry both)."""
+    blob = json.dumps(fingerprint, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def current_git_sha(cwd: Optional[os.PathLike] = None) -> str:
+    """The checked-out commit, or ``unknown`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+# -- the store -----------------------------------------------------------------
+
+
+class HistoryStore:
+    """Append-only JSONL history of bench reports.
+
+    One line per run::
+
+        {"schema": 1, "source": "perf_smoke", "sha": ..., "timestamp": ...,
+         "fingerprint": {...}, "fingerprint_id": ..., "report": {...}}
+
+    Appends rewrite the whole file atomically (histories are small —
+    CI keeps a rolling window — and atomicity beats append-mode speed
+    here).  Malformed lines are skipped on read with a count, never a
+    crash: a truncated history from a pre-atomic writer still loads.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.path = Path(path) if path is not None else default_history_path()
+        #: malformed lines skipped by the last :meth:`records` call
+        self.skipped_lines = 0
+
+    # -- writing -------------------------------------------------------------
+
+    def append(
+        self,
+        report: Dict[str, Any],
+        source: str = "perf_smoke",
+        sha: Optional[str] = None,
+        timestamp: Optional[float] = None,
+        fingerprint: Optional[Dict[str, Any]] = None,
+        keep: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Append one run.  Returns the record written.
+
+        ``keep`` (when given) prunes the history to the newest ``keep``
+        records after the append — what CI uses to bound artifact growth.
+        """
+        fp = fingerprint if fingerprint is not None else machine_fingerprint()
+        record = {
+            "schema": HISTORY_SCHEMA_VERSION,
+            "source": source,
+            "sha": sha if sha is not None else current_git_sha(),
+            "timestamp": (
+                timestamp if timestamp is not None else time.time()
+            ),
+            "fingerprint": fp,
+            "fingerprint_id": fingerprint_id(fp),
+            "report": report,
+        }
+        records = self.records()
+        records.append(record)
+        if keep is not None and keep > 0:
+            records = records[-keep:]
+        self._write_all(records)
+        return record
+
+    def _write_all(self, records: Sequence[Dict[str, Any]]) -> None:
+        text = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in records
+        )
+        atomic_write_text(self.path, text)
+
+    # -- reading -------------------------------------------------------------
+
+    def records(
+        self,
+        source: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """All records, file order (= chronological for an append-only
+        log), optionally filtered by source and/or fingerprint id."""
+        self.skipped_lines = 0
+        records: List[Dict[str, Any]] = []
+        if not self.path.exists():
+            return records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self.skipped_lines += 1
+                    continue
+                if not isinstance(record, dict) or "report" not in record:
+                    self.skipped_lines += 1
+                    continue
+                if source is not None and record.get("source") != source:
+                    continue
+                if (
+                    fingerprint is not None
+                    and record.get("fingerprint_id") != fingerprint
+                ):
+                    continue
+                records.append(record)
+        return records
+
+    def series(
+        self,
+        metric: str,
+        source: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        last: Optional[int] = None,
+    ) -> List[Tuple[Dict[str, Any], float]]:
+        """Chronological (record, value) pairs for one dotted metric,
+        skipping runs where the metric is absent."""
+        pairs = [
+            (record, value)
+            for record in self.records(source=source, fingerprint=fingerprint)
+            for value in [_lookup(record.get("report", {}), metric)]
+            if value is not None
+        ]
+        if last is not None and last > 0:
+            pairs = pairs[-last:]
+        return pairs
+
+
+# -- robust statistics ---------------------------------------------------------
+
+
+def median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("median of empty sequence")
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation (the robust spread estimator)."""
+    if center is None:
+        center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def noise_band(
+    values: Sequence[float],
+    k: float = K_MAD,
+    min_rel: float = MIN_REL_BAND,
+) -> Tuple[float, float, float]:
+    """Robust ``(low, median, high)`` band for one metric's history.
+
+    Half-width is ``max(k * 1.4826 * MAD, min_rel * |median|)``: noisy
+    metrics earn wide bands from their own scatter, stable metrics keep
+    a floor so exact repeats don't produce a zero-width band.
+    """
+    center = median(values)
+    sigma = 1.4826 * mad(values, center)
+    half = max(k * sigma, min_rel * abs(center))
+    return center - half, center, center + half
+
+
+# -- the history tripwire ------------------------------------------------------
+
+
+@dataclass
+class HistoryCheck:
+    """One metric's verdict against its own history band."""
+
+    metric: str
+    #: "ok" | "regressed" | "insufficient" | "missing"
+    status: str
+    current: Optional[float] = None
+    median: Optional[float] = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+    runs: int = 0
+    #: lower-is-better metrics fail above the band, not below it
+    inverse: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "regressed"
+
+
+def check_history(
+    current: Dict[str, Any],
+    store: HistoryStore,
+    metrics: Sequence[str] = TRIPWIRE_METRICS,
+    inverse_metrics: Sequence[str] = INVERSE_TRIPWIRE_METRICS,
+    source: Optional[str] = "perf_smoke",
+    fingerprint: Optional[str] = None,
+    window: int = DEFAULT_WINDOW,
+    min_runs: int = MIN_RUNS_FOR_BAND,
+    k: float = K_MAD,
+    min_rel: float = MIN_REL_BAND,
+) -> List[HistoryCheck]:
+    """Check a fresh report against per-metric history noise bands.
+
+    A higher-is-better metric regresses when it falls below its band's
+    low edge; a lower-is-better one when it rises above the high edge.
+    Metrics with fewer than ``min_runs`` recorded values return
+    ``insufficient`` (callers fall back to the single-baseline check);
+    metrics absent from the current report return ``missing``.
+    """
+    checks: List[HistoryCheck] = []
+    for path in metrics:
+        is_inverse = path in inverse_metrics
+        pairs = store.series(
+            path, source=source, fingerprint=fingerprint, last=window
+        )
+        values = [value for _, value in pairs]
+        cur = _lookup(current, path)
+        if cur is None:
+            checks.append(
+                HistoryCheck(
+                    path, "missing", runs=len(values), inverse=is_inverse
+                )
+            )
+            continue
+        if len(values) < min_runs:
+            checks.append(
+                HistoryCheck(
+                    path,
+                    "insufficient",
+                    current=cur,
+                    runs=len(values),
+                    inverse=is_inverse,
+                )
+            )
+            continue
+        low, center, high = noise_band(values, k=k, min_rel=min_rel)
+        failed = (cur > high) if is_inverse else (cur < low)
+        checks.append(
+            HistoryCheck(
+                path,
+                "regressed" if failed else "ok",
+                current=cur,
+                median=center,
+                low=low,
+                high=high,
+                runs=len(values),
+                inverse=is_inverse,
+            )
+        )
+    return checks
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.3f}"
+
+
+def format_history_check(checks: Sequence[HistoryCheck]) -> str:
+    """Human-readable verdict table for :func:`check_history`."""
+    rows = []
+    for check in checks:
+        band = (
+            f"[{_fmt(check.low)}, {_fmt(check.high)}]"
+            if check.low is not None
+            else "-"
+        )
+        status = check.status.upper() if check.failed else check.status
+        direction = "<=" if check.inverse else ">="
+        rows.append(
+            [
+                check.metric,
+                check.runs,
+                _fmt(check.median),
+                band,
+                _fmt(check.current),
+                f"{status} ({direction} band)" if check.failed else status,
+            ]
+        )
+    title = (
+        "History tripwire (median/MAD noise bands over the last"
+        f" {DEFAULT_WINDOW} runs; <{MIN_RUNS_FOR_BAND} runs ="
+        " insufficient, falls back to the baseline check)"
+    )
+    return title + "\n" + _format_table(
+        ["metric", "runs", "median", "band", "current", "verdict"], rows
+    )
+
+
+def format_history_list(records: Sequence[Dict[str, Any]]) -> str:
+    """One row per recorded run (newest last)."""
+    rows = []
+    for record in records:
+        stamp = record.get("timestamp")
+        when = (
+            time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(stamp))
+            if isinstance(stamp, (int, float))
+            else "-"
+        )
+        rows.append(
+            [
+                when,
+                str(record.get("sha", "?"))[:12],
+                record.get("fingerprint_id", "-"),
+                record.get("source", "-"),
+                len(record.get("report", {})),
+            ]
+        )
+    return _format_table(
+        ["timestamp (utc)", "sha", "machine", "source", "report keys"], rows
+    )
+
+
+def format_history_show(
+    store: HistoryStore,
+    metric: str,
+    source: Optional[str] = "perf_smoke",
+    last: Optional[int] = None,
+) -> str:
+    """Per-run values + the current band for one metric."""
+    pairs = store.series(metric, source=source, last=last)
+    if not pairs:
+        return f"history: no recorded values for {metric!r}"
+    rows = []
+    for record, value in pairs:
+        stamp = record.get("timestamp")
+        when = (
+            time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(stamp))
+            if isinstance(stamp, (int, float))
+            else "-"
+        )
+        rows.append([when, str(record.get("sha", "?"))[:12], f"{value:.4f}"])
+    table = _format_table(["timestamp (utc)", "sha", metric], rows)
+    values = [value for _, value in pairs]
+    if len(values) >= MIN_RUNS_FOR_BAND:
+        low, center, high = noise_band(values)
+        table += (
+            f"\n\nmedian {center:.4f}, MAD band"
+            f" [{low:.4f}, {high:.4f}] over {len(values)} run(s)"
+        )
+    else:
+        table += (
+            f"\n\n{len(values)} run(s) recorded —"
+            f" {MIN_RUNS_FOR_BAND} needed for a noise band"
+        )
+    return table

@@ -18,6 +18,7 @@ engine does.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from .sink import MetricsSink
@@ -102,6 +103,10 @@ def summarize(sink: MetricsSink) -> Dict[str, Any]:
         "stages": dict(sorted(stages.items())),
         "counters": dict(sorted(sink.counters.items())),
         "derived": _derived(sink.counters),
+        "histograms": {
+            name: sink.histograms[name].summary()
+            for name in sorted(sink.histograms)
+        },
         "events": len(sink.events),
     }
 
@@ -178,6 +183,27 @@ def format_report(summary: Dict[str, Any]) -> str:
             "",
             _format_table(["derived metric", "value"], sorted(derived.items())),
         ]
+    histograms = summary.get("histograms", {})
+    if histograms:
+        parts += [
+            "",
+            _format_table(
+                ["latency histogram", "count", "mean ms", "p50 ms",
+                 "p90 ms", "p99 ms", "max ms"],
+                [
+                    [
+                        name,
+                        h.get("count", 0),
+                        h.get("mean_ms", 0.0),
+                        h.get("p50_ms", 0.0),
+                        h.get("p90_ms", 0.0),
+                        h.get("p99_ms", 0.0),
+                        h.get("max_ms", 0.0),
+                    ]
+                    for name, h in sorted(histograms.items())
+                ],
+            ),
+        ]
     return "\n".join(parts)
 
 
@@ -193,6 +219,101 @@ def _lookup(tree: Any, dotted: str) -> Optional[float]:
     return float(node) if isinstance(node, (int, float)) else None
 
 
+@dataclass
+class BenchVerdict:
+    """One tripwire metric's outcome against the committed baseline.
+
+    ``status`` is one of:
+
+    * ``ok`` — within threshold;
+    * ``regressed`` — outside threshold (the only failing status);
+    * ``missing_baseline`` — measured now but absent from the baseline
+      (a new metric the baseline predates — *not* a regression, but
+      reported distinctly instead of silently skipped);
+    * ``missing_current`` — in the baseline but not measured now (often
+      a renamed section; also reported, never silently dropped);
+    * ``zero_baseline`` — a higher-is-better metric whose baseline is 0,
+      where a relative threshold is meaningless (inverse metrics handle
+      zero baselines via :data:`INVERSE_ABSOLUTE_ALLOWANCE` instead).
+    """
+
+    metric: str
+    status: str
+    current: Optional[float] = None
+    baseline: Optional[float] = None
+    #: the edge the current value was held to (floor or ceiling)
+    bound: Optional[float] = None
+    inverse: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "regressed"
+
+
+def evaluate_bench(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    metrics: Sequence[str] = TRIPWIRE_METRICS,
+) -> List[BenchVerdict]:
+    """Evaluate *every* tripwire metric in one pass (never stopping at
+    the first problem) and say exactly what happened to each.
+
+    A higher-is-better metric regresses when
+    ``current < baseline * (1 - threshold)``; a lower-is-better metric
+    (:data:`INVERSE_TRIPWIRE_METRICS`) regresses when ``current`` exceeds
+    ``baseline * (1 + threshold) + INVERSE_ABSOLUTE_ALLOWANCE``.
+    """
+    verdicts: List[BenchVerdict] = []
+    for path in metrics:
+        cur = _lookup(current, path)
+        base = _lookup(baseline, path)
+        inverse = path in INVERSE_TRIPWIRE_METRICS
+        if cur is None:
+            verdicts.append(
+                BenchVerdict(
+                    path, "missing_current", baseline=base, inverse=inverse
+                )
+            )
+            continue
+        if base is None:
+            verdicts.append(
+                BenchVerdict(
+                    path, "missing_baseline", current=cur, inverse=inverse
+                )
+            )
+            continue
+        if inverse:
+            ceiling = base * (1.0 + threshold) + INVERSE_ABSOLUTE_ALLOWANCE
+            verdicts.append(
+                BenchVerdict(
+                    path,
+                    "regressed" if cur > ceiling else "ok",
+                    current=cur,
+                    baseline=base,
+                    bound=ceiling,
+                    inverse=True,
+                )
+            )
+            continue
+        if base == 0.0:
+            verdicts.append(
+                BenchVerdict(path, "zero_baseline", current=cur, baseline=base)
+            )
+            continue
+        floor = base * (1.0 - threshold)
+        verdicts.append(
+            BenchVerdict(
+                path,
+                "regressed" if cur < floor else "ok",
+                current=cur,
+                baseline=base,
+                bound=floor,
+            )
+        )
+    return verdicts
+
+
 def check_bench_regression(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
@@ -200,36 +321,38 @@ def check_bench_regression(
     metrics: Sequence[str] = TRIPWIRE_METRICS,
 ) -> List[str]:
     """Compare two perf-smoke reports; return one message per regressed
-    tripwire metric (empty list = no regression).
-
-    A higher-is-better metric regresses when
-    ``current < baseline * (1 - threshold)``; a lower-is-better metric
-    (:data:`INVERSE_TRIPWIRE_METRICS`) regresses when ``current`` exceeds
-    ``baseline * (1 + threshold) + INVERSE_ABSOLUTE_ALLOWANCE``.  Metrics
-    missing from either report are skipped (older baselines may predate
-    newer measurements).
-    """
+    tripwire metric (empty list = no regression).  All metrics are
+    evaluated in one pass; metrics missing from either report are
+    reported by :func:`format_bench_check` but do not fail the check
+    (older baselines legitimately predate newer measurements)."""
     failures: List[str] = []
-    for path in metrics:
-        cur = _lookup(current, path)
-        base = _lookup(baseline, path)
-        if cur is None or base is None:
+    for verdict in evaluate_bench(
+        current, baseline, threshold=threshold, metrics=metrics
+    ):
+        if not verdict.failed:
             continue
-        if path in INVERSE_TRIPWIRE_METRICS:
-            ceiling = base * (1.0 + threshold) + INVERSE_ABSOLUTE_ALLOWANCE
-            if cur > ceiling:
-                failures.append(
-                    f"{path}: {cur:.4f} regressed above {ceiling:.4f}"
-                    f" (baseline {base:.4f}, threshold {threshold:.0%})"
-                )
-            continue
-        floor = base * (1.0 - threshold)
-        if cur < floor:
+        if verdict.inverse:
             failures.append(
-                f"{path}: {cur:.3f} regressed below {floor:.3f}"
-                f" (baseline {base:.3f}, threshold {threshold:.0%})"
+                f"{verdict.metric}: {verdict.current:.4f} regressed above"
+                f" {verdict.bound:.4f} (baseline {verdict.baseline:.4f},"
+                f" threshold {threshold:.0%})"
+            )
+        else:
+            failures.append(
+                f"{verdict.metric}: {verdict.current:.3f} regressed below"
+                f" {verdict.bound:.3f} (baseline {verdict.baseline:.3f},"
+                f" threshold {threshold:.0%})"
             )
     return failures
+
+
+_STATUS_LABELS = {
+    "ok": "ok",
+    "regressed": "REGRESSED",
+    "missing_baseline": "skipped: no baseline (new metric)",
+    "missing_current": "skipped: not measured",
+    "zero_baseline": "skipped: zero baseline",
+}
 
 
 def format_bench_check(
@@ -240,19 +363,20 @@ def format_bench_check(
 ) -> str:
     """Human-readable per-metric verdict for the bench tripwire."""
     rows: List[List[object]] = []
-    for path in metrics:
-        cur = _lookup(current, path)
-        base = _lookup(baseline, path)
-        if cur is None or base is None:
-            rows.append([path, "-", "-", "skipped"])
-            continue
-        if path in INVERSE_TRIPWIRE_METRICS:
-            ceiling = base * (1.0 + threshold) + INVERSE_ABSOLUTE_ALLOWANCE
-            verdict = "ok" if cur <= ceiling else "REGRESSED"
-            rows.append([path, f"{base:.4f}", f"{cur:.4f}", verdict])
-            continue
-        verdict = "ok" if cur >= base * (1.0 - threshold) else "REGRESSED"
-        rows.append([path, f"{base:.3f}", f"{cur:.3f}", verdict])
+    for verdict in evaluate_bench(
+        current, baseline, threshold=threshold, metrics=metrics
+    ):
+        digits = 4 if verdict.inverse else 3
+        rows.append(
+            [
+                verdict.metric,
+                "-" if verdict.baseline is None
+                else f"{verdict.baseline:.{digits}f}",
+                "-" if verdict.current is None
+                else f"{verdict.current:.{digits}f}",
+                _STATUS_LABELS.get(verdict.status, verdict.status),
+            ]
+        )
     title = (
         f"Bench tripwire (fail under baseline - {threshold:.0%})"
     )

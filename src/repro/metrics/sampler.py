@@ -1,0 +1,138 @@
+"""A stdlib-only statistical (sampling) profiler for the experiment CLI.
+
+The pipeline's deterministic instrumentation (:class:`MetricsSink` stage
+timers) answers *which stage* is slow; it cannot answer *which function
+inside the stage*.  Deterministic function-level profilers (``cProfile``)
+answer that but distort the very hot paths we care about — the template
+JIT's generated closures slow down several-fold under tracing, which
+inverts conclusions about them.
+
+:class:`SamplingProfiler` takes the production approach instead: a
+background daemon thread wakes every ``interval`` seconds, grabs the
+target thread's current frame via ``sys._current_frames()`` (a single C
+call — the target is never traced, patched, or slowed beyond the GIL
+time of the walk itself), and folds the stack into a counter.  Output is
+the standard *folded stacks* format (``frame;frame;frame count`` per
+line), directly loadable by flamegraph.pl, speedscope, and inferno.
+
+Contract (same as ``MetricsSink``): **off by default, observation only**.
+The profiler never touches pipeline state, so results with it attached
+are byte-identical to results without — enforced by a parity test.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Dict, List, Optional
+
+from .atomicio import atomic_write_text
+
+#: Default sampling period: 5 ms ≈ 200 Hz — fine enough to resolve the
+#: interpreter/JIT split at smoke scale, coarse enough that the sampler's
+#: own GIL time stays well under 1%.
+DEFAULT_INTERVAL = 0.005
+
+
+def _fold_frame(frame) -> str:
+    """Render one stack, root first, as ``module:function;...``."""
+    parts: List[str] = []
+    while frame is not None:
+        code = frame.f_code
+        module = os.path.splitext(os.path.basename(code.co_filename))[0]
+        parts.append(f"{module}:{code.co_name}")
+        frame = frame.f_back
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Samples one thread's stack on a timer into folded-stack counts.
+
+    Args:
+        interval: seconds between samples.
+        target_thread_id: thread to sample; defaults to the thread that
+            calls :meth:`start` (normally the main thread running the
+            experiment).
+
+    Use as a context manager::
+
+        with SamplingProfiler() as prof:
+            run_suite(...)
+        prof.write_folded("profile.folded")
+    """
+
+    def __init__(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        target_thread_id: Optional[int] = None,
+    ) -> None:
+        self.interval = interval
+        self.target_thread_id = target_thread_id
+        #: folded stack -> sample count
+        self.counts: Dict[str, int] = {}
+        #: total samples taken (== sum of counts)
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        if self.target_thread_id is None:
+            self.target_thread_id = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- the sampling loop ---------------------------------------------------
+
+    def _run(self) -> None:
+        target = self.target_thread_id
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(target)
+            if frame is None:
+                continue
+            stack = _fold_frame(frame)
+            del frame  # drop the frame reference before sleeping again
+            self.counts[stack] = self.counts.get(stack, 0) + 1
+            self.samples += 1
+
+    # -- output --------------------------------------------------------------
+
+    def folded(self) -> str:
+        """The collected profile in folded-stacks text form (sorted for
+        deterministic bytes given identical samples)."""
+        return "".join(
+            f"{stack} {self.counts[stack]}\n"
+            for stack in sorted(self.counts)
+        )
+
+    def write_folded(self, path: os.PathLike) -> int:
+        """Atomically write the folded profile; returns the stack count.
+
+        Feed the file to any standard tool, e.g.::
+
+            flamegraph.pl profile.folded > flame.svg
+        """
+        atomic_write_text(path, self.folded())
+        return len(self.counts)

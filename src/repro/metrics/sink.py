@@ -24,13 +24,50 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from .atomicio import atomic_write_text
+from .histogram import LatencyHistogram
+
 #: Version of the JSONL event-log format.  Bump when record shapes change
 #: incompatibly; readers warn (but still parse) on versions they don't know.
-SCHEMA_VERSION = 1
+#:
+#: * v1 — ``schema`` record, ``stage``/free-form events, trailing
+#:   ``counters`` record.
+#: * v2 — adds an optional ``histograms`` record (log-bucketed latency
+#:   distributions, e.g. the service's per-request spans) before the
+#:   trailing counters.  v1 files read cleanly under a v2 reader; a v2
+#:   file without histograms is shaped exactly like a v1 file apart from
+#:   the declared version.
+SCHEMA_VERSION = 2
+
+#: Every version this reader knows how to parse exactly.
+KNOWN_SCHEMA_VERSIONS = (1, 2)
+
+#: Future schema versions already warned about (one warning per version
+#: per process, not one per file).
+_WARNED_VERSIONS: set = set()
+
+
+def warn_unknown_schema(version: Any, path: Any = None) -> bool:
+    """Warn (once per process per version) about a schema version this
+    reader does not know.  Returns True when a warning was emitted."""
+    if version is None or version in KNOWN_SCHEMA_VERSIONS:
+        return False
+    if version in _WARNED_VERSIONS:
+        return False
+    _WARNED_VERSIONS.add(version)
+    origin = f" ({path})" if path else ""
+    print(
+        f"[metrics] warning: event log{origin} declares schema version"
+        f" {version}; this reader understands up to {SCHEMA_VERSION}."
+        " Parsing best-effort — unknown records pass through as events.",
+        file=sys.stderr,
+    )
+    return True
 
 
 def timed(metrics: Optional["MetricsSink"], stage: str, fn, *args, **kwargs):
@@ -60,6 +97,8 @@ class MetricsSink:
         self.stage_calls: Dict[str, int] = {}
         #: structured event log, in completion order
         self.events: List[Dict[str, Any]] = []
+        #: latency histograms (schema v2): name -> distribution
+        self.histograms: Dict[str, LatencyHistogram] = {}
         #: labels stamped onto every event (workload/scheme context)
         self._labels: Dict[str, Any] = {}
         #: schema version declared by the file this sink was read from
@@ -85,6 +124,15 @@ class MetricsSink:
     def add(self, counter: str, value: int = 1) -> None:
         """Increment a named counter."""
         self.counters[counter] = self.counters.get(counter, 0) + value
+
+    # -- latency histograms --------------------------------------------------
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample into the named histogram."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = LatencyHistogram()
+        hist.record(seconds)
 
     # -- events --------------------------------------------------------------
 
@@ -136,6 +184,11 @@ class MetricsSink:
             )
         for name, calls in other.stage_calls.items():
             self.stage_calls[name] = self.stage_calls.get(name, 0) + calls
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = LatencyHistogram()
+            mine.merge(hist)
         self.events.extend(other.events)
 
     @property
@@ -147,32 +200,49 @@ class MetricsSink:
 
     def write_jsonl(self, path: os.PathLike) -> int:
         """Write the event log as JSONL: a leading ``schema`` record, one
-        event per line, terminated by a ``counters`` record so the file is
-        self-contained.  Returns the number of lines written."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(
+        event per line, an optional ``histograms`` record, terminated by a
+        ``counters`` record so the file is self-contained.  The write is
+        atomic (temp file + ``os.replace``): an interrupted run leaves
+        either the previous complete log or the new one, never a truncated
+        file.  Returns the number of lines written."""
+        lines = [
+            json.dumps(
+                {"event": "schema", "version": SCHEMA_VERSION},
+                sort_keys=True,
+            )
+        ]
+        for record in self.events:
+            lines.append(json.dumps(record, sort_keys=True))
+        if self.histograms:
+            lines.append(
                 json.dumps(
-                    {"event": "schema", "version": SCHEMA_VERSION},
+                    {
+                        "event": "histograms",
+                        "histograms": {
+                            name: self.histograms[name].to_dict()
+                            for name in sorted(self.histograms)
+                        },
+                    },
                     sort_keys=True,
                 )
-                + "\n"
             )
-            for record in self.events:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.write(
-                json.dumps(
-                    {"event": "counters", "counters": self.counters},
-                    sort_keys=True,
-                )
-                + "\n"
+        lines.append(
+            json.dumps(
+                {"event": "counters", "counters": self.counters},
+                sort_keys=True,
             )
-        return len(self.events) + 2
+        )
+        atomic_write_text(path, "\n".join(lines) + "\n")
+        return len(lines)
 
     @classmethod
     def read_jsonl(cls, path: os.PathLike) -> "MetricsSink":
         """Rebuild a sink from a :meth:`write_jsonl` file: stage totals are
         re-accumulated from ``stage`` events, counters from the trailing
-        ``counters`` record(s)."""
+        ``counters`` record(s), histograms from the ``histograms`` record.
+        v1 files (no histograms record) read cleanly; files declaring a
+        schema version newer than :data:`SCHEMA_VERSION` warn once per
+        process and parse best-effort."""
         sink = cls()
         with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
@@ -183,10 +253,22 @@ class MetricsSink:
                 kind = record.get("event")
                 if kind == "schema":
                     sink.schema_version = record.get("version")
+                    warn_unknown_schema(sink.schema_version, path)
                     continue
                 if kind == "counters":
                     for name, value in record.get("counters", {}).items():
                         sink.add(name, value)
+                    continue
+                if kind == "histograms":
+                    for name, data in (
+                        record.get("histograms") or {}
+                    ).items():
+                        shipped = LatencyHistogram.from_dict(data)
+                        mine = sink.histograms.get(name)
+                        if mine is None:
+                            sink.histograms[name] = shipped
+                        else:
+                            mine.merge(shipped)
                     continue
                 sink.events.append(record)
                 if kind == "stage":

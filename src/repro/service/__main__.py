@@ -3,8 +3,9 @@
 Usage::
 
     python -m repro.service serve  [--socket PATH] [--workers N]
+                                   [--metrics-out FILE]
     python -m repro.service submit --schemes M4,P4 [--workloads wc,eqn]
-    python -m repro.service status
+    python -m repro.service status [--json]
     python -m repro.service shutdown
 
 ``serve`` runs the daemon in the foreground until ``shutdown`` (or
@@ -54,6 +55,8 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         cache=cache,
         verbose=not args.quiet,
+        metrics_out=args.metrics_out,
+        self_report_interval=args.self_report_interval,
     )
     return 0
 
@@ -114,6 +117,78 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _format_uptime(seconds: float) -> str:
+    seconds = int(seconds)
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}h {minutes:02d}m {secs:02d}s"
+    if minutes:
+        return f"{minutes}m {secs:02d}s"
+    return f"{secs}s"
+
+
+def _format_status(status) -> str:
+    """The human-readable ``status`` view: identity line, lifetime
+    counters, cache stats, and per-span latency summaries."""
+    pids = status.get("worker_pids") or []
+    lines = [
+        f"daemon pid {status.get('pid')}"
+        f" · protocol v{status.get('version')}"
+        f" · uptime {_format_uptime(status.get('uptime_seconds', 0))}",
+        f"workers: {status.get('workers')}"
+        + (f" ({', '.join(str(p) for p in pids)})" if pids else ""),
+        f"in flight: {status.get('inflight_tasks', 0)} task(s),"
+        f" {status.get('inflight_profiles', 0)} profile run(s)",
+    ]
+    counters = status.get("counters") or {}
+    if counters:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["counter", "total"],
+                [[name, value] for name, value in sorted(counters.items())],
+                title="Lifetime counters",
+            )
+        )
+    cache = status.get("cache")
+    if cache is not None:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["cache", "total"],
+                [[name, cache[name]] for name in sorted(cache)],
+                title="Shared cache",
+            )
+        )
+    histograms = status.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            summary = histograms[name]
+            rows.append(
+                [
+                    name,
+                    summary.get("count", 0),
+                    f"{summary.get('mean_ms', 0.0):.1f}",
+                    f"{summary.get('p50_ms', 0.0):.1f}",
+                    f"{summary.get('p90_ms', 0.0):.1f}",
+                    f"{summary.get('p99_ms', 0.0):.1f}",
+                    f"{summary.get('max_ms', 0.0):.1f}",
+                ]
+            )
+        lines.append("")
+        lines.append(
+            format_table(
+                ["span", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms",
+                 "max ms"],
+                rows,
+                title="Request latency",
+            )
+        )
+    return "\n".join(lines)
+
+
 def _cmd_status(args) -> int:
     from .client import ServiceClient, ServiceError
 
@@ -123,7 +198,10 @@ def _cmd_status(args) -> int:
     except (OSError, ServiceError) as exc:
         print(f"status: no daemon ({exc})", file=sys.stderr)
         return 1
-    print(json.dumps(status, indent=2, sort_keys=True))
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(_format_status(status))
     return 0
 
 
@@ -165,6 +243,21 @@ def main(argv=None) -> int:
         "--no-cache",
         action="store_true",
         help="serve without the shared disk cache (in-flight dedup only)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="persist daemon telemetry (counters, events, latency"
+        " histograms) as JSONL, rewritten atomically at every"
+        " self-report and at shutdown",
+    )
+    serve.add_argument(
+        "--self-report-interval",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds between service.self_report events (0 disables)",
     )
     serve.add_argument("--quiet", action="store_true")
     serve.set_defaults(func=_cmd_serve)
@@ -211,8 +304,17 @@ def main(argv=None) -> int:
     submit.add_argument("--quiet", action="store_true")
     submit.set_defaults(func=_cmd_submit)
 
-    status = sub.add_parser("status", help="daemon counters and cache stats")
+    status = sub.add_parser(
+        "status",
+        help="daemon uptime, lifetime counters, cache stats, and"
+        " request-latency histograms",
+    )
     status.add_argument("--socket", default=None)
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw status message as JSON instead of the table",
+    )
     status.set_defaults(func=_cmd_status)
 
     shutdown = sub.add_parser("shutdown", help="stop a running daemon")

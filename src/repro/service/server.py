@@ -21,6 +21,16 @@ deterministic: whichever submit the loop reads first computes, every
 later overlapping submit dedups.  Results stream back per task, in
 request order, as soon as each future resolves.
 
+Every request is also *measured*: the daemon's lifetime ``MetricsSink``
+records one latency sample per span — request planning (including each
+cache probe), task queue wait (future creation to executor dispatch),
+worker compute, and streaming results back — into log-bucketed
+:class:`~repro.metrics.LatencyHistogram`\\ s.  ``status`` reports their
+summaries next to the lifetime counters, and when the daemon is started
+with a metrics file it appends a periodic ``service.self_report`` event
+and rewrites the JSONL (schema v2) atomically, so a crash loses at most
+one reporting interval.
+
 The compute path reuses the parallel engine's worker tasks
 (:func:`~repro.experiments.parallel._profile_task` /
 :func:`~repro.experiments.parallel._scheme_task`), so daemon-served
@@ -74,6 +84,11 @@ class ExperimentService:
         cache: shared experiment cache; ``None`` disables the disk cache
             entirely (requests can still dedup in flight).
         verbose: print a line per request/task to stdout.
+        metrics_out: JSONL file the daemon's lifetime metrics are written
+            to (atomically) at every self-report and at shutdown; ``None``
+            keeps telemetry in memory only (still visible via ``status``).
+        self_report_interval: seconds between ``service.self_report``
+            events; ``0`` disables the periodic task.
     """
 
     def __init__(
@@ -82,12 +97,17 @@ class ExperimentService:
         workers: Optional[int] = None,
         cache: Optional[ExperimentCache] = None,
         verbose: bool = False,
+        metrics_out: Optional[os.PathLike] = None,
+        self_report_interval: float = 30.0,
     ) -> None:
         self.socket_path = Path(socket_path)
         self.workers = workers or (os.cpu_count() or 1)
         self.cache = cache
         self.verbose = verbose
-        #: service-lifetime counters/events (``status`` reports them)
+        self.metrics_out = Path(metrics_out) if metrics_out else None
+        self.self_report_interval = self_report_interval
+        #: service-lifetime counters/events/histograms (``status`` reports
+        #: them; ``metrics_out`` persists them)
         self.metrics = MetricsSink()
         #: outcome content key -> future of (outcome, extras dict)
         self._inflight: Dict[str, asyncio.Future] = {}
@@ -147,6 +167,11 @@ class ExperimentService:
             f" ({self.workers} workers: {pids})",
             flush=True,
         )
+        reporter = None
+        if self.self_report_interval > 0:
+            reporter = asyncio.get_running_loop().create_task(
+                self._self_report_loop()
+            )
         try:
             await self._stop.wait()
         finally:
@@ -155,11 +180,45 @@ class ExperimentService:
             if self._tasks:
                 await asyncio.wait(self._tasks, timeout=60)
             self._pool.shutdown(wait=True, cancel_futures=True)
+            if reporter is not None:
+                reporter.cancel()
+                try:
+                    await reporter
+                except asyncio.CancelledError:
+                    pass
+            self._self_report(final=True)
             try:
                 self.socket_path.unlink()
             except OSError:
                 pass
             self._log("stopped")
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _self_report(self, final: bool = False) -> None:
+        """Append one ``service.self_report`` event (a snapshot of the
+        lifetime counters and latency summaries) and, when the daemon has
+        a metrics file, atomically rewrite it so the on-disk JSONL is
+        never more than one interval stale."""
+        self.metrics.event(
+            "service.self_report",
+            final=final,
+            uptime_seconds=round(time.monotonic() - self._started, 3),
+            counters=dict(sorted(self.metrics.counters.items())),
+            histograms={
+                name: self.metrics.histograms[name].summary()
+                for name in sorted(self.metrics.histograms)
+            },
+            inflight_tasks=len(self._inflight),
+            inflight_profiles=len(self._profile_inflight),
+        )
+        if self.metrics_out is not None:
+            self.metrics.write_jsonl(self.metrics_out)
+
+    async def _self_report_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.self_report_interval)
+            self._self_report()
 
     # -- connection handling -------------------------------------------------
 
@@ -253,6 +312,10 @@ class ExperimentService:
             "cache": cache_stats,
             "inflight_tasks": len(self._inflight),
             "inflight_profiles": len(self._profile_inflight),
+            "histograms": {
+                name: self.metrics.histograms[name].summary()
+                for name in sorted(self.metrics.histograms)
+            },
         }
 
     # -- submit --------------------------------------------------------------
@@ -301,6 +364,7 @@ class ExperimentService:
         # Plan synchronously: every cache probe and in-flight registration
         # happens before the first await, so a submit read later by the
         # loop deterministically dedups onto this one.
+        plan_start = time.perf_counter()
         plan: List[Tuple[str, str, str, Any]] = []
         stats = {"computed": 0, "cache": 0, "dedup": 0}
         for wname in workloads:
@@ -324,6 +388,7 @@ class ExperimentService:
                 else:
                     outcome = None
                     if self.cache is not None and not no_cache:
+                        probe_start = time.perf_counter()
                         outcome = self.cache.get_outcome(
                             program,
                             configs[sname],
@@ -332,6 +397,10 @@ class ExperimentService:
                             machine,
                             with_icache,
                             None,
+                        )
+                        self.metrics.observe(
+                            "service.cache.probe",
+                            time.perf_counter() - probe_start,
                         )
                     if outcome is not None:
                         disposition, result = "cache", (outcome, {})
@@ -351,6 +420,9 @@ class ExperimentService:
                 stats[disposition] += 1
                 self.metrics.add(f"service.tasks.{disposition}")
                 plan.append((wname, sname, disposition, result))
+        self.metrics.observe(
+            "service.request.plan", time.perf_counter() - plan_start
+        )
 
         total = len(plan)
         await self._send(
@@ -358,6 +430,7 @@ class ExperimentService:
         )
 
         # Stream results in request order as their futures resolve.
+        stream_start = time.perf_counter()
         for seq, (wname, sname, disposition, result) in enumerate(plan):
             if isinstance(result, asyncio.Future):
                 try:
@@ -400,6 +473,12 @@ class ExperimentService:
                     if extras.get(field) is not None:
                         message[field] = pack(extras[field])
             await self._send(writer, message)
+        self.metrics.observe(
+            "service.request.stream", time.perf_counter() - stream_start
+        )
+        self.metrics.observe(
+            "service.request.total", time.perf_counter() - plan_start
+        )
         self.metrics.event("service.done", id=request_id, **stats)
         await self._send(
             writer, {"type": "done", "id": request_id, "stats": stats}
@@ -435,6 +514,7 @@ class ExperimentService:
                 no_cache,
                 with_metrics,
                 with_tracer,
+                created=time.perf_counter(),
             )
         )
         self._tasks.add(task)
@@ -453,6 +533,7 @@ class ExperimentService:
         no_cache: bool,
         with_metrics: bool,
         with_tracer: bool,
+        created: float = 0.0,
     ) -> None:
         loop = asyncio.get_running_loop()
         try:
@@ -475,6 +556,13 @@ class ExperimentService:
                         workload.program(), workload.train_tape(scale)
                     )
                 )
+            # Queue wait: scheduling to executor dispatch — covers event
+            # loop latency plus any shared training run this task awaited.
+            dispatch = time.perf_counter()
+            if created:
+                self.metrics.observe(
+                    "service.task.queue_wait", dispatch - created
+                )
             pair, outcome, sink, tracer = await loop.run_in_executor(
                 self._pool.executor,
                 functools.partial(
@@ -492,6 +580,9 @@ class ExperimentService:
                     with_tracer,
                     traced=traced,
                 ),
+            )
+            self.metrics.observe(
+                "service.task.compute", time.perf_counter() - dispatch
             )
             # One canonical bundle per workload, as in both in-process
             # engines: the outcome carries the profiles/reference every
@@ -550,6 +641,7 @@ class ExperimentService:
         future: asyncio.Future = loop.create_future()
         self._profile_inflight[pkey + rkey] = future
         try:
+            profile_start = time.perf_counter()
             _, traced, profiles, reference, sink, tracer = (
                 await loop.run_in_executor(
                     self._pool.executor,
@@ -557,6 +649,10 @@ class ExperimentService:
                         _profile_task, wname, scale, with_metrics, with_tracer
                     ),
                 )
+            )
+            self.metrics.observe(
+                "service.profile.compute",
+                time.perf_counter() - profile_start,
             )
             if self.cache is not None and not no_cache:
                 self.cache.put(pkey, profiles)
@@ -582,9 +678,16 @@ def run_service(
     workers: Optional[int] = None,
     cache: Optional[ExperimentCache] = None,
     verbose: bool = False,
+    metrics_out: Optional[os.PathLike] = None,
+    self_report_interval: float = 30.0,
 ) -> None:
     """Blocking entry point: serve until shutdown."""
     service = ExperimentService(
-        socket_path, workers=workers, cache=cache, verbose=verbose
+        socket_path,
+        workers=workers,
+        cache=cache,
+        verbose=verbose,
+        metrics_out=metrics_out,
+        self_report_interval=self_report_interval,
     )
     asyncio.run(service.serve())

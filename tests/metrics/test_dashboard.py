@@ -1,0 +1,86 @@
+"""Tests for the static HTML trend dashboard."""
+
+from repro.metrics import HistoryStore, TRIPWIRE_METRICS
+from repro.metrics.dashboard import render_dashboard
+
+
+def _full_report(scale=1.0):
+    report = {}
+    for metric in TRIPWIRE_METRICS:
+        node = report
+        parts = metric.split(".")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = 4.0 * scale
+    return report
+
+
+class TestDashboard:
+    def _store(self, tmp_path, runs=4):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        for i in range(runs):
+            store.append(
+                _full_report(1.0 + 0.01 * i),
+                sha=f"sha{i}",
+                timestamp=float(i),
+            )
+        return store
+
+    def test_renders_sparkline_per_tripwire_metric(self, tmp_path):
+        store = self._store(tmp_path)
+        index = render_dashboard(store, tmp_path / "dash")
+        html = index.read_text()
+        for metric in TRIPWIRE_METRICS:
+            assert metric in html
+        # One sparkline SVG per metric card.
+        assert html.count("<svg") == len(TRIPWIRE_METRICS)
+        assert html.count('class="card"') == len(TRIPWIRE_METRICS)
+
+    def test_status_is_icon_plus_label_never_color_alone(self, tmp_path):
+        store = self._store(tmp_path)
+        ok = render_dashboard(store, tmp_path / "ok").read_text()
+        assert "✓ ok" in ok
+        regressed = render_dashboard(
+            store, tmp_path / "bad", current=_full_report(0.5)
+        ).read_text()
+        assert "✗ regressed" in regressed
+
+    def test_current_report_becomes_latest_point(self, tmp_path):
+        store = self._store(tmp_path)
+        html = render_dashboard(
+            store, tmp_path / "dash", current=_full_report(2.0)
+        ).read_text()
+        assert "current" in html
+
+    def test_insufficient_history_labeled(self, tmp_path):
+        store = self._store(tmp_path, runs=2)
+        html = render_dashboard(store, tmp_path / "dash").read_text()
+        assert "3 needed" in html
+
+    def test_artifact_links_row(self, tmp_path):
+        store = self._store(tmp_path)
+        html = render_dashboard(
+            store,
+            tmp_path / "dash",
+            artifacts={"flamegraph": "flame.svg", "trace": "trace.json"},
+        ).read_text()
+        assert 'href="flame.svg"' in html
+        assert 'href="trace.json"' in html
+
+    def test_band_shading_and_data_table(self, tmp_path):
+        store = self._store(tmp_path)
+        html = render_dashboard(store, tmp_path / "dash").read_text()
+        assert "var(--band-fill)" in html  # shaded noise band
+        assert "<details>" in html  # per-card data table
+        assert "prefers-color-scheme: dark" in html  # dark mode selected
+
+    def test_self_contained_no_external_fetches(self, tmp_path):
+        store = self._store(tmp_path)
+        html = render_dashboard(store, tmp_path / "dash").read_text()
+        assert "http://" not in html and "https://" not in html
+        assert "<script" not in html
+
+    def test_empty_history_still_renders(self, tmp_path):
+        store = HistoryStore(tmp_path / "empty.jsonl")
+        html = render_dashboard(store, tmp_path / "dash").read_text()
+        assert "no data" in html

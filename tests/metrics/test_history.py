@@ -1,0 +1,245 @@
+"""Tests for the bench history store and its median/MAD tripwire."""
+
+import json
+
+import pytest
+
+from repro.metrics import (
+    HistoryStore,
+    check_history,
+    fingerprint_id,
+    format_history_check,
+    format_history_list,
+    format_history_show,
+    machine_fingerprint,
+    noise_band,
+)
+from repro.metrics.history import MIN_RUNS_FOR_BAND, mad, median
+
+
+def _report(value, metric=("speedup_vs_serial", "cache_warm")):
+    section, key = metric
+    return {section: {key: value}}
+
+
+class TestStore:
+    def test_append_and_read_round_trip(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        record = store.append(_report(4.0), sha="abc", timestamp=100.0)
+        assert record["schema"] == 1
+        assert record["sha"] == "abc"
+        assert record["fingerprint_id"] == fingerprint_id(
+            record["fingerprint"]
+        )
+        (back,) = store.records()
+        assert back == record
+
+    def test_records_are_chronological(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        for i, value in enumerate([4.0, 4.1, 3.9]):
+            store.append(_report(value), sha=f"sha{i}", timestamp=float(i))
+        assert [r["sha"] for r in store.records()] == ["sha0", "sha1", "sha2"]
+
+    def test_series_extracts_dotted_metric(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        store.append(_report(4.0), timestamp=0.0)
+        store.append({"unrelated": 1}, timestamp=1.0)  # metric absent: skipped
+        store.append(_report(4.2), timestamp=2.0)
+        pairs = store.series("speedup_vs_serial.cache_warm")
+        assert [value for _, value in pairs] == [4.0, 4.2]
+
+    def test_series_last_window(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        for i in range(6):
+            store.append(_report(float(i)), timestamp=float(i))
+        pairs = store.series("speedup_vs_serial.cache_warm", last=2)
+        assert [value for _, value in pairs] == [4.0, 5.0]
+
+    def test_source_filter(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        store.append(_report(4.0), source="perf_smoke", timestamp=0.0)
+        store.append(_report(9.0), source="service_smoke", timestamp=1.0)
+        assert len(store.records(source="perf_smoke")) == 1
+        assert len(store.records(source="service_smoke")) == 1
+        assert len(store.records()) == 2
+
+    def test_fingerprint_filter_separates_machines(self, tmp_path):
+        # Two machines must never pool into one noise estimate.
+        store = HistoryStore(tmp_path / "h.jsonl")
+        laptop = {"cpu_count": 8, "platform": "x", "python": "3.12.0"}
+        ci = {"cpu_count": 2, "platform": "y", "python": "3.12.0"}
+        store.append(_report(4.0), fingerprint=laptop, timestamp=0.0)
+        store.append(_report(1.0), fingerprint=ci, timestamp=1.0)
+        pairs = store.series(
+            "speedup_vs_serial.cache_warm",
+            fingerprint=fingerprint_id(laptop),
+        )
+        assert [value for _, value in pairs] == [4.0]
+
+    def test_keep_prunes_oldest(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        for i in range(5):
+            store.append(_report(float(i)), sha=f"s{i}", keep=3)
+        assert [r["sha"] for r in store.records()] == ["s2", "s3", "s4"]
+
+    def test_malformed_lines_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = HistoryStore(path)
+        store.append(_report(4.0), timestamp=0.0)
+        with open(path, "a") as fh:
+            fh.write("{truncated garbage\n")
+            fh.write('{"not": "a history record"}\n')
+        store2 = HistoryStore(path)
+        assert len(store2.records()) == 1
+        assert store2.skipped_lines == 2
+
+    def test_append_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        store.append(_report(4.0))
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        # Every line in the written file parses.
+        with open(store.path) as fh:
+            assert all(json.loads(line) for line in fh)
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        store = HistoryStore(tmp_path / "absent.jsonl")
+        assert store.records() == []
+        assert store.series("a.b") == []
+
+    def test_machine_fingerprint_shape(self):
+        fp = machine_fingerprint()
+        assert set(fp) == {
+            "cpu_count",
+            "platform",
+            "python",
+            "implementation",
+        }
+        assert len(fingerprint_id(fp)) == 12
+
+
+class TestRobustStats:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad_resists_one_outlier(self):
+        values = [4.0, 4.1, 3.9, 4.0, 100.0]
+        assert mad(values) == pytest.approx(0.1)
+
+    def test_stable_metric_gets_relative_floor_band(self):
+        # MAD of identical values is 0; the 5% floor keeps the band open.
+        low, center, high = noise_band([4.0, 4.0, 4.0])
+        assert center == 4.0
+        assert low == pytest.approx(3.8)
+        assert high == pytest.approx(4.2)
+
+    def test_noisy_metric_gets_wide_band_automatically(self):
+        tight = noise_band([4.0, 4.05, 3.95])
+        loose = noise_band([3.0, 4.4, 2.9, 4.2])
+        assert (tight[2] - tight[0]) < (loose[2] - loose[0])
+
+
+class TestHistoryTripwire:
+    METRIC = "speedup_vs_serial.cache_warm"
+
+    def _seed(self, tmp_path, values, metric=None):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        for i, value in enumerate(values):
+            report = _report(value)
+            if metric is not None:
+                report = {}
+                node = report
+                parts = metric.split(".")
+                for part in parts[:-1]:
+                    node = node.setdefault(part, {})
+                node[parts[-1]] = value
+            store.append(report, sha=f"s{i}", timestamp=float(i))
+        return store
+
+    def test_acceptance_scenario(self, tmp_path):
+        """The ISSUE's acceptance check: over >=3 synthetic runs an
+        injected 30% regression on a stable metric is flagged, while a
+        noisy metric whose MAD band covers the same swing passes."""
+        stable = self._seed(tmp_path, [4.0, 4.05, 3.95, 4.0])
+        checks = check_history(_report(4.0 * 0.7), stable)
+        verdicts = {c.metric: c for c in checks}
+        assert verdicts[self.METRIC].status == "regressed"
+        assert verdicts[self.METRIC].failed
+
+        noisy_store = HistoryStore(tmp_path / "noisy.jsonl")
+        for i, value in enumerate([3.0, 4.4, 2.9, 4.2]):
+            noisy_store.append(_report(value), timestamp=float(i))
+        checks = check_history(_report(3.6 * 0.7), noisy_store)
+        verdicts = {c.metric: c for c in checks}
+        assert verdicts[self.METRIC].status == "ok"
+
+    def test_insufficient_runs_reported_for_fallback(self, tmp_path):
+        store = self._seed(tmp_path, [4.0, 4.1])
+        assert len([4.0, 4.1]) < MIN_RUNS_FOR_BAND
+        checks = check_history(_report(1.0), store)
+        verdicts = {c.metric: c for c in checks}
+        assert verdicts[self.METRIC].status == "insufficient"
+        assert not verdicts[self.METRIC].failed  # falls back, never fails
+
+    def test_metric_missing_from_current(self, tmp_path):
+        store = self._seed(tmp_path, [4.0, 4.1, 3.9])
+        checks = check_history({}, store)
+        assert all(c.status == "missing" for c in checks)
+        assert not any(c.failed for c in checks)
+
+    def test_inverse_metric_fails_above_band(self, tmp_path):
+        metric = "scheduler.gap_from_optimal"
+        store = self._seed(tmp_path, [0.01, 0.012, 0.011], metric=metric)
+        ok = check_history(
+            {"scheduler": {"gap_from_optimal": 0.011}}, store
+        )
+        bad = check_history(
+            {"scheduler": {"gap_from_optimal": 0.5}}, store
+        )
+        assert {c.metric: c.status for c in ok}[metric] == "ok"
+        assert {c.metric: c.status for c in bad}[metric] == "regressed"
+
+    def test_improvement_never_fails(self, tmp_path):
+        store = self._seed(tmp_path, [4.0, 4.05, 3.95])
+        checks = check_history(_report(8.0), store)
+        assert {c.metric: c.status for c in checks}[self.METRIC] == "ok"
+
+    def test_window_drops_ancient_runs(self, tmp_path):
+        # Ten ancient slow runs then three fast ones: a window of 3 bands
+        # on the recent regime only.
+        store = self._seed(
+            tmp_path, [1.0] * 10 + [4.0, 4.05, 3.95]
+        )
+        checks = check_history(_report(3.9), store, window=3)
+        assert {c.metric: c.status for c in checks}[self.METRIC] == "ok"
+        checks = check_history(_report(1.0), store, window=3)
+        assert {c.metric: c.status for c in checks}[self.METRIC] == (
+            "regressed"
+        )
+
+
+class TestRendering:
+    def test_format_history_check_marks_failures(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        for i, value in enumerate([4.0, 4.05, 3.95]):
+            store.append(_report(value), timestamp=float(i))
+        text = format_history_check(check_history(_report(2.0), store))
+        assert "REGRESSED" in text
+        assert "insufficient" in text or "missing" in text
+
+    def test_format_history_list_and_show(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        for i, value in enumerate([4.0, 4.05, 3.95]):
+            store.append(_report(value), sha=f"sha{i}ffffffff", timestamp=float(i))
+        listed = format_history_list(store.records())
+        assert "sha0" in listed and "perf_smoke" in listed
+        shown = format_history_show(store, "speedup_vs_serial.cache_warm")
+        assert "4.0500" in shown
+        assert "MAD band" in shown
+
+    def test_format_history_show_empty(self, tmp_path):
+        store = HistoryStore(tmp_path / "h.jsonl")
+        assert "no recorded values" in format_history_show(store, "a.b")

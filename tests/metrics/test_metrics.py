@@ -226,6 +226,89 @@ class TestTripwire:
         assert set(INVERSE_TRIPWIRE_METRICS) <= set(TRIPWIRE_METRICS)
 
 
+class TestEvaluateBench:
+    """One-pass verdicts: every metric reported, failures never mask
+    each other, and missing-vs-regressed is always distinguishable."""
+
+    def _verdicts(self, current, baseline, **kw):
+        from repro.metrics import evaluate_bench
+
+        return {
+            v.metric: v for v in evaluate_bench(current, baseline, **kw)
+        }
+
+    def test_every_metric_gets_a_verdict(self):
+        verdicts = self._verdicts({}, {})
+        assert set(verdicts) == set(TRIPWIRE_METRICS)
+
+    def test_all_failures_reported_in_one_pass(self):
+        current = {
+            "speedup_vs_serial": {"cache_warm": 1.0},
+            "metrics": {"speedup_on_vs_off": 0.1},
+        }
+        baseline = {
+            "speedup_vs_serial": {"cache_warm": 4.0},
+            "metrics": {"speedup_on_vs_off": 1.0},
+        }
+        failures = check_bench_regression(current, baseline)
+        assert len(failures) == 2  # not just the first one
+
+    def test_missing_key_distinguished_from_regressed(self):
+        current = {"speedup_vs_serial": {"cache_warm": 4.0}}
+        baseline = {"metrics": {"speedup_on_vs_off": 1.0}}
+        verdicts = self._verdicts(current, baseline)
+        assert (
+            verdicts["speedup_vs_serial.cache_warm"].status
+            == "missing_baseline"
+        )
+        assert (
+            verdicts["metrics.speedup_on_vs_off"].status == "missing_current"
+        )
+        assert not verdicts["speedup_vs_serial.cache_warm"].failed
+        assert not verdicts["metrics.speedup_on_vs_off"].failed
+
+    def test_zero_baseline_not_a_division_crash(self):
+        current = {"speedup_vs_serial": {"cache_warm": 4.0}}
+        baseline = {"speedup_vs_serial": {"cache_warm": 0.0}}
+        verdicts = self._verdicts(current, baseline)
+        verdict = verdicts["speedup_vs_serial.cache_warm"]
+        assert verdict.status == "zero_baseline"
+        assert not verdict.failed
+        assert check_bench_regression(current, baseline) == []
+
+    def test_inverse_zero_baseline_uses_absolute_allowance(self):
+        from repro.metrics.report import INVERSE_ABSOLUTE_ALLOWANCE
+
+        baseline = {"scheduler": {"gap_from_optimal": 0.0}}
+        within = {
+            "scheduler": {
+                "gap_from_optimal": INVERSE_ABSOLUTE_ALLOWANCE / 2
+            }
+        }
+        beyond = {
+            "scheduler": {
+                "gap_from_optimal": INVERSE_ABSOLUTE_ALLOWANCE * 3
+            }
+        }
+        assert not self._verdicts(within, baseline)[
+            "scheduler.gap_from_optimal"
+        ].failed
+        assert self._verdicts(beyond, baseline)[
+            "scheduler.gap_from_optimal"
+        ].failed
+
+    def test_ok_verdict_carries_bound(self):
+        current = {"speedup_vs_serial": {"cache_warm": 3.9}}
+        baseline = {"speedup_vs_serial": {"cache_warm": 4.0}}
+        verdict = self._verdicts(current, baseline)[
+            "speedup_vs_serial.cache_warm"
+        ]
+        assert verdict.status == "ok"
+        assert verdict.bound == pytest.approx(
+            4.0 * (1 - DEFAULT_REGRESSION_THRESHOLD)
+        )
+
+
 class TestPipelineIntegration:
     def test_run_scheme_counters_and_stages(self):
         sink = MetricsSink()

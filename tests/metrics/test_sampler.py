@@ -1,0 +1,84 @@
+"""Tests for the stdlib sampling profiler and its folded-stack output."""
+
+import time
+
+from repro.metrics import SamplingProfiler
+from repro.metrics.sampler import _fold_frame
+
+
+def _spin(deadline):
+    while time.perf_counter() < deadline:
+        sum(range(100))
+
+
+def burn(seconds=0.15):
+    _spin(time.perf_counter() + seconds)
+
+
+class TestSampler:
+    def test_captures_samples_from_busy_thread(self):
+        with SamplingProfiler(interval=0.001) as prof:
+            burn()
+        assert prof.samples > 0
+        assert sum(prof.counts.values()) == prof.samples
+        # The busy function shows up in at least one folded stack.
+        assert any("test_sampler:burn" in stack for stack in prof.counts)
+
+    def test_folded_output_format(self):
+        with SamplingProfiler(interval=0.001) as prof:
+            burn()
+        text = prof.folded()
+        lines = text.strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert all(":" in frame for frame in stack.split(";"))
+        # Deterministic ordering: stacks are sorted.
+        assert lines == sorted(lines)
+
+    def test_write_folded_is_loadable(self, tmp_path):
+        with SamplingProfiler(interval=0.001) as prof:
+            burn()
+        out = tmp_path / "profile.folded"
+        stacks = prof.write_folded(out)
+        assert stacks == len(prof.counts)
+        text = out.read_text()
+        assert text == prof.folded()
+        assert not [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+
+    def test_stop_is_idempotent(self):
+        prof = SamplingProfiler(interval=0.001).start()
+        prof.stop()
+        prof.stop()
+        assert prof.folded() == prof.folded()
+
+    def test_fold_frame_root_first(self):
+        def inner():
+            import sys
+
+            return sys._getframe()
+
+        def outer():
+            return inner()
+
+        folded = _fold_frame(outer())
+        frames = folded.split(";")
+        # Root (module/test runner) first, leaf (inner) last.
+        assert frames[-1] == "test_sampler:inner"
+        assert frames[-2] == "test_sampler:outer"
+
+    def test_profiler_does_not_perturb_results(self):
+        """Off-by-default contract: pipeline output with a sampler running
+        is byte-identical to output without one (observation only)."""
+        from repro.pipeline import run_scheme
+
+        from tests.support import call_program
+
+        program = call_program()
+        plain = run_scheme(program, "M4", [6], [3])
+        with SamplingProfiler(interval=0.001):
+            sampled = run_scheme(program, "M4", [6], [3])
+        assert sampled.result.cycles == plain.result.cycles
+        assert sampled.result.output == plain.result.output
+        assert sampled.layout.base == plain.layout.base

@@ -1,0 +1,210 @@
+"""Tests for metrics JSONL schema v2: latency histograms, version
+compatibility (v1 reads cleanly, unknown futures warn once), and the
+service self-report event round-trip."""
+
+import json
+
+import pytest
+
+from repro.metrics import (
+    KNOWN_SCHEMA_VERSIONS,
+    LatencyHistogram,
+    MetricsSink,
+    SCHEMA_VERSION,
+    summarize,
+    warn_unknown_schema,
+)
+from repro.metrics.histogram import (
+    bucket_index,
+    bucket_upper_seconds,
+    format_histogram_table,
+)
+
+
+class TestLatencyHistogram:
+    def test_bucket_index_log2_micros(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(1e-6) == 0
+        assert bucket_index(2e-6) == 1
+        assert bucket_index(1.0) == bucket_index(1.0)
+        # Monotone in the sample value.
+        last = -1
+        for micros in [1, 2, 5, 100, 10_000, 5_000_000]:
+            index = bucket_index(micros * 1e-6)
+            assert index >= last
+            last = index
+
+    def test_bucket_upper_bounds_contain_their_samples(self):
+        for seconds in [1e-7, 3e-6, 0.004, 1.5]:
+            index = bucket_index(seconds)
+            assert seconds <= bucket_upper_seconds(index) + 1e-12
+
+    def test_record_and_summary(self):
+        hist = LatencyHistogram()
+        for ms in [1, 2, 4, 100]:
+            hist.record(ms / 1000.0)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["max_ms"] == pytest.approx(100.0)
+        assert 0 < summary["p50_ms"] <= summary["p99_ms"] <= 2 * 100.0
+
+    def test_quantile_bucket_error_bounded(self):
+        hist = LatencyHistogram()
+        for _ in range(1000):
+            hist.record(0.010)
+        # All mass in one bucket: any quantile lands within 2x the value.
+        assert 0.010 <= hist.quantile(0.5) <= 0.020
+        assert hist.quantile(0.0) == pytest.approx(0.010)
+        assert hist.quantile(1.0) == pytest.approx(0.010)
+
+    def test_negative_samples_clamp_to_zero(self):
+        hist = LatencyHistogram()
+        hist.record(-1.0)
+        assert hist.count == 1
+        assert hist.min_seconds == 0.0
+
+    def test_merge_is_exact(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for ms in [1, 5, 9]:
+            a.record(ms / 1000.0)
+        for ms in [2, 100]:
+            b.record(ms / 1000.0)
+        a.merge(b)
+        assert a.count == 5
+        assert a.max_seconds == pytest.approx(0.1)
+        assert sum(a.buckets.values()) == 5
+
+    def test_dict_round_trip(self):
+        hist = LatencyHistogram()
+        for ms in [1, 2, 300]:
+            hist.record(ms / 1000.0)
+        back = LatencyHistogram.from_dict(hist.to_dict())
+        assert back.to_dict() == hist.to_dict()
+        assert back.summary() == hist.summary()
+
+    def test_format_table_rows_sorted(self):
+        hist = LatencyHistogram()
+        hist.record(0.005)
+        rows = format_histogram_table(
+            {"z.span": hist, "a.span": hist}
+        )
+        assert [name for name, _ in rows] == ["a.span", "z.span"]
+        assert rows[0][1]["count"] == 1
+
+
+class TestSchemaVersions:
+    def test_v2_declared_and_known(self):
+        assert SCHEMA_VERSION == 2
+        assert SCHEMA_VERSION in KNOWN_SCHEMA_VERSIONS
+        assert 1 in KNOWN_SCHEMA_VERSIONS
+
+    def test_v1_file_reads_cleanly(self, tmp_path, capsys):
+        # A file written by the v1 writer: schema record, stage events,
+        # trailing counters — no histograms record.
+        path = tmp_path / "v1.jsonl"
+        lines = [
+            {"event": "schema", "version": 1},
+            {"event": "stage", "stage": "layout", "dt": 0.25, "t": 1.0,
+             "pid": 1},
+            {"event": "counters", "counters": {"simulate.cycles": 42}},
+        ]
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        sink = MetricsSink.read_jsonl(path)
+        assert sink.schema_version == 1
+        assert sink.counters == {"simulate.cycles": 42}
+        assert sink.stage_seconds["layout"] == pytest.approx(0.25)
+        assert sink.histograms == {}
+        assert capsys.readouterr().err == ""  # known version: no warning
+        # And it summarizes cleanly.
+        summary = summarize(sink)
+        assert summary["counters"]["simulate.cycles"] == 42
+        assert summary["histograms"] == {}
+
+    def test_unknown_future_version_warns_once(self, tmp_path, capsys):
+        future = 9999
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"event": "schema", "version": future}) + "\n"
+            + json.dumps({"event": "counters", "counters": {"n": 1}}) + "\n"
+        )
+        sink = MetricsSink.read_jsonl(path)
+        assert sink.counters == {"n": 1}  # best-effort parse still works
+        err = capsys.readouterr().err
+        assert "9999" in err
+        # Second read of the same version: silent (warn once per process).
+        MetricsSink.read_jsonl(path)
+        assert capsys.readouterr().err == ""
+
+    def test_warn_unknown_schema_known_versions_silent(self, capsys):
+        assert warn_unknown_schema(None) is False
+        for version in KNOWN_SCHEMA_VERSIONS:
+            assert warn_unknown_schema(version) is False
+        assert capsys.readouterr().err == ""
+
+    def test_histograms_record_round_trips(self, tmp_path):
+        sink = MetricsSink()
+        for ms in [1, 3, 7, 200]:
+            sink.observe("service.request.total", ms / 1000.0)
+        sink.observe("service.cache.probe", 0.0001)
+        path = tmp_path / "v2.jsonl"
+        sink.write_jsonl(path)
+        back = MetricsSink.read_jsonl(path)
+        assert back.schema_version == SCHEMA_VERSION
+        assert set(back.histograms) == {
+            "service.request.total",
+            "service.cache.probe",
+        }
+        assert (
+            back.histograms["service.request.total"].summary()
+            == sink.histograms["service.request.total"].summary()
+        )
+
+    def test_no_histograms_means_v1_shaped_file(self, tmp_path):
+        # A v2 file without observations has exactly the v1 line shape:
+        # schema + events + counters (reader-compatible both ways).
+        sink = MetricsSink()
+        sink.add("n", 1)
+        path = tmp_path / "empty.jsonl"
+        lines = sink.write_jsonl(path)
+        assert lines == len(sink.events) + 2
+        kinds = [
+            json.loads(line)["event"] for line in path.read_text().splitlines()
+        ]
+        assert kinds == ["schema", "counters"]
+
+    def test_merge_folds_histograms(self):
+        a, b = MetricsSink(), MetricsSink()
+        a.observe("span", 0.001)
+        b.observe("span", 0.002)
+        b.observe("other", 0.003)
+        a.merge(b)
+        assert a.histograms["span"].count == 2
+        assert a.histograms["other"].count == 1
+
+    def test_self_report_event_round_trips(self, tmp_path):
+        # The shape the daemon's periodic self-report writes.
+        sink = MetricsSink()
+        sink.add("service.requests", 3)
+        sink.observe("service.request.total", 0.050)
+        sink.event(
+            "service.self_report",
+            final=False,
+            uptime_seconds=12.5,
+            counters=dict(sink.counters),
+            histograms={
+                name: hist.summary()
+                for name, hist in sink.histograms.items()
+            },
+            inflight_tasks=0,
+            inflight_profiles=0,
+        )
+        path = tmp_path / "svc.jsonl"
+        sink.write_jsonl(path)
+        back = MetricsSink.read_jsonl(path)
+        (event,) = [
+            e for e in back.events if e["event"] == "service.self_report"
+        ]
+        assert event["uptime_seconds"] == 12.5
+        assert event["counters"] == {"service.requests": 3}
+        assert event["histograms"]["service.request.total"]["count"] == 1
+        assert back.histograms["service.request.total"].count == 1

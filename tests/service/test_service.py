@@ -298,6 +298,111 @@ class TestFallback:
         )
 
 
+class TestTelemetry:
+    def test_status_reports_request_histograms(self, daemon):
+        with ServiceClient(daemon["socket"]) as client:
+            client.hello()
+            client.submit(SCHEMES, workloads=WORKLOADS, scale=SCALE)
+            status = client.status()
+        histograms = status["histograms"]
+        # Every submit records plan/stream/total spans (cache hits
+        # included); compute spans only exist for computed tasks.
+        for span in (
+            "service.request.plan",
+            "service.request.stream",
+            "service.request.total",
+        ):
+            assert histograms[span]["count"] >= 1, span
+            assert histograms[span]["max_ms"] >= 0.0
+        # Summaries are the compact shape the status table renders.
+        assert set(histograms["service.request.total"]) == {
+            "count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms",
+        }
+
+    def test_computed_work_records_compute_spans(self, daemon):
+        with ServiceClient(daemon["socket"]) as client:
+            client.hello()
+            client.submit(
+                ["BB"], workloads=["com"], scale=SCALE, no_cache=True
+            )
+            status = client.status()
+        histograms = status["histograms"]
+        assert histograms["service.task.compute"]["count"] >= 1
+        assert histograms["service.task.queue_wait"]["count"] >= 1
+
+    def test_status_table_renders(self, daemon):
+        from repro.service.__main__ import _format_status
+
+        with ServiceClient(daemon["socket"]) as client:
+            client.hello()
+            status = client.status()
+        text = _format_status(status)
+        assert "uptime" in text
+        assert "Lifetime counters" in text
+        assert "workers: 2" in text
+        if status["histograms"]:
+            assert "Request latency" in text
+            assert "p99 ms" in text
+
+    def test_self_report_persists_metrics_jsonl(self, tmp_path_factory):
+        """A daemon started with --metrics-out leaves a schema-v2 JSONL
+        with self-report events and histogram records on shutdown."""
+        root = tmp_path_factory.mktemp("telemetry")
+        socket_path = root / "svc.sock"
+        metrics_path = root / "daemon_metrics.jsonl"
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(root / "cache")
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "serve",
+                "--socket",
+                str(socket_path),
+                "--workers",
+                "1",
+                "--metrics-out",
+                str(metrics_path),
+                "--self-report-interval",
+                "0.2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            _wait_for_socket(socket_path, proc)
+            with ServiceClient(socket_path, timeout=60.0) as client:
+                client.hello()
+                client.submit(["BB"], workloads=["alt"], scale=SCALE)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline and not metrics_path.exists():
+                time.sleep(0.1)
+            with ServiceClient(socket_path, timeout=30.0) as client:
+                client.shutdown()
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        sink = MetricsSink.read_jsonl(metrics_path)
+        assert sink.schema_version == 2
+        reports = [
+            e for e in sink.events if e["event"] == "service.self_report"
+        ]
+        assert reports, "no self-report events persisted"
+        # The final (shutdown) snapshot carries the lifetime counters and
+        # per-span summaries.
+        final = reports[-1]
+        assert final["counters"].get("service.requests", 0) >= 1
+        assert "service.request.total" in final["histograms"]
+        assert sink.histograms["service.request.total"].count >= 1
+
+
 class TestShutdown:
     def test_clean_shutdown_removes_socket_and_exits_zero(
         self, tmp_path_factory
