@@ -188,9 +188,11 @@ def run_report(args) -> int:
         MetricsSink,
         check_bench_regression,
         check_history,
+        fingerprint_id,
         format_bench_check,
         format_history_check,
         format_report,
+        machine_fingerprint,
         summarize,
     )
 
@@ -215,7 +217,16 @@ def run_report(args) -> int:
         fallback_metrics = None
         if args.history:
             store = HistoryStore(args.history)
-            checks = check_history(current, store)
+            # Band on this machine's runs only: timings from other
+            # machines (an updated CI runner image, a laptop sharing the
+            # file) describe different hardware and would widen or skew
+            # the noise estimate.  --all-machines pools everything.
+            fingerprint = (
+                None
+                if args.all_machines
+                else fingerprint_id(machine_fingerprint())
+            )
+            checks = check_history(current, store, fingerprint=fingerprint)
             print(format_history_check(checks))
             failures += [
                 f"{check.metric}: {check.current:.4f} outside history band"
@@ -297,9 +308,11 @@ def run_history(argv) -> int:
         HistoryStore,
         check_history,
         default_history_path,
+        fingerprint_id,
         format_history_check,
         format_history_list,
         format_history_show,
+        machine_fingerprint,
     )
 
     parser = argparse.ArgumentParser(
@@ -358,6 +371,12 @@ def run_history(argv) -> int:
         metavar="N",
         help="show: only the newest N runs",
     )
+    parser.add_argument(
+        "--all-machines",
+        action="store_true",
+        help="check: band over every machine's recorded runs instead of"
+        " only this machine's fingerprint",
+    )
     args = parser.parse_args(argv)
     source = None if args.source == "all" else args.source
     store = HistoryStore(args.history or default_history_path())
@@ -404,7 +423,14 @@ def run_history(argv) -> int:
         parser.error("check needs a REPORT.json path")
     with open(args.report) as fh:
         current = json.load(fh)
-    checks = check_history(current, store, source=source)
+    # Only this machine's runs enter the band unless --all-machines:
+    # other machines' timings describe different hardware.
+    fingerprint = (
+        None if args.all_machines else fingerprint_id(machine_fingerprint())
+    )
+    checks = check_history(
+        current, store, source=source, fingerprint=fingerprint
+    )
     print(format_history_check(checks))
     failures = [check for check in checks if check.failed]
     insufficient = [
@@ -574,6 +600,12 @@ def main(argv=None) -> int:
         " per-metric median/MAD noise bands for every metric with >=3"
         " recorded runs (the baseline check remains the fallback), and"
         " --html plots it",
+    )
+    parser.add_argument(
+        "--all-machines",
+        action="store_true",
+        help="report: band --check-bench over every machine's recorded"
+        " runs instead of only this machine's fingerprint",
     )
     parser.add_argument(
         "--html",

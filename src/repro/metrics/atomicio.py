@@ -21,11 +21,14 @@ def atomic_write_text(path: os.PathLike, text: str) -> None:
     """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
 
     The temp file is created in ``path``'s directory so the final rename
-    never crosses a filesystem boundary.  On any failure the temp file is
-    removed and the destination is left untouched.
+    never crosses a filesystem boundary; the directory is created first
+    if it does not exist yet (a cold CI cache starts with no history
+    directory at all).  On any failure the temp file is removed and the
+    destination is left untouched.
     """
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
     fd, tmp_path = tempfile.mkstemp(
         prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
     )

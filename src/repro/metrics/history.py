@@ -34,9 +34,15 @@ import os
 import platform
 import subprocess
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover — non-POSIX platform
+    fcntl = None
 
 from .atomicio import atomic_write_text
 from .report import (
@@ -126,8 +132,12 @@ class HistoryStore:
 
     Appends rewrite the whole file atomically (histories are small —
     CI keeps a rolling window — and atomicity beats append-mode speed
-    here).  Malformed lines are skipped on read with a count, never a
-    crash: a truncated history from a pre-atomic writer still loads.
+    here), under an advisory ``flock`` on a sidecar lock file so two
+    concurrent appends (``perf_smoke`` and ``service_smoke`` pointed at
+    one ``--history`` file) serialize instead of silently dropping one
+    run's record.  Malformed lines are skipped on read with a count,
+    never a crash: a truncated history from a pre-atomic writer still
+    loads.
     """
 
     def __init__(self, path: Optional[os.PathLike] = None) -> None:
@@ -136,6 +146,28 @@ class HistoryStore:
         self.skipped_lines = 0
 
     # -- writing -------------------------------------------------------------
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Exclusive advisory lock for the append's read-rewrite cycle.
+
+        Without it, two processes appending at once both read the same
+        record list and the second rewrite silently drops the first's
+        run.  ``flock`` is advisory but every writer goes through here;
+        on platforms without ``fcntl`` appends are unserialized, as
+        before.
+        """
+        if fcntl is None:  # pragma: no cover — non-POSIX platform
+            yield
+            return
+        lock_path = Path(f"{self.path}.lock")
+        os.makedirs(lock_path.parent, exist_ok=True)
+        with open(lock_path, "w") as lock:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
 
     def append(
         self,
@@ -163,11 +195,12 @@ class HistoryStore:
             "fingerprint_id": fingerprint_id(fp),
             "report": report,
         }
-        records = self.records()
-        records.append(record)
-        if keep is not None and keep > 0:
-            records = records[-keep:]
-        self._write_all(records)
+        with self._locked():
+            records = self.records()
+            records.append(record)
+            if keep is not None and keep > 0:
+                records = records[-keep:]
+            self._write_all(records)
         return record
 
     def _write_all(self, records: Sequence[Dict[str, Any]]) -> None:

@@ -198,13 +198,15 @@ class MetricsSink:
 
     # -- serialization -------------------------------------------------------
 
-    def write_jsonl(self, path: os.PathLike) -> int:
-        """Write the event log as JSONL: a leading ``schema`` record, one
-        event per line, an optional ``histograms`` record, terminated by a
-        ``counters`` record so the file is self-contained.  The write is
-        atomic (temp file + ``os.replace``): an interrupted run leaves
-        either the previous complete log or the new one, never a truncated
-        file.  Returns the number of lines written."""
+    def to_jsonl(self) -> str:
+        """Serialize the event log to JSONL text: a leading ``schema``
+        record, one event per line, an optional ``histograms`` record,
+        terminated by a ``counters`` record so the file is self-contained.
+
+        Split from :meth:`write_jsonl` so a caller on an event loop can
+        snapshot the sink synchronously (consistent — no concurrent
+        mutation mid-serialize) and hand only the blocking file write to
+        a thread."""
         lines = [
             json.dumps(
                 {"event": "schema", "version": SCHEMA_VERSION},
@@ -232,8 +234,16 @@ class MetricsSink:
                 sort_keys=True,
             )
         )
-        atomic_write_text(path, "\n".join(lines) + "\n")
-        return len(lines)
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path: os.PathLike) -> int:
+        """Write :meth:`to_jsonl` to ``path``.  The write is atomic (temp
+        file + ``os.replace``): an interrupted run leaves either the
+        previous complete log or the new one, never a truncated file.
+        Returns the number of lines written."""
+        text = self.to_jsonl()
+        atomic_write_text(path, text)
+        return text.count("\n")
 
     @classmethod
     def read_jsonl(cls, path: os.PathLike) -> "MetricsSink":

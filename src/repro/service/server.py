@@ -74,6 +74,13 @@ from .protocol import (
 #: Machine models a request may name.
 MACHINES = {"paper": PAPER_MACHINE, "realistic": REALISTIC_MACHINE}
 
+#: Self-report snapshots kept in the daemon's event log.  Each snapshot
+#: already carries the *lifetime* counters and histogram summaries, so
+#: older ones add history, not information — a ring keeps a long-lived
+#: daemon's memory and its periodic JSONL rewrite O(1) instead of
+#: growing by one event per interval forever.
+MAX_SELF_REPORTS = 60
+
 
 class ExperimentService:
     """A long-lived experiment daemon bound to one unix-domain socket.
@@ -195,11 +202,24 @@ class ExperimentService:
 
     # -- telemetry -----------------------------------------------------------
 
-    def _self_report(self, final: bool = False) -> None:
-        """Append one ``service.self_report`` event (a snapshot of the
-        lifetime counters and latency summaries) and, when the daemon has
-        a metrics file, atomically rewrite it so the on-disk JSONL is
-        never more than one interval stale."""
+    def _self_report_event(self, final: bool = False) -> None:
+        """Append one ``service.self_report`` event: a snapshot of the
+        lifetime counters and latency summaries.  Older snapshots beyond
+        :data:`MAX_SELF_REPORTS` are dropped first (each one supersedes
+        its predecessors), so the event log stays bounded over an
+        arbitrarily long daemon lifetime."""
+        reports = [
+            i
+            for i, event in enumerate(self.metrics.events)
+            if event.get("event") == "service.self_report"
+        ]
+        if len(reports) >= MAX_SELF_REPORTS:
+            drop = set(reports[: len(reports) - MAX_SELF_REPORTS + 1])
+            self.metrics.events = [
+                event
+                for i, event in enumerate(self.metrics.events)
+                if i not in drop
+            ]
         self.metrics.event(
             "service.self_report",
             final=final,
@@ -212,13 +232,30 @@ class ExperimentService:
             inflight_tasks=len(self._inflight),
             inflight_profiles=len(self._profile_inflight),
         )
+
+    def _self_report(self, final: bool = False) -> None:
+        """Snapshot + synchronous write: shutdown path, where blocking
+        is fine (the loop is already draining)."""
+        self._self_report_event(final=final)
         if self.metrics_out is not None:
             self.metrics.write_jsonl(self.metrics_out)
 
     async def _self_report_loop(self) -> None:
+        from ..metrics import atomic_write_text
+
+        loop = asyncio.get_running_loop()
         while True:
             await asyncio.sleep(self.self_report_interval)
-            self._self_report()
+            self._self_report_event()
+            if self.metrics_out is not None:
+                # Serialize on the loop (a consistent snapshot, and the
+                # ring above keeps it small), but hand the fsync-backed
+                # file write to a thread so a slow disk never stalls
+                # request handling.
+                text = self.metrics.to_jsonl()
+                await loop.run_in_executor(
+                    None, atomic_write_text, self.metrics_out, text
+                )
 
     # -- connection handling -------------------------------------------------
 

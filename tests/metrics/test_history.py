@@ -1,6 +1,7 @@
 """Tests for the bench history store and its median/MAD tripwire."""
 
 import json
+import threading
 
 import pytest
 
@@ -106,6 +107,41 @@ class TestStore:
         store = HistoryStore(tmp_path / "absent.jsonl")
         assert store.records() == []
         assert store.series("a.b") == []
+
+    def test_append_creates_missing_parent_directory(self, tmp_path):
+        # A cold CI cache starts with no .ci-history directory at all;
+        # the first append must create it, not crash in mkstemp.
+        store = HistoryStore(tmp_path / "ci" / "nested" / "h.jsonl")
+        store.append(_report(4.0), timestamp=0.0)
+        assert len(store.records()) == 1
+
+    def test_atomic_write_creates_missing_parent_directory(self, tmp_path):
+        from repro.metrics import atomic_write_text
+
+        target = tmp_path / "a" / "b" / "out.json"
+        atomic_write_text(target, "{}\n")
+        assert target.read_text() == "{}\n"
+
+    def test_concurrent_appends_drop_no_record(self, tmp_path):
+        # Two writers pointed at one --history file (perf_smoke and
+        # service_smoke run in parallel locally) must serialize the
+        # read-rewrite cycle instead of silently losing a run.
+        path = tmp_path / "h.jsonl"
+        n = 8
+
+        def worker(i):
+            HistoryStore(path).append(
+                _report(float(i)), sha=f"s{i}", timestamp=float(i)
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(HistoryStore(path).records()) == n
 
     def test_machine_fingerprint_shape(self):
         fp = machine_fingerprint()
@@ -243,3 +279,70 @@ class TestRendering:
     def test_format_history_show_empty(self, tmp_path):
         store = HistoryStore(tmp_path / "h.jsonl")
         assert "no recorded values" in format_history_show(store, "a.b")
+
+
+class TestCLIFingerprintDefault:
+    """``history check`` (and ``report --check-bench --history``) band on
+    this machine's runs only; ``--all-machines`` pools everything."""
+
+    def _seed_two_machines(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = HistoryStore(path)
+        other = {"cpu_count": 1, "platform": "other-os", "python": "0.0.0"}
+        # Another machine's runs sit near 40; this machine's near 4.
+        for i, value in enumerate([40.0, 41.0, 39.0]):
+            store.append(_report(value), fingerprint=other, timestamp=float(i))
+        for i, value in enumerate([4.0, 4.05, 3.95]):
+            store.append(_report(value), timestamp=float(3 + i))
+        report_path = tmp_path / "current.json"
+        report_path.write_text(json.dumps(_report(1.0)))
+        return path, report_path
+
+    def test_history_check_defaults_to_this_machine(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        path, report_path = self._seed_two_machines(tmp_path)
+        # Against this machine's tight band [~3.8, ~4.2], 1.0 regresses.
+        assert (
+            main(["history", "check", str(report_path), "--history", str(path)])
+            == 1
+        )
+        # Pooled across machines the band is enormous and 1.0 passes —
+        # exactly the skew the per-machine default prevents.
+        assert (
+            main(
+                [
+                    "history",
+                    "check",
+                    str(report_path),
+                    "--history",
+                    str(path),
+                    "--all-machines",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_report_check_bench_defaults_to_this_machine(
+        self, tmp_path, capsys
+    ):
+        from repro.experiments.__main__ import main
+
+        path, report_path = self._seed_two_machines(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_report(4.0)))
+        argv = [
+            "report",
+            "--check-bench",
+            str(report_path),
+            "--baseline",
+            str(baseline),
+            "--history",
+            str(path),
+        ]
+        assert main(argv) == 1
+        # --all-machines: six pooled runs band the metric, and the huge
+        # cross-machine MAD swallows 1.0, so the check passes outright.
+        assert main(argv + ["--all-machines"]) == 0
+        capsys.readouterr()

@@ -402,6 +402,28 @@ class TestTelemetry:
         assert "service.request.total" in final["histograms"]
         assert sink.histograms["service.request.total"].count >= 1
 
+    def test_self_report_events_are_bounded(self, tmp_path):
+        """A long-lived daemon's event log must not grow by one snapshot
+        per interval forever: older self-reports are dropped once the
+        ring is full, and other events are untouched."""
+        from repro.service.server import MAX_SELF_REPORTS, ExperimentService
+
+        service = ExperimentService(tmp_path / "svc.sock")
+        service.metrics.event("service.submit", id="keep-me")
+        for _ in range(MAX_SELF_REPORTS * 3):
+            service._self_report_event()
+        reports = [
+            e
+            for e in service.metrics.events
+            if e["event"] == "service.self_report"
+        ]
+        assert len(reports) == MAX_SELF_REPORTS
+        # The newest snapshot survives, and non-snapshot events do too.
+        assert reports[-1] is service.metrics.events[-1]
+        assert any(
+            e.get("id") == "keep-me" for e in service.metrics.events
+        )
+
 
 class TestShutdown:
     def test_clean_shutdown_removes_socket_and_exits_zero(
